@@ -1,0 +1,352 @@
+// Benchmarks regenerating every result artefact of the paper plus the
+// ablations called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure bench reports the paper-comparable quantity as a custom
+// metric (gap percentages, handshake seconds) alongside the usual ns/op.
+package decentmeter
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"decentmeter/internal/anomaly"
+	"decentmeter/internal/backhaul"
+	"decentmeter/internal/blockchain"
+	"decentmeter/internal/energy"
+	"decentmeter/internal/mqtt"
+	"decentmeter/internal/protocol"
+	"decentmeter/internal/sensor"
+	"decentmeter/internal/sim"
+	"decentmeter/internal/store"
+	"decentmeter/internal/units"
+)
+
+// --- Fig. 5: decentralized vs centralized metering ---------------------------
+
+func BenchmarkFig5Decentralized(b *testing.B) {
+	var minGap, maxGap float64
+	for i := 0; i < b.N; i++ {
+		p := DefaultParams()
+		p.Seed = uint64(i) + 1
+		res, err := RunFig5(p, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minGap, maxGap = res.MinGapPercent, res.MaxGapPercent
+	}
+	b.ReportMetric(minGap, "gapmin_%")
+	b.ReportMetric(maxGap, "gapmax_%")
+}
+
+// --- Fig. 6: device mobility --------------------------------------------------
+
+func BenchmarkFig6Mobility(b *testing.B) {
+	var hs time.Duration
+	for i := 0; i < b.N; i++ {
+		p := DefaultParams()
+		p.Seed = uint64(i) + 1
+		res, err := RunFig6(p, 10*time.Second, 5*time.Second, 20*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hs = res.Thandshake
+	}
+	b.ReportMetric(hs.Seconds(), "Thandshake_s")
+}
+
+// --- Thandshake statistics (paper: mean 6 s over 15 runs) ---------------------
+
+func BenchmarkThandshake15Runs(b *testing.B) {
+	var stats HandshakeStats
+	for i := 0; i < b.N; i++ {
+		var err error
+		stats, err = RunHandshakeTrials(DefaultParams(), 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(stats.Mean.Seconds(), "mean_s")
+	b.ReportMetric(stats.Min.Seconds(), "min_s")
+	b.ReportMetric(stats.Max.Seconds(), "max_s")
+}
+
+// --- Backhaul delay (paper: ~1 ms) ---------------------------------------------
+
+func BenchmarkBackhaulDelay(b *testing.B) {
+	env := sim.NewEnv(1)
+	mesh := backhaul.NewMesh(env, 0)
+	var lastRTT time.Duration
+	mesh.Join("agg1", func(from string, msg protocol.Message) {
+		if v, ok := msg.(protocol.VerifyRequest); ok {
+			mesh.Send("agg1", from, protocol.VerifyResponse{DeviceID: v.DeviceID, OK: true})
+		}
+	})
+	var sentAt sim.Time
+	mesh.Join("agg2", func(string, protocol.Message) {
+		lastRTT = env.Now() - sentAt
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sentAt = env.Now()
+		mesh.Send("agg2", "agg1", protocol.VerifyRequest{DeviceID: "d", Requester: "agg2"})
+		env.Run()
+	}
+	b.ReportMetric(float64(lastRTT.Microseconds())/2, "oneway_us")
+}
+
+// --- ablation: blockchain on the report path ----------------------------------
+
+func BenchmarkChainAppend(b *testing.B) {
+	signer, err := blockchain.NewSigner("agg1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	auth := blockchain.NewAuthority()
+	auth.Admit("agg1", signer.Public())
+	chain := blockchain.NewChain(auth)
+	recs := make([]blockchain.Record, 10)
+	for i := range recs {
+		recs[i] = blockchain.Record{
+			DeviceID: "d", Seq: uint64(i), HomeAggregator: "agg1", ReportedVia: "agg1",
+			Timestamp: time.Now(), Interval: 100 * time.Millisecond,
+			Current: 80 * units.Milliampere, Voltage: 5 * units.Volt, Energy: 11,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range recs {
+			recs[j].Seq = uint64(i*10 + j)
+		}
+		if _, err := chain.Seal(signer, time.Now(), recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainVerify(b *testing.B) {
+	signer, _ := blockchain.NewSigner("agg1")
+	auth := blockchain.NewAuthority()
+	auth.Admit("agg1", signer.Public())
+	chain := blockchain.NewChain(auth)
+	for i := 0; i < 100; i++ {
+		chain.Seal(signer, time.Now(), []blockchain.Record{{
+			DeviceID: "d", Seq: uint64(i), HomeAggregator: "agg1",
+			Timestamp: time.Now(), Current: 80 * units.Milliampere,
+		}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bad, err := chain.Verify(); err != nil || bad != -1 {
+			b.Fatal(bad, err)
+		}
+	}
+}
+
+func BenchmarkMerkleProof(b *testing.B) {
+	leaves := make([]blockchain.Hash, 256)
+	for i := range leaves {
+		leaves[i] = blockchain.HashRecord(blockchain.Record{DeviceID: "d", Seq: uint64(i)})
+	}
+	root := blockchain.MerkleRoot(leaves)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proof, err := blockchain.BuildProof(leaves, i%len(leaves))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !blockchain.VerifyProof(leaves[i%len(leaves)], proof, root) {
+			b.Fatal("proof rejected")
+		}
+	}
+}
+
+// --- ablation: report path with and without chain sealing ----------------------
+
+func BenchmarkReportPathWithChain(b *testing.B) {
+	benchReportPath(b, true)
+}
+
+func BenchmarkReportPathNoChain(b *testing.B) {
+	benchReportPath(b, false)
+}
+
+func benchReportPath(b *testing.B, seal bool) {
+	signer, _ := blockchain.NewSigner("agg1")
+	auth := blockchain.NewAuthority()
+	auth.Admit("agg1", signer.Public())
+	chain := blockchain.NewChain(auth)
+	var pending []blockchain.Record
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := protocol.Measurement{
+			Seq: uint64(i + 1), Timestamp: time.Now(), Interval: 100 * time.Millisecond,
+			Current: 80 * units.Milliampere, Voltage: 5 * units.Volt, Energy: 11,
+		}
+		enc, err := protocol.Encode(protocol.Report{DeviceID: "d", Measurements: []protocol.Measurement{m}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec, err := protocol.Decode(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := dec.(protocol.Report)
+		pending = append(pending, blockchain.Record{
+			DeviceID: rep.DeviceID, Seq: m.Seq, HomeAggregator: "agg1", ReportedVia: "agg1",
+			Timestamp: m.Timestamp, Interval: m.Interval,
+			Current: m.Current, Voltage: m.Voltage, Energy: m.Energy,
+		})
+		if len(pending) == 10 {
+			if seal {
+				if _, err := chain.Seal(signer, time.Now(), pending); err != nil {
+					b.Fatal(err)
+				}
+			}
+			pending = pending[:0]
+		}
+	}
+}
+
+// --- component benches ----------------------------------------------------------
+
+func BenchmarkSensorRead(b *testing.B) {
+	bus := sensor.NewBus()
+	ina := sensor.NewINA219(sensor.StaticLoad{I: 80 * units.Milliampere, V: 5 * units.Volt}, sensor.INA219Config{Seed: 1})
+	if err := bus.Attach(sensor.AddrINA219Default, ina); err != nil {
+		b.Fatal(err)
+	}
+	meter, err := sensor.NewMeter(bus, sensor.AddrINA219Default, 2*units.Ampere, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := meter.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMQTTEncodeDecode(b *testing.B) {
+	p := &mqtt.PublishPacket{
+		Topic:    "meters/agg1/device1/report",
+		Payload:  []byte(`{"seq":42,"current_ua":82500,"voltage_uv":5000000}`),
+		QoS:      mqtt.QoS1,
+		PacketID: 42,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := mqtt.Encode(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := mqtt.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMQTTTopicMatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !mqtt.MatchTopic("meters/+/+/report", "meters/agg1/device1/report") {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkProtocolEncodeDecode(b *testing.B) {
+	msg := protocol.Report{
+		DeviceID:   "device1",
+		MasterAddr: "agg1",
+		Measurements: []protocol.Measurement{{
+			Seq: 1, Timestamp: time.Now(), Interval: 100 * time.Millisecond,
+			Current: 80 * units.Milliampere, Voltage: 5 * units.Volt, Energy: 11,
+		}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := protocol.Encode(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := protocol.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnomalySumCheck(b *testing.B) {
+	cfg := anomaly.DefaultSumCheck()
+	for i := 0; i < b.N; i++ {
+		v := anomaly.SumCheck(cfg, 236*units.Milliampere, 222*units.Milliampere)
+		if !v.OK {
+			b.Fatal("honest window flagged")
+		}
+	}
+}
+
+func BenchmarkAnomalyDeviation(b *testing.B) {
+	d := anomaly.NewDeviation(0, 0, 0)
+	for i := 0; i < b.N; i++ {
+		d.Observe(80 * units.Milliampere)
+	}
+}
+
+// --- ablation: store-and-forward vs drop ----------------------------------------
+
+func BenchmarkStoreAndForward(b *testing.B) {
+	q, err := store.NewQueue[protocol.Measurement](4096, store.DropOldest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := protocol.Measurement{Seq: 1, Current: 80 * units.Milliampere}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Seq = uint64(i)
+		q.Push(m)
+		if i%10 == 9 {
+			q.Drain(10)
+		}
+	}
+}
+
+// --- simulation kernel throughput -------------------------------------------------
+
+func BenchmarkSimKernel(b *testing.B) {
+	env := sim.NewEnv(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			env.Schedule(time.Millisecond, tick)
+		}
+	}
+	env.Schedule(time.Millisecond, tick)
+	b.ResetTimer()
+	env.Run()
+}
+
+// --- end-to-end steady-state throughput ---------------------------------------------
+
+func BenchmarkSteadyStateReporting(b *testing.B) {
+	sys := NewSystem(DefaultParams())
+	if _, err := sys.AddNetwork("agg1", 1); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := sys.AddDevice(fmt.Sprintf("device%d", i+1), "agg1", energy.StandardAppliances()[i%2].Profile); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sys.Run(8 * time.Second) // attach
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(time.Second) // 4 devices x 10 reports
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sys.Chain.TotalRecords())/float64(b.N), "records/s_sim")
+}

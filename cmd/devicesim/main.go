@@ -1,0 +1,218 @@
+// Command devicesim runs one or more simulated metering devices against a
+// live meterd over real TCP/MQTT: each device samples a modelled INA219 at
+// Tmeasure, registers with the aggregator, reports its consumption and
+// buffers locally when the connection drops — the same firmware behaviour
+// as the DES device, exercised over a real network stack.
+//
+//	devicesim -broker localhost:1883 -agg agg1 -n 2 -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"decentmeter/internal/energy"
+	"decentmeter/internal/mqtt"
+	"decentmeter/internal/protocol"
+	"decentmeter/internal/sensor"
+	"decentmeter/internal/units"
+)
+
+func main() {
+	broker := flag.String("broker", "localhost:1883", "meterd MQTT address")
+	agg := flag.String("agg", "agg1", "aggregator identity")
+	n := flag.Int("n", 2, "number of simulated devices")
+	duration := flag.Duration("duration", 10*time.Second, "run time (0 = forever)")
+	tmeasure := flag.Duration("tmeasure", 100*time.Millisecond, "initial reporting interval")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "devicesim ", log.LstdFlags|log.Lmsgprefix)
+	var wg sync.WaitGroup
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			id := fmt.Sprintf("device%d", idx+1)
+			if err := runDevice(logger, *broker, *agg, id, *tmeasure, *duration, uint64(idx)); err != nil {
+				logger.Printf("%s: %v", id, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// realDevice is the MQTT-transport device: same measurement pipeline as the
+// DES device, wall-clock timed.
+type realDevice struct {
+	id     string
+	agg    string
+	client *mqtt.Client
+	meter  *sensor.Meter
+	logger *log.Logger
+
+	mu         sync.Mutex
+	registered bool
+	seq        uint64
+	backlog    []protocol.Measurement
+	tmeasure   time.Duration
+	acked      uint64
+}
+
+func runDevice(logger *log.Logger, broker, agg, id string, tmeasure, duration time.Duration, seed uint64) error {
+	// Physical layer: an INA219 over an ESP32-shaped load, sampled in
+	// real time.
+	start := time.Now()
+	profile := energy.Noisy{P: energy.DefaultESP32(), StdDev: 1500 * units.Microampere, Seed: seed}
+	load := &profileLoad{profile: profile, start: start}
+	bus := sensor.NewBus()
+	ina := sensor.NewINA219(load, sensor.INA219Config{Seed: seed})
+	if err := bus.Attach(sensor.AddrINA219Default, ina); err != nil {
+		return err
+	}
+	meter, err := sensor.NewMeter(bus, sensor.AddrINA219Default, 2*units.Ampere, 0.1)
+	if err != nil {
+		return err
+	}
+
+	d := &realDevice{id: id, agg: agg, meter: meter, logger: logger, tmeasure: tmeasure}
+	client, err := mqtt.Dial(broker, mqtt.ClientOptions{
+		ClientID:     id,
+		CleanSession: true,
+		KeepAlive:    10 * time.Second,
+		OnMessage:    d.onControl,
+	})
+	if err != nil {
+		return fmt.Errorf("dial broker: %w", err)
+	}
+	d.client = client
+	defer client.Close()
+
+	if _, err := client.Subscribe(mqtt.Subscription{
+		Filter: protocol.ControlTopic(agg, id), QoS: mqtt.QoS1,
+	}); err != nil {
+		return fmt.Errorf("subscribe control: %w", err)
+	}
+	if err := d.register(); err != nil {
+		return err
+	}
+
+	deadline := time.Time{}
+	if duration > 0 {
+		deadline = time.Now().Add(duration)
+	}
+	for {
+		d.mu.Lock()
+		interval := d.tmeasure
+		d.mu.Unlock()
+		time.Sleep(interval)
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			d.mu.Lock()
+			sent, acked := d.seq, d.acked
+			d.mu.Unlock()
+			logger.Printf("%s: done (%d measured, %d acked)", id, sent, acked)
+			return nil
+		}
+		if err := d.measureAndReport(interval); err != nil {
+			logger.Printf("%s: report: %v", id, err)
+		}
+	}
+}
+
+// profileLoad adapts an energy profile to the sensor channel with
+// wall-clock time.
+type profileLoad struct {
+	profile energy.Profile
+	start   time.Time
+}
+
+func (p *profileLoad) TrueCurrent() units.Current {
+	return p.profile.Current(time.Since(p.start))
+}
+
+func (p *profileLoad) TrueBusVoltage() units.Voltage { return 5 * units.Volt }
+
+func (d *realDevice) register() error {
+	payload, err := protocol.Encode(protocol.Register{DeviceID: d.id})
+	if err != nil {
+		return err
+	}
+	return d.client.Publish(protocol.RegisterTopic(d.agg), payload, mqtt.QoS1, false)
+}
+
+func (d *realDevice) onControl(_ string, payload []byte) {
+	msg, err := protocol.Decode(payload)
+	if err != nil {
+		d.logger.Printf("%s: bad control payload: %v", d.id, err)
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch m := msg.(type) {
+	case protocol.RegisterAck:
+		d.registered = true
+		if m.Tmeasure > 0 {
+			d.tmeasure = m.Tmeasure
+		}
+		d.logger.Printf("%s: registered (%s, slot %d)", d.id, m.Kind, m.Slot)
+	case protocol.RegisterNack:
+		d.registered = false
+		d.logger.Printf("%s: registration refused: %s", d.id, m.Reason)
+	case protocol.ReportAck:
+		if m.Seq > d.acked {
+			d.acked = m.Seq
+		}
+		// Drop acknowledged backlog.
+		kept := d.backlog[:0]
+		for _, meas := range d.backlog {
+			if meas.Seq > m.Seq {
+				kept = append(kept, meas)
+			}
+		}
+		d.backlog = kept
+	case protocol.ReportNack:
+		d.registered = false
+		go d.register()
+	}
+}
+
+func (d *realDevice) measureAndReport(interval time.Duration) error {
+	r, err := d.meter.Read()
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.seq++
+	meas := protocol.Measurement{
+		Seq:       d.seq,
+		Timestamp: time.Now().UTC(),
+		Interval:  interval,
+		Current:   r.Current,
+		Voltage:   r.Bus,
+		Energy:    units.EnergyFromIVOver(r.Current, r.Bus, interval),
+		Buffered:  !d.registered,
+	}
+	d.backlog = append(d.backlog, meas)
+	if len(d.backlog) > 4096 {
+		d.backlog = d.backlog[len(d.backlog)-4096:]
+	}
+	registered := d.registered
+	batch := make([]protocol.Measurement, len(d.backlog))
+	copy(batch, d.backlog)
+	d.mu.Unlock()
+
+	if !registered {
+		return nil // local storage only, like the DES device
+	}
+	if len(batch) > 64 {
+		batch = batch[:64]
+	}
+	payload, err := protocol.Encode(protocol.Report{DeviceID: d.id, Measurements: batch})
+	if err != nil {
+		return err
+	}
+	return d.client.Publish(protocol.ReportTopic(d.agg, d.id), payload, mqtt.QoS1, false)
+}

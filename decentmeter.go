@@ -1,0 +1,98 @@
+// Package decentmeter is the public API of a reproduction of
+// "Real-Time Energy Monitoring in IoT-enabled Mobile Devices"
+// (Shivaraman et al., DATE 2020): a decentralized, per-device energy
+// metering architecture in which IoT devices measure their own consumption,
+// report it to trusted per-network aggregators at Tmeasure intervals, roam
+// between networks with temporary memberships, and have their verified
+// records sealed into a shared permissioned blockchain.
+//
+// The package re-exports the system builder and the paper's experiment
+// drivers. The full component set (simulation kernel, INA219/DS3231
+// models, grid, radio, MQTT, TDMA, blockchain, billing, anomaly detection,
+// consensus, load balancing) lives under internal/; see DESIGN.md for the
+// map.
+//
+// Quickstart:
+//
+//	sys := decentmeter.NewSystem(decentmeter.DefaultParams())
+//	sys.AddNetwork("agg1", 1)
+//	sys.AddDevice("device1", "agg1", decentmeter.DefaultESP32Load())
+//	sys.Run(10 * time.Second)
+//	fmt.Println(sys.EnergyReportedFor("device1"))
+package decentmeter
+
+import (
+	"time"
+
+	"decentmeter/internal/core"
+	"decentmeter/internal/energy"
+	"decentmeter/internal/units"
+)
+
+// Params carries every tunable of a scenario; DefaultParams reproduces the
+// paper's testbed settings (Tmeasure = 100 ms, 5 V supply, 0.5 mA sensor
+// offset, 13-channel scan, 1 ms backhaul).
+type Params = core.Params
+
+// System is one assembled testbed: grid + radio + devices + aggregators +
+// backhaul + blockchain over a deterministic discrete-event simulation.
+type System = core.System
+
+// Fig5Result is the decentralized-vs-centralized metering outcome (paper
+// Fig. 5).
+type Fig5Result = core.Fig5Result
+
+// Fig6Result is the mobility experiment outcome (paper Fig. 6).
+type Fig6Result = core.Fig6Result
+
+// HandshakeStats summarizes repeated Thandshake trials (paper §III-B.b).
+type HandshakeStats = core.HandshakeStats
+
+// FraudResult is the tamper-detection scenario outcome.
+type FraudResult = core.FraudResult
+
+// Profile is a ground-truth load model (current as a function of time).
+type Profile = energy.Profile
+
+// DefaultParams returns the paper's testbed configuration.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewSystem builds an empty testbed.
+func NewSystem(p Params) *System { return core.NewSystem(p) }
+
+// RunFig5 reproduces the paper's first experiment (decentralized metering
+// accuracy): per-window device sums vs the aggregator's own measurement.
+func RunFig5(p Params, seconds int) (Fig5Result, error) { return core.RunFig5(p, seconds) }
+
+// RunFig6 reproduces the paper's second experiment (device mobility):
+// dwell at home, transit, temporary-membership handshake at the foreign
+// network, data forwarded home.
+func RunFig6(p Params, dwell, transit, after time.Duration) (Fig6Result, error) {
+	return core.RunFig6(p, dwell, transit, after)
+}
+
+// RunHandshakeTrials measures Thandshake over n seeded runs (paper: mean
+// 6 s, range 5.5-6.5 s over 15 runs).
+func RunHandshakeTrials(p Params, n int) (HandshakeStats, error) {
+	return core.RunHandshakeTrials(p, n)
+}
+
+// RunFraud exercises tamper detection end to end: a device under-reports
+// and the aggregator's complementary measurement flags it; a mutated
+// stored record is caught by chain verification.
+func RunFraud(p Params, honest, tampered time.Duration) (FraudResult, error) {
+	return core.RunFraud(p, honest, tampered)
+}
+
+// DefaultESP32Load returns a load shaped like the paper's Sparkfun ESP32
+// Thing devices (~45 mA idle, ~120 mA transmit bursts every 100 ms).
+func DefaultESP32Load() Profile { return energy.DefaultESP32() }
+
+// DefaultEScooterLoad returns a CC-CV battery charging load (the paper's
+// motivating e-scooter example).
+func DefaultEScooterLoad() Profile { return energy.DefaultEScooter() }
+
+// ConstantLoad returns a fixed draw in milliamperes.
+func ConstantLoad(milliamps float64) Profile {
+	return energy.Constant{I: units.MilliampsToCurrent(milliamps)}
+}

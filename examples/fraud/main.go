@@ -1,0 +1,28 @@
+// Fraud: the security story end to end. A compromised device halves what
+// its sensor reports while its true draw is unchanged; the aggregator's
+// system-level complementary measurement flags the discrepancy and
+// identifies the culprit. Separately, mutating a record already sealed in
+// the blockchain is caught by chain verification.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"decentmeter"
+)
+
+func main() {
+	res, err := decentmeter.RunFraud(decentmeter.DefaultParams(), 10*time.Second, 15*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scenario: device1 (120 mA true draw) starts reporting half after 10 honest seconds")
+	fmt.Printf("  verification windows flagged: %d\n", res.WindowsFlagged)
+	fmt.Printf("  culprit identified:           %s\n", res.Culprit)
+	fmt.Printf("  stored-record tamper caught:  %v\n", res.ChainTamperDetected)
+	if res.Culprit == "device1" && res.ChainTamperDetected {
+		fmt.Println("both defence layers held: live verification + tamper-evident storage")
+	}
+}

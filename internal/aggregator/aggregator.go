@@ -1,0 +1,599 @@
+// Package aggregator implements the trusted per-network unit of the
+// paper's architecture: it admits devices into TDMA slots (sequence 1 of
+// Fig. 3), grants temporary memberships to roaming devices after verifying
+// them with their home aggregator over the backhaul (sequence 2), handles
+// membership transfer and removal (sequence 3), validates reported
+// consumption against its own system-level complementary measurement, and
+// seals verified records into the shared permissioned blockchain.
+package aggregator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"decentmeter/internal/anomaly"
+	"decentmeter/internal/backhaul"
+	"decentmeter/internal/blockchain"
+	"decentmeter/internal/protocol"
+	"decentmeter/internal/sensor"
+	"decentmeter/internal/sim"
+	"decentmeter/internal/tdma"
+	"decentmeter/internal/telemetry"
+	"decentmeter/internal/units"
+)
+
+// Membership is one admitted device.
+type Membership struct {
+	DeviceID string
+	Kind     protocol.MembershipKind
+	// Home is the master aggregator (self for master members).
+	Home string
+	// Slot is the granted TDMA slot.
+	Slot int
+	// LastSeq is the highest acknowledged measurement sequence.
+	LastSeq uint64
+	// JoinedAt is the admission time.
+	JoinedAt time.Duration
+}
+
+// WindowReport summarizes one verification window (the unit of Fig. 5).
+type WindowReport struct {
+	// Start is the window's opening virtual time.
+	Start time.Duration
+	// Ground is the aggregator's own feeder measurement (mean over the
+	// window).
+	Ground units.Current
+	// Reported is the sum of mean device-reported currents.
+	Reported units.Current
+	// PerDevice holds each device's mean reported current.
+	PerDevice map[string]units.Current
+	// Verdict is the sum check outcome.
+	Verdict anomaly.Verdict
+	// Culprit, when the verdict failed and one device dominates the
+	// deficit, names the suspected tamperer.
+	Culprit string
+}
+
+// Config assembles an aggregator.
+type Config struct {
+	// ID is the aggregator identity (AP SSID, mesh address, producer ID).
+	ID string
+	// Env drives timing.
+	Env *sim.Env
+	// HeadMeter reads the feeder-head INA219 (system-level measurement).
+	HeadMeter *sensor.Meter
+	// WallClock stamps blocks.
+	WallClock func() time.Time
+	// Mesh is the inter-aggregator backhaul; the aggregator joins it.
+	Mesh *backhaul.Mesh
+	// Chain is the shared permissioned blockchain.
+	Chain *blockchain.Chain
+	// Signer is this aggregator's block-producing identity.
+	Signer *blockchain.Signer
+	// SendToDevice delivers a message to a device over the local WAN.
+	SendToDevice func(deviceID string, msg protocol.Message) error
+	// Tmeasure is the mandated reporting interval (paper: 100 ms).
+	Tmeasure time.Duration
+	// WindowInterval is the verification/metering window (default 1 s,
+	// the granularity of Fig. 5's bars).
+	WindowInterval time.Duration
+	// BlockInterval paces chain sealing (default = WindowInterval).
+	BlockInterval time.Duration
+	// Slots configures TDMA admission (default tdma.DefaultConfig).
+	Slots tdma.Config
+	// SumCheck configures the complementary-measurement verification.
+	SumCheck anomaly.SumCheckConfig
+	// Registry receives live telemetry (optional).
+	Registry *telemetry.Registry
+}
+
+// Aggregator is one network's trusted unit.
+type Aggregator struct {
+	cfg Config
+
+	members map[string]*Membership
+	sched   *tdma.Schedule
+
+	// pendingVerify holds roaming registrations awaiting home
+	// confirmation.
+	pendingVerify map[string]pendingReg
+
+	// pendingRecords accumulate until the next block seal.
+	pendingRecords []blockchain.Record
+
+	// window accounting.
+	windowStart   time.Duration
+	groundSamples []units.Current
+	windowReports map[string][]units.Current
+	windows       []WindowReport
+
+	// per-device baselines for culprit identification.
+	baselines map[string]*anomaly.Deviation
+
+	// deviceTrace records per-device reported current for Fig. 6.
+	stopSampling func()
+	stopSealing  func()
+
+	// counters
+	reportsAccepted uint64
+	reportsNacked   uint64
+	blocksSealed    uint64
+}
+
+type pendingReg struct {
+	master string
+	rssi   float64
+}
+
+// New builds and starts an aggregator: it joins the mesh, starts sampling
+// its head meter at Tmeasure and sealing blocks at BlockInterval.
+func New(cfg Config) (*Aggregator, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("aggregator: requires an ID")
+	}
+	if cfg.Env == nil || cfg.HeadMeter == nil || cfg.Mesh == nil ||
+		cfg.Chain == nil || cfg.Signer == nil || cfg.SendToDevice == nil {
+		return nil, errors.New("aggregator: missing required component")
+	}
+	if cfg.WallClock == nil {
+		return nil, errors.New("aggregator: requires a WallClock")
+	}
+	if cfg.Tmeasure <= 0 {
+		cfg.Tmeasure = 100 * time.Millisecond
+	}
+	if cfg.WindowInterval <= 0 {
+		cfg.WindowInterval = time.Second
+	}
+	if cfg.BlockInterval <= 0 {
+		cfg.BlockInterval = cfg.WindowInterval
+	}
+	if cfg.Slots.Superframe == 0 {
+		cfg.Slots = tdma.DefaultConfig()
+	}
+	if cfg.SumCheck.MaxGapFraction == 0 {
+		cfg.SumCheck = anomaly.DefaultSumCheck()
+	}
+	sched, err := tdma.NewSchedule(cfg.Slots)
+	if err != nil {
+		return nil, err
+	}
+	a := &Aggregator{
+		cfg:           cfg,
+		members:       make(map[string]*Membership),
+		sched:         sched,
+		pendingVerify: make(map[string]pendingReg),
+		windowReports: make(map[string][]units.Current),
+		baselines:     make(map[string]*anomaly.Deviation),
+	}
+	if err := cfg.Mesh.Join(cfg.ID, a.handleBackhaul); err != nil {
+		return nil, err
+	}
+	a.windowStart = cfg.Env.Now()
+	a.stopSampling = cfg.Env.Ticker(cfg.Tmeasure, func(sim.Time) { a.sampleGround() })
+	a.stopSealing = cfg.Env.Ticker(cfg.WindowInterval, func(sim.Time) { a.closeWindow() })
+	return a, nil
+}
+
+// ID returns the aggregator identity.
+func (a *Aggregator) ID() string { return a.cfg.ID }
+
+// Members returns current memberships sorted by device ID.
+func (a *Aggregator) Members() []Membership {
+	out := make([]Membership, 0, len(a.members))
+	for _, m := range a.members {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DeviceID < out[j].DeviceID })
+	return out
+}
+
+// Member returns the membership for a device, if any.
+func (a *Aggregator) Member(deviceID string) (Membership, bool) {
+	m, ok := a.members[deviceID]
+	if !ok {
+		return Membership{}, false
+	}
+	return *m, true
+}
+
+// Windows returns the completed verification windows.
+func (a *Aggregator) Windows() []WindowReport {
+	return append([]WindowReport(nil), a.windows...)
+}
+
+// Stats returns (reportsAccepted, reportsNacked, blocksSealed).
+func (a *Aggregator) Stats() (uint64, uint64, uint64) {
+	return a.reportsAccepted, a.reportsNacked, a.blocksSealed
+}
+
+// Stop halts the periodic loops (used by load-balancing migrations and
+// crash injection).
+func (a *Aggregator) Stop() {
+	if a.stopSampling != nil {
+		a.stopSampling()
+	}
+	if a.stopSealing != nil {
+		a.stopSealing()
+	}
+}
+
+// --- device-facing handling -------------------------------------------------------
+
+// HandleDeviceMessage processes an uplink message from a device. The
+// scenario's link layer calls this on delivery.
+func (a *Aggregator) HandleDeviceMessage(deviceID string, msg protocol.Message) {
+	switch m := msg.(type) {
+	case protocol.Register:
+		a.onRegister(m)
+	case protocol.Report:
+		a.onReport(m)
+	}
+}
+
+// onRegister runs sequences 1 and 2 of Fig. 3.
+func (a *Aggregator) onRegister(m protocol.Register) {
+	if cur, ok := a.members[m.DeviceID]; ok {
+		// Re-registration of an existing member (e.g. device rebooted):
+		// re-grant the same slot.
+		a.sendAck(cur)
+		return
+	}
+	if m.MasterAddr == "" || m.MasterAddr == a.cfg.ID {
+		// Sequence 1: fresh master membership in this network.
+		a.admit(m.DeviceID, protocol.MemberMaster, a.cfg.ID)
+		return
+	}
+	// Sequence 2: roaming device. Verify with its home aggregator before
+	// granting a temporary membership.
+	a.pendingVerify[m.DeviceID] = pendingReg{master: m.MasterAddr, rssi: m.RSSIDBm}
+	err := a.cfg.Mesh.Send(a.cfg.ID, m.MasterAddr, protocol.VerifyRequest{
+		DeviceID:  m.DeviceID,
+		Requester: a.cfg.ID,
+	})
+	if err != nil {
+		delete(a.pendingVerify, m.DeviceID)
+		_ = a.cfg.SendToDevice(m.DeviceID, protocol.RegisterNack{
+			DeviceID: m.DeviceID,
+			Reason:   fmt.Sprintf("home %s unreachable", m.MasterAddr),
+		})
+	}
+}
+
+// admit grants a membership and a slot.
+func (a *Aggregator) admit(deviceID string, kind protocol.MembershipKind, home string) {
+	slot, err := a.sched.Assign(deviceID)
+	if err != nil {
+		_ = a.cfg.SendToDevice(deviceID, protocol.RegisterNack{
+			DeviceID: deviceID,
+			Reason:   "no free time-slots",
+		})
+		return
+	}
+	mem := &Membership{
+		DeviceID: deviceID,
+		Kind:     kind,
+		Home:     home,
+		Slot:     slot,
+		JoinedAt: a.cfg.Env.Now(),
+	}
+	a.members[deviceID] = mem
+	if kind == protocol.MemberMaster {
+		_ = a.cfg.Mesh.RegisterHome(deviceID, a.cfg.ID)
+	}
+	a.sendAck(mem)
+	if a.cfg.Registry != nil {
+		a.cfg.Registry.Counter(a.cfg.ID + ".memberships").Inc()
+		a.cfg.Registry.Gauge(a.cfg.ID + ".members").Set(float64(len(a.members)))
+	}
+}
+
+func (a *Aggregator) sendAck(m *Membership) {
+	_ = a.cfg.SendToDevice(m.DeviceID, protocol.RegisterAck{
+		DeviceID:     m.DeviceID,
+		Kind:         m.Kind,
+		AggregatorID: a.cfg.ID,
+		Slot:         m.Slot,
+		Tmeasure:     a.cfg.Tmeasure,
+	})
+}
+
+// onReport validates and stores a consumption report.
+func (a *Aggregator) onReport(m protocol.Report) {
+	mem, ok := a.members[m.DeviceID]
+	if !ok {
+		// "Aggregator 2 upon receiving the consumption data sends a
+		// negative acknowledgment (Nack) to indicate the absence of
+		// membership."
+		a.reportsNacked++
+		var lastSeq uint64
+		if len(m.Measurements) > 0 {
+			lastSeq = m.Measurements[len(m.Measurements)-1].Seq
+		}
+		_ = a.cfg.SendToDevice(m.DeviceID, protocol.ReportNack{
+			DeviceID: m.DeviceID,
+			Seq:      lastSeq,
+			Reason:   "not a member",
+		})
+		return
+	}
+	// Reports retransmit everything unacknowledged; ingest only what is
+	// new (Seq beyond the high-water mark) so a lost Ack cannot
+	// double-store a measurement.
+	fresh := m.Measurements[:0:0]
+	for _, meas := range m.Measurements {
+		if meas.Seq > mem.LastSeq {
+			fresh = append(fresh, meas)
+		}
+	}
+	accepted := a.ingest(mem, fresh, a.cfg.ID)
+	if len(m.Measurements) > 0 {
+		lastSeq := m.Measurements[len(m.Measurements)-1].Seq
+		if lastSeq > mem.LastSeq {
+			mem.LastSeq = lastSeq
+		}
+		_ = a.cfg.SendToDevice(m.DeviceID, protocol.ReportAck{DeviceID: m.DeviceID, Seq: lastSeq})
+	}
+	a.reportsAccepted += uint64(accepted)
+	// Temporary members' data goes home over the backhaul.
+	if mem.Kind == protocol.MemberTemporary && len(fresh) > 0 {
+		_ = a.cfg.Mesh.Send(a.cfg.ID, mem.Home, protocol.ForwardReport{
+			DeviceID:     m.DeviceID,
+			Via:          a.cfg.ID,
+			Measurements: fresh,
+		})
+	}
+}
+
+// ingest converts measurements into chain records and window samples.
+// via names the collecting aggregator. Returns the number accepted.
+func (a *Aggregator) ingest(mem *Membership, ms []protocol.Measurement, via string) int {
+	n := 0
+	for _, meas := range ms {
+		rec := blockchain.Record{
+			DeviceID:       mem.DeviceID,
+			Seq:            meas.Seq,
+			HomeAggregator: mem.Home,
+			ReportedVia:    via,
+			Timestamp:      meas.Timestamp,
+			Interval:       meas.Interval,
+			Current:        meas.Current,
+			Voltage:        meas.Voltage,
+			Energy:         meas.Energy,
+			Buffered:       meas.Buffered,
+		}
+		a.pendingRecords = append(a.pendingRecords, rec)
+		// Only live (non-buffered) measurements feed the verification
+		// window: buffered data describes past intervals, and comparing
+		// it against the current feeder measurement would garble the
+		// sum check.
+		if !meas.Buffered {
+			a.windowReports[mem.DeviceID] = append(a.windowReports[mem.DeviceID], meas.Current)
+		}
+		if base, ok := a.baselines[mem.DeviceID]; ok {
+			base.Observe(meas.Current)
+		} else {
+			b := anomaly.NewDeviation(0, 0, 0)
+			b.Observe(meas.Current)
+			a.baselines[mem.DeviceID] = b
+		}
+		if a.cfg.Registry != nil {
+			s := a.cfg.Registry.Series(a.cfg.ID+".device."+mem.DeviceID+".ma", 100000)
+			s.Append(a.cfg.Env.Now(), meas.Current.Milliamps())
+		}
+		n++
+	}
+	return n
+}
+
+// --- backhaul handling --------------------------------------------------------------
+
+func (a *Aggregator) handleBackhaul(from string, msg protocol.Message) {
+	switch m := msg.(type) {
+	case protocol.VerifyRequest:
+		a.onVerifyRequest(from, m)
+	case protocol.VerifyResponse:
+		a.onVerifyResponse(m)
+	case protocol.ForwardReport:
+		a.onForwardReport(m)
+	case protocol.TransferMembership:
+		a.onTransfer(m)
+	case protocol.RemoveDevice:
+		a.removeMembership(m.DeviceID)
+		_ = a.cfg.Mesh.Send(a.cfg.ID, from, protocol.RemoveAck{DeviceID: m.DeviceID})
+	}
+}
+
+// onVerifyRequest vouches (or not) for one of this network's devices.
+func (a *Aggregator) onVerifyRequest(from string, m protocol.VerifyRequest) {
+	mem, ok := a.members[m.DeviceID]
+	resp := protocol.VerifyResponse{DeviceID: m.DeviceID}
+	if ok && mem.Kind == protocol.MemberMaster {
+		resp.OK = true
+	} else {
+		resp.Reason = "not a master member here"
+	}
+	_ = a.cfg.Mesh.Send(a.cfg.ID, from, resp)
+}
+
+// onVerifyResponse completes a roaming admission.
+func (a *Aggregator) onVerifyResponse(m protocol.VerifyResponse) {
+	pend, ok := a.pendingVerify[m.DeviceID]
+	if !ok {
+		return
+	}
+	delete(a.pendingVerify, m.DeviceID)
+	if !m.OK {
+		_ = a.cfg.SendToDevice(m.DeviceID, protocol.RegisterNack{
+			DeviceID: m.DeviceID,
+			Reason:   "home verification failed: " + m.Reason,
+		})
+		return
+	}
+	a.admit(m.DeviceID, protocol.MemberTemporary, pend.master)
+}
+
+// onForwardReport receives a roaming home device's data collected elsewhere.
+func (a *Aggregator) onForwardReport(m protocol.ForwardReport) {
+	mem, ok := a.members[m.DeviceID]
+	if !ok || mem.Kind != protocol.MemberMaster {
+		return
+	}
+	// Forwarded data is stored and billed at home but must not enter the
+	// local feeder verification window: the device draws from the
+	// foreign feeder, so only record it.
+	n := 0
+	for _, meas := range m.Measurements {
+		if meas.Seq <= mem.LastSeq {
+			continue // duplicate forward
+		}
+		rec := blockchain.Record{
+			DeviceID:       m.DeviceID,
+			Seq:            meas.Seq,
+			HomeAggregator: a.cfg.ID,
+			ReportedVia:    m.Via,
+			Timestamp:      meas.Timestamp,
+			Interval:       meas.Interval,
+			Current:        meas.Current,
+			Voltage:        meas.Voltage,
+			Energy:         meas.Energy,
+			Buffered:       meas.Buffered,
+		}
+		a.pendingRecords = append(a.pendingRecords, rec)
+		n++
+		if a.cfg.Registry != nil {
+			s := a.cfg.Registry.Series(a.cfg.ID+".device."+m.DeviceID+".ma", 100000)
+			s.Append(a.cfg.Env.Now(), meas.Current.Milliamps())
+		}
+	}
+	if mem.LastSeq < lastSeqOf(m.Measurements) {
+		mem.LastSeq = lastSeqOf(m.Measurements)
+	}
+	a.reportsAccepted += uint64(n)
+}
+
+func lastSeqOf(ms []protocol.Measurement) uint64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	return ms[len(ms)-1].Seq
+}
+
+// onTransfer moves a master membership to a new home (sequence 3).
+func (a *Aggregator) onTransfer(m protocol.TransferMembership) {
+	if m.NewMasterAddr == a.cfg.ID {
+		if _, ok := a.members[m.DeviceID]; !ok {
+			a.admit(m.DeviceID, protocol.MemberMaster, a.cfg.ID)
+		}
+		return
+	}
+	// We are the old home: drop the membership and update the directory.
+	a.removeMembership(m.DeviceID)
+	_ = a.cfg.Mesh.TransferHome(m.DeviceID, m.NewMasterAddr)
+	_ = a.cfg.Mesh.Send(a.cfg.ID, m.NewMasterAddr, m)
+}
+
+// RemoveDevice deletes a device's membership entirely (loss / reset /
+// transfer-of-ownership) and tells the mesh.
+func (a *Aggregator) RemoveDevice(deviceID string) {
+	a.removeMembership(deviceID)
+	a.cfg.Mesh.RemoveHome(deviceID)
+}
+
+func (a *Aggregator) removeMembership(deviceID string) {
+	if _, ok := a.members[deviceID]; !ok {
+		return
+	}
+	_ = a.sched.Release(deviceID)
+	delete(a.members, deviceID)
+	delete(a.windowReports, deviceID)
+	if a.cfg.Registry != nil {
+		a.cfg.Registry.Gauge(a.cfg.ID + ".members").Set(float64(len(a.members)))
+	}
+}
+
+// ReleaseTemporary discards a temporary membership ("If the device moves
+// out of Network 2, the temporary membership is immediately discarded").
+func (a *Aggregator) ReleaseTemporary(deviceID string) {
+	if mem, ok := a.members[deviceID]; ok && mem.Kind == protocol.MemberTemporary {
+		a.removeMembership(deviceID)
+	}
+}
+
+// --- window + chain -----------------------------------------------------------------
+
+// sampleGround reads the feeder-head meter once per Tmeasure.
+func (a *Aggregator) sampleGround() {
+	r, err := a.cfg.HeadMeter.Read()
+	if err != nil || r.Overflow {
+		return
+	}
+	a.groundSamples = append(a.groundSamples, r.Current)
+	if a.cfg.Registry != nil {
+		s := a.cfg.Registry.Series(a.cfg.ID+".ground.ma", 100000)
+		s.Append(a.cfg.Env.Now(), r.Current.Milliamps())
+	}
+}
+
+// closeWindow runs the complementary-measurement verification and seals a
+// block from the accumulated records.
+func (a *Aggregator) closeWindow() {
+	w := WindowReport{Start: a.windowStart, PerDevice: make(map[string]units.Current)}
+	a.windowStart = a.cfg.Env.Now()
+
+	w.Ground = meanCurrent(a.groundSamples)
+	a.groundSamples = a.groundSamples[:0]
+
+	expected := make(map[string]units.Current, len(a.windowReports))
+	for dev, samples := range a.windowReports {
+		mean := meanCurrent(samples)
+		w.PerDevice[dev] = mean
+		w.Reported += mean
+		if base, ok := a.baselines[dev]; ok {
+			expected[dev] = base.Mean()
+		}
+	}
+	for dev := range a.windowReports {
+		delete(a.windowReports, dev)
+	}
+
+	if len(w.PerDevice) > 0 || w.Ground > 0 {
+		w.Verdict = anomaly.SumCheck(a.cfg.SumCheck, w.Ground, w.Reported)
+		if !w.Verdict.OK {
+			if id, _, err := anomaly.IdentifyCulprit(expected, w.PerDevice); err == nil {
+				w.Culprit = id
+			}
+		}
+		a.windows = append(a.windows, w)
+		if a.cfg.Registry != nil {
+			a.cfg.Registry.Series(a.cfg.ID+".window.ground_ma", 100000).Append(a.cfg.Env.Now(), w.Ground.Milliamps())
+			a.cfg.Registry.Series(a.cfg.ID+".window.reported_ma", 100000).Append(a.cfg.Env.Now(), w.Reported.Milliamps())
+			if !w.Verdict.OK {
+				a.cfg.Registry.Counter(a.cfg.ID + ".anomalies").Inc()
+			}
+		}
+	}
+
+	// Seal the pending records ("Update Blockchain" in Fig. 3).
+	if len(a.pendingRecords) > 0 {
+		if _, err := a.cfg.Chain.Seal(a.cfg.Signer, a.cfg.WallClock(), a.pendingRecords); err == nil {
+			a.blocksSealed++
+			a.pendingRecords = a.pendingRecords[:0]
+			if a.cfg.Registry != nil {
+				a.cfg.Registry.Counter(a.cfg.ID + ".blocks").Inc()
+			}
+		}
+	}
+}
+
+func meanCurrent(samples []units.Current) units.Current {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, s := range samples {
+		sum += int64(s)
+	}
+	return units.Current(sum / int64(len(samples)))
+}

@@ -1,0 +1,330 @@
+// Package anomaly implements the aggregator-side verification of the
+// paper: "The aggregator uses an additional system-level complementary
+// measurement (sum, average, etc.) along with the measurements of all the
+// devices in the network to detect anomalies in the reported value."
+//
+// The primary detector is the sum check against the aggregator's own
+// feeder-head measurement (the ground truth), with a tolerance band that
+// accounts for the legitimate gap the paper observes in Fig. 5 (ohmic
+// losses + sensor offset, 0.9-8.2%). The package also provides per-device
+// statistical detectors (EWMA deviation, CUSUM drift, entropy-share) drawn
+// from the tampering-detection literature the paper cites, and a
+// leave-one-out culprit identifier addressing the paper's future-work item
+// of pinpointing "an anomalous device that reports data different from its
+// actual consumption".
+package anomaly
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"decentmeter/internal/units"
+)
+
+// Verdict is the outcome of a window check.
+type Verdict struct {
+	// OK is true when the window is consistent.
+	OK bool
+	// Reason describes the violation.
+	Reason string
+	// GapFraction is (ground - reported) / ground; the legitimate band
+	// in the paper's testbed is roughly +0.009..+0.082.
+	GapFraction float64
+}
+
+// SumCheckConfig parameterizes the complementary-measurement check.
+type SumCheckConfig struct {
+	// MaxGapFraction is the largest believable positive gap: ground
+	// truth above the report sum (losses + offsets). Paper band tops out
+	// at 8.2%; default 0.12 leaves margin for load spikes.
+	MaxGapFraction float64
+	// MaxNegativeGapFraction is how far the report sum may exceed the
+	// ground truth before it is physically implausible (device sensors
+	// cannot see more energy than the feeder sourced). Default 0.01.
+	MaxNegativeGapFraction float64
+	// AbsoluteSlack ignores gaps below this magnitude, covering the
+	// sensor offset floor on nearly idle networks. Default 2 mA.
+	AbsoluteSlack units.Current
+}
+
+// DefaultSumCheck returns the testbed-calibrated configuration.
+func DefaultSumCheck() SumCheckConfig {
+	return SumCheckConfig{
+		MaxGapFraction:         0.12,
+		MaxNegativeGapFraction: 0.01,
+		AbsoluteSlack:          2 * units.Milliampere,
+	}
+}
+
+// SumCheck compares the aggregator's own measurement against the sum of
+// device-reported currents for the same window.
+func SumCheck(cfg SumCheckConfig, ground units.Current, reported units.Current) Verdict {
+	gap := ground - reported
+	if gap.Abs() <= cfg.AbsoluteSlack {
+		return Verdict{OK: true, GapFraction: frac(gap, ground)}
+	}
+	gf := frac(gap, ground)
+	if gap < 0 {
+		if -gf > cfg.MaxNegativeGapFraction {
+			return Verdict{
+				OK:          false,
+				Reason:      fmt.Sprintf("reported sum %v exceeds ground truth %v", reported, ground),
+				GapFraction: gf,
+			}
+		}
+		return Verdict{OK: true, GapFraction: gf}
+	}
+	if gf > cfg.MaxGapFraction {
+		return Verdict{
+			OK:          false,
+			Reason:      fmt.Sprintf("under-reporting: gap %.1f%% above tolerance", gf*100),
+			GapFraction: gf,
+		}
+	}
+	return Verdict{OK: true, GapFraction: gf}
+}
+
+func frac(gap, ground units.Current) float64 {
+	if ground == 0 {
+		if gap == 0 {
+			return 0
+		}
+		if gap < 0 {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	}
+	return float64(gap) / float64(ground)
+}
+
+// --- EWMA deviation detector --------------------------------------------------
+
+// Deviation flags per-device readings that sit many standard deviations
+// from the device's own exponentially weighted history — the "relative
+// variation in metering data combined with historical consumption data"
+// approach of the paper's reference [8].
+type Deviation struct {
+	// Alpha is the EWMA weight of new observations (0 < Alpha <= 1).
+	Alpha float64
+	// K is the sigma multiplier that defines the alarm band.
+	K float64
+	// Warmup is the number of observations before alarms arm.
+	Warmup int
+
+	n        int
+	mean     float64
+	variance float64
+}
+
+// NewDeviation creates a detector (alpha 0.1, k 6, warmup 20 by default
+// when zero values are given).
+func NewDeviation(alpha, k float64, warmup int) *Deviation {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.1
+	}
+	if k <= 0 {
+		k = 6
+	}
+	if warmup <= 0 {
+		warmup = 20
+	}
+	return &Deviation{Alpha: alpha, K: k, Warmup: warmup}
+}
+
+// Observe feeds one reading and reports whether it is anomalous.
+func (d *Deviation) Observe(c units.Current) bool {
+	x := float64(c)
+	d.n++
+	if d.n == 1 {
+		d.mean = x
+		d.variance = 0
+		return false
+	}
+	dev := x - d.mean
+	anomalous := false
+	if d.n > d.Warmup {
+		sd := math.Sqrt(d.variance)
+		if sd > 0 && math.Abs(dev) > d.K*sd {
+			anomalous = true
+		}
+	}
+	// Robustify: anomalous samples update the model with reduced weight
+	// so a burst cannot drag the baseline to itself instantly.
+	a := d.Alpha
+	if anomalous {
+		a = d.Alpha / 10
+	}
+	d.mean += a * dev
+	d.variance = (1 - a) * (d.variance + a*dev*dev)
+	return anomalous
+}
+
+// Mean returns the current baseline estimate.
+func (d *Deviation) Mean() units.Current { return units.Current(math.Round(d.mean)) }
+
+// --- CUSUM drift detector -----------------------------------------------------
+
+// CUSUM detects slow persistent shifts (a meter trimmed to under-report by
+// a few percent forever — invisible to sigma bands, fatal to billing).
+type CUSUM struct {
+	// Target is the expected value; set after calibration.
+	Target float64
+	// Slack is the per-step allowance (in target units).
+	Slack float64
+	// Threshold triggers the alarm when a cumulative sum exceeds it.
+	Threshold float64
+
+	posSum, negSum float64
+}
+
+// NewCUSUM creates a detector around target with slack and threshold
+// expressed as fractions of the target (e.g. 0.01 and 0.2).
+func NewCUSUM(target units.Current, slackFrac, thresholdFrac float64) *CUSUM {
+	t := float64(target)
+	return &CUSUM{
+		Target:    t,
+		Slack:     slackFrac * t,
+		Threshold: thresholdFrac * t,
+	}
+}
+
+// Observe feeds one reading; returns +1 for upward drift alarm, -1 for
+// downward, 0 for none.
+func (c *CUSUM) Observe(v units.Current) int {
+	x := float64(v)
+	c.posSum = math.Max(0, c.posSum+x-c.Target-c.Slack)
+	c.negSum = math.Max(0, c.negSum+c.Target-x-c.Slack)
+	switch {
+	case c.posSum > c.Threshold:
+		c.posSum = 0
+		return 1
+	case c.negSum > c.Threshold:
+		c.negSum = 0
+		return -1
+	default:
+		return 0
+	}
+}
+
+// --- entropy share detector -----------------------------------------------------
+
+// EntropyShare computes the Shannon entropy of the per-device consumption
+// share distribution in a window. A device suddenly under-reporting skews
+// the distribution and drops its share; comparing window entropy against a
+// baseline catches coordinated manipulation that per-device detectors
+// miss (the approach of the paper's reference [8]).
+func EntropyShare(readings map[string]units.Current) float64 {
+	var total float64
+	for _, c := range readings {
+		if c > 0 {
+			total += float64(c)
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range readings {
+		if c <= 0 {
+			continue
+		}
+		p := float64(c) / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// ShareShift compares two windows' share distributions and returns the
+// device with the largest share drop and that drop's magnitude.
+func ShareShift(baseline, current map[string]units.Current) (string, float64) {
+	shares := func(m map[string]units.Current) map[string]float64 {
+		var total float64
+		for _, c := range m {
+			if c > 0 {
+				total += float64(c)
+			}
+		}
+		out := make(map[string]float64, len(m))
+		if total <= 0 {
+			return out
+		}
+		for id, c := range m {
+			if c > 0 {
+				out[id] = float64(c) / total
+			} else {
+				out[id] = 0
+			}
+		}
+		return out
+	}
+	base := shares(baseline)
+	cur := shares(current)
+	worstID, worstDrop := "", 0.0
+	ids := make([]string, 0, len(base))
+	for id := range base {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		drop := base[id] - cur[id]
+		if drop > worstDrop {
+			worstDrop = drop
+			worstID = id
+		}
+	}
+	return worstID, worstDrop
+}
+
+// --- culprit identification -----------------------------------------------------
+
+// ErrNoCulprit is returned when no device stands out.
+var ErrNoCulprit = errors.New("anomaly: no single culprit identified")
+
+// IdentifyCulprit attributes a sum-check violation to the device whose
+// report deviates most from its expected value, where expectations come
+// from per-device baselines (e.g. Deviation.Mean). It addresses the
+// paper's future-work "ground truth problem". The deficit must be mostly
+// explained by one device (dominance; >= 60% of the residual) to avoid
+// accusing an innocent device under distributed noise.
+func IdentifyCulprit(expected, reported map[string]units.Current) (string, units.Current, error) {
+	type gap struct {
+		id  string
+		gap units.Current
+	}
+	var gaps []gap
+	var totalDeficit units.Current
+	ids := make([]string, 0, len(expected))
+	for id := range expected {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rep, ok := reported[id]
+		if !ok {
+			// A silent device is its own (different) problem; treat
+			// missing reports as zero.
+			rep = 0
+		}
+		g := expected[id] - rep
+		if g > 0 {
+			gaps = append(gaps, gap{id, g})
+			totalDeficit += g
+		}
+	}
+	if totalDeficit <= 0 || len(gaps) == 0 {
+		return "", 0, ErrNoCulprit
+	}
+	sort.Slice(gaps, func(i, j int) bool {
+		if gaps[i].gap != gaps[j].gap {
+			return gaps[i].gap > gaps[j].gap
+		}
+		return gaps[i].id < gaps[j].id
+	})
+	top := gaps[0]
+	if float64(top.gap) < 0.6*float64(totalDeficit) {
+		return "", 0, ErrNoCulprit
+	}
+	return top.id, top.gap, nil
+}

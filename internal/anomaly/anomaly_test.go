@@ -1,0 +1,285 @@
+package anomaly
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"decentmeter/internal/units"
+)
+
+func TestSumCheckHonestWindow(t *testing.T) {
+	cfg := DefaultSumCheck()
+	// Paper's Fig. 5 regime: ground truth 0.9-8.2% above the report sum.
+	for _, gapPct := range []float64{0.9, 2.5, 5.0, 8.2} {
+		reported := 150 * units.Milliampere
+		ground := units.Current(float64(reported) / (1 - gapPct/100))
+		v := SumCheck(cfg, ground, reported)
+		if !v.OK {
+			t.Errorf("honest gap %.1f%% flagged: %s", gapPct, v.Reason)
+		}
+		if v.GapFraction < 0 {
+			t.Errorf("gap fraction sign: %v", v.GapFraction)
+		}
+	}
+}
+
+func TestSumCheckUnderReporting(t *testing.T) {
+	cfg := DefaultSumCheck()
+	ground := 200 * units.Milliampere
+	// A device hiding 20% of the network load.
+	reported := 160 * units.Milliampere
+	v := SumCheck(cfg, ground, reported)
+	if v.OK {
+		t.Fatal("20% under-reporting passed")
+	}
+	if v.GapFraction < 0.19 || v.GapFraction > 0.21 {
+		t.Fatalf("gap fraction = %v", v.GapFraction)
+	}
+}
+
+func TestSumCheckOverReporting(t *testing.T) {
+	cfg := DefaultSumCheck()
+	ground := 100 * units.Milliampere
+	reported := 120 * units.Milliampere // physically impossible
+	v := SumCheck(cfg, ground, reported)
+	if v.OK {
+		t.Fatal("over-reporting passed")
+	}
+}
+
+func TestSumCheckAbsoluteSlack(t *testing.T) {
+	cfg := DefaultSumCheck()
+	// Nearly idle network: 1 mA ground vs 0 reported is within the
+	// sensor offset floor.
+	v := SumCheck(cfg, units.Milliampere, 0)
+	if !v.OK {
+		t.Fatalf("offset-floor gap flagged: %s", v.Reason)
+	}
+}
+
+func TestSumCheckZeroGround(t *testing.T) {
+	cfg := DefaultSumCheck()
+	if v := SumCheck(cfg, 0, 0); !v.OK {
+		t.Fatal("all-zero window flagged")
+	}
+	// Reports with zero ground truth beyond slack: impossible.
+	if v := SumCheck(cfg, 0, 50*units.Milliampere); v.OK {
+		t.Fatal("phantom reports passed against zero ground truth")
+	}
+}
+
+func TestSumCheckMonotoneQuick(t *testing.T) {
+	// Property: for fixed ground truth, if a report sum r1 <= r2 <= ground
+	// and r2 passes, then r1 passing implies nothing, but if r1 passes
+	// with a larger gap, r2 (smaller gap) must also pass.
+	cfg := DefaultSumCheck()
+	f := func(g uint16, d1, d2 uint8) bool {
+		ground := units.Current(g)*units.Milliampere + 500*units.Milliampere
+		gap1 := units.Current(d1) * units.Milliampere
+		gap2 := units.Current(d2) * units.Milliampere
+		if gap2 > gap1 {
+			gap1, gap2 = gap2, gap1
+		}
+		v1 := SumCheck(cfg, ground, ground-gap1) // larger gap
+		v2 := SumCheck(cfg, ground, ground-gap2) // smaller gap
+		if v1.OK && !v2.OK {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviationDetectsSpike(t *testing.T) {
+	d := NewDeviation(0.1, 6, 20)
+	// Stable readings around 80 mA with small wobble.
+	base := 80 * units.Milliampere
+	for i := 0; i < 100; i++ {
+		wobble := units.Current((i % 5) * 100) // up to 0.5 mA
+		if d.Observe(base + wobble) {
+			t.Fatalf("false positive at %d", i)
+		}
+	}
+	// A 3x spike must alarm.
+	if !d.Observe(240 * units.Milliampere) {
+		t.Fatal("spike missed")
+	}
+	if mean := d.Mean(); mean < 70*units.Milliampere || mean > 90*units.Milliampere {
+		t.Fatalf("baseline dragged to %v by one spike", mean)
+	}
+}
+
+func TestDeviationWarmup(t *testing.T) {
+	d := NewDeviation(0.1, 6, 50)
+	// Erratic but within warmup: never alarms.
+	vals := []units.Current{10, 500, 3, 900, 77}
+	for i, v := range vals {
+		if d.Observe(v * units.Milliampere) {
+			t.Fatalf("alarm during warmup at %d", i)
+		}
+	}
+}
+
+func TestDeviationDefaultsApplied(t *testing.T) {
+	d := NewDeviation(0, 0, 0)
+	if d.Alpha != 0.1 || d.K != 6 || d.Warmup != 20 {
+		t.Fatalf("defaults: %+v", d)
+	}
+}
+
+func TestCUSUMDetectsSlowDrift(t *testing.T) {
+	target := 100 * units.Milliampere
+	c := NewCUSUM(target, 0.01, 0.5)
+	// 3% persistent under-report: each sigma-band detector would sleep
+	// through this.
+	alarmed := false
+	for i := 0; i < 100; i++ {
+		if c.Observe(97*units.Milliampere) == -1 {
+			alarmed = true
+			break
+		}
+	}
+	if !alarmed {
+		t.Fatal("3% persistent under-reporting missed")
+	}
+}
+
+func TestCUSUMQuietOnTarget(t *testing.T) {
+	c := NewCUSUM(100*units.Milliampere, 0.02, 0.5)
+	for i := 0; i < 1000; i++ {
+		// +/-1% alternating noise inside the slack.
+		v := 100 * units.Milliampere
+		if i%2 == 0 {
+			v += units.Milliampere
+		} else {
+			v -= units.Milliampere
+		}
+		if got := c.Observe(v); got != 0 {
+			t.Fatalf("false CUSUM alarm %d at step %d", got, i)
+		}
+	}
+}
+
+func TestCUSUMUpwardDrift(t *testing.T) {
+	c := NewCUSUM(100*units.Milliampere, 0.01, 0.3)
+	alarmed := false
+	for i := 0; i < 100; i++ {
+		if c.Observe(104*units.Milliampere) == 1 {
+			alarmed = true
+			break
+		}
+	}
+	if !alarmed {
+		t.Fatal("upward drift missed")
+	}
+}
+
+func TestEntropyShareUniformMaximal(t *testing.T) {
+	uniform := map[string]units.Current{
+		"a": 50 * units.Milliampere,
+		"b": 50 * units.Milliampere,
+		"c": 50 * units.Milliampere,
+		"d": 50 * units.Milliampere,
+	}
+	h := EntropyShare(uniform)
+	if math.Abs(h-2.0) > 1e-9 { // log2(4)
+		t.Fatalf("uniform entropy = %v, want 2", h)
+	}
+	skewed := map[string]units.Current{
+		"a": 197 * units.Milliampere,
+		"b": units.Milliampere,
+		"c": units.Milliampere,
+		"d": units.Milliampere,
+	}
+	if EntropyShare(skewed) >= h {
+		t.Fatal("skewed distribution not lower entropy")
+	}
+	if EntropyShare(nil) != 0 {
+		t.Fatal("empty window entropy != 0")
+	}
+	if EntropyShare(map[string]units.Current{"a": -5}) != 0 {
+		t.Fatal("negative-only window entropy != 0")
+	}
+}
+
+func TestShareShiftFindsTamperer(t *testing.T) {
+	baseline := map[string]units.Current{
+		"a": 80 * units.Milliampere,
+		"b": 80 * units.Milliampere,
+		"c": 40 * units.Milliampere,
+	}
+	// Device b starts reporting half.
+	current := map[string]units.Current{
+		"a": 80 * units.Milliampere,
+		"b": 40 * units.Milliampere,
+		"c": 40 * units.Milliampere,
+	}
+	id, drop := ShareShift(baseline, current)
+	if id != "b" {
+		t.Fatalf("ShareShift fingered %q", id)
+	}
+	if drop <= 0.05 {
+		t.Fatalf("drop = %v", drop)
+	}
+}
+
+func TestIdentifyCulprit(t *testing.T) {
+	expected := map[string]units.Current{
+		"a": 80 * units.Milliampere,
+		"b": 80 * units.Milliampere,
+		"c": 40 * units.Milliampere,
+	}
+	reported := map[string]units.Current{
+		"a": 79 * units.Milliampere, // noise
+		"b": 40 * units.Milliampere, // halving its report
+		"c": 40 * units.Milliampere,
+	}
+	id, gap, err := IdentifyCulprit(expected, reported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "b" {
+		t.Fatalf("culprit = %q", id)
+	}
+	if gap != 40*units.Milliampere {
+		t.Fatalf("gap = %v", gap)
+	}
+}
+
+func TestIdentifyCulpritSilentDevice(t *testing.T) {
+	expected := map[string]units.Current{"a": 50 * units.Milliampere, "b": 80 * units.Milliampere}
+	reported := map[string]units.Current{"a": 50 * units.Milliampere}
+	id, gap, err := IdentifyCulprit(expected, reported)
+	if err != nil || id != "b" || gap != 80*units.Milliampere {
+		t.Fatalf("silent device: %q %v %v", id, gap, err)
+	}
+}
+
+func TestIdentifyCulpritNoDominance(t *testing.T) {
+	// Everyone 10% low (systematic, e.g. voltage sag): no single culprit.
+	expected := map[string]units.Current{
+		"a": 100 * units.Milliampere,
+		"b": 100 * units.Milliampere,
+		"c": 100 * units.Milliampere,
+	}
+	reported := map[string]units.Current{
+		"a": 90 * units.Milliampere,
+		"b": 90 * units.Milliampere,
+		"c": 90 * units.Milliampere,
+	}
+	if _, _, err := IdentifyCulprit(expected, reported); !errors.Is(err, ErrNoCulprit) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIdentifyCulpritCleanWindow(t *testing.T) {
+	expected := map[string]units.Current{"a": 100 * units.Milliampere}
+	reported := map[string]units.Current{"a": 100 * units.Milliampere}
+	if _, _, err := IdentifyCulprit(expected, reported); !errors.Is(err, ErrNoCulprit) {
+		t.Fatalf("err = %v", err)
+	}
+}

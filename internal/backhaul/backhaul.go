@@ -1,0 +1,189 @@
+// Package backhaul models the inter-aggregator mesh of the paper: "The
+// aggregators are interconnected through a mesh/cloud network to exchange
+// consumption data of the devices connected to them", with the evaluated
+// property that "the data communication between aggregators does not incur
+// much delay (1 millisecond) as the backhaul network is assumed to have
+// high bandwidth".
+//
+// The mesh also hosts the device directory (device -> home aggregator)
+// that foreign aggregators consult while verifying roaming devices.
+package backhaul
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"decentmeter/internal/protocol"
+	"decentmeter/internal/sim"
+)
+
+// DefaultLatency is the paper's measured aggregator-to-aggregator delay.
+const DefaultLatency = time.Millisecond
+
+// Errors.
+var (
+	ErrUnknownNode   = errors.New("backhaul: unknown aggregator")
+	ErrNodeDown      = errors.New("backhaul: aggregator down")
+	ErrAlreadyJoined = errors.New("backhaul: aggregator already joined")
+)
+
+// Handler receives a delivered message.
+type Handler func(from string, msg protocol.Message)
+
+// node is one mesh participant.
+type node struct {
+	handler Handler
+	down    bool
+}
+
+// Mesh is the aggregator interconnect. Single-threaded on the DES.
+type Mesh struct {
+	env     *sim.Env
+	latency time.Duration
+	// LossProb drops each unicast with this probability (failure
+	// injection; default 0).
+	LossProb float64
+
+	nodes     map[string]*node
+	homes     map[string]string // deviceID -> home aggregator
+	rng       *sim.RNG
+	delivered uint64
+	dropped   uint64
+}
+
+// NewMesh creates a mesh over env with per-hop latency (DefaultLatency if
+// zero).
+func NewMesh(env *sim.Env, latency time.Duration) *Mesh {
+	if env == nil {
+		panic("backhaul: nil env")
+	}
+	if latency <= 0 {
+		latency = DefaultLatency
+	}
+	return &Mesh{
+		env:     env,
+		latency: latency,
+		nodes:   make(map[string]*node),
+		homes:   make(map[string]string),
+		rng:     env.RNG().Fork(),
+	}
+}
+
+// Latency returns the configured per-hop delay.
+func (m *Mesh) Latency() time.Duration { return m.latency }
+
+// Join registers an aggregator with its message handler.
+func (m *Mesh) Join(id string, h Handler) error {
+	if id == "" || h == nil {
+		return errors.New("backhaul: Join requires id and handler")
+	}
+	if _, ok := m.nodes[id]; ok {
+		return fmt.Errorf("%w: %s", ErrAlreadyJoined, id)
+	}
+	m.nodes[id] = &node{handler: h}
+	return nil
+}
+
+// SetDown marks an aggregator as failed (true) or recovered (false);
+// messages to a failed aggregator are dropped, modelling a crash.
+func (m *Mesh) SetDown(id string, down bool) error {
+	n, ok := m.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	n.down = down
+	return nil
+}
+
+// Nodes returns the sorted member IDs.
+func (m *Mesh) Nodes() []string {
+	ids := make([]string, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Send schedules delivery of msg from -> to after the mesh latency.
+// Unknown destinations error immediately; messages to down nodes or lost
+// to injected faults are silently dropped (the sender sees a timeout, as
+// on a real network).
+func (m *Mesh) Send(from, to string, msg protocol.Message) error {
+	n, ok := m.nodes[to]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	if m.LossProb > 0 && m.rng.Bool(m.LossProb) {
+		m.dropped++
+		return nil
+	}
+	m.env.Schedule(m.latency, func() {
+		if n.down {
+			m.dropped++
+			return
+		}
+		m.delivered++
+		n.handler(from, msg)
+	})
+	return nil
+}
+
+// Broadcast sends msg to every member except the sender.
+func (m *Mesh) Broadcast(from string, msg protocol.Message) {
+	for _, id := range m.Nodes() {
+		if id == from {
+			continue
+		}
+		_ = m.Send(from, id, msg)
+	}
+}
+
+// Delivered returns the count of delivered messages.
+func (m *Mesh) Delivered() uint64 { return m.delivered }
+
+// Dropped returns the count of dropped messages (down nodes + loss).
+func (m *Mesh) Dropped() uint64 { return m.dropped }
+
+// --- device directory ---------------------------------------------------------
+
+// RegisterHome records deviceID's home aggregator. Re-registration with the
+// same home is idempotent; changing homes goes through TransferHome.
+func (m *Mesh) RegisterHome(deviceID, aggregatorID string) error {
+	if deviceID == "" || aggregatorID == "" {
+		return errors.New("backhaul: RegisterHome requires device and aggregator")
+	}
+	if _, ok := m.nodes[aggregatorID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, aggregatorID)
+	}
+	if cur, ok := m.homes[deviceID]; ok && cur != aggregatorID {
+		return fmt.Errorf("backhaul: device %s already homed at %s", deviceID, cur)
+	}
+	m.homes[deviceID] = aggregatorID
+	return nil
+}
+
+// TransferHome moves a device's home (sequence 3 of Fig. 3).
+func (m *Mesh) TransferHome(deviceID, newAggregatorID string) error {
+	if _, ok := m.homes[deviceID]; !ok {
+		return fmt.Errorf("backhaul: device %s has no home", deviceID)
+	}
+	if _, ok := m.nodes[newAggregatorID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, newAggregatorID)
+	}
+	m.homes[deviceID] = newAggregatorID
+	return nil
+}
+
+// RemoveHome deletes a device from the directory.
+func (m *Mesh) RemoveHome(deviceID string) {
+	delete(m.homes, deviceID)
+}
+
+// HomeOf returns the registered home aggregator of a device.
+func (m *Mesh) HomeOf(deviceID string) (string, bool) {
+	h, ok := m.homes[deviceID]
+	return h, ok
+}

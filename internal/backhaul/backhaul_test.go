@@ -1,0 +1,220 @@
+package backhaul
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"decentmeter/internal/protocol"
+	"decentmeter/internal/sim"
+)
+
+func TestSendDeliversWithLatency(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := NewMesh(env, 0) // default 1ms
+	var gotFrom string
+	var gotMsg protocol.Message
+	var at sim.Time
+	if err := m.Join("agg1", func(string, protocol.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Join("agg2", func(from string, msg protocol.Message) {
+		gotFrom, gotMsg, at = from, msg, env.Now()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := protocol.VerifyRequest{DeviceID: "scooter", Requester: "agg2"}
+	if err := m.Send("agg1", "agg2", want); err != nil {
+		t.Fatal(err)
+	}
+	env.Run()
+	if gotFrom != "agg1" {
+		t.Fatalf("from = %q", gotFrom)
+	}
+	if v, ok := gotMsg.(protocol.VerifyRequest); !ok || v.DeviceID != "scooter" {
+		t.Fatalf("msg = %#v", gotMsg)
+	}
+	if at != time.Millisecond {
+		t.Fatalf("delivered at %v, want 1ms (the paper's backhaul delay)", at)
+	}
+	if m.Delivered() != 1 {
+		t.Fatalf("Delivered = %d", m.Delivered())
+	}
+}
+
+func TestSendUnknownNode(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := NewMesh(env, time.Millisecond)
+	if err := m.Send("a", "ghost", protocol.RemoveDevice{}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := NewMesh(env, time.Millisecond)
+	if err := m.Join("", func(string, protocol.Message) {}); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if err := m.Join("a", nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	if err := m.Join("a", func(string, protocol.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Join("a", func(string, protocol.Message) {}); !errors.Is(err, ErrAlreadyJoined) {
+		t.Fatalf("dup join err = %v", err)
+	}
+}
+
+func TestDownNodeDropsMessages(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := NewMesh(env, time.Millisecond)
+	hits := 0
+	m.Join("a", func(string, protocol.Message) {})
+	m.Join("b", func(string, protocol.Message) { hits++ })
+	if err := m.SetDown("b", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Send("a", "b", protocol.RemoveDevice{DeviceID: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	env.Run()
+	if hits != 0 {
+		t.Fatal("down node received a message")
+	}
+	if m.Dropped() != 1 {
+		t.Fatalf("Dropped = %d", m.Dropped())
+	}
+	// Recovery restores delivery.
+	if err := m.SetDown("b", false); err != nil {
+		t.Fatal(err)
+	}
+	m.Send("a", "b", protocol.RemoveDevice{DeviceID: "d"})
+	env.Run()
+	if hits != 1 {
+		t.Fatal("recovered node did not receive")
+	}
+	if err := m.SetDown("ghost", true); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("SetDown ghost err = %v", err)
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	env := sim.NewEnv(7)
+	m := NewMesh(env, time.Millisecond)
+	hits := 0
+	m.Join("a", func(string, protocol.Message) {})
+	m.Join("b", func(string, protocol.Message) { hits++ })
+	m.LossProb = 0.5
+	const n = 1000
+	for i := 0; i < n; i++ {
+		m.Send("a", "b", protocol.ReportAck{Seq: uint64(i)})
+	}
+	env.Run()
+	if hits < 400 || hits > 600 {
+		t.Fatalf("with 50%% loss, delivered %d of %d", hits, n)
+	}
+	if m.Dropped()+uint64(hits) != n {
+		t.Fatalf("dropped(%d)+delivered(%d) != %d", m.Dropped(), hits, n)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := NewMesh(env, time.Millisecond)
+	got := map[string]int{}
+	for _, id := range []string{"a", "b", "c"} {
+		id := id
+		m.Join(id, func(string, protocol.Message) { got[id]++ })
+	}
+	m.Broadcast("a", protocol.TransferMembership{DeviceID: "d", NewMasterAddr: "b"})
+	env.Run()
+	if got["a"] != 0 || got["b"] != 1 || got["c"] != 1 {
+		t.Fatalf("broadcast delivery: %v", got)
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := NewMesh(env, time.Millisecond)
+	for _, id := range []string{"zeta", "alpha"} {
+		m.Join(id, func(string, protocol.Message) {})
+	}
+	ns := m.Nodes()
+	if len(ns) != 2 || ns[0] != "alpha" || ns[1] != "zeta" {
+		t.Fatalf("Nodes = %v", ns)
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := NewMesh(env, time.Millisecond)
+	m.Join("agg1", func(string, protocol.Message) {})
+	m.Join("agg2", func(string, protocol.Message) {})
+	if err := m.RegisterHome("scooter", "agg1"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-registration.
+	if err := m.RegisterHome("scooter", "agg1"); err != nil {
+		t.Fatal(err)
+	}
+	// Conflicting home requires a transfer.
+	if err := m.RegisterHome("scooter", "agg2"); err == nil {
+		t.Fatal("conflicting home accepted")
+	}
+	if h, ok := m.HomeOf("scooter"); !ok || h != "agg1" {
+		t.Fatalf("HomeOf = %q, %v", h, ok)
+	}
+	if err := m.TransferHome("scooter", "agg2"); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := m.HomeOf("scooter"); h != "agg2" {
+		t.Fatalf("after transfer HomeOf = %q", h)
+	}
+	if err := m.TransferHome("ghost", "agg1"); err == nil {
+		t.Fatal("transfer of unknown device accepted")
+	}
+	if err := m.TransferHome("scooter", "ghost"); err == nil {
+		t.Fatal("transfer to unknown aggregator accepted")
+	}
+	m.RemoveHome("scooter")
+	if _, ok := m.HomeOf("scooter"); ok {
+		t.Fatal("device still homed after removal")
+	}
+	if err := m.RegisterHome("d", "ghost"); err == nil {
+		t.Fatal("home at unknown aggregator accepted")
+	}
+	if err := m.RegisterHome("", "agg1"); err == nil {
+		t.Fatal("empty device accepted")
+	}
+}
+
+func TestRoundTripVerifySequence(t *testing.T) {
+	// Emulate Fig. 3 sequence 2's backhaul leg: agg2 asks agg1 to verify
+	// a device; the reply arrives 2 hops = 2ms later.
+	env := sim.NewEnv(1)
+	m := NewMesh(env, time.Millisecond)
+	m.Join("agg1", func(from string, msg protocol.Message) {
+		if v, ok := msg.(protocol.VerifyRequest); ok {
+			m.Send("agg1", from, protocol.VerifyResponse{DeviceID: v.DeviceID, OK: true})
+		}
+	})
+	var okAt sim.Time
+	verified := false
+	m.Join("agg2", func(from string, msg protocol.Message) {
+		if v, ok := msg.(protocol.VerifyResponse); ok && v.OK {
+			verified = true
+			okAt = env.Now()
+		}
+	})
+	m.RegisterHome("scooter", "agg1")
+	m.Send("agg2", "agg1", protocol.VerifyRequest{DeviceID: "scooter", Requester: "agg2"})
+	env.Run()
+	if !verified {
+		t.Fatal("verification round trip failed")
+	}
+	if okAt != 2*time.Millisecond {
+		t.Fatalf("verify RTT = %v, want 2ms", okAt)
+	}
+}

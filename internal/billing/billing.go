@@ -1,0 +1,281 @@
+// Package billing implements the application-layer service the paper's
+// architecture exists for: "location-independent per-device billing".
+// Verified records flow from the blockchain into per-device accounts at
+// the device's home network; consumption collected by foreign aggregators
+// while roaming is billed by the home network ("the home network can
+// continue billing the device for its consumption in the external
+// network") and settled between aggregators.
+//
+// Money is represented in integer micro-cents: billing arithmetic must be
+// exact and associative.
+package billing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"decentmeter/internal/blockchain"
+	"decentmeter/internal/units"
+)
+
+// Money is an amount in micro-cents (1e-6 of a cent).
+type Money int64
+
+// Money scales.
+const (
+	MicroCent Money = 1
+	Cent      Money = 1_000_000 * MicroCent
+	Dollar    Money = 100 * Cent
+)
+
+// Cents returns the amount in cents as a float.
+func (m Money) Cents() float64 { return float64(m) / float64(Cent) }
+
+// String renders dollars with 4 decimal places.
+func (m Money) String() string {
+	return fmt.Sprintf("$%.4f", float64(m)/float64(Dollar))
+}
+
+// Tariff prices energy at a point in time.
+type Tariff interface {
+	// Rate returns the price per kWh at time t.
+	Rate(t time.Time) Money
+}
+
+// FlatTariff charges one rate around the clock.
+type FlatTariff struct {
+	// PerKWh is the flat price.
+	PerKWh Money
+}
+
+// Rate implements Tariff.
+func (f FlatTariff) Rate(time.Time) Money { return f.PerKWh }
+
+// TOUWindow is one time-of-use band.
+type TOUWindow struct {
+	// StartHour and EndHour bound the window [Start, End) in local
+	// hours; Start > End wraps midnight.
+	StartHour, EndHour int
+	PerKWh             Money
+}
+
+// TOUTariff prices by time of day, falling back to Base outside windows.
+type TOUTariff struct {
+	Base    Money
+	Windows []TOUWindow
+}
+
+// Rate implements Tariff.
+func (t TOUTariff) Rate(at time.Time) Money {
+	h := at.Hour()
+	for _, w := range t.Windows {
+		if w.StartHour <= w.EndHour {
+			if h >= w.StartHour && h < w.EndHour {
+				return w.PerKWh
+			}
+		} else { // wraps midnight
+			if h >= w.StartHour || h < w.EndHour {
+				return w.PerKWh
+			}
+		}
+	}
+	return t.Base
+}
+
+// Charge prices an energy amount at the tariff's rate for time t.
+// The computation stays in integers: microcents-per-kWh times
+// microwatt-hours, divided by 1e9 uWh/kWh.
+func Charge(tr Tariff, e units.Energy, t time.Time) Money {
+	if e <= 0 {
+		return 0
+	}
+	rate := tr.Rate(t)
+	// rate [ucent/kWh] * e [uWh] / 1e9 [uWh/kWh] = ucents.
+	return Money(int64(rate) * int64(e) / 1_000_000_000)
+}
+
+// LineItem is one billed interval.
+type LineItem struct {
+	Timestamp time.Time
+	Energy    units.Energy
+	Amount    Money
+	// Via is the collecting aggregator ("" or home = local; otherwise a
+	// roaming cost centre).
+	Via string
+	// Buffered marks store-and-forward records.
+	Buffered bool
+}
+
+// Account accumulates one device's bill at its home network.
+type Account struct {
+	DeviceID string
+	Home     string
+	Items    []LineItem
+
+	totalEnergy units.Energy
+	totalAmount Money
+	lastSeq     uint64
+	seenAny     bool
+}
+
+// TotalEnergy returns the billed energy.
+func (a *Account) TotalEnergy() units.Energy { return a.totalEnergy }
+
+// TotalAmount returns the billed amount.
+func (a *Account) TotalAmount() Money { return a.totalAmount }
+
+// Ledger bills every device of one home network.
+type Ledger struct {
+	home     string
+	tariff   Tariff
+	accounts map[string]*Account
+	// settlements accrues what this network owes each foreign network
+	// for collection services (a per-record fee), keyed by aggregator.
+	settlements map[string]Money
+	// CollectionFee is the per-record fee credited to foreign
+	// collectors; default zero.
+	CollectionFee Money
+}
+
+// NewLedger creates a ledger for a home network under a tariff.
+func NewLedger(home string, tariff Tariff) *Ledger {
+	if tariff == nil {
+		tariff = FlatTariff{PerKWh: 25 * Cent}
+	}
+	return &Ledger{
+		home:        home,
+		tariff:      tariff,
+		accounts:    make(map[string]*Account),
+		settlements: make(map[string]Money),
+	}
+}
+
+// Home returns the ledger's network.
+func (l *Ledger) Home() string { return l.home }
+
+// ErrDuplicateRecord flags a replayed (device, seq) pair.
+var ErrDuplicateRecord = errors.New("billing: duplicate record")
+
+// Post bills one verified record. Records must arrive in per-device seq
+// order (the chain preserves it); duplicates are rejected so replays
+// cannot double-bill.
+func (l *Ledger) Post(r blockchain.Record) error {
+	if r.HomeAggregator != l.home {
+		return fmt.Errorf("billing: record for %s posted to ledger %s", r.HomeAggregator, l.home)
+	}
+	acct, ok := l.accounts[r.DeviceID]
+	if !ok {
+		acct = &Account{DeviceID: r.DeviceID, Home: l.home}
+		l.accounts[r.DeviceID] = acct
+	}
+	if acct.seenAny && r.Seq <= acct.lastSeq {
+		return fmt.Errorf("%w: %s seq %d (last %d)", ErrDuplicateRecord, r.DeviceID, r.Seq, acct.lastSeq)
+	}
+	amount := Charge(l.tariff, r.Energy, r.Timestamp)
+	item := LineItem{
+		Timestamp: r.Timestamp,
+		Energy:    r.Energy,
+		Amount:    amount,
+		Buffered:  r.Buffered,
+	}
+	if r.ReportedVia != "" && r.ReportedVia != l.home {
+		item.Via = r.ReportedVia
+		l.settlements[r.ReportedVia] += l.CollectionFee
+	}
+	acct.Items = append(acct.Items, item)
+	acct.totalEnergy += r.Energy
+	acct.totalAmount += amount
+	acct.lastSeq = r.Seq
+	acct.seenAny = true
+	return nil
+}
+
+// PostChain bills every record in a chain that belongs to this home,
+// returning how many were posted. Duplicate records are skipped (idempotent
+// re-posting of a re-read chain).
+func (l *Ledger) PostChain(c *blockchain.Chain) (int, error) {
+	posted := 0
+	for i := 0; i < c.Length(); i++ {
+		b, err := c.Block(i)
+		if err != nil {
+			return posted, err
+		}
+		for _, r := range b.Records {
+			if r.HomeAggregator != l.home {
+				continue
+			}
+			err := l.Post(r)
+			switch {
+			case err == nil:
+				posted++
+			case errors.Is(err, ErrDuplicateRecord):
+				// idempotent
+			default:
+				return posted, err
+			}
+		}
+	}
+	return posted, nil
+}
+
+// Account returns the account for a device, if any.
+func (l *Ledger) Account(deviceID string) (*Account, bool) {
+	a, ok := l.accounts[deviceID]
+	return a, ok
+}
+
+// Devices returns the billed device IDs, sorted.
+func (l *Ledger) Devices() []string {
+	out := make([]string, 0, len(l.accounts))
+	for id := range l.accounts {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OwedTo returns the accrued settlement owed to a foreign aggregator.
+func (l *Ledger) OwedTo(aggregator string) Money { return l.settlements[aggregator] }
+
+// Invoice is a rendered bill for one device over a period.
+type Invoice struct {
+	DeviceID    string
+	Home        string
+	From, To    time.Time
+	Items       int
+	Energy      units.Energy
+	Amount      Money
+	RoamedItems int
+	// RoamedEnergy is the share collected by foreign aggregators.
+	RoamedEnergy units.Energy
+}
+
+// Invoice renders the bill for deviceID over [from, to).
+func (l *Ledger) Invoice(deviceID string, from, to time.Time) (Invoice, error) {
+	acct, ok := l.accounts[deviceID]
+	if !ok {
+		return Invoice{}, fmt.Errorf("billing: unknown device %s", deviceID)
+	}
+	inv := Invoice{DeviceID: deviceID, Home: l.home, From: from, To: to}
+	for _, item := range acct.Items {
+		if item.Timestamp.Before(from) || !item.Timestamp.Before(to) {
+			continue
+		}
+		inv.Items++
+		inv.Energy += item.Energy
+		inv.Amount += item.Amount
+		if item.Via != "" {
+			inv.RoamedItems++
+			inv.RoamedEnergy += item.Energy
+		}
+	}
+	return inv, nil
+}
+
+// String renders a one-line invoice summary.
+func (inv Invoice) String() string {
+	return fmt.Sprintf("%s@%s: %d items, %v (%v roamed), %v",
+		inv.DeviceID, inv.Home, inv.Items, inv.Energy, inv.RoamedEnergy, inv.Amount)
+}

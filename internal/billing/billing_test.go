@@ -1,0 +1,277 @@
+package billing
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"decentmeter/internal/blockchain"
+	"decentmeter/internal/units"
+)
+
+var t0 = time.Date(2020, 4, 29, 12, 0, 0, 0, time.UTC)
+
+func rec(dev string, seq uint64, e units.Energy) blockchain.Record {
+	return blockchain.Record{
+		DeviceID:       dev,
+		Seq:            seq,
+		HomeAggregator: "agg1",
+		ReportedVia:    "agg1",
+		Timestamp:      t0.Add(time.Duration(seq) * 100 * time.Millisecond),
+		Interval:       100 * time.Millisecond,
+		Energy:         e,
+	}
+}
+
+func TestChargeFlat(t *testing.T) {
+	tr := FlatTariff{PerKWh: 25 * Cent}
+	// 1 kWh at 25 cents.
+	if got := Charge(tr, units.KilowattHour, t0); got != 25*Cent {
+		t.Fatalf("1kWh charge = %v, want 25 cents", got)
+	}
+	// 1 Wh = 0.025 cents.
+	if got := Charge(tr, units.WattHour, t0); got != 25*Cent/1000 {
+		t.Fatalf("1Wh charge = %v", got)
+	}
+	if got := Charge(tr, 0, t0); got != 0 {
+		t.Fatalf("zero energy charge = %v", got)
+	}
+	if got := Charge(tr, -units.WattHour, t0); got != 0 {
+		t.Fatalf("negative energy charge = %v", got)
+	}
+}
+
+func TestTOUTariff(t *testing.T) {
+	tr := TOUTariff{
+		Base: 20 * Cent,
+		Windows: []TOUWindow{
+			{StartHour: 18, EndHour: 22, PerKWh: 40 * Cent}, // evening peak
+			{StartHour: 23, EndHour: 6, PerKWh: 10 * Cent},  // overnight, wraps
+		},
+	}
+	cases := []struct {
+		hour int
+		want Money
+	}{
+		{12, 20 * Cent},
+		{18, 40 * Cent},
+		{21, 40 * Cent},
+		{22, 20 * Cent},
+		{23, 10 * Cent},
+		{2, 10 * Cent},
+		{5, 10 * Cent},
+		{6, 20 * Cent},
+	}
+	for _, tc := range cases {
+		at := time.Date(2020, 4, 29, tc.hour, 30, 0, 0, time.UTC)
+		if got := tr.Rate(at); got != tc.want {
+			t.Errorf("rate at %02d:30 = %v, want %v", tc.hour, got, tc.want)
+		}
+	}
+}
+
+func TestLedgerPostAccumulates(t *testing.T) {
+	l := NewLedger("agg1", FlatTariff{PerKWh: 25 * Cent})
+	for i := uint64(1); i <= 10; i++ {
+		if err := l.Post(rec("d1", i, 100*units.MilliwattHour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acct, ok := l.Account("d1")
+	if !ok {
+		t.Fatal("no account")
+	}
+	if acct.TotalEnergy() != units.WattHour {
+		t.Fatalf("energy = %v, want 1Wh", acct.TotalEnergy())
+	}
+	// 1 Wh at 25 cents/kWh = 0.025 cents.
+	if acct.TotalAmount() != 25*Cent/1000 {
+		t.Fatalf("amount = %v", acct.TotalAmount())
+	}
+	if len(acct.Items) != 10 {
+		t.Fatalf("items = %d", len(acct.Items))
+	}
+}
+
+func TestLedgerRejectsReplay(t *testing.T) {
+	l := NewLedger("agg1", nil)
+	if err := l.Post(rec("d1", 5, units.WattHour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Post(rec("d1", 5, units.WattHour)); !errors.Is(err, ErrDuplicateRecord) {
+		t.Fatalf("replay err = %v", err)
+	}
+	if err := l.Post(rec("d1", 4, units.WattHour)); !errors.Is(err, ErrDuplicateRecord) {
+		t.Fatalf("regression err = %v", err)
+	}
+	acct, _ := l.Account("d1")
+	if acct.TotalEnergy() != units.WattHour {
+		t.Fatalf("replay changed balance: %v", acct.TotalEnergy())
+	}
+}
+
+func TestLedgerRejectsForeignRecords(t *testing.T) {
+	l := NewLedger("agg2", nil)
+	if err := l.Post(rec("d1", 1, units.WattHour)); err == nil {
+		t.Fatal("foreign record posted")
+	}
+}
+
+func TestRoamingSettlement(t *testing.T) {
+	l := NewLedger("agg1", FlatTariff{PerKWh: 25 * Cent})
+	l.CollectionFee = Cent / 100
+	r := rec("scooter", 1, units.WattHour)
+	r.ReportedVia = "agg2" // collected while roaming
+	if err := l.Post(r); err != nil {
+		t.Fatal(err)
+	}
+	if owed := l.OwedTo("agg2"); owed != Cent/100 {
+		t.Fatalf("owed = %v", owed)
+	}
+	acct, _ := l.Account("scooter")
+	if acct.Items[0].Via != "agg2" {
+		t.Fatalf("item via = %q", acct.Items[0].Via)
+	}
+}
+
+func TestPostChain(t *testing.T) {
+	signer, err := blockchain.NewSigner("agg1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth := blockchain.NewAuthority()
+	auth.Admit("agg1", signer.Public())
+	c := blockchain.NewChain(auth)
+	recs := []blockchain.Record{
+		rec("d1", 1, 100*units.MilliwattHour),
+		rec("d2", 1, 50*units.MilliwattHour),
+	}
+	foreign := rec("dX", 1, units.WattHour)
+	foreign.HomeAggregator = "elsewhere"
+	recs = append(recs, foreign)
+	if _, err := c.Seal(signer, t0, recs); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLedger("agg1", nil)
+	posted, err := l.PostChain(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if posted != 2 {
+		t.Fatalf("posted %d, want 2 (foreign skipped)", posted)
+	}
+	// Re-posting is idempotent.
+	posted, err = l.PostChain(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if posted != 0 {
+		t.Fatalf("re-post billed %d records", posted)
+	}
+	if got := l.Devices(); len(got) != 2 || got[0] != "d1" || got[1] != "d2" {
+		t.Fatalf("Devices = %v", got)
+	}
+}
+
+func TestInvoice(t *testing.T) {
+	l := NewLedger("agg1", FlatTariff{PerKWh: 100 * Cent})
+	// 5 local + 3 roamed records.
+	for i := uint64(1); i <= 5; i++ {
+		if err := l.Post(rec("d1", i, 100*units.MilliwattHour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(6); i <= 8; i++ {
+		r := rec("d1", i, 200*units.MilliwattHour)
+		r.ReportedVia = "agg2"
+		if err := l.Post(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inv, err := l.Invoice("d1", t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Items != 8 || inv.RoamedItems != 3 {
+		t.Fatalf("items = %d/%d", inv.Items, inv.RoamedItems)
+	}
+	if inv.Energy != 1100*units.MilliwattHour {
+		t.Fatalf("energy = %v", inv.Energy)
+	}
+	if inv.RoamedEnergy != 600*units.MilliwattHour {
+		t.Fatalf("roamed = %v", inv.RoamedEnergy)
+	}
+	// 1.1 Wh at $1/kWh = 0.11 cents.
+	if inv.Amount != 110*Cent/1000 {
+		t.Fatalf("amount = %v", inv.Amount)
+	}
+	if inv.String() == "" {
+		t.Fatal("empty invoice string")
+	}
+	// Window filtering.
+	inv2, err := l.Invoice("d1", t0.Add(time.Hour), t0.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv2.Items != 0 {
+		t.Fatalf("out-of-window items = %d", inv2.Items)
+	}
+	if _, err := l.Invoice("ghost", t0, t0.Add(time.Hour)); err == nil {
+		t.Fatal("invoice for unknown device")
+	}
+}
+
+func TestChargeLinearityQuick(t *testing.T) {
+	// Property: charging is additive in energy within integer rounding:
+	// |charge(a+b) - (charge(a)+charge(b))| <= 1 microcent.
+	tr := FlatTariff{PerKWh: 33 * Cent}
+	f := func(a, b uint32) bool {
+		ea := units.Energy(a)
+		eb := units.Energy(b)
+		whole := Charge(tr, ea+eb, t0)
+		parts := Charge(tr, ea, t0) + Charge(tr, eb, t0)
+		diff := whole - parts
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargeMonotoneQuick(t *testing.T) {
+	tr := FlatTariff{PerKWh: 50 * Cent}
+	f := func(a, b uint32) bool {
+		ea, eb := units.Energy(a), units.Energy(b)
+		if ea > eb {
+			ea, eb = eb, ea
+		}
+		return Charge(tr, ea, t0) <= Charge(tr, eb, t0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoneyString(t *testing.T) {
+	if got := (150 * Cent).String(); got != "$1.5000" {
+		t.Fatalf("Money.String = %q", got)
+	}
+	if (25 * Cent).Cents() != 25 {
+		t.Fatal("Cents conversion")
+	}
+}
+
+func TestDefaultTariffApplied(t *testing.T) {
+	l := NewLedger("agg1", nil)
+	if err := l.Post(rec("d", 1, units.KilowattHour)); err != nil {
+		t.Fatal(err)
+	}
+	acct, _ := l.Account("d")
+	if acct.TotalAmount() != 25*Cent {
+		t.Fatalf("default tariff amount = %v", acct.TotalAmount())
+	}
+}

@@ -1,0 +1,306 @@
+package blockchain
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// Chain errors.
+var (
+	ErrEmptyBlock       = errors.New("blockchain: block with no records")
+	ErrBadPrevHash      = errors.New("blockchain: previous-hash mismatch")
+	ErrBadIndex2        = errors.New("blockchain: non-sequential block index")
+	ErrBadMerkleRoot    = errors.New("blockchain: merkle root mismatch")
+	ErrBadSignature     = errors.New("blockchain: invalid block signature")
+	ErrUnknownAuthority = errors.New("blockchain: producer not in authority set")
+	ErrTampered         = errors.New("blockchain: chain integrity violation")
+)
+
+// Header is the hashed portion of a block.
+type Header struct {
+	// Index is the block height (genesis = 0).
+	Index uint64
+	// PrevHash chains to the previous block ("the hash of a new block is
+	// created from the reported data and the hash of the previous
+	// block").
+	PrevHash Hash
+	// MerkleRoot commits to the block's records.
+	MerkleRoot Hash
+	// Timestamp is the block production time (aggregator clock).
+	Timestamp time.Time
+	// Producer is the aggregator ID that sealed the block.
+	Producer string
+}
+
+// marshal serializes the header canonically.
+func (h Header) marshal() []byte {
+	out := make([]byte, 0, 96)
+	out = appendUvarint(out, h.Index)
+	out = append(out, h.PrevHash[:]...)
+	out = append(out, h.MerkleRoot[:]...)
+	out = appendVarint(out, h.Timestamp.UnixNano())
+	out = appendLenString(out, h.Producer)
+	return out
+}
+
+// HashHeader returns the block hash (0x02 domain prefix).
+func HashHeader(h Header) Hash {
+	d := sha256.New()
+	d.Write([]byte{0x02})
+	d.Write(h.marshal())
+	var out Hash
+	copy(out[:], d.Sum(nil))
+	return out
+}
+
+// Signature is a raw (r, s) ECDSA P-256 signature.
+type Signature struct {
+	R, S *big.Int
+}
+
+// Block is one sealed batch of verified records.
+type Block struct {
+	Header  Header
+	Records []Record
+	// Sig is the producer's signature over the header hash.
+	Sig Signature
+}
+
+// Hash returns the block's header hash.
+func (b *Block) Hash() Hash { return HashHeader(b.Header) }
+
+// leafHashes computes the record leaf hashes.
+func leafHashes(records []Record) []Hash {
+	leaves := make([]Hash, len(records))
+	for i, r := range records {
+		leaves[i] = HashRecord(r)
+	}
+	return leaves
+}
+
+// Signer produces blocks for one aggregator identity.
+type Signer struct {
+	id  string
+	key *ecdsa.PrivateKey
+}
+
+// NewSigner generates a fresh P-256 identity for aggregator id.
+func NewSigner(id string) (*Signer, error) {
+	if id == "" {
+		return nil, errors.New("blockchain: signer requires an ID")
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("blockchain: generate key: %w", err)
+	}
+	return &Signer{id: id, key: key}, nil
+}
+
+// ID returns the aggregator identity.
+func (s *Signer) ID() string { return s.id }
+
+// Public returns the verification key.
+func (s *Signer) Public() *ecdsa.PublicKey { return &s.key.PublicKey }
+
+// Sign signs a header hash.
+func (s *Signer) Sign(h Hash) (Signature, error) {
+	r, sv, err := ecdsa.Sign(rand.Reader, s.key, h[:])
+	if err != nil {
+		return Signature{}, fmt.Errorf("blockchain: sign: %w", err)
+	}
+	return Signature{R: r, S: sv}, nil
+}
+
+// Authority is the permissioned set of block producers.
+type Authority struct {
+	keys map[string]*ecdsa.PublicKey
+}
+
+// NewAuthority creates an empty authority set.
+func NewAuthority() *Authority {
+	return &Authority{keys: make(map[string]*ecdsa.PublicKey)}
+}
+
+// Admit registers an aggregator's public key.
+func (a *Authority) Admit(id string, key *ecdsa.PublicKey) error {
+	if id == "" || key == nil {
+		return errors.New("blockchain: admit requires id and key")
+	}
+	if _, ok := a.keys[id]; ok {
+		return fmt.Errorf("blockchain: authority %q already admitted", id)
+	}
+	a.keys[id] = key
+	return nil
+}
+
+// Verify checks a producer's signature on a header hash.
+func (a *Authority) Verify(producer string, h Hash, sig Signature) error {
+	key, ok := a.keys[producer]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAuthority, producer)
+	}
+	if sig.R == nil || sig.S == nil || !ecdsa.Verify(key, h[:], sig.R, sig.S) {
+		return fmt.Errorf("%w: producer %q", ErrBadSignature, producer)
+	}
+	return nil
+}
+
+// Members returns the number of admitted producers.
+func (a *Authority) Members() int { return len(a.keys) }
+
+// Chain is the shared permissioned hash chain. Blocks from all aggregators
+// are "formed into a common permissioned blockchain"; trust comes from the
+// authority set, not consensus.
+type Chain struct {
+	blocks    []*Block
+	authority *Authority
+}
+
+// NewChain creates an empty chain governed by authority (may be nil for an
+// unauthenticated chain, e.g. quick local analysis of an exported file).
+func NewChain(authority *Authority) *Chain {
+	return &Chain{authority: authority}
+}
+
+// Length returns the number of blocks.
+func (c *Chain) Length() int { return len(c.blocks) }
+
+// Head returns the latest block, or nil for an empty chain.
+func (c *Chain) Head() *Block {
+	if len(c.blocks) == 0 {
+		return nil
+	}
+	return c.blocks[len(c.blocks)-1]
+}
+
+// Block returns block i.
+func (c *Chain) Block(i int) (*Block, error) {
+	if i < 0 || i >= len(c.blocks) {
+		return nil, fmt.Errorf("blockchain: block %d of %d", i, len(c.blocks))
+	}
+	return c.blocks[i], nil
+}
+
+// Seal builds, signs and appends a block containing records.
+func (c *Chain) Seal(s *Signer, at time.Time, records []Record) (*Block, error) {
+	if len(records) == 0 {
+		return nil, ErrEmptyBlock
+	}
+	var prev Hash
+	var index uint64
+	if head := c.Head(); head != nil {
+		prev = head.Hash()
+		index = head.Header.Index + 1
+	}
+	hdr := Header{
+		Index:      index,
+		PrevHash:   prev,
+		MerkleRoot: MerkleRoot(leafHashes(records)),
+		Timestamp:  at.UTC(),
+		Producer:   s.ID(),
+	}
+	sig, err := s.Sign(HashHeader(hdr))
+	if err != nil {
+		return nil, err
+	}
+	blk := &Block{Header: hdr, Records: append([]Record(nil), records...), Sig: sig}
+	if err := c.append(blk); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+// append validates and links a block.
+func (c *Chain) append(b *Block) error {
+	if len(b.Records) == 0 {
+		return ErrEmptyBlock
+	}
+	var wantPrev Hash
+	var wantIndex uint64
+	if head := c.Head(); head != nil {
+		wantPrev = head.Hash()
+		wantIndex = head.Header.Index + 1
+	}
+	if b.Header.PrevHash != wantPrev {
+		return ErrBadPrevHash
+	}
+	if b.Header.Index != wantIndex {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadIndex2, b.Header.Index, wantIndex)
+	}
+	if b.Header.MerkleRoot != MerkleRoot(leafHashes(b.Records)) {
+		return ErrBadMerkleRoot
+	}
+	if c.authority != nil {
+		if err := c.authority.Verify(b.Header.Producer, b.Hash(), b.Sig); err != nil {
+			return err
+		}
+	}
+	c.blocks = append(c.blocks, b)
+	return nil
+}
+
+// Import appends an externally produced block (e.g. received from another
+// aggregator over the backhaul) after full validation.
+func (c *Chain) Import(b *Block) error { return c.append(b) }
+
+// Verify re-validates the entire chain: linkage, indices, Merkle roots and
+// signatures. It returns the height of the first bad block with
+// ErrTampered, or -1 and nil when intact.
+func (c *Chain) Verify() (int, error) {
+	var prev Hash
+	for i, b := range c.blocks {
+		if b.Header.PrevHash != prev {
+			return i, fmt.Errorf("%w: block %d: %v", ErrTampered, i, ErrBadPrevHash)
+		}
+		if b.Header.Index != uint64(i) {
+			return i, fmt.Errorf("%w: block %d: %v", ErrTampered, i, ErrBadIndex2)
+		}
+		if b.Header.MerkleRoot != MerkleRoot(leafHashes(b.Records)) {
+			return i, fmt.Errorf("%w: block %d: %v", ErrTampered, i, ErrBadMerkleRoot)
+		}
+		if c.authority != nil {
+			if err := c.authority.Verify(b.Header.Producer, b.Hash(), b.Sig); err != nil {
+				return i, fmt.Errorf("%w: block %d: %v", ErrTampered, i, err)
+			}
+		}
+		prev = b.Hash()
+	}
+	return -1, nil
+}
+
+// ProveRecord builds an inclusion proof for record idx of block blockIdx.
+func (c *Chain) ProveRecord(blockIdx, idx int) (MerkleProof, error) {
+	b, err := c.Block(blockIdx)
+	if err != nil {
+		return MerkleProof{}, err
+	}
+	return BuildProof(leafHashes(b.Records), idx)
+}
+
+// RecordsOf returns every stored record for a device, oldest first.
+func (c *Chain) RecordsOf(deviceID string) []Record {
+	var out []Record
+	for _, b := range c.blocks {
+		for _, r := range b.Records {
+			if r.DeviceID == deviceID {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// TotalRecords counts records across all blocks.
+func (c *Chain) TotalRecords() int {
+	n := 0
+	for _, b := range c.blocks {
+		n += len(b.Records)
+	}
+	return n
+}

@@ -1,0 +1,153 @@
+package blockchain
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"os"
+	"time"
+)
+
+// fileBlock is the JSON-lines on-disk form of a block. Records are stored
+// in their canonical binary encoding (base64) so the hash-relevant bytes
+// round-trip exactly.
+type fileBlock struct {
+	Index      uint64   `json:"index"`
+	PrevHash   string   `json:"prev_hash"`
+	MerkleRoot string   `json:"merkle_root"`
+	Timestamp  int64    `json:"timestamp_ns"`
+	Producer   string   `json:"producer"`
+	SigR       string   `json:"sig_r"`
+	SigS       string   `json:"sig_s"`
+	Records    []string `json:"records"`
+}
+
+func encodeHash(h Hash) string { return base64.StdEncoding.EncodeToString(h[:]) }
+
+func decodeHash(s string) (Hash, error) {
+	var h Hash
+	b, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return h, err
+	}
+	if len(b) != len(h) {
+		return h, fmt.Errorf("blockchain: hash length %d", len(b))
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// WriteFile persists the chain as JSON lines (one block per line).
+func (c *Chain) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("blockchain: write file: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, b := range c.blocks {
+		fb := fileBlock{
+			Index:      b.Header.Index,
+			PrevHash:   encodeHash(b.Header.PrevHash),
+			MerkleRoot: encodeHash(b.Header.MerkleRoot),
+			Timestamp:  b.Header.Timestamp.UnixNano(),
+			Producer:   b.Header.Producer,
+		}
+		if b.Sig.R != nil {
+			fb.SigR = b.Sig.R.Text(16)
+			fb.SigS = b.Sig.S.Text(16)
+		}
+		for _, r := range b.Records {
+			fb.Records = append(fb.Records, base64.StdEncoding.EncodeToString(r.Marshal()))
+		}
+		line, err := json.Marshal(fb)
+		if err != nil {
+			return fmt.Errorf("blockchain: marshal block %d: %w", b.Header.Index, err)
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return fmt.Errorf("blockchain: write block %d: %w", b.Header.Index, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// ReadFile loads a chain from the JSON-lines format, validating every block
+// against authority (nil skips signature checks).
+func ReadFile(path string, authority *Authority) (*Chain, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("blockchain: read file: %w", err)
+	}
+	defer f.Close()
+	c := NewChain(authority)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var fb fileBlock
+		if err := json.Unmarshal(sc.Bytes(), &fb); err != nil {
+			return nil, fmt.Errorf("blockchain: line %d: %w", lineNo, err)
+		}
+		blk := &Block{
+			Header: Header{
+				Index:     fb.Index,
+				Timestamp: time.Unix(0, fb.Timestamp).UTC(),
+				Producer:  fb.Producer,
+			},
+		}
+		if blk.Header.PrevHash, err = decodeHash(fb.PrevHash); err != nil {
+			return nil, fmt.Errorf("blockchain: line %d prev hash: %w", lineNo, err)
+		}
+		if blk.Header.MerkleRoot, err = decodeHash(fb.MerkleRoot); err != nil {
+			return nil, fmt.Errorf("blockchain: line %d merkle root: %w", lineNo, err)
+		}
+		if fb.SigR != "" {
+			r, ok := new(big.Int).SetString(fb.SigR, 16)
+			s, ok2 := new(big.Int).SetString(fb.SigS, 16)
+			if !ok || !ok2 {
+				return nil, fmt.Errorf("blockchain: line %d: bad signature encoding", lineNo)
+			}
+			blk.Sig = Signature{R: r, S: s}
+		}
+		for ri, enc := range fb.Records {
+			raw, err := base64.StdEncoding.DecodeString(enc)
+			if err != nil {
+				return nil, fmt.Errorf("blockchain: line %d record %d: %w", lineNo, ri, err)
+			}
+			rec, err := UnmarshalRecord(raw)
+			if err != nil {
+				return nil, fmt.Errorf("blockchain: line %d record %d: %w", lineNo, ri, err)
+			}
+			blk.Records = append(blk.Records, rec)
+		}
+		if err := c.Import(blk); err != nil {
+			return nil, fmt.Errorf("blockchain: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("blockchain: read file: %w", err)
+	}
+	return c, nil
+}
+
+// ErrNoChainFile marks a missing chain file distinctly so callers can
+// bootstrap a fresh chain.
+var ErrNoChainFile = errors.New("blockchain: no chain file")
+
+// ReadFileIfExists loads a chain, mapping a missing file to ErrNoChainFile.
+func ReadFileIfExists(path string, authority *Authority) (*Chain, error) {
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNoChainFile
+	}
+	return ReadFile(path, authority)
+}

@@ -1,0 +1,107 @@
+package blockchain
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// interiorHash combines two child hashes with a 0x01 domain prefix.
+func interiorHash(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// MerkleRoot computes the root over leaf hashes. Odd nodes are promoted
+// (not duplicated — duplication permits the classic CVE-2012-2459 style
+// mutation). An empty set has the zero root.
+func MerkleRoot(leaves []Hash) Hash {
+	if len(leaves) == 0 {
+		return Hash{}
+	}
+	level := make([]Hash, len(leaves))
+	copy(level, leaves)
+	for len(level) > 1 {
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, interiorHash(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// ProofStep is one sibling on the path from a leaf to the root.
+type ProofStep struct {
+	// Sibling is the neighbouring hash at this level.
+	Sibling Hash
+	// Left is true when the sibling is the left child.
+	Left bool
+}
+
+// MerkleProof is an inclusion proof for one leaf.
+type MerkleProof struct {
+	// Index is the leaf position.
+	Index int
+	// Steps lead from the leaf to the root.
+	Steps []ProofStep
+}
+
+// ErrBadIndex is returned for out-of-range proof requests.
+var ErrBadIndex = errors.New("blockchain: leaf index out of range")
+
+// BuildProof constructs the inclusion proof for leaf idx.
+func BuildProof(leaves []Hash, idx int) (MerkleProof, error) {
+	if idx < 0 || idx >= len(leaves) {
+		return MerkleProof{}, fmt.Errorf("%w: %d of %d", ErrBadIndex, idx, len(leaves))
+	}
+	proof := MerkleProof{Index: idx}
+	level := make([]Hash, len(leaves))
+	copy(level, leaves)
+	pos := idx
+	for len(level) > 1 {
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				if i == pos || i+1 == pos {
+					if i == pos {
+						proof.Steps = append(proof.Steps, ProofStep{Sibling: level[i+1], Left: false})
+					} else {
+						proof.Steps = append(proof.Steps, ProofStep{Sibling: level[i], Left: true})
+					}
+				}
+				next = append(next, interiorHash(level[i], level[i+1]))
+			} else {
+				// Promoted node: no sibling at this level.
+				next = append(next, level[i])
+			}
+		}
+		pos /= 2
+		level = next
+	}
+	return proof, nil
+}
+
+// VerifyProof checks that leaf at the proof's position hashes up to root.
+func VerifyProof(leaf Hash, proof MerkleProof, root Hash) bool {
+	cur := leaf
+	pos := proof.Index
+	for _, step := range proof.Steps {
+		if step.Left {
+			cur = interiorHash(step.Sibling, cur)
+		} else {
+			cur = interiorHash(cur, step.Sibling)
+		}
+		pos /= 2
+	}
+	return cur == root
+}

@@ -1,0 +1,513 @@
+// Package consensus implements the paper's future-work mode: "In a truly
+// decentralized network, the aggregators' role could be performed by the
+// devices themselves having a consensus among themselves. In that case, the
+// consumption data must be broadcast to the network and a common blockchain
+// is formed once a consensus is achieved among them."
+//
+// The protocol is a compact PBFT-style three-phase commit (pre-prepare /
+// prepare / commit) over the simulated network: n = 3f+1 replicas tolerate
+// f faulty devices; the view's leader batches broadcast consumption records
+// into a proposal, and a 2f+1 quorum of commits decides it. A view change
+// (leader rotation) fires when a proposal fails to decide within a timeout.
+// This intentionally omits PBFT's checkpointing and new-view proofs: blocks
+// decide in strict sequence order, which is what the metering ledger needs.
+package consensus
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"decentmeter/internal/blockchain"
+	"decentmeter/internal/sim"
+)
+
+// Phase labels a proposal's progress.
+type Phase int
+
+// Proposal phases.
+const (
+	PhaseIdle Phase = iota
+	PhasePrePrepared
+	PhasePrepared
+	PhaseCommitted
+)
+
+// Digest identifies a proposal's content.
+type Digest [sha256.Size]byte
+
+func digestOf(records []blockchain.Record) Digest {
+	h := sha256.New()
+	for _, r := range records {
+		h.Write(r.Marshal())
+	}
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// Message is a consensus protocol message.
+type Message struct {
+	// Kind is "preprepare", "prepare", "commit".
+	Kind string
+	// View and Seq locate the slot.
+	View, Seq uint64
+	// From is the sender replica.
+	From string
+	// Digest commits to the proposal body.
+	Digest Digest
+	// Records is the body (pre-prepare only).
+	Records []blockchain.Record
+}
+
+// Net is the broadcast fabric among replicas (the WAN of the device
+// cluster). Deliveries are per-destination scheduled events.
+type Net struct {
+	env     *sim.Env
+	latency time.Duration
+	nodes   map[string]*Replica
+	// Partitioned pairs drop messages (failure injection).
+	partitioned map[[2]string]bool
+}
+
+// NewNet creates the fabric.
+func NewNet(env *sim.Env, latency time.Duration) *Net {
+	if latency <= 0 {
+		latency = 2 * time.Millisecond
+	}
+	return &Net{
+		env:         env,
+		latency:     latency,
+		nodes:       make(map[string]*Replica),
+		partitioned: make(map[[2]string]bool),
+	}
+}
+
+// Partition cuts (or heals) the link between two replicas.
+func (n *Net) Partition(a, b string, cut bool) {
+	n.partitioned[[2]string{a, b}] = cut
+	n.partitioned[[2]string{b, a}] = cut
+}
+
+// broadcast delivers msg to every replica except the sender.
+func (n *Net) broadcast(from string, msg Message) {
+	ids := make([]string, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if id == from {
+			continue
+		}
+		if n.partitioned[[2]string{from, id}] {
+			continue
+		}
+		node := n.nodes[id]
+		n.env.Schedule(n.latency, func() {
+			if !node.crashed {
+				node.receive(msg)
+			}
+		})
+	}
+}
+
+// slot tracks one (view, seq) proposal's votes.
+type slot struct {
+	phase     Phase
+	digest    Digest
+	records   []blockchain.Record
+	prepares  map[string]bool
+	commits   map[string]bool
+	committed bool
+	// early buffers votes that arrive before the pre-prepare (broadcast
+	// reordering); they replay once the proposal is known.
+	early []Message
+	// attests counts "decided" attestations per digest, for catch-up by
+	// replicas that missed the vote rounds. f+1 matching attestations
+	// prove at least one honest replica decided that content.
+	attests       map[Digest]map[string]bool
+	attestRecords map[Digest][]blockchain.Record
+}
+
+// Replica is one device participating in consensus.
+type Replica struct {
+	ID  string
+	net *Net
+	env *sim.Env
+
+	ids []string // all replica IDs, sorted (defines leader rotation)
+	f   int      // fault tolerance
+
+	view    uint64
+	nextSeq uint64
+	slots   map[uint64]*slot
+	decided []*blockchain.Record // flattened decided log (all replicas identical)
+	blocks  [][]blockchain.Record
+
+	// pending records waiting for this replica's turn to lead.
+	pending []blockchain.Record
+
+	viewTimer *sim.Event
+	// ViewTimeout triggers leader rotation (default 500 ms).
+	ViewTimeout time.Duration
+	// lastLeaderSign is the last instant the current leader was heard.
+	lastLeaderSign time.Duration
+
+	crashed bool
+
+	// OnDecide fires when a block decides locally.
+	OnDecide func(seq uint64, records []blockchain.Record)
+}
+
+// Cluster is a set of replicas over one Net.
+type Cluster struct {
+	Net      *Net
+	Replicas map[string]*Replica
+	ids      []string
+	f        int
+}
+
+// NewCluster creates n = len(ids) replicas tolerating f faults. n must be
+// at least 3f+1.
+func NewCluster(env *sim.Env, ids []string, f int, latency time.Duration) (*Cluster, error) {
+	if len(ids) < 3*f+1 {
+		return nil, fmt.Errorf("consensus: %d replicas cannot tolerate f=%d (need %d)", len(ids), f, 3*f+1)
+	}
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	net := NewNet(env, latency)
+	c := &Cluster{Net: net, Replicas: make(map[string]*Replica), ids: sorted, f: f}
+	for _, id := range sorted {
+		r := &Replica{
+			ID:          id,
+			net:         net,
+			env:         env,
+			ids:         sorted,
+			f:           f,
+			slots:       make(map[uint64]*slot),
+			ViewTimeout: 500 * time.Millisecond,
+		}
+		net.nodes[id] = r
+		c.Replicas[id] = r
+		r.lastLeaderSign = env.Now()
+		// Leader-liveness loop: leaders emit heartbeats, followers
+		// rotate the view when the leader goes silent for a full
+		// timeout.
+		env.Ticker(r.ViewTimeout/2, func(sim.Time) { r.livenessTick() })
+	}
+	return c, nil
+}
+
+// Leader returns the leader ID for a view.
+func (c *Cluster) Leader(view uint64) string {
+	return c.ids[int(view)%len(c.ids)]
+}
+
+// leader returns the current view's leader from a replica's perspective.
+func (r *Replica) leader() string {
+	return r.ids[int(r.view)%len(r.ids)]
+}
+
+// quorum is 2f+1.
+func (r *Replica) quorum() int { return 2*r.f + 1 }
+
+// Crash takes the replica offline.
+func (r *Replica) Crash() { r.crashed = true }
+
+// Recover brings it back (it will catch up only on new slots; state
+// transfer is out of scope).
+func (r *Replica) Recover() { r.crashed = false }
+
+// View returns the replica's current view.
+func (r *Replica) View() uint64 { return r.view }
+
+// Decided returns the flattened decided record log.
+func (r *Replica) Decided() []*blockchain.Record {
+	return append([]*blockchain.Record(nil), r.decided...)
+}
+
+// DecidedBlocks returns the per-slot decided batches.
+func (r *Replica) DecidedBlocks() [][]blockchain.Record {
+	return append([][]blockchain.Record(nil), r.blocks...)
+}
+
+// ErrNotLeader is returned when Propose is called on a follower.
+var ErrNotLeader = errors.New("consensus: not the current leader")
+
+// Propose starts agreement on a batch. Only the current leader proposes;
+// followers buffer via Submit.
+func (r *Replica) Propose(records []blockchain.Record) error {
+	if r.crashed {
+		return errors.New("consensus: replica crashed")
+	}
+	if r.leader() != r.ID {
+		return ErrNotLeader
+	}
+	if len(records) == 0 {
+		return errors.New("consensus: empty proposal")
+	}
+	seq := r.nextSeq
+	msg := Message{
+		Kind:    "preprepare",
+		View:    r.view,
+		Seq:     seq,
+		From:    r.ID,
+		Digest:  digestOf(records),
+		Records: append([]blockchain.Record(nil), records...),
+	}
+	r.receive(msg) // self-delivery
+	r.net.broadcast(r.ID, msg)
+	return nil
+}
+
+// Submit hands records to the cluster: the current leader proposes them,
+// a follower forwards to the leader (modelled as a direct schedule).
+func (c *Cluster) Submit(records []blockchain.Record) error {
+	leader := c.Replicas[c.Leader(c.anyView())]
+	return leader.Propose(records)
+}
+
+// anyView picks the highest view among live replicas (they track together
+// in the absence of faults).
+func (c *Cluster) anyView() uint64 {
+	var v uint64
+	for _, r := range c.Replicas {
+		if !r.crashed && r.view > v {
+			v = r.view
+		}
+	}
+	return v
+}
+
+// livenessTick drives heartbeats (leader) and the silence watchdog
+// (followers).
+func (r *Replica) livenessTick() {
+	if r.crashed {
+		return
+	}
+	if r.leader() == r.ID {
+		r.net.broadcast(r.ID, Message{Kind: "heartbeat", View: r.view, From: r.ID})
+		return
+	}
+	if r.env.Now()-r.lastLeaderSign > r.ViewTimeout {
+		r.advanceView()
+	}
+}
+
+// receive processes one protocol message.
+func (r *Replica) receive(msg Message) {
+	if r.crashed {
+		return
+	}
+	if msg.From == r.leader() && msg.View == r.view {
+		r.lastLeaderSign = r.env.Now()
+	}
+	if msg.Kind == "heartbeat" {
+		return
+	}
+	if msg.Kind != "decided" && msg.View != r.view {
+		// Stale or future view: future prepares/commits for the next
+		// view are dropped (retransmission is the leader's job; the
+		// metering workload re-proposes every interval).
+		return
+	}
+	sl, ok := r.slots[msg.Seq]
+	if !ok {
+		sl = &slot{
+			prepares:      make(map[string]bool),
+			commits:       make(map[string]bool),
+			attests:       make(map[Digest]map[string]bool),
+			attestRecords: make(map[Digest][]blockchain.Record),
+		}
+		r.slots[msg.Seq] = sl
+	}
+	if msg.Kind == "decided" {
+		r.handleDecidedAttest(sl, msg)
+		// A decision beyond our delivery frontier means we missed
+		// earlier slots (partition, crash recovery): ask the cluster
+		// to replay them.
+		if msg.Seq > r.nextSeq {
+			r.net.broadcast(r.ID, Message{Kind: "syncreq", Seq: r.nextSeq, From: r.ID})
+		}
+		return
+	}
+	if msg.Kind == "syncreq" {
+		// Replay decided slots from the requested frontier.
+		for s := msg.Seq; s < r.nextSeq; s++ {
+			if past, ok := r.slots[s]; ok && past.committed {
+				r.net.broadcast(r.ID, Message{
+					Kind: "decided", View: r.view, Seq: s, From: r.ID,
+					Digest: past.digest, Records: past.records,
+				})
+			}
+		}
+		return
+	}
+	switch msg.Kind {
+	case "preprepare":
+		if msg.From != r.leader() {
+			return // only the leader may pre-prepare
+		}
+		if sl.phase != PhaseIdle {
+			// Equivocation guard: a second pre-prepare for the same
+			// slot (same or different digest) is ignored.
+			return
+		}
+		if digestOf(msg.Records) != msg.Digest {
+			return // corrupt proposal
+		}
+		sl.phase = PhasePrePrepared
+		sl.digest = msg.Digest
+		sl.records = msg.Records
+		r.armViewTimer()
+		vote := Message{Kind: "prepare", View: r.view, Seq: msg.Seq, From: r.ID, Digest: msg.Digest}
+		r.handlePrepare(sl, vote)
+		r.net.broadcast(r.ID, vote)
+		// Replay votes that raced ahead of this pre-prepare.
+		early := sl.early
+		sl.early = nil
+		for _, e := range early {
+			switch e.Kind {
+			case "prepare":
+				r.handlePrepare(sl, e)
+			case "commit":
+				r.handleCommit(sl, e)
+			}
+		}
+	case "prepare":
+		if sl.phase == PhaseIdle {
+			sl.early = append(sl.early, msg)
+			return
+		}
+		r.handlePrepare(sl, msg)
+	case "commit":
+		if sl.phase == PhaseIdle {
+			sl.early = append(sl.early, msg)
+			return
+		}
+		r.handleCommit(sl, msg)
+	}
+}
+
+func (r *Replica) handlePrepare(sl *slot, msg Message) {
+	if sl.phase == PhaseIdle || sl.digest != msg.Digest {
+		return
+	}
+	sl.prepares[msg.From] = true
+	if sl.phase == PhasePrePrepared && len(sl.prepares) >= r.quorum() {
+		sl.phase = PhasePrepared
+		vote := Message{Kind: "commit", View: r.view, Seq: msg.Seq, From: r.ID, Digest: sl.digest}
+		r.handleCommit(sl, vote)
+		r.net.broadcast(r.ID, vote)
+	}
+}
+
+func (r *Replica) handleCommit(sl *slot, msg Message) {
+	if sl.phase == PhaseIdle || sl.digest != msg.Digest {
+		return
+	}
+	sl.commits[msg.From] = true
+	if sl.phase == PhasePrepared && !sl.committed && len(sl.commits) >= r.quorum() {
+		r.markCommitted(msg.Seq, sl)
+	}
+}
+
+// handleDecidedAttest processes a catch-up attestation: f+1 matching
+// attestations prove at least one honest replica decided this content.
+func (r *Replica) handleDecidedAttest(sl *slot, msg Message) {
+	if sl.committed {
+		return
+	}
+	set, ok := sl.attests[msg.Digest]
+	if !ok {
+		set = make(map[string]bool)
+		sl.attests[msg.Digest] = set
+	}
+	set[msg.From] = true
+	if len(msg.Records) > 0 && digestOf(msg.Records) == msg.Digest {
+		sl.attestRecords[msg.Digest] = msg.Records
+	}
+	if len(set) >= r.f+1 {
+		records, ok := sl.attestRecords[msg.Digest]
+		if !ok {
+			return
+		}
+		sl.records = records
+		sl.digest = msg.Digest
+		r.markCommitted(msg.Seq, sl)
+	}
+}
+
+// markCommitted finalizes a slot and delivers every in-order decision.
+func (r *Replica) markCommitted(seq uint64, sl *slot) {
+	sl.committed = true
+	sl.phase = PhaseCommitted
+	r.disarmViewTimer()
+	// Announce for catch-up by replicas that missed the vote rounds.
+	r.net.broadcast(r.ID, Message{
+		Kind: "decided", View: r.view, Seq: seq, From: r.ID,
+		Digest: sl.digest, Records: sl.records,
+	})
+	// Decide in sequence order only.
+	for {
+		s, ok := r.slots[r.nextSeq]
+		if !ok || !s.committed {
+			break
+		}
+		r.blocks = append(r.blocks, s.records)
+		for i := range s.records {
+			r.decided = append(r.decided, &s.records[i])
+		}
+		if r.OnDecide != nil {
+			r.OnDecide(r.nextSeq, s.records)
+		}
+		r.nextSeq++
+	}
+}
+
+// armViewTimer starts (or restarts) the leader-failure timeout.
+func (r *Replica) armViewTimer() {
+	r.disarmViewTimer()
+	view := r.view
+	r.viewTimer = r.env.Schedule(r.ViewTimeout, func() {
+		if r.crashed || r.view != view {
+			return
+		}
+		r.advanceView()
+	})
+}
+
+func (r *Replica) disarmViewTimer() {
+	if r.viewTimer != nil {
+		r.env.Cancel(r.viewTimer)
+		r.viewTimer = nil
+	}
+}
+
+// advanceView rotates the leader. Undecided slots are abandoned; the
+// metering workload rebroadcasts its records with the next interval, so no
+// data is lost, only delayed — the same recovery the paper's store-and-
+// forward device layer already provides.
+func (r *Replica) advanceView() {
+	r.view++
+	r.lastLeaderSign = r.env.Now()
+	for seq, sl := range r.slots {
+		if !sl.committed {
+			delete(r.slots, seq)
+		}
+	}
+}
+
+// ForceViewChange triggers the timeout path immediately on every live
+// replica (test/ops hook).
+func (c *Cluster) ForceViewChange() {
+	for _, id := range c.ids {
+		rep := c.Replicas[id]
+		if !rep.crashed {
+			rep.advanceView()
+		}
+	}
+}

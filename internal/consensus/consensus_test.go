@@ -1,0 +1,304 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"decentmeter/internal/blockchain"
+	"decentmeter/internal/sim"
+	"decentmeter/internal/units"
+)
+
+func recs(base uint64, n int) []blockchain.Record {
+	out := make([]blockchain.Record, n)
+	for i := range out {
+		out[i] = blockchain.Record{
+			DeviceID:       fmt.Sprintf("dev%d", i),
+			Seq:            base + uint64(i),
+			HomeAggregator: "cluster",
+			ReportedVia:    "cluster",
+			Timestamp:      time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC),
+			Interval:       100 * time.Millisecond,
+			Current:        80 * units.Milliampere,
+			Voltage:        5 * units.Volt,
+			Energy:         11 * units.MicrowattHour,
+		}
+	}
+	return out
+}
+
+func newCluster(t *testing.T, n, f int) (*sim.Env, *Cluster) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("dev%02d", i)
+	}
+	c, err := NewCluster(env, ids, f, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, c
+}
+
+func TestClusterSizeValidation(t *testing.T) {
+	env := sim.NewEnv(1)
+	if _, err := NewCluster(env, []string{"a", "b", "c"}, 1, time.Millisecond); err == nil {
+		t.Fatal("3 replicas accepted for f=1")
+	}
+	if _, err := NewCluster(env, []string{"a", "b", "c", "d"}, 1, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalCaseDecides(t *testing.T) {
+	env, c := newCluster(t, 4, 1)
+	if err := c.Submit(recs(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(100 * time.Millisecond)
+	for id, r := range c.Replicas {
+		if len(r.Decided()) != 3 {
+			t.Fatalf("%s decided %d records, want 3", id, len(r.Decided()))
+		}
+	}
+}
+
+func TestAllReplicasAgreeOnOrder(t *testing.T) {
+	env, c := newCluster(t, 4, 1)
+	for i := 0; i < 10; i++ {
+		if err := c.Submit(recs(uint64(i*10), 2)); err != nil {
+			t.Fatal(err)
+		}
+		env.RunUntil(env.Now() + 50*time.Millisecond)
+	}
+	var ref []*blockchain.Record
+	for _, id := range c.ids {
+		r := c.Replicas[id]
+		got := r.Decided()
+		if len(got) != 20 {
+			t.Fatalf("%s decided %d, want 20", id, len(got))
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			if got[i].DeviceID != ref[i].DeviceID || got[i].Seq != ref[i].Seq {
+				t.Fatalf("%s diverges at %d", id, i)
+			}
+		}
+	}
+}
+
+func TestFollowerCannotPropose(t *testing.T) {
+	_, c := newCluster(t, 4, 1)
+	follower := c.Replicas[c.ids[1]] // view 0 leader is ids[0]
+	if err := follower.Propose(recs(0, 1)); err != ErrNotLeader {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyProposalRejected(t *testing.T) {
+	_, c := newCluster(t, 4, 1)
+	leader := c.Replicas[c.Leader(0)]
+	if err := leader.Propose(nil); err == nil {
+		t.Fatal("empty proposal accepted")
+	}
+}
+
+func TestToleratesFCrashedFollowers(t *testing.T) {
+	env, c := newCluster(t, 4, 1)
+	// Crash one follower (f=1).
+	c.Replicas[c.ids[3]].Crash()
+	if err := c.Submit(recs(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(200 * time.Millisecond)
+	for _, id := range c.ids[:3] {
+		if len(c.Replicas[id].Decided()) != 2 {
+			t.Fatalf("%s did not decide with f crashed", id)
+		}
+	}
+	if len(c.Replicas[c.ids[3]].Decided()) != 0 {
+		t.Fatal("crashed replica decided")
+	}
+}
+
+func TestTooManyCrashesBlocksProgress(t *testing.T) {
+	env, c := newCluster(t, 4, 1)
+	c.Replicas[c.ids[2]].Crash()
+	c.Replicas[c.ids[3]].Crash() // 2 > f crashed
+	if err := c.Submit(recs(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(200 * time.Millisecond)
+	for _, id := range c.ids[:2] {
+		if len(c.Replicas[id].Decided()) != 0 {
+			t.Fatalf("%s decided without quorum", id)
+		}
+	}
+}
+
+func TestLeaderCrashTriggersViewChange(t *testing.T) {
+	env, c := newCluster(t, 4, 1)
+	// Decide one slot normally.
+	if err := c.Submit(recs(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(100 * time.Millisecond)
+	// Leader dies mid-proposal: pre-prepare reaches followers, then no
+	// quorum of commits... simulate by crashing the leader right after
+	// submit so its own vote is lost.
+	leader := c.Replicas[c.Leader(0)]
+	if err := c.Submit(recs(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	leader.Crash()
+	// Followers' view timers fire; view advances past the dead leader.
+	env.RunUntil(2 * time.Second)
+	live := c.Replicas[c.ids[1]]
+	if live.View() == 0 {
+		t.Fatal("view never advanced after leader crash")
+	}
+	// The new leader can decide fresh batches.
+	newLeader := c.Replicas[c.Leader(c.anyView())]
+	if newLeader.crashed {
+		t.Fatalf("new leader %s is the crashed one", newLeader.ID)
+	}
+	before := len(live.Decided())
+	if err := newLeader.Propose(recs(200, 2)); err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(env.Now() + 200*time.Millisecond)
+	if len(live.Decided()) <= before {
+		t.Fatal("no progress after view change")
+	}
+}
+
+func TestEquivocatingLeaderCannotSplitDecision(t *testing.T) {
+	env, c := newCluster(t, 4, 1)
+	leader := c.Replicas[c.Leader(0)]
+	// The leader broadcasts proposal A but hand-delivers a conflicting
+	// proposal B to one victim first.
+	a := recs(0, 1)
+	b := recs(500, 1)
+	victim := c.Replicas[c.ids[1]]
+	victim.receive(Message{
+		Kind: "preprepare", View: 0, Seq: 0, From: leader.ID,
+		Digest: digestOf(b), Records: b,
+	})
+	if err := leader.Propose(a); err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(2 * time.Second)
+	// Safety: no two replicas decide different records for slot 0.
+	var decidedA, decidedB int
+	for _, id := range c.ids {
+		blocks := c.Replicas[id].DecidedBlocks()
+		if len(blocks) == 0 {
+			continue
+		}
+		switch blocks[0][0].Seq {
+		case a[0].Seq:
+			decidedA++
+		case b[0].Seq:
+			decidedB++
+		}
+	}
+	if decidedA > 0 && decidedB > 0 {
+		t.Fatal("split decision: safety violated")
+	}
+}
+
+func TestPartitionHealsAndProgresses(t *testing.T) {
+	env, c := newCluster(t, 4, 1)
+	// Cut one follower off from everyone.
+	isolated := c.ids[3]
+	for _, id := range c.ids[:3] {
+		c.Net.Partition(isolated, id, true)
+	}
+	if err := c.Submit(recs(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(100 * time.Millisecond)
+	if len(c.Replicas[isolated].Decided()) != 0 {
+		t.Fatal("isolated replica decided")
+	}
+	for _, id := range c.ids[:3] {
+		if len(c.Replicas[id].Decided()) != 1 {
+			t.Fatalf("%s blocked by partition of a single follower", id)
+		}
+	}
+	// Heal; the isolated node participates in new slots.
+	for _, id := range c.ids[:3] {
+		c.Net.Partition(isolated, id, false)
+	}
+	if err := c.Submit(recs(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(env.Now() + 100*time.Millisecond)
+	if len(c.Replicas[isolated].Decided()) == 0 {
+		t.Fatal("healed replica never caught a new slot")
+	}
+}
+
+func TestLargerCluster(t *testing.T) {
+	env, c := newCluster(t, 7, 2)
+	// Crash 2 (== f) replicas.
+	c.Replicas[c.ids[5]].Crash()
+	c.Replicas[c.ids[6]].Crash()
+	for i := 0; i < 5; i++ {
+		if err := c.Submit(recs(uint64(i*10), 1)); err != nil {
+			t.Fatal(err)
+		}
+		env.RunUntil(env.Now() + 50*time.Millisecond)
+	}
+	for _, id := range c.ids[:5] {
+		if len(c.Replicas[id].Decided()) != 5 {
+			t.Fatalf("%s decided %d/5", id, len(c.Replicas[id].Decided()))
+		}
+	}
+}
+
+func TestOnDecideCallback(t *testing.T) {
+	env, c := newCluster(t, 4, 1)
+	var got []uint64
+	c.Replicas[c.ids[1]].OnDecide = func(seq uint64, records []blockchain.Record) {
+		got = append(got, seq)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Submit(recs(uint64(i*10), 1)); err != nil {
+			t.Fatal(err)
+		}
+		env.RunUntil(env.Now() + 50*time.Millisecond)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("OnDecide seqs = %v", got)
+	}
+}
+
+func TestDeterministicConsensus(t *testing.T) {
+	run := func() []uint64 {
+		env, c := newCluster(t, 4, 1)
+		var seqs []uint64
+		c.Replicas[c.ids[0]].OnDecide = func(seq uint64, _ []blockchain.Record) {
+			seqs = append(seqs, seq)
+		}
+		for i := 0; i < 5; i++ {
+			c.Submit(recs(uint64(i*10), 1))
+			env.RunUntil(env.Now() + 30*time.Millisecond)
+		}
+		return seqs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}

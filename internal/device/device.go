@@ -1,0 +1,449 @@
+// Package device implements the IoT-enabled device node of the paper's
+// Fig. 2 software architecture: the physical layer samples an INA219 every
+// Tmeasure; the data layer buffers measurements in local storage whenever
+// no aggregator connection exists; the network-management layer runs the
+// Fig. 3 state machine (scan by RSSI, associate, register, report,
+// re-register on Nack with the Master address); and the application layer
+// keeps a running energy total plus an EWMA demand predictor.
+//
+// The device is transport-agnostic: the enclosing scenario injects Send /
+// Scan callbacks, so the same state machine runs over the DES's simulated
+// radio links and over real MQTT in cmd/devicesim.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"decentmeter/internal/protocol"
+	"decentmeter/internal/radio"
+	"decentmeter/internal/sensor"
+	"decentmeter/internal/sim"
+	"decentmeter/internal/store"
+	"decentmeter/internal/units"
+)
+
+// State is the network-management state.
+type State int
+
+// Device states.
+const (
+	// StateOffline: unplugged or radio down; no scanning, no measuring.
+	StateOffline State = iota
+	// StateScanning: plugged, surveying channels for an aggregator.
+	StateScanning
+	// StateAssociating: joining the chosen AP.
+	StateAssociating
+	// StateRegistering: membership request in flight.
+	StateRegistering
+	// StateConnected: registered and reporting.
+	StateConnected
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateOffline:
+		return "offline"
+	case StateScanning:
+		return "scanning"
+	case StateAssociating:
+		return "associating"
+	case StateRegistering:
+		return "registering"
+	case StateConnected:
+		return "connected"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Config assembles a device.
+type Config struct {
+	// ID is the device identity (also its grid and MQTT identity).
+	ID string
+	// Env drives all timing.
+	Env *sim.Env
+	// Meter reads the in-device INA219.
+	Meter *sensor.Meter
+	// WallClock returns the device's RTC time for stamping measurements.
+	WallClock func() time.Time
+	// Send delivers a message to an aggregator by ID. Injected by the
+	// scenario; returns an error if the link is gone.
+	Send func(aggregatorID string, msg protocol.Message) error
+	// Scan surveys the medium; returns the best visible aggregator AP,
+	// the time the scan consumed and whether anything was found.
+	Scan func() (radio.ScanResult, time.Duration, bool)
+	// Tmeasure is the measurement/report interval (paper: 100 ms).
+	Tmeasure time.Duration
+	// QueueCapacity bounds local storage (default 4096 measurements).
+	QueueCapacity int
+	// RetryInterval spaces registration retries (default 500 ms).
+	RetryInterval time.Duration
+	// BatchLimit caps measurements per report (default 64).
+	BatchLimit int
+	// Seed feeds jitter (association delay).
+	Seed uint64
+}
+
+// Device is one metering node.
+type Device struct {
+	cfg Config
+
+	state      State
+	plugged    bool
+	masterAddr string // home aggregator ("" until first registration)
+	aggregator string // currently serving aggregator
+	kind       protocol.MembershipKind
+	slot       int
+
+	seq   uint64
+	queue *store.Queue[protocol.Measurement]
+
+	stopMeasure func()
+	retryEvent  *sim.Event
+
+	// handshake instrumentation (Fig. 6 / Thandshake).
+	handshakeStart time.Duration
+	handshakes     []time.Duration
+
+	// application layer.
+	totalEnergy units.Energy
+	demandEWMA  float64
+
+	// Diagnostics.
+	reportsSent   uint64
+	acksReceived  uint64
+	nacksReceived uint64
+
+	// OnStateChange, if set, observes transitions (telemetry hook).
+	OnStateChange func(from, to State)
+}
+
+// New builds a device. The device starts offline; call PlugIn to power it.
+func New(cfg Config) (*Device, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("device: requires an ID")
+	}
+	if cfg.Env == nil || cfg.Meter == nil || cfg.Send == nil || cfg.Scan == nil {
+		return nil, errors.New("device: requires Env, Meter, Send and Scan")
+	}
+	if cfg.WallClock == nil {
+		return nil, errors.New("device: requires a WallClock")
+	}
+	if cfg.Tmeasure <= 0 {
+		cfg.Tmeasure = 100 * time.Millisecond
+	}
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 4096
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 500 * time.Millisecond
+	}
+	if cfg.BatchLimit <= 0 {
+		cfg.BatchLimit = 64
+	}
+	q, err := store.NewQueue[protocol.Measurement](cfg.QueueCapacity, store.DropOldest)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{
+		cfg:   cfg,
+		state: StateOffline,
+		queue: q,
+	}, nil
+}
+
+// ID returns the device identity.
+func (d *Device) ID() string { return d.cfg.ID }
+
+// State returns the current network state.
+func (d *Device) State() State { return d.state }
+
+// MasterAddr returns the home aggregator ("" before first registration).
+func (d *Device) MasterAddr() string { return d.masterAddr }
+
+// Aggregator returns the currently serving aggregator ("" if none).
+func (d *Device) Aggregator() string {
+	if d.state != StateConnected {
+		return ""
+	}
+	return d.aggregator
+}
+
+// MembershipKind returns the current membership type (valid when
+// connected).
+func (d *Device) MembershipKind() protocol.MembershipKind { return d.kind }
+
+// TotalEnergy returns the device's own view of its lifetime consumption.
+func (d *Device) TotalEnergy() units.Energy { return d.totalEnergy }
+
+// PredictedDemand returns the EWMA current forecast in mA.
+func (d *Device) PredictedDemand() float64 { return d.demandEWMA }
+
+// Buffered returns the number of locally stored, unacknowledged
+// measurements.
+func (d *Device) Buffered() int { return d.queue.Len() }
+
+// Handshakes returns observed temporary-registration handshake durations.
+func (d *Device) Handshakes() []time.Duration {
+	return append([]time.Duration(nil), d.handshakes...)
+}
+
+// Stats returns (reportsSent, acks, nacks).
+func (d *Device) Stats() (uint64, uint64, uint64) {
+	return d.reportsSent, d.acksReceived, d.nacksReceived
+}
+
+func (d *Device) setState(s State) {
+	if s == d.state {
+		return
+	}
+	old := d.state
+	d.state = s
+	if d.OnStateChange != nil {
+		d.OnStateChange(old, s)
+	}
+}
+
+// PlugIn powers the device at a grid location: measurement starts
+// immediately (the load draws current as soon as it is plugged); network
+// attachment begins with a channel scan ("it continuously scans the
+// communication network to determine its reporting aggregator").
+func (d *Device) PlugIn() {
+	if d.plugged {
+		return
+	}
+	d.plugged = true
+	d.startMeasuring()
+	d.beginScan()
+}
+
+// Unplug removes the device from the grid (transit): measurement stops (no
+// consumption while moving), connection drops, local data is retained.
+func (d *Device) Unplug() {
+	if !d.plugged {
+		return
+	}
+	d.plugged = false
+	if d.stopMeasure != nil {
+		d.stopMeasure()
+		d.stopMeasure = nil
+	}
+	d.cancelRetry()
+	// Unacknowledged measurements stay in local storage for delivery
+	// after the next attachment.
+	d.aggregator = ""
+	d.setState(StateOffline)
+}
+
+// Disconnect models losing the network while still plugged (aggregator
+// crash, Wi-Fi loss): measurements continue into local storage and the
+// device rescans.
+func (d *Device) Disconnect() {
+	if !d.plugged {
+		return
+	}
+	d.cancelRetry()
+	d.aggregator = ""
+	d.beginScan()
+}
+
+func (d *Device) cancelRetry() {
+	if d.retryEvent != nil {
+		d.cfg.Env.Cancel(d.retryEvent)
+		d.retryEvent = nil
+	}
+}
+
+// beginScan starts the channel survey; completion is scheduled after the
+// scan duration the radio model reports.
+func (d *Device) beginScan() {
+	d.setState(StateScanning)
+	if d.masterAddr != "" && d.handshakeStart == 0 {
+		// A roaming device starts its Thandshake stopwatch when it
+		// begins looking for a new reporting aggregator.
+		d.handshakeStart = d.cfg.Env.Now()
+	}
+	best, scanTime, found := d.cfg.Scan()
+	d.cfg.Env.Schedule(scanTime, func() {
+		if !d.plugged || d.state != StateScanning {
+			return
+		}
+		if !found {
+			// Nothing in range: rest, rescan.
+			d.retryEvent = d.cfg.Env.Schedule(d.cfg.RetryInterval, d.beginScan)
+			return
+		}
+		d.associate(best)
+	})
+}
+
+// associate joins the chosen AP, then registers.
+func (d *Device) associate(ap radio.ScanResult) {
+	d.setState(StateAssociating)
+	delay := radio.AssociationDelay(ap.RSSIDBm, d.cfg.Seed^uint64(d.cfg.Env.Now()))
+	delay += radio.IPConfigDelay(d.cfg.Seed ^ uint64(d.cfg.Env.Now()))
+	d.cfg.Env.Schedule(delay, func() {
+		if !d.plugged || d.state != StateAssociating {
+			return
+		}
+		d.aggregator = ap.APID
+		if d.masterAddr != "" && ap.APID != d.masterAddr {
+			// Fig. 3 sequence 2: a roaming device does not know it lacks
+			// membership here. It optimistically resumes reporting; the
+			// foreign aggregator's Nack then triggers the registration
+			// with the Master address.
+			d.setState(StateConnected)
+			return
+		}
+		d.register(ap.RSSIDBm)
+	})
+}
+
+// register sends the membership request of Fig. 3: NULL master for a fresh
+// device, the Master address for a roaming one.
+func (d *Device) register(rssi float64) {
+	d.setState(StateRegistering)
+	msg := protocol.Register{DeviceID: d.cfg.ID, MasterAddr: d.masterAddr, RSSIDBm: rssi}
+	if err := d.cfg.Send(d.aggregator, msg); err != nil {
+		d.retryEvent = d.cfg.Env.Schedule(d.cfg.RetryInterval, d.beginScan)
+		return
+	}
+	// Retry the whole attachment if no answer arrives.
+	d.cancelRetry()
+	d.retryEvent = d.cfg.Env.Schedule(d.cfg.RetryInterval*4, func() {
+		if d.state == StateRegistering {
+			d.beginScan()
+		}
+	})
+}
+
+// startMeasuring runs the physical-layer sampling loop at Tmeasure.
+func (d *Device) startMeasuring() {
+	if d.stopMeasure != nil {
+		return
+	}
+	d.stopMeasure = d.cfg.Env.Ticker(d.cfg.Tmeasure, func(sim.Time) {
+		d.measureOnce()
+	})
+}
+
+// measureOnce samples the sensor and routes the measurement: transmit when
+// connected, store locally otherwise.
+func (d *Device) measureOnce() {
+	if !d.plugged {
+		return
+	}
+	r, err := d.cfg.Meter.Read()
+	if err != nil || r.Overflow {
+		return
+	}
+	d.seq++
+	m := protocol.Measurement{
+		Seq:       d.seq,
+		Timestamp: d.cfg.WallClock(),
+		Interval:  d.cfg.Tmeasure,
+		Current:   r.Current,
+		Voltage:   r.Bus,
+		Energy:    units.EnergyFromIVOver(r.Current, r.Bus, d.cfg.Tmeasure),
+	}
+	d.totalEnergy += m.Energy
+	// Application layer: EWMA demand prediction over reported current.
+	const alpha = 0.05
+	d.demandEWMA = (1-alpha)*d.demandEWMA + alpha*r.Current.Milliamps()
+
+	m.Buffered = d.state != StateConnected
+	_ = d.queue.Push(m)
+	if d.state == StateConnected {
+		d.transmit()
+	}
+}
+
+// transmit sends a snapshot of every unacknowledged measurement, oldest
+// first ("The combination of stored data and the measurement are
+// transmitted to the aggregator in the next transmission"). Measurements
+// stay queued until the aggregator acknowledges them, so a lost report is
+// retransmitted with the next tick.
+func (d *Device) transmit() {
+	snap := d.queue.Snapshot()
+	if len(snap) == 0 {
+		return
+	}
+	if len(snap) > d.cfg.BatchLimit {
+		snap = snap[:d.cfg.BatchLimit]
+	}
+	rep := protocol.Report{DeviceID: d.cfg.ID, MasterAddr: d.masterAddr, Measurements: snap}
+	if err := d.cfg.Send(d.aggregator, rep); err != nil {
+		// Link gone: data stays queued; reattach.
+		d.Disconnect()
+		return
+	}
+	d.reportsSent++
+}
+
+// HandleMessage processes an aggregator-to-device message. The scenario's
+// link layer calls this on delivery.
+func (d *Device) HandleMessage(from string, msg protocol.Message) {
+	switch m := msg.(type) {
+	case protocol.RegisterAck:
+		d.onRegisterAck(from, m)
+	case protocol.RegisterNack:
+		if d.state == StateRegistering {
+			d.cancelRetry()
+			d.retryEvent = d.cfg.Env.Schedule(d.cfg.RetryInterval, d.beginScan)
+		}
+	case protocol.ReportAck:
+		d.acksReceived++
+		for {
+			head, ok := d.queue.Peek()
+			if !ok || head.Seq > m.Seq {
+				break
+			}
+			d.queue.Pop()
+		}
+	case protocol.ReportNack:
+		// Absence of membership at this aggregator: re-initiate the
+		// membership sequence with the Master address (Fig. 3 seq 2).
+		d.nacksReceived++
+		if d.plugged && d.aggregator != "" {
+			if d.masterAddr != "" && d.handshakeStart == 0 {
+				d.handshakeStart = d.cfg.Env.Now()
+			}
+			d.register(0)
+		}
+	}
+}
+
+// onRegisterAck completes attachment.
+func (d *Device) onRegisterAck(from string, ack protocol.RegisterAck) {
+	if d.state != StateRegistering || ack.DeviceID != d.cfg.ID {
+		return
+	}
+	d.cancelRetry()
+	d.aggregator = from
+	d.kind = ack.Kind
+	d.slot = ack.Slot
+	if ack.Tmeasure > 0 && ack.Tmeasure != d.cfg.Tmeasure {
+		// The aggregator mandates the reporting interval; re-arm the
+		// sampling loop.
+		d.cfg.Tmeasure = ack.Tmeasure
+		if d.stopMeasure != nil {
+			d.stopMeasure()
+			d.stopMeasure = nil
+		}
+		d.startMeasuring()
+	}
+	if ack.Kind == protocol.MemberMaster {
+		d.masterAddr = ack.AggregatorID
+	}
+	if d.handshakeStart != 0 {
+		d.handshakes = append(d.handshakes, d.cfg.Env.Now()-d.handshakeStart)
+		d.handshakeStart = 0
+	}
+	d.setState(StateConnected)
+}
+
+// Slot returns the granted TDMA slot (valid when connected).
+func (d *Device) Slot() int { return d.slot }

@@ -1,0 +1,406 @@
+package device
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"decentmeter/internal/protocol"
+	"decentmeter/internal/radio"
+	"decentmeter/internal/sensor"
+	"decentmeter/internal/sim"
+	"decentmeter/internal/units"
+)
+
+// rig wires a device to scripted Send/Scan fakes.
+type rig struct {
+	env  *sim.Env
+	dev  *Device
+	load *sensor.StaticLoad
+
+	sent    []protocol.Message
+	sendTo  []string
+	sendErr error
+	scanAP  radio.ScanResult
+	scanDur time.Duration
+	scanOK  bool
+	scans   int
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	env := sim.NewEnv(1)
+	load := &sensor.StaticLoad{I: 80 * units.Milliampere, V: 5 * units.Volt}
+	bus := sensor.NewBus()
+	ina := sensor.NewINA219(load, sensor.INA219Config{Seed: 1})
+	if err := bus.Attach(sensor.AddrINA219Default, ina); err != nil {
+		t.Fatal(err)
+	}
+	meter, err := sensor.NewMeter(bus, sensor.AddrINA219Default, 2*units.Ampere, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{
+		env:     env,
+		load:    load,
+		scanAP:  radio.ScanResult{APID: "agg1", Channel: 1, RSSIDBm: -50},
+		scanDur: 100 * time.Millisecond,
+		scanOK:  true,
+	}
+	epoch := time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC)
+	dev, err := New(Config{
+		ID:        "dev1",
+		Env:       env,
+		Meter:     meter,
+		WallClock: func() time.Time { return epoch.Add(env.Now()) },
+		Send: func(aggID string, msg protocol.Message) error {
+			if r.sendErr != nil {
+				return r.sendErr
+			}
+			r.sent = append(r.sent, msg)
+			r.sendTo = append(r.sendTo, aggID)
+			return nil
+		},
+		Scan: func() (radio.ScanResult, time.Duration, bool) {
+			r.scans++
+			return r.scanAP, r.scanDur, r.scanOK
+		},
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.dev = dev
+	return r
+}
+
+// lastMsg returns the most recent sent message of type T, if any.
+func lastOf[T protocol.Message](r *rig) (T, bool) {
+	var zero T
+	for i := len(r.sent) - 1; i >= 0; i-- {
+		if m, ok := r.sent[i].(T); ok {
+			return m, true
+		}
+	}
+	return zero, false
+}
+
+func (r *rig) ackAll() {
+	if rep, ok := lastOf[protocol.Report](r); ok {
+		last := rep.Measurements[len(rep.Measurements)-1].Seq
+		r.dev.HandleMessage("agg1", protocol.ReportAck{DeviceID: "dev1", Seq: last})
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestFreshRegistrationSequence(t *testing.T) {
+	r := newRig(t)
+	r.dev.PlugIn()
+	r.env.RunUntil(3 * time.Second)
+	// Device must be registering (scan 100ms + assoc ~0.3s + dhcp ~1s).
+	reg, ok := lastOf[protocol.Register](r)
+	if !ok {
+		t.Fatalf("no Register sent; states: %v, msgs: %d", r.dev.State(), len(r.sent))
+	}
+	if reg.MasterAddr != "" {
+		t.Fatalf("fresh device sent MasterAddr %q, want NULL", reg.MasterAddr)
+	}
+	// Grant master membership.
+	r.dev.HandleMessage("agg1", protocol.RegisterAck{
+		DeviceID: "dev1", Kind: protocol.MemberMaster, AggregatorID: "agg1",
+		Slot: 3, Tmeasure: 100 * time.Millisecond,
+	})
+	if r.dev.State() != StateConnected {
+		t.Fatalf("state = %v", r.dev.State())
+	}
+	if r.dev.MasterAddr() != "agg1" || r.dev.Slot() != 3 {
+		t.Fatalf("master=%q slot=%d", r.dev.MasterAddr(), r.dev.Slot())
+	}
+	if r.dev.Aggregator() != "agg1" {
+		t.Fatalf("aggregator = %q", r.dev.Aggregator())
+	}
+}
+
+func connect(t *testing.T, r *rig) {
+	t.Helper()
+	r.dev.PlugIn()
+	r.env.RunUntil(r.env.Now() + 3*time.Second)
+	if _, ok := lastOf[protocol.Register](r); !ok {
+		t.Fatal("device never registered")
+	}
+	r.dev.HandleMessage("agg1", protocol.RegisterAck{
+		DeviceID: "dev1", Kind: protocol.MemberMaster, AggregatorID: "agg1",
+		Slot: 0, Tmeasure: 100 * time.Millisecond,
+	})
+	if r.dev.State() != StateConnected {
+		t.Fatalf("connect failed: %v", r.dev.State())
+	}
+}
+
+func TestMeasurementsBufferedWhileDisconnected(t *testing.T) {
+	r := newRig(t)
+	r.scanOK = false // no AP in range
+	r.dev.PlugIn()
+	r.env.RunUntil(2 * time.Second)
+	if r.dev.Buffered() == 0 {
+		t.Fatal("nothing buffered while searching")
+	}
+	if r.dev.TotalEnergy() <= 0 {
+		t.Fatal("no energy accumulated while buffering")
+	}
+}
+
+func TestReportingAtTmeasure(t *testing.T) {
+	r := newRig(t)
+	connect(t, r)
+	start := len(r.sent)
+	r.env.RunUntil(r.env.Now() + time.Second)
+	reports := 0
+	for _, m := range r.sent[start:] {
+		if _, ok := m.(protocol.Report); ok {
+			reports++
+		}
+	}
+	if reports != 10 {
+		t.Fatalf("%d reports in 1s, want 10 (Tmeasure=100ms)", reports)
+	}
+}
+
+func TestRetransmitUntilAcked(t *testing.T) {
+	r := newRig(t)
+	connect(t, r)
+	r.env.RunUntil(r.env.Now() + 300*time.Millisecond)
+	rep, ok := lastOf[protocol.Report](r)
+	if !ok {
+		t.Fatal("no report")
+	}
+	// No acks: the report batch keeps growing.
+	if len(rep.Measurements) < 2 {
+		t.Fatalf("unacked measurements not retransmitted: %d", len(rep.Measurements))
+	}
+	// Ack everything: next report carries only fresh data.
+	r.ackAll()
+	r.env.RunUntil(r.env.Now() + 100*time.Millisecond)
+	rep2, _ := lastOf[protocol.Report](r)
+	if len(rep2.Measurements) != 1 {
+		t.Fatalf("after ack, batch = %d, want 1", len(rep2.Measurements))
+	}
+	if r.dev.Buffered() != 1 {
+		t.Fatalf("buffered = %d", r.dev.Buffered())
+	}
+}
+
+func TestUnplugStopsMeasuring(t *testing.T) {
+	r := newRig(t)
+	connect(t, r)
+	r.env.RunUntil(r.env.Now() + 500*time.Millisecond)
+	r.ackAll()
+	r.dev.Unplug()
+	if r.dev.State() != StateOffline {
+		t.Fatalf("state = %v", r.dev.State())
+	}
+	e := r.dev.TotalEnergy()
+	n := len(r.sent)
+	r.env.RunUntil(r.env.Now() + 2*time.Second)
+	if r.dev.TotalEnergy() != e {
+		t.Fatal("energy accumulated while unplugged (paper: no consumption in transit)")
+	}
+	if len(r.sent) != n {
+		t.Fatal("messages sent while unplugged")
+	}
+}
+
+func TestRoamingNackTriggersTempRegistration(t *testing.T) {
+	r := newRig(t)
+	connect(t, r) // establishes master membership at agg1
+	r.dev.Unplug()
+	// Replug in range of a different aggregator.
+	r.scanAP = radio.ScanResult{APID: "agg2", Channel: 6, RSSIDBm: -55}
+	r.dev.PlugIn()
+	preReg := 0
+	for _, m := range r.sent {
+		if _, ok := m.(protocol.Register); ok {
+			preReg++
+		}
+	}
+	r.env.RunUntil(r.env.Now() + 3*time.Second)
+	// Optimistic reporting to agg2 (Fig. 3 seq 2): a Report, not a
+	// Register, goes out first.
+	lastReport, ok := lastOf[protocol.Report](r)
+	if !ok {
+		t.Fatal("roaming device never reported")
+	}
+	if to := r.sendTo[len(r.sendTo)-1]; to != "agg2" {
+		t.Fatalf("reported to %q", to)
+	}
+	regCount := 0
+	for _, m := range r.sent {
+		if _, ok := m.(protocol.Register); ok {
+			regCount++
+		}
+	}
+	if regCount != preReg {
+		t.Fatal("device registered before receiving Nack")
+	}
+	// agg2 Nacks; device must now register with its Master address.
+	r.dev.HandleMessage("agg2", protocol.ReportNack{
+		DeviceID: "dev1",
+		Seq:      lastReport.Measurements[len(lastReport.Measurements)-1].Seq,
+		Reason:   "not a member",
+	})
+	reg, ok := lastOf[protocol.Register](r)
+	if !ok {
+		t.Fatal("no registration after Nack")
+	}
+	if reg.MasterAddr != "agg1" {
+		t.Fatalf("roaming Register carries master %q, want agg1", reg.MasterAddr)
+	}
+	// Temporary grant connects the device without changing its master.
+	r.dev.HandleMessage("agg2", protocol.RegisterAck{
+		DeviceID: "dev1", Kind: protocol.MemberTemporary, AggregatorID: "agg2",
+		Slot: 1, Tmeasure: 100 * time.Millisecond,
+	})
+	if r.dev.State() != StateConnected {
+		t.Fatalf("state = %v", r.dev.State())
+	}
+	if r.dev.MasterAddr() != "agg1" {
+		t.Fatalf("master changed to %q on temp membership", r.dev.MasterAddr())
+	}
+	if r.dev.MembershipKind() != protocol.MemberTemporary {
+		t.Fatalf("kind = %v", r.dev.MembershipKind())
+	}
+	// Handshake was measured.
+	hs := r.dev.Handshakes()
+	if len(hs) != 1 || hs[0] <= 0 {
+		t.Fatalf("handshakes = %v", hs)
+	}
+}
+
+func TestBufferedDataFlushedAfterReconnect(t *testing.T) {
+	r := newRig(t)
+	r.scanOK = false
+	r.dev.PlugIn()
+	r.env.RunUntil(2 * time.Second) // buffering
+	buffered := r.dev.Buffered()
+	if buffered == 0 {
+		t.Fatal("no buffered data")
+	}
+	r.scanOK = true
+	r.env.RunUntil(r.env.Now() + 3*time.Second)
+	if _, ok := lastOf[protocol.Register](r); !ok {
+		t.Fatal("no registration after AP appeared")
+	}
+	r.dev.HandleMessage("agg1", protocol.RegisterAck{
+		DeviceID: "dev1", Kind: protocol.MemberMaster, AggregatorID: "agg1", Slot: 0,
+		Tmeasure: 100 * time.Millisecond,
+	})
+	r.env.RunUntil(r.env.Now() + 200*time.Millisecond)
+	rep, ok := lastOf[protocol.Report](r)
+	if !ok {
+		t.Fatal("no report after reconnect")
+	}
+	// The batch must contain the buffered backlog, flagged Buffered.
+	if len(rep.Measurements) <= buffered {
+		t.Fatalf("batch %d does not include backlog %d", len(rep.Measurements), buffered)
+	}
+	if !rep.Measurements[0].Buffered {
+		t.Fatal("backlog measurement not marked buffered")
+	}
+	if rep.Measurements[len(rep.Measurements)-1].Buffered {
+		t.Fatal("fresh measurement marked buffered")
+	}
+}
+
+func TestRegisterNackBacksOff(t *testing.T) {
+	r := newRig(t)
+	r.dev.PlugIn()
+	r.env.RunUntil(3 * time.Second)
+	if _, ok := lastOf[protocol.Register](r); !ok {
+		t.Fatal("no register")
+	}
+	scansBefore := r.scans
+	r.dev.HandleMessage("agg1", protocol.RegisterNack{DeviceID: "dev1", Reason: "no slots"})
+	r.env.RunUntil(r.env.Now() + 2*time.Second)
+	if r.scans <= scansBefore {
+		t.Fatal("device did not rescan after RegisterNack")
+	}
+}
+
+func TestSendFailureTriggersRescan(t *testing.T) {
+	r := newRig(t)
+	connect(t, r)
+	scans := r.scans
+	r.sendErr = errors.New("radio gone")
+	r.env.RunUntil(r.env.Now() + 2*time.Second)
+	if r.scans <= scans {
+		t.Fatal("device did not rescan after send failures")
+	}
+	// Data kept during the outage.
+	if r.dev.Buffered() == 0 {
+		t.Fatal("no data retained during outage")
+	}
+}
+
+func TestDemandPredictorTracksLoad(t *testing.T) {
+	r := newRig(t)
+	connect(t, r)
+	r.env.RunUntil(r.env.Now() + 20*time.Second)
+	got := r.dev.PredictedDemand()
+	if got < 70 || got > 90 {
+		t.Fatalf("EWMA demand = %.1f mA, want ~80", got)
+	}
+}
+
+func TestStateChangeHook(t *testing.T) {
+	r := newRig(t)
+	var transitions []State
+	r.dev.OnStateChange = func(from, to State) { transitions = append(transitions, to) }
+	connect(t, r)
+	want := []State{StateScanning, StateAssociating, StateRegistering, StateConnected}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v", transitions)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, transitions[i], want[i])
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s := StateOffline; s <= StateConnected; s++ {
+		if s.String() == "" {
+			t.Fatalf("empty string for state %d", s)
+		}
+	}
+	if State(99).String() == "" {
+		t.Fatal("unknown state string empty")
+	}
+}
+
+func TestAggregatorMandatesTmeasure(t *testing.T) {
+	r := newRig(t)
+	r.dev.PlugIn()
+	r.env.RunUntil(3 * time.Second)
+	// Grant with a slower cadence.
+	r.dev.HandleMessage("agg1", protocol.RegisterAck{
+		DeviceID: "dev1", Kind: protocol.MemberMaster, AggregatorID: "agg1",
+		Slot: 0, Tmeasure: 500 * time.Millisecond,
+	})
+	start := len(r.sent)
+	r.env.RunUntil(r.env.Now() + 2*time.Second)
+	reports := 0
+	for _, m := range r.sent[start:] {
+		if _, ok := m.(protocol.Report); ok {
+			reports++
+		}
+	}
+	if reports != 4 {
+		t.Fatalf("%d reports in 2s at 500ms cadence, want 4", reports)
+	}
+}

@@ -1,0 +1,362 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"decentmeter/internal/units"
+)
+
+func TestConstant(t *testing.T) {
+	p := Constant{I: 50 * units.Milliampere}
+	for _, at := range []time.Duration{0, time.Second, time.Hour} {
+		if got := p.Current(at); got != 50*units.Milliampere {
+			t.Fatalf("Constant at %v = %v", at, got)
+		}
+	}
+}
+
+func TestRamp(t *testing.T) {
+	p := Ramp{Start: 0, End: 100 * units.Milliampere, Duration: 10 * time.Second}
+	if got := p.Current(0); got != 0 {
+		t.Fatalf("ramp(0) = %v", got)
+	}
+	if got := p.Current(5 * time.Second); got != 50*units.Milliampere {
+		t.Fatalf("ramp(5s) = %v", got)
+	}
+	if got := p.Current(20 * time.Second); got != 100*units.Milliampere {
+		t.Fatalf("ramp(20s) = %v", got)
+	}
+}
+
+func TestSineBounds(t *testing.T) {
+	p := Sine{Mean: 100 * units.Milliampere, Amplitude: 20 * units.Milliampere, Period: time.Second}
+	for i := 0; i < 1000; i++ {
+		v := p.Current(time.Duration(i) * time.Millisecond)
+		if v < 80*units.Milliampere || v > 120*units.Milliampere {
+			t.Fatalf("sine out of bounds at %dms: %v", i, v)
+		}
+	}
+	// Zero period degenerates to the mean.
+	p0 := Sine{Mean: 10 * units.Milliampere}
+	if p0.Current(5*time.Second) != 10*units.Milliampere {
+		t.Fatal("zero-period sine != mean")
+	}
+}
+
+func TestDutyCycle(t *testing.T) {
+	p := DutyCycle{On: 700 * units.Milliampere, Off: 30 * units.Milliampere, Period: 10 * time.Second, Duty: 0.3}
+	if got := p.Current(0); got != 700*units.Milliampere {
+		t.Fatalf("duty(0) = %v", got)
+	}
+	if got := p.Current(2999 * time.Millisecond); got != 700*units.Milliampere {
+		t.Fatalf("duty(2.999s) = %v", got)
+	}
+	if got := p.Current(3 * time.Second); got != 30*units.Milliampere {
+		t.Fatalf("duty(3s) = %v", got)
+	}
+	if got := p.Current(10 * time.Second); got != 700*units.Milliampere {
+		t.Fatalf("duty wraps: %v", got)
+	}
+}
+
+func TestDutyCycleClampsDuty(t *testing.T) {
+	hot := DutyCycle{On: 1, Off: 0, Period: time.Second, Duty: 2}
+	if hot.Current(999*time.Millisecond) != 1 {
+		t.Fatal("duty>1 not clamped to always-on")
+	}
+	cold := DutyCycle{On: 1, Off: 0, Period: time.Second, Duty: -1}
+	if cold.Current(0) != 0 {
+		t.Fatal("duty<0 not clamped to always-off")
+	}
+}
+
+func TestPiecewise(t *testing.T) {
+	p := Piecewise{Segments: []Segment{
+		{Duration: time.Second, Profile: Constant{I: 10}},
+		{Duration: time.Second, Profile: Constant{I: 20}},
+		{Duration: time.Second, Profile: Constant{I: 30}},
+	}}
+	cases := []struct {
+		at   time.Duration
+		want units.Current
+	}{
+		{0, 10},
+		{999 * time.Millisecond, 10},
+		{time.Second, 20},
+		{2500 * time.Millisecond, 30},
+		{10 * time.Second, 30}, // final segment persists
+	}
+	for _, tc := range cases {
+		if got := p.Current(tc.at); got != tc.want {
+			t.Errorf("piecewise(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	var empty Piecewise
+	if empty.Current(0) != 0 {
+		t.Fatal("empty piecewise != 0")
+	}
+}
+
+func TestSumScaleDelayClamp(t *testing.T) {
+	s := Sum{Constant{I: 10}, Constant{I: 20}}
+	if s.Current(0) != 30 {
+		t.Fatal("sum")
+	}
+	sc := Scale{P: Constant{I: 10}, Factor: 2.5}
+	if sc.Current(0) != 25 {
+		t.Fatal("scale")
+	}
+	d := Delayed{P: Constant{I: 10}, Delay: time.Second}
+	if d.Current(500*time.Millisecond) != 0 || d.Current(time.Second) != 10 {
+		t.Fatal("delayed")
+	}
+	c := Clamp{P: Constant{I: 100}, Min: 0, Max: 50}
+	if c.Current(0) != 50 {
+		t.Fatal("clamp max")
+	}
+	c2 := Clamp{P: Constant{I: -5}, Min: 0, Max: 50}
+	if c2.Current(0) != 0 {
+		t.Fatal("clamp min")
+	}
+}
+
+func TestNoisyDeterministic(t *testing.T) {
+	n := Noisy{P: Constant{I: 100 * units.Milliampere}, StdDev: 2 * units.Milliampere, Seed: 7}
+	a := n.Current(123 * time.Millisecond)
+	b := n.Current(123 * time.Millisecond)
+	if a != b {
+		t.Fatalf("Noisy not deterministic: %v vs %v", a, b)
+	}
+	// Different instants should (almost surely) differ.
+	diff := false
+	for i := 1; i < 50; i++ {
+		if n.Current(time.Duration(i)*time.Millisecond) != a {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("Noisy produced constant output across 50 samples")
+	}
+}
+
+func TestNoisyNeverNegative(t *testing.T) {
+	n := Noisy{P: Constant{I: 1 * units.Microampere}, StdDev: 10 * units.Milliampere, Seed: 3}
+	for i := 0; i < 1000; i++ {
+		if v := n.Current(time.Duration(i) * time.Millisecond); v < 0 {
+			t.Fatalf("negative noisy current: %v", v)
+		}
+	}
+}
+
+func TestNoisyStats(t *testing.T) {
+	base := 100 * units.Milliampere
+	n := Noisy{P: Constant{I: base}, StdDev: 2 * units.Milliampere, Seed: 11}
+	var sum int64
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		sum += int64(n.Current(time.Duration(i) * time.Millisecond))
+	}
+	mean := sum / draws
+	if mean < int64(base)-500 || mean > int64(base)+500 {
+		t.Fatalf("noisy mean %d uA far from base %d uA", mean, base)
+	}
+}
+
+func TestBatteryPhases(t *testing.T) {
+	b := DefaultEScooter()
+	// At t=0 we are in CC phase.
+	if got := b.Current(0); got != b.CCCurrent {
+		t.Fatalf("CC current = %v, want %v", got, b.CCCurrent)
+	}
+	cc := b.ccDuration()
+	if cc <= 0 {
+		t.Fatal("CC phase empty for 20% initial SoC")
+	}
+	// Just past CC the current starts decaying but is near CC level.
+	just := b.Current(cc + time.Second)
+	if just > b.CCCurrent || just < b.CCCurrent/2 {
+		t.Fatalf("current just after CC = %v", just)
+	}
+	// Long after full charge: idle.
+	end := b.FullChargeDuration()
+	if got := b.Current(end + time.Hour); got != b.IdleCurrent {
+		t.Fatalf("post-charge current = %v, want idle %v", got, b.IdleCurrent)
+	}
+}
+
+func TestBatteryMonotoneDecay(t *testing.T) {
+	b := DefaultEScooter()
+	cc := b.ccDuration()
+	prev := b.Current(cc)
+	for dt := time.Minute; dt < 3*time.Hour; dt += time.Minute {
+		cur := b.Current(cc + dt)
+		if cur > prev {
+			t.Fatalf("CV current increased at %v: %v > %v", dt, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestBatterySoC(t *testing.T) {
+	b := DefaultEScooter()
+	if soc := b.SoC(0); soc != b.InitialSoC {
+		t.Fatalf("SoC(0) = %v", soc)
+	}
+	cc := b.ccDuration()
+	socAtCV := b.SoC(cc)
+	if socAtCV < b.CVThresholdSoC-0.01 || socAtCV > b.CVThresholdSoC+0.01 {
+		t.Fatalf("SoC at CV handover = %v, want ~%v", socAtCV, b.CVThresholdSoC)
+	}
+	if soc := b.SoC(100 * time.Hour); soc < 0.99 {
+		t.Fatalf("SoC long-run = %v, want ~1", soc)
+	}
+	// SoC is nondecreasing.
+	prev := 0.0
+	for dt := time.Duration(0); dt < 5*time.Hour; dt += 5 * time.Minute {
+		soc := b.SoC(dt)
+		if soc < prev-1e-9 {
+			t.Fatalf("SoC decreased at %v", dt)
+		}
+		prev = soc
+	}
+}
+
+func TestBatteryAlreadyCharged(t *testing.T) {
+	b := DefaultEScooter()
+	b.InitialSoC = 0.95
+	if cc := b.ccDuration(); cc != 0 {
+		t.Fatalf("ccDuration for charged pack = %v", cc)
+	}
+}
+
+func TestESP32Load(t *testing.T) {
+	l := DefaultESP32()
+	// During burst.
+	if got := l.Current(0); got != l.Base+l.TxPeak {
+		t.Fatalf("burst draw = %v", got)
+	}
+	// Between bursts.
+	if got := l.Current(50 * time.Millisecond); got != l.Base {
+		t.Fatalf("idle draw = %v", got)
+	}
+	// Next cycle bursts again.
+	if got := l.Current(100 * time.Millisecond); got != l.Base+l.TxPeak {
+		t.Fatalf("second burst = %v", got)
+	}
+}
+
+func TestAverageOver(t *testing.T) {
+	p := DutyCycle{On: 100, Off: 0, Period: 10 * time.Millisecond, Duty: 0.5}
+	avg := AverageOver(p, 0, 100*time.Millisecond, time.Millisecond)
+	if avg != 50 {
+		t.Fatalf("average = %v, want 50", avg)
+	}
+}
+
+func TestEnergyOverMatchesAnalytic(t *testing.T) {
+	p := Constant{I: 200 * units.Milliampere}
+	v := 5 * units.Volt
+	e := EnergyOver(p, v, 0, time.Hour, time.Minute)
+	want := units.EnergyFromIVOver(200*units.Milliampere, v, time.Hour)
+	// Each integration step may round by up to half a microwatt-hour.
+	diff := (e - want).Abs()
+	if diff > 60*units.MicrowattHour {
+		t.Fatalf("EnergyOver = %v, analytic %v (diff %v)", e, want, diff)
+	}
+}
+
+func TestEnergyOverPartialLastStep(t *testing.T) {
+	p := Constant{I: units.Ampere}
+	v := units.Volt
+	// 90 ms in 40 ms steps: 40+40+10.
+	e := EnergyOver(p, v, 0, 90*time.Millisecond, 40*time.Millisecond)
+	want := units.EnergyFromIVOver(units.Ampere, v, 90*time.Millisecond)
+	diff := (e - want).Abs()
+	if diff > 2*units.MicrowattHour {
+		t.Fatalf("partial step energy = %v, want %v", e, want)
+	}
+}
+
+func TestStandardAppliances(t *testing.T) {
+	apps := StandardAppliances()
+	if len(apps) < 4 {
+		t.Fatalf("want >= 4 standard appliances, got %d", len(apps))
+	}
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if a.Name == "" || a.Profile == nil {
+			t.Fatalf("malformed appliance %+v", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate appliance name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if c := a.Profile.Current(0); c < 0 {
+			t.Fatalf("appliance %q draws negative current at t=0", a.Name)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if s := Describe(Constant{I: 5 * units.Milliampere}); s == "" {
+		t.Fatal("empty describe")
+	}
+	if s := Describe(Ramp{}); s == "" {
+		t.Fatal("empty describe for ramp")
+	}
+	if s := Describe(Sine{}); s == "" {
+		t.Fatal("empty describe for default")
+	}
+}
+
+func TestProfileDeterminismQuick(t *testing.T) {
+	profiles := []Profile{
+		DefaultESP32(),
+		DefaultEScooter(),
+		Noisy{P: DefaultESP32(), StdDev: units.Milliampere, Seed: 99},
+		Sine{Mean: 50 * units.Milliampere, Amplitude: 10 * units.Milliampere, Period: time.Second},
+	}
+	f := func(ms uint32) bool {
+		at := time.Duration(ms) * time.Millisecond
+		for _, p := range profiles {
+			if p.Current(at) != p.Current(at) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumNonNegativeQuick(t *testing.T) {
+	apps := StandardAppliances()
+	f := func(ms uint32) bool {
+		at := time.Duration(ms) * time.Millisecond
+		var total units.Current
+		for _, a := range apps {
+			c := a.Profile.Current(at)
+			if c < 0 {
+				return false
+			}
+			total += c
+		}
+		return total >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileFunc(t *testing.T) {
+	p := ProfileFunc(func(t time.Duration) units.Current {
+		return units.Current(t / time.Millisecond)
+	})
+	if p.Current(5*time.Millisecond) != 5 {
+		t.Fatal("ProfileFunc adapter broken")
+	}
+}

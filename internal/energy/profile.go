@@ -1,0 +1,285 @@
+// Package energy models electrical load profiles: the ground-truth current a
+// device draws as a function of time. Profiles replace the physical ESP32
+// boards and e-scooter batteries of the paper's testbed; everything above
+// this layer (sensors, reporting, aggregation, billing) observes profiles
+// only through simulated sensor reads, exactly as the hardware stack
+// observes real loads only through the INA219.
+//
+// Profiles are pure functions of virtual time so that the simulation remains
+// deterministic. Stochastic load variation is expressed with an explicitly
+// seeded noise wrapper.
+package energy
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"decentmeter/internal/units"
+)
+
+// Profile yields the true current drawn at a given virtual time since the
+// load was switched on. Implementations must be deterministic: the same t
+// always returns the same current.
+type Profile interface {
+	// Current returns the instantaneous draw at time t.
+	Current(t time.Duration) units.Current
+}
+
+// ProfileFunc adapts a plain function to the Profile interface.
+type ProfileFunc func(t time.Duration) units.Current
+
+// Current implements Profile.
+func (f ProfileFunc) Current(t time.Duration) units.Current { return f(t) }
+
+// Constant is a fixed draw, e.g. an always-on controller board.
+type Constant struct {
+	I units.Current
+}
+
+// Current implements Profile.
+func (c Constant) Current(time.Duration) units.Current { return c.I }
+
+// Ramp linearly interpolates from Start to End over Duration, then holds
+// End. Useful for soft-start loads.
+type Ramp struct {
+	Start, End units.Current
+	Duration   time.Duration
+}
+
+// Current implements Profile.
+func (r Ramp) Current(t time.Duration) units.Current {
+	if r.Duration <= 0 || t >= r.Duration {
+		return r.End
+	}
+	if t <= 0 {
+		return r.Start
+	}
+	frac := float64(t) / float64(r.Duration)
+	return r.Start + units.Current(math.Round(frac*float64(r.End-r.Start)))
+}
+
+// Sine oscillates around Mean with the given Amplitude and Period, modelling
+// loads with cyclic components (motor cogging, switching regulators).
+type Sine struct {
+	Mean      units.Current
+	Amplitude units.Current
+	Period    time.Duration
+	Phase     float64 // radians
+}
+
+// Current implements Profile.
+func (s Sine) Current(t time.Duration) units.Current {
+	if s.Period <= 0 {
+		return s.Mean
+	}
+	omega := 2 * math.Pi * float64(t) / float64(s.Period)
+	return s.Mean + units.Current(math.Round(float64(s.Amplitude)*math.Sin(omega+s.Phase)))
+}
+
+// DutyCycle alternates between On and Off draw with the given period and
+// duty fraction, modelling thermostat- or PWM-style appliances (fridge
+// compressor, heater).
+type DutyCycle struct {
+	On, Off units.Current
+	Period  time.Duration
+	Duty    float64 // fraction of the period spent in the On state, [0,1]
+}
+
+// Current implements Profile.
+func (d DutyCycle) Current(t time.Duration) units.Current {
+	if d.Period <= 0 {
+		return d.On
+	}
+	duty := d.Duty
+	if duty < 0 {
+		duty = 0
+	}
+	if duty > 1 {
+		duty = 1
+	}
+	phase := t % d.Period
+	if float64(phase) < duty*float64(d.Period) {
+		return d.On
+	}
+	return d.Off
+}
+
+// Piecewise holds an ordered list of segments; each segment's profile is
+// evaluated with time relative to the segment start. After the last segment
+// the final segment's profile continues (evaluated past its duration).
+type Piecewise struct {
+	Segments []Segment
+}
+
+// Segment is one stretch of a Piecewise profile.
+type Segment struct {
+	Duration time.Duration
+	Profile  Profile
+}
+
+// Current implements Profile.
+func (p Piecewise) Current(t time.Duration) units.Current {
+	if len(p.Segments) == 0 {
+		return 0
+	}
+	var base time.Duration
+	for i, seg := range p.Segments {
+		if t < base+seg.Duration || i == len(p.Segments)-1 {
+			return seg.Profile.Current(t - base)
+		}
+		base += seg.Duration
+	}
+	return 0 // unreachable
+}
+
+// Sum superimposes several profiles, modelling a device with multiple
+// internal loads (radio + CPU + charging circuit).
+type Sum []Profile
+
+// Current implements Profile.
+func (s Sum) Current(t time.Duration) units.Current {
+	var total units.Current
+	for _, p := range s {
+		total += p.Current(t)
+	}
+	return total
+}
+
+// Scale multiplies an inner profile by Factor.
+type Scale struct {
+	P      Profile
+	Factor float64
+}
+
+// Current implements Profile.
+func (s Scale) Current(t time.Duration) units.Current {
+	return units.Current(math.Round(float64(s.P.Current(t)) * s.Factor))
+}
+
+// Delayed starts the inner profile after Delay; before that it draws zero.
+type Delayed struct {
+	P     Profile
+	Delay time.Duration
+}
+
+// Current implements Profile.
+func (d Delayed) Current(t time.Duration) units.Current {
+	if t < d.Delay {
+		return 0
+	}
+	return d.P.Current(t - d.Delay)
+}
+
+// Clamp limits the inner profile to [Min, Max].
+type Clamp struct {
+	P        Profile
+	Min, Max units.Current
+}
+
+// Current implements Profile.
+func (c Clamp) Current(t time.Duration) units.Current {
+	v := c.P.Current(t)
+	if v < c.Min {
+		return c.Min
+	}
+	if v > c.Max {
+		return c.Max
+	}
+	return v
+}
+
+// Noisy perturbs an inner profile with deterministic pseudo-noise derived
+// from the sample time and a seed, so that repeated evaluation at the same t
+// returns the same value (a requirement of the Profile contract) while
+// different instants decorrelate. StdDev is the noise standard deviation.
+type Noisy struct {
+	P      Profile
+	StdDev units.Current
+	Seed   uint64
+}
+
+// Current implements Profile.
+func (n Noisy) Current(t time.Duration) units.Current {
+	base := n.P.Current(t)
+	if n.StdDev == 0 {
+		return base
+	}
+	// Hash (seed, t) into two uniforms, then Box-Muller.
+	h := splitmix(n.Seed ^ uint64(t))
+	u1 := float64(h>>11) / (1 << 53)
+	h = splitmix(h)
+	u2 := float64(h>>11) / (1 << 53)
+	if u1 <= 0 {
+		u1 = 1e-12
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	out := base + units.Current(math.Round(z*float64(n.StdDev)))
+	if out < 0 {
+		out = 0
+	}
+	return out
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// AverageOver numerically averages a profile over [from, to) with the given
+// sample step. It is a test/verification helper, not a hot path.
+func AverageOver(p Profile, from, to, step time.Duration) units.Current {
+	if step <= 0 {
+		panic("energy: AverageOver with non-positive step")
+	}
+	if to <= from {
+		return 0
+	}
+	var sum int64
+	var n int64
+	for t := from; t < to; t += step {
+		sum += int64(p.Current(t))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return units.Current(sum / n)
+}
+
+// EnergyOver integrates a profile at voltage v over [from, to) with the
+// given step, returning consumed energy. Left-rectangle integration matches
+// how the metering stack itself converts samples to energy.
+func EnergyOver(p Profile, v units.Voltage, from, to, step time.Duration) units.Energy {
+	if step <= 0 {
+		panic("energy: EnergyOver with non-positive step")
+	}
+	var e units.Energy
+	for t := from; t < to; t += step {
+		d := step
+		if t+step > to {
+			d = to - t
+		}
+		e += units.EnergyFromIVOver(p.Current(t), v, d)
+	}
+	return e
+}
+
+// String names for the built-in profile kinds, used in scenario logs.
+func describe(p Profile) string {
+	switch v := p.(type) {
+	case Constant:
+		return fmt.Sprintf("constant(%v)", v.I)
+	case Ramp:
+		return fmt.Sprintf("ramp(%v->%v over %v)", v.Start, v.End, v.Duration)
+	case DutyCycle:
+		return fmt.Sprintf("duty(%v/%v %v %.0f%%)", v.On, v.Off, v.Period, v.Duty*100)
+	default:
+		return fmt.Sprintf("%T", p)
+	}
+}
+
+// Describe returns a human-readable one-line description of a profile.
+func Describe(p Profile) string { return describe(p) }

@@ -1,0 +1,301 @@
+// Package grid models the physical electrical infrastructure of the paper's
+// architecture: per-network feeders that devices plug into, transmission
+// lines with ohmic resistance, and the feeder-head measurement point that
+// gives each aggregator its system-level complementary measurement.
+//
+// The ohmic line losses are the physical cause (together with sensor offset
+// error) of the 0.9-8.2% gap between the aggregator's measurement and the
+// sum of the device reports in the paper's Fig. 5: current measured at the
+// feeder head includes the I^2*R dissipated in the wiring, which individual
+// device sensors never see.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"decentmeter/internal/energy"
+	"decentmeter/internal/units"
+)
+
+// Location identifies one grid-location (one WAN / feeder in the paper).
+type Location string
+
+// Attachment records one device plugged into a feeder.
+type Attachment struct {
+	// DeviceID names the plugged device.
+	DeviceID string
+	// Profile is the ground-truth draw, evaluated with time since plug-in.
+	Profile energy.Profile
+	// LineOhms is the resistance of the branch wiring between the feeder
+	// head and this outlet.
+	LineOhms float64
+	// PluggedAt is the virtual instant the device was plugged in.
+	PluggedAt time.Duration
+}
+
+// Feeder is one network's electrical segment: a supply, a set of outlets and
+// a head-end measurement point. Not safe for concurrent use; the simulation
+// is single-threaded.
+type Feeder struct {
+	location Location
+	supply   units.Voltage
+	now      func() time.Duration
+	loads    map[string]*Attachment
+}
+
+// NewFeeder creates a feeder for the given location. supply is the nominal
+// outlet voltage (the testbed powers everything at 5 V). now supplies
+// virtual time.
+func NewFeeder(loc Location, supply units.Voltage, now func() time.Duration) *Feeder {
+	if now == nil {
+		panic("grid: feeder requires a time source")
+	}
+	return &Feeder{
+		location: loc,
+		supply:   supply,
+		now:      now,
+		loads:    make(map[string]*Attachment),
+	}
+}
+
+// Location returns the feeder's grid-location.
+func (f *Feeder) Location() Location { return f.location }
+
+// Supply returns the nominal outlet voltage.
+func (f *Feeder) Supply() units.Voltage { return f.supply }
+
+// Plug attaches a device drawing profile through a branch line of lineOhms.
+// Plugging an already-plugged device is an error.
+func (f *Feeder) Plug(deviceID string, profile energy.Profile, lineOhms float64) error {
+	if _, ok := f.loads[deviceID]; ok {
+		return fmt.Errorf("grid: device %q already plugged at %s", deviceID, f.location)
+	}
+	if profile == nil {
+		return fmt.Errorf("grid: device %q plugged with nil profile", deviceID)
+	}
+	if lineOhms < 0 {
+		return fmt.Errorf("grid: negative line resistance %f", lineOhms)
+	}
+	f.loads[deviceID] = &Attachment{
+		DeviceID:  deviceID,
+		Profile:   profile,
+		LineOhms:  lineOhms,
+		PluggedAt: f.now(),
+	}
+	return nil
+}
+
+// Unplug removes a device. Unplugging an absent device is an error.
+func (f *Feeder) Unplug(deviceID string) error {
+	if _, ok := f.loads[deviceID]; !ok {
+		return fmt.Errorf("grid: device %q not plugged at %s", deviceID, f.location)
+	}
+	delete(f.loads, deviceID)
+	return nil
+}
+
+// Plugged reports whether deviceID is currently attached.
+func (f *Feeder) Plugged(deviceID string) bool {
+	_, ok := f.loads[deviceID]
+	return ok
+}
+
+// Devices returns the sorted IDs of attached devices.
+func (f *Feeder) Devices() []string {
+	ids := make([]string, 0, len(f.loads))
+	for id := range f.loads {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// DeviceCurrent returns the true current at the device's own terminals
+// (what a perfect in-device sensor would see). Zero if not plugged.
+func (f *Feeder) DeviceCurrent(deviceID string) units.Current {
+	a, ok := f.loads[deviceID]
+	if !ok {
+		return 0
+	}
+	return a.Profile.Current(f.now() - a.PluggedAt)
+}
+
+// headCurrent returns the current the feeder head sources for one device:
+// terminal current plus the line-loss current I^2*R/V.
+func (f *Feeder) headCurrent(a *Attachment) units.Current {
+	i := a.Profile.Current(f.now() - a.PluggedAt)
+	if i <= 0 {
+		return i
+	}
+	v := f.supply.Volts()
+	if v <= 0 {
+		return i
+	}
+	lossAmps := i.Amps() * i.Amps() * a.LineOhms / v
+	return i + units.Current(math.Round(lossAmps*1e6))
+}
+
+// LossCurrent returns just the ohmic-loss component for a device.
+func (f *Feeder) LossCurrent(deviceID string) units.Current {
+	a, ok := f.loads[deviceID]
+	if !ok {
+		return 0
+	}
+	return f.headCurrent(a) - f.DeviceCurrent(deviceID)
+}
+
+// TrueCurrent implements sensor.LoadChannel: the total current at the feeder
+// head, i.e. what the aggregator's own system-level sensor observes.
+func (f *Feeder) TrueCurrent() units.Current {
+	var total units.Current
+	for _, a := range f.loads {
+		total += f.headCurrent(a)
+	}
+	return total
+}
+
+// TrueBusVoltage implements sensor.LoadChannel.
+func (f *Feeder) TrueBusVoltage() units.Voltage { return f.supply }
+
+// DeviceChannel returns a sensor.LoadChannel view of one outlet, used to
+// wire a per-device INA219 to this feeder. The channel reads zero when the
+// device is unplugged (sensor still powered from the device's battery, load
+// absent), matching the paper's "no consumption during transit".
+func (f *Feeder) DeviceChannel(deviceID string) DeviceChannel {
+	return DeviceChannel{feeder: f, deviceID: deviceID}
+}
+
+// DeviceChannel adapts one outlet to the sensor LoadChannel interface.
+type DeviceChannel struct {
+	feeder   *Feeder
+	deviceID string
+}
+
+// TrueCurrent implements sensor.LoadChannel.
+func (c DeviceChannel) TrueCurrent() units.Current {
+	return c.feeder.DeviceCurrent(c.deviceID)
+}
+
+// TrueBusVoltage implements sensor.LoadChannel.
+func (c DeviceChannel) TrueBusVoltage() units.Voltage {
+	if !c.feeder.Plugged(c.deviceID) {
+		return 0
+	}
+	return c.feeder.Supply()
+}
+
+// Grid is the set of feeders across all grid-locations, plus the mobility
+// operation of moving a device between them.
+type Grid struct {
+	feeders map[Location]*Feeder
+	now     func() time.Duration
+	// plugPoint remembers where each known device currently is ("" =
+	// in transit / unplugged).
+	plugPoint map[string]Location
+}
+
+// New creates an empty grid with the given virtual time source.
+func New(now func() time.Duration) *Grid {
+	if now == nil {
+		panic("grid: requires a time source")
+	}
+	return &Grid{
+		feeders:   make(map[Location]*Feeder),
+		now:       now,
+		plugPoint: make(map[string]Location),
+	}
+}
+
+// AddFeeder creates and registers a feeder at loc.
+func (g *Grid) AddFeeder(loc Location, supply units.Voltage) (*Feeder, error) {
+	if _, ok := g.feeders[loc]; ok {
+		return nil, fmt.Errorf("grid: feeder %s already exists", loc)
+	}
+	f := NewFeeder(loc, supply, g.now)
+	g.feeders[loc] = f
+	return f, nil
+}
+
+// Feeder returns the feeder at loc, or nil.
+func (g *Grid) Feeder(loc Location) *Feeder { return g.feeders[loc] }
+
+// Locations returns the sorted registered locations.
+func (g *Grid) Locations() []Location {
+	locs := make([]Location, 0, len(g.feeders))
+	for l := range g.feeders {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	return locs
+}
+
+// Plug attaches a device at loc.
+func (g *Grid) Plug(deviceID string, loc Location, profile energy.Profile, lineOhms float64) error {
+	f, ok := g.feeders[loc]
+	if !ok {
+		return fmt.Errorf("grid: unknown location %s", loc)
+	}
+	if cur, plugged := g.plugPoint[deviceID]; plugged && cur != "" {
+		return fmt.Errorf("grid: device %q already plugged at %s", deviceID, cur)
+	}
+	if err := f.Plug(deviceID, profile, lineOhms); err != nil {
+		return err
+	}
+	g.plugPoint[deviceID] = loc
+	return nil
+}
+
+// Unplug detaches a device wherever it is.
+func (g *Grid) Unplug(deviceID string) error {
+	loc, ok := g.plugPoint[deviceID]
+	if !ok || loc == "" {
+		return fmt.Errorf("grid: device %q is not plugged anywhere", deviceID)
+	}
+	if err := g.feeders[loc].Unplug(deviceID); err != nil {
+		return err
+	}
+	g.plugPoint[deviceID] = ""
+	return nil
+}
+
+// WhereIs returns the device's current location ("" when in transit or
+// never seen).
+func (g *Grid) WhereIs(deviceID string) Location {
+	return g.plugPoint[deviceID]
+}
+
+// DeviceChannel returns a sensor channel that follows the device across
+// feeders: the in-device INA219 physically travels with its device, so it
+// always observes the outlet the device is currently plugged into, and
+// reads dead (zero volts, zero current) during transit.
+func (g *Grid) DeviceChannel(deviceID string) RoamingChannel {
+	return RoamingChannel{g: g, deviceID: deviceID}
+}
+
+// RoamingChannel adapts a mobile device's current outlet (wherever it is)
+// to the sensor LoadChannel interface.
+type RoamingChannel struct {
+	g        *Grid
+	deviceID string
+}
+
+// TrueCurrent implements sensor.LoadChannel.
+func (c RoamingChannel) TrueCurrent() units.Current {
+	loc := c.g.plugPoint[c.deviceID]
+	if loc == "" {
+		return 0
+	}
+	return c.g.feeders[loc].DeviceCurrent(c.deviceID)
+}
+
+// TrueBusVoltage implements sensor.LoadChannel.
+func (c RoamingChannel) TrueBusVoltage() units.Voltage {
+	loc := c.g.plugPoint[c.deviceID]
+	if loc == "" {
+		return 0
+	}
+	return c.g.feeders[loc].Supply()
+}

@@ -1,0 +1,255 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"decentmeter/internal/energy"
+	"decentmeter/internal/units"
+)
+
+func fixedNow(d time.Duration) func() time.Duration {
+	return func() time.Duration { return d }
+}
+
+func TestFeederPlugUnplug(t *testing.T) {
+	f := NewFeeder("net1", 5*units.Volt, fixedNow(0))
+	p := energy.Constant{I: 100 * units.Milliampere}
+	if err := f.Plug("dev1", p, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Plug("dev1", p, 1.0); err == nil {
+		t.Fatal("double plug succeeded")
+	}
+	if !f.Plugged("dev1") {
+		t.Fatal("device not reported plugged")
+	}
+	if err := f.Unplug("dev1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unplug("dev1"); err != nil {
+		// Expected: unplug of absent device errors.
+	} else {
+		t.Fatal("double unplug succeeded")
+	}
+	if f.Plugged("dev1") {
+		t.Fatal("device still plugged after unplug")
+	}
+}
+
+func TestFeederRejectsBadPlugs(t *testing.T) {
+	f := NewFeeder("net1", 5*units.Volt, fixedNow(0))
+	if err := f.Plug("d", nil, 1.0); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	if err := f.Plug("d", energy.Constant{}, -1); err == nil {
+		t.Fatal("negative resistance accepted")
+	}
+}
+
+func TestDeviceCurrentUsesPlugRelativeTime(t *testing.T) {
+	var now time.Duration
+	f := NewFeeder("net1", 5*units.Volt, func() time.Duration { return now })
+	ramp := energy.Ramp{Start: 0, End: 100 * units.Milliampere, Duration: 10 * time.Second}
+	now = 5 * time.Second // plug at t=5s
+	if err := f.Plug("dev1", ramp, 0); err != nil {
+		t.Fatal(err)
+	}
+	now = 10 * time.Second // 5s after plug: ramp at 50%
+	if got := f.DeviceCurrent("dev1"); got != 50*units.Milliampere {
+		t.Fatalf("DeviceCurrent = %v, want 50mA", got)
+	}
+}
+
+func TestUnpluggedDeviceReadsZero(t *testing.T) {
+	f := NewFeeder("net1", 5*units.Volt, fixedNow(0))
+	if got := f.DeviceCurrent("ghost"); got != 0 {
+		t.Fatalf("unplugged current = %v", got)
+	}
+	ch := f.DeviceChannel("ghost")
+	if ch.TrueCurrent() != 0 || ch.TrueBusVoltage() != 0 {
+		t.Fatal("unplugged channel not dead")
+	}
+}
+
+func TestHeadCurrentIncludesOhmicLoss(t *testing.T) {
+	f := NewFeeder("net1", 5*units.Volt, fixedNow(0))
+	i := 100 * units.Milliampere
+	if err := f.Plug("dev1", energy.Constant{I: i}, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	head := f.TrueCurrent()
+	// Loss = I^2*R/V = 0.01*2/5 = 4 mA.
+	wantLoss := 4 * units.Milliampere
+	if got := head - i; got != wantLoss {
+		t.Fatalf("loss = %v, want %v", got, wantLoss)
+	}
+	if got := f.LossCurrent("dev1"); got != wantLoss {
+		t.Fatalf("LossCurrent = %v, want %v", got, wantLoss)
+	}
+}
+
+func TestHeadCurrentSumsDevices(t *testing.T) {
+	f := NewFeeder("net1", 5*units.Volt, fixedNow(0))
+	if err := f.Plug("a", energy.Constant{I: 50 * units.Milliampere}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Plug("b", energy.Constant{I: 70 * units.Milliampere}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.TrueCurrent(); got != 120*units.Milliampere {
+		t.Fatalf("lossless head = %v, want 120mA", got)
+	}
+}
+
+func TestHeadAlwaysAtLeastDeviceSum(t *testing.T) {
+	// Property: with any non-negative loads and resistances, head >= sum
+	// of device terminal currents (losses only ever add).
+	f := func(i1, i2 uint16, r1, r2 uint8) bool {
+		fd := NewFeeder("net1", 5*units.Volt, fixedNow(0))
+		ia := units.Current(i1) * 10 * units.Microampere
+		ib := units.Current(i2) * 10 * units.Microampere
+		if err := fd.Plug("a", energy.Constant{I: ia}, float64(r1)/10); err != nil {
+			return false
+		}
+		if err := fd.Plug("b", energy.Constant{I: ib}, float64(r2)/10); err != nil {
+			return false
+		}
+		return fd.TrueCurrent() >= ia+ib
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLossFractionInPaperRange(t *testing.T) {
+	// With the testbed-like parameters used by the core scenarios
+	// (1-4 ohm branch lines, 45-120 mA loads at 5 V), the relative
+	// loss must fall in roughly the paper's 0.9-8.2% band.
+	f := NewFeeder("net1", 5*units.Volt, fixedNow(0))
+	for _, tc := range []struct {
+		i units.Current
+		r float64
+	}{
+		{45 * units.Milliampere, 1.0},
+		{80 * units.Milliampere, 2.0},
+		{120 * units.Milliampere, 3.0},
+		{160 * units.Milliampere, 2.5},
+	} {
+		if err := f.Plug("d", energy.Constant{I: tc.i}, tc.r); err != nil {
+			t.Fatal(err)
+		}
+		frac := float64(f.LossCurrent("d")) / float64(tc.i)
+		if err := f.Unplug("d"); err != nil {
+			t.Fatal(err)
+		}
+		if frac < 0.005 || frac > 0.09 {
+			t.Errorf("I=%v R=%.1f: loss fraction %.3f outside plausible band", tc.i, tc.r, frac)
+		}
+	}
+}
+
+func TestFeederAsLoadChannel(t *testing.T) {
+	f := NewFeeder("net1", 5*units.Volt, fixedNow(0))
+	if err := f.Plug("a", energy.Constant{I: 10 * units.Milliampere}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Compile-time-ish check that Feeder satisfies the sensor channel
+	// shape: TrueCurrent + TrueBusVoltage.
+	var i units.Current = f.TrueCurrent()
+	var v units.Voltage = f.TrueBusVoltage()
+	if i != 10*units.Milliampere || v != 5*units.Volt {
+		t.Fatalf("channel view: %v %v", i, v)
+	}
+}
+
+func TestGridMobility(t *testing.T) {
+	var now time.Duration
+	g := New(func() time.Duration { return now })
+	if _, err := g.AddFeeder("net1", 5*units.Volt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddFeeder("net2", 5*units.Volt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddFeeder("net1", 5*units.Volt); err == nil {
+		t.Fatal("duplicate feeder accepted")
+	}
+	prof := energy.Constant{I: 80 * units.Milliampere}
+	if err := g.Plug("scooter", "net1", prof, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if loc := g.WhereIs("scooter"); loc != "net1" {
+		t.Fatalf("WhereIs = %q", loc)
+	}
+	if err := g.Plug("scooter", "net2", prof, 1.0); err == nil {
+		t.Fatal("plugged in two places at once")
+	}
+	if err := g.Unplug("scooter"); err != nil {
+		t.Fatal(err)
+	}
+	if loc := g.WhereIs("scooter"); loc != "" {
+		t.Fatalf("in-transit location = %q", loc)
+	}
+	if err := g.Unplug("scooter"); err == nil {
+		t.Fatal("double unplug accepted")
+	}
+	now = time.Hour
+	if err := g.Plug("scooter", "net2", prof, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if loc := g.WhereIs("scooter"); loc != "net2" {
+		t.Fatalf("after move WhereIs = %q", loc)
+	}
+	if g.Feeder("net1").Plugged("scooter") {
+		t.Fatal("still plugged at net1")
+	}
+	if !g.Feeder("net2").Plugged("scooter") {
+		t.Fatal("not plugged at net2")
+	}
+}
+
+func TestGridUnknownLocation(t *testing.T) {
+	g := New(fixedNow(0))
+	if err := g.Plug("d", "nowhere", energy.Constant{}, 0); err == nil {
+		t.Fatal("plug into unknown location accepted")
+	}
+}
+
+func TestGridLocations(t *testing.T) {
+	g := New(fixedNow(0))
+	for _, l := range []Location{"zeta", "alpha", "mid"} {
+		if _, err := g.AddFeeder(l, 5*units.Volt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	locs := g.Locations()
+	if len(locs) != 3 || locs[0] != "alpha" || locs[1] != "mid" || locs[2] != "zeta" {
+		t.Fatalf("Locations = %v", locs)
+	}
+}
+
+func TestFeederDevicesSorted(t *testing.T) {
+	f := NewFeeder("net1", 5*units.Volt, fixedNow(0))
+	for _, id := range []string{"zz", "aa", "mm"} {
+		if err := f.Plug(id, energy.Constant{I: 1}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := f.Devices()
+	if len(ids) != 3 || ids[0] != "aa" || ids[1] != "mm" || ids[2] != "zz" {
+		t.Fatalf("Devices = %v", ids)
+	}
+}
+
+func TestZeroSupplyNoLossBlowup(t *testing.T) {
+	f := NewFeeder("net1", 0, fixedNow(0))
+	if err := f.Plug("d", energy.Constant{I: 100 * units.Milliampere}, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	// Loss model divides by V; V=0 must not panic or produce nonsense.
+	if got := f.TrueCurrent(); got != 100*units.Milliampere {
+		t.Fatalf("zero-supply head current = %v", got)
+	}
+}

@@ -1,0 +1,187 @@
+// Package loadbalance addresses the paper's future-work observation that
+// "device mobility introduces unprecedented demand variability and leads to
+// research problems such as dynamic load-balancing": when roaming devices
+// pile onto one aggregator and exhaust its TDMA slot budget, membership
+// should migrate to neighbouring aggregators with spare capacity.
+//
+// The balancer is a planner: it consumes a capacity snapshot of every
+// aggregator and emits migration orders (device -> target aggregator),
+// which the orchestration layer executes with the existing Fig. 3
+// membership machinery (release slot, transfer/temporary registration at
+// the target). Keeping the planner pure makes its decisions testable and
+// deterministic.
+package loadbalance
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// AggregatorState is one aggregator's capacity snapshot.
+type AggregatorState struct {
+	// ID names the aggregator.
+	ID string
+	// Capacity is its total slot count.
+	Capacity int
+	// Devices lists currently admitted devices. Map value true marks the
+	// device as migratable (temporary members and devices with radio
+	// reach to a neighbour; master members pinned to their feeder are
+	// false).
+	Devices map[string]bool
+	// Neighbors lists aggregators whose radio coverage overlaps this
+	// one's, i.e. valid migration targets.
+	Neighbors []string
+}
+
+// Load returns the occupancy fraction.
+func (s AggregatorState) Load() float64 {
+	if s.Capacity == 0 {
+		return 1
+	}
+	return float64(len(s.Devices)) / float64(s.Capacity)
+}
+
+// Migration is one planned move.
+type Migration struct {
+	DeviceID string
+	From, To string
+}
+
+// Config tunes the planner.
+type Config struct {
+	// HighWater triggers shedding when an aggregator's load exceeds it
+	// (default 0.9).
+	HighWater float64
+	// LowWater is the target load the shedding aims for (default 0.7).
+	LowWater float64
+	// TargetHeadroom refuses targets that would exceed this load after
+	// the move (default 0.8).
+	TargetHeadroom float64
+	// MaxMovesPerRound bounds churn (default 8).
+	MaxMovesPerRound int
+}
+
+// DefaultConfig returns the standard thresholds.
+func DefaultConfig() Config {
+	return Config{HighWater: 0.9, LowWater: 0.7, TargetHeadroom: 0.8, MaxMovesPerRound: 8}
+}
+
+// ErrNoCapacity is returned when an overloaded aggregator has no viable
+// neighbour.
+var ErrNoCapacity = errors.New("loadbalance: no neighbour capacity")
+
+// Plan computes the migrations for one balancing round. The plan never
+// overfills a target (moves are accounted against targets as they are
+// planned) and prefers the least-loaded viable neighbour for each move.
+func Plan(cfg Config, states []AggregatorState) ([]Migration, error) {
+	if cfg.HighWater == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.LowWater >= cfg.HighWater {
+		return nil, fmt.Errorf("loadbalance: low water %.2f >= high water %.2f", cfg.LowWater, cfg.HighWater)
+	}
+	byID := make(map[string]*AggregatorState, len(states))
+	// Work on copies so planning does not mutate the caller's snapshot.
+	work := make([]AggregatorState, len(states))
+	for i, s := range states {
+		cp := s
+		cp.Devices = make(map[string]bool, len(s.Devices))
+		for d, m := range s.Devices {
+			cp.Devices[d] = m
+		}
+		work[i] = cp
+		byID[cp.ID] = &work[i]
+	}
+	// Deterministic iteration: most loaded first, ties by ID.
+	order := make([]*AggregatorState, 0, len(work))
+	for i := range work {
+		order = append(order, &work[i])
+	}
+	sort.Slice(order, func(i, j int) bool {
+		li, lj := order[i].Load(), order[j].Load()
+		if li != lj {
+			return li > lj
+		}
+		return order[i].ID < order[j].ID
+	})
+
+	var plan []Migration
+	var firstErr error
+	for _, src := range order {
+		if src.Load() <= cfg.HighWater {
+			continue
+		}
+		// Shed migratable devices (sorted for determinism) until at the
+		// low-water mark.
+		movable := make([]string, 0, len(src.Devices))
+		for d, ok := range src.Devices {
+			if ok {
+				movable = append(movable, d)
+			}
+		}
+		sort.Strings(movable)
+		for _, dev := range movable {
+			if src.Load() <= cfg.LowWater || len(plan) >= cfg.MaxMovesPerRound {
+				break
+			}
+			target := pickTarget(cfg, byID, src)
+			if target == nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: %s remains at %.0f%%", ErrNoCapacity, src.ID, src.Load()*100)
+				}
+				break
+			}
+			plan = append(plan, Migration{DeviceID: dev, From: src.ID, To: target.ID})
+			delete(src.Devices, dev)
+			target.Devices[dev] = true
+		}
+	}
+	return plan, firstErr
+}
+
+// pickTarget returns the least-loaded neighbour with post-move headroom.
+func pickTarget(cfg Config, byID map[string]*AggregatorState, src *AggregatorState) *AggregatorState {
+	var best *AggregatorState
+	neighbors := append([]string(nil), src.Neighbors...)
+	sort.Strings(neighbors)
+	for _, id := range neighbors {
+		t, ok := byID[id]
+		if !ok || t == src {
+			continue
+		}
+		after := float64(len(t.Devices)+1) / float64(max(t.Capacity, 1))
+		if after > cfg.TargetHeadroom {
+			continue
+		}
+		if best == nil || t.Load() < best.Load() {
+			best = t
+		}
+	}
+	return best
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Imbalance summarizes a snapshot: the max-min load spread.
+func Imbalance(states []AggregatorState) float64 {
+	if len(states) == 0 {
+		return 0
+	}
+	lo, hi := 1.0, 0.0
+	for _, s := range states {
+		l := s.Load()
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,586 @@
+package mqtt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Broker is an MQTT 3.1.1 server. It supports QoS 0/1/2 routing, retained
+// messages, last-will publication, session takeover, keepalive enforcement
+// and optional username/password authentication. One Broker instance backs
+// each aggregator in cmd/meterd.
+type Broker struct {
+	opts BrokerOptions
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	retained map[string]*PublishPacket
+	closed   bool
+	ln       net.Listener
+	wg       sync.WaitGroup
+
+	// stats
+	packetsIn  uint64
+	packetsOut uint64
+}
+
+// BrokerOptions configures a Broker.
+type BrokerOptions struct {
+	// Auth validates credentials; nil accepts everyone.
+	Auth func(clientID, username string, password []byte) bool
+	// Logger receives connection-level diagnostics; nil silences them.
+	Logger *log.Logger
+	// OnPublish observes every accepted application message (after
+	// routing); used by aggregators to tap the report stream without a
+	// loopback client. Called on the connection's goroutine.
+	OnPublish func(topic string, payload []byte)
+	// KeepAliveGrace multiplies the client keepalive for the server-side
+	// deadline; the spec mandates 1.5.
+	KeepAliveGrace float64
+}
+
+// NewBroker returns a broker ready to Serve.
+func NewBroker(opts BrokerOptions) *Broker {
+	if opts.KeepAliveGrace == 0 {
+		opts.KeepAliveGrace = 1.5
+	}
+	return &Broker{
+		opts:     opts,
+		sessions: make(map[string]*session),
+		retained: make(map[string]*PublishPacket),
+	}
+}
+
+// session is one connected client's state.
+type session struct {
+	broker   *Broker
+	clientID string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	subs   map[string]QoS // filter -> granted QoS
+	nextID uint16
+	// inflight QoS>=1 messages to this client, by packet id.
+	outbound map[uint16]*PublishPacket
+	// pubrelPending tracks QoS2 deliveries awaiting PUBCOMP.
+	pubrelPending map[uint16]bool
+	// incomingQoS2 dedupes QoS2 publishes from this client.
+	incomingQoS2 map[uint16]bool
+
+	will      *PublishPacket
+	keepAlive time.Duration
+	closed    bool
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (b *Broker) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("mqtt: listen %s: %w", addr, err)
+	}
+	return b.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close.
+func (b *Broker) Serve(ln net.Listener) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return errors.New("mqtt: broker closed")
+	}
+	b.ln = ln
+	b.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			b.mu.Lock()
+			closed := b.closed
+			b.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.handleConn(conn)
+		}()
+	}
+}
+
+// Addr returns the listener address (useful with ":0").
+func (b *Broker) Addr() net.Addr {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ln == nil {
+		return nil
+	}
+	return b.ln.Addr()
+}
+
+// Close stops the listener and disconnects every session.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	ln := b.ln
+	sessions := make([]*session, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		sessions = append(sessions, s)
+	}
+	b.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, s := range sessions {
+		s.close()
+	}
+	b.wg.Wait()
+	return nil
+}
+
+// HandleConn serves a single pre-established connection (e.g. a net.Pipe in
+// tests). It blocks until the session ends.
+func (b *Broker) HandleConn(conn net.Conn) {
+	b.handleConn(conn)
+}
+
+func (b *Broker) logf(format string, args ...any) {
+	if b.opts.Logger != nil {
+		b.opts.Logger.Printf(format, args...)
+	}
+}
+
+func (b *Broker) handleConn(conn net.Conn) {
+	defer conn.Close()
+	// The first packet must be CONNECT, within a short deadline.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	pkt, err := ReadPacket(conn)
+	if err != nil {
+		b.logf("mqtt: pre-connect read: %v", err)
+		return
+	}
+	connect, ok := pkt.(*ConnectPacket)
+	if !ok {
+		b.logf("mqtt: first packet %v, want CONNECT", pkt.Type())
+		return
+	}
+	if connect.ClientID == "" {
+		if !connect.CleanSession {
+			writePacket(conn, &ConnackPacket{ReturnCode: ConnRefusedIdentifier})
+			return
+		}
+		connect.ClientID = fmt.Sprintf("anon-%p", conn)
+	}
+	if b.opts.Auth != nil && !b.opts.Auth(connect.ClientID, connect.Username, connect.Password) {
+		writePacket(conn, &ConnackPacket{ReturnCode: ConnRefusedBadAuth})
+		return
+	}
+
+	s, sessionPresent := b.attachSession(connect, conn)
+	if s == nil {
+		writePacket(conn, &ConnackPacket{ReturnCode: ConnRefusedUnavailable})
+		return
+	}
+	if err := s.write(&ConnackPacket{SessionPresent: sessionPresent, ReturnCode: ConnAccepted}); err != nil {
+		s.close()
+		return
+	}
+	// Redeliver inflight QoS>=1 messages for resumed sessions.
+	s.redeliver()
+
+	_ = b.readLoop(s, conn)
+	// A clean DISCONNECT clears the will inside readLoop; any other way
+	// out of the loop (EOF from a dead peer, timeout, protocol error,
+	// session takeover) is an abnormal termination and publishes it
+	// (spec 3.1.2.5).
+	s.mu.Lock()
+	will := s.will
+	s.will = nil
+	s.mu.Unlock()
+	if will != nil {
+		b.route(will, nil)
+	}
+	b.detachSession(s, conn)
+}
+
+// attachSession creates or resumes the session for a CONNECT, handling
+// session takeover (a second CONNECT with the same client ID boots the
+// first connection, per spec 3.1.4).
+func (b *Broker) attachSession(c *ConnectPacket, conn net.Conn) (*session, bool) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, false
+	}
+	old, existed := b.sessions[c.ClientID]
+	var s *session
+	present := false
+	if existed && !c.CleanSession {
+		s = old
+		present = true
+	} else {
+		s = &session{
+			broker:        b,
+			clientID:      c.ClientID,
+			subs:          make(map[string]QoS),
+			outbound:      make(map[uint16]*PublishPacket),
+			pubrelPending: make(map[uint16]bool),
+			incomingQoS2:  make(map[uint16]bool),
+		}
+	}
+	b.sessions[c.ClientID] = s
+	b.mu.Unlock()
+
+	if existed && old != s {
+		old.close()
+	}
+	s.mu.Lock()
+	if existed && old == s && s.conn != nil {
+		// Takeover of a live resumed session: boot the previous conn.
+		s.conn.Close()
+	}
+	s.conn = conn
+	s.closed = false
+	s.keepAlive = time.Duration(c.KeepAliveSec) * time.Second
+	if c.WillTopic != "" {
+		s.will = &PublishPacket{Topic: c.WillTopic, Payload: c.WillMessage, QoS: c.WillQoS, Retain: c.WillRetain}
+	} else {
+		s.will = nil
+	}
+	s.mu.Unlock()
+	return s, present
+}
+
+func (b *Broker) detachSession(s *session, conn net.Conn) {
+	s.mu.Lock()
+	if s.conn == conn {
+		s.conn = nil
+	}
+	s.mu.Unlock()
+}
+
+// readLoop processes packets from one connection until error/DISCONNECT.
+func (b *Broker) readLoop(s *session, conn net.Conn) error {
+	for {
+		if s.keepAlive > 0 {
+			grace := time.Duration(float64(s.keepAlive) * b.opts.KeepAliveGrace)
+			conn.SetReadDeadline(time.Now().Add(grace))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
+		pkt, err := ReadPacket(conn)
+		if err != nil {
+			return err
+		}
+		b.mu.Lock()
+		b.packetsIn++
+		b.mu.Unlock()
+		switch p := pkt.(type) {
+		case *PublishPacket:
+			if err := b.handlePublish(s, p); err != nil {
+				return err
+			}
+		case *PubackPacket:
+			s.ackOutbound(p.PacketID, false)
+		case *PubrecPacket:
+			s.ackOutbound(p.PacketID, true)
+			if err := s.write(NewPubrel(p.PacketID)); err != nil {
+				return err
+			}
+		case *PubrelPacket:
+			s.mu.Lock()
+			delete(s.incomingQoS2, p.PacketID)
+			s.mu.Unlock()
+			if err := s.write(NewPubcomp(p.PacketID)); err != nil {
+				return err
+			}
+		case *PubcompPacket:
+			s.mu.Lock()
+			delete(s.pubrelPending, p.PacketID)
+			s.mu.Unlock()
+		case *SubscribePacket:
+			if err := b.handleSubscribe(s, p); err != nil {
+				return err
+			}
+		case *UnsubscribePacket:
+			s.mu.Lock()
+			for _, f := range p.Filters {
+				delete(s.subs, f)
+			}
+			s.mu.Unlock()
+			if err := s.write(NewUnsuback(p.PacketID)); err != nil {
+				return err
+			}
+		case *PingreqPacket:
+			if err := s.write(&PingrespPacket{}); err != nil {
+				return err
+			}
+		case *DisconnectPacket:
+			// Clean disconnect discards the will.
+			s.mu.Lock()
+			s.will = nil
+			s.mu.Unlock()
+			return io.EOF
+		case *ConnectPacket:
+			return fmt.Errorf("%w: second CONNECT", ErrProtocolViolation)
+		default:
+			return fmt.Errorf("%w: unexpected %v from client", ErrProtocolViolation, pkt.Type())
+		}
+	}
+}
+
+func (b *Broker) handlePublish(s *session, p *PublishPacket) error {
+	if strings.HasPrefix(p.Topic, "$") {
+		// $-topics are broker-internal; silently ignore client writes.
+		return nil
+	}
+	switch p.QoS {
+	case QoS0:
+		b.route(p, s)
+	case QoS1:
+		b.route(p, s)
+		return s.write(NewPuback(p.PacketID))
+	case QoS2:
+		s.mu.Lock()
+		dup := s.incomingQoS2[p.PacketID]
+		s.incomingQoS2[p.PacketID] = true
+		s.mu.Unlock()
+		if !dup {
+			b.route(p, s)
+		}
+		return s.write(NewPubrec(p.PacketID))
+	}
+	return nil
+}
+
+func (b *Broker) handleSubscribe(s *session, p *SubscribePacket) error {
+	codes := make([]byte, len(p.Subscriptions))
+	for i, sub := range p.Subscriptions {
+		granted := sub.QoS
+		if granted > QoS2 {
+			codes[i] = SubackFailure
+			continue
+		}
+		s.mu.Lock()
+		s.subs[sub.Filter] = granted
+		s.mu.Unlock()
+		codes[i] = byte(granted)
+	}
+	if err := s.write(&SubackPacket{PacketID: p.PacketID, ReturnCodes: codes}); err != nil {
+		return err
+	}
+	// Deliver retained messages matching the new filters.
+	b.mu.Lock()
+	var matches []*PublishPacket
+	for topic, ret := range b.retained {
+		for _, sub := range p.Subscriptions {
+			if MatchTopic(sub.Filter, topic) {
+				cp := *ret
+				cp.Retain = true
+				if cp.QoS > sub.QoS {
+					cp.QoS = sub.QoS
+				}
+				matches = append(matches, &cp)
+				break
+			}
+		}
+	}
+	b.mu.Unlock()
+	sort.Slice(matches, func(i, j int) bool { return matches[i].Topic < matches[j].Topic })
+	for _, m := range matches {
+		s.deliver(m)
+	}
+	return nil
+}
+
+// route fans an accepted message out to matching sessions. from is the
+// publishing session (may be nil for broker-origin messages).
+func (b *Broker) route(p *PublishPacket, from *session) {
+	if p.Retain {
+		b.mu.Lock()
+		if len(p.Payload) == 0 {
+			delete(b.retained, p.Topic)
+		} else {
+			cp := *p
+			b.retained[p.Topic] = &cp
+		}
+		b.mu.Unlock()
+	}
+	b.mu.Lock()
+	targets := make([]*session, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		targets = append(targets, s)
+	}
+	b.mu.Unlock()
+	for _, s := range targets {
+		s.mu.Lock()
+		var best QoS
+		matched := false
+		for filter, q := range s.subs {
+			if MatchTopic(filter, p.Topic) {
+				matched = true
+				if q > best {
+					best = q
+				}
+			}
+		}
+		s.mu.Unlock()
+		if !matched {
+			continue
+		}
+		out := *p
+		out.Retain = false // forwarded publications clear retain
+		out.Dup = false
+		if out.QoS > best {
+			out.QoS = best
+		}
+		s.deliver(&out)
+	}
+	if b.opts.OnPublish != nil {
+		b.opts.OnPublish(p.Topic, p.Payload)
+	}
+}
+
+// Publish injects a broker-origin message (retained-config updates, tests).
+func (b *Broker) Publish(topic string, payload []byte, qos QoS, retain bool) error {
+	if err := ValidateTopicName(topic); err != nil {
+		return err
+	}
+	b.route(&PublishPacket{Topic: topic, Payload: payload, QoS: qos, Retain: retain}, nil)
+	return nil
+}
+
+// Retained returns a copy of the retained message for topic, if any.
+func (b *Broker) Retained(topic string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.retained[topic]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(p.Payload))
+	copy(out, p.Payload)
+	return out, true
+}
+
+// SessionCount returns the number of known sessions (live or resumable).
+func (b *Broker) SessionCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.sessions)
+}
+
+// --- session methods --------------------------------------------------------
+
+// write serializes and sends one packet, thread-safe.
+func (s *session) write(p Packet) error {
+	buf, err := Encode(p)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if conn == nil {
+		return errors.New("mqtt: session not connected")
+	}
+	if _, err := conn.Write(buf); err != nil {
+		return err
+	}
+	s.broker.mu.Lock()
+	s.broker.packetsOut++
+	s.broker.mu.Unlock()
+	return nil
+}
+
+// deliver sends an application message to this session's client, allocating
+// a packet id for QoS >= 1 and tracking it for redelivery.
+func (s *session) deliver(p *PublishPacket) {
+	if p.QoS > QoS0 {
+		s.mu.Lock()
+		s.nextID++
+		if s.nextID == 0 {
+			s.nextID = 1
+		}
+		p.PacketID = s.nextID
+		s.outbound[p.PacketID] = p
+		s.mu.Unlock()
+	}
+	// Best effort: a dead connection keeps the message inflight for
+	// redelivery on session resume.
+	_ = s.write(p)
+}
+
+// ackOutbound clears an inflight message. For QoS2 (rec=true) the id moves
+// to the pubrel-pending set.
+func (s *session) ackOutbound(id uint16, rec bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.outbound[id]; ok {
+		delete(s.outbound, id)
+		if rec {
+			s.pubrelPending[id] = true
+		}
+	}
+}
+
+// redeliver resends inflight messages after a session resume.
+func (s *session) redeliver() {
+	s.mu.Lock()
+	pending := make([]*PublishPacket, 0, len(s.outbound))
+	for _, p := range s.outbound {
+		cp := *p
+		cp.Dup = true
+		pending = append(pending, &cp)
+	}
+	rels := make([]uint16, 0, len(s.pubrelPending))
+	for id := range s.pubrelPending {
+		rels = append(rels, id)
+	}
+	s.mu.Unlock()
+	sort.Slice(pending, func(i, j int) bool { return pending[i].PacketID < pending[j].PacketID })
+	sort.Slice(rels, func(i, j int) bool { return rels[i] < rels[j] })
+	for _, p := range pending {
+		_ = s.write(p)
+	}
+	for _, id := range rels {
+		_ = s.write(NewPubrel(id))
+	}
+}
+
+func (s *session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *session) close() {
+	s.mu.Lock()
+	s.closed = true
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+func writePacket(w io.Writer, p Packet) error {
+	buf, err := Encode(p)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}

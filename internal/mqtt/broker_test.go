@@ -1,0 +1,383 @@
+package mqtt
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startBroker runs a broker on an ephemeral port and returns its address.
+func startBroker(t *testing.T, opts BrokerOptions) (*Broker, string) {
+	t.Helper()
+	b := NewBroker(opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go b.Serve(ln)
+	t.Cleanup(func() { b.Close() })
+	return b, ln.Addr().String()
+}
+
+func dialClient(t *testing.T, addr, id string, opts ClientOptions) *Client {
+	t.Helper()
+	opts.ClientID = id
+	if opts.AckTimeout == 0 {
+		opts.AckTimeout = 5 * time.Second
+	}
+	opts.CleanSession = true
+	c, err := Dial(addr, opts)
+	if err != nil {
+		t.Fatalf("dial %s: %v", id, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// waitFor polls until cond or timeout.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestPublishSubscribeQoS0(t *testing.T) {
+	_, addr := startBroker(t, BrokerOptions{})
+	var got atomic.Value
+	sub := dialClient(t, addr, "sub", ClientOptions{
+		OnMessage: func(topic string, payload []byte) {
+			got.Store(topic + "|" + string(payload))
+		},
+	})
+	if _, err := sub.Subscribe(Subscription{Filter: "meters/+/report", QoS: QoS0}); err != nil {
+		t.Fatal(err)
+	}
+	pub := dialClient(t, addr, "pub", ClientOptions{})
+	if err := pub.Publish("meters/d1/report", []byte("82.5"), QoS0, false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "qos0 delivery", func() bool {
+		v, _ := got.Load().(string)
+		return v == "meters/d1/report|82.5"
+	})
+}
+
+func TestPublishQoS1EndToEnd(t *testing.T) {
+	_, addr := startBroker(t, BrokerOptions{})
+	var count atomic.Int64
+	sub := dialClient(t, addr, "sub", ClientOptions{
+		OnMessage: func(string, []byte) { count.Add(1) },
+	})
+	if _, err := sub.Subscribe(Subscription{Filter: "a/b", QoS: QoS1}); err != nil {
+		t.Fatal(err)
+	}
+	pub := dialClient(t, addr, "pub", ClientOptions{})
+	for i := 0; i < 10; i++ {
+		if err := pub.Publish("a/b", []byte{byte(i)}, QoS1, false); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	waitFor(t, "10 qos1 deliveries", func() bool { return count.Load() == 10 })
+}
+
+func TestPublishQoS2EndToEnd(t *testing.T) {
+	_, addr := startBroker(t, BrokerOptions{})
+	var count atomic.Int64
+	sub := dialClient(t, addr, "sub", ClientOptions{
+		OnMessage: func(string, []byte) { count.Add(1) },
+	})
+	if _, err := sub.Subscribe(Subscription{Filter: "exact/once", QoS: QoS2}); err != nil {
+		t.Fatal(err)
+	}
+	pub := dialClient(t, addr, "pub", ClientOptions{})
+	for i := 0; i < 5; i++ {
+		if err := pub.Publish("exact/once", []byte("x"), QoS2, false); err != nil {
+			t.Fatalf("qos2 publish %d: %v", i, err)
+		}
+	}
+	waitFor(t, "5 qos2 deliveries", func() bool { return count.Load() == 5 })
+	// Exactly once: no duplicates after settling.
+	time.Sleep(50 * time.Millisecond)
+	if count.Load() != 5 {
+		t.Fatalf("qos2 duplicated: %d deliveries", count.Load())
+	}
+}
+
+func TestRetainedMessage(t *testing.T) {
+	b, addr := startBroker(t, BrokerOptions{})
+	pub := dialClient(t, addr, "pub", ClientOptions{})
+	if err := pub.Publish("config/net1", []byte("v1"), QoS1, true); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "retained stored", func() bool {
+		_, ok := b.Retained("config/net1")
+		return ok
+	})
+	// A late subscriber still receives it.
+	var got atomic.Value
+	late := dialClient(t, addr, "late", ClientOptions{
+		OnMessage: func(topic string, payload []byte) { got.Store(string(payload)) },
+	})
+	if _, err := late.Subscribe(Subscription{Filter: "config/#", QoS: QoS1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "retained delivery", func() bool {
+		v, _ := got.Load().(string)
+		return v == "v1"
+	})
+	// Empty retained payload clears it.
+	if err := pub.Publish("config/net1", nil, QoS1, true); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "retained cleared", func() bool {
+		_, ok := b.Retained("config/net1")
+		return !ok
+	})
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	_, addr := startBroker(t, BrokerOptions{})
+	var count atomic.Int64
+	sub := dialClient(t, addr, "sub", ClientOptions{
+		OnMessage: func(string, []byte) { count.Add(1) },
+	})
+	if _, err := sub.Subscribe(Subscription{Filter: "x", QoS: QoS1}); err != nil {
+		t.Fatal(err)
+	}
+	pub := dialClient(t, addr, "pub", ClientOptions{})
+	if err := pub.Publish("x", []byte("1"), QoS1, false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first delivery", func() bool { return count.Load() == 1 })
+	if err := sub.Unsubscribe("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("x", []byte("2"), QoS1, false); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if count.Load() != 1 {
+		t.Fatalf("delivery after unsubscribe: %d", count.Load())
+	}
+}
+
+func TestAuthRejection(t *testing.T) {
+	_, addr := startBroker(t, BrokerOptions{
+		Auth: func(clientID, username string, password []byte) bool {
+			return username == "meter" && string(password) == "secret"
+		},
+	})
+	if _, err := Dial(addr, ClientOptions{ClientID: "bad", AckTimeout: 2 * time.Second}); err == nil {
+		t.Fatal("unauthenticated connect accepted")
+	}
+	c, err := Dial(addr, ClientOptions{
+		ClientID: "good", Username: "meter", Password: []byte("secret"),
+		AckTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("authenticated connect refused: %v", err)
+	}
+	c.Close()
+}
+
+func TestLastWill(t *testing.T) {
+	_, addr := startBroker(t, BrokerOptions{})
+	var got atomic.Value
+	watcher := dialClient(t, addr, "watcher", ClientOptions{
+		OnMessage: func(topic string, payload []byte) { got.Store(string(payload)) },
+	})
+	if _, err := watcher.Subscribe(Subscription{Filter: "status/+", QoS: QoS1}); err != nil {
+		t.Fatal(err)
+	}
+	// Device connects with a will, then dies without DISCONNECT.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewClient(conn, ClientOptions{
+		ClientID: "device", CleanSession: true,
+		WillTopic: "status/device", WillMessage: []byte("offline"), WillQoS: QoS1,
+		AckTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dev
+	conn.Close() // abnormal termination
+	waitFor(t, "will publication", func() bool {
+		v, _ := got.Load().(string)
+		return v == "offline"
+	})
+}
+
+func TestCleanDisconnectSuppressesWill(t *testing.T) {
+	_, addr := startBroker(t, BrokerOptions{})
+	var fired atomic.Bool
+	watcher := dialClient(t, addr, "watcher", ClientOptions{
+		OnMessage: func(string, []byte) { fired.Store(true) },
+	})
+	if _, err := watcher.Subscribe(Subscription{Filter: "status/#", QoS: QoS1}); err != nil {
+		t.Fatal(err)
+	}
+	dev := dialClient(t, addr, "device", ClientOptions{
+		WillTopic: "status/device", WillMessage: []byte("offline"), WillQoS: QoS1,
+	})
+	dev.Close()
+	time.Sleep(100 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("will fired after clean disconnect")
+	}
+}
+
+func TestBrokerOnPublishHook(t *testing.T) {
+	var mu sync.Mutex
+	var topics []string
+	_, addr := startBroker(t, BrokerOptions{
+		OnPublish: func(topic string, payload []byte) {
+			mu.Lock()
+			topics = append(topics, topic)
+			mu.Unlock()
+		},
+	})
+	pub := dialClient(t, addr, "pub", ClientOptions{})
+	if err := pub.Publish("hooked/topic", []byte("x"), QoS1, false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "hook", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(topics) == 1 && topics[0] == "hooked/topic"
+	})
+}
+
+func TestManyClientsFanOut(t *testing.T) {
+	_, addr := startBroker(t, BrokerOptions{})
+	const n = 8
+	var count atomic.Int64
+	for i := 0; i < n; i++ {
+		c := dialClient(t, addr, fmt.Sprintf("sub-%d", i), ClientOptions{
+			OnMessage: func(string, []byte) { count.Add(1) },
+		})
+		if _, err := c.Subscribe(Subscription{Filter: "fan/#", QoS: QoS1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub := dialClient(t, addr, "pub", ClientOptions{})
+	if err := pub.Publish("fan/out", []byte("x"), QoS1, false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "fan-out to all", func() bool { return count.Load() == n })
+}
+
+func TestPingKeepsSessionAlive(t *testing.T) {
+	_, addr := startBroker(t, BrokerOptions{})
+	c := dialClient(t, addr, "pinger", ClientOptions{KeepAlive: 200 * time.Millisecond})
+	// Stay quiet for several keepalive intervals; the client's keepalive
+	// loop must keep the session alive.
+	time.Sleep(900 * time.Millisecond)
+	if err := c.Publish("still/here", []byte("1"), QoS1, false); err != nil {
+		t.Fatalf("session died despite keepalive: %v", err)
+	}
+}
+
+func TestSessionTakeover(t *testing.T) {
+	_, addr := startBroker(t, BrokerOptions{})
+	first := dialClient(t, addr, "same-id", ClientOptions{})
+	second := dialClient(t, addr, "same-id", ClientOptions{})
+	// The first session must be booted.
+	select {
+	case <-first.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first session survived takeover")
+	}
+	if err := second.Publish("t", []byte("x"), QoS1, false); err != nil {
+		t.Fatalf("second session unusable: %v", err)
+	}
+}
+
+func TestDollarTopicsIgnoredFromClients(t *testing.T) {
+	_, addr := startBroker(t, BrokerOptions{})
+	var fired atomic.Bool
+	sub := dialClient(t, addr, "sub", ClientOptions{
+		OnMessage: func(string, []byte) { fired.Store(true) },
+	})
+	if _, err := sub.Subscribe(Subscription{Filter: "$SYS/#", QoS: QoS0}); err != nil {
+		t.Fatal(err)
+	}
+	pub := dialClient(t, addr, "pub", ClientOptions{})
+	if err := pub.Publish("$SYS/spoof", []byte("x"), QoS0, false); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("client wrote a $-topic")
+	}
+}
+
+func TestConcurrentPublishers(t *testing.T) {
+	_, addr := startBroker(t, BrokerOptions{})
+	var count atomic.Int64
+	sub := dialClient(t, addr, "sub", ClientOptions{
+		OnMessage: func(string, []byte) { count.Add(1) },
+	})
+	if _, err := sub.Subscribe(Subscription{Filter: "load/#", QoS: QoS1}); err != nil {
+		t.Fatal(err)
+	}
+	const pubs, each = 4, 25
+	var wg sync.WaitGroup
+	for i := 0; i < pubs; i++ {
+		c := dialClient(t, addr, fmt.Sprintf("pub-%d", i), ClientOptions{})
+		wg.Add(1)
+		go func(c *Client, i int) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				if err := c.Publish(fmt.Sprintf("load/%d", i), []byte{byte(j)}, QoS1, false); err != nil {
+					t.Errorf("publish: %v", err)
+					return
+				}
+			}
+		}(c, i)
+	}
+	wg.Wait()
+	waitFor(t, "all deliveries", func() bool { return count.Load() == pubs*each })
+}
+
+func TestSubscribeInvalidFilterFails(t *testing.T) {
+	_, addr := startBroker(t, BrokerOptions{})
+	c := dialClient(t, addr, "c", ClientOptions{})
+	if _, err := c.Subscribe(Subscription{Filter: "bad/#/filter", QoS: QoS0}); err == nil {
+		t.Fatal("invalid filter accepted")
+	}
+}
+
+func TestClientRequiresID(t *testing.T) {
+	if _, err := NewClient(nil, ClientOptions{}); err == nil {
+		t.Fatal("client without ID accepted")
+	}
+}
+
+func TestBrokerClose(t *testing.T) {
+	b, addr := startBroker(t, BrokerOptions{})
+	c := dialClient(t, addr, "c", ClientOptions{})
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("client survived broker close")
+	}
+	// Idempotent.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

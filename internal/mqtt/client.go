@@ -1,0 +1,389 @@
+package mqtt
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is an MQTT 3.1.1 client. Devices use it to publish consumption
+// reports; aggregators use it to subscribe to their network's report topics.
+type Client struct {
+	opts ClientOptions
+
+	mu       sync.Mutex
+	conn     net.Conn
+	nextID   uint16
+	pending  map[uint16]chan Packet
+	subs     map[string]QoS
+	closed   bool
+	closeErr error
+	done     chan struct{}
+
+	lastSent time.Time
+}
+
+// ClientOptions configures a client.
+type ClientOptions struct {
+	// ClientID identifies the session; required.
+	ClientID string
+	// CleanSession requests a fresh session (default true in Dial).
+	CleanSession bool
+	// KeepAlive is the keepalive interval; zero disables it.
+	KeepAlive time.Duration
+	// Username/Password are optional credentials.
+	Username string
+	Password []byte
+	// WillTopic/WillMessage/WillQoS configure the last will.
+	WillTopic   string
+	WillMessage []byte
+	WillQoS     QoS
+	// OnMessage receives inbound application messages. Called on the
+	// reader goroutine; handlers must not block.
+	OnMessage func(topic string, payload []byte)
+	// OnDisconnect fires once when the session ends, with the cause.
+	OnDisconnect func(err error)
+	// AckTimeout bounds waits for CONNACK/SUBACK/PUBACK (default 10 s).
+	AckTimeout time.Duration
+}
+
+// ErrClientClosed is returned by operations on a closed client.
+var ErrClientClosed = errors.New("mqtt: client closed")
+
+// Dial connects to an MQTT broker at addr over TCP.
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mqtt: dial %s: %w", addr, err)
+	}
+	c, err := NewClient(conn, opts)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient performs the MQTT handshake over an existing connection
+// (TCP socket, net.Pipe, etc.) and starts the reader goroutine.
+func NewClient(conn net.Conn, opts ClientOptions) (*Client, error) {
+	if opts.ClientID == "" {
+		return nil, errors.New("mqtt: client requires a ClientID")
+	}
+	if opts.AckTimeout == 0 {
+		opts.AckTimeout = 10 * time.Second
+	}
+	c := &Client{
+		opts:    opts,
+		conn:    conn,
+		pending: make(map[uint16]chan Packet),
+		subs:    make(map[string]QoS),
+		done:    make(chan struct{}),
+	}
+	connect := &ConnectPacket{
+		ClientID:     opts.ClientID,
+		CleanSession: opts.CleanSession,
+		KeepAliveSec: uint16(opts.KeepAlive / time.Second),
+		Username:     opts.Username,
+		Password:     opts.Password,
+		WillTopic:    opts.WillTopic,
+		WillMessage:  opts.WillMessage,
+		WillQoS:      opts.WillQoS,
+	}
+	if err := c.send(connect); err != nil {
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(opts.AckTimeout))
+	pkt, err := ReadPacket(conn)
+	if err != nil {
+		return nil, fmt.Errorf("mqtt: awaiting CONNACK: %w", err)
+	}
+	ack, ok := pkt.(*ConnackPacket)
+	if !ok {
+		return nil, fmt.Errorf("%w: got %v, want CONNACK", ErrProtocolViolation, pkt.Type())
+	}
+	if ack.ReturnCode != ConnAccepted {
+		return nil, fmt.Errorf("mqtt: connection refused (code %d)", ack.ReturnCode)
+	}
+	conn.SetReadDeadline(time.Time{})
+	go c.readLoop()
+	if opts.KeepAlive > 0 {
+		go c.keepAliveLoop()
+	}
+	return c, nil
+}
+
+// send encodes and writes one packet.
+func (c *Client) send(p Packet) error {
+	buf, err := Encode(p)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	c.lastSent = time.Now()
+	_, err = c.conn.Write(buf)
+	return err
+}
+
+// allocID reserves a packet id with a response channel.
+func (c *Client) allocID() (uint16, chan Packet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		c.nextID++
+		if c.nextID == 0 {
+			continue
+		}
+		if _, busy := c.pending[c.nextID]; !busy {
+			ch := make(chan Packet, 2)
+			c.pending[c.nextID] = ch
+			return c.nextID, ch
+		}
+	}
+}
+
+func (c *Client) releaseID(id uint16) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// await waits for a response packet of the wanted type on ch.
+func (c *Client) await(ch chan Packet, want PacketType) (Packet, error) {
+	select {
+	case p := <-ch:
+		if p.Type() != want {
+			return p, fmt.Errorf("%w: got %v, want %v", ErrProtocolViolation, p.Type(), want)
+		}
+		return p, nil
+	case <-time.After(c.opts.AckTimeout):
+		return nil, fmt.Errorf("mqtt: timeout waiting for %v", want)
+	case <-c.done:
+		return nil, c.err()
+	}
+}
+
+// Publish sends an application message and, for QoS 1/2, blocks until the
+// handshake completes.
+func (c *Client) Publish(topic string, payload []byte, qos QoS, retain bool) error {
+	p := &PublishPacket{Topic: topic, Payload: payload, QoS: qos, Retain: retain}
+	switch qos {
+	case QoS0:
+		return c.send(p)
+	case QoS1:
+		id, ch := c.allocID()
+		defer c.releaseID(id)
+		p.PacketID = id
+		if err := c.send(p); err != nil {
+			return err
+		}
+		_, err := c.await(ch, PUBACK)
+		return err
+	case QoS2:
+		id, ch := c.allocID()
+		defer c.releaseID(id)
+		p.PacketID = id
+		if err := c.send(p); err != nil {
+			return err
+		}
+		if _, err := c.await(ch, PUBREC); err != nil {
+			return err
+		}
+		if err := c.send(NewPubrel(id)); err != nil {
+			return err
+		}
+		_, err := c.await(ch, PUBCOMP)
+		return err
+	default:
+		return ErrInvalidQoS
+	}
+}
+
+// Subscribe adds subscriptions and waits for the SUBACK. It returns the
+// granted QoS levels in filter order.
+func (c *Client) Subscribe(subs ...Subscription) ([]QoS, error) {
+	if len(subs) == 0 {
+		return nil, errors.New("mqtt: Subscribe with no filters")
+	}
+	id, ch := c.allocID()
+	defer c.releaseID(id)
+	if err := c.send(&SubscribePacket{PacketID: id, Subscriptions: subs}); err != nil {
+		return nil, err
+	}
+	pkt, err := c.await(ch, SUBACK)
+	if err != nil {
+		return nil, err
+	}
+	ack := pkt.(*SubackPacket)
+	if len(ack.ReturnCodes) != len(subs) {
+		return nil, fmt.Errorf("%w: SUBACK codes %d != %d filters", ErrProtocolViolation, len(ack.ReturnCodes), len(subs))
+	}
+	granted := make([]QoS, len(ack.ReturnCodes))
+	for i, code := range ack.ReturnCodes {
+		if code == SubackFailure {
+			return nil, fmt.Errorf("mqtt: subscription %q refused", subs[i].Filter)
+		}
+		granted[i] = QoS(code)
+		c.mu.Lock()
+		c.subs[subs[i].Filter] = QoS(code)
+		c.mu.Unlock()
+	}
+	return granted, nil
+}
+
+// Unsubscribe removes filters and waits for the UNSUBACK.
+func (c *Client) Unsubscribe(filters ...string) error {
+	if len(filters) == 0 {
+		return errors.New("mqtt: Unsubscribe with no filters")
+	}
+	id, ch := c.allocID()
+	defer c.releaseID(id)
+	if err := c.send(&UnsubscribePacket{PacketID: id, Filters: filters}); err != nil {
+		return err
+	}
+	if _, err := c.await(ch, UNSUBACK); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	for _, f := range filters {
+		delete(c.subs, f)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Ping sends a PINGREQ (the response is consumed by the reader loop).
+func (c *Client) Ping() error {
+	return c.send(&PingreqPacket{})
+}
+
+// Close sends DISCONNECT and tears the session down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	_ = c.send(&DisconnectPacket{})
+	c.shutdown(nil)
+	return nil
+}
+
+// err returns the terminal error, if any.
+func (c *Client) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closeErr != nil {
+		return c.closeErr
+	}
+	return ErrClientClosed
+}
+
+func (c *Client) shutdown(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.closeErr = err
+	conn := c.conn
+	c.mu.Unlock()
+	conn.Close()
+	close(c.done)
+	if c.opts.OnDisconnect != nil {
+		c.opts.OnDisconnect(err)
+	}
+}
+
+// Done is closed when the session ends.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+func (c *Client) readLoop() {
+	for {
+		pkt, err := ReadPacket(c.conn)
+		if err != nil {
+			c.shutdown(err)
+			return
+		}
+		switch p := pkt.(type) {
+		case *PublishPacket:
+			c.handleInbound(p)
+		case *PubackPacket:
+			c.dispatch(p.PacketID, p)
+		case *PubrecPacket:
+			c.dispatch(p.PacketID, p)
+		case *PubcompPacket:
+			c.dispatch(p.PacketID, p)
+		case *PubrelPacket:
+			// Completes an inbound QoS2 delivery.
+			_ = c.send(NewPubcomp(p.PacketID))
+		case *SubackPacket:
+			c.dispatch(p.PacketID, p)
+		case *UnsubackPacket:
+			c.dispatch(p.PacketID, p)
+		case *PingrespPacket:
+			// keepalive satisfied
+		default:
+			c.shutdown(fmt.Errorf("%w: unexpected %v from broker", ErrProtocolViolation, pkt.Type()))
+			return
+		}
+	}
+}
+
+// handleInbound processes a broker-to-client PUBLISH.
+func (c *Client) handleInbound(p *PublishPacket) {
+	if c.opts.OnMessage != nil {
+		c.opts.OnMessage(p.Topic, p.Payload)
+	}
+	switch p.QoS {
+	case QoS1:
+		_ = c.send(NewPuback(p.PacketID))
+	case QoS2:
+		_ = c.send(NewPubrec(p.PacketID))
+	}
+}
+
+func (c *Client) dispatch(id uint16, p Packet) {
+	c.mu.Lock()
+	ch := c.pending[id]
+	c.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+}
+
+func (c *Client) keepAliveLoop() {
+	interval := c.opts.KeepAlive / 2
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			idle := time.Since(c.lastSent)
+			c.mu.Unlock()
+			if idle >= interval {
+				if err := c.Ping(); err != nil {
+					c.shutdown(err)
+					return
+				}
+			}
+		}
+	}
+}

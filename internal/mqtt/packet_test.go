@@ -1,0 +1,307 @@
+package mqtt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, p Packet) Packet {
+	t.Helper()
+	buf, err := Encode(p)
+	if err != nil {
+		t.Fatalf("encode %v: %v", p.Type(), err)
+	}
+	got, n, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("decode %v: %v", p.Type(), err)
+	}
+	if n != len(buf) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(buf))
+	}
+	// Stream decode must agree.
+	got2, err := ReadPacket(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("ReadPacket: %v", err)
+	}
+	if got.Type() != got2.Type() {
+		t.Fatalf("Decode/ReadPacket disagree: %v vs %v", got.Type(), got2.Type())
+	}
+	return got
+}
+
+func TestConnectRoundTrip(t *testing.T) {
+	p := &ConnectPacket{
+		ClientID:     "device-1",
+		CleanSession: true,
+		KeepAliveSec: 30,
+		Username:     "user",
+		Password:     []byte("pass"),
+		WillTopic:    "meters/device-1/status",
+		WillMessage:  []byte("offline"),
+		WillQoS:      QoS1,
+		WillRetain:   true,
+	}
+	got := roundTrip(t, p).(*ConnectPacket)
+	if got.ClientID != p.ClientID || !got.CleanSession || got.KeepAliveSec != 30 {
+		t.Fatalf("connect fields: %+v", got)
+	}
+	if got.Username != "user" || string(got.Password) != "pass" {
+		t.Fatalf("credentials: %+v", got)
+	}
+	if got.WillTopic != p.WillTopic || string(got.WillMessage) != "offline" ||
+		got.WillQoS != QoS1 || !got.WillRetain {
+		t.Fatalf("will fields: %+v", got)
+	}
+}
+
+func TestConnectMinimal(t *testing.T) {
+	got := roundTrip(t, &ConnectPacket{ClientID: "x"}).(*ConnectPacket)
+	if got.ClientID != "x" || got.Username != "" || got.WillTopic != "" {
+		t.Fatalf("minimal connect: %+v", got)
+	}
+}
+
+func TestConnackRoundTrip(t *testing.T) {
+	got := roundTrip(t, &ConnackPacket{SessionPresent: true, ReturnCode: ConnRefusedBadAuth}).(*ConnackPacket)
+	if !got.SessionPresent || got.ReturnCode != ConnRefusedBadAuth {
+		t.Fatalf("connack: %+v", got)
+	}
+}
+
+func TestPublishRoundTripAllQoS(t *testing.T) {
+	for _, qos := range []QoS{QoS0, QoS1, QoS2} {
+		p := &PublishPacket{
+			Topic:   "meters/net1/device-1/report",
+			Payload: []byte(`{"mA":82.5}`),
+			QoS:     qos,
+			Retain:  qos == QoS0,
+		}
+		if qos > 0 {
+			p.PacketID = 77
+		}
+		got := roundTrip(t, p).(*PublishPacket)
+		if got.Topic != p.Topic || !bytes.Equal(got.Payload, p.Payload) {
+			t.Fatalf("qos %d publish: %+v", qos, got)
+		}
+		if got.QoS != qos || got.PacketID != p.PacketID || got.Retain != p.Retain {
+			t.Fatalf("qos %d flags: %+v", qos, got)
+		}
+	}
+}
+
+func TestPublishEmptyPayload(t *testing.T) {
+	got := roundTrip(t, &PublishPacket{Topic: "t", Payload: nil}).(*PublishPacket)
+	if len(got.Payload) != 0 {
+		t.Fatalf("payload: %q", got.Payload)
+	}
+}
+
+func TestPublishQoSWithoutIDRejected(t *testing.T) {
+	_, err := Encode(&PublishPacket{Topic: "t", QoS: QoS1})
+	if !errors.Is(err, ErrProtocolViolation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPublishWildcardTopicRejected(t *testing.T) {
+	_, err := Encode(&PublishPacket{Topic: "a/+/b"})
+	if !errors.Is(err, ErrInvalidTopic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAckPacketsRoundTrip(t *testing.T) {
+	cases := []Packet{NewPuback(1), NewPubrec(2), NewPubrel(3), NewPubcomp(4), NewUnsuback(5)}
+	for _, p := range cases {
+		got := roundTrip(t, p)
+		if got.Type() != p.Type() {
+			t.Fatalf("type mismatch: %v vs %v", got.Type(), p.Type())
+		}
+	}
+}
+
+func TestSubscribeRoundTrip(t *testing.T) {
+	p := &SubscribePacket{
+		PacketID: 9,
+		Subscriptions: []Subscription{
+			{Filter: "meters/net1/+/report", QoS: QoS1},
+			{Filter: "meters/#", QoS: QoS0},
+		},
+	}
+	got := roundTrip(t, p).(*SubscribePacket)
+	if got.PacketID != 9 || len(got.Subscriptions) != 2 {
+		t.Fatalf("subscribe: %+v", got)
+	}
+	if got.Subscriptions[0].Filter != "meters/net1/+/report" || got.Subscriptions[0].QoS != QoS1 {
+		t.Fatalf("sub[0]: %+v", got.Subscriptions[0])
+	}
+}
+
+func TestSubscribeEmptyRejected(t *testing.T) {
+	if _, err := Encode(&SubscribePacket{PacketID: 1}); err == nil {
+		t.Fatal("empty subscribe encoded")
+	}
+}
+
+func TestSubackRoundTrip(t *testing.T) {
+	got := roundTrip(t, &SubackPacket{PacketID: 4, ReturnCodes: []byte{0, 1, SubackFailure}}).(*SubackPacket)
+	if got.PacketID != 4 || len(got.ReturnCodes) != 3 || got.ReturnCodes[2] != SubackFailure {
+		t.Fatalf("suback: %+v", got)
+	}
+}
+
+func TestUnsubscribeRoundTrip(t *testing.T) {
+	got := roundTrip(t, &UnsubscribePacket{PacketID: 2, Filters: []string{"a/b", "c/#"}}).(*UnsubscribePacket)
+	if got.PacketID != 2 || len(got.Filters) != 2 || got.Filters[1] != "c/#" {
+		t.Fatalf("unsubscribe: %+v", got)
+	}
+}
+
+func TestZeroBodyPackets(t *testing.T) {
+	for _, p := range []Packet{&PingreqPacket{}, &PingrespPacket{}, &DisconnectPacket{}} {
+		if got := roundTrip(t, p); got.Type() != p.Type() {
+			t.Fatalf("%v round trip became %v", p.Type(), got.Type())
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full, err := Encode(&PublishPacket{Topic: "abc", Payload: []byte("xyz")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(full); i++ {
+		if _, _, err := Decode(full[:i]); err == nil {
+			t.Fatalf("truncated decode at %d succeeded", i)
+		}
+	}
+}
+
+func TestDecodeGarbageDoesNotPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		// Must never panic; errors are fine.
+		Decode(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemainingLengthRoundTripQuick(t *testing.T) {
+	f := func(raw uint32) bool {
+		n := int(raw % MaxPacketSize)
+		buf, err := encodeRemainingLength(nil, n)
+		if err != nil {
+			return false
+		}
+		got, err := decodeRemainingLength(bytes.NewReader(buf))
+		return err == nil && got == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemainingLengthBoundaries(t *testing.T) {
+	// Spec table 2.4 boundaries.
+	for _, tc := range []struct {
+		n    int
+		size int
+	}{
+		{0, 1}, {127, 1}, {128, 2}, {16383, 2}, {16384, 3}, {2097151, 3}, {2097152, 4},
+	} {
+		buf, err := encodeRemainingLength(nil, tc.n)
+		if err != nil {
+			t.Fatalf("encode %d: %v", tc.n, err)
+		}
+		if len(buf) != tc.size {
+			t.Fatalf("encode %d used %d bytes, want %d", tc.n, len(buf), tc.size)
+		}
+	}
+	if _, err := encodeRemainingLength(nil, -1); err == nil {
+		t.Fatal("negative length encoded")
+	}
+}
+
+func TestPacketTooLarge(t *testing.T) {
+	// Hand-craft a header claiming a huge body.
+	var buf []byte
+	buf = append(buf, byte(PUBLISH)<<4)
+	buf, _ = encodeRemainingLength(buf, MaxPacketSize+1)
+	if _, _, err := Decode(buf); !errors.Is(err, ErrPacketTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ReadPacket(bytes.NewReader(buf)); !errors.Is(err, ErrPacketTooLarge) {
+		t.Fatalf("stream err = %v", err)
+	}
+}
+
+func TestReservedFlagsRejected(t *testing.T) {
+	// PINGREQ with nonzero flags.
+	buf := []byte{byte(PINGREQ)<<4 | 0x1, 0}
+	if _, _, err := Decode(buf); !errors.Is(err, ErrProtocolViolation) {
+		t.Fatalf("err = %v", err)
+	}
+	// SUBSCRIBE must carry 0x2.
+	sub, _ := Encode(&SubscribePacket{PacketID: 1, Subscriptions: []Subscription{{Filter: "a", QoS: 0}}})
+	sub[0] = byte(SUBSCRIBE) << 4 // clear mandated flags
+	if _, _, err := Decode(sub); !errors.Is(err, ErrProtocolViolation) {
+		t.Fatalf("subscribe flags err = %v", err)
+	}
+}
+
+func TestConnectBadProtocol(t *testing.T) {
+	p := &ConnectPacket{ClientID: "x"}
+	buf, _ := Encode(p)
+	// Corrupt the protocol name ("MQTT" at offset 4).
+	buf[4] = 'X'
+	if _, _, err := Decode(buf); !errors.Is(err, ErrProtocolViolation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPublishZeroPacketIDRejected(t *testing.T) {
+	p := &PublishPacket{Topic: "t", QoS: QoS1, PacketID: 1}
+	buf, _ := Encode(p)
+	// Patch packet id to zero: topic "t" = 2+1 bytes after header(2).
+	buf[5], buf[6] = 0, 0
+	if _, _, err := Decode(buf); !errors.Is(err, ErrProtocolViolation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeConsumedMultiplePackets(t *testing.T) {
+	a, _ := Encode(&PingreqPacket{})
+	b, _ := Encode(&PublishPacket{Topic: "t", Payload: []byte("1")})
+	stream := append(append([]byte{}, a...), b...)
+	p1, n1, err := Decode(stream)
+	if err != nil || p1.Type() != PINGREQ {
+		t.Fatalf("first: %v %v", p1, err)
+	}
+	p2, n2, err := Decode(stream[n1:])
+	if err != nil || p2.Type() != PUBLISH {
+		t.Fatalf("second: %v %v", p2, err)
+	}
+	if n1+n2 != len(stream) {
+		t.Fatalf("consumed %d, want %d", n1+n2, len(stream))
+	}
+}
+
+func TestReadPacketEOF(t *testing.T) {
+	if _, err := ReadPacket(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPacketTypeString(t *testing.T) {
+	if CONNECT.String() != "CONNECT" || DISCONNECT.String() != "DISCONNECT" {
+		t.Fatal("PacketType.String broken")
+	}
+	if PacketType(15).String() == "" {
+		t.Fatal("reserved type string empty")
+	}
+}

@@ -1,0 +1,81 @@
+package mqtt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Topic semantics per MQTT 3.1.1 spec section 4.7: names are '/'-separated
+// UTF-8 levels; filters may use '+' (single level) and '#' (multi level,
+// last position only). Topics beginning with '$' are broker-internal and
+// are not matched by filters starting with wildcards.
+
+// ValidateTopicName checks a concrete topic (no wildcards allowed).
+func ValidateTopicName(topic string) error {
+	if topic == "" {
+		return fmt.Errorf("%w: empty topic", ErrInvalidTopic)
+	}
+	if len(topic) > 65535 {
+		return fmt.Errorf("%w: topic too long", ErrInvalidTopic)
+	}
+	if strings.ContainsAny(topic, "+#") {
+		return fmt.Errorf("%w: wildcard in topic name %q", ErrInvalidTopic, topic)
+	}
+	if strings.ContainsRune(topic, 0) {
+		return fmt.Errorf("%w: NUL in topic", ErrInvalidTopic)
+	}
+	return nil
+}
+
+// ValidateTopicFilter checks a subscription filter.
+func ValidateTopicFilter(filter string) error {
+	if filter == "" {
+		return fmt.Errorf("%w: empty filter", ErrInvalidTopic)
+	}
+	if len(filter) > 65535 {
+		return fmt.Errorf("%w: filter too long", ErrInvalidTopic)
+	}
+	if strings.ContainsRune(filter, 0) {
+		return fmt.Errorf("%w: NUL in filter", ErrInvalidTopic)
+	}
+	levels := strings.Split(filter, "/")
+	for i, lv := range levels {
+		switch {
+		case lv == "#":
+			if i != len(levels)-1 {
+				return fmt.Errorf("%w: '#' not last in %q", ErrInvalidTopic, filter)
+			}
+		case lv == "+":
+			// fine anywhere
+		case strings.ContainsAny(lv, "+#"):
+			return fmt.Errorf("%w: wildcard inside level %q", ErrInvalidTopic, filter)
+		}
+	}
+	return nil
+}
+
+// MatchTopic reports whether a concrete topic matches a filter.
+func MatchTopic(filter, topic string) bool {
+	// Spec 4.7.2: wildcards must not match $-topics at the first level.
+	if strings.HasPrefix(topic, "$") &&
+		(strings.HasPrefix(filter, "+") || strings.HasPrefix(filter, "#")) {
+		return false
+	}
+	fl := strings.Split(filter, "/")
+	tl := strings.Split(topic, "/")
+	for i := 0; i < len(fl); i++ {
+		if fl[i] == "#" {
+			return true
+		}
+		if i >= len(tl) {
+			return false
+		}
+		if fl[i] == "+" {
+			continue
+		}
+		if fl[i] != tl[i] {
+			return false
+		}
+	}
+	return len(fl) == len(tl)
+}

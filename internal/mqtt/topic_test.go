@@ -1,0 +1,138 @@
+package mqtt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateTopicName(t *testing.T) {
+	good := []string{"a", "a/b/c", "meters/net1/device-1/report", "/leading", "trailing/"}
+	for _, s := range good {
+		if err := ValidateTopicName(s); err != nil {
+			t.Errorf("ValidateTopicName(%q): %v", s, err)
+		}
+	}
+	bad := []string{"", "a/+/b", "a/#", "+", "#", "a\x00b", strings.Repeat("x", 70000)}
+	for _, s := range bad {
+		if err := ValidateTopicName(s); err == nil {
+			t.Errorf("ValidateTopicName(%q) accepted", s)
+		}
+	}
+}
+
+func TestValidateTopicFilter(t *testing.T) {
+	good := []string{"a", "a/b", "+", "#", "a/+/c", "a/b/#", "+/+/+", "$SYS/#"}
+	for _, s := range good {
+		if err := ValidateTopicFilter(s); err != nil {
+			t.Errorf("ValidateTopicFilter(%q): %v", s, err)
+		}
+	}
+	bad := []string{"", "a/#/b", "#/a", "a+", "a#", "a/b+", "x\x00"}
+	for _, s := range bad {
+		if err := ValidateTopicFilter(s); err == nil {
+			t.Errorf("ValidateTopicFilter(%q) accepted", s)
+		}
+	}
+}
+
+func TestMatchTopic(t *testing.T) {
+	cases := []struct {
+		filter, topic string
+		want          bool
+	}{
+		{"a/b/c", "a/b/c", true},
+		{"a/b/c", "a/b/d", false},
+		{"a/+/c", "a/b/c", true},
+		{"a/+/c", "a/b/d", false},
+		{"a/+", "a/b", true},
+		{"a/+", "a", false},
+		{"a/#", "a/b/c/d", true},
+		{"a/#", "a", true}, // '#' matches the parent level too (spec 4.7.1.2)
+		{"#", "a/b", true},
+		{"+", "a", true},
+		{"+", "a/b", false},
+		{"+/+", "a/b", true},
+		{"meters/+/report", "meters/device-1/report", true},
+		{"meters/+/report", "meters/device-1/status", false},
+		{"meters/#", "meters/net1/device-1/report", true},
+		// $-topics excluded from leading wildcards (spec 4.7.2).
+		{"#", "$SYS/broker", false},
+		{"+/broker", "$SYS/broker", false},
+		{"$SYS/#", "$SYS/broker", true},
+		// Empty levels are real levels.
+		{"a//c", "a//c", true},
+		{"a/+/c", "a//c", true},
+	}
+	for _, tc := range cases {
+		if got := MatchTopic(tc.filter, tc.topic); got != tc.want {
+			t.Errorf("MatchTopic(%q, %q) = %v, want %v", tc.filter, tc.topic, got, tc.want)
+		}
+	}
+}
+
+func TestMatchExactIsReflexiveQuick(t *testing.T) {
+	// Any valid concrete topic matches itself as a filter.
+	f := func(parts []uint8) bool {
+		if len(parts) == 0 {
+			return true
+		}
+		if len(parts) > 8 {
+			parts = parts[:8]
+		}
+		levels := make([]string, len(parts))
+		for i, p := range parts {
+			levels[i] = string(rune('a' + p%26))
+		}
+		topic := strings.Join(levels, "/")
+		return MatchTopic(topic, topic)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashMatchesEverythingQuick(t *testing.T) {
+	f := func(parts []uint8) bool {
+		if len(parts) == 0 || len(parts) > 8 {
+			return true
+		}
+		levels := make([]string, len(parts))
+		for i, p := range parts {
+			levels[i] = string(rune('a' + p%26))
+		}
+		topic := strings.Join(levels, "/")
+		return MatchTopic("#", topic)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlusMatchesExactlyOneLevelQuick(t *testing.T) {
+	f := func(parts []uint8) bool {
+		if len(parts) == 0 || len(parts) > 6 {
+			return true
+		}
+		levels := make([]string, len(parts))
+		for i, p := range parts {
+			levels[i] = string(rune('a' + p%26))
+		}
+		topic := strings.Join(levels, "/")
+		filter := strings.Join(append([]string{}, levels...), "/")
+		// Replace each level with '+' one at a time: must still match.
+		for i := range levels {
+			fl := make([]string, len(levels))
+			copy(fl, levels)
+			fl[i] = "+"
+			if !MatchTopic(strings.Join(fl, "/"), topic) {
+				return false
+			}
+		}
+		// A filter with one extra '+' level must not match.
+		return !MatchTopic(filter+"/+", topic)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

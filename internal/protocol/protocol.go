@@ -1,0 +1,384 @@
+// Package protocol defines the application-layer messages of the paper's
+// Fig. 3: membership registration (sequence 1), roaming/temporary
+// membership with home verification (sequence 2) and membership transfer /
+// removal (sequence 3), plus the periodic consumption reports and their
+// Ack/Nack outcomes.
+//
+// Messages travel as MQTT payloads on the real-network substrate and as
+// simulated-link payloads in the DES; both use the same envelope encoding:
+// one type byte followed by the JSON body.
+package protocol
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"decentmeter/internal/units"
+)
+
+// MsgType tags an envelope.
+type MsgType byte
+
+// Message types.
+const (
+	TRegister MsgType = iota + 1
+	TRegisterAck
+	TRegisterNack
+	TReport
+	TReportAck
+	TReportNack
+	TVerifyRequest
+	TVerifyResponse
+	TForwardReport
+	TTransferMembership
+	TRemoveDevice
+	TRemoveAck
+	TSyncRequest
+	TSyncResponse
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		TRegister: "Register", TRegisterAck: "RegisterAck", TRegisterNack: "RegisterNack",
+		TReport: "Report", TReportAck: "ReportAck", TReportNack: "ReportNack",
+		TVerifyRequest: "VerifyRequest", TVerifyResponse: "VerifyResponse",
+		TForwardReport: "ForwardReport", TTransferMembership: "TransferMembership",
+		TRemoveDevice: "RemoveDevice", TRemoveAck: "RemoveAck",
+		TSyncRequest: "SyncRequest", TSyncResponse: "SyncResponse",
+	}
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", byte(t))
+}
+
+// Message is any protocol message.
+type Message interface {
+	// MsgType returns the envelope tag.
+	MsgType() MsgType
+}
+
+// MembershipKind distinguishes master (home) from temporary membership.
+type MembershipKind byte
+
+// Membership kinds.
+const (
+	// MemberMaster is the home-network registration a device holds for
+	// life ("the home network retains the membership of the device at
+	// all times").
+	MemberMaster MembershipKind = 1
+	// MemberTemporary is a visited-network registration created after
+	// home verification; discarded when the device leaves.
+	MemberTemporary MembershipKind = 2
+)
+
+// String implements fmt.Stringer.
+func (k MembershipKind) String() string {
+	switch k {
+	case MemberMaster:
+		return "master"
+	case MemberTemporary:
+		return "temporary"
+	default:
+		return fmt.Sprintf("MembershipKind(%d)", byte(k))
+	}
+}
+
+// Register is the membership request a device broadcasts. MasterAddr is
+// empty for an unregistered device ("Request registration (NULL)") and set
+// to the home aggregator for a roaming re-registration.
+type Register struct {
+	DeviceID   string `json:"device_id"`
+	MasterAddr string `json:"master_addr,omitempty"`
+	// RSSIDBm is the link strength the device measured toward this
+	// aggregator; logged for diagnostics.
+	RSSIDBm float64 `json:"rssi_dbm,omitempty"`
+}
+
+// MsgType implements Message.
+func (Register) MsgType() MsgType { return TRegister }
+
+// RegisterAck grants membership.
+type RegisterAck struct {
+	DeviceID string         `json:"device_id"`
+	Kind     MembershipKind `json:"kind"`
+	// AggregatorID is the network address the device reports to.
+	AggregatorID string `json:"aggregator_id"`
+	// Slot is the TDMA slot index granted to the device.
+	Slot int `json:"slot"`
+	// Tmeasure is the reporting interval the aggregator mandates.
+	Tmeasure time.Duration `json:"tmeasure"`
+}
+
+// MsgType implements Message.
+func (RegisterAck) MsgType() MsgType { return TRegisterAck }
+
+// RegisterNack refuses membership.
+type RegisterNack struct {
+	DeviceID string `json:"device_id"`
+	Reason   string `json:"reason"`
+}
+
+// MsgType implements Message.
+func (RegisterNack) MsgType() MsgType { return TRegisterNack }
+
+// Measurement is one sampled consumption interval.
+type Measurement struct {
+	Seq       uint64        `json:"seq"`
+	Timestamp time.Time     `json:"timestamp"`
+	Interval  time.Duration `json:"interval"`
+	Current   units.Current `json:"current_ua"`
+	Voltage   units.Voltage `json:"voltage_uv"`
+	Energy    units.Energy  `json:"energy_uwh"`
+	// Buffered marks a measurement delivered late from local storage.
+	Buffered bool `json:"buffered,omitempty"`
+}
+
+// Report carries one or more measurements ("The combination of stored data
+// and the measurement are transmitted to the aggregator in the next
+// transmission").
+type Report struct {
+	DeviceID     string        `json:"device_id"`
+	MasterAddr   string        `json:"master_addr,omitempty"`
+	Measurements []Measurement `json:"measurements"`
+}
+
+// MsgType implements Message.
+func (Report) MsgType() MsgType { return TReport }
+
+// ReportAck acknowledges receipt up to and including Seq.
+type ReportAck struct {
+	DeviceID string `json:"device_id"`
+	Seq      uint64 `json:"seq"`
+}
+
+// MsgType implements Message.
+func (ReportAck) MsgType() MsgType { return TReportAck }
+
+// ReportNack tells a device its report was refused — for a roaming device
+// the signal to start temporary registration ("Aggregator 2 upon receiving
+// the consumption data sends a negative acknowledgment (Nack) to indicate
+// the absence of membership").
+type ReportNack struct {
+	DeviceID string `json:"device_id"`
+	Seq      uint64 `json:"seq"`
+	Reason   string `json:"reason"`
+}
+
+// MsgType implements Message.
+func (ReportNack) MsgType() MsgType { return TReportNack }
+
+// VerifyRequest asks a device's home aggregator to vouch for it (backhaul,
+// sequence 2).
+type VerifyRequest struct {
+	DeviceID string `json:"device_id"`
+	// Requester is the foreign aggregator asking.
+	Requester string `json:"requester"`
+}
+
+// MsgType implements Message.
+func (VerifyRequest) MsgType() MsgType { return TVerifyRequest }
+
+// VerifyResponse answers a VerifyRequest.
+type VerifyResponse struct {
+	DeviceID string `json:"device_id"`
+	OK       bool   `json:"ok"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// MsgType implements Message.
+func (VerifyResponse) MsgType() MsgType { return TVerifyResponse }
+
+// ForwardReport relays a roaming device's measurements to its home
+// aggregator ("These values are in turn transmitted back to the home
+// network using the Master address of the device").
+type ForwardReport struct {
+	DeviceID string `json:"device_id"`
+	// Via is the foreign aggregator that collected the data.
+	Via          string        `json:"via"`
+	Measurements []Measurement `json:"measurements"`
+}
+
+// MsgType implements Message.
+func (ForwardReport) MsgType() MsgType { return TForwardReport }
+
+// TransferMembership moves a device's master membership to a new home
+// (sequence 3: loss/reset/transfer-of-ownership).
+type TransferMembership struct {
+	DeviceID      string `json:"device_id"`
+	NewMasterAddr string `json:"new_master_addr"`
+}
+
+// MsgType implements Message.
+func (TransferMembership) MsgType() MsgType { return TTransferMembership }
+
+// RemoveDevice deletes a device's membership entirely.
+type RemoveDevice struct {
+	DeviceID string `json:"device_id"`
+}
+
+// MsgType implements Message.
+func (RemoveDevice) MsgType() MsgType { return TRemoveDevice }
+
+// RemoveAck confirms a removal.
+type RemoveAck struct {
+	DeviceID string `json:"device_id"`
+}
+
+// MsgType implements Message.
+func (RemoveAck) MsgType() MsgType { return TRemoveAck }
+
+// SyncRequest is the timesync query (four-timestamp exchange).
+type SyncRequest struct {
+	DeviceID string    `json:"device_id"`
+	T1       time.Time `json:"t1"`
+}
+
+// MsgType implements Message.
+func (SyncRequest) MsgType() MsgType { return TSyncRequest }
+
+// SyncResponse carries the server stamps.
+type SyncResponse struct {
+	DeviceID string    `json:"device_id"`
+	T1       time.Time `json:"t1"`
+	T2       time.Time `json:"t2"`
+	T3       time.Time `json:"t3"`
+}
+
+// MsgType implements Message.
+func (SyncResponse) MsgType() MsgType { return TSyncResponse }
+
+// --- envelope codec -----------------------------------------------------------
+
+// ErrUnknownType is returned for unrecognized envelope tags.
+var ErrUnknownType = errors.New("protocol: unknown message type")
+
+// Encode serializes msg as a one-byte tag plus JSON body.
+func Encode(msg Message) ([]byte, error) {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: encode %v: %w", msg.MsgType(), err)
+	}
+	out := make([]byte, 0, len(body)+1)
+	out = append(out, byte(msg.MsgType()))
+	return append(out, body...), nil
+}
+
+// Decode parses an envelope.
+func Decode(b []byte) (Message, error) {
+	if len(b) < 1 {
+		return nil, errors.New("protocol: empty envelope")
+	}
+	var msg Message
+	switch MsgType(b[0]) {
+	case TRegister:
+		msg = &Register{}
+	case TRegisterAck:
+		msg = &RegisterAck{}
+	case TRegisterNack:
+		msg = &RegisterNack{}
+	case TReport:
+		msg = &Report{}
+	case TReportAck:
+		msg = &ReportAck{}
+	case TReportNack:
+		msg = &ReportNack{}
+	case TVerifyRequest:
+		msg = &VerifyRequest{}
+	case TVerifyResponse:
+		msg = &VerifyResponse{}
+	case TForwardReport:
+		msg = &ForwardReport{}
+	case TTransferMembership:
+		msg = &TransferMembership{}
+	case TRemoveDevice:
+		msg = &RemoveDevice{}
+	case TRemoveAck:
+		msg = &RemoveAck{}
+	case TSyncRequest:
+		msg = &SyncRequest{}
+	case TSyncResponse:
+		msg = &SyncResponse{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[0])
+	}
+	if err := json.Unmarshal(b[1:], msg); err != nil {
+		return nil, fmt.Errorf("protocol: decode %v: %w", MsgType(b[0]), err)
+	}
+	return deref(msg), nil
+}
+
+// deref returns the value form so type switches on concrete values work the
+// same for locally constructed and decoded messages.
+func deref(m Message) Message {
+	switch v := m.(type) {
+	case *Register:
+		return *v
+	case *RegisterAck:
+		return *v
+	case *RegisterNack:
+		return *v
+	case *Report:
+		return *v
+	case *ReportAck:
+		return *v
+	case *ReportNack:
+		return *v
+	case *VerifyRequest:
+		return *v
+	case *VerifyResponse:
+		return *v
+	case *ForwardReport:
+		return *v
+	case *TransferMembership:
+		return *v
+	case *RemoveDevice:
+		return *v
+	case *RemoveAck:
+		return *v
+	case *SyncRequest:
+		return *v
+	case *SyncResponse:
+		return *v
+	default:
+		return m
+	}
+}
+
+// Topics used when the protocol rides on MQTT (cmd/meterd, cmd/devicesim).
+const (
+	// TopicReportFmt is "meters/<aggregator>/<device>/report".
+	TopicReportFmt = "meters/%s/%s/report"
+	// TopicControlFmt is "meters/<aggregator>/<device>/control" —
+	// aggregator-to-device acks and grants.
+	TopicControlFmt = "meters/%s/%s/control"
+	// TopicRegisterFmt is "meters/<aggregator>/register" — the broadcast
+	// registration channel.
+	TopicRegisterFmt = "meters/%s/register"
+	// TopicBackhaulFmt is "backhaul/<aggregator>" — inter-aggregator
+	// mesh traffic.
+	TopicBackhaulFmt = "backhaul/%s"
+)
+
+// ReportTopic builds the report topic for a device under an aggregator.
+func ReportTopic(aggregator, device string) string {
+	return fmt.Sprintf(TopicReportFmt, aggregator, device)
+}
+
+// ControlTopic builds the control topic for a device under an aggregator.
+func ControlTopic(aggregator, device string) string {
+	return fmt.Sprintf(TopicControlFmt, aggregator, device)
+}
+
+// RegisterTopic builds the registration topic of an aggregator.
+func RegisterTopic(aggregator string) string {
+	return fmt.Sprintf(TopicRegisterFmt, aggregator)
+}
+
+// BackhaulTopic builds the backhaul topic of an aggregator.
+func BackhaulTopic(aggregator string) string {
+	return fmt.Sprintf(TopicBackhaulFmt, aggregator)
+}

@@ -1,0 +1,195 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"decentmeter/internal/units"
+)
+
+var t0 = time.Date(2020, 4, 29, 10, 0, 0, 0, time.UTC)
+
+func encodeDecode(t *testing.T, msg Message) Message {
+	t.Helper()
+	b, err := Encode(msg)
+	if err != nil {
+		t.Fatalf("encode %v: %v", msg.MsgType(), err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode %v: %v", msg.MsgType(), err)
+	}
+	if got.MsgType() != msg.MsgType() {
+		t.Fatalf("type changed: %v -> %v", msg.MsgType(), got.MsgType())
+	}
+	return got
+}
+
+func TestRegisterRoundTrip(t *testing.T) {
+	got := encodeDecode(t, Register{DeviceID: "scooter", MasterAddr: "agg1", RSSIDBm: -62.5}).(Register)
+	if got.DeviceID != "scooter" || got.MasterAddr != "agg1" || got.RSSIDBm != -62.5 {
+		t.Fatalf("register: %+v", got)
+	}
+}
+
+func TestRegisterNullMaster(t *testing.T) {
+	got := encodeDecode(t, Register{DeviceID: "d"}).(Register)
+	if got.MasterAddr != "" {
+		t.Fatalf("NULL master became %q", got.MasterAddr)
+	}
+}
+
+func TestRegisterAckRoundTrip(t *testing.T) {
+	got := encodeDecode(t, RegisterAck{
+		DeviceID: "d", Kind: MemberTemporary, AggregatorID: "agg2",
+		Slot: 7, Tmeasure: 100 * time.Millisecond,
+	}).(RegisterAck)
+	if got.Kind != MemberTemporary || got.Slot != 7 || got.Tmeasure != 100*time.Millisecond {
+		t.Fatalf("ack: %+v", got)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := Report{
+		DeviceID:   "d",
+		MasterAddr: "agg1",
+		Measurements: []Measurement{
+			{Seq: 1, Timestamp: t0, Interval: 100 * time.Millisecond,
+				Current: 82 * units.Milliampere, Voltage: 5 * units.Volt,
+				Energy: 11 * units.MicrowattHour},
+			{Seq: 2, Timestamp: t0.Add(100 * time.Millisecond), Interval: 100 * time.Millisecond,
+				Current: 45 * units.Milliampere, Voltage: 5 * units.Volt,
+				Energy: 6 * units.MicrowattHour, Buffered: true},
+		},
+	}
+	got := encodeDecode(t, r).(Report)
+	if len(got.Measurements) != 2 {
+		t.Fatalf("measurements: %+v", got)
+	}
+	if got.Measurements[0] != r.Measurements[0] || got.Measurements[1] != r.Measurements[1] {
+		t.Fatalf("measurement mismatch:\n got %+v\nwant %+v", got.Measurements, r.Measurements)
+	}
+}
+
+func TestAllTypesRoundTrip(t *testing.T) {
+	msgs := []Message{
+		Register{DeviceID: "d"},
+		RegisterAck{DeviceID: "d", Kind: MemberMaster, AggregatorID: "a", Slot: 1, Tmeasure: time.Second},
+		RegisterNack{DeviceID: "d", Reason: "no slots"},
+		Report{DeviceID: "d", Measurements: []Measurement{{Seq: 9, Timestamp: t0}}},
+		ReportAck{DeviceID: "d", Seq: 9},
+		ReportNack{DeviceID: "d", Seq: 9, Reason: "not a member"},
+		VerifyRequest{DeviceID: "d", Requester: "agg2"},
+		VerifyResponse{DeviceID: "d", OK: true},
+		ForwardReport{DeviceID: "d", Via: "agg2", Measurements: []Measurement{{Seq: 1, Timestamp: t0}}},
+		TransferMembership{DeviceID: "d", NewMasterAddr: "agg3"},
+		RemoveDevice{DeviceID: "d"},
+		RemoveAck{DeviceID: "d"},
+		SyncRequest{DeviceID: "d", T1: t0},
+		SyncResponse{DeviceID: "d", T1: t0, T2: t0.Add(time.Millisecond), T3: t0.Add(time.Millisecond)},
+	}
+	seen := map[MsgType]bool{}
+	for _, m := range msgs {
+		encodeDecode(t, m)
+		if seen[m.MsgType()] {
+			t.Fatalf("duplicate type in test set: %v", m.MsgType())
+		}
+		seen[m.MsgType()] = true
+	}
+	if len(seen) != 14 {
+		t.Fatalf("covered %d of 14 message types", len(seen))
+	}
+}
+
+func TestDecodeValueSemantics(t *testing.T) {
+	// Decoded messages must be values, so switch m := m.(type) works the
+	// same for constructed and decoded messages.
+	b, err := Encode(ReportAck{DeviceID: "d", Seq: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.(ReportAck); !ok {
+		t.Fatalf("decoded as %T, want value type", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty envelope decoded")
+	}
+	if _, err := Decode([]byte{0xee, '{', '}'}); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("unknown type err = %v", err)
+	}
+	if _, err := Decode([]byte{byte(TRegister), 'x'}); err == nil {
+		t.Fatal("bad JSON decoded")
+	}
+}
+
+func TestDecodeGarbageQuick(t *testing.T) {
+	f := func(b []byte) bool {
+		Decode(b) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasurementRoundTripQuick(t *testing.T) {
+	f := func(seq uint64, cur, volt, en int64, buffered bool) bool {
+		m := Measurement{
+			Seq: seq, Timestamp: t0, Interval: 100 * time.Millisecond,
+			Current: units.Current(cur), Voltage: units.Voltage(volt),
+			Energy: units.Energy(en), Buffered: buffered,
+		}
+		b, err := Encode(Report{DeviceID: "d", Measurements: []Measurement{m}})
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		r, ok := got.(Report)
+		return ok && len(r.Measurements) == 1 && r.Measurements[0] == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopicBuilders(t *testing.T) {
+	if got := ReportTopic("agg1", "dev-1"); got != "meters/agg1/dev-1/report" {
+		t.Fatalf("ReportTopic = %q", got)
+	}
+	if got := ControlTopic("agg1", "dev-1"); got != "meters/agg1/dev-1/control" {
+		t.Fatalf("ControlTopic = %q", got)
+	}
+	if got := RegisterTopic("agg2"); got != "meters/agg2/register" {
+		t.Fatalf("RegisterTopic = %q", got)
+	}
+	if got := BackhaulTopic("agg2"); got != "backhaul/agg2" {
+		t.Fatalf("BackhaulTopic = %q", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if TRegister.String() != "Register" || TSyncResponse.String() != "SyncResponse" {
+		t.Fatal("MsgType.String broken")
+	}
+	if MsgType(200).String() == "" {
+		t.Fatal("unknown MsgType string empty")
+	}
+	if MemberMaster.String() != "master" || MemberTemporary.String() != "temporary" {
+		t.Fatal("MembershipKind.String broken")
+	}
+	if MembershipKind(9).String() == "" {
+		t.Fatal("unknown kind string empty")
+	}
+}

@@ -1,0 +1,280 @@
+// Package radio models the wireless side of the testbed: Wi-Fi access
+// points (one per aggregator), a log-distance path-loss RSSI model, channel
+// scanning and association timing, and an RSSI-vs-loss packet error model.
+//
+// The paper relies on RSSI for a mobile device to "detect its reporting
+// aggregator" (footnote 2) and its Fig. 6 handshake time (mean 6 s) is
+// dominated by exactly the scan + associate + register sequence this
+// package parameterizes.
+package radio
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Position is a 2-D coordinate in meters.
+type Position struct {
+	X, Y float64
+}
+
+// DistanceTo returns the Euclidean distance between two positions.
+func (p Position) DistanceTo(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// AccessPoint is one aggregator's radio.
+type AccessPoint struct {
+	// ID is the SSID / network name; the metering stack keys networks on it.
+	ID string
+	// Pos is the AP's fixed position.
+	Pos Position
+	// Channel is the 2.4 GHz channel (1..13).
+	Channel int
+	// TxPowerDBm is the transmit power (typ. 20 dBm).
+	TxPowerDBm float64
+}
+
+// PathLossModel holds log-distance path-loss parameters:
+// PL(d) = PL0 + 10*n*log10(d/d0), RSSI = Tx - PL + shadowing.
+type PathLossModel struct {
+	// PL0 is the loss at reference distance D0 (typ. 40 dB at 1 m for
+	// 2.4 GHz).
+	PL0 float64
+	// D0 is the reference distance in meters.
+	D0 float64
+	// Exponent n (2 free space, 2.7-3.5 indoor).
+	Exponent float64
+	// ShadowSigma is the log-normal shadowing standard deviation in dB.
+	ShadowSigma float64
+	// Seed drives the deterministic per-link shadowing realization.
+	Seed uint64
+}
+
+// DefaultPathLoss returns indoor 2.4 GHz parameters.
+func DefaultPathLoss() PathLossModel {
+	return PathLossModel{PL0: 40, D0: 1, Exponent: 3.0, ShadowSigma: 4, Seed: 0x5ca7}
+}
+
+// RSSI returns the received signal strength in dBm for a link between an AP
+// and a station position. Shadowing is deterministic per (apID, quantized
+// station position) so repeated evaluations agree while different placements
+// decorrelate.
+func (m PathLossModel) RSSI(ap AccessPoint, at Position) float64 {
+	d := ap.Pos.DistanceTo(at)
+	if d < m.D0 {
+		d = m.D0
+	}
+	pl := m.PL0 + 10*m.Exponent*math.Log10(d/m.D0)
+	return ap.TxPowerDBm - pl + m.shadow(ap.ID, at)
+}
+
+// shadow derives a deterministic shadowing term for a link.
+func (m PathLossModel) shadow(apID string, at Position) float64 {
+	if m.ShadowSigma == 0 {
+		return 0
+	}
+	h := m.Seed
+	for _, c := range apID {
+		h = splitmix(h ^ uint64(c))
+	}
+	// Quantize position to 0.1 m cells so tiny float noise does not flip
+	// the realization.
+	h = splitmix(h ^ uint64(int64(at.X*10)))
+	h = splitmix(h ^ uint64(int64(at.Y*10)))
+	u1 := float64(h>>11) / (1 << 53)
+	if u1 <= 0 {
+		u1 = 1e-12
+	}
+	h = splitmix(h)
+	u2 := float64(h>>11) / (1 << 53)
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return z * m.ShadowSigma
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Medium is the shared radio environment: the set of APs plus propagation.
+type Medium struct {
+	model PathLossModel
+	aps   map[string]AccessPoint
+	// SensitivityDBm is the weakest beacon a station can decode
+	// (typ. -90 dBm).
+	SensitivityDBm float64
+}
+
+// NewMedium creates a medium with the given propagation model.
+func NewMedium(model PathLossModel) *Medium {
+	return &Medium{
+		model:          model,
+		aps:            make(map[string]AccessPoint),
+		SensitivityDBm: -90,
+	}
+}
+
+// AddAP registers an access point. Duplicate IDs are an error.
+func (m *Medium) AddAP(ap AccessPoint) error {
+	if ap.ID == "" {
+		return fmt.Errorf("radio: AP with empty ID")
+	}
+	if ap.Channel < 1 || ap.Channel > 13 {
+		return fmt.Errorf("radio: AP %q on invalid channel %d", ap.ID, ap.Channel)
+	}
+	if _, ok := m.aps[ap.ID]; ok {
+		return fmt.Errorf("radio: AP %q already registered", ap.ID)
+	}
+	m.aps[ap.ID] = ap
+	return nil
+}
+
+// RemoveAP drops an AP (aggregator failure scenarios).
+func (m *Medium) RemoveAP(id string) { delete(m.aps, id) }
+
+// AP returns a registered AP and whether it exists.
+func (m *Medium) AP(id string) (AccessPoint, bool) {
+	ap, ok := m.aps[id]
+	return ap, ok
+}
+
+// RSSI returns the signal strength of apID at pos, and false if the AP does
+// not exist.
+func (m *Medium) RSSI(apID string, pos Position) (float64, bool) {
+	ap, ok := m.aps[apID]
+	if !ok {
+		return 0, false
+	}
+	return m.model.RSSI(ap, pos), true
+}
+
+// ScanResult is one discovered network.
+type ScanResult struct {
+	APID    string
+	Channel int
+	RSSIDBm float64
+}
+
+// Survey returns every AP decodable at pos, strongest first. This is the
+// instantaneous result; scan *timing* is modelled by ScanPlan.
+func (m *Medium) Survey(pos Position) []ScanResult {
+	var out []ScanResult
+	for _, ap := range m.aps {
+		rssi := m.model.RSSI(ap, pos)
+		if rssi >= m.SensitivityDBm {
+			out = append(out, ScanResult{APID: ap.ID, Channel: ap.Channel, RSSIDBm: rssi})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RSSIDBm != out[j].RSSIDBm {
+			return out[i].RSSIDBm > out[j].RSSIDBm
+		}
+		return out[i].APID < out[j].APID
+	})
+	return out
+}
+
+// Best returns the strongest decodable AP at pos (the device's "reporting
+// aggregator" per the paper's RSSI rule), or false if none is in range.
+func (m *Medium) Best(pos Position) (ScanResult, bool) {
+	res := m.Survey(pos)
+	if len(res) == 0 {
+		return ScanResult{}, false
+	}
+	return res[0], true
+}
+
+// PacketErrorRate maps RSSI to a loss probability: essentially lossless
+// above -70 dBm, unusable below the sensitivity floor, linear in between.
+func (m *Medium) PacketErrorRate(rssiDBm float64) float64 {
+	const goodDBm = -70
+	switch {
+	case rssiDBm >= goodDBm:
+		return 0.001 // residual interference floor
+	case rssiDBm <= m.SensitivityDBm:
+		return 1
+	default:
+		frac := (goodDBm - rssiDBm) / (goodDBm - m.SensitivityDBm)
+		return math.Min(1, 0.001+frac*frac)
+	}
+}
+
+// ScanConfig parameterizes a passive channel scan.
+type ScanConfig struct {
+	// Channels to visit, in order. Default: 1..13.
+	Channels []int
+	// DwellPerChannel is the listen time per channel. Default 340 ms
+	// (a bit over three 102.4 ms beacon intervals, the usual passive
+	// scan rule of thumb).
+	DwellPerChannel time.Duration
+	// SwitchTime is the channel-switch overhead. Default 5 ms.
+	SwitchTime time.Duration
+}
+
+// DefaultScan returns the scan used by the testbed devices. Its total
+// duration (~4.5 s) plus association and registration reproduces the
+// paper's 5.5-6.5 s Thandshake band.
+func DefaultScan() ScanConfig {
+	ch := make([]int, 13)
+	for i := range ch {
+		ch[i] = i + 1
+	}
+	return ScanConfig{Channels: ch, DwellPerChannel: 340 * time.Millisecond, SwitchTime: 5 * time.Millisecond}
+}
+
+// Duration returns the total time the scan occupies.
+func (c ScanConfig) Duration() time.Duration {
+	n := len(c.Channels)
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(n)*c.DwellPerChannel + time.Duration(n)*c.SwitchTime
+}
+
+// Scan performs the survey and reports both results and the time consumed.
+// The DES caller schedules completion Duration() in the future.
+func (m *Medium) Scan(pos Position, cfg ScanConfig) ([]ScanResult, time.Duration) {
+	allowed := make(map[int]bool, len(cfg.Channels))
+	for _, ch := range cfg.Channels {
+		allowed[ch] = true
+	}
+	var out []ScanResult
+	for _, r := range m.Survey(pos) {
+		if allowed[r.Channel] {
+			out = append(out, r)
+		}
+	}
+	return out, cfg.Duration()
+}
+
+// AssociationDelay models 802.11 auth + association for a link with the
+// given RSSI: a 250 ms floor growing as the link degrades (retries), plus
+// a deterministic jitter term derived from seed.
+func AssociationDelay(rssiDBm float64, seed uint64) time.Duration {
+	base := 250 * time.Millisecond
+	if rssiDBm < -70 {
+		// Each 10 dB below -70 roughly doubles the retry budget.
+		factor := math.Pow(2, (-70-rssiDBm)/10)
+		base = time.Duration(float64(base) * factor)
+	}
+	h := splitmix(seed ^ 0xa55)
+	u := float64(h>>11) / (1 << 53)
+	jitter := time.Duration(u * float64(150*time.Millisecond))
+	return base + jitter
+}
+
+// IPConfigDelay models the DHCP/IP-configuration phase that follows
+// association on the testbed's ESP32 stack: uniform in [700 ms, 1500 ms),
+// deterministic per seed. Together with the passive scan (~4.5 s) and
+// association (~0.3 s) this composes the paper's ~6 s Thandshake.
+func IPConfigDelay(seed uint64) time.Duration {
+	h := splitmix(seed ^ 0xd4c9)
+	u := float64(h>>11) / (1 << 53)
+	return 700*time.Millisecond + time.Duration(u*float64(800*time.Millisecond))
+}

@@ -1,0 +1,224 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func quietModel() PathLossModel {
+	m := DefaultPathLoss()
+	m.ShadowSigma = 0
+	return m
+}
+
+func TestDistance(t *testing.T) {
+	a := Position{0, 0}
+	b := Position{3, 4}
+	if d := a.DistanceTo(b); d != 5 {
+		t.Fatalf("distance = %v, want 5", d)
+	}
+}
+
+func TestRSSIMonotoneWithDistance(t *testing.T) {
+	m := quietModel()
+	ap := AccessPoint{ID: "agg1", Pos: Position{0, 0}, Channel: 1, TxPowerDBm: 20}
+	prev := math.Inf(1)
+	for d := 1.0; d < 200; d += 1 {
+		rssi := m.RSSI(ap, Position{X: d})
+		if rssi > prev {
+			t.Fatalf("RSSI increased with distance at %vm", d)
+		}
+		prev = rssi
+	}
+}
+
+func TestRSSIMonotoneQuick(t *testing.T) {
+	m := quietModel()
+	ap := AccessPoint{ID: "agg1", Pos: Position{0, 0}, Channel: 1, TxPowerDBm: 20}
+	f := func(d1, d2 uint16) bool {
+		a := 1 + float64(d1%5000)/10
+		b := 1 + float64(d2%5000)/10
+		ra := m.RSSI(ap, Position{X: a})
+		rb := m.RSSI(ap, Position{X: b})
+		if a < b {
+			return ra >= rb
+		}
+		return rb >= ra
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRSSIReferencePoint(t *testing.T) {
+	m := quietModel()
+	ap := AccessPoint{ID: "agg1", Pos: Position{0, 0}, Channel: 1, TxPowerDBm: 20}
+	// At the reference distance: RSSI = Tx - PL0 = -20 dBm.
+	if got := m.RSSI(ap, Position{X: 1}); math.Abs(got-(-20)) > 1e-9 {
+		t.Fatalf("RSSI at 1m = %v, want -20", got)
+	}
+	// Inside the reference distance the model clamps to d0.
+	if got := m.RSSI(ap, Position{X: 0.1}); math.Abs(got-(-20)) > 1e-9 {
+		t.Fatalf("RSSI at 0.1m = %v, want clamp to -20", got)
+	}
+}
+
+func TestShadowingDeterministic(t *testing.T) {
+	m := DefaultPathLoss()
+	ap := AccessPoint{ID: "agg1", Pos: Position{0, 0}, Channel: 1, TxPowerDBm: 20}
+	p := Position{X: 25, Y: 13}
+	if m.RSSI(ap, p) != m.RSSI(ap, p) {
+		t.Fatal("shadowed RSSI not deterministic")
+	}
+	// Different APs at the same spot get different shadowing.
+	ap2 := ap
+	ap2.ID = "agg2"
+	if m.RSSI(ap, p) == m.RSSI(ap2, p) {
+		t.Fatal("distinct links share shadowing realization")
+	}
+}
+
+func TestMediumAddAPValidation(t *testing.T) {
+	m := NewMedium(quietModel())
+	if err := m.AddAP(AccessPoint{ID: "", Channel: 1}); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	if err := m.AddAP(AccessPoint{ID: "x", Channel: 0}); err == nil {
+		t.Fatal("channel 0 accepted")
+	}
+	if err := m.AddAP(AccessPoint{ID: "x", Channel: 14}); err == nil {
+		t.Fatal("channel 14 accepted")
+	}
+	if err := m.AddAP(AccessPoint{ID: "x", Channel: 6, TxPowerDBm: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddAP(AccessPoint{ID: "x", Channel: 6, TxPowerDBm: 20}); err == nil {
+		t.Fatal("duplicate AP accepted")
+	}
+	if _, ok := m.AP("x"); !ok {
+		t.Fatal("AP lookup failed")
+	}
+	m.RemoveAP("x")
+	if _, ok := m.AP("x"); ok {
+		t.Fatal("AP still present after removal")
+	}
+}
+
+func TestSurveyOrdering(t *testing.T) {
+	m := NewMedium(quietModel())
+	if err := m.AddAP(AccessPoint{ID: "near", Pos: Position{X: 5}, Channel: 1, TxPowerDBm: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddAP(AccessPoint{ID: "far", Pos: Position{X: 50}, Channel: 6, TxPowerDBm: 20}); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Survey(Position{0, 0})
+	if len(res) != 2 {
+		t.Fatalf("survey found %d APs, want 2", len(res))
+	}
+	if res[0].APID != "near" {
+		t.Fatalf("strongest first: got %q", res[0].APID)
+	}
+	best, ok := m.Best(Position{0, 0})
+	if !ok || best.APID != "near" {
+		t.Fatalf("Best = %+v, %v", best, ok)
+	}
+}
+
+func TestSurveyOutOfRange(t *testing.T) {
+	m := NewMedium(quietModel())
+	if err := m.AddAP(AccessPoint{ID: "tiny", Pos: Position{X: 100000}, Channel: 1, TxPowerDBm: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Survey(Position{0, 0}); len(res) != 0 {
+		t.Fatalf("decoded AP at 100km: %+v", res)
+	}
+	if _, ok := m.Best(Position{0, 0}); ok {
+		t.Fatal("Best found unreachable AP")
+	}
+}
+
+func TestPERBounds(t *testing.T) {
+	m := NewMedium(quietModel())
+	if per := m.PacketErrorRate(-50); per > 0.01 {
+		t.Fatalf("PER at -50dBm = %v", per)
+	}
+	if per := m.PacketErrorRate(-95); per != 1 {
+		t.Fatalf("PER at -95dBm = %v, want 1", per)
+	}
+	// Monotone nonincreasing in RSSI.
+	prev := 1.0
+	for r := -95.0; r <= -40; r += 0.5 {
+		per := m.PacketErrorRate(r)
+		if per > prev+1e-12 {
+			t.Fatalf("PER increased with RSSI at %v dBm", r)
+		}
+		if per < 0 || per > 1 {
+			t.Fatalf("PER out of range: %v", per)
+		}
+		prev = per
+	}
+}
+
+func TestScanDuration(t *testing.T) {
+	cfg := DefaultScan()
+	d := cfg.Duration()
+	// 13 channels: must land near 4.5 s, the dominant share of the
+	// paper's ~6 s handshake.
+	if d < 4*time.Second || d > 5*time.Second {
+		t.Fatalf("default scan duration = %v, want ~4.5s", d)
+	}
+	var empty ScanConfig
+	if empty.Duration() != 0 {
+		t.Fatal("empty scan has nonzero duration")
+	}
+}
+
+func TestScanFiltersChannels(t *testing.T) {
+	m := NewMedium(quietModel())
+	if err := m.AddAP(AccessPoint{ID: "ch1", Pos: Position{X: 5}, Channel: 1, TxPowerDBm: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddAP(AccessPoint{ID: "ch6", Pos: Position{X: 5, Y: 5}, Channel: 6, TxPowerDBm: 20}); err != nil {
+		t.Fatal(err)
+	}
+	res, d := m.Scan(Position{0, 0}, ScanConfig{Channels: []int{1}, DwellPerChannel: 100 * time.Millisecond, SwitchTime: 5 * time.Millisecond})
+	if d != 105*time.Millisecond {
+		t.Fatalf("scan duration = %v", d)
+	}
+	if len(res) != 1 || res[0].APID != "ch1" {
+		t.Fatalf("channel-filtered scan = %+v", res)
+	}
+}
+
+func TestAssociationDelay(t *testing.T) {
+	// Strong link: 250-400 ms.
+	d := AssociationDelay(-50, 1)
+	if d < 250*time.Millisecond || d > 400*time.Millisecond {
+		t.Fatalf("strong-link association = %v", d)
+	}
+	// Weak link takes longer.
+	weak := AssociationDelay(-85, 1)
+	if weak <= d {
+		t.Fatalf("weak link (%v) not slower than strong (%v)", weak, d)
+	}
+	// Deterministic per seed.
+	if AssociationDelay(-60, 7) != AssociationDelay(-60, 7) {
+		t.Fatal("association delay not deterministic")
+	}
+}
+
+func TestHandshakeBudgetMatchesPaper(t *testing.T) {
+	// Scan + association must leave room for registration round-trips so
+	// that total Thandshake lands in the paper's 5.5-6.5 s window.
+	scan := DefaultScan().Duration()
+	for seed := uint64(0); seed < 20; seed++ {
+		assoc := AssociationDelay(-55, seed)
+		base := scan + assoc
+		if base < 4*time.Second || base > 6*time.Second {
+			t.Fatalf("seed %d: scan+assoc = %v, outside handshake budget", seed, base)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package sensor
+
+import (
+	"fmt"
+	"time"
+
+	"decentmeter/internal/units"
+)
+
+// Meter is the firmware-facing driver that device code uses: it owns the bus
+// transactions against an INA219 and exposes calibrated engineering-unit
+// readings, exactly the role of the Arduino/ESP-IDF driver on the testbed.
+type Meter struct {
+	bus  *Bus
+	addr uint8
+
+	currentLSB units.Current
+	shuntOhms  float64
+}
+
+// NewMeter configures the INA219 at addr on bus for continuous shunt+bus
+// conversion with 12-bit ADCs, calibrated for maxExpected current. It
+// returns the ready-to-read driver.
+func NewMeter(bus *Bus, addr uint8, maxExpected units.Current, shuntOhms float64) (*Meter, error) {
+	if shuntOhms <= 0 {
+		shuntOhms = 0.1
+	}
+	cal, lsb := CalibrationFor(maxExpected, shuntOhms)
+	if cal == 0 {
+		return nil, fmt.Errorf("sensor: calibration overflow for max current %v", maxExpected)
+	}
+	// Config: 32V bus range, PGA /8 (320 mV), 12-bit ADCs, continuous.
+	cfg := uint16(ina219ConfigBRNG32V) |
+		uint16(3)<<ina219PGAShift |
+		uint16(0x3)<<ina219BusADCShift |
+		uint16(0x3)<<ina219ShuntADCShift |
+		INA219ModeShuntBusContinuous
+	if err := bus.Write(addr, INA219RegConfig, cfg); err != nil {
+		return nil, fmt.Errorf("sensor: configure ina219: %w", err)
+	}
+	if err := bus.Write(addr, INA219RegCalibration, cal); err != nil {
+		return nil, fmt.Errorf("sensor: calibrate ina219: %w", err)
+	}
+	return &Meter{bus: bus, addr: addr, currentLSB: lsb, shuntOhms: shuntOhms}, nil
+}
+
+// Reading is one calibrated measurement.
+type Reading struct {
+	Current units.Current
+	Bus     units.Voltage
+	Shunt   units.Voltage
+	Power   units.Power
+	// Overflow indicates the math-overflow flag was set; the reading is
+	// then unreliable.
+	Overflow bool
+}
+
+// Read performs the register reads of one measurement cycle.
+func (m *Meter) Read() (Reading, error) {
+	var r Reading
+	rawShunt, err := m.bus.Read(m.addr, INA219RegShuntVolt)
+	if err != nil {
+		return r, fmt.Errorf("sensor: read shunt: %w", err)
+	}
+	rawBus, err := m.bus.Read(m.addr, INA219RegBusVolt)
+	if err != nil {
+		return r, fmt.Errorf("sensor: read bus: %w", err)
+	}
+	rawCurrent, err := m.bus.Read(m.addr, INA219RegCurrent)
+	if err != nil {
+		return r, fmt.Errorf("sensor: read current: %w", err)
+	}
+	r.Shunt = units.Voltage(int16(rawShunt)) * 10 * units.Microvolt
+	r.Bus = units.Voltage(rawBus>>3) * 4 * units.Millivolt
+	r.Overflow = rawBus&ina219BusVoltMathOverflowFlag != 0
+	r.Current = units.Current(int16(rawCurrent)) * m.currentLSB
+	r.Power = units.PowerFromIV(r.Current, r.Bus)
+	return r, nil
+}
+
+// CurrentLSB exposes the calibrated LSB, mostly for tests/diagnostics.
+func (m *Meter) CurrentLSB() units.Current { return m.currentLSB }
+
+// Clock is the firmware-facing RTC driver: burst-reads the seven BCD time
+// registers into a time.Time.
+type Clock struct {
+	bus  *Bus
+	addr uint8
+}
+
+// NewClock returns a driver for the DS3231 at addr.
+func NewClock(bus *Bus, addr uint8) *Clock {
+	return &Clock{bus: bus, addr: addr}
+}
+
+// Now reads the time registers.
+func (c *Clock) Now() (time.Time, error) {
+	read := func(reg uint8) (uint8, error) {
+		v, err := c.bus.Read(c.addr, reg)
+		return uint8(v), err
+	}
+	sec, err := read(DS3231RegSeconds)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("sensor: read rtc: %w", err)
+	}
+	min, err := read(DS3231RegMinutes)
+	if err != nil {
+		return time.Time{}, err
+	}
+	hour, err := read(DS3231RegHours)
+	if err != nil {
+		return time.Time{}, err
+	}
+	day, err := read(DS3231RegDate)
+	if err != nil {
+		return time.Time{}, err
+	}
+	month, err := read(DS3231RegMonth)
+	if err != nil {
+		return time.Time{}, err
+	}
+	year, err := read(DS3231RegYear)
+	if err != nil {
+		return time.Time{}, err
+	}
+	century := 2000
+	if month&0x80 != 0 {
+		century = 2100
+	}
+	return time.Date(
+		century+int(fromBCD(year)),
+		time.Month(fromBCD(month&0x1f)),
+		int(fromBCD(day)),
+		int(fromBCD(hour&0x3f)),
+		int(fromBCD(min)),
+		int(fromBCD(sec)),
+		0, time.UTC), nil
+}
+
+// Set writes t into the time registers.
+func (c *Clock) Set(t time.Time) error {
+	t = t.UTC()
+	writes := []struct {
+		reg uint8
+		val int
+	}{
+		{DS3231RegYear, t.Year() % 100},
+		{DS3231RegMonth, int(t.Month())},
+		{DS3231RegDate, t.Day()},
+		{DS3231RegHours, t.Hour()},
+		{DS3231RegMinutes, t.Minute()},
+		{DS3231RegSeconds, t.Second()},
+	}
+	for _, w := range writes {
+		if err := c.bus.Write(c.addr, w.reg, uint16(toBCD(w.val))); err != nil {
+			return fmt.Errorf("sensor: set rtc: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package sensor
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// DS3231 register addresses (Maxim datasheet).
+const (
+	DS3231RegSeconds = 0x00
+	DS3231RegMinutes = 0x01
+	DS3231RegHours   = 0x02
+	DS3231RegDay     = 0x03
+	DS3231RegDate    = 0x04
+	DS3231RegMonth   = 0x05
+	DS3231RegYear    = 0x06
+	DS3231RegControl = 0x0e
+	DS3231RegStatus  = 0x0f
+	DS3231RegAging   = 0x10
+	DS3231RegTempMSB = 0x11
+	DS3231RegTempLSB = 0x12
+)
+
+// DS3231 models the Maxim temperature-compensated RTC used on every testbed
+// node. The part's headline spec is +/-2 ppm drift; the model applies a
+// per-instance realized drift to virtual time, plus a settable aging offset
+// (each aging LSB nudges the oscillator by about 0.1 ppm).
+type DS3231 struct {
+	// DriftPPM is the realized frequency error of this instance in parts
+	// per million. Positive drift makes the RTC run fast.
+	DriftPPM float64
+	// TemperatureC is the die temperature reported by the part.
+	TemperatureC float64
+
+	now func() time.Duration
+
+	// base maps virtual time zero to a wall-clock epoch.
+	base time.Time
+	// setAt is the virtual instant the time registers were last written.
+	setAt time.Duration
+	// setTo is the wall time written at setAt.
+	setTo time.Time
+
+	aging   int8
+	control uint8
+	status  uint8
+}
+
+// DS3231Config carries construction parameters.
+type DS3231Config struct {
+	// Seed fixes the realized drift draw within +/-MaxDriftPPM.
+	Seed uint64
+	// MaxDriftPPM defaults to 2 (the datasheet bound).
+	MaxDriftPPM float64
+	// Epoch is the wall time corresponding to virtual time zero; defaults
+	// to 2020-04-29, the paper's arXiv date, so traces are recognisable.
+	Epoch time.Time
+	// Now supplies virtual time; required.
+	Now func() time.Duration
+}
+
+// NewDS3231 builds an RTC instance.
+func NewDS3231(cfg DS3231Config) *DS3231 {
+	if cfg.MaxDriftPPM == 0 {
+		cfg.MaxDriftPPM = 2
+	}
+	if cfg.Epoch.IsZero() {
+		cfg.Epoch = time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC)
+	}
+	if cfg.Now == nil {
+		panic("sensor: DS3231 requires a Now source")
+	}
+	h := splitmix(cfg.Seed ^ 0xd53231)
+	u := float64(h>>11) / (1 << 53)
+	return &DS3231{
+		DriftPPM:     (2*u - 1) * cfg.MaxDriftPPM,
+		TemperatureC: 25,
+		now:          cfg.Now,
+		base:         cfg.Epoch,
+		setAt:        0,
+		setTo:        cfg.Epoch,
+		status:       0x80, // OSF set until first time write, per datasheet
+	}
+}
+
+// effectivePPM combines realized drift and the aging trim.
+func (r *DS3231) effectivePPM() float64 {
+	return r.DriftPPM + float64(r.aging)*-0.1
+}
+
+// Now returns the RTC's current belief of wall time, including drift.
+func (r *DS3231) Now() time.Time {
+	elapsed := r.now() - r.setAt
+	skewed := float64(elapsed) * (1 + r.effectivePPM()*1e-6)
+	return r.setTo.Add(time.Duration(skewed))
+}
+
+// SetTime writes the time registers, clearing the oscillator-stop flag.
+func (r *DS3231) SetTime(t time.Time) {
+	r.setAt = r.now()
+	r.setTo = t.UTC()
+	r.status &^= 0x80
+}
+
+// OffsetAgainst returns rtc-now minus reference, the quantity a time-sync
+// protocol estimates.
+func (r *DS3231) OffsetAgainst(reference time.Time) time.Duration {
+	return r.Now().Sub(reference)
+}
+
+// ReadRegister implements Peripheral. Time registers are BCD per datasheet.
+func (r *DS3231) ReadRegister(reg uint8) (uint16, error) {
+	t := r.Now()
+	switch reg {
+	case DS3231RegSeconds:
+		return uint16(toBCD(t.Second())), nil
+	case DS3231RegMinutes:
+		return uint16(toBCD(t.Minute())), nil
+	case DS3231RegHours:
+		return uint16(toBCD(t.Hour())), nil // 24h mode: bit6 clear
+	case DS3231RegDay:
+		// 1 = Sunday per the part's convention.
+		return uint16(int(t.Weekday()) + 1), nil
+	case DS3231RegDate:
+		return uint16(toBCD(t.Day())), nil
+	case DS3231RegMonth:
+		century := uint16(0)
+		if t.Year() >= 2100 {
+			century = 0x80
+		}
+		return century | uint16(toBCD(int(t.Month()))), nil
+	case DS3231RegYear:
+		return uint16(toBCD(t.Year() % 100)), nil
+	case DS3231RegControl:
+		return uint16(r.control), nil
+	case DS3231RegStatus:
+		return uint16(r.status), nil
+	case DS3231RegAging:
+		return uint16(uint8(r.aging)), nil
+	case DS3231RegTempMSB:
+		return uint16(uint8(int8(math.Floor(r.TemperatureC)))), nil
+	case DS3231RegTempLSB:
+		frac := r.TemperatureC - math.Floor(r.TemperatureC)
+		return uint16(uint8(math.Round(frac*4)) << 6), nil
+	default:
+		return 0, fmt.Errorf("sensor: ds3231 has no register %#x", reg)
+	}
+}
+
+// WriteRegister implements Peripheral. Writing any time register performs a
+// full SetTime with that field replaced, mirroring how firmware bursts all
+// seven registers; for the model, per-register writes adjust the field.
+func (r *DS3231) WriteRegister(reg uint8, value uint16) error {
+	v := int(fromBCD(uint8(value)))
+	t := r.Now()
+	switch reg {
+	case DS3231RegSeconds:
+		r.SetTime(time.Date(t.Year(), t.Month(), t.Day(), t.Hour(), t.Minute(), v, 0, time.UTC))
+	case DS3231RegMinutes:
+		r.SetTime(time.Date(t.Year(), t.Month(), t.Day(), t.Hour(), v, t.Second(), 0, time.UTC))
+	case DS3231RegHours:
+		r.SetTime(time.Date(t.Year(), t.Month(), t.Day(), v, t.Minute(), t.Second(), 0, time.UTC))
+	case DS3231RegDay:
+		// Weekday derives from the date in this model; accept and ignore.
+	case DS3231RegDate:
+		r.SetTime(time.Date(t.Year(), t.Month(), v, t.Hour(), t.Minute(), t.Second(), 0, time.UTC))
+	case DS3231RegMonth:
+		r.SetTime(time.Date(t.Year(), time.Month(v), t.Day(), t.Hour(), t.Minute(), t.Second(), 0, time.UTC))
+	case DS3231RegYear:
+		r.SetTime(time.Date(2000+v, t.Month(), t.Day(), t.Hour(), t.Minute(), t.Second(), 0, time.UTC))
+	case DS3231RegControl:
+		r.control = uint8(value)
+	case DS3231RegStatus:
+		// Only OSF (bit 7) is writable-to-clear.
+		r.status &= uint8(value) | 0x7f
+	case DS3231RegAging:
+		r.aging = int8(uint8(value))
+	default:
+		return fmt.Errorf("sensor: ds3231 has no register %#x", reg)
+	}
+	return nil
+}
+
+// OscillatorStopped reports the OSF status flag (set until time is written).
+func (r *DS3231) OscillatorStopped() bool { return r.status&0x80 != 0 }
+
+func toBCD(v int) uint8 {
+	return uint8(v/10)<<4 | uint8(v%10)
+}
+
+func fromBCD(b uint8) uint8 {
+	return (b>>4)*10 + b&0x0f
+}

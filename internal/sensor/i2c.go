@@ -1,0 +1,100 @@
+// Package sensor models the measurement hardware of the paper's testbed:
+// an I2C bus carrying an INA219 current/power monitor and a DS3231 real-time
+// clock. The INA219 model is register-accurate against the TI datasheet
+// (configuration, calibration, PGA ranges, ADC resolution/averaging and the
+// +/-0.5 mA offset error the paper cites as a source of Fig. 5's gap); the
+// DS3231 model exposes BCD time registers and a ppm-scale drift.
+//
+// Devices above this package read measurements the same way firmware does:
+// 16-bit register transactions addressed over the bus.
+package sensor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Common I2C addresses for the modelled parts.
+const (
+	AddrINA219Default = 0x40 // A0/A1 straps ground
+	AddrDS3231        = 0x68 // fixed by the part
+)
+
+// ErrNoDevice is returned when addressing an empty bus slot.
+var ErrNoDevice = errors.New("sensor: no device at address")
+
+// Peripheral is a device that responds to 16-bit register transactions.
+// (Both modelled parts use 8-bit register pointers; the INA219 transfers
+// 16-bit big-endian values, the DS3231 single bytes widened to 16 bits.)
+type Peripheral interface {
+	// ReadRegister returns the value of register reg.
+	ReadRegister(reg uint8) (uint16, error)
+	// WriteRegister stores value into register reg.
+	WriteRegister(reg uint8, value uint16) error
+}
+
+// Bus is a single-master I2C bus. It is not safe for concurrent use, which
+// matches the single-threaded firmware loop that owns it.
+type Bus struct {
+	peripherals map[uint8]Peripheral
+	// transactions counts register reads+writes, for test assertions and
+	// bus-utilization accounting.
+	transactions uint64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{peripherals: make(map[uint8]Peripheral)}
+}
+
+// Attach places p at the given 7-bit address. Attaching to an occupied
+// address returns an error (electrically this would be a short).
+func (b *Bus) Attach(addr uint8, p Peripheral) error {
+	if addr > 0x7f {
+		return fmt.Errorf("sensor: invalid 7-bit address %#x", addr)
+	}
+	if _, ok := b.peripherals[addr]; ok {
+		return fmt.Errorf("sensor: address %#x already occupied", addr)
+	}
+	b.peripherals[addr] = p
+	return nil
+}
+
+// Detach removes the peripheral at addr, if any.
+func (b *Bus) Detach(addr uint8) {
+	delete(b.peripherals, addr)
+}
+
+// Read performs a register read transaction against addr.
+func (b *Bus) Read(addr, reg uint8) (uint16, error) {
+	p, ok := b.peripherals[addr]
+	if !ok {
+		return 0, fmt.Errorf("%w %#x", ErrNoDevice, addr)
+	}
+	b.transactions++
+	return p.ReadRegister(reg)
+}
+
+// Write performs a register write transaction against addr.
+func (b *Bus) Write(addr, reg uint8, value uint16) error {
+	p, ok := b.peripherals[addr]
+	if !ok {
+		return fmt.Errorf("%w %#x", ErrNoDevice, addr)
+	}
+	b.transactions++
+	return p.WriteRegister(reg, value)
+}
+
+// Scan returns the sorted list of occupied addresses, like `i2cdetect`.
+func (b *Bus) Scan() []uint8 {
+	addrs := make([]uint8, 0, len(b.peripherals))
+	for a := range b.peripherals {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// Transactions returns the number of register transactions performed.
+func (b *Bus) Transactions() uint64 { return b.transactions }

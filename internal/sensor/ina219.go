@@ -1,0 +1,414 @@
+package sensor
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"decentmeter/internal/units"
+)
+
+// INA219 register addresses (TI datasheet SBOS448, table 2).
+const (
+	INA219RegConfig      = 0x00
+	INA219RegShuntVolt   = 0x01
+	INA219RegBusVolt     = 0x02
+	INA219RegPower       = 0x03
+	INA219RegCurrent     = 0x04
+	INA219RegCalibration = 0x05
+)
+
+// Configuration register fields.
+const (
+	ina219ConfigReset   = 1 << 15
+	ina219ConfigBRNG32V = 1 << 13 // bus voltage range: 0=16V, 1=32V
+
+	// PGA gain bits 11-12 select the shunt voltage full-scale range.
+	ina219PGAShift = 11
+	ina219PGAMask  = 0x3 << ina219PGAShift
+
+	// ADC resolution/averaging fields, bits 7-10 (bus) and 3-6 (shunt).
+	ina219BusADCShift   = 7
+	ina219ShuntADCShift = 3
+	ina219ADCMask       = 0xf
+
+	// Operating mode, bits 0-2.
+	ina219ModeMask                = 0x7
+	INA219ModePowerDown           = 0x0
+	INA219ModeShuntTriggered      = 0x1
+	INA219ModeBusTriggered        = 0x2
+	INA219ModeShuntBusTriggered   = 0x3
+	INA219ModeADCOff              = 0x4
+	INA219ModeShuntContinuous     = 0x5
+	INA219ModeBusContinuous       = 0x6
+	INA219ModeShuntBusContinuous  = 0x7
+	ina219ConfigPowerOnReset      = 0x399f // datasheet power-on value
+	ina219BusVoltConversionReady  = 0x2
+	ina219BusVoltMathOverflowFlag = 0x1
+)
+
+// PGA gain settings: divisor and full-scale shunt range.
+type pgaSetting struct {
+	divisor   int
+	rangeVolt float64
+}
+
+var pgaSettings = [4]pgaSetting{
+	{1, 0.040},
+	{2, 0.080},
+	{4, 0.160},
+	{8, 0.320},
+}
+
+// adcSetting describes one ADC resolution/averaging mode.
+type adcSetting struct {
+	bits       int
+	samples    int
+	conversion time.Duration
+}
+
+// adcSettings maps the 4-bit ADC field to its behaviour (datasheet table 5).
+func adcSettingFor(field uint16) adcSetting {
+	switch field {
+	case 0x0:
+		return adcSetting{9, 1, 84 * time.Microsecond}
+	case 0x1:
+		return adcSetting{10, 1, 148 * time.Microsecond}
+	case 0x2:
+		return adcSetting{11, 1, 276 * time.Microsecond}
+	case 0x3, 0x8:
+		return adcSetting{12, 1, 532 * time.Microsecond}
+	case 0x9:
+		return adcSetting{12, 2, 1060 * time.Microsecond}
+	case 0xa:
+		return adcSetting{12, 4, 2130 * time.Microsecond}
+	case 0xb:
+		return adcSetting{12, 8, 4260 * time.Microsecond}
+	case 0xc:
+		return adcSetting{12, 16, 8510 * time.Microsecond}
+	case 0xd:
+		return adcSetting{12, 32, 17020 * time.Microsecond}
+	case 0xe:
+		return adcSetting{12, 64, 34050 * time.Microsecond}
+	case 0xf:
+		return adcSetting{12, 128, 68100 * time.Microsecond}
+	default:
+		return adcSetting{12, 1, 532 * time.Microsecond}
+	}
+}
+
+// LoadChannel supplies the electrical truth the sensor observes. The grid /
+// profile layer implements this; the sensor quantizes it.
+type LoadChannel interface {
+	// TrueCurrent is the actual current through the shunt right now.
+	TrueCurrent() units.Current
+	// TrueBusVoltage is the actual bus-side voltage right now.
+	TrueBusVoltage() units.Voltage
+}
+
+// StaticLoad is a fixed LoadChannel, mostly for tests.
+type StaticLoad struct {
+	I units.Current
+	V units.Voltage
+}
+
+// TrueCurrent implements LoadChannel.
+func (s StaticLoad) TrueCurrent() units.Current { return s.I }
+
+// TrueBusVoltage implements LoadChannel.
+func (s StaticLoad) TrueBusVoltage() units.Voltage { return s.V }
+
+// INA219 models the TI INA219 zero-drift current/power monitor.
+//
+// Error model: the datasheet specifies a maximum offset of +/-100 uV on the
+// shunt input; with the testbed's 0.1 ohm shunt that is up to 1 mA of
+// current-equivalent offset, and the paper quotes 0.5 mA as the part's
+// offset error. Each instance draws a fixed offset within +/-OffsetMax plus
+// a per-reading noise term, and applies a small gain error, so a population
+// of sensors disagrees the way real parts do.
+type INA219 struct {
+	// ShuntOhms is the external shunt resistor (testbed: 0.1).
+	ShuntOhms float64
+	// OffsetMax is the worst-case current-equivalent offset magnitude.
+	OffsetMax units.Current
+	// GainErrorMax is the worst-case relative gain error (e.g. 0.005).
+	GainErrorMax float64
+	// NoiseStdDev is per-reading RMS noise (current-equivalent).
+	NoiseStdDev units.Current
+
+	load LoadChannel
+	now  func() time.Duration
+
+	// Instance-specific realized errors.
+	offset units.Current
+	gain   float64
+	seed   uint64
+	reads  uint64
+
+	// Register file.
+	config      uint16
+	calibration uint16
+
+	lastShuntRaw int16
+	lastBusRaw   uint16
+	lastConvert  time.Duration
+}
+
+// INA219Config carries construction parameters.
+type INA219Config struct {
+	// ShuntOhms defaults to 0.1 (the common breakout value).
+	ShuntOhms float64
+	// OffsetMax defaults to 0.5 mA, the figure the paper quotes.
+	OffsetMax units.Current
+	// GainErrorMax defaults to 0.4% (datasheet system gain error bound).
+	GainErrorMax float64
+	// NoiseStdDev defaults to 30 uA.
+	NoiseStdDev units.Current
+	// Seed fixes this instance's realized offset/gain draw.
+	Seed uint64
+	// Now supplies virtual time, used for conversion-ready timing; may be
+	// nil, in which case conversions appear instantaneous.
+	Now func() time.Duration
+}
+
+// NewINA219 builds a sensor observing load.
+func NewINA219(load LoadChannel, cfg INA219Config) *INA219 {
+	if cfg.ShuntOhms == 0 {
+		cfg.ShuntOhms = 0.1
+	}
+	if cfg.OffsetMax == 0 {
+		cfg.OffsetMax = 500 * units.Microampere
+	}
+	if cfg.GainErrorMax == 0 {
+		cfg.GainErrorMax = 0.004
+	}
+	if cfg.NoiseStdDev == 0 {
+		cfg.NoiseStdDev = 30 * units.Microampere
+	}
+	now := cfg.Now
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	s := &INA219{
+		ShuntOhms:    cfg.ShuntOhms,
+		OffsetMax:    cfg.OffsetMax,
+		GainErrorMax: cfg.GainErrorMax,
+		NoiseStdDev:  cfg.NoiseStdDev,
+		load:         load,
+		now:          now,
+		seed:         cfg.Seed,
+		config:       ina219ConfigPowerOnReset,
+	}
+	s.realizeErrors()
+	return s
+}
+
+// realizeErrors draws the instance's fixed offset and gain error from the
+// seed, uniform in their worst-case bounds.
+func (s *INA219) realizeErrors() {
+	h := splitmix(s.seed ^ 0x17A219)
+	u1 := float64(h>>11) / (1 << 53)
+	h = splitmix(h)
+	u2 := float64(h>>11) / (1 << 53)
+	s.offset = units.Current(math.Round((2*u1 - 1) * float64(s.OffsetMax)))
+	s.gain = 1 + (2*u2-1)*s.GainErrorMax
+}
+
+// Offset reports the realized current-equivalent offset of this instance.
+func (s *INA219) Offset() units.Current { return s.offset }
+
+// ReadRegister implements Peripheral.
+func (s *INA219) ReadRegister(reg uint8) (uint16, error) {
+	switch reg {
+	case INA219RegConfig:
+		return s.config, nil
+	case INA219RegCalibration:
+		return s.calibration, nil
+	case INA219RegShuntVolt:
+		s.convert()
+		return uint16(s.lastShuntRaw), nil
+	case INA219RegBusVolt:
+		s.convert()
+		v := s.lastBusRaw << 3
+		v |= ina219BusVoltConversionReady
+		if s.overflowed() {
+			v |= ina219BusVoltMathOverflowFlag
+		}
+		return v, nil
+	case INA219RegCurrent:
+		s.convert()
+		if s.calibration == 0 {
+			return 0, nil
+		}
+		return uint16(s.currentRaw()), nil
+	case INA219RegPower:
+		s.convert()
+		if s.calibration == 0 {
+			return 0, nil
+		}
+		// Power register = (current * busVoltage)/5000 per datasheet
+		// (with power LSB = 20 * current LSB).
+		cur := int32(s.currentRaw())
+		bus := int32(s.lastBusRaw)
+		p := cur * bus / 5000
+		if p < 0 {
+			p = -p
+		}
+		if p > math.MaxUint16 {
+			p = math.MaxUint16
+		}
+		return uint16(p), nil
+	default:
+		return 0, fmt.Errorf("sensor: ina219 has no register %#x", reg)
+	}
+}
+
+// WriteRegister implements Peripheral.
+func (s *INA219) WriteRegister(reg uint8, value uint16) error {
+	switch reg {
+	case INA219RegConfig:
+		if value&ina219ConfigReset != 0 {
+			s.config = ina219ConfigPowerOnReset
+			s.calibration = 0
+			return nil
+		}
+		s.config = value
+		return nil
+	case INA219RegCalibration:
+		// Bit 0 is read-only zero per datasheet.
+		s.calibration = value &^ 1
+		return nil
+	case INA219RegShuntVolt, INA219RegBusVolt, INA219RegCurrent, INA219RegPower:
+		return fmt.Errorf("sensor: ina219 register %#x is read-only", reg)
+	default:
+		return fmt.Errorf("sensor: ina219 has no register %#x", reg)
+	}
+}
+
+// mode returns the operating mode field.
+func (s *INA219) mode() uint16 { return s.config & ina219ModeMask }
+
+// pga returns the active PGA setting.
+func (s *INA219) pga() pgaSetting {
+	idx := (s.config & ina219PGAMask) >> ina219PGAShift
+	return pgaSettings[idx]
+}
+
+// shuntADC returns the active shunt ADC setting.
+func (s *INA219) shuntADC() adcSetting {
+	return adcSettingFor((s.config >> ina219ShuntADCShift) & ina219ADCMask)
+}
+
+// ConversionTime returns how long one shunt conversion takes under the
+// current configuration (averaging multiplies the base conversion time).
+func (s *INA219) ConversionTime() time.Duration {
+	return s.shuntADC().conversion
+}
+
+// convert performs a measurement: samples the true load, applies the error
+// model, quantizes to the ADC's resolution within the PGA range, and
+// latches the raw registers.
+func (s *INA219) convert() {
+	if s.mode() == INA219ModePowerDown || s.mode() == INA219ModeADCOff {
+		return
+	}
+	s.reads++
+	adc := s.shuntADC()
+	pga := s.pga()
+
+	trueI := s.load.TrueCurrent()
+	// Averaging reduces the noise contribution by sqrt(n).
+	noiseStd := float64(s.NoiseStdDev) / math.Sqrt(float64(adc.samples))
+	h := splitmix(s.seed ^ s.reads*0x9e3779b97f4a7c15)
+	u1 := float64(h>>11) / (1 << 53)
+	if u1 <= 0 {
+		u1 = 1e-12
+	}
+	h = splitmix(h)
+	u2 := float64(h>>11) / (1 << 53)
+	noise := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2) * noiseStd
+
+	measured := float64(trueI)*s.gain + float64(s.offset) + noise // microamps
+
+	// Shunt voltage in volts.
+	vshunt := measured * 1e-6 * s.ShuntOhms
+	// Clip to PGA range.
+	clipped := vshunt
+	if clipped > pga.rangeVolt {
+		clipped = pga.rangeVolt
+	}
+	if clipped < -pga.rangeVolt {
+		clipped = -pga.rangeVolt
+	}
+	// Quantize: the shunt register LSB is always 10 uV regardless of PGA,
+	// but effective resolution comes from the ADC bit depth across the
+	// PGA range. Model bit depth by quantizing to range/2^(bits-1) steps,
+	// then express in 10 uV register LSBs.
+	stepV := pga.rangeVolt / float64(int(1)<<(adc.bits-1))
+	if stepV < 10e-6 {
+		stepV = 10e-6
+	}
+	quantV := math.Round(clipped/stepV) * stepV
+	s.lastShuntRaw = int16(math.Round(quantV / 10e-6))
+
+	// Bus voltage: LSB 4 mV, 0..26V usable.
+	busV := s.load.TrueBusVoltage().Volts()
+	if busV < 0 {
+		busV = 0
+	}
+	maxBus := 16.0
+	if s.config&ina219ConfigBRNG32V != 0 {
+		maxBus = 32.0
+	}
+	if busV > maxBus {
+		busV = maxBus
+	}
+	s.lastBusRaw = uint16(math.Round(busV / 0.004))
+	s.lastConvert = s.now()
+}
+
+// overflowed reports whether the current/power math would overflow, which
+// happens with calibration set too high for the observed shunt drop.
+func (s *INA219) overflowed() bool {
+	if s.calibration == 0 {
+		return false
+	}
+	raw := int32(s.lastShuntRaw) * int32(s.calibration) / 4096
+	return raw > math.MaxInt16 || raw < math.MinInt16
+}
+
+// currentRaw computes the current register from the latched shunt reading,
+// per the datasheet: current = shunt * calibration / 4096.
+func (s *INA219) currentRaw() int16 {
+	raw := int32(s.lastShuntRaw) * int32(s.calibration) / 4096
+	if raw > math.MaxInt16 {
+		raw = math.MaxInt16
+	}
+	if raw < math.MinInt16 {
+		raw = math.MinInt16
+	}
+	return int16(raw)
+}
+
+// CalibrationFor computes the calibration register value and the resulting
+// current LSB for a desired maximum expected current, per the datasheet
+// procedure: currentLSB = maxExpected / 2^15; cal = trunc(0.04096 /
+// (currentLSB * Rshunt)).
+func CalibrationFor(maxExpected units.Current, shuntOhms float64) (cal uint16, currentLSB units.Current) {
+	lsbAmps := maxExpected.Amps() / 32768
+	if lsbAmps <= 0 {
+		return 0, 0
+	}
+	calF := math.Trunc(0.04096 / (lsbAmps * shuntOhms))
+	if calF > math.MaxUint16 {
+		calF = math.MaxUint16
+	}
+	return uint16(calF) &^ 1, units.Current(math.Round(lsbAmps * 1e6))
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,448 @@
+package sensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"decentmeter/internal/units"
+)
+
+func newTestINA(load LoadChannel, seed uint64) (*Bus, *Meter) {
+	bus := NewBus()
+	ina := NewINA219(load, INA219Config{Seed: seed})
+	if err := bus.Attach(AddrINA219Default, ina); err != nil {
+		panic(err)
+	}
+	m, err := NewMeter(bus, AddrINA219Default, 2*units.Ampere, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	return bus, m
+}
+
+func TestBusAttachDetachScan(t *testing.T) {
+	bus := NewBus()
+	ina := NewINA219(StaticLoad{}, INA219Config{})
+	if err := bus.Attach(0x40, ina); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Attach(0x40, ina); err == nil {
+		t.Fatal("double attach succeeded")
+	}
+	if err := bus.Attach(0x90, ina); err == nil {
+		t.Fatal("8-bit address accepted")
+	}
+	if got := bus.Scan(); len(got) != 1 || got[0] != 0x40 {
+		t.Fatalf("Scan = %v", got)
+	}
+	bus.Detach(0x40)
+	if got := bus.Scan(); len(got) != 0 {
+		t.Fatalf("Scan after detach = %v", got)
+	}
+	if _, err := bus.Read(0x40, 0); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("Read from empty slot: %v", err)
+	}
+	if err := bus.Write(0x40, 0, 0); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("Write to empty slot: %v", err)
+	}
+}
+
+func TestCalibrationForDatasheetExample(t *testing.T) {
+	// Datasheet worked example: 0.1 ohm shunt, 2 A max expected.
+	// currentLSB = 2/32768 = 61.035 uA; cal = trunc(0.04096/(61.035e-6*0.1)) = 6710.
+	cal, lsb := CalibrationFor(2*units.Ampere, 0.1)
+	if cal != 6710 {
+		t.Fatalf("cal = %d, want 6710", cal)
+	}
+	if lsb != 61 {
+		t.Fatalf("currentLSB = %d uA, want 61", lsb)
+	}
+}
+
+func TestCalibrationForZero(t *testing.T) {
+	cal, lsb := CalibrationFor(0, 0.1)
+	if cal != 0 || lsb != 0 {
+		t.Fatalf("zero current calibration = %d, %d", cal, lsb)
+	}
+}
+
+func TestMeterReadsNearTruth(t *testing.T) {
+	truth := 150 * units.Milliampere
+	_, m := newTestINA(StaticLoad{I: truth, V: 5 * units.Volt}, 1)
+	r, err := m.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset (<=0.5mA), gain (<=0.4%), noise (~30uA) and quantization.
+	diff := (r.Current - truth).Abs()
+	if diff > 2*units.Milliampere {
+		t.Fatalf("reading %v too far from truth %v", r.Current, truth)
+	}
+	if r.Bus < 4900*units.Millivolt || r.Bus > 5100*units.Millivolt {
+		t.Fatalf("bus voltage = %v, want ~5V", r.Bus)
+	}
+	if r.Overflow {
+		t.Fatal("unexpected overflow flag")
+	}
+	if r.Power <= 0 {
+		t.Fatalf("power = %v", r.Power)
+	}
+}
+
+func TestMeterOffsetWithinBound(t *testing.T) {
+	// With a zero load the mean reading exposes the realized offset; it
+	// must stay within the configured worst case.
+	for seed := uint64(0); seed < 20; seed++ {
+		bus := NewBus()
+		ina := NewINA219(StaticLoad{I: 0, V: 5 * units.Volt}, INA219Config{Seed: seed})
+		if err := bus.Attach(AddrINA219Default, ina); err != nil {
+			t.Fatal(err)
+		}
+		if ina.Offset().Abs() > 500*units.Microampere {
+			t.Fatalf("seed %d realized offset %v exceeds 0.5mA", seed, ina.Offset())
+		}
+	}
+}
+
+func TestMeterOffsetsVaryAcrossInstances(t *testing.T) {
+	offsets := map[units.Current]bool{}
+	for seed := uint64(0); seed < 10; seed++ {
+		ina := NewINA219(StaticLoad{}, INA219Config{Seed: seed})
+		offsets[ina.Offset()] = true
+	}
+	if len(offsets) < 5 {
+		t.Fatalf("offsets not diverse: %d distinct in 10 instances", len(offsets))
+	}
+}
+
+func TestMeterAveragesToTruthPlusOffset(t *testing.T) {
+	truth := 100 * units.Milliampere
+	bus := NewBus()
+	ina := NewINA219(StaticLoad{I: truth, V: 5 * units.Volt}, INA219Config{Seed: 3})
+	if err := bus.Attach(AddrINA219Default, ina); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMeter(bus, AddrINA219Default, 2*units.Ampere, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	const n = 500
+	for i := 0; i < n; i++ {
+		r, err := m.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += int64(r.Current)
+	}
+	mean := units.Current(sum / n)
+	want := units.Current(math.Round(float64(truth)*1.0)) + ina.Offset()
+	// Mean should approach truth*gain+offset; gain error <=0.4% of 100mA
+	// = 400uA, quantization ~305uA steps (20mV range/2^... with PGA /8:
+	// 320mV/2048 = 156uV -> 1.56mA steps at 0.1 ohm). Allow 2mA.
+	if d := (mean - want).Abs(); d > 2*units.Milliampere {
+		t.Fatalf("mean reading %v, truth+offset %v (diff %v)", mean, want, d)
+	}
+}
+
+func TestINA219PowerDownReturnsStale(t *testing.T) {
+	load := &StaticLoad{I: 100 * units.Milliampere, V: 5 * units.Volt}
+	bus := NewBus()
+	ina := NewINA219(load, INA219Config{Seed: 1})
+	if err := bus.Attach(AddrINA219Default, ina); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMeter(bus, AddrINA219Default, 2*units.Ampere, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(); err != nil {
+		t.Fatal(err)
+	}
+	// Power the part down; readings must not track the load any more.
+	cfgRaw, _ := bus.Read(AddrINA219Default, INA219RegConfig)
+	if err := bus.Write(AddrINA219Default, INA219RegConfig, cfgRaw&^0x7|INA219ModePowerDown); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := bus.Read(AddrINA219Default, INA219RegShuntVolt)
+	load.I = 500 * units.Milliampere
+	after, _ := bus.Read(AddrINA219Default, INA219RegShuntVolt)
+	if before != after {
+		t.Fatal("powered-down sensor tracked the load")
+	}
+}
+
+func TestINA219Reset(t *testing.T) {
+	bus := NewBus()
+	ina := NewINA219(StaticLoad{}, INA219Config{Seed: 1})
+	if err := bus.Attach(AddrINA219Default, ina); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMeter(bus, AddrINA219Default, 2*units.Ampere, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Write(AddrINA219Default, INA219RegConfig, ina219ConfigReset); err != nil {
+		t.Fatal(err)
+	}
+	cfg, _ := bus.Read(AddrINA219Default, INA219RegConfig)
+	if cfg != ina219ConfigPowerOnReset {
+		t.Fatalf("config after reset = %#x, want %#x", cfg, ina219ConfigPowerOnReset)
+	}
+	cal, _ := bus.Read(AddrINA219Default, INA219RegCalibration)
+	if cal != 0 {
+		t.Fatalf("calibration after reset = %d, want 0", cal)
+	}
+}
+
+func TestINA219ReadOnlyRegisters(t *testing.T) {
+	ina := NewINA219(StaticLoad{}, INA219Config{})
+	for _, reg := range []uint8{INA219RegShuntVolt, INA219RegBusVolt, INA219RegCurrent, INA219RegPower} {
+		if err := ina.WriteRegister(reg, 1); err == nil {
+			t.Fatalf("write to read-only register %#x succeeded", reg)
+		}
+	}
+	if _, err := ina.ReadRegister(0x77); err == nil {
+		t.Fatal("read of bogus register succeeded")
+	}
+	if err := ina.WriteRegister(0x77, 0); err == nil {
+		t.Fatal("write of bogus register succeeded")
+	}
+}
+
+func TestINA219CalibrationBitZeroReadOnly(t *testing.T) {
+	ina := NewINA219(StaticLoad{}, INA219Config{})
+	if err := ina.WriteRegister(INA219RegCalibration, 0x1235); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := ina.ReadRegister(INA219RegCalibration)
+	if v != 0x1234 {
+		t.Fatalf("calibration = %#x, want bit0 cleared", v)
+	}
+}
+
+func TestINA219NoCalibrationReadsZeroCurrent(t *testing.T) {
+	bus := NewBus()
+	ina := NewINA219(StaticLoad{I: units.Ampere, V: 5 * units.Volt}, INA219Config{Seed: 1})
+	if err := bus.Attach(AddrINA219Default, ina); err != nil {
+		t.Fatal(err)
+	}
+	// Enable conversions but never calibrate.
+	if err := bus.Write(AddrINA219Default, INA219RegConfig, ina219ConfigPowerOnReset); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := bus.Read(AddrINA219Default, INA219RegCurrent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur != 0 {
+		t.Fatalf("uncalibrated current register = %d, want 0", cur)
+	}
+}
+
+func TestINA219ConversionTime(t *testing.T) {
+	ina := NewINA219(StaticLoad{}, INA219Config{})
+	// Power-on config is 12-bit: 532 us.
+	if ct := ina.ConversionTime(); ct != 532*time.Microsecond {
+		t.Fatalf("conversion time = %v, want 532us", ct)
+	}
+	// 128-sample averaging.
+	if err := ina.WriteRegister(INA219RegConfig, uint16(0xf)<<ina219ShuntADCShift|INA219ModeShuntBusContinuous); err != nil {
+		t.Fatal(err)
+	}
+	if ct := ina.ConversionTime(); ct != 68100*time.Microsecond {
+		t.Fatalf("128-avg conversion time = %v", ct)
+	}
+}
+
+func TestINA219BusVoltageClamp(t *testing.T) {
+	bus := NewBus()
+	ina := NewINA219(StaticLoad{I: 0, V: 40 * units.Volt}, INA219Config{Seed: 1})
+	if err := bus.Attach(AddrINA219Default, ina); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMeter(bus, AddrINA219Default, 2*units.Ampere, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bus > 32*units.Volt {
+		t.Fatalf("bus voltage %v exceeds 32V range", r.Bus)
+	}
+}
+
+func TestINA219NegativeCurrent(t *testing.T) {
+	_, m := newTestINA(StaticLoad{I: -200 * units.Milliampere, V: 5 * units.Volt}, 4)
+	r, err := m.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Current > -150*units.Milliampere {
+		t.Fatalf("negative flow read as %v", r.Current)
+	}
+	if r.Shunt >= 0 {
+		t.Fatalf("shunt voltage = %v, want negative", r.Shunt)
+	}
+}
+
+func TestINA219AccuracyAcrossRangeQuick(t *testing.T) {
+	f := func(raw uint16, seed uint16) bool {
+		truth := units.Current(raw) * 20 * units.Microampere // 0..1.31A
+		_, m := newTestINA(StaticLoad{I: truth, V: 5 * units.Volt}, uint64(seed))
+		r, err := m.Read()
+		if err != nil {
+			return false
+		}
+		// Error budget: offset 0.5mA + gain 0.4% + noise 4 sigma (120uA)
+		// + quantization (1.6mA at PGA/8) + LSB rounding.
+		budget := 2500*units.Microampere + units.Current(float64(truth)*0.005)
+		return (r.Current - truth).Abs() <= budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDS3231DriftBounded(t *testing.T) {
+	var now time.Duration
+	for seed := uint64(0); seed < 30; seed++ {
+		rtc := NewDS3231(DS3231Config{Seed: seed, Now: func() time.Duration { return now }})
+		if rtc.DriftPPM < -2 || rtc.DriftPPM > 2 {
+			t.Fatalf("seed %d drift %.3f ppm out of bound", seed, rtc.DriftPPM)
+		}
+	}
+}
+
+func TestDS3231SkewAccumulates(t *testing.T) {
+	var now time.Duration
+	rtc := NewDS3231(DS3231Config{Seed: 1, Now: func() time.Duration { return now }})
+	rtc.DriftPPM = 2 // force fast clock
+	start := time.Date(2020, 4, 29, 12, 0, 0, 0, time.UTC)
+	rtc.SetTime(start)
+	now = 24 * time.Hour
+	got := rtc.Now()
+	want := start.Add(24 * time.Hour)
+	skew := got.Sub(want)
+	// 2 ppm over 24h = 172.8 ms.
+	if skew < 170*time.Millisecond || skew > 176*time.Millisecond {
+		t.Fatalf("24h skew = %v, want ~172.8ms", skew)
+	}
+}
+
+func TestDS3231AgingTrim(t *testing.T) {
+	var now time.Duration
+	rtc := NewDS3231(DS3231Config{Seed: 1, Now: func() time.Duration { return now }})
+	rtc.DriftPPM = 1.0
+	rtc.SetTime(time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC))
+	// +10 aging LSBs ≈ -1 ppm: cancels the drift.
+	if err := rtc.WriteRegister(DS3231RegAging, 10); err != nil {
+		t.Fatal(err)
+	}
+	now = 24 * time.Hour
+	skew := rtc.Now().Sub(time.Date(2020, 4, 30, 0, 0, 0, 0, time.UTC))
+	if skew.Abs() > time.Millisecond {
+		t.Fatalf("trimmed skew = %v, want ~0", skew)
+	}
+}
+
+func TestDS3231OSF(t *testing.T) {
+	var now time.Duration
+	rtc := NewDS3231(DS3231Config{Seed: 1, Now: func() time.Duration { return now }})
+	if !rtc.OscillatorStopped() {
+		t.Fatal("OSF clear before first time set")
+	}
+	rtc.SetTime(time.Now())
+	if rtc.OscillatorStopped() {
+		t.Fatal("OSF still set after SetTime")
+	}
+}
+
+func TestClockDriverRoundTrip(t *testing.T) {
+	var now time.Duration
+	rtc := NewDS3231(DS3231Config{Seed: 1, Now: func() time.Duration { return now }})
+	rtc.DriftPPM = 0
+	bus := NewBus()
+	if err := bus.Attach(AddrDS3231, rtc); err != nil {
+		t.Fatal(err)
+	}
+	clk := NewClock(bus, AddrDS3231)
+	want := time.Date(2021, 7, 15, 13, 45, 59, 0, time.UTC)
+	if err := clk.Set(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := clk.Now()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("clock round trip: got %v, want %v", got, want)
+	}
+}
+
+func TestClockDriverAdvances(t *testing.T) {
+	var now time.Duration
+	rtc := NewDS3231(DS3231Config{Seed: 1, Now: func() time.Duration { return now }})
+	rtc.DriftPPM = 0
+	bus := NewBus()
+	if err := bus.Attach(AddrDS3231, rtc); err != nil {
+		t.Fatal(err)
+	}
+	clk := NewClock(bus, AddrDS3231)
+	start := time.Date(2020, 4, 29, 23, 59, 58, 0, time.UTC)
+	if err := clk.Set(start); err != nil {
+		t.Fatal(err)
+	}
+	now = 3 * time.Second // crosses midnight
+	got, err := clk.Now()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := start.Add(3 * time.Second)
+	if !got.Equal(want) {
+		t.Fatalf("advanced clock: got %v, want %v", got, want)
+	}
+}
+
+func TestBCDRoundTripQuick(t *testing.T) {
+	f := func(v uint8) bool {
+		v = v % 100
+		return fromBCD(toBCD(int(v))) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDS3231Temperature(t *testing.T) {
+	var now time.Duration
+	rtc := NewDS3231(DS3231Config{Seed: 1, Now: func() time.Duration { return now }})
+	rtc.TemperatureC = 25.75
+	msb, err := rtc.ReadRegister(DS3231RegTempMSB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsb, err := rtc.ReadRegister(DS3231RegTempLSB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(int8(uint8(msb))) + float64(lsb>>6)*0.25
+	if got != 25.75 {
+		t.Fatalf("temperature = %v, want 25.75", got)
+	}
+}
+
+func TestBusTransactionCount(t *testing.T) {
+	bus, m := newTestINA(StaticLoad{I: units.Milliampere, V: 5 * units.Volt}, 1)
+	before := bus.Transactions()
+	if _, err := m.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if bus.Transactions()-before != 3 {
+		t.Fatalf("one Read = %d transactions, want 3", bus.Transactions()-before)
+	}
+}

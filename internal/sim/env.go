@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is virtual simulation time measured as a duration since the start of
+// the run. It deliberately reuses time.Duration so callers get familiar
+// arithmetic and formatting.
+type Time = time.Duration
+
+// Event is a scheduled callback. Events compare by (at, seq) so two events
+// scheduled for the same instant execute in scheduling order.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when popped or cancelled
+	cancel bool
+}
+
+// Cancelled reports whether the event was cancelled before it ran.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// At returns the virtual time the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Env is a single-threaded discrete-event environment. It is not safe for
+// concurrent use: all scheduled callbacks run on the goroutine that calls
+// Run/RunUntil/Step.
+type Env struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *RNG
+	stopped bool
+	ran     uint64
+}
+
+// NewEnv returns an environment at t=0 whose root RNG is seeded with seed.
+func NewEnv(seed uint64) *Env {
+	return &Env{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// RNG returns the environment's root random stream. Subsystems should Fork
+// it rather than share it.
+func (e *Env) RNG() *RNG { return e.rng }
+
+// EventsRun returns the number of events executed so far (useful in tests
+// and for progress accounting).
+func (e *Env) EventsRun() uint64 { return e.ran }
+
+// Pending returns the number of events currently queued.
+func (e *Env) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after delay d (>= 0). It returns the event handle which
+// may be cancelled with Cancel before it fires.
+func (e *Env) Schedule(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %v", d))
+	}
+	if fn == nil {
+		panic("sim: Schedule with nil fn")
+	}
+	e.seq++
+	ev := &Event{at: e.now + d, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAt runs fn at absolute virtual time t, which must not be in the
+// past.
+func (e *Env) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt %v is before now %v", t, e.now))
+	}
+	return e.Schedule(t-e.now, fn)
+}
+
+// Cancel removes ev from the queue if it has not run yet. Cancelling an
+// already-run or already-cancelled event is a no-op. Returns true if the
+// event was removed.
+func (e *Env) Cancel(ev *Event) bool {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		return false
+	}
+	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+	return true
+}
+
+// Stop halts Run/RunUntil after the current event completes.
+func (e *Env) Stop() { e.stopped = true }
+
+// Step executes the single next event, advancing the clock to its time.
+// It returns false when the queue is empty.
+func (e *Env) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.at < e.now {
+		panic("sim: event queue time went backwards")
+	}
+	e.now = ev.at
+	e.ran++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Env) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline, then sets the clock to
+// exactly deadline. Events scheduled after the deadline stay queued.
+func (e *Env) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Ticker invokes fn every period until the returned stop function is called.
+// The first tick fires after one full period. fn receives the tick's virtual
+// time.
+func (e *Env) Ticker(period Time, fn func(Time)) (stop func()) {
+	if period <= 0 {
+		panic("sim: Ticker with non-positive period")
+	}
+	stopped := false
+	var ev *Event
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn(e.now)
+		if !stopped {
+			ev = e.Schedule(period, tick)
+		}
+	}
+	ev = e.Schedule(period, tick)
+	return func() {
+		stopped = true
+		e.Cancel(ev)
+	}
+}
+
+// After is a readability helper equivalent to Schedule.
+func (e *Env) After(d Time, fn func()) *Event { return e.Schedule(d, fn) }

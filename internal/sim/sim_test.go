@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	env := NewEnv(1)
+	var order []int
+	env.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	env.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	env.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	env.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if env.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", env.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	env := NewEnv(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		env.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	env.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleFromCallback(t *testing.T) {
+	env := NewEnv(1)
+	var hits []Time
+	env.Schedule(time.Second, func() {
+		hits = append(hits, env.Now())
+		env.Schedule(time.Second, func() { hits = append(hits, env.Now()) })
+	})
+	env.Run()
+	if len(hits) != 2 || hits[0] != time.Second || hits[1] != 2*time.Second {
+		t.Fatalf("nested scheduling wrong: %v", hits)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	env := NewEnv(1)
+	ran := false
+	ev := env.Schedule(time.Second, func() { ran = true })
+	if !env.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if env.Cancel(ev) {
+		t.Fatal("double Cancel returned true")
+	}
+	env.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+}
+
+func TestCancelMiddleOfQueue(t *testing.T) {
+	env := NewEnv(1)
+	var order []int
+	e1 := env.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e2 := env.Schedule(2*time.Second, func() { order = append(order, 2) })
+	e3 := env.Schedule(3*time.Second, func() { order = append(order, 3) })
+	env.Cancel(e2)
+	env.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("order after cancel: %v", order)
+	}
+	_ = e1
+	_ = e3
+}
+
+func TestRunUntil(t *testing.T) {
+	env := NewEnv(1)
+	var hits int
+	stop := env.Ticker(100*time.Millisecond, func(Time) { hits++ })
+	env.RunUntil(time.Second)
+	if hits != 10 {
+		t.Fatalf("ticker hits = %d, want 10", hits)
+	}
+	if env.Now() != time.Second {
+		t.Fatalf("now = %v, want 1s", env.Now())
+	}
+	stop()
+	env.RunUntil(2 * time.Second)
+	if hits != 10 {
+		t.Fatalf("ticker fired after stop: %d", hits)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	env := NewEnv(1)
+	env.RunUntil(5 * time.Second)
+	if env.Now() != 5*time.Second {
+		t.Fatalf("idle RunUntil: now=%v", env.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	env := NewEnv(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n == 5 {
+			env.Stop()
+			return
+		}
+		env.Schedule(time.Millisecond, tick)
+	}
+	env.Schedule(time.Millisecond, tick)
+	env.Run()
+	if n != 5 {
+		t.Fatalf("Stop did not halt run: n=%d", n)
+	}
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	env := NewEnv(1)
+	env.Schedule(time.Second, func() {})
+	env.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in the past did not panic")
+		}
+	}()
+	env.ScheduleAt(500*time.Millisecond, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	env := NewEnv(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	env.Schedule(-time.Second, func() {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed uint64) []uint64 {
+		env := NewEnv(seed)
+		rng := env.RNG()
+		var out []uint64
+		for i := 0; i < 50; i++ {
+			d := Time(rng.Intn(1000)) * time.Millisecond
+			env.Schedule(d, func() { out = append(out, rng.Uint64()) })
+		}
+		env.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnUniformity(t *testing.T) {
+	r := NewRNG(9)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / draws
+		if frac < 0.08 || frac > 0.12 {
+			t.Fatalf("bucket %d frequency %.3f far from 0.1", i, frac)
+		}
+	}
+}
+
+func TestRNGNormStats(t *testing.T) {
+	r := NewRNG(11)
+	const draws = 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if mean < -0.02 || mean > 0.02 {
+		t.Fatalf("normal mean %.4f too far from 0", mean)
+	}
+	if variance < 0.95 || variance > 1.05 {
+		t.Fatalf("normal variance %.4f too far from 1", variance)
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	r := NewRNG(5)
+	f := r.Fork()
+	// The fork must not replay the parent's stream.
+	a := make([]uint64, 10)
+	b := make([]uint64, 10)
+	for i := range a {
+		a[i] = r.Uint64()
+		b[i] = f.Uint64()
+	}
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("forked RNG replays parent stream")
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(13)
+	p := r.Perm(20)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestQuickUniformBounds(t *testing.T) {
+	r := NewRNG(17)
+	f := func(a, b uint16) bool {
+		lo, hi := float64(a), float64(a)+float64(b)+1
+		v := r.Uniform(lo, hi)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJitterBounds(t *testing.T) {
+	r := NewRNG(19)
+	f := func(raw uint32) bool {
+		v := float64(raw%100000) + 1
+		j := r.Jitter(v, 0.1)
+		return j >= v*0.9-1e-9 && j <= v*1.1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	env := NewEnv(1)
+	n := 0
+	var stop func()
+	stop = env.Ticker(time.Millisecond, func(Time) {
+		n++
+		if n == 3 {
+			stop()
+		}
+	})
+	env.RunUntil(time.Second)
+	if n != 3 {
+		t.Fatalf("ticker did not stop from callback: n=%d", n)
+	}
+}
+
+func TestEventsRunCount(t *testing.T) {
+	env := NewEnv(1)
+	for i := 0; i < 25; i++ {
+		env.Schedule(Time(i)*time.Millisecond, func() {})
+	}
+	env.Run()
+	if env.EventsRun() != 25 {
+		t.Fatalf("EventsRun = %d, want 25", env.EventsRun())
+	}
+	if env.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", env.Pending())
+	}
+}

@@ -1,0 +1,233 @@
+// Package store implements the device data layer of the paper's Fig. 2
+// architecture: "In the absence of network connectivity with the
+// aggregator, raw consumption data is stored in the local storage until the
+// connection is established."
+//
+// The central type is Queue, a bounded FIFO store-and-forward buffer for
+// unacknowledged measurements with an explicit overflow policy (constrained
+// devices have finite flash), plus an optional write-ahead log so buffered
+// data survives a device reboot.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// OverflowPolicy selects what happens when the queue is full.
+type OverflowPolicy int
+
+// Overflow policies.
+const (
+	// DropOldest evicts the oldest entry; preserves recency (the paper's
+	// implied behaviour: newest consumption data matters most for
+	// billing reconciliation on reconnect).
+	DropOldest OverflowPolicy = iota
+	// DropNewest rejects the incoming entry.
+	DropNewest
+	// Reject returns ErrFull to the caller.
+	Reject
+)
+
+// ErrFull is returned by Push under the Reject policy.
+var ErrFull = errors.New("store: queue full")
+
+// Queue is a bounded FIFO of opaque records. Not safe for concurrent use;
+// the device firmware loop is single-threaded.
+type Queue[T any] struct {
+	buf      []T
+	head     int // index of oldest
+	size     int
+	policy   OverflowPolicy
+	dropped  uint64
+	accepted uint64
+}
+
+// NewQueue creates a queue with the given capacity (>= 1) and policy.
+func NewQueue[T any](capacity int, policy OverflowPolicy) (*Queue[T], error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("store: capacity %d < 1", capacity)
+	}
+	return &Queue[T]{buf: make([]T, capacity), policy: policy}, nil
+}
+
+// Len returns the number of buffered records.
+func (q *Queue[T]) Len() int { return q.size }
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Dropped returns how many records the overflow policy discarded.
+func (q *Queue[T]) Dropped() uint64 { return q.dropped }
+
+// Accepted returns how many records were stored successfully.
+func (q *Queue[T]) Accepted() uint64 { return q.accepted }
+
+// Push appends a record, applying the overflow policy when full.
+func (q *Queue[T]) Push(v T) error {
+	if q.size == len(q.buf) {
+		switch q.policy {
+		case DropOldest:
+			q.head = (q.head + 1) % len(q.buf)
+			q.size--
+			q.dropped++
+		case DropNewest:
+			q.dropped++
+			return nil
+		case Reject:
+			return ErrFull
+		}
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	q.accepted++
+	return nil
+}
+
+// Peek returns the oldest record without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if q.size == 0 {
+		return zero, false
+	}
+	return q.buf[q.head], true
+}
+
+// Pop removes and returns the oldest record.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	if q.size == 0 {
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return v, true
+}
+
+// Drain removes and returns up to n oldest records (all if n <= 0).
+func (q *Queue[T]) Drain(n int) []T {
+	if n <= 0 || n > q.size {
+		n = q.size
+	}
+	out := make([]T, 0, n)
+	for i := 0; i < n; i++ {
+		v, _ := q.Pop()
+		out = append(out, v)
+	}
+	return out
+}
+
+// Snapshot returns the buffered records oldest-first without consuming.
+func (q *Queue[T]) Snapshot() []T {
+	out := make([]T, 0, q.size)
+	for i := 0; i < q.size; i++ {
+		out = append(out, q.buf[(q.head+i)%len(q.buf)])
+	}
+	return out
+}
+
+// Clear empties the queue.
+func (q *Queue[T]) Clear() {
+	var zero T
+	for i := range q.buf {
+		q.buf[i] = zero
+	}
+	q.head, q.size = 0, 0
+}
+
+// WAL persists queue records as JSON lines so a rebooting device can
+// recover unsent measurements. Records append to the log on Push and the
+// whole log is truncated once everything has been delivered (Checkpoint) —
+// a deliberately simple scheme sized for microcontroller-class firmware.
+type WAL[T any] struct {
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// OpenWAL opens (creating if needed) the log at path.
+func OpenWAL[T any](path string) (*WAL[T], error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	return &WAL[T]{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append writes one record.
+func (w *WAL[T]) Append(v T) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: wal marshal: %w", err)
+	}
+	if _, err := w.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("store: wal write: %w", err)
+	}
+	return w.w.Flush()
+}
+
+// Checkpoint truncates the log after successful delivery of all records.
+func (w *WAL[T]) Checkpoint() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: wal truncate: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: wal seek: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the log.
+func (w *WAL[T]) Close() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// RecoverWAL reads every record from the log at path. A missing file yields
+// an empty slice. Truncated/corrupt trailing lines are skipped (a crash may
+// have cut a write short); fully corrupt interior lines return an error.
+func RecoverWAL[T any](path string) ([]T, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: recover wal: %w", err)
+	}
+	defer f.Close()
+	var out []T
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var v T
+		if err := json.Unmarshal(line, &v); err != nil {
+			// Tolerate a torn final line only.
+			if !sc.Scan() {
+				break
+			}
+			return nil, fmt.Errorf("store: wal line %d corrupt: %w", lineNo, err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: recover wal: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,313 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q, err := NewQueue[int](4, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 3 || q.Cap() != 4 {
+		t.Fatalf("len/cap = %d/%d", q.Len(), q.Cap())
+	}
+	if v, ok := q.Peek(); !ok || v != 1 {
+		t.Fatalf("Peek = %d, %v", v, ok)
+	}
+	for i := 1; i <= 3; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d, %v; want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop from empty succeeded")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek at empty succeeded")
+	}
+}
+
+func TestQueueRejectPolicy(t *testing.T) {
+	q, _ := NewQueue[int](2, Reject)
+	q.Push(1)
+	q.Push(2)
+	if err := q.Push(3); !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v", err)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestQueueDropOldest(t *testing.T) {
+	q, _ := NewQueue[int](3, DropOldest)
+	for i := 1; i <= 5; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := q.Drain(0)
+	if len(got) != 3 || got[0] != 3 || got[1] != 4 || got[2] != 5 {
+		t.Fatalf("Drain = %v, want [3 4 5]", got)
+	}
+	if q.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", q.Dropped())
+	}
+	if q.Accepted() != 5 {
+		t.Fatalf("Accepted = %d, want 5", q.Accepted())
+	}
+}
+
+func TestQueueDropNewest(t *testing.T) {
+	q, _ := NewQueue[int](3, DropNewest)
+	for i := 1; i <= 5; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := q.Drain(0)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Drain = %v, want [1 2 3]", got)
+	}
+	if q.Dropped() != 2 {
+		t.Fatalf("Dropped = %d", q.Dropped())
+	}
+}
+
+func TestQueueWraparound(t *testing.T) {
+	q, _ := NewQueue[int](3, Reject)
+	// Fill/half-drain repeatedly to exercise index wrap.
+	next := 0
+	expect := 0
+	for round := 0; round < 50; round++ {
+		for q.Len() < q.Cap() {
+			q.Push(next)
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			v, ok := q.Pop()
+			if !ok || v != expect {
+				t.Fatalf("round %d: Pop = %d, want %d", round, v, expect)
+			}
+			expect++
+		}
+	}
+}
+
+func TestQueueSnapshotNonConsuming(t *testing.T) {
+	q, _ := NewQueue[string](4, Reject)
+	q.Push("a")
+	q.Push("b")
+	snap := q.Snapshot()
+	if len(snap) != 2 || snap[0] != "a" || snap[1] != "b" {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+	if q.Len() != 2 {
+		t.Fatal("Snapshot consumed records")
+	}
+}
+
+func TestQueueDrainPartial(t *testing.T) {
+	q, _ := NewQueue[int](10, Reject)
+	for i := 0; i < 6; i++ {
+		q.Push(i)
+	}
+	got := q.Drain(4)
+	if len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("Drain(4) = %v", got)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("remaining = %d", q.Len())
+	}
+	// Drain more than available returns what exists.
+	got = q.Drain(100)
+	if len(got) != 2 {
+		t.Fatalf("over-drain = %v", got)
+	}
+}
+
+func TestQueueClear(t *testing.T) {
+	q, _ := NewQueue[int](4, Reject)
+	q.Push(1)
+	q.Push(2)
+	q.Clear()
+	if q.Len() != 0 {
+		t.Fatal("Clear left records")
+	}
+	if err := q.Push(9); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := q.Pop(); v != 9 {
+		t.Fatal("queue unusable after Clear")
+	}
+}
+
+func TestQueueInvalidCapacity(t *testing.T) {
+	if _, err := NewQueue[int](0, Reject); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestQueueOrderPreservedQuick(t *testing.T) {
+	// Property: with Reject policy, pushes then drains return exactly
+	// the accepted prefix in order.
+	f := func(vals []int) bool {
+		q, err := NewQueue[int](64, Reject)
+		if err != nil {
+			return false
+		}
+		var accepted []int
+		for _, v := range vals {
+			if err := q.Push(v); err == nil {
+				accepted = append(accepted, v)
+			}
+		}
+		got := q.Drain(0)
+		if len(got) != len(accepted) {
+			return false
+		}
+		for i := range got {
+			if got[i] != accepted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueDropOldestKeepsNewestQuick(t *testing.T) {
+	// Property: DropOldest always retains the most recent min(n, cap)
+	// values in order.
+	f := func(vals []int16) bool {
+		const cap = 8
+		q, err := NewQueue[int16](cap, DropOldest)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			q.Push(v)
+		}
+		got := q.Snapshot()
+		want := vals
+		if len(want) > cap {
+			want = want[len(want)-cap:]
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type rec struct {
+	Seq int     `json:"seq"`
+	MA  float64 `json:"ma"`
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meter.wal")
+	w, err := OpenWAL[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Append(rec{Seq: i, MA: float64(i) * 1.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RecoverWAL[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("recovered %d records", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != i || r.MA != float64(i)*1.5 {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}
+
+func TestWALCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meter.wal")
+	w, err := OpenWAL[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(rec{Seq: 1})
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	w.Append(rec{Seq: 2})
+	w.Close()
+	got, err := RecoverWAL[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("after checkpoint: %+v", got)
+	}
+}
+
+func TestWALRecoverMissingFile(t *testing.T) {
+	got, err := RecoverWAL[rec](filepath.Join(t.TempDir(), "absent.wal"))
+	if err != nil || got != nil {
+		t.Fatalf("missing file: %v, %v", got, err)
+	}
+}
+
+func TestWALTornFinalLineTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meter.wal")
+	w, _ := OpenWAL[rec](path)
+	w.Append(rec{Seq: 1})
+	w.Append(rec{Seq: 2})
+	w.Close()
+	// Simulate a crash mid-write: append garbage with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq": 3, "ma":`)
+	f.Close()
+	got, err := RecoverWAL[rec](path)
+	if err != nil {
+		t.Fatalf("torn line not tolerated: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("recovered %d, want 2", len(got))
+	}
+}
+
+func TestWALInteriorCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meter.wal")
+	os.WriteFile(path, []byte("garbage\n{\"seq\":1,\"ma\":0}\n"), 0o644)
+	if _, err := RecoverWAL[rec](path); err == nil {
+		t.Fatal("interior corruption not detected")
+	}
+}

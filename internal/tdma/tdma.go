@@ -1,0 +1,196 @@
+// Package tdma implements the slotted communication schedule the paper's
+// aggregators impose: "The aggregator provides the devices with time-slots
+// for communication to prevent interference. With limited time-slots for
+// communication, the number of devices connected to an aggregator is also
+// limited."
+//
+// A Schedule divides each reporting interval (a superframe of length
+// Tmeasure) into fixed slots with guard intervals. Devices are admitted
+// until the slot budget is exhausted; each admitted device owns one slot
+// per superframe and derives its transmit instant from the schedule.
+package tdma
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Errors returned by Schedule operations.
+var (
+	ErrNoFreeSlot    = errors.New("tdma: no free slot (aggregator at capacity)")
+	ErrNotAssigned   = errors.New("tdma: device has no slot")
+	ErrAlreadyOwner  = errors.New("tdma: device already owns a slot")
+	ErrInvalidConfig = errors.New("tdma: invalid configuration")
+)
+
+// Config describes a superframe.
+type Config struct {
+	// Superframe is the full cycle length (the paper's Tmeasure, 100 ms).
+	Superframe time.Duration
+	// SlotLen is the usable transmit window per slot.
+	SlotLen time.Duration
+	// Guard is the idle gap appended to every slot.
+	Guard time.Duration
+}
+
+// DefaultConfig matches the testbed: 100 ms superframe, 2 ms slots with
+// 0.5 ms guards, i.e. 40 slots per aggregator.
+func DefaultConfig() Config {
+	return Config{
+		Superframe: 100 * time.Millisecond,
+		SlotLen:    2 * time.Millisecond,
+		Guard:      500 * time.Microsecond,
+	}
+}
+
+// Validate checks the configuration is realizable.
+func (c Config) Validate() error {
+	if c.Superframe <= 0 || c.SlotLen <= 0 || c.Guard < 0 {
+		return fmt.Errorf("%w: non-positive durations", ErrInvalidConfig)
+	}
+	if c.SlotLen+c.Guard > c.Superframe {
+		return fmt.Errorf("%w: slot+guard exceeds superframe", ErrInvalidConfig)
+	}
+	return nil
+}
+
+// Capacity returns how many slots fit in one superframe.
+func (c Config) Capacity() int {
+	if c.Validate() != nil {
+		return 0
+	}
+	return int(c.Superframe / (c.SlotLen + c.Guard))
+}
+
+// Schedule tracks slot ownership for one aggregator.
+type Schedule struct {
+	cfg    Config
+	owners []string       // slot index -> device ID ("" = free)
+	bySlot map[string]int // device ID -> slot index
+}
+
+// NewSchedule builds an empty schedule.
+func NewSchedule(cfg Config) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Schedule{
+		cfg:    cfg,
+		owners: make([]string, cfg.Capacity()),
+		bySlot: make(map[string]int),
+	}, nil
+}
+
+// Config returns the schedule's configuration.
+func (s *Schedule) Config() Config { return s.cfg }
+
+// Capacity returns the total slot count.
+func (s *Schedule) Capacity() int { return len(s.owners) }
+
+// Used returns the number of assigned slots.
+func (s *Schedule) Used() int { return len(s.bySlot) }
+
+// Free returns the number of unassigned slots.
+func (s *Schedule) Free() int { return s.Capacity() - s.Used() }
+
+// Assign grants the lowest free slot to deviceID.
+func (s *Schedule) Assign(deviceID string) (int, error) {
+	if deviceID == "" {
+		return 0, fmt.Errorf("%w: empty device ID", ErrInvalidConfig)
+	}
+	if _, ok := s.bySlot[deviceID]; ok {
+		return 0, fmt.Errorf("%w: %s", ErrAlreadyOwner, deviceID)
+	}
+	for i, owner := range s.owners {
+		if owner == "" {
+			s.owners[i] = deviceID
+			s.bySlot[deviceID] = i
+			return i, nil
+		}
+	}
+	return 0, ErrNoFreeSlot
+}
+
+// Release frees the slot owned by deviceID.
+func (s *Schedule) Release(deviceID string) error {
+	idx, ok := s.bySlot[deviceID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotAssigned, deviceID)
+	}
+	s.owners[idx] = ""
+	delete(s.bySlot, deviceID)
+	return nil
+}
+
+// SlotOf returns the slot index owned by deviceID.
+func (s *Schedule) SlotOf(deviceID string) (int, error) {
+	idx, ok := s.bySlot[deviceID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotAssigned, deviceID)
+	}
+	return idx, nil
+}
+
+// Owners returns device IDs sorted by slot index.
+func (s *Schedule) Owners() []string {
+	out := make([]string, 0, len(s.bySlot))
+	for _, owner := range s.owners {
+		if owner != "" {
+			out = append(out, owner)
+		}
+	}
+	return out
+}
+
+// SlotWindow returns the start offset (within the superframe) and length of
+// slot idx.
+func (s *Schedule) SlotWindow(idx int) (offset, length time.Duration, err error) {
+	if idx < 0 || idx >= len(s.owners) {
+		return 0, 0, fmt.Errorf("%w: slot %d of %d", ErrInvalidConfig, idx, len(s.owners))
+	}
+	pitch := s.cfg.SlotLen + s.cfg.Guard
+	return time.Duration(idx) * pitch, s.cfg.SlotLen, nil
+}
+
+// NextTransmitAt returns the first instant >= now that falls at the start
+// of deviceID's slot. Devices use this to align their report transmissions.
+func (s *Schedule) NextTransmitAt(deviceID string, now time.Duration) (time.Duration, error) {
+	idx, err := s.SlotOf(deviceID)
+	if err != nil {
+		return 0, err
+	}
+	offset, _, err := s.SlotWindow(idx)
+	if err != nil {
+		return 0, err
+	}
+	frame := now / s.cfg.Superframe * s.cfg.Superframe
+	at := frame + offset
+	if at < now {
+		at += s.cfg.Superframe
+	}
+	return at, nil
+}
+
+// Overlaps reports whether any two assigned slots overlap in time; it is an
+// invariant check used by tests and by the load balancer after migrations.
+func (s *Schedule) Overlaps() bool {
+	type window struct{ start, end time.Duration }
+	var ws []window
+	for id := range s.bySlot {
+		idx := s.bySlot[id]
+		off, ln, err := s.SlotWindow(idx)
+		if err != nil {
+			return true
+		}
+		ws = append(ws, window{off, off + ln})
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].start < ws[j].start })
+	for i := 1; i < len(ws); i++ {
+		if ws[i].start < ws[i-1].end {
+			return true
+		}
+	}
+	return false
+}

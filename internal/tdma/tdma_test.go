@@ -1,0 +1,248 @@
+package tdma
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultConfigCapacity(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Capacity(); got != 40 {
+		t.Fatalf("capacity = %d, want 40", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Superframe: time.Second},
+		{Superframe: time.Second, SlotLen: -time.Millisecond},
+		{Superframe: time.Millisecond, SlotLen: 2 * time.Millisecond},
+		{Superframe: time.Millisecond, SlotLen: 800 * time.Microsecond, Guard: 300 * time.Microsecond},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+		if cfg.Capacity() != 0 {
+			t.Errorf("config %d nonzero capacity", i)
+		}
+	}
+}
+
+func TestAssignReleaseLifecycle(t *testing.T) {
+	s, err := NewSchedule(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, err := s.Assign("dev1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot != 0 {
+		t.Fatalf("first slot = %d, want 0", slot)
+	}
+	if _, err := s.Assign("dev1"); !errors.Is(err, ErrAlreadyOwner) {
+		t.Fatalf("double assign err = %v", err)
+	}
+	got, err := s.SlotOf("dev1")
+	if err != nil || got != 0 {
+		t.Fatalf("SlotOf = %d, %v", got, err)
+	}
+	if err := s.Release("dev1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release("dev1"); !errors.Is(err, ErrNotAssigned) {
+		t.Fatalf("double release err = %v", err)
+	}
+	if _, err := s.SlotOf("dev1"); !errors.Is(err, ErrNotAssigned) {
+		t.Fatalf("SlotOf after release err = %v", err)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	cfg := Config{Superframe: 10 * time.Millisecond, SlotLen: 2 * time.Millisecond, Guard: 500 * time.Microsecond}
+	s, err := NewSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := s.Capacity()
+	if cap != 4 {
+		t.Fatalf("capacity = %d, want 4", cap)
+	}
+	for i := 0; i < cap; i++ {
+		if _, err := s.Assign(fmt.Sprintf("dev%d", i)); err != nil {
+			t.Fatalf("assign %d: %v", i, err)
+		}
+	}
+	if _, err := s.Assign("overflow"); !errors.Is(err, ErrNoFreeSlot) {
+		t.Fatalf("overflow err = %v", err)
+	}
+	if s.Free() != 0 || s.Used() != cap {
+		t.Fatalf("used/free = %d/%d", s.Used(), s.Free())
+	}
+	// Releasing one readmits one.
+	if err := s.Release("dev2"); err != nil {
+		t.Fatal(err)
+	}
+	slot, err := s.Assign("late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot != 2 {
+		t.Fatalf("reused slot = %d, want 2", slot)
+	}
+}
+
+func TestSlotWindowsDisjoint(t *testing.T) {
+	s, err := NewSchedule(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Capacity(); i++ {
+		if _, err := s.Assign(fmt.Sprintf("dev%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Overlaps() {
+		t.Fatal("full schedule has overlapping slots")
+	}
+	// Windows stay inside the superframe.
+	for i := 0; i < s.Capacity(); i++ {
+		off, ln, err := s.SlotWindow(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off < 0 || off+ln > s.Config().Superframe {
+			t.Fatalf("slot %d window [%v, %v) outside superframe", i, off, off+ln)
+		}
+	}
+	if _, _, err := s.SlotWindow(-1); err == nil {
+		t.Fatal("negative slot accepted")
+	}
+	if _, _, err := s.SlotWindow(s.Capacity()); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+}
+
+func TestNextTransmitAt(t *testing.T) {
+	cfg := Config{Superframe: 100 * time.Millisecond, SlotLen: 2 * time.Millisecond, Guard: 500 * time.Microsecond}
+	s, err := NewSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Assign("a"); err != nil { // slot 0: offset 0
+		t.Fatal(err)
+	}
+	if _, err := s.Assign("b"); err != nil { // slot 1: offset 2.5ms
+		t.Fatal(err)
+	}
+	at, err := s.NextTransmitAt("b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 2500*time.Microsecond {
+		t.Fatalf("b first tx = %v, want 2.5ms", at)
+	}
+	// From just after its slot start, the next frame's slot is used.
+	at, err = s.NextTransmitAt("b", 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 102500*time.Microsecond {
+		t.Fatalf("b second tx = %v, want 102.5ms", at)
+	}
+	// Device a transmits at frame boundaries.
+	at, err = s.NextTransmitAt("a", 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 200*time.Millisecond {
+		t.Fatalf("a tx = %v, want 200ms", at)
+	}
+	if _, err := s.NextTransmitAt("ghost", 0); !errors.Is(err, ErrNotAssigned) {
+		t.Fatalf("ghost err = %v", err)
+	}
+}
+
+func TestOwnersSortedBySlot(t *testing.T) {
+	s, _ := NewSchedule(DefaultConfig())
+	for _, id := range []string{"z", "m", "a"} {
+		if _, err := s.Assign(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owners := s.Owners()
+	if len(owners) != 3 || owners[0] != "z" || owners[1] != "m" || owners[2] != "a" {
+		t.Fatalf("Owners = %v (want slot order)", owners)
+	}
+}
+
+func TestEmptyDeviceIDRejected(t *testing.T) {
+	s, _ := NewSchedule(DefaultConfig())
+	if _, err := s.Assign(""); err == nil {
+		t.Fatal("empty device ID accepted")
+	}
+}
+
+func TestAssignReleaseChurnQuick(t *testing.T) {
+	// Property: any sequence of assigns and releases keeps slots
+	// disjoint and the used count consistent.
+	s, err := NewSchedule(Config{Superframe: 20 * time.Millisecond, SlotLen: time.Millisecond, Guard: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := map[string]bool{}
+	f := func(op uint8, devNum uint8) bool {
+		id := fmt.Sprintf("dev%d", devNum%20)
+		if op%2 == 0 {
+			_, err := s.Assign(id)
+			if err == nil {
+				present[id] = true
+			} else if present[id] && !errors.Is(err, ErrAlreadyOwner) {
+				return false
+			}
+		} else {
+			err := s.Release(id)
+			if err == nil {
+				delete(present, id)
+			} else if present[id] {
+				return false
+			}
+		}
+		return !s.Overlaps() && s.Used() == len(present) && s.Used()+s.Free() == s.Capacity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransmitCadenceMatchesTmeasure(t *testing.T) {
+	// A device's consecutive transmit instants are exactly one
+	// superframe (Tmeasure) apart: the 10 Hz cadence of the paper.
+	s, _ := NewSchedule(DefaultConfig())
+	if _, err := s.Assign("d"); err != nil {
+		t.Fatal(err)
+	}
+	var prev time.Duration = -1
+	now := time.Duration(1)
+	for i := 0; i < 20; i++ {
+		at, err := s.NextTransmitAt("d", now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 {
+			if at-prev != s.Config().Superframe {
+				t.Fatalf("cadence %v, want %v", at-prev, s.Config().Superframe)
+			}
+		}
+		prev = at
+		now = at + time.Microsecond
+	}
+}

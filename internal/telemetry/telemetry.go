@@ -1,0 +1,380 @@
+// Package telemetry replaces the Grafana deployment of the paper's testbed
+// ("We use Grafana to monitor live data transmission"): a process-local
+// metrics registry (counters, gauges, histograms), a ring-buffer time-series
+// store for live traces, an HTTP API serving JSON queries in the style of a
+// Grafana data source, and CSV export for offline plotting.
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Add increments the counter by d (>= 0; negative deltas are ignored).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a value that can move both ways.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, ascending
+	counts  []uint64  // len(bounds)+1, last = overflow
+	sum     float64
+	total   uint64
+	minSeen float64
+	maxSeen float64
+}
+
+// NewHistogram creates a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{
+		bounds:  bs,
+		counts:  make([]uint64, len(bs)+1),
+		minSeen: math.Inf(1),
+		maxSeen: math.Inf(-1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx]++
+	h.sum += v
+	h.total++
+	if v < h.minSeen {
+		h.minSeen = v
+	}
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+}
+
+// Summary reports count, mean, min and max.
+func (h *Histogram) Summary() (count uint64, mean, min, max float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0, 0, 0, 0
+	}
+	return h.total, h.sum / float64(h.total), h.minSeen, h.maxSeen
+}
+
+// Quantile estimates the q-quantile (0..1) from the bucket midpoints.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			switch {
+			case i == 0:
+				return h.bounds[0]
+			case i == len(h.bounds):
+				return h.maxSeen
+			default:
+				return (h.bounds[i-1] + h.bounds[i]) / 2
+			}
+		}
+	}
+	return h.maxSeen
+}
+
+// Point is one time-series sample.
+type Point struct {
+	T time.Duration `json:"t_ns"`
+	V float64       `json:"v"`
+}
+
+// Series is a bounded ring of points for one named trace.
+type Series struct {
+	mu   sync.Mutex
+	name string
+	buf  []Point
+	head int
+	size int
+}
+
+// NewSeries creates a series retaining up to capacity points.
+func NewSeries(name string, capacity int) *Series {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Series{name: name, buf: make([]Point, capacity)}
+}
+
+// Append records (t, v), evicting the oldest point when full.
+func (s *Series) Append(t time.Duration, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.size == len(s.buf) {
+		s.buf[s.head] = Point{t, v}
+		s.head = (s.head + 1) % len(s.buf)
+		return
+	}
+	s.buf[(s.head+s.size)%len(s.buf)] = Point{t, v}
+	s.size++
+}
+
+// Points returns the retained points oldest-first, optionally filtered to
+// [from, to) (pass to <= from for everything).
+func (s *Series) Points(from, to time.Duration) []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, 0, s.size)
+	for i := 0; i < s.size; i++ {
+		p := s.buf[(s.head+i)%len(s.buf)]
+		if to > from && (p.T < from || p.T >= to) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Registry names and serves all instruments.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	series     map[string]*Series
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		series:     make(map[string]*Series),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Series returns (creating if needed) the named series.
+func (r *Registry) Series(name string, capacity int) *Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		s = NewSeries(name, capacity)
+		r.series[name] = s
+	}
+	return s
+}
+
+// SeriesNames lists registered series, sorted.
+func (r *Registry) SeriesNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.series))
+	for n := range r.series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot is the scalar state served at /metrics.
+type Snapshot struct {
+	Counters map[string]float64 `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+}
+
+// Snapshot captures all counters and gauges.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{
+		Counters: make(map[string]float64, len(r.counters)),
+		Gauges:   make(map[string]float64, len(r.gauges)),
+	}
+	for n, c := range r.counters {
+		snap.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		snap.Gauges[n] = g.Value()
+	}
+	return snap
+}
+
+// Handler serves the registry over HTTP:
+//
+//	GET /metrics          -> Snapshot JSON
+//	GET /series           -> ["name", ...]
+//	GET /series/query?name=N[&from=ns&to=ns] -> [{t_ns, v}, ...]
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.SeriesNames())
+	})
+	mux.HandleFunc("/series/query", func(w http.ResponseWriter, req *http.Request) {
+		name := req.URL.Query().Get("name")
+		r.mu.Lock()
+		s, ok := r.series[name]
+		r.mu.Unlock()
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown series %q", name), http.StatusNotFound)
+			return
+		}
+		from := parseNs(req.URL.Query().Get("from"))
+		to := parseNs(req.URL.Query().Get("to"))
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.Points(from, to))
+	})
+	return mux
+}
+
+func parseNs(s string) time.Duration {
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return time.Duration(v)
+}
+
+// WriteCSV dumps one or more series side by side: a t_seconds column plus
+// one column per series (empty cells where a series has no point at that
+// instant). Suited to gnuplot/spreadsheet reproduction of the figures.
+func WriteCSV(w io.Writer, series ...*Series) error {
+	cw := csv.NewWriter(w)
+	header := []string{"t_seconds"}
+	type row map[int]float64
+	byT := map[time.Duration]row{}
+	var ts []time.Duration
+	for i, s := range series {
+		header = append(header, s.name)
+		for _, p := range s.Points(0, 0) {
+			r, ok := byT[p.T]
+			if !ok {
+				r = row{}
+				byT[p.T] = r
+				ts = append(ts, p.T)
+			}
+			r[i] = p.V
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, t := range ts {
+		rec := make([]string, len(series)+1)
+		rec[0] = strconv.FormatFloat(t.Seconds(), 'f', 3, 64)
+		for i := range series {
+			if v, ok := byT[t][i]; ok {
+				rec[i+1] = strconv.FormatFloat(v, 'f', 4, 64)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

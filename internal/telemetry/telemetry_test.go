@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-10) // ignored
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(42)
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 2, 3, 7, 20} {
+		h.Observe(v)
+	}
+	count, mean, min, max := h.Summary()
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+	if mean != 6.5 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if min != 0.5 || max != 20 {
+		t.Fatalf("min/max = %v/%v", min, max)
+	}
+	// Median falls in the (1, 5] bucket -> midpoint 3.
+	if q := h.Quantile(0.5); q != 3 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(1.0); q != 20 {
+		t.Fatalf("p100 = %v", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if c, _, _, _ := h.Summary(); c != 0 {
+		t.Fatal("empty histogram count != 0")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+}
+
+func TestSeriesRing(t *testing.T) {
+	s := NewSeries("current", 3)
+	for i := 0; i < 5; i++ {
+		s.Append(time.Duration(i)*time.Second, float64(i*10))
+	}
+	pts := s.Points(0, 0)
+	if len(pts) != 3 {
+		t.Fatalf("retained %d", len(pts))
+	}
+	if pts[0].V != 20 || pts[2].V != 40 {
+		t.Fatalf("ring contents: %+v", pts)
+	}
+}
+
+func TestSeriesWindowFilter(t *testing.T) {
+	s := NewSeries("x", 100)
+	for i := 0; i < 10; i++ {
+		s.Append(time.Duration(i)*time.Second, float64(i))
+	}
+	pts := s.Points(3*time.Second, 6*time.Second)
+	if len(pts) != 3 || pts[0].V != 3 || pts[2].V != 5 {
+		t.Fatalf("window filter: %+v", pts)
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter identity")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("gauge identity")
+	}
+	if r.Histogram("h", []float64{1}) != r.Histogram("h", nil) {
+		t.Fatal("histogram identity")
+	}
+	if r.Series("s", 10) != r.Series("s", 99) {
+		t.Fatal("series identity")
+	}
+	names := r.SeriesNames()
+	if len(names) != 1 || names[0] != "s" {
+		t.Fatalf("SeriesNames = %v", names)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reports").Add(10)
+	r.Gauge("connected").Set(4)
+	snap := r.Snapshot()
+	if snap.Counters["reports"] != 10 || snap.Gauges["connected"] != 4 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reports").Add(7)
+	s := r.Series("net1.current_ma", 100)
+	s.Append(time.Second, 80)
+	s.Append(2*time.Second, 85)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	// /metrics
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Counters["reports"] != 7 {
+		t.Fatalf("metrics endpoint: %+v", snap)
+	}
+
+	// /series
+	resp, err = srv.Client().Get(srv.URL + "/series")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(names) != 1 || names[0] != "net1.current_ma" {
+		t.Fatalf("series endpoint: %v", names)
+	}
+
+	// /series/query
+	resp, err = srv.Client().Get(srv.URL + "/series/query?name=net1.current_ma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []Point
+	if err := json.NewDecoder(resp.Body).Decode(&pts); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(pts) != 2 || pts[1].V != 85 {
+		t.Fatalf("query endpoint: %+v", pts)
+	}
+
+	// Window-limited query.
+	resp, err = srv.Client().Get(srv.URL + "/series/query?name=net1.current_ma&from=1500000000&to=3000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts = nil
+	json.NewDecoder(resp.Body).Decode(&pts)
+	resp.Body.Close()
+	if len(pts) != 1 || pts[0].V != 85 {
+		t.Fatalf("windowed query: %+v", pts)
+	}
+
+	// Unknown series: 404.
+	resp, err = srv.Client().Get(srv.URL + "/series/query?name=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown series status = %d", resp.StatusCode)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := NewSeries("dev1_ma", 10)
+	b := NewSeries("dev2_ma", 10)
+	a.Append(time.Second, 80)
+	a.Append(2*time.Second, 81)
+	b.Append(2*time.Second, 45)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines: %v", lines)
+	}
+	if lines[0] != "t_seconds,dev1_ma,dev2_ma" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1.000,80.0000,") {
+		t.Fatalf("row 1: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "2.000,81.0000,45.0000") {
+		t.Fatalf("row 2: %q", lines[2])
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(float64(j))
+				r.Histogram("h", []float64{10, 100}).Observe(float64(j))
+				r.Series("s", 64).Append(time.Duration(j), float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %v", got)
+	}
+	if c, _, _, _ := r.Histogram("h", nil).Summary(); c != 8000 {
+		t.Fatalf("concurrent histogram count = %v", c)
+	}
+}

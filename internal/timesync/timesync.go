@@ -1,0 +1,175 @@
+// Package timesync implements the device/aggregator time synchronization
+// the paper assumes ("we assume that all the devices in the network and the
+// aggregators are time-synchronized"): an SNTP-style four-timestamp
+// exchange that estimates the offset and round-trip delay between a
+// device's drifting DS3231 and its aggregator's reference clock, plus a
+// discipline loop that keeps the offset bounded between exchanges.
+package timesync
+
+import (
+	"errors"
+	"time"
+)
+
+// Sample is one completed four-timestamp exchange.
+//
+//	T1: client transmit (client clock)
+//	T2: server receive  (server clock)
+//	T3: server transmit (server clock)
+//	T4: client receive  (client clock)
+type Sample struct {
+	T1, T2, T3, T4 time.Time
+}
+
+// Offset returns the estimated client-minus-server clock offset:
+// ((T2-T1) + (T3-T4)) / 2. A positive value means the client clock is
+// behind the server.
+func (s Sample) Offset() time.Duration {
+	return (s.T2.Sub(s.T1) + s.T3.Sub(s.T4)) / 2
+}
+
+// Delay returns the estimated network round-trip time:
+// (T4-T1) - (T3-T2).
+func (s Sample) Delay() time.Duration {
+	return s.T4.Sub(s.T1) - s.T3.Sub(s.T2)
+}
+
+// Valid reports whether the sample is physically plausible (non-negative
+// delay, causally ordered timestamps).
+func (s Sample) Valid() bool {
+	return !s.T4.Before(s.T1) && !s.T3.Before(s.T2) && s.Delay() >= 0
+}
+
+// ErrNoSamples is returned when an estimate is requested before any valid
+// exchange completed.
+var ErrNoSamples = errors.New("timesync: no valid samples")
+
+// Estimator maintains a rolling window of samples and produces a filtered
+// offset estimate. Following NTP practice it prefers the samples with the
+// smallest delay (least queueing noise).
+type Estimator struct {
+	window  int
+	samples []Sample
+}
+
+// NewEstimator creates an estimator keeping the last window samples
+// (window >= 1; 8 is the NTP-ish default if zero).
+func NewEstimator(window int) *Estimator {
+	if window <= 0 {
+		window = 8
+	}
+	return &Estimator{window: window}
+}
+
+// Add records a sample; invalid samples are dropped and reported false.
+func (e *Estimator) Add(s Sample) bool {
+	if !s.Valid() {
+		return false
+	}
+	e.samples = append(e.samples, s)
+	if len(e.samples) > e.window {
+		e.samples = e.samples[len(e.samples)-e.window:]
+	}
+	return true
+}
+
+// Len returns the number of retained samples.
+func (e *Estimator) Len() int { return len(e.samples) }
+
+// Offset returns the current filtered offset estimate: the offset of the
+// minimum-delay sample in the window.
+func (e *Estimator) Offset() (time.Duration, error) {
+	if len(e.samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	best := e.samples[0]
+	for _, s := range e.samples[1:] {
+		if s.Delay() < best.Delay() {
+			best = s
+		}
+	}
+	return best.Offset(), nil
+}
+
+// Delay returns the minimum observed round-trip delay.
+func (e *Estimator) Delay() (time.Duration, error) {
+	if len(e.samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	min := e.samples[0].Delay()
+	for _, s := range e.samples[1:] {
+		if d := s.Delay(); d < min {
+			min = d
+		}
+	}
+	return min, nil
+}
+
+// Clock abstracts a settable clock (the DS3231 driver satisfies this).
+type Clock interface {
+	Now() (time.Time, error)
+	Set(time.Time) error
+}
+
+// Discipline steps a clock by the estimator's current offset estimate.
+// It returns the applied correction. Corrections smaller than deadband are
+// skipped to avoid thrashing the RTC over I2C.
+func Discipline(c Clock, e *Estimator, deadband time.Duration) (time.Duration, error) {
+	off, err := e.Offset()
+	if err != nil {
+		return 0, err
+	}
+	if off.Abs() <= deadband {
+		return 0, nil
+	}
+	now, err := c.Now()
+	if err != nil {
+		return 0, err
+	}
+	// Client is offset behind the server by off; step forward by off.
+	if err := c.Set(now.Add(off)); err != nil {
+		return 0, err
+	}
+	return off, nil
+}
+
+// Server answers sync requests with receive/transmit stamps from a
+// reference time source.
+type Server struct {
+	now func() time.Time
+}
+
+// NewServer creates a server around a reference clock.
+func NewServer(now func() time.Time) *Server {
+	if now == nil {
+		panic("timesync: server requires a clock")
+	}
+	return &Server{now: now}
+}
+
+// Request is the client's sync query.
+type Request struct {
+	// T1 is the client transmit stamp, echoed back.
+	T1 time.Time
+}
+
+// Response carries the server stamps.
+type Response struct {
+	T1, T2, T3 time.Time
+}
+
+// Handle processes one request. The transport layer is expected to deliver
+// it with its own latency; T2 is stamped on entry and T3 on exit.
+func (s *Server) Handle(req Request) Response {
+	t2 := s.now()
+	// Server-side processing is effectively instant in the model; T3
+	// still gets its own stamp so asymmetric processing can be modelled
+	// by callers that delay between stamps.
+	t3 := s.now()
+	return Response{T1: req.T1, T2: t2, T3: t3}
+}
+
+// Complete assembles a Sample from a response plus the client receive time.
+func Complete(resp Response, t4 time.Time) Sample {
+	return Sample{T1: resp.T1, T2: resp.T2, T3: resp.T3, T4: t4}
+}

@@ -1,0 +1,196 @@
+package timesync
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var epoch = time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC)
+
+// mkSample builds a sample for a client that is `offset` behind the server
+// with symmetric one-way latency `oneWay`.
+func mkSample(offset, oneWay time.Duration) Sample {
+	t1Client := epoch
+	t1Server := t1Client.Add(offset) // server reads this when client sends
+	t2 := t1Server.Add(oneWay)
+	t3 := t2
+	t4 := t1Client.Add(2 * oneWay)
+	return Sample{T1: t1Client, T2: t2, T3: t3, T4: t4}
+}
+
+func TestSampleOffsetSymmetric(t *testing.T) {
+	s := mkSample(250*time.Millisecond, 5*time.Millisecond)
+	if got := s.Offset(); got != 250*time.Millisecond {
+		t.Fatalf("offset = %v, want 250ms", got)
+	}
+	if got := s.Delay(); got != 10*time.Millisecond {
+		t.Fatalf("delay = %v, want 10ms", got)
+	}
+	if !s.Valid() {
+		t.Fatal("symmetric sample invalid")
+	}
+}
+
+func TestSampleNegativeOffset(t *testing.T) {
+	s := mkSample(-100*time.Millisecond, time.Millisecond)
+	if got := s.Offset(); got != -100*time.Millisecond {
+		t.Fatalf("offset = %v, want -100ms", got)
+	}
+}
+
+func TestSampleInvalid(t *testing.T) {
+	s := Sample{T1: epoch.Add(time.Second), T2: epoch, T3: epoch, T4: epoch}
+	if s.Valid() {
+		t.Fatal("acausal sample accepted")
+	}
+}
+
+func TestEstimatorPrefersLowDelay(t *testing.T) {
+	e := NewEstimator(8)
+	// A noisy high-delay sample with a wrong offset...
+	noisy := Sample{
+		T1: epoch,
+		T2: epoch.Add(500 * time.Millisecond),
+		T3: epoch.Add(500 * time.Millisecond),
+		T4: epoch.Add(900 * time.Millisecond), // delay 900ms, offset 50ms
+	}
+	if !e.Add(noisy) {
+		t.Fatal("noisy sample rejected")
+	}
+	// ...and a clean low-delay one with the true offset.
+	if !e.Add(mkSample(250*time.Millisecond, time.Millisecond)) {
+		t.Fatal("clean sample rejected")
+	}
+	off, err := e.Offset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 250*time.Millisecond {
+		t.Fatalf("filtered offset = %v, want 250ms (low-delay sample)", off)
+	}
+	d, err := e.Delay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2*time.Millisecond {
+		t.Fatalf("min delay = %v, want 2ms", d)
+	}
+}
+
+func TestEstimatorWindow(t *testing.T) {
+	e := NewEstimator(3)
+	for i := 0; i < 10; i++ {
+		e.Add(mkSample(time.Duration(i)*time.Millisecond, time.Millisecond))
+	}
+	if e.Len() != 3 {
+		t.Fatalf("window retained %d samples, want 3", e.Len())
+	}
+}
+
+func TestEstimatorRejectsInvalid(t *testing.T) {
+	e := NewEstimator(4)
+	bad := Sample{T1: epoch.Add(time.Hour), T2: epoch, T3: epoch, T4: epoch}
+	if e.Add(bad) {
+		t.Fatal("invalid sample accepted")
+	}
+	if _, err := e.Offset(); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := e.Delay(); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// fakeClock is a settable test clock.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) Now() (time.Time, error) { return c.t, nil }
+func (c *fakeClock) Set(t time.Time) error   { c.t = t; return nil }
+
+func TestDiscipline(t *testing.T) {
+	clk := &fakeClock{t: epoch}
+	e := NewEstimator(4)
+	e.Add(mkSample(300*time.Millisecond, time.Millisecond))
+	applied, err := Discipline(clk, e, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 300*time.Millisecond {
+		t.Fatalf("applied = %v, want 300ms", applied)
+	}
+	if !clk.t.Equal(epoch.Add(300 * time.Millisecond)) {
+		t.Fatalf("clock = %v", clk.t)
+	}
+}
+
+func TestDisciplineDeadband(t *testing.T) {
+	clk := &fakeClock{t: epoch}
+	e := NewEstimator(4)
+	e.Add(mkSample(3*time.Millisecond, time.Millisecond))
+	applied, err := Discipline(clk, e, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 0 {
+		t.Fatalf("deadband ignored: applied %v", applied)
+	}
+	if !clk.t.Equal(epoch) {
+		t.Fatal("clock stepped inside deadband")
+	}
+}
+
+func TestServerExchange(t *testing.T) {
+	// Server clock runs 1s ahead of the client.
+	serverNow := epoch.Add(time.Second)
+	srv := NewServer(func() time.Time { return serverNow })
+	req := Request{T1: epoch}
+	resp := srv.Handle(req)
+	s := Complete(resp, epoch.Add(2*time.Millisecond)) // 2ms RTT at client
+	if !s.Valid() {
+		t.Fatal("exchange produced invalid sample")
+	}
+	off := s.Offset()
+	// True offset is +1s minus half the RTT accounting.
+	if off < 990*time.Millisecond || off > 1010*time.Millisecond {
+		t.Fatalf("offset = %v, want ~1s", off)
+	}
+}
+
+func TestOffsetRecoveryQuick(t *testing.T) {
+	// Property: for any true offset and symmetric delay, the estimator
+	// recovers the offset exactly.
+	f := func(offMs int16, delayUs uint16) bool {
+		off := time.Duration(offMs) * time.Millisecond
+		oneWay := time.Duration(delayUs) * time.Microsecond
+		s := mkSample(off, oneWay)
+		return s.Offset() == off && s.Delay() == 2*oneWay
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsymmetryBoundsErrorQuick(t *testing.T) {
+	// Property: with asymmetric delays the offset error is bounded by
+	// half the delay asymmetry (classic NTP bound).
+	f := func(offMs int16, fwdUs, revUs uint16) bool {
+		off := time.Duration(offMs) * time.Millisecond
+		fwd := time.Duration(fwdUs) * time.Microsecond
+		rev := time.Duration(revUs) * time.Microsecond
+		t1Client := epoch
+		t2 := t1Client.Add(off).Add(fwd)
+		t3 := t2
+		t4 := t1Client.Add(fwd + rev)
+		s := Sample{T1: t1Client, T2: t2, T3: t3, T4: t4}
+		err := (s.Offset() - off).Abs()
+		bound := ((fwd - rev) / 2).Abs() + time.Nanosecond
+		return err <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

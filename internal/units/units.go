@@ -1,0 +1,304 @@
+// Package units defines the electrical quantities used throughout the
+// metering stack: current, voltage, power and energy, with integer
+// micro-scaled representations so that accumulation (billing!) is exact and
+// deterministic across platforms.
+//
+// All four quantities are fixed-point: one unit of the underlying integer is
+// one millionth of the SI base unit (microampere, microvolt, microwatt,
+// microwatt-hour). Floating point appears only at the edges (sensor physics,
+// display).
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Current is an electric current in microamperes.
+type Current int64
+
+// Common current scales.
+const (
+	Microampere Current = 1
+	Milliampere Current = 1000 * Microampere
+	Ampere      Current = 1000 * Milliampere
+)
+
+// MilliampsToCurrent converts a float mA reading into a Current, rounding
+// to the nearest microampere.
+func MilliampsToCurrent(ma float64) Current {
+	return Current(math.Round(ma * 1000))
+}
+
+// AmpsToCurrent converts a float ampere reading into a Current.
+func AmpsToCurrent(a float64) Current {
+	return Current(math.Round(a * 1e6))
+}
+
+// Milliamps returns the current in mA as a float.
+func (c Current) Milliamps() float64 { return float64(c) / 1000 }
+
+// Amps returns the current in amperes as a float.
+func (c Current) Amps() float64 { return float64(c) / 1e6 }
+
+// Abs returns the magnitude of the current.
+func (c Current) Abs() Current {
+	if c < 0 {
+		return -c
+	}
+	return c
+}
+
+// String formats the current with an auto-selected scale.
+func (c Current) String() string {
+	switch {
+	case c.Abs() >= Ampere:
+		return trimFloat(c.Amps()) + "A"
+	case c.Abs() >= Milliampere:
+		return trimFloat(c.Milliamps()) + "mA"
+	default:
+		return strconv.FormatInt(int64(c), 10) + "uA"
+	}
+}
+
+// Voltage is an electric potential in microvolts.
+type Voltage int64
+
+// Common voltage scales.
+const (
+	Microvolt Voltage = 1
+	Millivolt Voltage = 1000 * Microvolt
+	Volt      Voltage = 1000 * Millivolt
+)
+
+// VoltsToVoltage converts a float volts value into a Voltage.
+func VoltsToVoltage(v float64) Voltage {
+	return Voltage(math.Round(v * 1e6))
+}
+
+// Volts returns the voltage in volts as a float.
+func (v Voltage) Volts() float64 { return float64(v) / 1e6 }
+
+// Millivolts returns the voltage in mV as a float.
+func (v Voltage) Millivolts() float64 { return float64(v) / 1000 }
+
+// Abs returns the magnitude of the voltage.
+func (v Voltage) Abs() Voltage {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// String formats the voltage with an auto-selected scale.
+func (v Voltage) String() string {
+	switch {
+	case v.Abs() >= Volt:
+		return trimFloat(v.Volts()) + "V"
+	case v.Abs() >= Millivolt:
+		return trimFloat(v.Millivolts()) + "mV"
+	default:
+		return strconv.FormatInt(int64(v), 10) + "uV"
+	}
+}
+
+// Power is electric power in microwatts.
+type Power int64
+
+// Common power scales.
+const (
+	Microwatt Power = 1
+	Milliwatt Power = 1000 * Microwatt
+	Watt      Power = 1000 * Milliwatt
+	Kilowatt  Power = 1000 * Watt
+)
+
+// WattsToPower converts a float watt value into a Power.
+func WattsToPower(w float64) Power {
+	return Power(math.Round(w * 1e6))
+}
+
+// Watts returns the power in watts as a float.
+func (p Power) Watts() float64 { return float64(p) / 1e6 }
+
+// Milliwatts returns the power in mW as a float.
+func (p Power) Milliwatts() float64 { return float64(p) / 1000 }
+
+// Abs returns the magnitude of the power.
+func (p Power) Abs() Power {
+	if p < 0 {
+		return -p
+	}
+	return p
+}
+
+// String formats the power with an auto-selected scale.
+func (p Power) String() string {
+	switch {
+	case p.Abs() >= Kilowatt:
+		return trimFloat(p.Watts()/1000) + "kW"
+	case p.Abs() >= Watt:
+		return trimFloat(p.Watts()) + "W"
+	case p.Abs() >= Milliwatt:
+		return trimFloat(p.Milliwatts()) + "mW"
+	default:
+		return strconv.FormatInt(int64(p), 10) + "uW"
+	}
+}
+
+// PowerFromIV returns the power dissipated by current c at voltage v,
+// rounded to the nearest microwatt.
+func PowerFromIV(c Current, v Voltage) Power {
+	// uA * uV = 1e-12 W; convert to uW by dividing by 1e6.
+	// Use float to avoid int64 overflow on large loads; precision at the
+	// microwatt level is far beyond the modelled sensors.
+	return Power(math.Round(c.Amps() * v.Volts() * 1e6))
+}
+
+// Energy is electric energy in microwatt-hours.
+type Energy int64
+
+// Common energy scales.
+const (
+	MicrowattHour Energy = 1
+	MilliwattHour Energy = 1000 * MicrowattHour
+	WattHour      Energy = 1000 * MilliwattHour
+	KilowattHour  Energy = 1000 * WattHour
+)
+
+// WattHoursToEnergy converts a float Wh value into an Energy.
+func WattHoursToEnergy(wh float64) Energy {
+	return Energy(math.Round(wh * 1e6))
+}
+
+// WattHours returns the energy in Wh as a float.
+func (e Energy) WattHours() float64 { return float64(e) / 1e6 }
+
+// MilliwattHours returns the energy in mWh as a float.
+func (e Energy) MilliwattHours() float64 { return float64(e) / 1000 }
+
+// Joules returns the energy in joules as a float (1 Wh = 3600 J).
+func (e Energy) Joules() float64 { return e.WattHours() * 3600 }
+
+// Abs returns the magnitude of the energy.
+func (e Energy) Abs() Energy {
+	if e < 0 {
+		return -e
+	}
+	return e
+}
+
+// String formats the energy with an auto-selected scale.
+func (e Energy) String() string {
+	switch {
+	case e.Abs() >= KilowattHour:
+		return trimFloat(e.WattHours()/1000) + "kWh"
+	case e.Abs() >= WattHour:
+		return trimFloat(e.WattHours()) + "Wh"
+	case e.Abs() >= MilliwattHour:
+		return trimFloat(e.MilliwattHours()) + "mWh"
+	default:
+		return strconv.FormatInt(int64(e), 10) + "uWh"
+	}
+}
+
+// EnergyOver integrates power p over duration d, rounding to the nearest
+// microwatt-hour. This is how the paper converts INA219 samples into
+// consumption ("using the sensor measurement value and the measurement
+// duration").
+func EnergyOver(p Power, d time.Duration) Energy {
+	return Energy(math.Round(p.Watts() * d.Hours() * 1e6))
+}
+
+// EnergyFromIVOver integrates a current/voltage sample over duration d.
+func EnergyFromIVOver(c Current, v Voltage, d time.Duration) Energy {
+	return EnergyOver(PowerFromIV(c, v), d)
+}
+
+// trimFloat renders f with up to 3 decimals and strips trailing zeros so
+// String outputs stay compact ("3.3V", "150mA", "1.25Wh").
+func trimFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// ParseCurrent parses strings like "150mA", "1.5A", "2500uA".
+func ParseCurrent(s string) (Current, error) {
+	v, unit, err := splitMagnitude(s)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse current %q: %w", s, err)
+	}
+	switch unit {
+	case "a":
+		return AmpsToCurrent(v), nil
+	case "ma":
+		return MilliampsToCurrent(v), nil
+	case "ua", "µa":
+		return Current(math.Round(v)), nil
+	default:
+		return 0, fmt.Errorf("units: parse current %q: unknown unit %q", s, unit)
+	}
+}
+
+// ParseVoltage parses strings like "3.3V", "3300mV".
+func ParseVoltage(s string) (Voltage, error) {
+	v, unit, err := splitMagnitude(s)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse voltage %q: %w", s, err)
+	}
+	switch unit {
+	case "v":
+		return VoltsToVoltage(v), nil
+	case "mv":
+		return Voltage(math.Round(v * 1000)), nil
+	case "uv", "µv":
+		return Voltage(math.Round(v)), nil
+	default:
+		return 0, fmt.Errorf("units: parse voltage %q: unknown unit %q", s, unit)
+	}
+}
+
+// ParseEnergy parses strings like "1.5kWh", "250mWh", "3Wh".
+func ParseEnergy(s string) (Energy, error) {
+	v, unit, err := splitMagnitude(s)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse energy %q: %w", s, err)
+	}
+	switch unit {
+	case "kwh":
+		return WattHoursToEnergy(v * 1000), nil
+	case "wh":
+		return WattHoursToEnergy(v), nil
+	case "mwh":
+		return Energy(math.Round(v * 1000)), nil
+	case "uwh", "µwh":
+		return Energy(math.Round(v)), nil
+	default:
+		return 0, fmt.Errorf("units: parse energy %q: unknown unit %q", s, unit)
+	}
+}
+
+func splitMagnitude(s string) (float64, string, error) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexFunc(s, func(r rune) bool {
+		return !(r >= '0' && r <= '9' || r == '.' || r == '-' || r == '+' || r == 'e' || r == 'E')
+	})
+	if i <= 0 {
+		return 0, "", fmt.Errorf("missing magnitude or unit")
+	}
+	// An exponent's 'e'/'E' may have been treated as part of the number;
+	// ParseFloat arbitrates.
+	v, err := strconv.ParseFloat(s[:i], 64)
+	if err != nil {
+		return 0, "", err
+	}
+	return v, strings.ToLower(strings.TrimSpace(s[i:])), nil
+}

@@ -1,0 +1,237 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCurrentConversions(t *testing.T) {
+	cases := []struct {
+		ma   float64
+		want Current
+	}{
+		{0, 0},
+		{1, Milliampere},
+		{0.5, 500 * Microampere},
+		{1500, 1500 * Milliampere},
+		{-3.25, -3250},
+	}
+	for _, tc := range cases {
+		got := MilliampsToCurrent(tc.ma)
+		if got != tc.want {
+			t.Errorf("MilliampsToCurrent(%v) = %v, want %v", tc.ma, got, tc.want)
+		}
+		if back := got.Milliamps(); math.Abs(back-tc.ma) > 1e-9 {
+			t.Errorf("round trip %v -> %v", tc.ma, back)
+		}
+	}
+}
+
+func TestCurrentString(t *testing.T) {
+	cases := []struct {
+		c    Current
+		want string
+	}{
+		{2 * Ampere, "2A"},
+		{1500 * Milliampere, "1.5A"},
+		{150 * Milliampere, "150mA"},
+		{500 * Microampere, "500uA"},
+		{0, "0uA"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("%d String() = %q, want %q", int64(tc.c), got, tc.want)
+		}
+	}
+}
+
+func TestVoltageString(t *testing.T) {
+	if got := VoltsToVoltage(3.3).String(); got != "3.3V" {
+		t.Errorf("3.3V String = %q", got)
+	}
+	if got := (250 * Millivolt).String(); got != "250mV" {
+		t.Errorf("250mV String = %q", got)
+	}
+}
+
+func TestPowerFromIV(t *testing.T) {
+	// 100 mA at 5 V = 500 mW.
+	p := PowerFromIV(100*Milliampere, 5*Volt)
+	if p != 500*Milliwatt {
+		t.Fatalf("PowerFromIV = %v, want 500mW", p)
+	}
+	if got := p.String(); got != "500mW" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestEnergyOver(t *testing.T) {
+	// 1 W for 1 hour = 1 Wh.
+	e := EnergyOver(Watt, time.Hour)
+	if e != WattHour {
+		t.Fatalf("EnergyOver = %v, want 1Wh", e)
+	}
+	// 500 mW for 30 minutes = 250 mWh.
+	e = EnergyOver(500*Milliwatt, 30*time.Minute)
+	if e != 250*MilliwattHour {
+		t.Fatalf("EnergyOver = %v, want 250mWh", e)
+	}
+}
+
+func TestEnergyFromIVOver(t *testing.T) {
+	// Paper setting: ~80 mA at 5 V for 100 ms.
+	e := EnergyFromIVOver(80*Milliampere, 5*Volt, 100*time.Millisecond)
+	// 0.4 W * (1/36000) h = 11.11 uWh
+	if e < 11*MicrowattHour || e > 12*MicrowattHour {
+		t.Fatalf("EnergyFromIVOver = %v, want ~11uWh", e)
+	}
+}
+
+func TestJoules(t *testing.T) {
+	if j := WattHour.Joules(); math.Abs(j-3600) > 1e-6 {
+		t.Fatalf("1Wh = %v J, want 3600", j)
+	}
+}
+
+func TestParseCurrent(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Current
+	}{
+		{"150mA", 150 * Milliampere},
+		{"1.5A", 1500 * Milliampere},
+		{"2500uA", 2500},
+		{" 2 mA ", 2 * Milliampere},
+		{"-3mA", -3 * Milliampere},
+	}
+	for _, tc := range cases {
+		got, err := ParseCurrent(tc.in)
+		if err != nil {
+			t.Errorf("ParseCurrent(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseCurrent(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "mA", "5", "5xx", "1.2.3A"} {
+		if _, err := ParseCurrent(bad); err == nil {
+			t.Errorf("ParseCurrent(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseVoltage(t *testing.T) {
+	got, err := ParseVoltage("3.3V")
+	if err != nil || got != VoltsToVoltage(3.3) {
+		t.Fatalf("ParseVoltage(3.3V) = %v, %v", got, err)
+	}
+	got, err = ParseVoltage("3300mV")
+	if err != nil || got != VoltsToVoltage(3.3) {
+		t.Fatalf("ParseVoltage(3300mV) = %v, %v", got, err)
+	}
+	if _, err := ParseVoltage("3.3X"); err == nil {
+		t.Fatal("bad unit accepted")
+	}
+}
+
+func TestParseEnergy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Energy
+	}{
+		{"1.5kWh", 1500 * WattHour},
+		{"250mWh", 250 * MilliwattHour},
+		{"3Wh", 3 * WattHour},
+		{"12uWh", 12},
+	}
+	for _, tc := range cases {
+		got, err := ParseEnergy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseEnergy(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+}
+
+func TestStringParseRoundTripQuick(t *testing.T) {
+	f := func(raw int32) bool {
+		c := Current(raw)
+		back, err := ParseCurrent(c.String())
+		if err != nil {
+			return false
+		}
+		// String() keeps 3 decimals of the printed scale, so allow the
+		// quantization of that scale.
+		diff := (back - c).Abs()
+		var tol Current
+		switch {
+		case c.Abs() >= Ampere:
+			tol = Milliampere
+		case c.Abs() >= Milliampere:
+			tol = Microampere
+		default:
+			tol = 0
+		}
+		return diff <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyAdditivityQuick(t *testing.T) {
+	// Energy accumulation must be exactly associative: integer fixed point.
+	f := func(a, b, c int32) bool {
+		x, y, z := Energy(a), Energy(b), Energy(c)
+		return (x+y)+z == x+(y+z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerIVSymmetryQuick(t *testing.T) {
+	// P(i, v) with doubled current equals P with doubled voltage.
+	f := func(i16 uint16, v16 uint16) bool {
+		i := Current(i16) * Milliampere / 10
+		v := Voltage(v16) * Millivolt / 10
+		return PowerFromIV(2*i, v) == PowerFromIV(i, 2*v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbs(t *testing.T) {
+	if (-5 * Milliampere).Abs() != 5*Milliampere {
+		t.Fatal("Current.Abs")
+	}
+	if (-5 * Millivolt).Abs() != 5*Millivolt {
+		t.Fatal("Voltage.Abs")
+	}
+	if (-5 * Milliwatt).Abs() != 5*Milliwatt {
+		t.Fatal("Power.Abs")
+	}
+	if (-5 * MilliwattHour).Abs() != 5*MilliwattHour {
+		t.Fatal("Energy.Abs")
+	}
+}
+
+func TestEnergyString(t *testing.T) {
+	cases := []struct {
+		e    Energy
+		want string
+	}{
+		{2 * KilowattHour, "2kWh"},
+		{1500 * WattHour, "1.5kWh"},
+		{250 * MilliwattHour, "250mWh"},
+		{12 * MicrowattHour, "12uWh"},
+	}
+	for _, tc := range cases {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("Energy(%d).String() = %q, want %q", int64(tc.e), got, tc.want)
+		}
+	}
+}
