@@ -60,6 +60,12 @@ type realDevice struct {
 	backlog    []protocol.Measurement
 	tmeasure   time.Duration
 	acked      uint64
+
+	// encBuf is the report encode scratch; only the measurement loop
+	// writes into it, and Publish does not retain the payload after the
+	// QoS handshake returns.
+	encBuf []byte
+	batch  []protocol.Measurement
 }
 
 func runDevice(logger *log.Logger, broker, agg, id string, tmeasure, duration time.Duration, seed uint64) error {
@@ -200,19 +206,20 @@ func (d *realDevice) measureAndReport(interval time.Duration) error {
 		d.backlog = d.backlog[len(d.backlog)-4096:]
 	}
 	registered := d.registered
-	batch := make([]protocol.Measurement, len(d.backlog))
-	copy(batch, d.backlog)
+	d.batch = append(d.batch[:0], d.backlog...)
 	d.mu.Unlock()
 
 	if !registered {
 		return nil // local storage only, like the DES device
 	}
+	batch := d.batch
 	if len(batch) > 64 {
 		batch = batch[:64]
 	}
-	payload, err := protocol.Encode(protocol.Report{DeviceID: d.id, Measurements: batch})
+	payload, err := protocol.AppendEncode(d.encBuf[:0], protocol.Report{DeviceID: d.id, Measurements: batch})
 	if err != nil {
 		return err
 	}
+	d.encBuf = payload
 	return d.client.Publish(protocol.ReportTopic(d.agg, d.id), payload, mqtt.QoS1, false)
 }

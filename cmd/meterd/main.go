@@ -44,6 +44,11 @@ type server struct {
 
 	chainPath string
 	logger    *log.Logger
+
+	// registerTopic is "meters/<id>/register"; deviceTopicPrefix is
+	// "meters/<id>/" — precomputed so onPublish routes without parsing.
+	registerTopic     string
+	deviceTopicPrefix string
 }
 
 type member struct {
@@ -72,14 +77,16 @@ func main() {
 		logger.Fatal(err)
 	}
 	s := &server{
-		id:        *id,
-		chain:     blockchain.NewChain(auth),
-		signer:    signer,
-		tmeasure:  *tmeasure,
-		members:   make(map[string]*member),
-		slots:     *slots,
-		chainPath: *chainPath,
-		logger:    logger,
+		id:                *id,
+		chain:             blockchain.NewChain(auth),
+		signer:            signer,
+		tmeasure:          *tmeasure,
+		members:           make(map[string]*member),
+		slots:             *slots,
+		chainPath:         *chainPath,
+		logger:            logger,
+		registerTopic:     protocol.RegisterTopic(*id),
+		deviceTopicPrefix: "meters/" + *id + "/",
 	}
 	s.broker = mqtt.NewBroker(mqtt.BrokerOptions{
 		Logger:    logger,
@@ -104,11 +111,15 @@ func main() {
 	}
 }
 
-// onPublish routes application messages by topic shape.
+// reportSuffix ends every device report topic ("meters/<id>/<device>/report").
+const reportSuffix = "/report"
+
+// onPublish routes application messages by topic shape. The two accepted
+// shapes are matched against precomputed strings, so per-publish routing
+// stays allocation-free.
 func (s *server) onPublish(topic string, payload []byte) {
-	parts := strings.Split(topic, "/")
 	switch {
-	case len(parts) == 3 && parts[0] == "meters" && parts[1] == s.id && parts[2] == "register":
+	case topic == s.registerTopic:
 		msg, err := protocol.Decode(payload)
 		if err != nil {
 			s.logger.Printf("bad register payload: %v", err)
@@ -117,7 +128,10 @@ func (s *server) onPublish(topic string, payload []byte) {
 		if reg, ok := msg.(protocol.Register); ok {
 			s.handleRegister(reg)
 		}
-	case len(parts) == 4 && parts[0] == "meters" && parts[1] == s.id && parts[3] == "report":
+	case len(topic) > len(s.deviceTopicPrefix)+len(reportSuffix) &&
+		strings.HasPrefix(topic, s.deviceTopicPrefix) &&
+		strings.HasSuffix(topic, reportSuffix) &&
+		!strings.Contains(topic[len(s.deviceTopicPrefix):len(topic)-len(reportSuffix)], "/"):
 		msg, err := protocol.Decode(payload)
 		if err != nil {
 			s.logger.Printf("bad report payload: %v", err)

@@ -1,0 +1,3 @@
+module decentmeter
+
+go 1.24

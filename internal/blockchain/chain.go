@@ -38,10 +38,9 @@ type Header struct {
 	Producer string
 }
 
-// marshal serializes the header canonically.
-func (h Header) marshal() []byte {
-	out := make([]byte, 0, 96)
-	out = appendUvarint(out, h.Index)
+// appendMarshal appends the canonical header encoding to dst.
+func (h Header) appendMarshal(dst []byte) []byte {
+	out := appendUvarint(dst, h.Index)
 	out = append(out, h.PrevHash[:]...)
 	out = append(out, h.MerkleRoot[:]...)
 	out = appendVarint(out, h.Timestamp.UnixNano())
@@ -51,12 +50,10 @@ func (h Header) marshal() []byte {
 
 // HashHeader returns the block hash (0x02 domain prefix).
 func HashHeader(h Header) Hash {
-	d := sha256.New()
-	d.Write([]byte{0x02})
-	d.Write(h.marshal())
-	var out Hash
-	copy(out[:], d.Sum(nil))
-	return out
+	var scratch [160]byte
+	buf := append(scratch[:0], 0x02)
+	buf = h.appendMarshal(buf)
+	return sha256.Sum256(buf)
 }
 
 // Signature is a raw (r, s) ECDSA P-256 signature.
@@ -80,6 +77,19 @@ func leafHashes(records []Record) []Hash {
 	leaves := make([]Hash, len(records))
 	for i, r := range records {
 		leaves[i] = HashRecord(r)
+	}
+	return leaves
+}
+
+// leafHashesScratch computes leaf hashes into the chain's reusable buffer.
+// The result is only valid until the next call.
+func (c *Chain) leafHashesScratch(records []Record) []Hash {
+	if cap(c.leafBuf) < len(records) {
+		c.leafBuf = make([]Hash, len(records))
+	}
+	leaves := c.leafBuf[:len(records)]
+	for i, r := range records {
+		leaves[i], c.marshalBuf = hashRecordInto(r, c.marshalBuf[:0])
 	}
 	return leaves
 }
@@ -160,6 +170,12 @@ func (a *Authority) Members() int { return len(a.keys) }
 type Chain struct {
 	blocks    []*Block
 	authority *Authority
+
+	// Seal/verify scratch, reused across calls so steady-state sealing
+	// hashes without growing the heap. Chain is not safe for concurrent
+	// use; callers (aggregator, meterd) serialize access already.
+	leafBuf    []Hash
+	marshalBuf []byte
 }
 
 // NewChain creates an empty chain governed by authority (may be nil for an
@@ -187,7 +203,10 @@ func (c *Chain) Block(i int) (*Block, error) {
 	return c.blocks[i], nil
 }
 
-// Seal builds, signs and appends a block containing records.
+// Seal builds, signs and appends a block containing records. The Merkle
+// root is computed once in the chain's scratch buffers; the signature is
+// still verified against the authority set so an unadmitted or forged
+// signer cannot extend the chain.
 func (c *Chain) Seal(s *Signer, at time.Time, records []Record) (*Block, error) {
 	if len(records) == 0 {
 		return nil, ErrEmptyBlock
@@ -201,22 +220,26 @@ func (c *Chain) Seal(s *Signer, at time.Time, records []Record) (*Block, error) 
 	hdr := Header{
 		Index:      index,
 		PrevHash:   prev,
-		MerkleRoot: MerkleRoot(leafHashes(records)),
+		MerkleRoot: merkleRootInPlace(c.leafHashesScratch(records)),
 		Timestamp:  at.UTC(),
 		Producer:   s.ID(),
 	}
-	sig, err := s.Sign(HashHeader(hdr))
+	h := HashHeader(hdr)
+	sig, err := s.Sign(h)
 	if err != nil {
 		return nil, err
 	}
-	blk := &Block{Header: hdr, Records: append([]Record(nil), records...), Sig: sig}
-	if err := c.append(blk); err != nil {
-		return nil, err
+	if c.authority != nil {
+		if err := c.authority.Verify(hdr.Producer, h, sig); err != nil {
+			return nil, err
+		}
 	}
+	blk := &Block{Header: hdr, Records: append([]Record(nil), records...), Sig: sig}
+	c.blocks = append(c.blocks, blk)
 	return blk, nil
 }
 
-// append validates and links a block.
+// append validates and links an externally produced block.
 func (c *Chain) append(b *Block) error {
 	if len(b.Records) == 0 {
 		return ErrEmptyBlock
@@ -233,7 +256,7 @@ func (c *Chain) append(b *Block) error {
 	if b.Header.Index != wantIndex {
 		return fmt.Errorf("%w: got %d, want %d", ErrBadIndex2, b.Header.Index, wantIndex)
 	}
-	if b.Header.MerkleRoot != MerkleRoot(leafHashes(b.Records)) {
+	if b.Header.MerkleRoot != merkleRootInPlace(c.leafHashesScratch(b.Records)) {
 		return ErrBadMerkleRoot
 	}
 	if c.authority != nil {
@@ -261,7 +284,7 @@ func (c *Chain) Verify() (int, error) {
 		if b.Header.Index != uint64(i) {
 			return i, fmt.Errorf("%w: block %d: %v", ErrTampered, i, ErrBadIndex2)
 		}
-		if b.Header.MerkleRoot != MerkleRoot(leafHashes(b.Records)) {
+		if b.Header.MerkleRoot != merkleRootInPlace(c.leafHashesScratch(b.Records)) {
 			return i, fmt.Errorf("%w: block %d: %v", ErrTampered, i, ErrBadMerkleRoot)
 		}
 		if c.authority != nil {

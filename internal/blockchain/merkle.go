@@ -6,15 +6,15 @@ import (
 	"fmt"
 )
 
-// interiorHash combines two child hashes with a 0x01 domain prefix.
+// interiorHash combines two child hashes with a 0x01 domain prefix. The
+// fixed-size stack buffer keeps interior hashing allocation-free on the
+// seal path.
 func interiorHash(left, right Hash) Hash {
-	h := sha256.New()
-	h.Write([]byte{0x01})
-	h.Write(left[:])
-	h.Write(right[:])
-	var out Hash
-	copy(out[:], h.Sum(nil))
-	return out
+	var buf [1 + 2*sha256.Size]byte
+	buf[0] = 0x01
+	copy(buf[1:1+sha256.Size], left[:])
+	copy(buf[1+sha256.Size:], right[:])
+	return sha256.Sum256(buf[:])
 }
 
 // MerkleRoot computes the root over leaf hashes. Odd nodes are promoted
@@ -26,16 +26,24 @@ func MerkleRoot(leaves []Hash) Hash {
 	}
 	level := make([]Hash, len(leaves))
 	copy(level, leaves)
+	return merkleRootInPlace(level)
+}
+
+// merkleRootInPlace computes the root destructively, folding each level
+// into the front of the slice instead of allocating per-level buffers.
+// leaves must be non-empty and is clobbered.
+func merkleRootInPlace(level []Hash) Hash {
 	for len(level) > 1 {
-		next := make([]Hash, 0, (len(level)+1)/2)
+		n := 0
 		for i := 0; i < len(level); i += 2 {
 			if i+1 < len(level) {
-				next = append(next, interiorHash(level[i], level[i+1]))
+				level[n] = interiorHash(level[i], level[i+1])
 			} else {
-				next = append(next, level[i])
+				level[n] = level[i] // odd node promoted
 			}
+			n++
 		}
-		level = next
+		level = level[:n]
 	}
 	return level[0]
 }

@@ -84,7 +84,13 @@ func appendLenString(dst []byte, s string) []byte {
 // Length-prefixed fields make the encoding injective: no two distinct
 // records share bytes.
 func (r Record) Marshal() []byte {
-	out := make([]byte, 0, 96)
+	return r.AppendMarshal(make([]byte, 0, 96))
+}
+
+// AppendMarshal appends the canonical encoding to dst; the seal path calls
+// it with a scratch buffer so per-record hashing does not allocate.
+func (r Record) AppendMarshal(dst []byte) []byte {
+	out := dst
 	out = appendLenString(out, r.DeviceID)
 	out = appendUvarint(out, r.Seq)
 	out = appendLenString(out, r.HomeAggregator)
@@ -154,12 +160,18 @@ func UnmarshalRecord(b []byte) (Record, error) {
 // from interior Merkle nodes (0x00 prefix) to prevent second-preimage
 // splices.
 func HashRecord(r Record) Hash {
-	h := sha256.New()
-	h.Write([]byte{0x00})
-	h.Write(r.Marshal())
-	var out Hash
-	copy(out[:], h.Sum(nil))
-	return out
+	var scratch [128]byte
+	h, _ := hashRecordInto(r, scratch[:0])
+	return h
+}
+
+// hashRecordInto hashes r using buf (length 0) as marshalling scratch; it
+// returns the possibly-grown buffer so callers can keep its capacity and
+// batch hashing stays allocation-free.
+func hashRecordInto(r Record, buf []byte) (Hash, []byte) {
+	buf = append(buf, 0x00)
+	buf = r.AppendMarshal(buf)
+	return sha256.Sum256(buf), buf
 }
 
 func readUvarint(b []byte) (uint64, []byte, error) {

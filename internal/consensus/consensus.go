@@ -150,7 +150,7 @@ type Replica struct {
 	// pending records waiting for this replica's turn to lead.
 	pending []blockchain.Record
 
-	viewTimer *sim.Event
+	viewTimer sim.EventRef
 	// ViewTimeout triggers leader rotation (default 500 ms).
 	ViewTimeout time.Duration
 	// lastLeaderSign is the last instant the current leader was heard.
@@ -481,10 +481,8 @@ func (r *Replica) armViewTimer() {
 }
 
 func (r *Replica) disarmViewTimer() {
-	if r.viewTimer != nil {
-		r.env.Cancel(r.viewTimer)
-		r.viewTimer = nil
-	}
+	r.env.Cancel(r.viewTimer)
+	r.viewTimer = sim.EventRef{}
 }
 
 // advanceView rotates the leader. Undecided slots are abandoned; the

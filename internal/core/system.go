@@ -38,6 +38,13 @@ type System struct {
 
 	epoch time.Time
 	rng   *sim.RNG
+
+	// wireBuf is the scratch the link layer encodes into; the DES is
+	// single-threaded so one buffer serves every link. wireMsgs/wireBytes
+	// account for the traffic that actually hit the air.
+	wireBuf   []byte
+	wireMsgs  uint64
+	wireBytes uint64
 }
 
 // Network bundles one WAN: aggregator + AP + feeder.
@@ -377,6 +384,29 @@ func (s *System) reachable(devID, aggID string) (float64, bool) {
 // ErrUnreachable is returned when no radio path exists.
 var ErrUnreachable = errors.New("core: link unreachable")
 
+// transmit runs msg through the v2 wire codec, exactly as the MQTT
+// substrate does: the receiver gets the decoded copy of the encoded bytes,
+// not the sender's object. This keeps the DES honest about what the wire
+// carries (and exercises the codec under every simulation scenario) while
+// reusing one scratch buffer so the link layer itself does not allocate
+// per message.
+func (s *System) transmit(msg protocol.Message) (protocol.Message, error) {
+	buf, err := protocol.AppendEncode(s.wireBuf[:0], msg)
+	if err != nil {
+		return nil, err
+	}
+	s.wireBuf = buf
+	s.wireMsgs++
+	s.wireBytes += uint64(len(buf))
+	return protocol.Decode(buf)
+}
+
+// WireStats returns the number of protocol messages delivered over
+// simulated links and their total encoded size in bytes.
+func (s *System) WireStats() (msgs, bytes uint64) {
+	return s.wireMsgs, s.wireBytes
+}
+
 // sendToAggregator models the device uplink: RSSI check, loss, latency.
 func (s *System) sendToAggregator(devID, aggID string, msg protocol.Message) error {
 	net, ok := s.networks[aggID]
@@ -390,11 +420,15 @@ func (s *System) sendToAggregator(devID, aggID string, msg protocol.Message) err
 	if s.rng.Bool(s.Medium.PacketErrorRate(rssi)) {
 		return nil // lost in the air; sender treats as sent
 	}
+	delivered, err := s.transmit(msg)
+	if err != nil {
+		return fmt.Errorf("core: uplink %s -> %s: %w", devID, aggID, err)
+	}
 	s.Env.Schedule(s.Params.LinkLatency, func() {
 		if debugLinks {
-			fmt.Printf("[%v] up %s->%s %v\n", s.Env.Now(), devID, aggID, msg.MsgType())
+			fmt.Printf("[%v] up %s->%s %v\n", s.Env.Now(), devID, aggID, delivered.MsgType())
 		}
-		net.Aggregator.HandleDeviceMessage(devID, msg)
+		net.Aggregator.HandleDeviceMessage(devID, delivered)
 	})
 	return nil
 }
@@ -414,11 +448,15 @@ func (s *System) sendToDevice(aggID, devID string, msg protocol.Message) error {
 	if s.rng.Bool(s.Medium.PacketErrorRate(rssi)) {
 		return nil
 	}
+	delivered, err := s.transmit(msg)
+	if err != nil {
+		return fmt.Errorf("core: downlink %s -> %s: %w", aggID, devID, err)
+	}
 	s.Env.Schedule(s.Params.LinkLatency, func() {
 		if debugLinks {
-			fmt.Printf("[%v] down %s->%s %v\n", s.Env.Now(), aggID, devID, msg.MsgType())
+			fmt.Printf("[%v] down %s->%s %v\n", s.Env.Now(), aggID, devID, delivered.MsgType())
 		}
-		node.Device.HandleMessage(aggID, msg)
+		node.Device.HandleMessage(aggID, delivered)
 	})
 	return nil
 }

@@ -102,7 +102,7 @@ type Device struct {
 	queue *store.Queue[protocol.Measurement]
 
 	stopMeasure func()
-	retryEvent  *sim.Event
+	retryEvent  sim.EventRef
 
 	// handshake instrumentation (Fig. 6 / Thandshake).
 	handshakeStart time.Duration
@@ -251,10 +251,8 @@ func (d *Device) Disconnect() {
 }
 
 func (d *Device) cancelRetry() {
-	if d.retryEvent != nil {
-		d.cfg.Env.Cancel(d.retryEvent)
-		d.retryEvent = nil
-	}
+	d.cfg.Env.Cancel(d.retryEvent)
+	d.retryEvent = sim.EventRef{}
 }
 
 // beginScan starts the channel survey; completion is scheduled after the

@@ -21,6 +21,9 @@ type Broker struct {
 
 	mu       sync.Mutex
 	sessions map[string]*session
+	// subs indexes every session's filters for O(levels + matches)
+	// publish fan-out; kept in lockstep with each session's subs map.
+	subs     *subTrie
 	retained map[string]*PublishPacket
 	closed   bool
 	ln       net.Listener
@@ -54,6 +57,7 @@ func NewBroker(opts BrokerOptions) *Broker {
 	return &Broker{
 		opts:     opts,
 		sessions: make(map[string]*session),
+		subs:     newSubTrie(),
 		retained: make(map[string]*PublishPacket),
 	}
 }
@@ -244,7 +248,20 @@ func (b *Broker) attachSession(c *ConnectPacket, conn net.Conn) (*session, bool)
 	b.mu.Unlock()
 
 	if existed && old != s {
+		// Clean-session takeover replaces the session object; its
+		// subscriptions die with it and must leave the routing trie.
 		old.close()
+		old.mu.Lock()
+		filters := make([]string, 0, len(old.subs))
+		for f := range old.subs {
+			filters = append(filters, f)
+		}
+		old.mu.Unlock()
+		b.mu.Lock()
+		for _, f := range filters {
+			b.subs.remove(f, old)
+		}
+		b.mu.Unlock()
 	}
 	s.mu.Lock()
 	if existed && old == s && s.conn != nil {
@@ -320,6 +337,11 @@ func (b *Broker) readLoop(s *session, conn net.Conn) error {
 				delete(s.subs, f)
 			}
 			s.mu.Unlock()
+			b.mu.Lock()
+			for _, f := range p.Filters {
+				b.subs.remove(f, s)
+			}
+			b.mu.Unlock()
 			if err := s.write(NewUnsuback(p.PacketID)); err != nil {
 				return err
 			}
@@ -376,6 +398,15 @@ func (b *Broker) handleSubscribe(s *session, p *SubscribePacket) error {
 		s.mu.Lock()
 		s.subs[sub.Filter] = granted
 		s.mu.Unlock()
+		b.mu.Lock()
+		// Guard against a SUBSCRIBE racing a clean-session takeover: once
+		// another session object owns this client ID, the takeover's trie
+		// cleanup has run (or will only see the old subs snapshot), so
+		// inserting here would leave a permanent route to a dead session.
+		if b.sessions[s.clientID] == s {
+			b.subs.add(sub.Filter, s, granted)
+		}
+		b.mu.Unlock()
 		codes[i] = byte(granted)
 	}
 	if err := s.write(&SubackPacket{PacketID: p.PacketID, ReturnCodes: codes}); err != nil {
@@ -418,39 +449,77 @@ func (b *Broker) route(p *PublishPacket, from *session) {
 		}
 		b.mu.Unlock()
 	}
+	// Match against the subscription trie: O(topic levels + matched
+	// subscribers), independent of the total subscription count. Matches
+	// are copied out under the lock (delivery re-enters broker and session
+	// locks) into a pooled buffer so steady-state routing does not grow
+	// the heap per publish.
+	rb := routeBufPool.Get().(*routeBuf)
 	b.mu.Lock()
-	targets := make([]*session, 0, len(b.sessions))
-	for _, s := range b.sessions {
-		targets = append(targets, s)
-	}
+	rb.collect(b.subs, p.Topic)
 	b.mu.Unlock()
-	for _, s := range targets {
-		s.mu.Lock()
-		var best QoS
-		matched := false
-		for filter, q := range s.subs {
-			if MatchTopic(filter, p.Topic) {
-				matched = true
-				if q > best {
-					best = q
-				}
-			}
-		}
-		s.mu.Unlock()
-		if !matched {
-			continue
-		}
+	for _, m := range rb.matches {
 		out := *p
 		out.Retain = false // forwarded publications clear retain
 		out.Dup = false
-		if out.QoS > best {
-			out.QoS = best
+		if out.QoS > m.q {
+			out.QoS = m.q
 		}
-		s.deliver(&out)
+		m.s.deliver(&out)
 	}
+	rb.reset()
+	routeBufPool.Put(rb)
 	if b.opts.OnPublish != nil {
 		b.opts.OnPublish(p.Topic, p.Payload)
 	}
+}
+
+// routeMatch is one matched subscriber with its effective (max) QoS.
+type routeMatch struct {
+	s *session
+	q QoS
+}
+
+// routeBuf is the reusable per-publish match accumulator. visitFn is the
+// visit method bound once at construction, so collect passes a prebuilt
+// closure instead of allocating a method value per publish. seen indexes
+// sessions already matched, keeping dedup O(1) per visit — this runs under
+// the broker mutex, so a wide fan-out must not go quadratic.
+type routeBuf struct {
+	matches []routeMatch
+	seen    map[*session]int
+	visitFn func(*session, QoS)
+}
+
+var routeBufPool = sync.Pool{New: func() any {
+	rb := &routeBuf{seen: make(map[*session]int)}
+	rb.visitFn = rb.visit
+	return rb
+}}
+
+// collect gathers trie matches, folding duplicate sessions (a session can
+// match through several filters) to their maximum granted QoS.
+func (rb *routeBuf) collect(t *subTrie, topic string) {
+	t.match(topic, rb.visitFn)
+}
+
+func (rb *routeBuf) visit(s *session, q QoS) {
+	if i, ok := rb.seen[s]; ok {
+		if q > rb.matches[i].q {
+			rb.matches[i].q = q
+		}
+		return
+	}
+	rb.seen[s] = len(rb.matches)
+	rb.matches = append(rb.matches, routeMatch{s: s, q: q})
+}
+
+func (rb *routeBuf) reset() {
+	for i := range rb.matches {
+		delete(rb.seen, rb.matches[i].s)
+		rb.matches[i].s = nil // drop session references while pooled
+	}
+	rb.matches = rb.matches[:0]
 }
 
 // Publish injects a broker-origin message (retained-config updates, tests).
@@ -484,6 +553,10 @@ func (b *Broker) SessionCount() int {
 
 // --- session methods --------------------------------------------------------
 
+// errNotConnected is returned by write on a detached session; predeclared
+// because detached persistent sessions are routine on the fan-out path.
+var errNotConnected = errors.New("mqtt: session not connected")
+
 // write serializes and sends one packet, thread-safe.
 func (s *session) write(p Packet) error {
 	buf, err := Encode(p)
@@ -494,7 +567,7 @@ func (s *session) write(p Packet) error {
 	conn := s.conn
 	s.mu.Unlock()
 	if conn == nil {
-		return errors.New("mqtt: session not connected")
+		return errNotConnected
 	}
 	if _, err := conn.Write(buf); err != nil {
 		return err

@@ -54,28 +54,40 @@ func ValidateTopicFilter(filter string) error {
 	return nil
 }
 
-// MatchTopic reports whether a concrete topic matches a filter.
+// MatchTopic reports whether a concrete topic matches a filter. It walks
+// both strings level-by-level without splitting, so a match costs zero
+// allocations — this runs per retained message on every subscribe and is
+// the oracle for the broker's subscription trie.
 func MatchTopic(filter, topic string) bool {
 	// Spec 4.7.2: wildcards must not match $-topics at the first level.
 	if strings.HasPrefix(topic, "$") &&
 		(strings.HasPrefix(filter, "+") || strings.HasPrefix(filter, "#")) {
 		return false
 	}
-	fl := strings.Split(filter, "/")
-	tl := strings.Split(topic, "/")
-	for i := 0; i < len(fl); i++ {
-		if fl[i] == "#" {
+	f, t := filter, topic
+	fDone, tDone := false, false
+	for !fDone {
+		var fl string
+		if i := strings.IndexByte(f, '/'); i >= 0 {
+			fl, f = f[:i], f[i+1:]
+		} else {
+			fl, fDone = f, true
+		}
+		if fl == "#" {
 			return true
 		}
-		if i >= len(tl) {
+		if tDone {
 			return false
 		}
-		if fl[i] == "+" {
-			continue
+		var tl string
+		if i := strings.IndexByte(t, '/'); i >= 0 {
+			tl, t = t[:i], t[i+1:]
+		} else {
+			tl, tDone = t, true
 		}
-		if fl[i] != tl[i] {
+		if fl != "+" && fl != tl {
 			return false
 		}
 	}
-	return len(fl) == len(tl)
+	return tDone
 }

@@ -1,0 +1,196 @@
+package mqtt
+
+import "strings"
+
+// subTrie indexes subscriptions by filter level so a publish fans out in
+// O(topic levels + matched subscribers) instead of scanning every
+// subscription of every session (the v1 broker's per-publish linear walk).
+// Levels are trie edges; '+' and '#' get dedicated child slots so wildcard
+// branches are followed without string comparison. All methods must run
+// under the broker mutex.
+type subTrie struct {
+	root *trieNode
+}
+
+type trieNode struct {
+	// children maps a literal level to its subtree.
+	children map[string]*trieNode
+	// plus is the '+' (single-level wildcard) subtree.
+	plus *trieNode
+	// hash is the '#' (multi-level wildcard) terminal node; filters end at
+	// it, so it only ever carries subscribers, never children.
+	hash *trieNode
+	// subs are the sessions whose filter ends exactly at this node.
+	subs map[*session]QoS
+	// size counts subscriptions in this subtree, for pruning empty branches.
+	size int
+}
+
+func newSubTrie() *subTrie {
+	return &subTrie{root: &trieNode{}}
+}
+
+// nextLevel splits off the leading topic level. more is false when s was the
+// last level.
+func nextLevel(s string) (level, rest string, more bool) {
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		return s[:i], s[i+1:], true
+	}
+	return s, "", false
+}
+
+// add registers s under filter with the granted QoS, replacing any previous
+// grant for the same (filter, session) pair.
+func (t *subTrie) add(filter string, s *session, q QoS) {
+	n := t.root
+	path := filter
+	for {
+		level, rest, more := nextLevel(path)
+		var child *trieNode
+		switch level {
+		case "#":
+			if n.hash == nil {
+				n.hash = &trieNode{}
+			}
+			child = n.hash
+		case "+":
+			if n.plus == nil {
+				n.plus = &trieNode{}
+			}
+			child = n.plus
+		default:
+			if n.children == nil {
+				n.children = make(map[string]*trieNode)
+			}
+			child = n.children[level]
+			if child == nil {
+				child = &trieNode{}
+				n.children[level] = child
+			}
+		}
+		n = child
+		if !more {
+			break
+		}
+		path = rest
+	}
+	if n.subs == nil {
+		n.subs = make(map[*session]QoS)
+	}
+	if _, exists := n.subs[s]; !exists {
+		t.bumpSizes(filter, 1)
+	}
+	n.subs[s] = q
+}
+
+// remove drops the (filter, session) subscription; unknown pairs are no-ops.
+// Emptied branches are pruned so a churning session population does not leak
+// nodes.
+func (t *subTrie) remove(filter string, s *session) {
+	t.removeFrom(t.root, filter, s)
+}
+
+func (t *subTrie) removeFrom(n *trieNode, path string, s *session) (removed bool) {
+	level, rest, more := nextLevel(path)
+	var child *trieNode
+	switch level {
+	case "#":
+		child = n.hash
+	case "+":
+		child = n.plus
+	default:
+		child = n.children[level]
+	}
+	if child == nil {
+		return false
+	}
+	if more {
+		removed = t.removeFrom(child, rest, s)
+	} else {
+		if _, ok := child.subs[s]; !ok {
+			return false
+		}
+		delete(child.subs, s)
+		child.size--
+		removed = true
+	}
+	if removed && more {
+		child.size--
+	}
+	if child.size == 0 {
+		switch level {
+		case "#":
+			n.hash = nil
+		case "+":
+			n.plus = nil
+		default:
+			delete(n.children, level)
+		}
+	}
+	return removed
+}
+
+// bumpSizes walks filter adjusting subtree sizes after an insertion.
+func (t *subTrie) bumpSizes(filter string, delta int) {
+	n := t.root
+	path := filter
+	for {
+		level, rest, more := nextLevel(path)
+		switch level {
+		case "#":
+			n = n.hash
+		case "+":
+			n = n.plus
+		default:
+			n = n.children[level]
+		}
+		n.size += delta
+		if !more {
+			return
+		}
+		path = rest
+	}
+}
+
+// match visits every (session, QoS) subscription whose filter matches topic.
+// A session subscribed through several matching filters is visited once per
+// filter; callers take the max QoS. The walk allocates nothing.
+func (t *subTrie) match(topic string, visit func(*session, QoS)) {
+	// Spec 4.7.2: filters starting with a wildcard must not match $-topics.
+	t.walk(t.root, topic, strings.HasPrefix(topic, "$"), visit)
+}
+
+func (t *subTrie) walk(n *trieNode, rest string, skipWildcards bool, visit func(*session, QoS)) {
+	// A '#' hanging off the path so far matches everything below it.
+	if n.hash != nil && !skipWildcards {
+		for s, q := range n.hash.subs {
+			visit(s, q)
+		}
+	}
+	level, tail, more := nextLevel(rest)
+	step := func(child *trieNode) {
+		if child == nil {
+			return
+		}
+		if more {
+			t.walk(child, tail, false, visit)
+			return
+		}
+		// Topic consumed: filters ending here match, and so does a
+		// trailing "/#" ("sport/#" matches "sport", spec 4.7.1.2).
+		for s, q := range child.subs {
+			visit(s, q)
+		}
+		if child.hash != nil {
+			for s, q := range child.hash.subs {
+				visit(s, q)
+			}
+		}
+	}
+	if child, ok := n.children[level]; ok {
+		step(child)
+	}
+	if !skipWildcards {
+		step(n.plus)
+	}
+}

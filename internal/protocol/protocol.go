@@ -6,11 +6,10 @@
 //
 // Messages travel as MQTT payloads on the real-network substrate and as
 // simulated-link payloads in the DES; both use the same envelope encoding:
-// one type byte followed by the JSON body.
+// one type byte followed by the v2 binary body (see wire.go and DESIGN.md).
 package protocol
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
@@ -39,18 +38,20 @@ const (
 	TSyncResponse
 )
 
+// msgTypeNames is indexed by MsgType; allocation-free String lookups.
+var msgTypeNames = [...]string{
+	TRegister: "Register", TRegisterAck: "RegisterAck", TRegisterNack: "RegisterNack",
+	TReport: "Report", TReportAck: "ReportAck", TReportNack: "ReportNack",
+	TVerifyRequest: "VerifyRequest", TVerifyResponse: "VerifyResponse",
+	TForwardReport: "ForwardReport", TTransferMembership: "TransferMembership",
+	TRemoveDevice: "RemoveDevice", TRemoveAck: "RemoveAck",
+	TSyncRequest: "SyncRequest", TSyncResponse: "SyncResponse",
+}
+
 // String implements fmt.Stringer.
 func (t MsgType) String() string {
-	names := map[MsgType]string{
-		TRegister: "Register", TRegisterAck: "RegisterAck", TRegisterNack: "RegisterNack",
-		TReport: "Report", TReportAck: "ReportAck", TReportNack: "ReportNack",
-		TVerifyRequest: "VerifyRequest", TVerifyResponse: "VerifyResponse",
-		TForwardReport: "ForwardReport", TTransferMembership: "TransferMembership",
-		TRemoveDevice: "RemoveDevice", TRemoveAck: "RemoveAck",
-		TSyncRequest: "SyncRequest", TSyncResponse: "SyncResponse",
-	}
-	if s, ok := names[t]; ok {
-		return s
+	if int(t) < len(msgTypeNames) && msgTypeNames[t] != "" {
+		return msgTypeNames[t]
 	}
 	return fmt.Sprintf("MsgType(%d)", byte(t))
 }
@@ -91,11 +92,11 @@ func (k MembershipKind) String() string {
 // empty for an unregistered device ("Request registration (NULL)") and set
 // to the home aggregator for a roaming re-registration.
 type Register struct {
-	DeviceID   string `json:"device_id"`
-	MasterAddr string `json:"master_addr,omitempty"`
+	DeviceID   string
+	MasterAddr string
 	// RSSIDBm is the link strength the device measured toward this
 	// aggregator; logged for diagnostics.
-	RSSIDBm float64 `json:"rssi_dbm,omitempty"`
+	RSSIDBm float64
 }
 
 // MsgType implements Message.
@@ -103,14 +104,14 @@ func (Register) MsgType() MsgType { return TRegister }
 
 // RegisterAck grants membership.
 type RegisterAck struct {
-	DeviceID string         `json:"device_id"`
-	Kind     MembershipKind `json:"kind"`
+	DeviceID string
+	Kind     MembershipKind
 	// AggregatorID is the network address the device reports to.
-	AggregatorID string `json:"aggregator_id"`
+	AggregatorID string
 	// Slot is the TDMA slot index granted to the device.
-	Slot int `json:"slot"`
+	Slot int
 	// Tmeasure is the reporting interval the aggregator mandates.
-	Tmeasure time.Duration `json:"tmeasure"`
+	Tmeasure time.Duration
 }
 
 // MsgType implements Message.
@@ -118,8 +119,8 @@ func (RegisterAck) MsgType() MsgType { return TRegisterAck }
 
 // RegisterNack refuses membership.
 type RegisterNack struct {
-	DeviceID string `json:"device_id"`
-	Reason   string `json:"reason"`
+	DeviceID string
+	Reason   string
 }
 
 // MsgType implements Message.
@@ -127,23 +128,23 @@ func (RegisterNack) MsgType() MsgType { return TRegisterNack }
 
 // Measurement is one sampled consumption interval.
 type Measurement struct {
-	Seq       uint64        `json:"seq"`
-	Timestamp time.Time     `json:"timestamp"`
-	Interval  time.Duration `json:"interval"`
-	Current   units.Current `json:"current_ua"`
-	Voltage   units.Voltage `json:"voltage_uv"`
-	Energy    units.Energy  `json:"energy_uwh"`
+	Seq       uint64
+	Timestamp time.Time
+	Interval  time.Duration
+	Current   units.Current
+	Voltage   units.Voltage
+	Energy    units.Energy
 	// Buffered marks a measurement delivered late from local storage.
-	Buffered bool `json:"buffered,omitempty"`
+	Buffered bool
 }
 
 // Report carries one or more measurements ("The combination of stored data
 // and the measurement are transmitted to the aggregator in the next
 // transmission").
 type Report struct {
-	DeviceID     string        `json:"device_id"`
-	MasterAddr   string        `json:"master_addr,omitempty"`
-	Measurements []Measurement `json:"measurements"`
+	DeviceID     string
+	MasterAddr   string
+	Measurements []Measurement
 }
 
 // MsgType implements Message.
@@ -151,8 +152,8 @@ func (Report) MsgType() MsgType { return TReport }
 
 // ReportAck acknowledges receipt up to and including Seq.
 type ReportAck struct {
-	DeviceID string `json:"device_id"`
-	Seq      uint64 `json:"seq"`
+	DeviceID string
+	Seq      uint64
 }
 
 // MsgType implements Message.
@@ -163,9 +164,9 @@ func (ReportAck) MsgType() MsgType { return TReportAck }
 // the consumption data sends a negative acknowledgment (Nack) to indicate
 // the absence of membership").
 type ReportNack struct {
-	DeviceID string `json:"device_id"`
-	Seq      uint64 `json:"seq"`
-	Reason   string `json:"reason"`
+	DeviceID string
+	Seq      uint64
+	Reason   string
 }
 
 // MsgType implements Message.
@@ -174,9 +175,9 @@ func (ReportNack) MsgType() MsgType { return TReportNack }
 // VerifyRequest asks a device's home aggregator to vouch for it (backhaul,
 // sequence 2).
 type VerifyRequest struct {
-	DeviceID string `json:"device_id"`
+	DeviceID string
 	// Requester is the foreign aggregator asking.
-	Requester string `json:"requester"`
+	Requester string
 }
 
 // MsgType implements Message.
@@ -184,9 +185,9 @@ func (VerifyRequest) MsgType() MsgType { return TVerifyRequest }
 
 // VerifyResponse answers a VerifyRequest.
 type VerifyResponse struct {
-	DeviceID string `json:"device_id"`
-	OK       bool   `json:"ok"`
-	Reason   string `json:"reason,omitempty"`
+	DeviceID string
+	OK       bool
+	Reason   string
 }
 
 // MsgType implements Message.
@@ -196,10 +197,10 @@ func (VerifyResponse) MsgType() MsgType { return TVerifyResponse }
 // aggregator ("These values are in turn transmitted back to the home
 // network using the Master address of the device").
 type ForwardReport struct {
-	DeviceID string `json:"device_id"`
+	DeviceID string
 	// Via is the foreign aggregator that collected the data.
-	Via          string        `json:"via"`
-	Measurements []Measurement `json:"measurements"`
+	Via          string
+	Measurements []Measurement
 }
 
 // MsgType implements Message.
@@ -208,8 +209,8 @@ func (ForwardReport) MsgType() MsgType { return TForwardReport }
 // TransferMembership moves a device's master membership to a new home
 // (sequence 3: loss/reset/transfer-of-ownership).
 type TransferMembership struct {
-	DeviceID      string `json:"device_id"`
-	NewMasterAddr string `json:"new_master_addr"`
+	DeviceID      string
+	NewMasterAddr string
 }
 
 // MsgType implements Message.
@@ -217,7 +218,7 @@ func (TransferMembership) MsgType() MsgType { return TTransferMembership }
 
 // RemoveDevice deletes a device's membership entirely.
 type RemoveDevice struct {
-	DeviceID string `json:"device_id"`
+	DeviceID string
 }
 
 // MsgType implements Message.
@@ -225,7 +226,7 @@ func (RemoveDevice) MsgType() MsgType { return TRemoveDevice }
 
 // RemoveAck confirms a removal.
 type RemoveAck struct {
-	DeviceID string `json:"device_id"`
+	DeviceID string
 }
 
 // MsgType implements Message.
@@ -233,8 +234,8 @@ func (RemoveAck) MsgType() MsgType { return TRemoveAck }
 
 // SyncRequest is the timesync query (four-timestamp exchange).
 type SyncRequest struct {
-	DeviceID string    `json:"device_id"`
-	T1       time.Time `json:"t1"`
+	DeviceID string
+	T1       time.Time
 }
 
 // MsgType implements Message.
@@ -242,111 +243,17 @@ func (SyncRequest) MsgType() MsgType { return TSyncRequest }
 
 // SyncResponse carries the server stamps.
 type SyncResponse struct {
-	DeviceID string    `json:"device_id"`
-	T1       time.Time `json:"t1"`
-	T2       time.Time `json:"t2"`
-	T3       time.Time `json:"t3"`
+	DeviceID string
+	T1       time.Time
+	T2       time.Time
+	T3       time.Time
 }
 
 // MsgType implements Message.
 func (SyncResponse) MsgType() MsgType { return TSyncResponse }
 
-// --- envelope codec -----------------------------------------------------------
-
 // ErrUnknownType is returned for unrecognized envelope tags.
 var ErrUnknownType = errors.New("protocol: unknown message type")
-
-// Encode serializes msg as a one-byte tag plus JSON body.
-func Encode(msg Message) ([]byte, error) {
-	body, err := json.Marshal(msg)
-	if err != nil {
-		return nil, fmt.Errorf("protocol: encode %v: %w", msg.MsgType(), err)
-	}
-	out := make([]byte, 0, len(body)+1)
-	out = append(out, byte(msg.MsgType()))
-	return append(out, body...), nil
-}
-
-// Decode parses an envelope.
-func Decode(b []byte) (Message, error) {
-	if len(b) < 1 {
-		return nil, errors.New("protocol: empty envelope")
-	}
-	var msg Message
-	switch MsgType(b[0]) {
-	case TRegister:
-		msg = &Register{}
-	case TRegisterAck:
-		msg = &RegisterAck{}
-	case TRegisterNack:
-		msg = &RegisterNack{}
-	case TReport:
-		msg = &Report{}
-	case TReportAck:
-		msg = &ReportAck{}
-	case TReportNack:
-		msg = &ReportNack{}
-	case TVerifyRequest:
-		msg = &VerifyRequest{}
-	case TVerifyResponse:
-		msg = &VerifyResponse{}
-	case TForwardReport:
-		msg = &ForwardReport{}
-	case TTransferMembership:
-		msg = &TransferMembership{}
-	case TRemoveDevice:
-		msg = &RemoveDevice{}
-	case TRemoveAck:
-		msg = &RemoveAck{}
-	case TSyncRequest:
-		msg = &SyncRequest{}
-	case TSyncResponse:
-		msg = &SyncResponse{}
-	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[0])
-	}
-	if err := json.Unmarshal(b[1:], msg); err != nil {
-		return nil, fmt.Errorf("protocol: decode %v: %w", MsgType(b[0]), err)
-	}
-	return deref(msg), nil
-}
-
-// deref returns the value form so type switches on concrete values work the
-// same for locally constructed and decoded messages.
-func deref(m Message) Message {
-	switch v := m.(type) {
-	case *Register:
-		return *v
-	case *RegisterAck:
-		return *v
-	case *RegisterNack:
-		return *v
-	case *Report:
-		return *v
-	case *ReportAck:
-		return *v
-	case *ReportNack:
-		return *v
-	case *VerifyRequest:
-		return *v
-	case *VerifyResponse:
-		return *v
-	case *ForwardReport:
-		return *v
-	case *TransferMembership:
-		return *v
-	case *RemoveDevice:
-		return *v
-	case *RemoveAck:
-		return *v
-	case *SyncRequest:
-		return *v
-	case *SyncResponse:
-		return *v
-	default:
-		return m
-	}
-}
 
 // Topics used when the protocol rides on MQTT (cmd/meterd, cmd/devicesim).
 const (

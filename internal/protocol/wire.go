@@ -1,0 +1,338 @@
+// Wire codec v2: a hand-rolled length-prefixed binary encoding behind the
+// one-byte envelope tag. The v1 codec carried JSON after the tag; profiling
+// put it at ~5.2 µs and 16 allocations per Report round trip, which is the
+// dominant cost of the per-Tmeasure report hot path. v2 encodes with
+// append-style calls into a caller-owned buffer (zero steady-state
+// allocations) and decodes with no allocations beyond the strings and
+// measurement slices the returned message owns.
+//
+// Primitive encodings (documented in DESIGN.md):
+//
+//	str  := uvarint length, bytes
+//	uint := uvarint (base-128, least-significant group first)
+//	int  := zigzag varint
+//	time := int unix-seconds, uint nanoseconds-within-second
+//	f64  := 8 bytes little-endian IEEE 754 bits
+//	bool := one byte, 0x00 or 0x01
+//
+// Timestamps deliberately split seconds and nanoseconds so every time.Time
+// representable by the standard library round-trips exactly; UnixNano alone
+// overflows outside 1678–2262. JSON remains only as the blockchain
+// chain-file format (internal/blockchain/file.go).
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"decentmeter/internal/units"
+)
+
+// ErrTruncated is returned when an envelope ends mid-field.
+var ErrTruncated = errors.New("protocol: truncated envelope")
+
+// ErrTrailingBytes is returned when an envelope has bytes past its body.
+var ErrTrailingBytes = errors.New("protocol: trailing bytes after message")
+
+// PeekType returns the envelope tag without decoding the body.
+func PeekType(b []byte) (MsgType, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	return MsgType(b[0]), true
+}
+
+// AppendEncode appends the envelope encoding of msg to dst and returns the
+// extended buffer. It performs no allocations once dst has capacity, making
+// it the encode entry point for the report hot path.
+func AppendEncode(dst []byte, msg Message) ([]byte, error) {
+	dst = append(dst, byte(msg.MsgType()))
+	switch m := msg.(type) {
+	case Register:
+		dst = appendString(dst, m.DeviceID)
+		dst = appendString(dst, m.MasterAddr)
+		dst = appendF64(dst, m.RSSIDBm)
+	case RegisterAck:
+		dst = appendString(dst, m.DeviceID)
+		dst = append(dst, byte(m.Kind))
+		dst = appendString(dst, m.AggregatorID)
+		dst = appendInt(dst, int64(m.Slot))
+		dst = appendInt(dst, int64(m.Tmeasure))
+	case RegisterNack:
+		dst = appendString(dst, m.DeviceID)
+		dst = appendString(dst, m.Reason)
+	case Report:
+		dst = appendString(dst, m.DeviceID)
+		dst = appendString(dst, m.MasterAddr)
+		dst = appendMeasurements(dst, m.Measurements)
+	case ReportAck:
+		dst = appendString(dst, m.DeviceID)
+		dst = appendUint(dst, m.Seq)
+	case ReportNack:
+		dst = appendString(dst, m.DeviceID)
+		dst = appendUint(dst, m.Seq)
+		dst = appendString(dst, m.Reason)
+	case VerifyRequest:
+		dst = appendString(dst, m.DeviceID)
+		dst = appendString(dst, m.Requester)
+	case VerifyResponse:
+		dst = appendString(dst, m.DeviceID)
+		dst = appendBool(dst, m.OK)
+		dst = appendString(dst, m.Reason)
+	case ForwardReport:
+		dst = appendString(dst, m.DeviceID)
+		dst = appendString(dst, m.Via)
+		dst = appendMeasurements(dst, m.Measurements)
+	case TransferMembership:
+		dst = appendString(dst, m.DeviceID)
+		dst = appendString(dst, m.NewMasterAddr)
+	case RemoveDevice:
+		dst = appendString(dst, m.DeviceID)
+	case RemoveAck:
+		dst = appendString(dst, m.DeviceID)
+	case SyncRequest:
+		dst = appendString(dst, m.DeviceID)
+		dst = appendTime(dst, m.T1)
+	case SyncResponse:
+		dst = appendString(dst, m.DeviceID)
+		dst = appendTime(dst, m.T1)
+		dst = appendTime(dst, m.T2)
+		dst = appendTime(dst, m.T3)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownType, msg)
+	}
+	return dst, nil
+}
+
+// Encode serializes msg into a fresh buffer. Hot paths that can reuse a
+// buffer should prefer AppendEncode.
+func Encode(msg Message) ([]byte, error) {
+	return AppendEncode(make([]byte, 0, 64), msg)
+}
+
+// Decode parses an envelope into its value-typed message. The result owns
+// its strings and slices; the input buffer may be reused immediately.
+func Decode(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, errors.New("protocol: empty envelope")
+	}
+	t := MsgType(b[0])
+	r := reader{b: b[1:]}
+	var msg Message
+	switch t {
+	case TRegister:
+		msg = Register{DeviceID: r.str(), MasterAddr: r.str(), RSSIDBm: r.f64()}
+	case TRegisterAck:
+		msg = RegisterAck{
+			DeviceID: r.str(), Kind: MembershipKind(r.byte()),
+			AggregatorID: r.str(), Slot: int(r.int()),
+			Tmeasure: time.Duration(r.int()),
+		}
+	case TRegisterNack:
+		msg = RegisterNack{DeviceID: r.str(), Reason: r.str()}
+	case TReport:
+		msg = Report{DeviceID: r.str(), MasterAddr: r.str(), Measurements: r.measurements()}
+	case TReportAck:
+		msg = ReportAck{DeviceID: r.str(), Seq: r.uint()}
+	case TReportNack:
+		msg = ReportNack{DeviceID: r.str(), Seq: r.uint(), Reason: r.str()}
+	case TVerifyRequest:
+		msg = VerifyRequest{DeviceID: r.str(), Requester: r.str()}
+	case TVerifyResponse:
+		msg = VerifyResponse{DeviceID: r.str(), OK: r.bool(), Reason: r.str()}
+	case TForwardReport:
+		msg = ForwardReport{DeviceID: r.str(), Via: r.str(), Measurements: r.measurements()}
+	case TTransferMembership:
+		msg = TransferMembership{DeviceID: r.str(), NewMasterAddr: r.str()}
+	case TRemoveDevice:
+		msg = RemoveDevice{DeviceID: r.str()}
+	case TRemoveAck:
+		msg = RemoveAck{DeviceID: r.str()}
+	case TSyncRequest:
+		msg = SyncRequest{DeviceID: r.str(), T1: r.time()}
+	case TSyncResponse:
+		msg = SyncResponse{DeviceID: r.str(), T1: r.time(), T2: r.time(), T3: r.time()}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[0])
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("protocol: decode %v: %w", t, r.err)
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("protocol: decode %v: %w (%d)", t, ErrTrailingBytes, len(r.b))
+	}
+	return msg, nil
+}
+
+// --- append primitives --------------------------------------------------------
+
+func appendUint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendInt(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendTime(dst []byte, t time.Time) []byte {
+	dst = binary.AppendVarint(dst, t.Unix())
+	return binary.AppendUvarint(dst, uint64(t.Nanosecond()))
+}
+
+func appendMeasurements(dst []byte, ms []Measurement) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ms)))
+	for i := range ms {
+		m := &ms[i]
+		dst = appendUint(dst, m.Seq)
+		dst = appendTime(dst, m.Timestamp)
+		dst = appendInt(dst, int64(m.Interval))
+		dst = appendInt(dst, int64(m.Current))
+		dst = appendInt(dst, int64(m.Voltage))
+		dst = appendInt(dst, int64(m.Energy))
+		dst = appendBool(dst, m.Buffered)
+	}
+	return dst
+}
+
+// --- decode primitives --------------------------------------------------------
+
+// reader consumes a body with a sticky error, so message decoders read
+// field-by-field without per-field error plumbing.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrTruncated, what)
+	}
+	r.b = nil
+}
+
+func (r *reader) uint() uint64 {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) int() int64 {
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) byte() byte {
+	if len(r.b) < 1 {
+		r.fail("byte")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) bool() bool {
+	switch r.byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if r.err == nil {
+			r.err = errors.New("protocol: bool byte not 0 or 1")
+			r.b = nil
+		}
+		return false
+	}
+}
+
+func (r *reader) str() string {
+	n := r.uint()
+	if uint64(len(r.b)) < n {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *reader) f64() float64 {
+	if len(r.b) < 8 {
+		r.fail("float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) time() time.Time {
+	sec := r.int()
+	nsec := r.uint()
+	if nsec >= 1e9 {
+		if r.err == nil {
+			r.err = errors.New("protocol: nanoseconds out of range")
+			r.b = nil
+		}
+		return time.Time{}
+	}
+	if r.err != nil {
+		return time.Time{}
+	}
+	return time.Unix(sec, int64(nsec)).UTC()
+}
+
+func (r *reader) measurements() []Measurement {
+	n := r.uint()
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	// Each measurement needs at least 8 bytes; reject counts the body
+	// cannot hold before allocating (bounds hostile inputs).
+	if n > uint64(len(r.b))/8 {
+		r.fail("measurement count")
+		return nil
+	}
+	ms := make([]Measurement, n)
+	for i := range ms {
+		ms[i] = Measurement{
+			Seq:       r.uint(),
+			Timestamp: r.time(),
+			Interval:  time.Duration(r.int()),
+			Current:   units.Current(r.int()),
+			Voltage:   units.Voltage(r.int()),
+			Energy:    units.Energy(r.int()),
+			Buffered:  r.bool(),
+		}
+	}
+	return ms
+}

@@ -1,0 +1,236 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/hex"
+	"reflect"
+	"testing"
+	"time"
+
+	"decentmeter/internal/units"
+)
+
+// TestGoldenWireVectors pins the v2 wire format. A failure here means the
+// encoding changed: deployed devices and aggregators would no longer
+// interoperate, so any change must bump the envelope format deliberately
+// (new tags or a version byte), not silently reshape these bytes.
+func TestGoldenWireVectors(t *testing.T) {
+	vectors := []struct {
+		msg Message
+		hex string
+	}{
+		{Register{DeviceID: "d1", MasterAddr: "agg1", RSSIDBm: -62.5},
+			"0102643104616767310000000000404fc0"},
+		{RegisterAck{DeviceID: "d1", Kind: MemberTemporary, AggregatorID: "agg2", Slot: 7, Tmeasure: 100 * time.Millisecond},
+			"020264310204616767320e8084af5f"},
+		{RegisterNack{DeviceID: "d1", Reason: "no slots"},
+			"03026431086e6f20736c6f7473"},
+		{Report{DeviceID: "d1", MasterAddr: "agg1", Measurements: []Measurement{{
+			Seq: 42, Timestamp: t0, Interval: 100 * time.Millisecond,
+			Current: 82 * units.Milliampere, Voltage: 5 * units.Volt, Energy: 11, Buffered: true,
+		}}},
+			"040264310461676731012ac0c0caea0b008084af5fa0810a80ade2041601"},
+		{ReportAck{DeviceID: "d1", Seq: 42},
+			"050264312a"},
+		{ReportNack{DeviceID: "d1", Seq: 42, Reason: "not a member"},
+			"060264312a0c6e6f742061206d656d626572"},
+		{VerifyRequest{DeviceID: "d1", Requester: "agg2"},
+			"070264310461676732"},
+		{VerifyResponse{DeviceID: "d1", OK: true, Reason: "ok"},
+			"0802643101026f6b"},
+		{ForwardReport{DeviceID: "d1", Via: "agg2", Measurements: []Measurement{{Seq: 1, Timestamp: t0}}},
+			"0902643104616767320101c0c0caea0b000000000000"},
+		{TransferMembership{DeviceID: "d1", NewMasterAddr: "agg3"},
+			"0a0264310461676733"},
+		{RemoveDevice{DeviceID: "d1"},
+			"0b026431"},
+		{RemoveAck{DeviceID: "d1"},
+			"0c026431"},
+		{SyncRequest{DeviceID: "d1", T1: t0},
+			"0d026431c0c0caea0b00"},
+		{SyncResponse{DeviceID: "d1", T1: t0, T2: t0.Add(time.Millisecond), T3: t0.Add(2 * time.Millisecond)},
+			"0e026431c0c0caea0b00c0c0caea0bc0843dc0c0caea0b80897a"},
+	}
+	seen := map[MsgType]bool{}
+	for _, v := range vectors {
+		want, err := hex.DecodeString(v.hex)
+		if err != nil {
+			t.Fatalf("bad vector hex for %v: %v", v.msg.MsgType(), err)
+		}
+		got, err := Encode(v.msg)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v.msg.MsgType(), err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%v wire bytes changed:\n got %x\nwant %x", v.msg.MsgType(), got, want)
+		}
+		dec, err := Decode(want)
+		if err != nil {
+			t.Fatalf("decode golden %v: %v", v.msg.MsgType(), err)
+		}
+		if !reflect.DeepEqual(dec, v.msg) {
+			t.Errorf("%v golden decode mismatch:\n got %+v\nwant %+v", v.msg.MsgType(), dec, v.msg)
+		}
+		seen[v.msg.MsgType()] = true
+	}
+	if len(seen) != 14 {
+		t.Fatalf("golden vectors cover %d of 14 message types", len(seen))
+	}
+}
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	msg := Report{DeviceID: "d", MasterAddr: "a", Measurements: []Measurement{{Seq: 7, Timestamp: t0}}}
+	plain, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPrefix, err := AppendEncode([]byte("prefix"), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(withPrefix, append([]byte("prefix"), plain...)) {
+		t.Fatalf("AppendEncode diverges from Encode:\n got %x\nwant prefix+%x", withPrefix, plain)
+	}
+}
+
+func TestAppendEncodeZeroAllocSteadyState(t *testing.T) {
+	msg := Report{
+		DeviceID: "device1", MasterAddr: "agg1",
+		Measurements: []Measurement{{Seq: 1, Timestamp: t0, Interval: 100 * time.Millisecond,
+			Current: 80 * units.Milliampere, Voltage: 5 * units.Volt, Energy: 11}},
+	}
+	// Box into the interface once, as a steady-state sender holding a
+	// Message would; per-call boxing of a concrete struct is the caller's
+	// allocation, not the codec's.
+	var m Message = msg
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendEncode(buf[:0], m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendEncode with warm buffer: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	b, err := Encode(ReportAck{DeviceID: "d", Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(b, 0xff)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestDecodeRejectsHostileMeasurementCount(t *testing.T) {
+	// A Report claiming 2^40 measurements in a few bytes must fail fast
+	// without allocating the claimed slice.
+	b := []byte{byte(TReport), 1, 'd', 0}
+	b = append(b, 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f) // uvarint ~2^40
+	if _, err := Decode(b); err == nil {
+		t.Fatal("hostile measurement count accepted")
+	}
+}
+
+func TestTimeRoundTripExtremes(t *testing.T) {
+	times := []time.Time{
+		{}, // zero time, year 1
+		time.Unix(0, 0).UTC(),
+		time.Unix(-1, 999999999).UTC(),
+		time.Date(1600, 1, 1, 0, 0, 0, 1, time.UTC),     // before the UnixNano range
+		time.Date(2400, 6, 15, 12, 0, 0, 500, time.UTC), // after the UnixNano range
+	}
+	for _, ts := range times {
+		b, err := Encode(SyncRequest{DeviceID: "d", T1: ts})
+		if err != nil {
+			t.Fatalf("encode %v: %v", ts, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("decode %v: %v", ts, err)
+		}
+		if !got.(SyncRequest).T1.Equal(ts) {
+			t.Fatalf("time round trip: got %v, want %v", got.(SyncRequest).T1, ts)
+		}
+	}
+}
+
+// FuzzDecode checks that Decode never panics on arbitrary input and that
+// anything it accepts re-encodes idempotently: encode(decode(b)) is a fixed
+// point of the codec. Byte-level comparison deliberately avoids DeepEqual,
+// which is false for NaN RSSI readings that the wire carries bit-exactly.
+func FuzzDecode(f *testing.F) {
+	seeds := []Message{
+		Register{DeviceID: "d1", MasterAddr: "agg1", RSSIDBm: -62.5},
+		Report{DeviceID: "d1", Measurements: []Measurement{{Seq: 42, Timestamp: t0, Buffered: true}}},
+		ReportNack{DeviceID: "d1", Seq: 42, Reason: "not a member"},
+		SyncResponse{DeviceID: "d1", T1: t0, T2: t0, T3: t0},
+	}
+	for _, m := range seeds {
+		b, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(TReport), 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendEncode(nil, msg)
+		if err != nil {
+			t.Fatalf("accepted message failed to re-encode: %+v: %v", msg, err)
+		}
+		msg2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %x: %v", re, err)
+		}
+		re2, err := AppendEncode(nil, msg2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %+v: %v", msg2, err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("canonical form not a fixed point:\n first %x\nsecond %x", re, re2)
+		}
+	})
+}
+
+// FuzzEncodeDecodeReport drives the hot-path message through structured
+// fuzzing: every generated Report must survive an exact round trip.
+func FuzzEncodeDecodeReport(f *testing.F) {
+	f.Add("device1", "agg1", uint64(1), int64(1588154400), int64(100e6), int64(82500), int64(5e6), int64(11), true)
+	f.Fuzz(func(t *testing.T, dev, master string, seq uint64, unixSec, interval, cur, volt, en int64, buffered bool) {
+		// Clamp to the years 1..9999 so time.Time's internal epoch offset
+		// cannot overflow; out-of-range instants are not representable and
+		// DeepEqual would compare wrapped values.
+		const minSec, maxSec = -62135596800, 253402300799
+		if unixSec < minSec {
+			unixSec = minSec
+		} else if unixSec > maxSec {
+			unixSec = maxSec
+		}
+		msg := Report{DeviceID: dev, MasterAddr: master, Measurements: []Measurement{{
+			Seq: seq, Timestamp: time.Unix(unixSec, 123).UTC(), Interval: time.Duration(interval),
+			Current: units.Current(cur), Voltage: units.Voltage(volt), Energy: units.Energy(en),
+			Buffered: buffered,
+		}}}
+		b, err := Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("decode own encoding of %+v: %v", msg, err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, msg)
+		}
+	})
+}

@@ -12,20 +12,42 @@ import (
 type Time = time.Duration
 
 // Event is a scheduled callback. Events compare by (at, seq) so two events
-// scheduled for the same instant execute in scheduling order.
+// scheduled for the same instant execute in scheduling order. Event objects
+// are pooled: once an event runs or is cancelled, the environment recycles
+// it for the next Schedule, so the steady-state kernel does not allocate.
+// Callers never hold *Event directly — they hold an EventRef, whose
+// generation counter makes operations on recycled events safe no-ops.
 type Event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	index  int // heap index, -1 when popped or cancelled
-	cancel bool
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index, -1 when popped or recycled
+	// gen increments every time the event object is recycled; an EventRef
+	// carrying a stale generation refers to a dead scheduling.
+	gen uint64
 }
 
-// Cancelled reports whether the event was cancelled before it ran.
-func (e *Event) Cancelled() bool { return e.cancel }
+// EventRef is a handle to one scheduling of a pooled event. The zero value
+// is an invalid ref; Cancel on it (or on a ref whose event already ran or
+// was cancelled) safely returns false.
+type EventRef struct {
+	ev  *Event
+	gen uint64
+}
 
-// At returns the virtual time the event is (or was) scheduled for.
-func (e *Event) At() Time { return e.at }
+// Pending reports whether the referenced scheduling is still queued.
+func (r EventRef) Pending() bool {
+	return r.ev != nil && r.ev.gen == r.gen && r.ev.index >= 0
+}
+
+// At returns the virtual time the referenced scheduling fires at; ok is
+// false when the event already ran, was cancelled, or the ref is zero.
+func (r EventRef) At() (t Time, ok bool) {
+	if !r.Pending() {
+		return 0, false
+	}
+	return r.ev.at, true
+}
 
 type eventQueue []*Event
 
@@ -62,6 +84,7 @@ func (q *eventQueue) Pop() any {
 type Env struct {
 	now     Time
 	queue   eventQueue
+	free    []*Event // recycled event objects, LIFO for cache warmth
 	seq     uint64
 	rng     *RNG
 	stopped bool
@@ -87,9 +110,29 @@ func (e *Env) EventsRun() uint64 { return e.ran }
 // Pending returns the number of events currently queued.
 func (e *Env) Pending() int { return len(e.queue) }
 
-// Schedule runs fn after delay d (>= 0). It returns the event handle which
-// may be cancelled with Cancel before it fires.
-func (e *Env) Schedule(d Time, fn func()) *Event {
+// alloc pops a recycled event or grows the pool.
+func (e *Env) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{index: -1}
+}
+
+// recycle retires an event that ran or was cancelled. Bumping the
+// generation invalidates every outstanding EventRef to this scheduling.
+func (e *Env) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+// Schedule runs fn after delay d (>= 0). It returns a ref which may be
+// cancelled with Cancel before the event fires.
+func (e *Env) Schedule(d Time, fn func()) EventRef {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: Schedule with negative delay %v", d))
 	}
@@ -97,29 +140,33 @@ func (e *Env) Schedule(d Time, fn func()) *Event {
 		panic("sim: Schedule with nil fn")
 	}
 	e.seq++
-	ev := &Event{at: e.now + d, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = e.now + d
+	ev.seq = e.seq
+	ev.fn = fn
 	heap.Push(&e.queue, ev)
-	return ev
+	return EventRef{ev: ev, gen: ev.gen}
 }
 
 // ScheduleAt runs fn at absolute virtual time t, which must not be in the
 // past.
-func (e *Env) ScheduleAt(t Time, fn func()) *Event {
+func (e *Env) ScheduleAt(t Time, fn func()) EventRef {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: ScheduleAt %v is before now %v", t, e.now))
 	}
 	return e.Schedule(t-e.now, fn)
 }
 
-// Cancel removes ev from the queue if it has not run yet. Cancelling an
-// already-run or already-cancelled event is a no-op. Returns true if the
-// event was removed.
-func (e *Env) Cancel(ev *Event) bool {
-	if ev == nil || ev.cancel || ev.index < 0 {
+// Cancel removes the referenced scheduling from the queue if it has not run
+// yet. Cancelling an already-run, already-cancelled or zero ref is a safe
+// no-op. Returns true if the event was removed.
+func (e *Env) Cancel(r EventRef) bool {
+	ev := r.ev
+	if ev == nil || ev.gen != r.gen || ev.index < 0 {
 		return false
 	}
-	ev.cancel = true
 	heap.Remove(&e.queue, ev.index)
+	e.recycle(ev)
 	return true
 }
 
@@ -138,7 +185,12 @@ func (e *Env) Step() bool {
 	}
 	e.now = ev.at
 	e.ran++
-	ev.fn()
+	fn := ev.fn
+	// Recycle before running so fn can immediately reuse the object for
+	// its next Schedule; the ref handed out for this scheduling is dead
+	// either way.
+	e.recycle(ev)
+	fn()
 	return true
 }
 
@@ -172,7 +224,7 @@ func (e *Env) Ticker(period Time, fn func(Time)) (stop func()) {
 		panic("sim: Ticker with non-positive period")
 	}
 	stopped := false
-	var ev *Event
+	var ev EventRef
 	var tick func()
 	tick = func() {
 		if stopped {
@@ -191,4 +243,4 @@ func (e *Env) Ticker(period Time, fn func(Time)) (stop func()) {
 }
 
 // After is a readability helper equivalent to Schedule.
-func (e *Env) After(d Time, fn func()) *Event { return e.Schedule(d, fn) }
+func (e *Env) After(d Time, fn func()) EventRef { return e.Schedule(d, fn) }

@@ -53,6 +53,9 @@ func TestCancel(t *testing.T) {
 	env := NewEnv(1)
 	ran := false
 	ev := env.Schedule(time.Second, func() { ran = true })
+	if !ev.Pending() {
+		t.Fatal("scheduled event not pending")
+	}
 	if !env.Cancel(ev) {
 		t.Fatal("Cancel returned false for pending event")
 	}
@@ -63,8 +66,64 @@ func TestCancel(t *testing.T) {
 	if ran {
 		t.Fatal("cancelled event ran")
 	}
-	if !ev.Cancelled() {
-		t.Fatal("event not marked cancelled")
+	if ev.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+}
+
+func TestCancelStaleRefAfterRecycle(t *testing.T) {
+	// The pool may hand the same Event object to a later Schedule; a ref
+	// from the earlier scheduling must not cancel the new one.
+	env := NewEnv(1)
+	first := env.Schedule(time.Second, func() {})
+	env.Run() // first runs, its object returns to the free list
+	ran := false
+	second := env.Schedule(time.Second, func() { ran = true })
+	if env.Cancel(first) {
+		t.Fatal("stale ref cancelled something")
+	}
+	if !second.Pending() {
+		t.Fatal("second scheduling lost")
+	}
+	env.Run()
+	if !ran {
+		t.Fatal("second event did not run: stale ref cancelled it")
+	}
+}
+
+func TestCancelZeroRef(t *testing.T) {
+	env := NewEnv(1)
+	if env.Cancel(EventRef{}) {
+		t.Fatal("zero ref cancelled")
+	}
+	if (EventRef{}).Pending() {
+		t.Fatal("zero ref pending")
+	}
+}
+
+func TestEventRefAt(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.Schedule(3*time.Second, func() {})
+	if at, ok := ev.At(); !ok || at != 3*time.Second {
+		t.Fatalf("At() = %v, %v; want 3s, true", at, ok)
+	}
+	env.Run()
+	if _, ok := ev.At(); ok {
+		t.Fatal("At() ok after event ran")
+	}
+}
+
+func TestScheduleZeroAllocSteadyState(t *testing.T) {
+	// One event in flight at a time: after warm-up, Schedule must reuse
+	// the pooled Event and the heap slot — zero allocations per cycle.
+	env := NewEnv(1)
+	fn := func() {}
+	allocs := testing.AllocsPerRun(500, func() {
+		env.Schedule(time.Millisecond, fn)
+		env.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Step steady state: %v allocs/op, want 0", allocs)
 	}
 }
 

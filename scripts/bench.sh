@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench.sh — run the report-hot-path benchmarks and emit BENCH_report.json.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# The JSON artifact pins ns/op, B/op and allocs/op for every hot-path
+# benchmark so the perf trajectory is diffable across PRs. Run from anywhere;
+# output defaults to BENCH_report.json at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_report.json}"
+benches='BenchmarkProtocolEncodeDecode|BenchmarkMQTTTopicMatch|BenchmarkSimKernel|BenchmarkChainAppend|BenchmarkReportPath|BenchmarkBrokerFanout|BenchmarkStoreAndForward'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$benches" -benchmem ./... | tee "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i-1)
+        if ($(i) == "B/op")      bytes = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    entry = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+    if (bytes != "")  entry = entry sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") entry = entry sprintf(", \"allocs_per_op\": %s", allocs)
+    entry = entry "}"
+    entries[n++] = entry
+}
+END {
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"git_rev\": \"%s\",\n", rev
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out"
