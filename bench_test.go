@@ -9,18 +9,23 @@ package decentmeter
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"decentmeter/internal/aggregator"
 	"decentmeter/internal/anomaly"
 	"decentmeter/internal/backhaul"
 	"decentmeter/internal/blockchain"
+	"decentmeter/internal/core"
 	"decentmeter/internal/energy"
 	"decentmeter/internal/mqtt"
 	"decentmeter/internal/protocol"
 	"decentmeter/internal/sensor"
 	"decentmeter/internal/sim"
 	"decentmeter/internal/store"
+	"decentmeter/internal/tdma"
 	"decentmeter/internal/units"
 )
 
@@ -319,6 +324,117 @@ func BenchmarkStoreAndForward(b *testing.B) {
 			q.Drain(10)
 		}
 	}
+}
+
+// --- sharded aggregator ingest ---------------------------------------------------
+
+// BenchmarkAggregatorIngestSharded measures the aggregator's report path
+// at fleet scale: a 20k-device membership, eight concurrent producer
+// goroutines, one report per op. The shards=1 case funnels every producer
+// through a single lock (the pre-shard architecture); shards=8 gives each
+// producer shard affinity so ingest locks never contend. The speedup is
+// hardware-dependent: it needs real cores to show (single-core containers
+// serialize both cases), which is why BENCH_report.json numbers must be
+// read against the machine that produced them.
+func BenchmarkAggregatorIngestSharded(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchAggregatorIngest(b, 20000, shards, 8)
+		})
+	}
+}
+
+func benchAggregatorIngest(b *testing.B, devices, shards, producers int) {
+	prev := runtime.GOMAXPROCS(producers)
+	defer runtime.GOMAXPROCS(prev)
+
+	env := sim.NewEnv(1)
+	mesh := backhaul.NewMesh(env, time.Millisecond)
+	load := &sensor.StaticLoad{I: 100 * units.Ampere, V: 5 * units.Volt}
+	bus := sensor.NewBus()
+	ina := sensor.NewINA219(load, sensor.INA219Config{Seed: 1, ShuntOhms: 0.001})
+	if err := bus.Attach(sensor.AddrINA219Default, ina); err != nil {
+		b.Fatal(err)
+	}
+	meter, err := sensor.NewMeter(bus, sensor.AddrINA219Default, 400*units.Ampere, 0.001)
+	if err != nil {
+		b.Fatal(err)
+	}
+	signer, _ := blockchain.NewSigner("bench-agg")
+	auth := blockchain.NewAuthority()
+	auth.Admit("bench-agg", signer.Public())
+	pitch := (100 * time.Millisecond) / time.Duration(devices+1)
+	agg, err := aggregator.New(aggregator.Config{
+		ID:        "bench-agg",
+		Env:       env,
+		HeadMeter: meter,
+		WallClock: time.Now,
+		Mesh:      mesh,
+		Chain:     blockchain.NewChain(auth),
+		Signer:    signer,
+		SendToDevice: func(string, protocol.Message) error {
+			return nil
+		},
+		Slots:             tdma.Config{Superframe: 100 * time.Millisecond, SlotLen: pitch * 4 / 5, Guard: pitch / 5},
+		Shards:            shards,
+		MaxPendingRecords: 1 << 16, // bound bench memory; the ring overwrite is the steady state
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]string, devices)
+	deviceShard := make([]int, devices)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-dev-%05d", i)
+		agg.HandleDeviceMessage(ids[i], protocol.Register{DeviceID: ids[i]})
+		deviceShard[i] = agg.ShardIndex(ids[i])
+	}
+	if got := len(agg.Members()); got != devices {
+		b.Fatalf("%d of %d devices admitted", got, devices)
+	}
+	assign := core.FleetAssign(deviceShard, shards, producers)
+
+	perProducer := b.N / producers
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		n := perProducer
+		if p == 0 {
+			n += b.N % producers
+		}
+		if len(assign[p]) == 0 || n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(p, n int) {
+			defer wg.Done()
+			mine := assign[p]
+			seqs := make([]uint64, len(mine))
+			scratch := make([]protocol.Measurement, 1)
+			for i := 0; i < n; i++ {
+				k := i % len(mine)
+				seqs[k]++
+				scratch[0] = protocol.Measurement{
+					Seq:      seqs[k],
+					Interval: 100 * time.Millisecond,
+					Current:  5 * units.Milliampere,
+					Voltage:  5 * units.Volt,
+				}
+				agg.HandleDeviceMessage(ids[mine[k]], protocol.Report{
+					DeviceID:     ids[mine[k]],
+					Measurements: scratch,
+				})
+			}
+		}(p, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	accepted, _, _ := agg.Stats()
+	if accepted == 0 {
+		b.Fatal("nothing ingested")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reports/s")
 }
 
 // --- simulation kernel throughput -------------------------------------------------

@@ -4,10 +4,14 @@
 //	experiments -fig 6            # Fig. 6: mobility trace at Aggregator 1
 //	experiments -handshake        # Thandshake over 15 runs (§III-B.b)
 //	experiments -fraud            # tamper detection scenario
+//	experiments -fleet            # fleet-scale sharded ingest (-devices, -shards)
 //	experiments -all              # everything
 //
 // Use -seed to vary the deterministic run and -chain to export the sealed
-// blockchain of the Fig. 5 run for inspection with chainctl.
+// blockchain of the Fig. 5 run for inspection with chainctl. The fleet
+// scenario drives one aggregator at -devices (default 20000) simulated
+// devices across -shards ingest shards with ack loss, retransmission,
+// roaming and churn; see internal/core.RunFleet.
 package main
 
 import (
@@ -23,10 +27,15 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (5 or 6)")
 	handshake := flag.Bool("handshake", false, "run the 15-trial Thandshake measurement")
 	fraud := flag.Bool("fraud", false, "run the tamper-detection scenario")
+	fleet := flag.Bool("fleet", false, "run the fleet-scale sharded ingest scenario")
 	all := flag.Bool("all", false, "run every experiment")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	seconds := flag.Int("seconds", 9, "Fig. 5 measurement windows")
 	chainOut := flag.String("chain", "", "write the Fig. 5 blockchain to this file")
+	devices := flag.Int("devices", 20000, "fleet scenario device count")
+	shards := flag.Int("shards", 8, "fleet scenario aggregator ingest shards")
+	fleetSeconds := flag.Int("fleet-seconds", 3, "fleet scenario simulated seconds")
+	loss := flag.Float64("loss", 0.02, "fleet scenario uplink/ack loss rate")
 	flag.Parse()
 
 	p := core.DefaultParams()
@@ -54,6 +63,12 @@ func main() {
 	if *all || *fraud {
 		ran = true
 		if err := runFraud(p); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *fleet {
+		ran = true
+		if err := runFleet(*devices, *shards, *fleetSeconds, *loss, *seed); err != nil {
 			fatal(err)
 		}
 	}
@@ -105,6 +120,22 @@ func runHandshake(p core.Params) error {
 	}
 	fmt.Printf("  min %.3fs  mean %.3fs  max %.3fs\n",
 		stats.Min.Seconds(), stats.Mean.Seconds(), stats.Max.Seconds())
+	fmt.Println()
+	return nil
+}
+
+func runFleet(devices, shards, seconds int, loss float64, seed uint64) error {
+	res, err := core.RunFleet(core.FleetConfig{
+		Devices:  devices,
+		Shards:   shards,
+		Seconds:  seconds,
+		LossRate: loss,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	core.WriteFleet(os.Stdout, res)
 	fmt.Println()
 	return nil
 }

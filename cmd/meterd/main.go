@@ -2,7 +2,7 @@
 // MQTT 3.1.1 broker plus the registration / report / blockchain pipeline,
 // mirroring the Raspberry Pi aggregators of the paper's testbed.
 //
-//	meterd -id agg1 -addr :1883 -chain agg1.chain
+//	meterd -id agg1 -addr :1883 -chain agg1.chain -shards 8
 //
 // Devices (cmd/devicesim or real firmware speaking the protocol envelopes)
 // connect over TCP, publish protocol.Register to meters/agg1/register and
@@ -10,6 +10,11 @@
 // meters/agg1/<device>/control. Verified records seal into a block every
 // -block interval and persist to the -chain file on shutdown (and
 // periodically), where chainctl can verify them.
+//
+// Report ingest is sharded: devices hash onto -shards ingest shards, each
+// owning its members' sequence tracking and pending-record batch under its
+// own lock, so concurrent broker sessions publishing for different shards
+// never contend. The seal loop merges the per-shard batches into one block.
 package main
 
 import (
@@ -20,27 +25,39 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"decentmeter/internal/aggregator"
 	"decentmeter/internal/blockchain"
 	"decentmeter/internal/mqtt"
 	"decentmeter/internal/protocol"
 )
 
-type server struct {
-	mu sync.Mutex
+// maxSealBacklog caps records retained across failing seals; beyond it the
+// oldest are dropped (recency matters most for billing reconciliation).
+const maxSealBacklog = 1 << 18
 
+type server struct {
 	id       string
 	broker   *mqtt.Broker
-	chain    *blockchain.Chain
 	signer   *blockchain.Signer
 	tmeasure time.Duration
 
-	members map[string]*member
-	pending []blockchain.Record
+	// shards own the report path; admitMu covers admission bookkeeping
+	// (slot budget and slot numbering) only.
+	shards  []*ingestShard
+	admitMu sync.Mutex
 	slots   int
 	maxSlot int
+	members atomic.Int64
+
+	// sealMu covers the chain and the merged backlog.
+	sealMu  sync.Mutex
+	chain   *blockchain.Chain
+	backlog []blockchain.Record
+	dropped uint64
 
 	chainPath string
 	logger    *log.Logger
@@ -58,6 +75,17 @@ type member struct {
 	lastSeq uint64
 }
 
+// ingestShard owns the members that hash to it and their pending records.
+type ingestShard struct {
+	mu      sync.Mutex
+	members map[string]*member
+	pending []blockchain.Record
+}
+
+func (s *server) shardFor(deviceID string) *ingestShard {
+	return s.shards[aggregator.ShardOf(deviceID, len(s.shards))]
+}
+
 func main() {
 	id := flag.String("id", "agg1", "aggregator identity")
 	addr := flag.String("addr", ":1883", "MQTT listen address")
@@ -65,6 +93,7 @@ func main() {
 	tmeasure := flag.Duration("tmeasure", 100*time.Millisecond, "mandated reporting interval")
 	blockEvery := flag.Duration("block", time.Second, "block sealing interval")
 	slots := flag.Int("slots", 40, "TDMA slot budget (device admission limit)")
+	shards := flag.Int("shards", 1, "report ingest shards (device-hash partitions)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "meterd ", log.LstdFlags|log.Lmsgprefix)
@@ -76,17 +105,23 @@ func main() {
 	if err := auth.Admit(*id, signer.Public()); err != nil {
 		logger.Fatal(err)
 	}
+	if *shards < 1 {
+		*shards = 1
+	}
 	s := &server{
 		id:                *id,
 		chain:             blockchain.NewChain(auth),
 		signer:            signer,
 		tmeasure:          *tmeasure,
-		members:           make(map[string]*member),
+		shards:            make([]*ingestShard, *shards),
 		slots:             *slots,
 		chainPath:         *chainPath,
 		logger:            logger,
 		registerTopic:     protocol.RegisterTopic(*id),
 		deviceTopicPrefix: "meters/" + *id + "/",
+	}
+	for i := range s.shards {
+		s.shards[i] = &ingestShard{members: make(map[string]*member)}
 	}
 	s.broker = mqtt.NewBroker(mqtt.BrokerOptions{
 		Logger:    logger,
@@ -105,7 +140,8 @@ func main() {
 		os.Exit(0)
 	}()
 
-	logger.Printf("aggregator %s listening on %s (Tmeasure=%v, %d slots)", *id, *addr, *tmeasure, *slots)
+	logger.Printf("aggregator %s listening on %s (Tmeasure=%v, %d slots, %d shards)",
+		*id, *addr, *tmeasure, *slots, *shards)
 	if err := s.broker.ListenAndServe(*addr); err != nil {
 		logger.Fatal(err)
 	}
@@ -155,22 +191,39 @@ func (s *server) sendControl(deviceID string, msg protocol.Message) {
 	}
 }
 
+// sendControlAsync publishes off the caller's lock (the broker has its own
+// locking and may call back into OnPublish).
+func (s *server) sendControlAsync(deviceID string, msg protocol.Message) {
+	go s.sendControl(deviceID, msg)
+}
+
 func (s *server) handleRegister(reg protocol.Register) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if m, ok := s.members[reg.DeviceID]; ok {
-		s.sendControlLocked(reg.DeviceID, protocol.RegisterAck{
+	sh := s.shardFor(reg.DeviceID)
+	sh.mu.Lock()
+	if m, ok := sh.members[reg.DeviceID]; ok {
+		ack := protocol.RegisterAck{
 			DeviceID: reg.DeviceID, Kind: m.kind, AggregatorID: s.id,
 			Slot: m.slot, Tmeasure: s.tmeasure,
-		})
+		}
+		sh.mu.Unlock()
+		s.sendControlAsync(reg.DeviceID, ack)
 		return
 	}
-	if len(s.members) >= s.slots {
-		s.sendControlLocked(reg.DeviceID, protocol.RegisterNack{
+	sh.mu.Unlock()
+
+	s.admitMu.Lock()
+	if int(s.members.Load()) >= s.slots {
+		s.admitMu.Unlock()
+		s.sendControlAsync(reg.DeviceID, protocol.RegisterNack{
 			DeviceID: reg.DeviceID, Reason: "no free time-slots",
 		})
 		return
 	}
+	slot := s.maxSlot
+	s.maxSlot++
+	s.members.Add(1)
+	s.admitMu.Unlock()
+
 	kind := protocol.MemberMaster
 	home := s.id
 	if reg.MasterAddr != "" && reg.MasterAddr != s.id {
@@ -182,42 +235,49 @@ func (s *server) handleRegister(reg protocol.Register) {
 		home = reg.MasterAddr
 		s.logger.Printf("temporary membership for %s (home %s)", reg.DeviceID, home)
 	}
-	m := &member{kind: kind, home: home, slot: s.maxSlot}
-	s.maxSlot++
-	s.members[reg.DeviceID] = m
-	s.logger.Printf("registered %s (%s, slot %d)", reg.DeviceID, kind, m.slot)
-	s.sendControlLocked(reg.DeviceID, protocol.RegisterAck{
-		DeviceID: reg.DeviceID, Kind: kind, AggregatorID: s.id,
+	m := &member{kind: kind, home: home, slot: slot}
+	sh.mu.Lock()
+	if _, ok := sh.members[reg.DeviceID]; ok {
+		// Lost a registration race; release the slot budget we took.
+		m = sh.members[reg.DeviceID]
+		sh.mu.Unlock()
+		s.members.Add(-1)
+	} else {
+		sh.members[reg.DeviceID] = m
+		sh.mu.Unlock()
+		s.logger.Printf("registered %s (%s, slot %d)", reg.DeviceID, kind, m.slot)
+	}
+	s.sendControlAsync(reg.DeviceID, protocol.RegisterAck{
+		DeviceID: reg.DeviceID, Kind: m.kind, AggregatorID: s.id,
 		Slot: m.slot, Tmeasure: s.tmeasure,
 	})
 }
 
-// sendControlLocked is sendControl for callers already holding mu.
-func (s *server) sendControlLocked(deviceID string, msg protocol.Message) {
-	// Publishing must not hold the mutex (broker has its own locking and
-	// may call back into OnPublish).
-	go s.sendControl(deviceID, msg)
-}
-
 func (s *server) handleReport(rep protocol.Report) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m, ok := s.members[rep.DeviceID]
+	sh := s.shardFor(rep.DeviceID)
+	sh.mu.Lock()
+	m, ok := sh.members[rep.DeviceID]
 	if !ok {
-		var lastSeq uint64
-		if len(rep.Measurements) > 0 {
-			lastSeq = rep.Measurements[len(rep.Measurements)-1].Seq
-		}
-		s.sendControlLocked(rep.DeviceID, protocol.ReportNack{
-			DeviceID: rep.DeviceID, Seq: lastSeq, Reason: "not a member",
+		sh.mu.Unlock()
+		s.sendControlAsync(rep.DeviceID, protocol.ReportNack{
+			DeviceID: rep.DeviceID, Seq: aggregator.MaxSeq(rep.Measurements), Reason: "not a member",
 		})
 		return
 	}
+	// Ingest everything beyond the pre-batch high-water mark, then
+	// acknowledge and advance by the batch maximum: an unsorted batch
+	// (buffered tail) must not drop interior measurements or ack a stale
+	// seq that would force needless retransmission.
+	prev := m.lastSeq
+	var maxSeq uint64
 	for _, meas := range rep.Measurements {
-		if meas.Seq <= m.lastSeq {
+		if meas.Seq > maxSeq {
+			maxSeq = meas.Seq
+		}
+		if meas.Seq <= prev {
 			continue
 		}
-		s.pending = append(s.pending, blockchain.Record{
+		sh.pending = append(sh.pending, blockchain.Record{
 			DeviceID:       rep.DeviceID,
 			Seq:            meas.Seq,
 			HomeAggregator: m.home,
@@ -229,40 +289,59 @@ func (s *server) handleReport(rep protocol.Report) {
 			Energy:         meas.Energy,
 			Buffered:       meas.Buffered,
 		})
-		m.lastSeq = meas.Seq
 	}
+	if maxSeq > m.lastSeq {
+		m.lastSeq = maxSeq
+	}
+	sh.mu.Unlock()
 	if len(rep.Measurements) > 0 {
-		s.sendControlLocked(rep.DeviceID, protocol.ReportAck{
+		s.sendControlAsync(rep.DeviceID, protocol.ReportAck{
 			DeviceID: rep.DeviceID,
-			Seq:      rep.Measurements[len(rep.Measurements)-1].Seq,
+			Seq:      maxSeq,
 		})
 	}
+}
+
+// mergeAndSeal folds the per-shard batches into the backlog and seals one
+// block; on failure the backlog is retained, bounded by maxSealBacklog with
+// drop-oldest.
+func (s *server) mergeAndSeal(at time.Time) {
+	s.sealMu.Lock()
+	defer s.sealMu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		s.backlog = append(s.backlog, sh.pending...)
+		sh.pending = sh.pending[:0]
+		sh.mu.Unlock()
+	}
+	if over := len(s.backlog) - maxSealBacklog; over > 0 {
+		copy(s.backlog, s.backlog[over:])
+		s.backlog = s.backlog[:maxSealBacklog]
+		s.dropped += uint64(over)
+		s.logger.Printf("seal backlog full: dropped %d oldest records (%d total)", over, s.dropped)
+	}
+	if len(s.backlog) == 0 {
+		return
+	}
+	if _, err := s.chain.Seal(s.signer, at, s.backlog); err != nil {
+		s.logger.Printf("seal: %v (%d records retained)", err, len(s.backlog))
+		return
+	}
+	s.backlog = s.backlog[:0]
 }
 
 func (s *server) sealLoop(every time.Duration) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for range t.C {
-		s.mu.Lock()
-		if len(s.pending) > 0 {
-			if _, err := s.chain.Seal(s.signer, time.Now(), s.pending); err != nil {
-				s.logger.Printf("seal: %v", err)
-			} else {
-				s.pending = s.pending[:0]
-			}
-		}
-		s.mu.Unlock()
+		s.mergeAndSeal(time.Now())
 	}
 }
 
 func (s *server) persist() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.pending) > 0 {
-		if _, err := s.chain.Seal(s.signer, time.Now(), s.pending); err == nil {
-			s.pending = s.pending[:0]
-		}
-	}
+	s.mergeAndSeal(time.Now())
+	s.sealMu.Lock()
+	defer s.sealMu.Unlock()
 	if s.chain.Length() == 0 {
 		return
 	}

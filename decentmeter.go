@@ -38,6 +38,15 @@ type Params = core.Params
 // backhaul + blockchain over a deterministic discrete-event simulation.
 type System = core.System
 
+// FleetConfig parameterizes the fleet-scale scenario: one aggregator with
+// sharded ingest (Params.AggregatorShards in full-system runs) driven at
+// tens of thousands of devices with loss, retransmission, roaming and
+// churn.
+type FleetConfig = core.FleetConfig
+
+// FleetResult is the fleet scenario outcome.
+type FleetResult = core.FleetResult
+
 // Fig5Result is the decentralized-vs-centralized metering outcome (paper
 // Fig. 5).
 type Fig5Result = core.Fig5Result
@@ -83,6 +92,12 @@ func RunHandshakeTrials(p Params, n int) (HandshakeStats, error) {
 func RunFraud(p Params, honest, tampered time.Duration) (FraudResult, error) {
 	return core.RunFraud(p, honest, tampered)
 }
+
+// RunFleet drives one aggregator's sharded ingest pipeline at fleet scale
+// (default 20000 devices across 8 shards) under ack loss, retransmission,
+// out-of-order buffered tails, roaming and membership churn, verifying
+// every window against the feeder-head measurement.
+func RunFleet(cfg FleetConfig) (FleetResult, error) { return core.RunFleet(cfg) }
 
 // DefaultESP32Load returns a load shaped like the paper's Sparkfun ESP32
 // Thing devices (~45 mA idle, ~120 mA transmit bursts every 100 ms).

@@ -5,12 +5,32 @@
 // membership transfer and removal (sequence 3), validates reported
 // consumption against its own system-level complementary measurement, and
 // seals verified records into the shared permissioned blockchain.
+//
+// # Sharded ingest
+//
+// Devices hash onto Config.Shards ingest shards (FNV-1a on the device ID).
+// Each shard owns its members' sequence tracking, window accumulation and
+// pending-record batch under its own lock, so the report path never takes a
+// cross-shard or aggregator-wide lock; closeWindow is the merge step that
+// folds the per-shard partials into one WindowReport and one sealed block.
+// Shards = 1 reproduces the original single-state-machine semantics.
+//
+// Inside the DES everything runs on the simulation goroutine, but the
+// report path (HandleDeviceMessage with Report batches, and ForwardReport
+// over the backhaul) is safe for concurrent use from multiple goroutines —
+// as the fleet driver and ingest benchmark exercise — provided the
+// simulation clock is not being advanced concurrently and the configured
+// callbacks (SendToDevice, WallClock) are themselves thread-safe. Backhaul
+// sends from the report path are serialized internally so concurrent shard
+// ingest cannot interleave inside the mesh scheduler.
 package aggregator
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"decentmeter/internal/anomaly"
@@ -56,6 +76,12 @@ type WindowReport struct {
 	Culprit string
 }
 
+// DefaultMaxPendingRecords bounds the records buffered toward the next
+// chain seal when Config.MaxPendingRecords is zero. At the paper's 100 ms
+// Tmeasure this is ~26k device-seconds of backlog before drop-oldest kicks
+// in.
+const DefaultMaxPendingRecords = 1 << 18
+
 // Config assembles an aggregator.
 type Config struct {
 	// ID is the aggregator identity (AP SSID, mesh address, producer ID).
@@ -87,39 +113,55 @@ type Config struct {
 	SumCheck anomaly.SumCheckConfig
 	// Registry receives live telemetry (optional).
 	Registry *telemetry.Registry
+	// Shards is the number of ingest shards devices hash onto (default 1,
+	// the original single-state-machine layout). Reports for devices on
+	// different shards never contend on a lock.
+	Shards int
+	// MaxPendingRecords caps the records buffered toward the next chain
+	// seal, across all shards. When sealing keeps failing the backlog
+	// drops oldest records instead of growing without bound; drops are
+	// counted in the "<ID>.records_dropped" telemetry counter and
+	// DroppedRecords. Default DefaultMaxPendingRecords.
+	MaxPendingRecords int
 }
 
 // Aggregator is one network's trusted unit.
 type Aggregator struct {
 	cfg Config
 
-	members map[string]*Membership
-	sched   *tdma.Schedule
+	// shards own all per-device report-path state; see package doc.
+	shards []*ingestShard
 
-	// pendingVerify holds roaming registrations awaiting home
-	// confirmation.
+	// mu guards the control plane: the slot schedule, pending roaming
+	// verifications, window/ground accounting and the seal backlog. Lock
+	// order is mu before any shard.mu; the report path takes only shard
+	// locks.
+	mu            sync.Mutex
+	sched         *tdma.Schedule
 	pendingVerify map[string]pendingReg
-
-	// pendingRecords accumulate until the next block seal.
-	pendingRecords []blockchain.Record
-
-	// window accounting.
 	windowStart   time.Duration
 	groundSamples []units.Current
-	windowReports map[string][]units.Current
 	windows       []WindowReport
+	// backlog holds merged records awaiting a successful Chain.Seal,
+	// bounded by MaxPendingRecords with drop-oldest overflow.
+	backlog     boundedRecords
+	sealScratch []blockchain.Record
+	// winScratch accumulates per-device window partials during the merge.
+	winScratch map[string]departedAccum
 
-	// per-device baselines for culprit identification.
-	baselines map[string]*anomaly.Deviation
+	// meshMu serializes backhaul sends issued from the report path so
+	// concurrent shard ingest cannot interleave inside the mesh scheduler.
+	meshMu sync.Mutex
 
-	// deviceTrace records per-device reported current for Fig. 6.
 	stopSampling func()
 	stopSealing  func()
 
 	// counters
-	reportsAccepted uint64
-	reportsNacked   uint64
-	blocksSealed    uint64
+	memberCount     atomic.Int64
+	reportsAccepted atomic.Uint64
+	reportsNacked   atomic.Uint64
+	blocksSealed    atomic.Uint64
+	recordsDropped  atomic.Uint64
 }
 
 type pendingReg struct {
@@ -155,17 +197,33 @@ func New(cfg Config) (*Aggregator, error) {
 	if cfg.SumCheck.MaxGapFraction == 0 {
 		cfg.SumCheck = anomaly.DefaultSumCheck()
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > 4096 {
+		return nil, fmt.Errorf("aggregator: %d shards exceeds the 4096 limit", cfg.Shards)
+	}
+	if cfg.MaxPendingRecords <= 0 {
+		cfg.MaxPendingRecords = DefaultMaxPendingRecords
+	}
 	sched, err := tdma.NewSchedule(cfg.Slots)
 	if err != nil {
 		return nil, err
 	}
+	perShard := cfg.MaxPendingRecords / cfg.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
 	a := &Aggregator{
 		cfg:           cfg,
-		members:       make(map[string]*Membership),
+		shards:        make([]*ingestShard, cfg.Shards),
 		sched:         sched,
 		pendingVerify: make(map[string]pendingReg),
-		windowReports: make(map[string][]units.Current),
-		baselines:     make(map[string]*anomaly.Deviation),
+		backlog:       boundedRecords{max: cfg.MaxPendingRecords},
+		winScratch:    make(map[string]departedAccum),
+	}
+	for i := range a.shards {
+		a.shards[i] = newShard(perShard)
 	}
 	if err := cfg.Mesh.Join(cfg.ID, a.handleBackhaul); err != nil {
 		return nil, err
@@ -179,11 +237,28 @@ func New(cfg Config) (*Aggregator, error) {
 // ID returns the aggregator identity.
 func (a *Aggregator) ID() string { return a.cfg.ID }
 
+// ShardCount returns the number of ingest shards.
+func (a *Aggregator) ShardCount() int { return len(a.shards) }
+
+// ShardIndex returns the ingest shard a device hashes onto. Fleet drivers
+// use it to give producers shard affinity.
+func (a *Aggregator) ShardIndex(deviceID string) int {
+	return ShardOf(deviceID, len(a.shards))
+}
+
+func (a *Aggregator) shardFor(deviceID string) *ingestShard {
+	return a.shards[ShardOf(deviceID, len(a.shards))]
+}
+
 // Members returns current memberships sorted by device ID.
 func (a *Aggregator) Members() []Membership {
-	out := make([]Membership, 0, len(a.members))
-	for _, m := range a.members {
-		out = append(out, *m)
+	out := make([]Membership, 0, a.memberCount.Load())
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		for _, st := range sh.devices {
+			out = append(out, st.Membership)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].DeviceID < out[j].DeviceID })
 	return out
@@ -191,21 +266,44 @@ func (a *Aggregator) Members() []Membership {
 
 // Member returns the membership for a device, if any.
 func (a *Aggregator) Member(deviceID string) (Membership, bool) {
-	m, ok := a.members[deviceID]
+	sh := a.shardFor(deviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.devices[deviceID]
 	if !ok {
 		return Membership{}, false
 	}
-	return *m, true
+	return st.Membership, true
 }
 
 // Windows returns the completed verification windows.
 func (a *Aggregator) Windows() []WindowReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return append([]WindowReport(nil), a.windows...)
 }
 
 // Stats returns (reportsAccepted, reportsNacked, blocksSealed).
 func (a *Aggregator) Stats() (uint64, uint64, uint64) {
-	return a.reportsAccepted, a.reportsNacked, a.blocksSealed
+	return a.reportsAccepted.Load(), a.reportsNacked.Load(), a.blocksSealed.Load()
+}
+
+// DroppedRecords returns how many pending records the bounded seal backlog
+// has discarded (only non-zero when sealing falls behind or fails).
+func (a *Aggregator) DroppedRecords() uint64 { return a.recordsDropped.Load() }
+
+// PendingRecords returns the records currently buffered toward the next
+// seal, across the shard batches and the merged backlog.
+func (a *Aggregator) PendingRecords() int {
+	a.mu.Lock()
+	n := a.backlog.len()
+	a.mu.Unlock()
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		n += sh.pending.len()
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Stop halts the periodic loops (used by load-balancing migrations and
@@ -234,7 +332,7 @@ func (a *Aggregator) HandleDeviceMessage(deviceID string, msg protocol.Message) 
 
 // onRegister runs sequences 1 and 2 of Fig. 3.
 func (a *Aggregator) onRegister(m protocol.Register) {
-	if cur, ok := a.members[m.DeviceID]; ok {
+	if cur, ok := a.Member(m.DeviceID); ok {
 		// Re-registration of an existing member (e.g. device rebooted):
 		// re-grant the same slot.
 		a.sendAck(cur)
@@ -247,13 +345,17 @@ func (a *Aggregator) onRegister(m protocol.Register) {
 	}
 	// Sequence 2: roaming device. Verify with its home aggregator before
 	// granting a temporary membership.
+	a.mu.Lock()
 	a.pendingVerify[m.DeviceID] = pendingReg{master: m.MasterAddr, rssi: m.RSSIDBm}
-	err := a.cfg.Mesh.Send(a.cfg.ID, m.MasterAddr, protocol.VerifyRequest{
+	a.mu.Unlock()
+	err := a.meshSend(m.MasterAddr, protocol.VerifyRequest{
 		DeviceID:  m.DeviceID,
 		Requester: a.cfg.ID,
 	})
 	if err != nil {
+		a.mu.Lock()
 		delete(a.pendingVerify, m.DeviceID)
+		a.mu.Unlock()
 		_ = a.cfg.SendToDevice(m.DeviceID, protocol.RegisterNack{
 			DeviceID: m.DeviceID,
 			Reason:   fmt.Sprintf("home %s unreachable", m.MasterAddr),
@@ -261,9 +363,18 @@ func (a *Aggregator) onRegister(m protocol.Register) {
 	}
 }
 
+// meshSend serializes backhaul sends (see meshMu).
+func (a *Aggregator) meshSend(to string, msg protocol.Message) error {
+	a.meshMu.Lock()
+	defer a.meshMu.Unlock()
+	return a.cfg.Mesh.Send(a.cfg.ID, to, msg)
+}
+
 // admit grants a membership and a slot.
 func (a *Aggregator) admit(deviceID string, kind protocol.MembershipKind, home string) {
+	a.mu.Lock()
 	slot, err := a.sched.Assign(deviceID)
+	a.mu.Unlock()
 	if err != nil {
 		_ = a.cfg.SendToDevice(deviceID, protocol.RegisterNack{
 			DeviceID: deviceID,
@@ -271,25 +382,37 @@ func (a *Aggregator) admit(deviceID string, kind protocol.MembershipKind, home s
 		})
 		return
 	}
-	mem := &Membership{
+	st := &deviceState{Membership: Membership{
 		DeviceID: deviceID,
 		Kind:     kind,
 		Home:     home,
 		Slot:     slot,
 		JoinedAt: a.cfg.Env.Now(),
+	}}
+	if a.cfg.Registry != nil {
+		st.series = a.cfg.Registry.Series(a.cfg.ID+".device."+deviceID+".ma", 100000)
 	}
-	a.members[deviceID] = mem
+	sh := a.shardFor(deviceID)
+	sh.mu.Lock()
+	// A concurrent duplicate admission is impossible here: a device still
+	// present in the shard also still owns its slot, so the Assign above
+	// would have failed with ErrAlreadyOwner.
+	sh.devices[deviceID] = st
+	sh.mu.Unlock()
+	a.memberCount.Add(1)
 	if kind == protocol.MemberMaster {
+		a.meshMu.Lock()
 		_ = a.cfg.Mesh.RegisterHome(deviceID, a.cfg.ID)
+		a.meshMu.Unlock()
 	}
-	a.sendAck(mem)
+	a.sendAck(st.Membership)
 	if a.cfg.Registry != nil {
 		a.cfg.Registry.Counter(a.cfg.ID + ".memberships").Inc()
-		a.cfg.Registry.Gauge(a.cfg.ID + ".members").Set(float64(len(a.members)))
+		a.cfg.Registry.Gauge(a.cfg.ID + ".members").Set(float64(a.memberCount.Load()))
 	}
 }
 
-func (a *Aggregator) sendAck(m *Membership) {
+func (a *Aggregator) sendAck(m Membership) {
 	_ = a.cfg.SendToDevice(m.DeviceID, protocol.RegisterAck{
 		DeviceID:     m.DeviceID,
 		Kind:         m.Kind,
@@ -299,21 +422,36 @@ func (a *Aggregator) sendAck(m *Membership) {
 	})
 }
 
-// onReport validates and stores a consumption report.
+// MaxSeq returns the highest sequence in a batch. Batches are usually
+// sorted, but a retransmission whose buffered tail carries older seqs must
+// still be acknowledged (and the high-water mark advanced) by its maximum,
+// not its last element. Exported so other ingest frontends (cmd/meterd)
+// apply the same rule.
+func MaxSeq(ms []protocol.Measurement) uint64 {
+	var max uint64
+	for _, m := range ms {
+		if m.Seq > max {
+			max = m.Seq
+		}
+	}
+	return max
+}
+
+// onReport validates and stores a consumption report. It touches only the
+// device's shard, so reports for different shards proceed concurrently.
 func (a *Aggregator) onReport(m protocol.Report) {
-	mem, ok := a.members[m.DeviceID]
+	sh := a.shardFor(m.DeviceID)
+	sh.mu.Lock()
+	st, ok := sh.devices[m.DeviceID]
 	if !ok {
+		sh.mu.Unlock()
 		// "Aggregator 2 upon receiving the consumption data sends a
 		// negative acknowledgment (Nack) to indicate the absence of
 		// membership."
-		a.reportsNacked++
-		var lastSeq uint64
-		if len(m.Measurements) > 0 {
-			lastSeq = m.Measurements[len(m.Measurements)-1].Seq
-		}
+		a.reportsNacked.Add(1)
 		_ = a.cfg.SendToDevice(m.DeviceID, protocol.ReportNack{
 			DeviceID: m.DeviceID,
-			Seq:      lastSeq,
+			Seq:      MaxSeq(m.Measurements),
 			Reason:   "not a member",
 		})
 		return
@@ -321,70 +459,41 @@ func (a *Aggregator) onReport(m protocol.Report) {
 	// Reports retransmit everything unacknowledged; ingest only what is
 	// new (Seq beyond the high-water mark) so a lost Ack cannot
 	// double-store a measurement.
-	fresh := m.Measurements[:0:0]
+	prev := st.LastSeq
+	forward := st.Kind == protocol.MemberTemporary
+	var fresh []protocol.Measurement
+	accepted := 0
+	var maxSeq uint64
 	for _, meas := range m.Measurements {
-		if meas.Seq > mem.LastSeq {
+		if meas.Seq > maxSeq {
+			maxSeq = meas.Seq
+		}
+		if meas.Seq <= prev {
+			continue
+		}
+		sh.ingestLocked(a, st, meas, a.cfg.ID)
+		accepted++
+		if forward {
 			fresh = append(fresh, meas)
 		}
 	}
-	accepted := a.ingest(mem, fresh, a.cfg.ID)
-	if len(m.Measurements) > 0 {
-		lastSeq := m.Measurements[len(m.Measurements)-1].Seq
-		if lastSeq > mem.LastSeq {
-			mem.LastSeq = lastSeq
-		}
-		_ = a.cfg.SendToDevice(m.DeviceID, protocol.ReportAck{DeviceID: m.DeviceID, Seq: lastSeq})
+	if maxSeq > st.LastSeq {
+		st.LastSeq = maxSeq
 	}
-	a.reportsAccepted += uint64(accepted)
+	home := st.Home
+	sh.mu.Unlock()
+	a.reportsAccepted.Add(uint64(accepted))
+	if len(m.Measurements) > 0 {
+		_ = a.cfg.SendToDevice(m.DeviceID, protocol.ReportAck{DeviceID: m.DeviceID, Seq: maxSeq})
+	}
 	// Temporary members' data goes home over the backhaul.
-	if mem.Kind == protocol.MemberTemporary && len(fresh) > 0 {
-		_ = a.cfg.Mesh.Send(a.cfg.ID, mem.Home, protocol.ForwardReport{
+	if len(fresh) > 0 {
+		_ = a.meshSend(home, protocol.ForwardReport{
 			DeviceID:     m.DeviceID,
 			Via:          a.cfg.ID,
 			Measurements: fresh,
 		})
 	}
-}
-
-// ingest converts measurements into chain records and window samples.
-// via names the collecting aggregator. Returns the number accepted.
-func (a *Aggregator) ingest(mem *Membership, ms []protocol.Measurement, via string) int {
-	n := 0
-	for _, meas := range ms {
-		rec := blockchain.Record{
-			DeviceID:       mem.DeviceID,
-			Seq:            meas.Seq,
-			HomeAggregator: mem.Home,
-			ReportedVia:    via,
-			Timestamp:      meas.Timestamp,
-			Interval:       meas.Interval,
-			Current:        meas.Current,
-			Voltage:        meas.Voltage,
-			Energy:         meas.Energy,
-			Buffered:       meas.Buffered,
-		}
-		a.pendingRecords = append(a.pendingRecords, rec)
-		// Only live (non-buffered) measurements feed the verification
-		// window: buffered data describes past intervals, and comparing
-		// it against the current feeder measurement would garble the
-		// sum check.
-		if !meas.Buffered {
-			a.windowReports[mem.DeviceID] = append(a.windowReports[mem.DeviceID], meas.Current)
-		}
-		if base, ok := a.baselines[mem.DeviceID]; ok {
-			base.Observe(meas.Current)
-		} else {
-			b := anomaly.NewDeviation(0, 0, 0)
-			b.Observe(meas.Current)
-			a.baselines[mem.DeviceID] = b
-		}
-		if a.cfg.Registry != nil {
-			s := a.cfg.Registry.Series(a.cfg.ID+".device."+mem.DeviceID+".ma", 100000)
-			s.Append(a.cfg.Env.Now(), meas.Current.Milliamps())
-		}
-		n++
-	}
-	return n
 }
 
 // --- backhaul handling --------------------------------------------------------------
@@ -401,29 +510,33 @@ func (a *Aggregator) handleBackhaul(from string, msg protocol.Message) {
 		a.onTransfer(m)
 	case protocol.RemoveDevice:
 		a.removeMembership(m.DeviceID)
-		_ = a.cfg.Mesh.Send(a.cfg.ID, from, protocol.RemoveAck{DeviceID: m.DeviceID})
+		_ = a.meshSend(from, protocol.RemoveAck{DeviceID: m.DeviceID})
 	}
 }
 
 // onVerifyRequest vouches (or not) for one of this network's devices.
 func (a *Aggregator) onVerifyRequest(from string, m protocol.VerifyRequest) {
-	mem, ok := a.members[m.DeviceID]
+	mem, ok := a.Member(m.DeviceID)
 	resp := protocol.VerifyResponse{DeviceID: m.DeviceID}
 	if ok && mem.Kind == protocol.MemberMaster {
 		resp.OK = true
 	} else {
 		resp.Reason = "not a master member here"
 	}
-	_ = a.cfg.Mesh.Send(a.cfg.ID, from, resp)
+	_ = a.meshSend(from, resp)
 }
 
 // onVerifyResponse completes a roaming admission.
 func (a *Aggregator) onVerifyResponse(m protocol.VerifyResponse) {
+	a.mu.Lock()
 	pend, ok := a.pendingVerify[m.DeviceID]
+	if ok {
+		delete(a.pendingVerify, m.DeviceID)
+	}
+	a.mu.Unlock()
 	if !ok {
 		return
 	}
-	delete(a.pendingVerify, m.DeviceID)
 	if !m.OK {
 		_ = a.cfg.SendToDevice(m.DeviceID, protocol.RegisterNack{
 			DeviceID: m.DeviceID,
@@ -436,19 +549,27 @@ func (a *Aggregator) onVerifyResponse(m protocol.VerifyResponse) {
 
 // onForwardReport receives a roaming home device's data collected elsewhere.
 func (a *Aggregator) onForwardReport(m protocol.ForwardReport) {
-	mem, ok := a.members[m.DeviceID]
-	if !ok || mem.Kind != protocol.MemberMaster {
+	sh := a.shardFor(m.DeviceID)
+	sh.mu.Lock()
+	st, ok := sh.devices[m.DeviceID]
+	if !ok || st.Kind != protocol.MemberMaster {
+		sh.mu.Unlock()
 		return
 	}
 	// Forwarded data is stored and billed at home but must not enter the
 	// local feeder verification window: the device draws from the
 	// foreign feeder, so only record it.
+	prev := st.LastSeq
 	n := 0
+	var maxSeq uint64
 	for _, meas := range m.Measurements {
-		if meas.Seq <= mem.LastSeq {
+		if meas.Seq > maxSeq {
+			maxSeq = meas.Seq
+		}
+		if meas.Seq <= prev {
 			continue // duplicate forward
 		}
-		rec := blockchain.Record{
+		sh.pending.push(blockchain.Record{
 			DeviceID:       m.DeviceID,
 			Seq:            meas.Seq,
 			HomeAggregator: a.cfg.ID,
@@ -459,64 +580,81 @@ func (a *Aggregator) onForwardReport(m protocol.ForwardReport) {
 			Voltage:        meas.Voltage,
 			Energy:         meas.Energy,
 			Buffered:       meas.Buffered,
-		}
-		a.pendingRecords = append(a.pendingRecords, rec)
+		})
 		n++
-		if a.cfg.Registry != nil {
-			s := a.cfg.Registry.Series(a.cfg.ID+".device."+m.DeviceID+".ma", 100000)
-			s.Append(a.cfg.Env.Now(), meas.Current.Milliamps())
+		if st.series != nil {
+			st.series.Append(a.cfg.Env.Now(), meas.Current.Milliamps())
 		}
 	}
-	if mem.LastSeq < lastSeqOf(m.Measurements) {
-		mem.LastSeq = lastSeqOf(m.Measurements)
+	if maxSeq > st.LastSeq {
+		st.LastSeq = maxSeq
 	}
-	a.reportsAccepted += uint64(n)
-}
-
-func lastSeqOf(ms []protocol.Measurement) uint64 {
-	if len(ms) == 0 {
-		return 0
-	}
-	return ms[len(ms)-1].Seq
+	sh.mu.Unlock()
+	a.reportsAccepted.Add(uint64(n))
 }
 
 // onTransfer moves a master membership to a new home (sequence 3).
 func (a *Aggregator) onTransfer(m protocol.TransferMembership) {
 	if m.NewMasterAddr == a.cfg.ID {
-		if _, ok := a.members[m.DeviceID]; !ok {
+		if _, ok := a.Member(m.DeviceID); !ok {
 			a.admit(m.DeviceID, protocol.MemberMaster, a.cfg.ID)
 		}
 		return
 	}
 	// We are the old home: drop the membership and update the directory.
 	a.removeMembership(m.DeviceID)
+	a.meshMu.Lock()
 	_ = a.cfg.Mesh.TransferHome(m.DeviceID, m.NewMasterAddr)
-	_ = a.cfg.Mesh.Send(a.cfg.ID, m.NewMasterAddr, m)
+	a.meshMu.Unlock()
+	_ = a.meshSend(m.NewMasterAddr, m)
 }
 
 // RemoveDevice deletes a device's membership entirely (loss / reset /
 // transfer-of-ownership) and tells the mesh.
 func (a *Aggregator) RemoveDevice(deviceID string) {
 	a.removeMembership(deviceID)
+	a.meshMu.Lock()
 	a.cfg.Mesh.RemoveHome(deviceID)
+	a.meshMu.Unlock()
 }
 
 func (a *Aggregator) removeMembership(deviceID string) {
-	if _, ok := a.members[deviceID]; !ok {
+	sh := a.shardFor(deviceID)
+	sh.mu.Lock()
+	st, ok := sh.devices[deviceID]
+	if !ok {
+		sh.mu.Unlock()
 		return
 	}
+	// Preserve the device's partial window: its draw up to now is still in
+	// the feeder's groundSamples, so discarding its samples would fire a
+	// false sum-check anomaly at the next closeWindow.
+	if st.winCount > 0 {
+		acc := sh.departed[deviceID]
+		acc.sum += st.winSum
+		acc.count += st.winCount
+		if st.baseline != nil {
+			acc.base = st.baseline.Mean()
+		}
+		sh.departed[deviceID] = acc
+		st.winCount = 0 // active-list entry is skipped at the next merge
+		st.winSum = 0
+	}
+	delete(sh.devices, deviceID)
+	sh.mu.Unlock()
+	a.mu.Lock()
 	_ = a.sched.Release(deviceID)
-	delete(a.members, deviceID)
-	delete(a.windowReports, deviceID)
+	a.mu.Unlock()
+	a.memberCount.Add(-1)
 	if a.cfg.Registry != nil {
-		a.cfg.Registry.Gauge(a.cfg.ID + ".members").Set(float64(len(a.members)))
+		a.cfg.Registry.Gauge(a.cfg.ID + ".members").Set(float64(a.memberCount.Load()))
 	}
 }
 
 // ReleaseTemporary discards a temporary membership ("If the device moves
 // out of Network 2, the temporary membership is immediately discarded").
 func (a *Aggregator) ReleaseTemporary(deviceID string) {
-	if mem, ok := a.members[deviceID]; ok && mem.Kind == protocol.MemberTemporary {
+	if mem, ok := a.Member(deviceID); ok && mem.Kind == protocol.MemberTemporary {
 		a.removeMembership(deviceID)
 	}
 }
@@ -529,33 +667,90 @@ func (a *Aggregator) sampleGround() {
 	if err != nil || r.Overflow {
 		return
 	}
+	a.mu.Lock()
 	a.groundSamples = append(a.groundSamples, r.Current)
+	a.mu.Unlock()
 	if a.cfg.Registry != nil {
 		s := a.cfg.Registry.Series(a.cfg.ID+".ground.ma", 100000)
 		s.Append(a.cfg.Env.Now(), r.Current.Milliamps())
 	}
 }
 
-// closeWindow runs the complementary-measurement verification and seals a
-// block from the accumulated records.
+// closeWindow merges the per-shard window partials into one WindowReport,
+// runs the complementary-measurement verification, and seals a block from
+// the accumulated records.
 func (a *Aggregator) closeWindow() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
 	w := WindowReport{Start: a.windowStart, PerDevice: make(map[string]units.Current)}
 	a.windowStart = a.cfg.Env.Now()
 
 	w.Ground = meanCurrent(a.groundSamples)
 	a.groundSamples = a.groundSamples[:0]
 
-	expected := make(map[string]units.Current, len(a.windowReports))
-	for dev, samples := range a.windowReports {
-		mean := meanCurrent(samples)
+	// Merge step: fold each shard's partials (window accumulators,
+	// departed partials, pending batch) under that shard's lock only.
+	var droppedDelta uint64
+	for dev := range a.winScratch {
+		delete(a.winScratch, dev)
+	}
+	expected := make(map[string]units.Current)
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		for _, st := range sh.active {
+			if st.winCount == 0 {
+				continue // departed (or already reset) mid-window
+			}
+			acc := a.winScratch[st.DeviceID]
+			acc.sum += st.winSum
+			acc.count += st.winCount
+			if st.baseline != nil {
+				acc.base = st.baseline.Mean()
+			}
+			a.winScratch[st.DeviceID] = acc
+			st.winSum = 0
+			st.winCount = 0
+		}
+		sh.active = sh.active[:0]
+		for dev, acc := range sh.departed {
+			prev := a.winScratch[dev]
+			prev.sum += acc.sum
+			prev.count += acc.count
+			if prev.base == 0 {
+				prev.base = acc.base
+			}
+			a.winScratch[dev] = prev
+			delete(sh.departed, dev)
+		}
+		a.sealScratch = sh.pending.appendOrdered(a.sealScratch)
+		sh.pending.reset()
+		droppedDelta += sh.pending.takeDropped()
+		sh.mu.Unlock()
+	}
+	for dev, acc := range a.winScratch {
+		if acc.count == 0 {
+			continue
+		}
+		mean := units.Current(acc.sum / int64(acc.count))
 		w.PerDevice[dev] = mean
 		w.Reported += mean
-		if base, ok := a.baselines[dev]; ok {
-			expected[dev] = base.Mean()
+		if acc.base != 0 {
+			expected[dev] = acc.base
 		}
 	}
-	for dev := range a.windowReports {
-		delete(a.windowReports, dev)
+	// Move the merged records into the bounded backlog (drop-oldest when
+	// sealing has fallen behind).
+	for _, rec := range a.sealScratch {
+		a.backlog.push(rec)
+	}
+	a.sealScratch = a.sealScratch[:0]
+	droppedDelta += a.backlog.takeDropped()
+	if droppedDelta > 0 {
+		a.recordsDropped.Add(droppedDelta)
+		if a.cfg.Registry != nil {
+			a.cfg.Registry.Counter(a.cfg.ID + ".records_dropped").Add(float64(droppedDelta))
+		}
 	}
 
 	if len(w.PerDevice) > 0 || w.Ground > 0 {
@@ -575,15 +770,19 @@ func (a *Aggregator) closeWindow() {
 		}
 	}
 
-	// Seal the pending records ("Update Blockchain" in Fig. 3).
-	if len(a.pendingRecords) > 0 {
-		if _, err := a.cfg.Chain.Seal(a.cfg.Signer, a.cfg.WallClock(), a.pendingRecords); err == nil {
-			a.blocksSealed++
-			a.pendingRecords = a.pendingRecords[:0]
+	// Seal the backlog ("Update Blockchain" in Fig. 3). On failure the
+	// records stay buffered — bounded by MaxPendingRecords — and the next
+	// window retries.
+	if a.backlog.len() > 0 {
+		a.sealScratch = a.backlog.appendOrdered(a.sealScratch[:0])
+		if _, err := a.cfg.Chain.Seal(a.cfg.Signer, a.cfg.WallClock(), a.sealScratch); err == nil {
+			a.blocksSealed.Add(1)
+			a.backlog.reset()
 			if a.cfg.Registry != nil {
 				a.cfg.Registry.Counter(a.cfg.ID + ".blocks").Inc()
 			}
 		}
+		a.sealScratch = a.sealScratch[:0]
 	}
 }
 

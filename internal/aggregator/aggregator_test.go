@@ -1,6 +1,9 @@
 package aggregator
 
 import (
+	"fmt"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -10,6 +13,7 @@ import (
 	"decentmeter/internal/sensor"
 	"decentmeter/internal/sim"
 	"decentmeter/internal/tdma"
+	"decentmeter/internal/telemetry"
 	"decentmeter/internal/units"
 )
 
@@ -26,6 +30,13 @@ type rig struct {
 }
 
 func newRig(t *testing.T) *rig {
+	t.Helper()
+	return newRigWith(t, nil)
+}
+
+// newRigWith builds the standard rig, letting the test adjust the config
+// (shard count, backlog cap, ...) before New.
+func newRigWith(t *testing.T, mutate func(*Config)) *rig {
 	t.Helper()
 	env := sim.NewEnv(1)
 	r := &rig{
@@ -51,7 +62,7 @@ func newRig(t *testing.T) *rig {
 		t.Fatal(err)
 	}
 	epoch := time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC)
-	agg, err := New(Config{
+	cfg := Config{
 		ID:        "agg1",
 		Env:       env,
 		HeadMeter: meter,
@@ -64,7 +75,11 @@ func newRig(t *testing.T) *rig {
 			r.downTo = append(r.downTo, devID)
 			return nil
 		},
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	agg, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -439,6 +454,292 @@ func TestWindowVerificationFlagsUnderReporting(t *testing.T) {
 	}
 	if attributed == 0 {
 		t.Fatal("tamperer never identified")
+	}
+}
+
+// measBuf is meas with the Buffered flag set (delivered late from local
+// storage).
+func measBuf(seq uint64, ma float64) protocol.Measurement {
+	m := meas(seq, ma)
+	m.Buffered = true
+	return m
+}
+
+// A retransmission whose buffered tail carries older seqs must be acked —
+// and the high-water mark advanced — by the batch maximum, not the last
+// element; otherwise the device retransmits forever and a later
+// retransmission of the max seq double-stores it.
+func TestOutOfOrderBatchAckedByMaxSeq(t *testing.T) {
+	r := newRig(t)
+	r.agg.HandleDeviceMessage("dev1", protocol.Register{DeviceID: "dev1"})
+	r.agg.HandleDeviceMessage("dev1", protocol.Report{
+		DeviceID:     "dev1",
+		Measurements: []protocol.Measurement{meas(5, 80), measBuf(3, 79), measBuf(4, 81)},
+	})
+	ack, ok := lastDown[protocol.ReportAck](r)
+	if !ok {
+		t.Fatal("no ack")
+	}
+	if ack.Seq != 5 {
+		t.Fatalf("acked seq %d, want the batch max 5", ack.Seq)
+	}
+	mem, _ := r.agg.Member("dev1")
+	if mem.LastSeq != 5 {
+		t.Fatalf("LastSeq = %d, want 5", mem.LastSeq)
+	}
+	// The device whose ack was for seq < 5 would retransmit seq 5; the
+	// advanced high-water mark must reject it as a duplicate.
+	r.agg.HandleDeviceMessage("dev1", protocol.Report{
+		DeviceID:     "dev1",
+		Measurements: []protocol.Measurement{meas(5, 80)},
+	})
+	r.env.RunUntil(1100 * time.Millisecond)
+	if got := r.agg.cfg.Chain.TotalRecords(); got != 3 {
+		t.Fatalf("%d records stored, want 3 (seq 5 double-stored?)", got)
+	}
+}
+
+// The same max-seq rule applies to forwarded batches from a foreign
+// aggregator.
+func TestForwardReportAdvancesByBatchMax(t *testing.T) {
+	r := newRig(t)
+	r.agg.HandleDeviceMessage("dev1", protocol.Register{DeviceID: "dev1"})
+	r.mesh.Join("agg2", func(string, protocol.Message) {})
+	r.mesh.Send("agg2", "agg1", protocol.ForwardReport{
+		DeviceID:     "dev1",
+		Via:          "agg2",
+		Measurements: []protocol.Measurement{meas(10, 80), measBuf(8, 79), measBuf(9, 81)},
+	})
+	r.env.RunUntil(10 * time.Millisecond)
+	mem, _ := r.agg.Member("dev1")
+	if mem.LastSeq != 10 {
+		t.Fatalf("LastSeq = %d, want the forwarded batch max 10", mem.LastSeq)
+	}
+	// A duplicate forward of the max seq must not double-store.
+	r.mesh.Send("agg2", "agg1", protocol.ForwardReport{
+		DeviceID:     "dev1",
+		Via:          "agg2",
+		Measurements: []protocol.Measurement{meas(10, 80)},
+	})
+	r.env.RunUntil(1100 * time.Millisecond)
+	if got := len(r.agg.cfg.Chain.RecordsOf("dev1")); got != 3 {
+		t.Fatalf("%d records stored, want 3", got)
+	}
+}
+
+// A device leaving mid-window (removal, roam-away release) already
+// contributed to the feeder's ground measurement; its partial window must
+// fold into the closing window instead of firing a false sum-check anomaly.
+func TestDepartureMidWindowFoldsPartialWindow(t *testing.T) {
+	r := newRig(t)
+	r.agg.HandleDeviceMessage("dev1", protocol.Register{DeviceID: "dev1"})
+	r.agg.HandleDeviceMessage("dev2", protocol.Register{DeviceID: "dev2"})
+	r.load.I = 200 * units.Milliampere // feeder truth: both devices drawing
+	var seq uint64
+	stop := r.env.Ticker(100*time.Millisecond, func(sim.Time) {
+		seq++
+		for _, dev := range []string{"dev1", "dev2"} {
+			if _, ok := r.agg.Member(dev); !ok {
+				continue
+			}
+			r.agg.HandleDeviceMessage(dev, protocol.Report{
+				DeviceID:     dev,
+				Measurements: []protocol.Measurement{meas(seq, 100)},
+			})
+		}
+	})
+	defer stop()
+	// dev2 leaves just before the first window closes.
+	r.env.Schedule(950*time.Millisecond, func() { r.agg.RemoveDevice("dev2") })
+	r.env.RunUntil(1100 * time.Millisecond)
+	ws := r.agg.Windows()
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	w := ws[0]
+	if _, ok := w.PerDevice["dev2"]; !ok {
+		t.Fatalf("departed device's partial window discarded: %+v", w.PerDevice)
+	}
+	if !w.Verdict.OK {
+		t.Fatalf("mid-window departure flagged a false anomaly: %+v", w.Verdict)
+	}
+}
+
+// When sealing keeps failing, the pending-record backlog must stay bounded
+// (drop-oldest) and the drops must be counted.
+func TestSealFailureBacklogCapped(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := newRigWith(t, func(cfg *Config) {
+		// An authority that never admitted this signer: Seal always fails.
+		cfg.Chain = blockchain.NewChain(blockchain.NewAuthority())
+		cfg.MaxPendingRecords = 8
+		cfg.Registry = reg
+	})
+	r.agg.HandleDeviceMessage("dev1", protocol.Register{DeviceID: "dev1"})
+	var seq uint64
+	stop := r.env.Ticker(100*time.Millisecond, func(sim.Time) {
+		seq++
+		r.agg.HandleDeviceMessage("dev1", protocol.Report{
+			DeviceID:     "dev1",
+			Measurements: []protocol.Measurement{meas(seq, 80)},
+		})
+	})
+	r.env.RunUntil(4950 * time.Millisecond) // ~49 records against a cap of 8
+	stop()                                  // quiesce, then let the last window merge
+	r.env.RunUntil(5100 * time.Millisecond)
+	if got := r.agg.cfg.Chain.TotalRecords(); got != 0 {
+		t.Fatalf("chain has %d records despite failing signer", got)
+	}
+	if n := r.agg.PendingRecords(); n > 8 {
+		t.Fatalf("backlog grew to %d records, cap is 8", n)
+	}
+	if r.agg.DroppedRecords() == 0 {
+		t.Fatal("drops not counted")
+	}
+	if c := reg.Counter("agg1.records_dropped").Value(); c == 0 {
+		t.Fatal("records_dropped telemetry counter not incremented")
+	}
+	_, _, sealed := r.agg.Stats()
+	if sealed != 0 {
+		t.Fatalf("blocksSealed = %d with a failing signer", sealed)
+	}
+}
+
+// driveScenario feeds one deterministic mixed workload (in-order reports,
+// out-of-order buffered tails, retransmissions, a mid-window removal)
+// through an aggregator and returns its windows and sealed record count.
+func driveScenario(t *testing.T, shards int) ([]WindowReport, int) {
+	t.Helper()
+	r := newRigWith(t, func(cfg *Config) { cfg.Shards = shards })
+	const n = 16
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("dev%02d", i)
+		r.agg.HandleDeviceMessage(ids[i], protocol.Register{DeviceID: ids[i]})
+	}
+	r.load.I = units.Current(n) * 50 * units.Milliampere
+	var seq uint64
+	stop := r.env.Ticker(100*time.Millisecond, func(sim.Time) {
+		seq++
+		for i, dev := range ids {
+			if _, ok := r.agg.Member(dev); !ok {
+				continue
+			}
+			batch := []protocol.Measurement{meas(seq, 50)}
+			if i%5 == 0 && seq > 1 {
+				// Retransmitted tail, out of order.
+				batch = append(batch, measBuf(seq-1, 50))
+			}
+			r.agg.HandleDeviceMessage(dev, protocol.Report{DeviceID: dev, Measurements: batch})
+		}
+	})
+	defer stop()
+	r.env.Schedule(1450*time.Millisecond, func() { r.agg.RemoveDevice(ids[3]) })
+	r.env.RunUntil(3100 * time.Millisecond)
+	return r.agg.Windows(), r.agg.cfg.Chain.TotalRecords()
+}
+
+// Sharded ingest must preserve the single-shard semantics exactly: same
+// windows, same verdicts, same sealed record count.
+func TestShardedMatchesSingleShardSemantics(t *testing.T) {
+	w1, rec1 := driveScenario(t, 1)
+	w8, rec8 := driveScenario(t, 8)
+	if rec1 != rec8 {
+		t.Fatalf("records: 1 shard %d, 8 shards %d", rec1, rec8)
+	}
+	if len(w1) != len(w8) {
+		t.Fatalf("windows: 1 shard %d, 8 shards %d", len(w1), len(w8))
+	}
+	for i := range w1 {
+		a, b := w1[i], w8[i]
+		if a.Ground != b.Ground || a.Reported != b.Reported || a.Verdict.OK != b.Verdict.OK {
+			t.Fatalf("window %d diverged:\n  1 shard: %+v\n  8 shards: %+v", i, a, b)
+		}
+		if len(a.PerDevice) != len(b.PerDevice) {
+			t.Fatalf("window %d PerDevice: %d vs %d", i, len(a.PerDevice), len(b.PerDevice))
+		}
+		devs := make([]string, 0, len(a.PerDevice))
+		for dev := range a.PerDevice {
+			devs = append(devs, dev)
+		}
+		sort.Strings(devs)
+		for _, dev := range devs {
+			if a.PerDevice[dev] != b.PerDevice[dev] {
+				t.Fatalf("window %d device %s: %v vs %v", i, dev, a.PerDevice[dev], b.PerDevice[dev])
+			}
+		}
+	}
+}
+
+// The report path must be safe for concurrent producers (one per shard and
+// then some), with control-plane reads, removals and window closes running
+// alongside. Run with -race.
+func TestConcurrentShardedIngest(t *testing.T) {
+	var mu sync.Mutex
+	var acks int
+	r := newRigWith(t, func(cfg *Config) {
+		cfg.Shards = 8
+		// 166 slots: room for all 128 concurrent devices.
+		cfg.Slots = tdma.Config{Superframe: 100 * time.Millisecond, SlotLen: 500 * time.Microsecond, Guard: 100 * time.Microsecond}
+		cfg.SendToDevice = func(devID string, msg protocol.Message) error {
+			mu.Lock()
+			if _, ok := msg.(protocol.ReportAck); ok {
+				acks++
+			}
+			mu.Unlock()
+			return nil
+		}
+	})
+	const producers, perProducer, reportsEach = 8, 16, 50
+	ids := make([][]string, producers)
+	for p := 0; p < producers; p++ {
+		ids[p] = make([]string, perProducer)
+		for i := range ids[p] {
+			ids[p][i] = fmt.Sprintf("dev-%d-%02d", p, i)
+			r.agg.HandleDeviceMessage(ids[p][i], protocol.Register{DeviceID: ids[p][i]})
+		}
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for seq := uint64(1); seq <= reportsEach; seq++ {
+				for _, dev := range ids[p] {
+					r.agg.HandleDeviceMessage(dev, protocol.Report{
+						DeviceID:     dev,
+						Measurements: []protocol.Measurement{meas(seq, 50)},
+					})
+				}
+			}
+		}(p)
+	}
+	// Control plane runs concurrently with ingest.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			r.agg.Members()
+			r.agg.Member("dev-0-00")
+			r.agg.PendingRecords()
+		}
+	}()
+	wg.Wait()
+	<-done
+	r.agg.RemoveDevice("dev-0-01")
+	r.env.RunUntil(1100 * time.Millisecond) // window close + seal
+	accepted, _, sealed := r.agg.Stats()
+	want := uint64(producers * perProducer * reportsEach)
+	if accepted != want {
+		t.Fatalf("accepted %d measurements, want %d", accepted, want)
+	}
+	if sealed == 0 {
+		t.Fatal("nothing sealed after the window close")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if acks == 0 {
+		t.Fatal("no report acks delivered")
 	}
 }
 

@@ -50,6 +50,12 @@ type Params struct {
 	APSpacing float64
 	// DeviceRadius places devices this far from their AP.
 	DeviceRadius float64
+	// AggregatorShards is the number of ingest shards each aggregator
+	// partitions its devices onto (default 1; see internal/aggregator).
+	AggregatorShards int
+	// MaxPendingRecords caps each aggregator's seal backlog (0 = the
+	// aggregator default).
+	MaxPendingRecords int
 }
 
 // DefaultParams returns the testbed configuration.
@@ -70,5 +76,6 @@ func DefaultParams() Params {
 		SumCheck:          anomaly.DefaultSumCheck(),
 		APSpacing:         60,
 		DeviceRadius:      8,
+		AggregatorShards:  1,
 	}
 }

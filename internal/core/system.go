@@ -139,19 +139,21 @@ func (s *System) AddNetwork(id string, channel int) (*Network, error) {
 		return nil, err
 	}
 	agg, err := aggregator.New(aggregator.Config{
-		ID:             id,
-		Env:            s.Env,
-		HeadMeter:      meter,
-		WallClock:      rtc.Now,
-		Mesh:           s.Mesh,
-		Chain:          s.Chain,
-		Signer:         signer,
-		SendToDevice:   func(devID string, msg protocol.Message) error { return s.sendToDevice(id, devID, msg) },
-		Tmeasure:       s.Params.Tmeasure,
-		WindowInterval: s.Params.WindowInterval,
-		Slots:          s.Params.Slots,
-		SumCheck:       s.Params.SumCheck,
-		Registry:       s.Registry,
+		ID:                id,
+		Env:               s.Env,
+		HeadMeter:         meter,
+		WallClock:         rtc.Now,
+		Mesh:              s.Mesh,
+		Chain:             s.Chain,
+		Signer:            signer,
+		SendToDevice:      func(devID string, msg protocol.Message) error { return s.sendToDevice(id, devID, msg) },
+		Tmeasure:          s.Params.Tmeasure,
+		WindowInterval:    s.Params.WindowInterval,
+		Slots:             s.Params.Slots,
+		SumCheck:          s.Params.SumCheck,
+		Registry:          s.Registry,
+		Shards:            s.Params.AggregatorShards,
+		MaxPendingRecords: s.Params.MaxPendingRecords,
 	})
 	if err != nil {
 		return nil, err

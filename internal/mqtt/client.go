@@ -52,6 +52,11 @@ type ClientOptions struct {
 // ErrClientClosed is returned by operations on a closed client.
 var ErrClientClosed = errors.New("mqtt: client closed")
 
+// ErrPacketIDsExhausted is returned when all 65535 packet ids have
+// outstanding operations; the session is over-committed and the caller
+// must let some complete (or close) rather than block forever.
+var ErrPacketIDsExhausted = errors.New("mqtt: all packet ids in flight")
+
 // Dial connects to an MQTT broker at addr over TCP.
 func Dial(addr string, opts ClientOptions) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
@@ -131,21 +136,29 @@ func (c *Client) send(p Packet) error {
 	return err
 }
 
-// allocID reserves a packet id with a response channel.
-func (c *Client) allocID() (uint16, chan Packet) {
+// allocID reserves a packet id with a response channel. It fails fast with
+// ErrPacketIDsExhausted when every id is pending instead of spinning
+// forever under the client lock.
+func (c *Client) allocID() (uint16, chan Packet, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for {
+	if c.closed {
+		return 0, nil, ErrClientClosed
+	}
+	// The id space is 1..65535; one full wrap without a free id means
+	// exhaustion.
+	for tries := 0; tries < 65535; tries++ {
 		c.nextID++
 		if c.nextID == 0 {
-			continue
+			c.nextID = 1
 		}
 		if _, busy := c.pending[c.nextID]; !busy {
 			ch := make(chan Packet, 2)
 			c.pending[c.nextID] = ch
-			return c.nextID, ch
+			return c.nextID, ch, nil
 		}
 	}
+	return 0, nil, ErrPacketIDsExhausted
 }
 
 func (c *Client) releaseID(id uint16) {
@@ -177,16 +190,22 @@ func (c *Client) Publish(topic string, payload []byte, qos QoS, retain bool) err
 	case QoS0:
 		return c.send(p)
 	case QoS1:
-		id, ch := c.allocID()
+		id, ch, err := c.allocID()
+		if err != nil {
+			return err
+		}
 		defer c.releaseID(id)
 		p.PacketID = id
 		if err := c.send(p); err != nil {
 			return err
 		}
-		_, err := c.await(ch, PUBACK)
+		_, err = c.await(ch, PUBACK)
 		return err
 	case QoS2:
-		id, ch := c.allocID()
+		id, ch, err := c.allocID()
+		if err != nil {
+			return err
+		}
 		defer c.releaseID(id)
 		p.PacketID = id
 		if err := c.send(p); err != nil {
@@ -198,7 +217,7 @@ func (c *Client) Publish(topic string, payload []byte, qos QoS, retain bool) err
 		if err := c.send(NewPubrel(id)); err != nil {
 			return err
 		}
-		_, err := c.await(ch, PUBCOMP)
+		_, err = c.await(ch, PUBCOMP)
 		return err
 	default:
 		return ErrInvalidQoS
@@ -211,7 +230,10 @@ func (c *Client) Subscribe(subs ...Subscription) ([]QoS, error) {
 	if len(subs) == 0 {
 		return nil, errors.New("mqtt: Subscribe with no filters")
 	}
-	id, ch := c.allocID()
+	id, ch, err := c.allocID()
+	if err != nil {
+		return nil, err
+	}
 	defer c.releaseID(id)
 	if err := c.send(&SubscribePacket{PacketID: id, Subscriptions: subs}); err != nil {
 		return nil, err
@@ -224,16 +246,43 @@ func (c *Client) Subscribe(subs ...Subscription) ([]QoS, error) {
 	if len(ack.ReturnCodes) != len(subs) {
 		return nil, fmt.Errorf("%w: SUBACK codes %d != %d filters", ErrProtocolViolation, len(ack.ReturnCodes), len(subs))
 	}
+	// All-or-nothing: validate every return code before recording any
+	// filter, so a failed call never leaves a partial set tracked in
+	// c.subs.
+	refused := -1
 	granted := make([]QoS, len(ack.ReturnCodes))
 	for i, code := range ack.ReturnCodes {
 		if code == SubackFailure {
-			return nil, fmt.Errorf("mqtt: subscription %q refused", subs[i].Filter)
+			refused = i
+			break
 		}
 		granted[i] = QoS(code)
-		c.mu.Lock()
-		c.subs[subs[i].Filter] = QoS(code)
-		c.mu.Unlock()
 	}
+	if refused >= 0 {
+		// Roll back whatever the broker did grant in this call, so the
+		// failed call leaves no live server-side subscription behind —
+		// but never a filter an earlier successful Subscribe already
+		// owns. Best-effort: the call already failed, and a rollback
+		// failure leaves us no worse than not trying.
+		var rollback []string
+		c.mu.Lock()
+		for j, code := range ack.ReturnCodes {
+			_, existing := c.subs[subs[j].Filter]
+			if code != SubackFailure && !existing {
+				rollback = append(rollback, subs[j].Filter)
+			}
+		}
+		c.mu.Unlock()
+		if len(rollback) > 0 {
+			_ = c.Unsubscribe(rollback...)
+		}
+		return nil, fmt.Errorf("mqtt: subscription %q refused", subs[refused].Filter)
+	}
+	c.mu.Lock()
+	for i := range subs {
+		c.subs[subs[i].Filter] = granted[i]
+	}
+	c.mu.Unlock()
 	return granted, nil
 }
 
@@ -242,7 +291,10 @@ func (c *Client) Unsubscribe(filters ...string) error {
 	if len(filters) == 0 {
 		return errors.New("mqtt: Unsubscribe with no filters")
 	}
-	id, ch := c.allocID()
+	id, ch, err := c.allocID()
+	if err != nil {
+		return err
+	}
 	defer c.releaseID(id)
 	if err := c.send(&UnsubscribePacket{PacketID: id, Filters: filters}); err != nil {
 		return err

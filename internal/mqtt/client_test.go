@@ -1,0 +1,165 @@
+package mqtt
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptedBroker accepts the CONNECT handshake on conn and then hands each
+// inbound packet to respond, writing whatever packets it returns.
+func scriptedBroker(t *testing.T, conn net.Conn, respond func(Packet) []Packet) {
+	t.Helper()
+	go func() {
+		pkt, err := ReadPacket(conn)
+		if err != nil {
+			return
+		}
+		if _, ok := pkt.(*ConnectPacket); !ok {
+			t.Errorf("first packet %v, want CONNECT", pkt.Type())
+			return
+		}
+		buf, _ := Encode(&ConnackPacket{ReturnCode: ConnAccepted})
+		if _, err := conn.Write(buf); err != nil {
+			return
+		}
+		for {
+			pkt, err := ReadPacket(conn)
+			if err != nil {
+				return
+			}
+			for _, out := range respond(pkt) {
+				buf, err := Encode(out)
+				if err != nil {
+					t.Errorf("encode scripted response: %v", err)
+					return
+				}
+				if _, err := conn.Write(buf); err != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+// A SUBACK carrying a failure code must leave no filter tracked — the call
+// failed as a whole, so a partial subscription set must not survive in the
+// session state — and the filters the broker did grant in the failed call
+// must be rolled back with an UNSUBSCRIBE.
+func TestSubscribeAllOrNothing(t *testing.T) {
+	cliConn, brkConn := net.Pipe()
+	defer cliConn.Close()
+	defer brkConn.Close()
+	var mu sync.Mutex
+	var unsubscribed []string
+	scriptedBroker(t, brkConn, func(p Packet) []Packet {
+		switch pkt := p.(type) {
+		case *SubscribePacket:
+			codes := make([]byte, len(pkt.Subscriptions))
+			for i := range codes {
+				codes[i] = byte(QoS0)
+			}
+			codes[len(codes)-1] = SubackFailure // refuse the last filter
+			return []Packet{&SubackPacket{PacketID: pkt.PacketID, ReturnCodes: codes}}
+		case *UnsubscribePacket:
+			mu.Lock()
+			unsubscribed = append(unsubscribed, pkt.Filters...)
+			mu.Unlock()
+			return []Packet{NewUnsuback(pkt.PacketID)}
+		}
+		return nil
+	})
+	c, err := NewClient(cliConn, ClientOptions{ClientID: "t", AckTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Subscribe(
+		Subscription{Filter: "meters/agg1/+/report"},
+		Subscription{Filter: "meters/agg1/register"},
+	)
+	if err == nil {
+		t.Fatal("Subscribe succeeded despite a SUBACK failure code")
+	}
+	c.mu.Lock()
+	tracked := len(c.subs)
+	c.mu.Unlock()
+	if tracked != 0 {
+		t.Fatalf("%d filters tracked after a failed Subscribe, want 0", tracked)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(unsubscribed) != 1 || unsubscribed[0] != "meters/agg1/+/report" {
+		t.Fatalf("rollback unsubscribed %v, want just the granted filter", unsubscribed)
+	}
+}
+
+// A fully granted SUBACK must track every filter.
+func TestSubscribeTracksAllOnSuccess(t *testing.T) {
+	cliConn, brkConn := net.Pipe()
+	defer cliConn.Close()
+	defer brkConn.Close()
+	scriptedBroker(t, brkConn, func(p Packet) []Packet {
+		if sub, ok := p.(*SubscribePacket); ok {
+			codes := make([]byte, len(sub.Subscriptions))
+			for i := range codes {
+				codes[i] = byte(QoS1)
+			}
+			return []Packet{&SubackPacket{PacketID: sub.PacketID, ReturnCodes: codes}}
+		}
+		return nil
+	})
+	c, err := NewClient(cliConn, ClientOptions{ClientID: "t", AckTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	granted, err := c.Subscribe(
+		Subscription{Filter: "a/b", QoS: QoS1},
+		Subscription{Filter: "c/d", QoS: QoS1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(granted) != 2 || granted[0] != QoS1 || granted[1] != QoS1 {
+		t.Fatalf("granted = %v", granted)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.subs) != 2 {
+		t.Fatalf("%d filters tracked, want 2", len(c.subs))
+	}
+}
+
+// allocID must fail fast when all 65535 packet ids are pending, not spin
+// forever holding the client lock.
+func TestAllocIDExhaustionFailsFast(t *testing.T) {
+	c := &Client{pending: make(map[uint16]chan Packet), subs: make(map[string]QoS)}
+	for id := uint16(1); id != 0; id++ {
+		c.pending[id] = nil
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.allocID()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrPacketIDsExhausted) {
+			t.Fatalf("err = %v, want ErrPacketIDsExhausted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("allocID spun instead of failing fast")
+	}
+	// Freeing one id must make allocation work again.
+	delete(c.pending, 42)
+	id, ch, err := c.allocID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 42 || ch == nil {
+		t.Fatalf("allocated id %d, want the freed 42", id)
+	}
+}

@@ -11,6 +11,7 @@
 package tdma
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -64,11 +65,17 @@ func (c Config) Capacity() int {
 	return int(c.Superframe / (c.SlotLen + c.Guard))
 }
 
-// Schedule tracks slot ownership for one aggregator.
+// Schedule tracks slot ownership for one aggregator. Assignment always
+// grants the lowest free slot; a min-heap of released indices plus a
+// high-water mark makes that O(log n) instead of a full scan, which matters
+// when a fleet-scale aggregator admits tens of thousands of devices.
 type Schedule struct {
 	cfg    Config
 	owners []string       // slot index -> device ID ("" = free)
 	bySlot map[string]int // device ID -> slot index
+	freed  freedHeap      // released slot indices, all < nextSlot
+	// nextSlot is the lowest slot index never yet assigned.
+	nextSlot int
 }
 
 // NewSchedule builds an empty schedule.
@@ -81,6 +88,21 @@ func NewSchedule(cfg Config) (*Schedule, error) {
 		owners: make([]string, cfg.Capacity()),
 		bySlot: make(map[string]int),
 	}, nil
+}
+
+// freedHeap is a min-heap of released slot indices.
+type freedHeap []int
+
+func (h freedHeap) Len() int           { return len(h) }
+func (h freedHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h freedHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *freedHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *freedHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
 }
 
 // Config returns the schedule's configuration.
@@ -103,14 +125,21 @@ func (s *Schedule) Assign(deviceID string) (int, error) {
 	if _, ok := s.bySlot[deviceID]; ok {
 		return 0, fmt.Errorf("%w: %s", ErrAlreadyOwner, deviceID)
 	}
-	for i, owner := range s.owners {
-		if owner == "" {
-			s.owners[i] = deviceID
-			s.bySlot[deviceID] = i
-			return i, nil
-		}
+	// Freed slots are always below the high-water mark, so the heap top —
+	// when present — is the lowest free slot overall.
+	var idx int
+	switch {
+	case len(s.freed) > 0:
+		idx = heap.Pop(&s.freed).(int)
+	case s.nextSlot < len(s.owners):
+		idx = s.nextSlot
+		s.nextSlot++
+	default:
+		return 0, ErrNoFreeSlot
 	}
-	return 0, ErrNoFreeSlot
+	s.owners[idx] = deviceID
+	s.bySlot[deviceID] = idx
+	return idx, nil
 }
 
 // Release frees the slot owned by deviceID.
@@ -121,6 +150,7 @@ func (s *Schedule) Release(deviceID string) error {
 	}
 	s.owners[idx] = ""
 	delete(s.bySlot, deviceID)
+	heap.Push(&s.freed, idx)
 	return nil
 }
 
