@@ -11,7 +11,10 @@
 // blockchain of the Fig. 5 run for inspection with chainctl. The fleet
 // scenario drives one aggregator at -devices (default 20000) simulated
 // devices across -shards ingest shards with ack loss, retransmission,
-// roaming and churn; see internal/core.RunFleet.
+// roaming and churn; with -replicas N (N > 1) it instead runs the
+// replicated-aggregator tier — N aggregators sealing one consensus-agreed
+// chain through a mid-window leader crash, recovery, a roaming hot-spot
+// wave and dynamic rebalancing; see internal/core.RunFleet.
 package main
 
 import (
@@ -32,10 +35,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	seconds := flag.Int("seconds", 9, "Fig. 5 measurement windows")
 	chainOut := flag.String("chain", "", "write the Fig. 5 blockchain to this file")
-	devices := flag.Int("devices", 20000, "fleet scenario device count")
+	devices := flag.Int("devices", 0, "fleet scenario device count (default 20000, or 2000 replicated)")
 	shards := flag.Int("shards", 8, "fleet scenario aggregator ingest shards")
-	fleetSeconds := flag.Int("fleet-seconds", 3, "fleet scenario simulated seconds")
+	fleetSeconds := flag.Int("fleet-seconds", 0, "fleet scenario simulated seconds (default 3, or 8 replicated)")
 	loss := flag.Float64("loss", 0.02, "fleet scenario uplink/ack loss rate")
+	replicas := flag.Int("replicas", 1, "fleet aggregator replicas (>1 runs the consensus-sealed replicated tier\nwith a mid-window leader crash, recovery, hot-spot wave and rebalancing)")
+	consensusF := flag.Int("f", 0, "replicated tier fault tolerance (default (replicas-1)/3)")
 	flag.Parse()
 
 	p := core.DefaultParams()
@@ -68,7 +73,7 @@ func main() {
 	}
 	if *all || *fleet {
 		ran = true
-		if err := runFleet(*devices, *shards, *fleetSeconds, *loss, *seed); err != nil {
+		if err := runFleet(*devices, *shards, *fleetSeconds, *loss, *seed, *replicas, *consensusF); err != nil {
 			fatal(err)
 		}
 	}
@@ -124,13 +129,15 @@ func runHandshake(p core.Params) error {
 	return nil
 }
 
-func runFleet(devices, shards, seconds int, loss float64, seed uint64) error {
+func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas, consensusF int) error {
 	res, err := core.RunFleet(core.FleetConfig{
 		Devices:  devices,
 		Shards:   shards,
 		Seconds:  seconds,
 		LossRate: loss,
 		Seed:     seed,
+		Replicas: replicas,
+		F:        consensusF,
 	})
 	if err != nil {
 		return err

@@ -15,6 +15,12 @@
 // owning its members' sequence tracking and pending-record batch under its
 // own lock, so concurrent broker sessions publishing for different shards
 // never contend. The seal loop merges the per-shard batches into one block.
+//
+// With -replicas N (N > 1) the ledger itself is replicated: every sealed
+// batch runs through an in-process PBFT-style consensus cluster, the
+// current leader pre-seals the block, and N chain replicas import the
+// byte-identical result. Shutdown persists all copies (-chain plus
+// -chain.r1 .. -chain.r(N-1)); chainctl verify passes on each.
 package main
 
 import (
@@ -31,8 +37,10 @@ import (
 
 	"decentmeter/internal/aggregator"
 	"decentmeter/internal/blockchain"
+	"decentmeter/internal/consensus"
 	"decentmeter/internal/mqtt"
 	"decentmeter/internal/protocol"
+	"decentmeter/internal/sim"
 )
 
 // maxSealBacklog caps records retained across failing seals; beyond it the
@@ -58,6 +66,9 @@ type server struct {
 	chain   *blockchain.Chain
 	backlog []blockchain.Record
 	dropped uint64
+	// rep, when -replicas > 1, seals through an in-process consensus
+	// cluster onto N chain replicas instead of a single local chain.
+	rep *repSealer
 
 	chainPath string
 	logger    *log.Logger
@@ -86,6 +97,106 @@ func (s *server) shardFor(deviceID string) *ingestShard {
 	return s.shards[aggregator.ShardOf(deviceID, len(s.shards))]
 }
 
+// repSealer replicates the daemon's ledger: N consensus replicas agree on
+// every sealed batch, the leader pre-seals the block (header + signature),
+// and each replica imports the identical block onto its own chain copy —
+// the single-process form of the simulation's replicated-aggregator tier.
+// All methods run under the server's sealMu, so the embedded DES (which
+// exists only to drive the consensus message exchange) is single-threaded.
+type repSealer struct {
+	env     *sim.Env
+	cluster *consensus.Cluster
+	ids     []string
+	chains  map[string]*blockchain.Chain
+	signers map[string]*blockchain.Signer
+	// importErrs counts per-replica decode/import failures; a diverged
+	// replica must be loud, not silently persisted short.
+	importErrs map[string]int
+	logger     *log.Logger
+}
+
+func newRepSealer(baseID string, n int, auth *blockchain.Authority, logger *log.Logger) (*repSealer, error) {
+	env := sim.NewEnv(1)
+	r := &repSealer{
+		env:        env,
+		chains:     make(map[string]*blockchain.Chain, n),
+		signers:    make(map[string]*blockchain.Signer, n),
+		importErrs: make(map[string]int, n),
+		logger:     logger,
+	}
+	for k := 0; k < n; k++ {
+		id := fmt.Sprintf("%s-r%d", baseID, k)
+		signer, err := blockchain.NewSigner(id)
+		if err != nil {
+			return nil, err
+		}
+		if err := auth.Admit(id, signer.Public()); err != nil {
+			return nil, err
+		}
+		r.ids = append(r.ids, id)
+		r.signers[id] = signer
+		r.chains[id] = blockchain.NewChain(auth)
+	}
+	cluster, err := consensus.NewCluster(env, r.ids, (n-1)/3, time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	r.cluster = cluster
+	for _, id := range r.ids {
+		id := id
+		chain := r.chains[id]
+		cluster.Replicas[id].OnDecideMeta = func(seq uint64, records []blockchain.Record, meta []byte) {
+			hdr, sig, err := blockchain.DecodeSealMeta(meta)
+			if err != nil {
+				r.importErrs[id]++
+				return
+			}
+			if err := chain.Import(&blockchain.Block{
+				Header:  hdr,
+				Records: append([]blockchain.Record(nil), records...),
+				Sig:     sig,
+			}); err != nil {
+				r.importErrs[id]++
+			}
+		}
+	}
+	return r, nil
+}
+
+// seal runs one batch through consensus; the caller holds sealMu.
+func (r *repSealer) seal(at time.Time, records []blockchain.Record) error {
+	leaderID := r.cluster.Leader(r.cluster.CurrentView())
+	chain := r.chains[leaderID]
+	before := r.chains[r.ids[0]].Length()
+	blk, err := chain.PrepareBlock(r.signers[leaderID], at, records)
+	if err != nil {
+		return err
+	}
+	meta, err := blockchain.EncodeSealMeta(blk.Header, blk.Sig)
+	if err != nil {
+		return err
+	}
+	if err := r.cluster.Replicas[leaderID].ProposeMeta(records, meta); err != nil {
+		return err
+	}
+	// Drive the embedded DES until the decide round-trips settle.
+	r.env.RunUntil(r.env.Now() + time.Second)
+	if r.chains[r.ids[0]].Length() != before+1 {
+		return fmt.Errorf("batch did not decide (chain at %d blocks)", r.chains[r.ids[0]].Length())
+	}
+	// Primary advanced — the batch is consumed (returning an error here
+	// would re-propose it and double-seal the primary). A replica that
+	// failed to keep up is a divergence bug: log it loudly; persist()
+	// warns again before writing the short copy.
+	for _, id := range r.ids[1:] {
+		if r.chains[id].Length() != before+1 {
+			r.logger.Printf("replica %s DIVERGED at %d blocks (%d import errors); primary sealed %d",
+				id, r.chains[id].Length(), r.importErrs[id], before+1)
+		}
+	}
+	return nil
+}
+
 func main() {
 	id := flag.String("id", "agg1", "aggregator identity")
 	addr := flag.String("addr", ":1883", "MQTT listen address")
@@ -94,6 +205,7 @@ func main() {
 	blockEvery := flag.Duration("block", time.Second, "block sealing interval")
 	slots := flag.Int("slots", 40, "TDMA slot budget (device admission limit)")
 	shards := flag.Int("shards", 1, "report ingest shards (device-hash partitions)")
+	replicas := flag.Int("replicas", 1, "chain replicas sealing via in-process consensus\n(1 = plain local sealing; N > 1 writes -chain plus -chain.r1..r(N-1), all byte-identical)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "meterd ", log.LstdFlags|log.Lmsgprefix)
@@ -119,6 +231,18 @@ func main() {
 		logger:            logger,
 		registerTopic:     protocol.RegisterTopic(*id),
 		deviceTopicPrefix: "meters/" + *id + "/",
+	}
+	if *replicas > 1 {
+		rep, err := newRepSealer(*id, *replicas, auth, logger)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		s.rep = rep
+		// The "server chain" becomes replica 0's copy, so persistence and
+		// logging keep working unchanged.
+		s.chain = rep.chains[rep.ids[0]]
+		logger.Printf("replicated sealing: %d chain replicas, consensus leader %s",
+			*replicas, rep.cluster.Leader(0))
 	}
 	for i := range s.shards {
 		s.shards[i] = &ingestShard{members: make(map[string]*member)}
@@ -323,7 +447,12 @@ func (s *server) mergeAndSeal(at time.Time) {
 	if len(s.backlog) == 0 {
 		return
 	}
-	if _, err := s.chain.Seal(s.signer, at, s.backlog); err != nil {
+	if s.rep != nil {
+		if err := s.rep.seal(at, s.backlog); err != nil {
+			s.logger.Printf("replicated seal: %v (%d records retained)", err, len(s.backlog))
+			return
+		}
+	} else if _, err := s.chain.Seal(s.signer, at, s.backlog); err != nil {
 		s.logger.Printf("seal: %v (%d records retained)", err, len(s.backlog))
 		return
 	}
@@ -351,4 +480,21 @@ func (s *server) persist() {
 	}
 	fmt.Fprintf(os.Stderr, "meterd: %d blocks (%d records) written to %s\n",
 		s.chain.Length(), s.chain.TotalRecords(), s.chainPath)
+	if s.rep != nil {
+		// Every other replica's copy lands next to the primary; chainctl
+		// verify passes on each, and the files are byte-identical.
+		for k := 1; k < len(s.rep.ids); k++ {
+			id := s.rep.ids[k]
+			path := fmt.Sprintf("%s.r%d", s.chainPath, k)
+			if got := s.rep.chains[id].Length(); got != s.chain.Length() {
+				s.logger.Printf("WARNING: replica %s diverged (%d blocks vs %d, %d import errors)",
+					id, got, s.chain.Length(), s.rep.importErrs[id])
+			}
+			if err := s.rep.chains[id].WriteFile(path); err != nil {
+				s.logger.Printf("persist replica %d: %v", k, err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "meterd: replica %d chain written to %s\n", k, path)
+		}
+	}
 }

@@ -41,11 +41,28 @@ type System = core.System
 // FleetConfig parameterizes the fleet-scale scenario: one aggregator with
 // sharded ingest (Params.AggregatorShards in full-system runs) driven at
 // tens of thousands of devices with loss, retransmission, roaming and
-// churn.
+// churn — or, with Replicas > 1, the replicated-aggregator tier: N
+// aggregators running as a consensus cluster that seals one common chain,
+// with a mid-window leader crash, recovery, a roaming hot-spot wave and
+// dynamic rebalancing choreographed across the run.
 type FleetConfig = core.FleetConfig
 
 // FleetResult is the fleet scenario outcome.
 type FleetResult = core.FleetResult
+
+// ReplicaSetConfig tunes the replicated-aggregator tier created by
+// System.EnableReplication: consensus fault tolerance, proposal pacing and
+// the load-balancing loop.
+type ReplicaSetConfig = core.ReplicaSetConfig
+
+// ReplicaSet runs a system's aggregators as a consensus cluster with crash
+// failover and dynamic rebalancing; obtain one with
+// System.EnableReplication after adding networks. Sealing then goes
+// through PBFT-style agreement onto per-replica chains (ChainOf) that stay
+// byte-identical, Crash/Recover inject aggregator failures, and the
+// orchestrator rebalances TDMA occupancy with the Fig. 3 membership
+// machinery.
+type ReplicaSet = core.ReplicaSet
 
 // Fig5Result is the decentralized-vs-centralized metering outcome (paper
 // Fig. 5).

@@ -56,6 +56,20 @@ type Membership struct {
 	LastSeq uint64
 	// JoinedAt is the admission time.
 	JoinedAt time.Duration
+	// ForeignFeeder marks a guest whose load draws on another network's
+	// feeder (crash failover: the device kept its outlet but lost its
+	// aggregator). Its records are stored and sealed here, but its
+	// reports never enter the local verification window — the local
+	// feeder-head meter cannot see its draw — and nothing is forwarded
+	// to its (dead) home.
+	ForeignFeeder bool
+	// HomeDown marks a roaming temporary whose home aggregator is
+	// currently unreachable (set by the orchestrator via SetHomeDown):
+	// its data is recorded here instead of being forwarded into a black
+	// hole — acknowledging a measurement and then dropping its forward
+	// would lose it for good. Window accounting is unaffected: unlike a
+	// ForeignFeeder guest, the device draws on this network's feeder.
+	HomeDown bool
 }
 
 // WindowReport summarizes one verification window (the unit of Fig. 5).
@@ -146,6 +160,17 @@ type Aggregator struct {
 	// bounded by MaxPendingRecords with drop-oldest overflow.
 	backlog     boundedRecords
 	sealScratch []blockchain.Record
+	// sealFn, when set (SetSeal), replaces local Chain.Seal: closeWindow
+	// hands the merged window records to it instead — the hook of the
+	// replicated tier, which runs them through consensus.
+	sealFn func(records []blockchain.Record) error
+	// sharedLedger mirrors sealFn != nil for the report hot path: on a
+	// consensus-shared ledger a roaming temporary's data is recorded once,
+	// by its home aggregator (whose watermark spans every network the
+	// device visits) — the visited aggregator only window-accounts and
+	// forwards. Without it, visited-plus-home recording would seal every
+	// roamer measurement twice on the common chain.
+	sharedLedger atomic.Bool
 	// winScratch accumulates per-device window partials during the merge.
 	winScratch map[string]departedAccum
 
@@ -155,6 +180,13 @@ type Aggregator struct {
 
 	stopSampling func()
 	stopSealing  func()
+	// resumeSample/resumeSeal are the pending grid-alignment one-shots of
+	// a Resume in progress (see Resume).
+	resumeSample sim.EventRef
+	resumeSeal   sim.EventRef
+	// paused models a crashed process: deliveries already in flight on the
+	// link layer arrive at a dead box and are dropped.
+	paused atomic.Bool
 
 	// counters
 	memberCount     atomic.Int64
@@ -307,14 +339,101 @@ func (a *Aggregator) PendingRecords() int {
 }
 
 // Stop halts the periodic loops (used by load-balancing migrations and
-// crash injection).
+// crash injection). Idempotent; Resume restarts a stopped aggregator.
 func (a *Aggregator) Stop() {
 	if a.stopSampling != nil {
 		a.stopSampling()
+		a.stopSampling = nil
 	}
 	if a.stopSealing != nil {
 		a.stopSealing()
+		a.stopSealing = nil
 	}
+	a.cfg.Env.Cancel(a.resumeSample)
+	a.cfg.Env.Cancel(a.resumeSeal)
+	a.resumeSample, a.resumeSeal = sim.EventRef{}, sim.EventRef{}
+}
+
+// Pause is Stop under its failure-injection name: the aggregator process
+// crashes, its membership and pending records freeze in place, and any
+// message still in flight toward it is lost (the senders' retransmission
+// machinery recovers the data elsewhere).
+func (a *Aggregator) Pause() {
+	a.paused.Store(true)
+	a.Stop()
+}
+
+// Resume restarts a paused aggregator. The partial verification window
+// from before the pause is discarded — ground sampling stopped, so the
+// window can no longer be verified — but the pending records survive and
+// seal with the next window, which is what makes crash recovery lossless
+// for already-acknowledged measurements. The sampling and window loops
+// snap back onto the global k*Tmeasure / k*WindowInterval grid the
+// aggregator ran on before the crash, so recovered windows line up with
+// the rest of the fleet instead of free-running from the resume instant.
+func (a *Aggregator) Resume() {
+	if a.stopSampling != nil || a.stopSealing != nil ||
+		a.resumeSample.Pending() || a.resumeSeal.Pending() {
+		return
+	}
+	a.paused.Store(false)
+	a.mu.Lock()
+	a.windowStart = a.cfg.Env.Now()
+	a.groundSamples = a.groundSamples[:0]
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		for _, st := range sh.active {
+			st.winSum, st.winCount = 0, 0
+		}
+		sh.active = sh.active[:0]
+		for dev := range sh.departed {
+			delete(sh.departed, dev)
+		}
+		sh.mu.Unlock()
+	}
+	a.mu.Unlock()
+	now := a.cfg.Env.Now()
+	// The seal one-shot is scheduled first so that, at a shared grid
+	// instant, the (empty) window close precedes the ground sample — the
+	// same-order steady state the constructor's tickers produce.
+	a.resumeSeal = a.cfg.Env.Schedule(gridWait(now, a.cfg.WindowInterval), func() {
+		a.closeWindow()
+		a.stopSealing = a.cfg.Env.Ticker(a.cfg.WindowInterval, func(sim.Time) { a.closeWindow() })
+	})
+	a.resumeSample = a.cfg.Env.Schedule(gridWait(now, a.cfg.Tmeasure), func() {
+		a.sampleGround()
+		a.stopSampling = a.cfg.Env.Ticker(a.cfg.Tmeasure, func(sim.Time) { a.sampleGround() })
+	})
+}
+
+// gridWait returns the delay from now to the next multiple of period
+// (zero when already on the grid).
+func gridWait(now, period time.Duration) time.Duration {
+	if period <= 0 {
+		return 0
+	}
+	return (period - now%period) % period
+}
+
+// SetSeal overrides local Chain.Seal: when fn is non-nil, closeWindow hands
+// each window's merged records to it and treats a nil return as "sealed"
+// (the records now belong to fn — it must copy what it keeps, the slice is
+// scratch). A non-nil return keeps the records in the bounded backlog for
+// the next window, exactly like a failed local seal. Passing nil restores
+// local sealing.
+func (a *Aggregator) SetSeal(fn func(records []blockchain.Record) error) {
+	a.mu.Lock()
+	a.sealFn = fn
+	a.mu.Unlock()
+	a.sharedLedger.Store(fn != nil)
+}
+
+// SlotStats returns the TDMA schedule occupancy (used, capacity) — the
+// load-balancing planner's capacity snapshot.
+func (a *Aggregator) SlotStats() (used, capacity int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sched.Used(), a.sched.Capacity()
 }
 
 // --- device-facing handling -------------------------------------------------------
@@ -322,6 +441,9 @@ func (a *Aggregator) Stop() {
 // HandleDeviceMessage processes an uplink message from a device. The
 // scenario's link layer calls this on delivery.
 func (a *Aggregator) HandleDeviceMessage(deviceID string, msg protocol.Message) {
+	if a.paused.Load() {
+		return
+	}
 	switch m := msg.(type) {
 	case protocol.Register:
 		a.onRegister(m)
@@ -372,9 +494,7 @@ func (a *Aggregator) meshSend(to string, msg protocol.Message) error {
 
 // admit grants a membership and a slot.
 func (a *Aggregator) admit(deviceID string, kind protocol.MembershipKind, home string) {
-	a.mu.Lock()
-	slot, err := a.sched.Assign(deviceID)
-	a.mu.Unlock()
+	mem, err := a.grant(deviceID, kind, home, false)
 	if err != nil {
 		_ = a.cfg.SendToDevice(deviceID, protocol.RegisterNack{
 			DeviceID: deviceID,
@@ -382,12 +502,79 @@ func (a *Aggregator) admit(deviceID string, kind protocol.MembershipKind, home s
 		})
 		return
 	}
+	if kind == protocol.MemberMaster {
+		a.meshMu.Lock()
+		_ = a.cfg.Mesh.RegisterHome(deviceID, a.cfg.ID)
+		a.meshMu.Unlock()
+	}
+	a.sendAck(mem)
+}
+
+// AdmitGuest grants a temporary membership from the control plane — the
+// orchestration layer's failover and rebalancing path, which bypasses the
+// device-initiated register/verify round-trip (the orchestrator itself
+// vouches for the device; its home may be a crashed aggregator that cannot
+// answer a VerifyRequest). foreignFeeder marks a device whose load remains
+// on another network's feeder; see Membership.ForeignFeeder. lastSeq seeds
+// the duplicate-suppression high-water mark with the previous aggregator's
+// acknowledged frontier: without it, a measurement whose ack died with the
+// old aggregator would be retransmitted here and stored twice.
+func (a *Aggregator) AdmitGuest(deviceID, home string, foreignFeeder bool, lastSeq uint64) error {
+	if _, ok := a.Member(deviceID); ok {
+		return fmt.Errorf("aggregator: %s already a member of %s", deviceID, a.cfg.ID)
+	}
+	mem, err := a.grant(deviceID, protocol.MemberTemporary, home, foreignFeeder)
+	if err != nil {
+		return err
+	}
+	a.SyncSeq(deviceID, lastSeq)
+	// The grant ack doubles as a steering hint for a device that happens
+	// to be mid-registration here.
+	a.sendAck(mem)
+	return nil
+}
+
+// SetHomeDown flips a member's home-unreachable marking (see
+// Membership.HomeDown). The orchestration layer calls it for every roaming
+// temporary whose home aggregator crashed, and clears it on recovery.
+func (a *Aggregator) SetHomeDown(deviceID string, down bool) {
+	sh := a.shardFor(deviceID)
+	sh.mu.Lock()
+	if st, ok := sh.devices[deviceID]; ok {
+		st.HomeDown = down
+	}
+	sh.mu.Unlock()
+}
+
+// SyncSeq raises a member's acknowledged-sequence high-water mark (never
+// lowers it). Membership handoffs use it to carry duplicate suppression
+// across aggregators: what one aggregator acknowledged, the next must not
+// store again.
+func (a *Aggregator) SyncSeq(deviceID string, seq uint64) {
+	sh := a.shardFor(deviceID)
+	sh.mu.Lock()
+	if st, ok := sh.devices[deviceID]; ok && seq > st.LastSeq {
+		st.LastSeq = seq
+	}
+	sh.mu.Unlock()
+}
+
+// grant assigns a slot and installs the shard state shared by admit and
+// AdmitGuest.
+func (a *Aggregator) grant(deviceID string, kind protocol.MembershipKind, home string, foreignFeeder bool) (Membership, error) {
+	a.mu.Lock()
+	slot, err := a.sched.Assign(deviceID)
+	a.mu.Unlock()
+	if err != nil {
+		return Membership{}, err
+	}
 	st := &deviceState{Membership: Membership{
-		DeviceID: deviceID,
-		Kind:     kind,
-		Home:     home,
-		Slot:     slot,
-		JoinedAt: a.cfg.Env.Now(),
+		DeviceID:      deviceID,
+		Kind:          kind,
+		Home:          home,
+		Slot:          slot,
+		JoinedAt:      a.cfg.Env.Now(),
+		ForeignFeeder: foreignFeeder,
 	}}
 	if a.cfg.Registry != nil {
 		st.series = a.cfg.Registry.Series(a.cfg.ID+".device."+deviceID+".ma", 100000)
@@ -400,16 +587,11 @@ func (a *Aggregator) admit(deviceID string, kind protocol.MembershipKind, home s
 	sh.devices[deviceID] = st
 	sh.mu.Unlock()
 	a.memberCount.Add(1)
-	if kind == protocol.MemberMaster {
-		a.meshMu.Lock()
-		_ = a.cfg.Mesh.RegisterHome(deviceID, a.cfg.ID)
-		a.meshMu.Unlock()
-	}
-	a.sendAck(st.Membership)
 	if a.cfg.Registry != nil {
 		a.cfg.Registry.Counter(a.cfg.ID + ".memberships").Inc()
 		a.cfg.Registry.Gauge(a.cfg.ID + ".members").Set(float64(a.memberCount.Load()))
 	}
+	return st.Membership, nil
 }
 
 func (a *Aggregator) sendAck(m Membership) {
@@ -460,7 +642,15 @@ func (a *Aggregator) onReport(m protocol.Report) {
 	// new (Seq beyond the high-water mark) so a lost Ack cannot
 	// double-store a measurement.
 	prev := st.LastSeq
-	forward := st.Kind == protocol.MemberTemporary
+	// Foreign-feeder guests have no live home to forward to (crash
+	// failover), and a roamer whose home is marked down must not have its
+	// acknowledged data forwarded into a black hole; both are stored and
+	// sealed here.
+	forward := st.Kind == protocol.MemberTemporary && !st.ForeignFeeder && !st.HomeDown
+	// On a shared ledger the forwarding home is the single recorder for
+	// its roaming devices (see sharedLedger); on per-aggregator chains
+	// the visited aggregator records too, as the paper's Fig. 3 does.
+	record := !(forward && a.sharedLedger.Load())
 	var fresh []protocol.Measurement
 	accepted := 0
 	var maxSeq uint64
@@ -471,7 +661,7 @@ func (a *Aggregator) onReport(m protocol.Report) {
 		if meas.Seq <= prev {
 			continue
 		}
-		sh.ingestLocked(a, st, meas, a.cfg.ID)
+		sh.ingestLocked(a, st, meas, a.cfg.ID, record)
 		accepted++
 		if forward {
 			fresh = append(fresh, meas)
@@ -488,17 +678,33 @@ func (a *Aggregator) onReport(m protocol.Report) {
 	}
 	// Temporary members' data goes home over the backhaul.
 	if len(fresh) > 0 {
-		_ = a.meshSend(home, protocol.ForwardReport{
+		err := a.meshSend(home, protocol.ForwardReport{
 			DeviceID:     m.DeviceID,
 			Via:          a.cfg.ID,
 			Measurements: fresh,
 		})
+		if err != nil && !record {
+			// Shared-ledger mode skipped the local record expecting the
+			// home to store the data — but the forward could not even be
+			// sent. Acked data must exist somewhere: fall back to
+			// recording it here.
+			sh.mu.Lock()
+			if st, ok := sh.devices[m.DeviceID]; ok {
+				for _, meas := range fresh {
+					sh.pending.push(recordOf(st, meas, a.cfg.ID))
+				}
+			}
+			sh.mu.Unlock()
+		}
 	}
 }
 
 // --- backhaul handling --------------------------------------------------------------
 
 func (a *Aggregator) handleBackhaul(from string, msg protocol.Message) {
+	if a.paused.Load() {
+		return
+	}
 	switch m := msg.(type) {
 	case protocol.VerifyRequest:
 		a.onVerifyRequest(from, m)
@@ -590,7 +796,12 @@ func (a *Aggregator) onForwardReport(m protocol.ForwardReport) {
 		st.LastSeq = maxSeq
 	}
 	sh.mu.Unlock()
-	a.reportsAccepted.Add(uint64(n))
+	// On a shared ledger the forwarded measurements were already counted
+	// as accepted by the visited aggregator; counting the home-side
+	// recording again would double-report acceptance.
+	if !a.sharedLedger.Load() {
+		a.reportsAccepted.Add(uint64(n))
+	}
 }
 
 // onTransfer moves a master membership to a new home (sequence 3).
@@ -770,13 +981,19 @@ func (a *Aggregator) closeWindow() {
 		}
 	}
 
-	// Seal the backlog ("Update Blockchain" in Fig. 3). On failure the
+	// Seal the backlog ("Update Blockchain" in Fig. 3) — locally, or via
+	// the replicated tier's seal hook when one is installed. On failure the
 	// records stay buffered — bounded by MaxPendingRecords — and the next
 	// window retries.
 	if a.backlog.len() > 0 {
 		a.sealScratch = a.backlog.appendOrdered(a.sealScratch[:0])
-		if _, err := a.cfg.Chain.Seal(a.cfg.Signer, a.cfg.WallClock(), a.sealScratch); err == nil {
+		var err error
+		if a.sealFn != nil {
+			err = a.sealFn(a.sealScratch)
+		} else if _, err = a.cfg.Chain.Seal(a.cfg.Signer, a.cfg.WallClock(), a.sealScratch); err == nil {
 			a.blocksSealed.Add(1)
+		}
+		if err == nil {
 			a.backlog.reset()
 			if a.cfg.Registry != nil {
 				a.cfg.Registry.Counter(a.cfg.ID + ".blocks").Inc()

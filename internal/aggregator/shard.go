@@ -81,10 +81,9 @@ func ShardOf(deviceID string, n int) int {
 	return int(h % uint64(n))
 }
 
-// ingestLocked converts one fresh measurement into a pending chain record
-// and, for live data, a window sample. Callers hold the shard lock.
-func (sh *ingestShard) ingestLocked(a *Aggregator, st *deviceState, meas protocol.Measurement, via string) {
-	sh.pending.push(blockchain.Record{
+// recordOf builds the chain record for one accepted measurement.
+func recordOf(st *deviceState, meas protocol.Measurement, via string) blockchain.Record {
+	return blockchain.Record{
 		DeviceID:       st.DeviceID,
 		Seq:            meas.Seq,
 		HomeAggregator: st.Home,
@@ -95,11 +94,23 @@ func (sh *ingestShard) ingestLocked(a *Aggregator, st *deviceState, meas protoco
 		Voltage:        meas.Voltage,
 		Energy:         meas.Energy,
 		Buffered:       meas.Buffered,
-	})
+	}
+}
+
+// ingestLocked converts one fresh measurement into a pending chain record
+// (unless record is false: shared-ledger mode lets the forwarding home
+// record instead) and, for live data, a window sample. Callers hold the
+// shard lock.
+func (sh *ingestShard) ingestLocked(a *Aggregator, st *deviceState, meas protocol.Measurement, via string, record bool) {
+	if record {
+		sh.pending.push(recordOf(st, meas, via))
+	}
 	// Only live (non-buffered) measurements feed the verification window:
 	// buffered data describes past intervals, and comparing it against the
-	// current feeder measurement would garble the sum check.
-	if !meas.Buffered {
+	// current feeder measurement would garble the sum check. Foreign-feeder
+	// guests never do — their draw is on another network's feeder, which
+	// the local head meter cannot see.
+	if !meas.Buffered && !st.ForeignFeeder {
 		if st.winCount == 0 {
 			sh.active = append(sh.active, st)
 		}

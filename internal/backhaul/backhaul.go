@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"decentmeter/internal/protocol"
@@ -38,13 +39,21 @@ type node struct {
 	down    bool
 }
 
-// Mesh is the aggregator interconnect. Single-threaded on the DES.
+// Mesh is the aggregator interconnect. Control-plane operations (Join,
+// SetDown, the device directory) are single-threaded on the DES; Send is
+// additionally safe to call from concurrent report-path goroutines — the
+// sharded aggregators forward roaming data from multiple producers, and in
+// the replicated tier several aggregators share one mesh.
 type Mesh struct {
 	env     *sim.Env
 	latency time.Duration
 	// LossProb drops each unicast with this probability (failure
 	// injection; default 0).
 	LossProb float64
+
+	// sendMu serializes Send's loss draw and event scheduling: the DES
+	// event queue is not safe for concurrent insertion.
+	sendMu sync.Mutex
 
 	nodes     map[string]*node
 	homes     map[string]string // deviceID -> home aggregator
@@ -116,6 +125,8 @@ func (m *Mesh) Send(from, to string, msg protocol.Message) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownNode, to)
 	}
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
 	if m.LossProb > 0 && m.rng.Bool(m.LossProb) {
 		m.dropped++
 		return nil

@@ -239,6 +239,35 @@ func (c *Chain) Seal(s *Signer, at time.Time, records []Record) (*Block, error) 
 	return blk, nil
 }
 
+// PrepareBlock builds and signs the block that Seal would append next —
+// without appending it. The replicated-aggregator tier runs the prepared
+// header + signature through consensus so every replica can Import a
+// byte-identical block (ECDSA signatures are randomized, so each replica
+// signing locally would diverge; signing once and replicating does not).
+func (c *Chain) PrepareBlock(s *Signer, at time.Time, records []Record) (*Block, error) {
+	if len(records) == 0 {
+		return nil, ErrEmptyBlock
+	}
+	var prev Hash
+	var index uint64
+	if head := c.Head(); head != nil {
+		prev = head.Hash()
+		index = head.Header.Index + 1
+	}
+	hdr := Header{
+		Index:      index,
+		PrevHash:   prev,
+		MerkleRoot: merkleRootInPlace(c.leafHashesScratch(records)),
+		Timestamp:  at.UTC(),
+		Producer:   s.ID(),
+	}
+	sig, err := s.Sign(HashHeader(hdr))
+	if err != nil {
+		return nil, err
+	}
+	return &Block{Header: hdr, Records: append([]Record(nil), records...), Sig: sig}, nil
+}
+
 // append validates and links an externally produced block.
 func (c *Chain) append(b *Block) error {
 	if len(b.Records) == 0 {

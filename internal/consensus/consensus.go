@@ -38,14 +38,25 @@ const (
 // Digest identifies a proposal's content.
 type Digest [sha256.Size]byte
 
-func digestOf(records []blockchain.Record) Digest {
+func digestOf(records []blockchain.Record, meta []byte) Digest {
 	h := sha256.New()
 	for _, r := range records {
 		h.Write(r.Marshal())
 	}
+	if len(meta) > 0 {
+		h.Write([]byte{0xff}) // domain-separate the metadata blob
+		h.Write(meta)
+	}
 	var d Digest
 	copy(d[:], h.Sum(nil))
 	return d
+}
+
+// DigestRecords hashes a record batch alone (no metadata). Orchestration
+// layers use it to correlate a decided batch with a submitted one whose
+// metadata was re-stamped across a view change.
+func DigestRecords(records []blockchain.Record) Digest {
+	return digestOf(records, nil)
 }
 
 // Message is a consensus protocol message.
@@ -56,10 +67,15 @@ type Message struct {
 	View, Seq uint64
 	// From is the sender replica.
 	From string
-	// Digest commits to the proposal body.
+	// Digest commits to the proposal body (records and metadata).
 	Digest Digest
-	// Records is the body (pre-prepare only).
+	// Records is the body (pre-prepare, decided and syncreq replay).
 	Records []blockchain.Record
+	// Meta is an opaque proposer-supplied blob agreed alongside the
+	// records — the replicated-aggregator tier carries the pre-sealed
+	// block header and signature here so every replica appends a
+	// byte-identical block.
+	Meta []byte
 }
 
 // Net is the broadcast fabric among replicas (the WAN of the device
@@ -119,6 +135,7 @@ type slot struct {
 	phase     Phase
 	digest    Digest
 	records   []blockchain.Record
+	meta      []byte
 	prepares  map[string]bool
 	commits   map[string]bool
 	committed bool
@@ -130,6 +147,7 @@ type slot struct {
 	// prove at least one honest replica decided that content.
 	attests       map[Digest]map[string]bool
 	attestRecords map[Digest][]blockchain.Record
+	attestMeta    map[Digest][]byte
 }
 
 // Replica is one device participating in consensus.
@@ -160,6 +178,9 @@ type Replica struct {
 
 	// OnDecide fires when a block decides locally.
 	OnDecide func(seq uint64, records []blockchain.Record)
+	// OnDecideMeta fires alongside OnDecide with the proposal's agreed
+	// metadata blob (nil when the proposer attached none).
+	OnDecideMeta func(seq uint64, records []blockchain.Record, meta []byte)
 }
 
 // Cluster is a set of replicas over one Net.
@@ -217,12 +238,26 @@ func (r *Replica) quorum() int { return 2*r.f + 1 }
 // Crash takes the replica offline.
 func (r *Replica) Crash() { r.crashed = true }
 
-// Recover brings it back (it will catch up only on new slots; state
-// transfer is out of scope).
-func (r *Replica) Recover() { r.crashed = false }
+// Recover brings the replica back and immediately asks the cluster to
+// replay every decided slot from its delivery frontier, so a crashed
+// replica catches up on the sequence it missed instead of waiting to
+// stumble over a future decision.
+func (r *Replica) Recover() {
+	if !r.crashed {
+		return
+	}
+	r.crashed = false
+	r.lastLeaderSign = r.env.Now()
+	r.net.broadcast(r.ID, Message{Kind: "syncreq", View: r.view, Seq: r.nextSeq, From: r.ID})
+}
 
 // View returns the replica's current view.
 func (r *Replica) View() uint64 { return r.view }
+
+// Frontier returns the next undelivered sequence number: every slot below
+// it has decided locally (and, for the replicated-aggregator tier, been
+// applied to this replica's chain).
+func (r *Replica) Frontier() uint64 { return r.nextSeq }
 
 // Decided returns the flattened decided record log.
 func (r *Replica) Decided() []*blockchain.Record {
@@ -240,6 +275,12 @@ var ErrNotLeader = errors.New("consensus: not the current leader")
 // Propose starts agreement on a batch. Only the current leader proposes;
 // followers buffer via Submit.
 func (r *Replica) Propose(records []blockchain.Record) error {
+	return r.ProposeMeta(records, nil)
+}
+
+// ProposeMeta starts agreement on a batch plus an opaque metadata blob the
+// digest also commits to (e.g. a pre-sealed block header + signature).
+func (r *Replica) ProposeMeta(records []blockchain.Record, meta []byte) error {
 	if r.crashed {
 		return errors.New("consensus: replica crashed")
 	}
@@ -255,8 +296,9 @@ func (r *Replica) Propose(records []blockchain.Record) error {
 		View:    r.view,
 		Seq:     seq,
 		From:    r.ID,
-		Digest:  digestOf(records),
+		Digest:  digestOf(records, meta),
 		Records: append([]blockchain.Record(nil), records...),
+		Meta:    meta,
 	}
 	r.receive(msg) // self-delivery
 	r.net.broadcast(r.ID, msg)
@@ -269,6 +311,13 @@ func (c *Cluster) Submit(records []blockchain.Record) error {
 	leader := c.Replicas[c.Leader(c.anyView())]
 	return leader.Propose(records)
 }
+
+// CurrentView returns the highest view among live replicas — the view the
+// cluster is operating in once heartbeats settle.
+func (c *Cluster) CurrentView() uint64 { return c.anyView() }
+
+// IDs returns the sorted replica IDs (the leader-rotation order).
+func (c *Cluster) IDs() []string { return append([]string(nil), c.ids...) }
 
 // anyView picks the highest view among live replicas (they track together
 // in the absence of faults).
@@ -302,16 +351,32 @@ func (r *Replica) receive(msg Message) {
 	if r.crashed {
 		return
 	}
+	// View adoption: a heartbeat or pre-prepare from the legitimate leader
+	// of a later view proves a quorum moved on (e.g. while this replica was
+	// crashed); jump forward instead of walking one silence timeout per
+	// missed view.
+	if msg.View > r.view && (msg.Kind == "heartbeat" || msg.Kind == "preprepare") &&
+		r.ids[int(msg.View)%len(r.ids)] == msg.From {
+		r.view = msg.View
+		r.lastLeaderSign = r.env.Now()
+		for seq, sl := range r.slots {
+			if !sl.committed {
+				delete(r.slots, seq)
+			}
+		}
+	}
 	if msg.From == r.leader() && msg.View == r.view {
 		r.lastLeaderSign = r.env.Now()
 	}
 	if msg.Kind == "heartbeat" {
 		return
 	}
-	if msg.Kind != "decided" && msg.View != r.view {
+	if msg.Kind != "decided" && msg.Kind != "syncreq" && msg.View != r.view {
 		// Stale or future view: future prepares/commits for the next
 		// view are dropped (retransmission is the leader's job; the
-		// metering workload re-proposes every interval).
+		// metering workload re-proposes every interval). Decided
+		// attestations and sync requests are view-independent: they
+		// describe finalized slots.
 		return
 	}
 	sl, ok := r.slots[msg.Seq]
@@ -321,6 +386,7 @@ func (r *Replica) receive(msg Message) {
 			commits:       make(map[string]bool),
 			attests:       make(map[Digest]map[string]bool),
 			attestRecords: make(map[Digest][]blockchain.Record),
+			attestMeta:    make(map[Digest][]byte),
 		}
 		r.slots[msg.Seq] = sl
 	}
@@ -330,7 +396,7 @@ func (r *Replica) receive(msg Message) {
 		// earlier slots (partition, crash recovery): ask the cluster
 		// to replay them.
 		if msg.Seq > r.nextSeq {
-			r.net.broadcast(r.ID, Message{Kind: "syncreq", Seq: r.nextSeq, From: r.ID})
+			r.net.broadcast(r.ID, Message{Kind: "syncreq", View: r.view, Seq: r.nextSeq, From: r.ID})
 		}
 		return
 	}
@@ -340,7 +406,7 @@ func (r *Replica) receive(msg Message) {
 			if past, ok := r.slots[s]; ok && past.committed {
 				r.net.broadcast(r.ID, Message{
 					Kind: "decided", View: r.view, Seq: s, From: r.ID,
-					Digest: past.digest, Records: past.records,
+					Digest: past.digest, Records: past.records, Meta: past.meta,
 				})
 			}
 		}
@@ -356,12 +422,13 @@ func (r *Replica) receive(msg Message) {
 			// slot (same or different digest) is ignored.
 			return
 		}
-		if digestOf(msg.Records) != msg.Digest {
+		if digestOf(msg.Records, msg.Meta) != msg.Digest {
 			return // corrupt proposal
 		}
 		sl.phase = PhasePrePrepared
 		sl.digest = msg.Digest
 		sl.records = msg.Records
+		sl.meta = msg.Meta
 		r.armViewTimer()
 		vote := Message{Kind: "prepare", View: r.view, Seq: msg.Seq, From: r.ID, Digest: msg.Digest}
 		r.handlePrepare(sl, vote)
@@ -427,8 +494,9 @@ func (r *Replica) handleDecidedAttest(sl *slot, msg Message) {
 		sl.attests[msg.Digest] = set
 	}
 	set[msg.From] = true
-	if len(msg.Records) > 0 && digestOf(msg.Records) == msg.Digest {
+	if len(msg.Records) > 0 && digestOf(msg.Records, msg.Meta) == msg.Digest {
 		sl.attestRecords[msg.Digest] = msg.Records
+		sl.attestMeta[msg.Digest] = msg.Meta
 	}
 	if len(set) >= r.f+1 {
 		records, ok := sl.attestRecords[msg.Digest]
@@ -436,6 +504,7 @@ func (r *Replica) handleDecidedAttest(sl *slot, msg Message) {
 			return
 		}
 		sl.records = records
+		sl.meta = sl.attestMeta[msg.Digest]
 		sl.digest = msg.Digest
 		r.markCommitted(msg.Seq, sl)
 	}
@@ -449,7 +518,7 @@ func (r *Replica) markCommitted(seq uint64, sl *slot) {
 	// Announce for catch-up by replicas that missed the vote rounds.
 	r.net.broadcast(r.ID, Message{
 		Kind: "decided", View: r.view, Seq: seq, From: r.ID,
-		Digest: sl.digest, Records: sl.records,
+		Digest: sl.digest, Records: sl.records, Meta: sl.meta,
 	})
 	// Decide in sequence order only.
 	for {
@@ -463,6 +532,9 @@ func (r *Replica) markCommitted(seq uint64, sl *slot) {
 		}
 		if r.OnDecide != nil {
 			r.OnDecide(r.nextSeq, s.records)
+		}
+		if r.OnDecideMeta != nil {
+			r.OnDecideMeta(r.nextSeq, s.records, s.meta)
 		}
 		r.nextSeq++
 	}

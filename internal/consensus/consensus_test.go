@@ -187,7 +187,7 @@ func TestEquivocatingLeaderCannotSplitDecision(t *testing.T) {
 	victim := c.Replicas[c.ids[1]]
 	victim.receive(Message{
 		Kind: "preprepare", View: 0, Seq: 0, From: leader.ID,
-		Digest: digestOf(b), Records: b,
+		Digest: digestOf(b, nil), Records: b,
 	})
 	if err := leader.Propose(a); err != nil {
 		t.Fatal(err)
@@ -259,6 +259,103 @@ func TestLargerCluster(t *testing.T) {
 		if len(c.Replicas[id].Decided()) != 5 {
 			t.Fatalf("%s decided %d/5", id, len(c.Replicas[id].Decided()))
 		}
+	}
+}
+
+func TestProposeMetaAgreedOnAllReplicas(t *testing.T) {
+	env, c := newCluster(t, 4, 1)
+	leader := c.Replicas[c.Leader(0)]
+	meta := []byte("pre-sealed header + signature")
+	got := make(map[string][]byte)
+	for _, id := range c.ids {
+		id := id
+		c.Replicas[id].OnDecideMeta = func(seq uint64, records []blockchain.Record, m []byte) {
+			got[id] = m
+		}
+	}
+	if err := leader.ProposeMeta(recs(0, 2), meta); err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(100 * time.Millisecond)
+	if len(got) != 4 {
+		t.Fatalf("only %d replicas delivered the meta", len(got))
+	}
+	for id, m := range got {
+		if string(m) != string(meta) {
+			t.Fatalf("%s delivered meta %q", id, m)
+		}
+	}
+	// A tampered meta must fail the digest check: no replica accepts it.
+	victim := c.Replicas[c.ids[1]]
+	body := recs(100, 1)
+	victim.receive(Message{
+		Kind: "preprepare", View: 0, Seq: 5, From: leader.ID,
+		Digest: digestOf(body, []byte("original")), Records: body, Meta: []byte("tampered"),
+	})
+	if sl, ok := victim.slots[5]; ok && sl.phase != PhaseIdle {
+		t.Fatal("tampered meta accepted into pre-prepare")
+	}
+}
+
+func TestRecoverCatchesUpDecidedSequence(t *testing.T) {
+	env, c := newCluster(t, 4, 1)
+	sleeper := c.Replicas[c.ids[3]]
+	sleeper.Crash()
+	for i := 0; i < 4; i++ {
+		leader := c.Replicas[c.Leader(c.anyView())]
+		if err := leader.ProposeMeta(recs(uint64(i*10), 2), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		env.RunUntil(env.Now() + 50*time.Millisecond)
+	}
+	if got := sleeper.Frontier(); got != 0 {
+		t.Fatalf("crashed replica advanced to %d", got)
+	}
+	var metas [][]byte
+	sleeper.OnDecideMeta = func(seq uint64, records []blockchain.Record, m []byte) {
+		metas = append(metas, m)
+	}
+	// Recover broadcasts a sync request; peers replay the decided slots
+	// (records and metadata) and the replica delivers them in order.
+	sleeper.Recover()
+	env.RunUntil(env.Now() + 200*time.Millisecond)
+	if got := sleeper.Frontier(); got != 4 {
+		t.Fatalf("recovered replica at frontier %d, want 4", got)
+	}
+	if len(metas) != 4 {
+		t.Fatalf("recovered replica delivered %d metas, want 4", len(metas))
+	}
+	for i, m := range metas {
+		if len(m) != 1 || m[0] != byte(i) {
+			t.Fatalf("meta %d = %v, want [%d]", i, m, i)
+		}
+	}
+}
+
+func TestRecoveredReplicaAdoptsCurrentView(t *testing.T) {
+	env, c := newCluster(t, 4, 1)
+	// Crash the view-0 leader; the cluster rotates to view 1.
+	oldLeader := c.Replicas[c.Leader(0)]
+	oldLeader.Crash()
+	env.RunUntil(env.Now() + 2*time.Second)
+	if v := c.anyView(); v == 0 {
+		t.Fatal("view never advanced past the crashed leader")
+	}
+	// The recovered replica fast-forwards its view from the new leader's
+	// heartbeats instead of walking one silence timeout per missed view.
+	oldLeader.Recover()
+	env.RunUntil(env.Now() + 2*time.Second)
+	if oldLeader.View() < c.anyView() {
+		t.Fatalf("recovered replica stuck at view %d, cluster at %d", oldLeader.View(), c.anyView())
+	}
+	// And the cluster still decides with it participating.
+	leader := c.Replicas[c.Leader(c.anyView())]
+	if err := leader.Propose(recs(500, 1)); err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(env.Now() + 100*time.Millisecond)
+	if len(oldLeader.Decided()) == 0 {
+		t.Fatal("recovered replica missed the post-recovery decision")
 	}
 }
 

@@ -57,6 +57,23 @@ type FleetConfig struct {
 	PerDeviceMilliamps float64
 	// MaxPendingRecords caps the aggregator's seal backlog (0 = default).
 	MaxPendingRecords int
+
+	// Replicas > 1 runs the replicated-aggregator tier: N aggregators as
+	// a consensus cluster sealing one common chain, with a mid-window
+	// leader crash + recovery and a roaming hot-spot wave + rebalancing
+	// choreographed across the run (default 1 = the single-aggregator
+	// ingest scenario above; the replicated scenario defaults to 2000
+	// devices and at least 8 simulated seconds).
+	Replicas int
+	// F is the consensus fault tolerance (default (Replicas-1)/3).
+	F int
+	// WaveFraction of the fleet roams onto one replica in the hot-spot
+	// wave (default 0.15).
+	WaveFraction float64
+	// RebalanceMaxMoves caps planner moves per round in the replicated
+	// scenario (default 64 — a hot spot must shed below high water in a
+	// round or two).
+	RebalanceMaxMoves int
 }
 
 // FleetResult is the outcome of a fleet run.
@@ -85,9 +102,49 @@ type FleetResult struct {
 	// phases only; IngestPerSec is ReportsDelivered over that time.
 	IngestElapsed time.Duration
 	IngestPerSec  float64
+
+	// Replicated-tier outcomes (Replicas > 1).
+	Replicas            int
+	ViewChanges         uint64
+	Crashes             int
+	Recoveries          int
+	DevicesRehomed      int
+	WaveRoamers         int
+	RebalanceMigrations int
+	BatchesDecided      uint64
+	ChainsIdentical     bool
+	ImportErrors        int
+	// RecordsLost counts per-device sequence gaps on the common ledger;
+	// RecordsDuplicated counts (device, seq) pairs sealed more than once.
+	// Both must be zero for a correct failover.
+	RecordsLost       int
+	RecordsDuplicated int
+	// HotspotLoadAfter is the hot-spot replica's final TDMA occupancy
+	// fraction (must end below the planner's high-water mark).
+	HotspotLoadAfter float64
 }
 
 func (c *FleetConfig) defaults() {
+	if c.Replicas > 1 {
+		// The replicated scenario measures failover correctness, not raw
+		// ingest contention: a smaller default fleet keeps the ledger
+		// (every record, on every replica) in check.
+		if c.Devices <= 0 {
+			c.Devices = 2000
+		}
+		if c.Seconds < 8 {
+			c.Seconds = 8
+		}
+		if c.F <= 0 {
+			c.F = (c.Replicas - 1) / 3
+		}
+		if c.WaveFraction <= 0 {
+			c.WaveFraction = 0.15
+		}
+		if c.RebalanceMaxMoves <= 0 {
+			c.RebalanceMaxMoves = 64
+		}
+	}
 	if c.Devices <= 0 {
 		c.Devices = 20000
 	}
@@ -160,9 +217,14 @@ func FleetAssign(deviceShard []int, shards, producers int) [][]int {
 }
 
 // RunFleet drives the fleet scenario and reports ingest and verification
-// outcomes.
+// outcomes. With cfg.Replicas > 1 it runs the replicated-aggregator tier
+// instead: consensus-sealed common chain, mid-window leader crash and
+// recovery, roaming hot-spot wave and dynamic rebalancing.
 func RunFleet(cfg FleetConfig) (FleetResult, error) {
 	cfg.defaults()
+	if cfg.Replicas > 1 {
+		return runReplicatedFleet(cfg)
+	}
 	res := FleetResult{Devices: cfg.Devices, Shards: cfg.Shards, Producers: cfg.Producers}
 
 	env := sim.NewEnv(cfg.Seed)
@@ -394,8 +456,13 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 
 // WriteFleet prints a fleet result.
 func WriteFleet(w io.Writer, r FleetResult) {
-	fmt.Fprintf(w, "Fleet: %d devices (%d roaming), %d shards, %d producers\n",
-		r.Devices, r.Roamers, r.Shards, r.Producers)
+	if r.Replicas > 1 {
+		fmt.Fprintf(w, "Replicated fleet: %d devices over %d aggregator replicas, %d shards each\n",
+			r.Devices, r.Replicas, r.Shards)
+	} else {
+		fmt.Fprintf(w, "Fleet: %d devices (%d roaming), %d shards, %d producers\n",
+			r.Devices, r.Roamers, r.Shards, r.Producers)
+	}
 	fmt.Fprintf(w, "  reports delivered:      %d (%d uplinks lost, %d acks lost, %d churn events)\n",
 		r.ReportsDelivered, r.UplinksLost, r.AcksLost, r.ChurnEvents)
 	fmt.Fprintf(w, "  measurements accepted:  %d (dedup filtered the retransmitted rest)\n", r.MeasurementsAccepted)
@@ -405,4 +472,12 @@ func WriteFleet(w io.Writer, r FleetResult) {
 		r.WindowsClosed, r.WindowsOK, r.WindowsFlagged)
 	fmt.Fprintf(w, "  chain:                  %d blocks, %d records, %d dropped\n",
 		r.BlocksSealed, r.RecordsSealed, r.RecordsDropped)
+	if r.Replicas > 1 {
+		fmt.Fprintf(w, "  consensus:              %d batches decided, %d view change(s), chains identical: %v\n",
+			r.BatchesDecided, r.ViewChanges, r.ChainsIdentical)
+		fmt.Fprintf(w, "  failover:               %d crash / %d recovery, %d devices rehomed, %d lost, %d duplicated\n",
+			r.Crashes, r.Recoveries, r.DevicesRehomed, r.RecordsLost, r.RecordsDuplicated)
+		fmt.Fprintf(w, "  rebalancing:            %d wave roamers, %d migrations, hot spot at %.0f%% occupancy\n",
+			r.WaveRoamers, r.RebalanceMigrations, 100*r.HotspotLoadAfter)
+	}
 }

@@ -1,0 +1,436 @@
+// Replicated fleet driver: the replicated-aggregator tier at fleet scale.
+// N aggregator replicas run as a consensus cluster sealing one common chain
+// while synthetic producers drive the report traffic; the choreography
+// covers, window-aligned:
+//
+//	sec 1, tick 5   the current consensus leader crashes MID-WINDOW; its
+//	                devices fail over to live replicas as foreign-feeder
+//	                guests; the view changes and windows keep sealing
+//	sec 3           the crashed replica recovers, catches up to the
+//	                decided sequence and reclaims its devices; its frozen
+//	                pre-crash records seal late (zero loss)
+//	sec 5           a roaming hot-spot wave: WaveFraction of the fleet
+//	                roams onto one replica as ordinary temporaries (home
+//	                verification over the backhaul, draw moves with them)
+//	sec 6+          the rebalance planner sheds the hot spot below the
+//	                high-water mark; migrations execute with the Fig. 3
+//	                machinery (release slot, temporary grant at target)
+//
+// Like the single-aggregator fleet, devices are synthetic reporters, but
+// every correctness surface is real: TDMA admission, home verification,
+// backhaul forwarding, window sum checks against per-replica feeder-head
+// meters, consensus sealing, failover and recovery.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decentmeter/internal/aggregator"
+	"decentmeter/internal/backhaul"
+	"decentmeter/internal/blockchain"
+	"decentmeter/internal/protocol"
+	"decentmeter/internal/sensor"
+	"decentmeter/internal/sim"
+	"decentmeter/internal/tdma"
+	"decentmeter/internal/units"
+)
+
+// repFleetDevice is one synthetic reporter in the replicated scenario.
+type repFleetDevice struct {
+	id      string
+	home    int // home replica index (master membership)
+	agg     int // replica currently reported to
+	guest   bool
+	seq     uint64
+	lastAck uint64 // raised inline by the serving replica's ack path
+	unacked []protocol.Measurement
+}
+
+// fleetReplica is one replica's driver-side handle.
+type fleetReplica struct {
+	id   string
+	agg  *aggregator.Aggregator
+	load *sensor.StaticLoad
+}
+
+func runReplicatedFleet(cfg FleetConfig) (FleetResult, error) {
+	n := cfg.Replicas
+	res := FleetResult{
+		Devices: cfg.Devices, Shards: cfg.Shards, Producers: cfg.Producers,
+		Replicas: n,
+	}
+	if cfg.Devices < 4*n {
+		return res, fmt.Errorf("fleet: %d devices cannot spread over %d replicas", cfg.Devices, n)
+	}
+
+	env := sim.NewEnv(cfg.Seed)
+	mesh := backhaul.NewMesh(env, time.Millisecond)
+	auth := blockchain.NewAuthority()
+	epoch := time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC)
+	perDevice := units.MilliampsToCurrent(cfg.PerDeviceMilliamps)
+
+	// Per-replica TDMA budget: 2x the even share, so survivors can absorb
+	// a crashed replica's fleet and the hot spot has room to overflow the
+	// high-water mark without running out of slots.
+	capPer := cfg.Devices / n * 2
+	pitch := (100 * time.Millisecond) / time.Duration(capPer+1)
+	if pitch < 5*time.Nanosecond {
+		pitch = 5 * time.Nanosecond
+	}
+	slots := tdma.Config{Superframe: 100 * time.Millisecond, SlotLen: pitch * 4 / 5, Guard: pitch / 5}
+	if slots.Guard <= 0 {
+		slots.Guard = time.Nanosecond
+		slots.SlotLen = pitch - time.Nanosecond
+	}
+
+	// Head-meter calibration: fleet-wide draw as the expected maximum
+	// keeps the INA219 calibration register in range on every replica.
+	maxExpected := units.Current(int64(perDevice) * int64(cfg.Devices))
+	shuntOhms := 0.04096 / (maxExpected.Amps() / 32768 * 60000)
+
+	devices := make([]*repFleetDevice, cfg.Devices)
+	byID := make(map[string]*repFleetDevice, cfg.Devices)
+
+	reps := make([]fleetReplica, n)
+	idx := make(map[string]int, n)
+	members := make([]ReplicaMember, 0, n)
+	for r := 0; r < n; r++ {
+		id := fmt.Sprintf("fleet-agg-%d", r)
+		idx[id] = r
+		load := &sensor.StaticLoad{V: 5 * units.Volt}
+		bus := sensor.NewBus()
+		ina := sensor.NewINA219(load, sensor.INA219Config{Seed: cfg.Seed ^ uint64(r+1), ShuntOhms: shuntOhms})
+		if err := bus.Attach(sensor.AddrINA219Default, ina); err != nil {
+			return res, err
+		}
+		meter, err := sensor.NewMeter(bus, sensor.AddrINA219Default, maxExpected, shuntOhms)
+		if err != nil {
+			return res, err
+		}
+		signer, err := blockchain.NewSigner(id)
+		if err != nil {
+			return res, err
+		}
+		if err := auth.Admit(id, signer.Public()); err != nil {
+			return res, err
+		}
+		agg, err := aggregator.New(aggregator.Config{
+			ID:        id,
+			Env:       env,
+			HeadMeter: meter,
+			WallClock: func() time.Time { return epoch.Add(env.Now()) },
+			Mesh:      mesh,
+			Chain:     blockchain.NewChain(auth), // bypassed once the seal hook installs
+			Signer:    signer,
+			SendToDevice: func(devID string, msg protocol.Message) error {
+				// Report acks run inline on the producer goroutine that
+				// delivered the report, so writing the device's ack
+				// watermark here is owned-by-one-producer safe.
+				if ack, ok := msg.(protocol.ReportAck); ok {
+					if d, ok := byID[devID]; ok && ack.Seq > d.lastAck {
+						d.lastAck = ack.Seq
+					}
+				}
+				return nil
+			},
+			Slots:             slots,
+			Shards:            cfg.Shards,
+			MaxPendingRecords: cfg.MaxPendingRecords,
+		})
+		if err != nil {
+			return res, err
+		}
+		reps[r] = fleetReplica{id: id, agg: agg, load: load}
+		members = append(members, ReplicaMember{ID: id, Agg: agg, Signer: signer})
+	}
+
+	rsCfg := ReplicaSetConfig{F: cfg.F}
+	rsCfg.Balance.HighWater = 0.75
+	rsCfg.Balance.LowWater = 0.6
+	// Headroom below the shed threshold: a plan must never fill a target
+	// past the point where the next round sheds it straight back.
+	rsCfg.Balance.TargetHeadroom = 0.7
+	rsCfg.Balance.MaxMovesPerRound = cfg.RebalanceMaxMoves
+	rs, err := NewReplicaSet(env, auth, func() time.Time { return epoch.Add(env.Now()) }, rsCfg, members)
+	if err != nil {
+		return res, err
+	}
+	rs.OnCrash = func(id string) { _ = mesh.SetDown(id, true) }
+	rs.OnRecover = func(id string) { _ = mesh.SetDown(id, false) }
+	rs.Steer = func(devID, aggID string) {
+		d, okD := byID[devID]
+		to, okT := idx[aggID]
+		if !okD || !okT {
+			return
+		}
+		src, _ := rs.Replica(reps[d.agg].id)
+		switch {
+		case src != nil && src.Crashed():
+			// Crash failover: the device keeps its outlet on the dead
+			// network's feeder; only its reporting moves.
+			d.guest = true
+		case d.guest:
+			// Recovery reclaim: back home, still on its own feeder.
+			d.guest = false
+		default:
+			// Live migration: the (roaming) device moves draw and all.
+			reps[d.agg].load.I -= perDevice
+			reps[to].load.I += perDevice
+		}
+		d.agg = to
+	}
+
+	// Register the fleet round-robin across replicas (master memberships,
+	// admitted inline — no backhaul round trip for home registration).
+	perReplica := make([]int, n)
+	for i := range devices {
+		d := &repFleetDevice{id: fmt.Sprintf("fleet-dev-%05d", i), home: i % n, agg: i % n}
+		devices[i] = d
+		byID[d.id] = d
+		reps[d.home].agg.HandleDeviceMessage(d.id, protocol.Register{DeviceID: d.id})
+		reps[d.home].load.I += perDevice
+		perReplica[d.home]++
+	}
+	for r := 0; r < n; r++ {
+		if got := len(reps[r].agg.Members()); got != perReplica[r] {
+			return res, fmt.Errorf("fleet: replica %d admitted %d of %d devices", r, got, perReplica[r])
+		}
+	}
+
+	assign := make([][]int, cfg.Producers)
+	for i := range devices {
+		assign[i%cfg.Producers] = append(assign[i%cfg.Producers], i)
+	}
+	rngs := make([]*sim.RNG, cfg.Producers)
+	for p := range rngs {
+		rngs[p] = sim.NewRNG(cfg.Seed ^ uint64(p+1)*0x9e3779b97f4a7c15)
+	}
+
+	const (
+		crashSec   = 1
+		crashTick  = 5
+		recoverSec = 3
+		waveSec    = 5
+	)
+	hotspot := 0
+	var crashedID string
+	start := env.Now()
+	var delivered, uplost, acklost atomic.Uint64
+
+	for sec := 0; sec < cfg.Seconds; sec++ {
+		// Window-boundary choreography. The previous second's ticks stop
+		// 1 ms short of the boundary, so membership and feeder-draw moves
+		// land after the old window's last ground sample but before the
+		// close and the new window's first sample — both windows then see
+		// a consistent (draw, reporter) pairing.
+		if sec == recoverSec && crashedID != "" {
+			if err := rs.Recover(crashedID); err != nil {
+				return res, err
+			}
+		}
+		if sec == waveSec {
+			res.WaveRoamers = runWave(cfg, reps, devices, perDevice, hotspot)
+			env.RunUntil(env.Now() + 20*time.Millisecond) // settle verifications
+		}
+		if sec > waveSec {
+			res.RebalanceMigrations += len(rs.RebalanceNow())
+		}
+		// Cross the boundary before the first tick: the window close and
+		// the new window's first ground sample must fire before any
+		// tick-0 report lands.
+		env.RunUntil(start + time.Duration(sec)*time.Second)
+		for tick := 0; tick < 10; tick++ {
+			if sec == crashSec && tick == crashTick {
+				crashedID = rs.LeaderID()
+				hotspot = (idx[crashedID] + 1) % n // heat a surviving replica later
+				if err := rs.Crash(crashedID); err != nil {
+					return res, err
+				}
+				res.DevicesRehomed = len(rs.Migrations())
+			}
+			tickTime := epoch.Add(env.Now())
+			ingestStart := time.Now()
+			var wg sync.WaitGroup
+			for p := 0; p < cfg.Producers; p++ {
+				if len(assign[p]) == 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					rng := rngs[p]
+					for _, di := range assign[p] {
+						d := devices[di]
+						d.seq++
+						m := protocol.Measurement{
+							Seq:       d.seq,
+							Timestamp: tickTime,
+							Interval:  100 * time.Millisecond,
+							Current:   perDevice,
+							Voltage:   5 * units.Volt,
+						}
+						// The unacked tail retransmits marked buffered: it
+						// describes past intervals and must stay out of
+						// the live window sums wherever it lands.
+						batch := make([]protocol.Measurement, 0, 1+len(d.unacked))
+						batch = append(batch, m)
+						for _, u := range d.unacked {
+							u.Buffered = true
+							batch = append(batch, u)
+						}
+						d.unacked = append(d.unacked, m)
+						if rng.Bool(cfg.LossRate) {
+							uplost.Add(1)
+							continue // uplink lost: everything stays unacked
+						}
+						reps[d.agg].agg.HandleDeviceMessage(d.id, protocol.Report{DeviceID: d.id, Measurements: batch})
+						delivered.Add(1)
+						if rng.Bool(cfg.LossRate) {
+							acklost.Add(1)
+							continue // ack lost: the tail retransmits; dedup absorbs it
+						}
+						keep := d.unacked[:0]
+						for _, u := range d.unacked {
+							if u.Seq > d.lastAck {
+								keep = append(keep, u)
+							}
+						}
+						d.unacked = keep
+					}
+				}(p)
+			}
+			wg.Wait()
+			res.IngestElapsed += time.Since(ingestStart)
+			deadline := start + time.Duration(sec)*time.Second + time.Duration(tick+1)*100*time.Millisecond
+			if tick == 9 {
+				deadline -= time.Millisecond // leave room for boundary choreography
+			}
+			env.RunUntil(deadline)
+		}
+	}
+	env.RunUntil(env.Now() + 101*time.Millisecond) // final close + settle the decides
+	rs.Stop()
+	for r := range reps {
+		reps[r].agg.Stop()
+	}
+
+	res.ReportsDelivered = delivered.Load()
+	res.UplinksLost = uplost.Load()
+	res.AcksLost = acklost.Load()
+	res.ViewChanges = rs.CurrentView()
+	res.Crashes = rs.Crashes()
+	res.Recoveries = rs.Recoveries()
+	_, res.BatchesDecided, _ = rs.Stats()
+	res.ChainsIdentical = rs.ChainsIdentical()
+	res.ImportErrors = rs.ImportErrors()
+	for r := range reps {
+		accepted, _, _ := reps[r].agg.Stats()
+		res.MeasurementsAccepted += accepted
+		res.RecordsDropped += reps[r].agg.DroppedRecords()
+		for _, w := range reps[r].agg.Windows() {
+			res.WindowsClosed++
+			if w.Verdict.OK {
+				res.WindowsOK++
+			} else {
+				res.WindowsFlagged++
+			}
+		}
+	}
+	used, capacity := reps[hotspot].agg.SlotStats()
+	if capacity > 0 {
+		res.HotspotLoadAfter = float64(used) / float64(capacity)
+	}
+
+	chain, _ := rs.ChainOf(reps[0].id)
+	res.BlocksSealed = uint64(chain.Length())
+	res.RecordsSealed = chain.TotalRecords()
+	// Every acknowledged measurement must be on the ledger: audit against
+	// each device's ack watermark, not just the highest sealed seq — a
+	// device whose records stopped being sealed entirely would otherwise
+	// hide its own tail loss.
+	acked := make(map[string]uint64, len(devices))
+	for _, d := range devices {
+		acked[d.id] = d.lastAck
+	}
+	res.RecordsLost, res.RecordsDuplicated = auditLedger(chain, acked)
+	if res.IngestElapsed > 0 {
+		res.IngestPerSec = float64(res.ReportsDelivered) / res.IngestElapsed.Seconds()
+	}
+	return res, nil
+}
+
+// runWave roams a slice of the fleet onto the hot-spot replica as ordinary
+// temporaries: draw moves with the device (it physically roams) and the
+// registration runs the real Fig. 3 sequence 2 (home verification over the
+// backhaul).
+func runWave(cfg FleetConfig, reps []fleetReplica, devices []*repFleetDevice,
+	perDevice units.Current, hotspot int) int {
+	want := int(cfg.WaveFraction * float64(cfg.Devices))
+	waved := 0
+	for _, d := range devices {
+		if waved >= want {
+			break
+		}
+		if d.home == hotspot || d.agg != d.home || d.guest {
+			continue
+		}
+		reps[d.agg].load.I -= perDevice
+		reps[hotspot].load.I += perDevice
+		d.agg = hotspot
+		reps[hotspot].agg.HandleDeviceMessage(d.id, protocol.Register{
+			DeviceID:   d.id,
+			MasterAddr: reps[d.home].id,
+		})
+		waved++
+	}
+	return waved
+}
+
+// auditLedger walks the common chain and reports per-device sequence gaps
+// (lost records) and multiply-sealed (device, seq) pairs (duplicates).
+// Coverage is checked up to each device's acknowledged watermark or its
+// highest sealed seq, whichever is larger — acked-but-unsealed tails count
+// as loss.
+func auditLedger(chain *blockchain.Chain, acked map[string]uint64) (lost, dup int) {
+	seen := make(map[string]map[uint64]int, len(acked))
+	for i := 0; i < chain.Length(); i++ {
+		b, err := chain.Block(i)
+		if err != nil {
+			continue
+		}
+		for _, r := range b.Records {
+			m, ok := seen[r.DeviceID]
+			if !ok {
+				m = make(map[uint64]int)
+				seen[r.DeviceID] = m
+			}
+			m[r.Seq]++
+		}
+	}
+	for dev, floor := range acked {
+		if seen[dev] == nil && floor > 0 {
+			lost += int(floor)
+			continue
+		}
+	}
+	for dev, seqs := range seen {
+		max := acked[dev]
+		for s, c := range seqs {
+			if s > max {
+				max = s
+			}
+			if c > 1 {
+				dup += c - 1
+			}
+		}
+		for s := uint64(1); s <= max; s++ {
+			if seqs[s] == 0 {
+				lost++
+			}
+		}
+	}
+	return lost, dup
+}

@@ -56,6 +56,16 @@ type Params struct {
 	// MaxPendingRecords caps each aggregator's seal backlog (0 = the
 	// aggregator default).
 	MaxPendingRecords int
+	// Replicas is the aggregator replica count of the fleet scenario's
+	// replicated tier (<= 1 runs the legacy single-aggregator fleet; see
+	// core.ReplicaSet).
+	Replicas int
+	// ConsensusF is the replicated tier's fault tolerance; Replicas must
+	// be at least 3*ConsensusF+1.
+	ConsensusF int
+	// RebalanceInterval paces the replicated tier's load-balancing loop
+	// (0 = every verification window).
+	RebalanceInterval time.Duration
 }
 
 // DefaultParams returns the testbed configuration.

@@ -54,6 +54,9 @@ type Network struct {
 	AP         radio.AccessPoint
 	Feeder     *grid.Feeder
 	RTC        *sensor.DS3231
+	// Signer is the aggregator's block-producing identity (the replicated
+	// tier pre-seals consensus blocks with it).
+	Signer *blockchain.Signer
 }
 
 // Node bundles one device with its physical position and load.
@@ -158,9 +161,61 @@ func (s *System) AddNetwork(id string, channel int) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Network{ID: id, Aggregator: agg, AP: ap, Feeder: feeder, RTC: rtc}
+	n := &Network{ID: id, Aggregator: agg, AP: ap, Feeder: feeder, RTC: rtc, Signer: signer}
 	s.networks[id] = n
 	return n, nil
+}
+
+// EnableReplication turns the system's aggregators into a ReplicaSet: from
+// now on verified window batches seal through consensus onto per-replica
+// chains (the shared s.Chain stops growing — read the ledger via
+// ReplicaSet.ChainOf), crashes fail devices over to live networks, and the
+// orchestrator rebalances TDMA occupancy. Call it after AddNetwork and
+// before Run.
+func (s *System) EnableReplication(cfg ReplicaSetConfig) (*ReplicaSet, error) {
+	if len(s.networks) < 2 {
+		return nil, errors.New("core: replication needs at least 2 networks")
+	}
+	if cfg.ConsensusLatency <= 0 {
+		cfg.ConsensusLatency = s.Params.BackhaulLatency
+	}
+	if cfg.F == 0 {
+		cfg.F = s.Params.ConsensusF
+	}
+	if cfg.RebalanceInterval == 0 {
+		cfg.RebalanceInterval = s.Params.RebalanceInterval
+	}
+	members := make([]ReplicaMember, 0, len(s.networks))
+	for _, id := range s.NetworkIDs() {
+		net := s.networks[id]
+		members = append(members, ReplicaMember{ID: id, Agg: net.Aggregator, Signer: net.Signer})
+	}
+	epoch := s.epoch
+	rs, err := NewReplicaSet(s.Env, s.Auth,
+		func() time.Time { return epoch.Add(s.Env.Now()) }, cfg, members)
+	if err != nil {
+		return nil, err
+	}
+	// Host hooks: a crash takes down the whole network head — AP off the
+	// air (devices' sends fail, scans skip it) and mesh port dark — and
+	// recovery restores both. Steering is the directed-roam control
+	// channel of the orchestrator.
+	rs.OnCrash = func(id string) {
+		_ = s.Mesh.SetDown(id, true)
+		s.Medium.RemoveAP(id)
+	}
+	rs.OnRecover = func(id string) {
+		_ = s.Mesh.SetDown(id, false)
+		if net, ok := s.networks[id]; ok {
+			_ = s.Medium.AddAP(net.AP)
+		}
+	}
+	rs.Steer = func(deviceID, aggregatorID string) {
+		if node, ok := s.devices[deviceID]; ok {
+			node.Device.Steer(aggregatorID)
+		}
+	}
+	return rs, nil
 }
 
 // AddDevice creates a device and plugs it into networkID. The device's

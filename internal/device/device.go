@@ -250,6 +250,22 @@ func (d *Device) Disconnect() {
 	d.beginScan()
 }
 
+// Steer points the device at a specific aggregator (802.11v-style directed
+// roam): the orchestration layer uses it to execute planned migrations and
+// crash failovers instead of leaving the target choice to the strongest-AP
+// scan. The device optimistically resumes reporting at the target — if it
+// has no membership there, the Nack/registration machinery of Fig. 3 takes
+// over exactly as for an organic roam.
+func (d *Device) Steer(aggregatorID string) {
+	if !d.plugged || aggregatorID == "" {
+		return
+	}
+	d.cancelRetry()
+	d.handshakeStart = 0
+	d.aggregator = aggregatorID
+	d.setState(StateConnected)
+}
+
 func (d *Device) cancelRetry() {
 	d.cfg.Env.Cancel(d.retryEvent)
 	d.retryEvent = sim.EventRef{}
@@ -306,6 +322,10 @@ func (d *Device) register(rssi float64) {
 	d.setState(StateRegistering)
 	msg := protocol.Register{DeviceID: d.cfg.ID, MasterAddr: d.masterAddr, RSSIDBm: rssi}
 	if err := d.cfg.Send(d.aggregator, msg); err != nil {
+		// Disarm any still-armed retry before re-arming: overwriting the
+		// ref would leak the old event and let two scan loops run
+		// concurrently after repeated send failures.
+		d.cancelRetry()
 		d.retryEvent = d.cfg.Env.Schedule(d.cfg.RetryInterval, d.beginScan)
 		return
 	}

@@ -18,13 +18,14 @@ type rig struct {
 	dev  *Device
 	load *sensor.StaticLoad
 
-	sent    []protocol.Message
-	sendTo  []string
-	sendErr error
-	scanAP  radio.ScanResult
-	scanDur time.Duration
-	scanOK  bool
-	scans   int
+	sent      []protocol.Message
+	sendTo    []string
+	sendErr   error
+	scanAP    radio.ScanResult
+	scanDur   time.Duration
+	scanOK    bool
+	scans     int
+	scanTimes []sim.Time
 }
 
 func newRig(t *testing.T) *rig {
@@ -63,6 +64,7 @@ func newRig(t *testing.T) *rig {
 		},
 		Scan: func() (radio.ScanResult, time.Duration, bool) {
 			r.scans++
+			r.scanTimes = append(r.scanTimes, env.Now())
 			return r.scanAP, r.scanDur, r.scanOK
 		},
 		Seed: 7,
@@ -343,6 +345,41 @@ func TestSendFailureTriggersRescan(t *testing.T) {
 	// Data kept during the outage.
 	if r.dev.Buffered() == 0 {
 		t.Fatal("no data retained during outage")
+	}
+}
+
+func TestRepeatedSendFailureSingleScanLoop(t *testing.T) {
+	// Regression: register()'s send-error path overwrote retryEvent without
+	// cancelling the still-armed registration-timeout retry, so a ReportNack
+	// arriving while that timer was armed (with the link then failing)
+	// spawned a second concurrent scan loop — double the scan rate forever.
+	r := newRig(t)
+	r.dev.PlugIn()
+	for r.dev.State() != StateRegistering && r.env.Now() < 6*time.Second {
+		r.env.RunUntil(r.env.Now() + 50*time.Millisecond)
+	}
+	if r.dev.State() != StateRegistering {
+		t.Fatalf("state = %v, want registering (no ack sent)", r.dev.State())
+	}
+	// The 4x-RetryInterval registration timeout is armed. Now the link
+	// fails and a stray Nack triggers an immediate re-register.
+	r.sendErr = errors.New("link gone")
+	r.dev.HandleMessage("agg1", protocol.ReportNack{DeviceID: "dev1"})
+
+	mark := len(r.scanTimes)
+	r.env.RunUntil(r.env.Now() + 60*time.Second)
+	scans := r.scanTimes[mark:]
+	// One retry chain spaces scans by RetryInterval + scan + association +
+	// DHCP — well over a second. A leaked second chain interleaves its own
+	// scans at an arbitrary phase offset, so some pair lands much closer.
+	if len(scans) < 5 {
+		t.Fatalf("retry loop nearly dead: %d scans in 60s", len(scans))
+	}
+	for i := 1; i < len(scans); i++ {
+		if gap := scans[i] - scans[i-1]; gap < 450*time.Millisecond {
+			t.Fatalf("scans %v apart at t=%v — a leaked retry event is running a second scan loop",
+				gap, scans[i])
+		}
 	}
 }
 

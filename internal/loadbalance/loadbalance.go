@@ -15,6 +15,7 @@ package loadbalance
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -34,10 +35,18 @@ type AggregatorState struct {
 	Neighbors []string
 }
 
-// Load returns the occupancy fraction.
+// Load returns the occupancy fraction. A zero-capacity aggregator is a
+// crashed (or administratively drained) node: with devices still attached
+// its load is +Inf — it sorts ahead of every merely-full node, always
+// exceeds any high-water mark, and keeps shedding until nothing migratable
+// remains (no low-water mark can be reached). Empty and dead it carries no
+// load at all. Zero-capacity aggregators are never migration targets.
 func (s AggregatorState) Load() float64 {
 	if s.Capacity == 0 {
-		return 1
+		if len(s.Devices) == 0 {
+			return 0
+		}
+		return math.Inf(1)
 	}
 	return float64(len(s.Devices)) / float64(s.Capacity)
 }
@@ -75,11 +84,29 @@ var ErrNoCapacity = errors.New("loadbalance: no neighbour capacity")
 // overfills a target (moves are accounted against targets as they are
 // planned) and prefers the least-loaded viable neighbour for each move.
 func Plan(cfg Config, states []AggregatorState) ([]Migration, error) {
+	// Field-wise defaults: a caller setting only some knobs keeps the
+	// rest at their standard values instead of having the whole config
+	// silently replaced.
 	if cfg.HighWater == 0 {
-		cfg = DefaultConfig()
+		cfg.HighWater = 0.9
+	}
+	if cfg.LowWater == 0 {
+		cfg.LowWater = 0.7
+	}
+	if cfg.TargetHeadroom == 0 {
+		cfg.TargetHeadroom = 0.8
+	}
+	if cfg.MaxMovesPerRound <= 0 {
+		cfg.MaxMovesPerRound = 8
 	}
 	if cfg.LowWater >= cfg.HighWater {
 		return nil, fmt.Errorf("loadbalance: low water %.2f >= high water %.2f", cfg.LowWater, cfg.HighWater)
+	}
+	// A target filled past the shed threshold would be the next round's
+	// source — the same devices ping-ponging between neighbours. Clamp
+	// the headroom so a plan never creates the overload it cures.
+	if cfg.TargetHeadroom > cfg.HighWater {
+		cfg.TargetHeadroom = cfg.HighWater
 	}
 	byID := make(map[string]*AggregatorState, len(states))
 	// Work on copies so planning does not mutate the caller's snapshot.
@@ -147,10 +174,10 @@ func pickTarget(cfg Config, byID map[string]*AggregatorState, src *AggregatorSta
 	sort.Strings(neighbors)
 	for _, id := range neighbors {
 		t, ok := byID[id]
-		if !ok || t == src {
-			continue
+		if !ok || t == src || t.Capacity == 0 {
+			continue // a dead aggregator can never absorb devices
 		}
-		after := float64(len(t.Devices)+1) / float64(max(t.Capacity, 1))
+		after := float64(len(t.Devices)+1) / float64(t.Capacity)
 		if after > cfg.TargetHeadroom {
 			continue
 		}
@@ -159,13 +186,6 @@ func pickTarget(cfg Config, byID map[string]*AggregatorState, src *AggregatorSta
 		}
 	}
 	return best
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Imbalance summarizes a snapshot: the max-min load spread.

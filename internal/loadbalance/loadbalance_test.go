@@ -3,6 +3,7 @@ package loadbalance
 import (
 	"errors"
 	"fmt"
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -26,6 +27,101 @@ func TestNoMovesWhenBalanced(t *testing.T) {
 	}
 	if len(plan) != 0 {
 		t.Fatalf("plan = %+v, want empty", plan)
+	}
+}
+
+func TestZeroCapacityLoad(t *testing.T) {
+	// Regression: a crashed (zero-slot) aggregator used to report load 1.0
+	// — a merely-full node — so it could sort below a genuinely overloaded
+	// live node and, with a high-water mark at or above 1.0, never shed its
+	// stranded devices at all.
+	dead := mkState("dead", 0, 3, true)
+	if l := dead.Load(); !math.IsInf(l, 1) {
+		t.Fatalf("dead aggregator with devices: load = %v, want +Inf", l)
+	}
+	empty := mkState("empty", 0, 0, true)
+	if l := empty.Load(); l != 0 {
+		t.Fatalf("dead empty aggregator: load = %v, want 0", l)
+	}
+}
+
+func TestDeadAggregatorShedsEverything(t *testing.T) {
+	// HighWater 1.0 is a legal config ("shed only when oversubscribed");
+	// the old load cap of 1.0 meant a dead aggregator never exceeded it
+	// and its devices were stranded forever.
+	cfg := Config{HighWater: 1.0, LowWater: 0.5, TargetHeadroom: 0.8, MaxMovesPerRound: 64}
+	states := []AggregatorState{
+		mkState("dead", 0, 4, true, "live"),
+		mkState("live", 20, 4, true, "dead"),
+	}
+	plan, err := Plan(cfg, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 4 {
+		t.Fatalf("plan moved %d devices, want all 4: %+v", len(plan), plan)
+	}
+	for _, m := range plan {
+		if m.From != "dead" || m.To != "live" {
+			t.Fatalf("unexpected move %+v", m)
+		}
+	}
+}
+
+func TestDeadAggregatorNeverATarget(t *testing.T) {
+	// An overloaded live node must not shed onto a crashed neighbour even
+	// when that neighbour looks empty.
+	states := []AggregatorState{
+		mkState("hot", 10, 10, true, "dead"),
+		mkState("dead", 0, 0, true, "hot"),
+	}
+	plan, err := Plan(DefaultConfig(), states)
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+	if len(plan) != 0 {
+		t.Fatalf("plan = %+v, want no moves into the dead node", plan)
+	}
+}
+
+func TestPartialConfigKeepsOtherDefaults(t *testing.T) {
+	// Setting only the churn cap must not clobber the standard watermarks.
+	cfg := Config{MaxMovesPerRound: 1}
+	states := []AggregatorState{
+		mkState("hot", 10, 10, true, "cold"),
+		mkState("cold", 10, 1, true, "hot"),
+	}
+	plan, err := Plan(cfg, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 {
+		t.Fatalf("churn cap ignored: %d moves", len(plan))
+	}
+}
+
+func TestHeadroomClampedToHighWater(t *testing.T) {
+	// A headroom above the high-water mark would let one round overfill a
+	// target and immediately shed it back — the clamp keeps every target
+	// at or below the shed threshold after the move.
+	cfg := Config{HighWater: 0.75, LowWater: 0.5, TargetHeadroom: 0.95, MaxMovesPerRound: 64}
+	states := []AggregatorState{
+		mkState("hot", 10, 10, true, "cold"),
+		mkState("cold", 10, 5, true, "hot"),
+	}
+	plan, err := Plan(cfg, states)
+	if err != nil && !errors.Is(err, ErrNoCapacity) {
+		t.Fatal(err)
+	}
+	inbound := 5
+	for _, m := range plan {
+		if m.To != "cold" {
+			t.Fatalf("unexpected move %+v", m)
+		}
+		inbound++
+	}
+	if load := float64(inbound) / 10; load > cfg.HighWater {
+		t.Fatalf("plan filled the target to %.2f, above the %.2f shed threshold", load, cfg.HighWater)
 	}
 }
 

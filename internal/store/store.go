@@ -194,9 +194,18 @@ func (w *WAL[T]) Close() error {
 	return w.f.Close()
 }
 
+// maxWALLine bounds one recoverable WAL line; Append writes small
+// single-line records, so anything longer is corruption or a torn write.
+const maxWALLine = 1 << 20
+
 // RecoverWAL reads every record from the log at path. A missing file yields
-// an empty slice. Truncated/corrupt trailing lines are skipped (a crash may
-// have cut a write short); fully corrupt interior lines return an error.
+// an empty slice. A corrupt or oversized line is tolerated only when
+// nothing but blank lines follows it — a crash tears at most the final
+// write. A corrupt line with any later content is interior corruption and
+// returns an error, as do two corrupt lines at the tail (only one write
+// can be torn). Oversized lines are read with a bounded line reader, so an
+// oversized interior run is classified exactly like any other interior
+// corruption instead of silently truncating recovery.
 func RecoverWAL[T any](path string) ([]T, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -207,27 +216,65 @@ func RecoverWAL[T any](path string) ([]T, error) {
 	}
 	defer f.Close()
 	var out []T
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	br := bufio.NewReaderSize(f, 64*1024)
 	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	// pendingErr holds the first bad line; it is fatal only once a later
+	// non-blank line proves the bad line was not the torn tail.
+	var pendingErr error
+	pendingLine := 0
+	for {
+		line, tooLong, readErr := readWALLine(br, maxWALLine)
+		if readErr != nil && readErr != io.EOF {
+			return nil, fmt.Errorf("store: recover wal: %w", readErr)
 		}
-		var v T
-		if err := json.Unmarshal(line, &v); err != nil {
-			// Tolerate a torn final line only.
-			if !sc.Scan() {
-				break
+		if readErr == nil || len(line) > 0 || tooLong {
+			lineNo++ // count blank lines too: errors cite physical lines
+		}
+		if tooLong || len(line) > 0 {
+			if pendingErr != nil {
+				return nil, fmt.Errorf("store: wal line %d corrupt: %w", pendingLine, pendingErr)
 			}
-			return nil, fmt.Errorf("store: wal line %d corrupt: %w", lineNo, err)
+			if tooLong {
+				pendingErr = fmt.Errorf("line exceeds %d bytes", maxWALLine)
+				pendingLine = lineNo
+			} else {
+				var v T
+				if err := json.Unmarshal(line, &v); err != nil {
+					pendingErr = err
+					pendingLine = lineNo
+				} else {
+					out = append(out, v)
+				}
+			}
 		}
-		out = append(out, v)
+		if readErr == io.EOF {
+			// A trailing pendingErr is the tolerated torn final write.
+			return out, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("store: recover wal: %w", err)
+}
+
+// readWALLine reads one newline-terminated line, retaining at most max
+// bytes: a longer line is consumed to its end but reported tooLong instead
+// of returned. err is io.EOF exactly when the file is exhausted (a final
+// unterminated line is still returned alongside it).
+func readWALLine(r *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+	var buf []byte
+	for {
+		frag, ferr := r.ReadSlice('\n')
+		if !tooLong {
+			buf = append(buf, frag...)
+			if len(buf) > max {
+				tooLong = true
+				buf = nil
+			}
+		}
+		if ferr == bufio.ErrBufferFull {
+			continue // keep consuming the same line
+		}
+		if n := len(buf); n > 0 && buf[n-1] == '\n' {
+			buf = buf[:n-1]
+		}
+		return buf, tooLong, ferr
 	}
-	return out, nil
 }

@@ -311,3 +311,96 @@ func TestWALInteriorCorruptionDetected(t *testing.T) {
 		t.Fatal("interior corruption not detected")
 	}
 }
+
+func TestWALCorruptThenValidIsInterior(t *testing.T) {
+	// A corrupt line followed by a valid record cannot be a torn tail.
+	path := filepath.Join(t.TempDir(), "meter.wal")
+	os.WriteFile(path, []byte("{\"seq\":1,\"ma\":0}\n{\"seq\": 2, \"ma\"\n{\"seq\":3,\"ma\":0}\n"), 0o644)
+	if _, err := RecoverWAL[rec](path); err == nil {
+		t.Fatal("corrupt-then-valid not detected as interior corruption")
+	}
+}
+
+func TestWALCorruptFinalLineTolerated(t *testing.T) {
+	// The canonical torn write: a newline-terminated partial record at the
+	// very end of the log.
+	path := filepath.Join(t.TempDir(), "meter.wal")
+	os.WriteFile(path, []byte("{\"seq\":1,\"ma\":0}\n{\"seq\": 2, \"ma\"\n"), 0o644)
+	got, err := RecoverWAL[rec](path)
+	if err != nil {
+		t.Fatalf("corrupt final line not tolerated: %v", err)
+	}
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("recovered %+v, want the one intact record", got)
+	}
+}
+
+func TestWALTwoCorruptTailLinesDetected(t *testing.T) {
+	// Only one write can tear; two corrupt lines at the tail mean the
+	// first is interior corruption.
+	path := filepath.Join(t.TempDir(), "meter.wal")
+	os.WriteFile(path, []byte("{\"seq\":1,\"ma\":0}\ngarbage-one\ngarbage-two\n"), 0o644)
+	if _, err := RecoverWAL[rec](path); err == nil {
+		t.Fatal("two corrupt tail lines not detected")
+	}
+}
+
+func TestWALCorruptTailBeforeBlankLinesTolerated(t *testing.T) {
+	// Regression: the old lookahead consumed the next scanner token without
+	// examining it, so a torn final write followed only by blank lines was
+	// misclassified as interior corruption.
+	path := filepath.Join(t.TempDir(), "meter.wal")
+	os.WriteFile(path, []byte("{\"seq\":1,\"ma\":0}\n{\"seq\": 2, \"ma\"\n\n"), 0o644)
+	got, err := RecoverWAL[rec](path)
+	if err != nil {
+		t.Fatalf("torn tail before blank lines not tolerated: %v", err)
+	}
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("recovered %+v, want the one intact record", got)
+	}
+}
+
+func TestWALOversizedInteriorLineDetected(t *testing.T) {
+	// Regression: an oversized interior line used to stop the scanner
+	// cold, silently discarding every valid record after it. It must be
+	// classified like any other interior corruption: loud error.
+	path := filepath.Join(t.TempDir(), "meter.wal")
+	junk := make([]byte, 2<<20)
+	for i := range junk {
+		junk[i] = 'x'
+	}
+	content := append([]byte("{\"seq\":1,\"ma\":0}\n"), junk...)
+	content = append(content, []byte("\n{\"seq\":2,\"ma\":0}\n")...)
+	os.WriteFile(path, content, 0o644)
+	if _, err := RecoverWAL[rec](path); err == nil {
+		t.Fatal("oversized interior line with valid records after it not detected")
+	}
+}
+
+func TestWALOversizedTailSalvaged(t *testing.T) {
+	// Regression: an oversized unterminated tail used to surface
+	// bufio.ErrTooLong as a fatal recovery error, losing every intact
+	// record before it.
+	path := filepath.Join(t.TempDir(), "meter.wal")
+	w, _ := OpenWAL[rec](path)
+	w.Append(rec{Seq: 1})
+	w.Append(rec{Seq: 2})
+	w.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := make([]byte, 2<<20) // larger than the scanner's 1 MiB line cap
+	for i := range junk {
+		junk[i] = 'x'
+	}
+	f.Write(junk)
+	f.Close()
+	got, err := RecoverWAL[rec](path)
+	if err != nil {
+		t.Fatalf("oversized tail not salvaged: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(got))
+	}
+}

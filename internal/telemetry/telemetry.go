@@ -129,10 +129,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 		cum += c
 		if cum >= target {
 			switch {
-			case i == 0:
-				return h.bounds[0]
+			// Order matters: with zero bounds the single bucket satisfies
+			// both i == 0 and i == len(h.bounds); only the overflow arm is
+			// safe to take (h.bounds[0] does not exist).
 			case i == len(h.bounds):
 				return h.maxSeen
+			case i == 0:
+				return h.bounds[0]
 			default:
 				return (h.bounds[i-1] + h.bounds[i]) / 2
 			}

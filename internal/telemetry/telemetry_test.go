@@ -63,6 +63,28 @@ func TestHistogramEmpty(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileZeroBounds(t *testing.T) {
+	// Regression: with no bounds the single overflow bucket satisfies both
+	// switch arms, and taking the i == 0 arm indexed into the empty bounds
+	// slice and panicked.
+	h := NewHistogram(nil)
+	for _, v := range []float64{2, 4, 8} {
+		h.Observe(v)
+	}
+	if q := h.Quantile(0.5); q != 8 {
+		t.Fatalf("p50 = %v, want maxSeen 8", q)
+	}
+	if q := h.Quantile(1.0); q != 8 {
+		t.Fatalf("p100 = %v, want maxSeen 8", q)
+	}
+	// Same shape via an empty (non-nil) bounds slice.
+	h2 := NewHistogram([]float64{})
+	h2.Observe(1.5)
+	if q := h2.Quantile(0.9); q != 1.5 {
+		t.Fatalf("p90 = %v, want 1.5", q)
+	}
+}
+
 func TestSeriesRing(t *testing.T) {
 	s := NewSeries("current", 3)
 	for i := 0; i < 5; i++ {

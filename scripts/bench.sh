@@ -10,7 +10,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_report.json}"
-benches='BenchmarkProtocolEncodeDecode|BenchmarkMQTTTopicMatch|BenchmarkSimKernel|BenchmarkChainAppend|BenchmarkReportPath|BenchmarkBrokerFanout|BenchmarkStoreAndForward|BenchmarkAggregatorIngestSharded'
+benches='BenchmarkProtocolEncodeDecode|BenchmarkMQTTTopicMatch|BenchmarkSimKernel|BenchmarkChainAppend|BenchmarkReportPath|BenchmarkBrokerFanout|BenchmarkStoreAndForward|BenchmarkAggregatorIngestSharded|BenchmarkConsensusDecide'
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -22,18 +22,20 @@ BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""; rps = ""
+    ns = ""; bytes = ""; allocs = ""; rps = ""; recs = ""
     for (i = 2; i <= NF; i++) {
         if ($(i) == "ns/op")     ns = $(i-1)
         if ($(i) == "B/op")      bytes = $(i-1)
         if ($(i) == "allocs/op") allocs = $(i-1)
         if ($(i) == "reports/s") rps = $(i-1)
+        if ($(i) == "records/s") recs = $(i-1)
     }
     if (ns == "") next
     entry = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
     if (bytes != "")  entry = entry sprintf(", \"bytes_per_op\": %s", bytes)
     if (allocs != "") entry = entry sprintf(", \"allocs_per_op\": %s", allocs)
     if (rps != "")    entry = entry sprintf(", \"reports_per_sec\": %s", rps)
+    if (recs != "")   entry = entry sprintf(", \"records_per_sec\": %s", recs)
     entry = entry "}"
     entries[n++] = entry
 }
