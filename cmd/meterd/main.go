@@ -19,8 +19,12 @@
 // With -replicas N (N > 1) the ledger itself is replicated: every sealed
 // batch runs through an in-process PBFT-style consensus cluster, the
 // current leader pre-seals the block, and N chain replicas import the
-// byte-identical result. Shutdown persists all copies (-chain plus
-// -chain.r1 .. -chain.r(N-1)); chainctl verify passes on each.
+// byte-identical result. The seal loop is pipelined: an oversized backlog
+// is split into up to -pipeline chunks kept in flight simultaneously
+// (speculatively chained by header hash), and each replica group-commits
+// the decided blocks onto its chain in one batch import. Shutdown persists
+// all copies (-chain plus -chain.r1 .. -chain.r(N-1)); chainctl verify
+// passes on each.
 package main
 
 import (
@@ -99,28 +103,47 @@ func (s *server) shardFor(deviceID string) *ingestShard {
 
 // repSealer replicates the daemon's ledger: N consensus replicas agree on
 // every sealed batch, the leader pre-seals the block (header + signature),
-// and each replica imports the identical block onto its own chain copy —
+// and each replica imports the identical result onto its own chain copy —
 // the single-process form of the simulation's replicated-aggregator tier.
-// All methods run under the server's sealMu, so the embedded DES (which
-// exists only to drive the consensus message exchange) is single-threaded.
+// Sealing is pipelined: a backlog larger than one block's worth is split
+// into up to `window` chunks proposed back-to-back (each chunk's header
+// speculatively chained to the hash of the previous in-flight one), and the
+// decided blocks land on each replica's chain through one group-committed
+// ImportBatch instead of per-block imports. All methods run under the
+// server's sealMu, so the embedded DES (which exists only to drive the
+// consensus message exchange) is single-threaded.
 type repSealer struct {
 	env     *sim.Env
 	cluster *consensus.Cluster
+	window  int
 	ids     []string
 	chains  map[string]*blockchain.Chain
 	signers map[string]*blockchain.Signer
+	// pending buffers each replica's decided blocks, in decide order,
+	// until the group commit at the end of the seal round.
+	pending map[string][]*blockchain.Block
 	// importErrs counts per-replica decode/import failures; a diverged
 	// replica must be loud, not silently persisted short.
 	importErrs map[string]int
 	logger     *log.Logger
 }
 
-func newRepSealer(baseID string, n int, auth *blockchain.Authority, logger *log.Logger) (*repSealer, error) {
+// sealChunkRecords is the backlog size at which the seal loop starts
+// splitting into pipelined chunks: below it one proposal per interval is
+// cheapest, above it the agreement round-trips overlap instead of queueing.
+const sealChunkRecords = 4096
+
+func newRepSealer(baseID string, n, window int, auth *blockchain.Authority, logger *log.Logger) (*repSealer, error) {
+	if window < 1 {
+		window = 1
+	}
 	env := sim.NewEnv(1)
 	r := &repSealer{
 		env:        env,
+		window:     window,
 		chains:     make(map[string]*blockchain.Chain, n),
 		signers:    make(map[string]*blockchain.Signer, n),
+		pending:    make(map[string][]*blockchain.Block, n),
 		importErrs: make(map[string]int, n),
 		logger:     logger,
 	}
@@ -141,57 +164,107 @@ func newRepSealer(baseID string, n int, auth *blockchain.Authority, logger *log.
 	if err != nil {
 		return nil, err
 	}
+	cluster.SetWindow(window)
 	r.cluster = cluster
 	for _, id := range r.ids {
 		id := id
-		chain := r.chains[id]
 		cluster.Replicas[id].OnDecideMeta = func(seq uint64, records []blockchain.Record, meta []byte) {
 			hdr, sig, err := blockchain.DecodeSealMeta(meta)
 			if err != nil {
 				r.importErrs[id]++
 				return
 			}
-			if err := chain.Import(&blockchain.Block{
-				Header:  hdr,
-				Records: append([]blockchain.Record(nil), records...),
-				Sig:     sig,
-			}); err != nil {
-				r.importErrs[id]++
-			}
+			// The decided records slice is the proposal's chunk copy,
+			// immutable and shared by every replica's block.
+			r.pending[id] = append(r.pending[id], &blockchain.Block{
+				Header: hdr, Records: records, Sig: sig,
+			})
 		}
 	}
 	return r, nil
 }
 
-// seal runs one batch through consensus; the caller holds sealMu.
+// flush group-commits each replica's decided blocks onto its chain.
+func (r *repSealer) flush() {
+	for _, id := range r.ids {
+		group := r.pending[id]
+		if len(group) == 0 {
+			continue
+		}
+		r.pending[id] = nil
+		if err := r.chains[id].ImportBatch(group); err != nil {
+			r.importErrs[id]++
+			r.logger.Printf("replica %s group commit of %d blocks failed: %v", id, len(group), err)
+		}
+	}
+}
+
+// seal runs one backlog through the pipelined consensus; the caller holds
+// sealMu.
 func (r *repSealer) seal(at time.Time, records []blockchain.Record) error {
 	leaderID := r.cluster.Leader(r.cluster.CurrentView())
+	leader := r.cluster.Replicas[leaderID]
 	chain := r.chains[leaderID]
-	before := r.chains[r.ids[0]].Length()
-	blk, err := chain.PrepareBlock(r.signers[leaderID], at, records)
-	if err != nil {
-		return err
+	primary := r.chains[r.ids[0]]
+	before := primary.Length()
+
+	// Chunking: pipeline the backlog as up to `window` in-flight proposals
+	// once it exceeds one chunk's worth of records.
+	chunks := (len(records) + sealChunkRecords - 1) / sealChunkRecords
+	if chunks < 1 {
+		chunks = 1
 	}
-	meta, err := blockchain.EncodeSealMeta(blk.Header, blk.Sig)
-	if err != nil {
-		return err
+	if chunks > r.window {
+		chunks = r.window
 	}
-	if err := r.cluster.Replicas[leaderID].ProposeMeta(records, meta); err != nil {
-		return err
+	per := (len(records) + chunks - 1) / chunks
+
+	var prev blockchain.Hash
+	var index uint64
+	if head := chain.Head(); head != nil {
+		prev = head.Hash()
+		index = head.Header.Index + 1
 	}
-	// Drive the embedded DES until the decide round-trips settle.
+	proposed := 0
+	for start := 0; start < len(records); start += per {
+		end := start + per
+		if end > len(records) {
+			end = len(records)
+		}
+		// Copy the chunk: consensus retains the batch (decided log,
+		// catch-up replay) while the caller reuses its backlog buffer.
+		chunk := append([]blockchain.Record(nil), records[start:end]...)
+		blk, err := chain.PrepareBlockAt(r.signers[leaderID], at, index, prev, chunk)
+		if err != nil {
+			return err
+		}
+		meta, err := blockchain.EncodeSealMeta(blk.Header, blk.Sig)
+		if err != nil {
+			return err
+		}
+		if err := leader.ProposeMeta(chunk, meta); err != nil {
+			return err
+		}
+		prev = blk.Hash()
+		index++
+		proposed++
+	}
+	// Drive the embedded DES until the decide round-trips settle, then
+	// group-commit every replica's decided window.
 	r.env.RunUntil(r.env.Now() + time.Second)
-	if r.chains[r.ids[0]].Length() != before+1 {
-		return fmt.Errorf("batch did not decide (chain at %d blocks)", r.chains[r.ids[0]].Length())
+	r.flush()
+	if primary.Length() != before+proposed {
+		return fmt.Errorf("backlog did not decide (%d of %d blocks landed)",
+			primary.Length()-before, proposed)
 	}
 	// Primary advanced — the batch is consumed (returning an error here
 	// would re-propose it and double-seal the primary). A replica that
 	// failed to keep up is a divergence bug: log it loudly; persist()
 	// warns again before writing the short copy.
 	for _, id := range r.ids[1:] {
-		if r.chains[id].Length() != before+1 {
+		if r.chains[id].Length() != before+proposed {
 			r.logger.Printf("replica %s DIVERGED at %d blocks (%d import errors); primary sealed %d",
-				id, r.chains[id].Length(), r.importErrs[id], before+1)
+				id, r.chains[id].Length(), r.importErrs[id], before+proposed)
 		}
 	}
 	return nil
@@ -206,6 +279,7 @@ func main() {
 	slots := flag.Int("slots", 40, "TDMA slot budget (device admission limit)")
 	shards := flag.Int("shards", 1, "report ingest shards (device-hash partitions)")
 	replicas := flag.Int("replicas", 1, "chain replicas sealing via in-process consensus\n(1 = plain local sealing; N > 1 writes -chain plus -chain.r1..r(N-1), all byte-identical)")
+	pipeline := flag.Int("pipeline", 4, "consensus-seal pipeline depth: proposals kept in flight\nwhen the replicated seal loop splits an oversized backlog")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "meterd ", log.LstdFlags|log.Lmsgprefix)
@@ -233,7 +307,7 @@ func main() {
 		deviceTopicPrefix: "meters/" + *id + "/",
 	}
 	if *replicas > 1 {
-		rep, err := newRepSealer(*id, *replicas, auth, logger)
+		rep, err := newRepSealer(*id, *replicas, *pipeline, auth, logger)
 		if err != nil {
 			logger.Fatal(err)
 		}
@@ -241,8 +315,8 @@ func main() {
 		// The "server chain" becomes replica 0's copy, so persistence and
 		// logging keep working unchanged.
 		s.chain = rep.chains[rep.ids[0]]
-		logger.Printf("replicated sealing: %d chain replicas, consensus leader %s",
-			*replicas, rep.cluster.Leader(0))
+		logger.Printf("replicated sealing: %d chain replicas, pipeline depth %d, consensus leader %s",
+			*replicas, rep.window, rep.cluster.Leader(0))
 	}
 	for i := range s.shards {
 		s.shards[i] = &ingestShard{members: make(map[string]*member)}

@@ -51,8 +51,10 @@ type FleetConfig = core.FleetConfig
 type FleetResult = core.FleetResult
 
 // ReplicaSetConfig tunes the replicated-aggregator tier created by
-// System.EnableReplication: consensus fault tolerance, proposal pacing and
-// the load-balancing loop.
+// System.EnableReplication: consensus fault tolerance, proposal pacing,
+// the consensus-seal pipeline depth (PipelineDepth: how many pre-sealed
+// proposals the leader keeps in flight; window closes hand their batch to
+// the pipeline and return immediately) and the load-balancing loop.
 type ReplicaSetConfig = core.ReplicaSetConfig
 
 // ReplicaSet runs a system's aggregators as a consensus cluster with crash

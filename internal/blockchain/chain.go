@@ -176,6 +176,9 @@ type Chain struct {
 	// use; callers (aggregator, meterd) serialize access already.
 	leafBuf    []Hash
 	marshalBuf []byte
+	// unsigned counts appended blocks whose deferred signature has not
+	// attached yet (see AppendUnsealed).
+	unsigned int
 }
 
 // NewChain creates an empty chain governed by authority (may be nil for an
@@ -211,12 +214,7 @@ func (c *Chain) Seal(s *Signer, at time.Time, records []Record) (*Block, error) 
 	if len(records) == 0 {
 		return nil, ErrEmptyBlock
 	}
-	var prev Hash
-	var index uint64
-	if head := c.Head(); head != nil {
-		prev = head.Hash()
-		index = head.Header.Index + 1
-	}
+	prev, index := c.nextLink()
 	hdr := Header{
 		Index:      index,
 		PrevHash:   prev,
@@ -245,14 +243,20 @@ func (c *Chain) Seal(s *Signer, at time.Time, records []Record) (*Block, error) 
 // byte-identical block (ECDSA signatures are randomized, so each replica
 // signing locally would diverge; signing once and replicating does not).
 func (c *Chain) PrepareBlock(s *Signer, at time.Time, records []Record) (*Block, error) {
+	prev, index := c.nextLink()
+	return c.PrepareBlockAt(s, at, index, prev, append([]Record(nil), records...))
+}
+
+// PrepareBlockAt is PrepareBlock with explicit chain linkage: the pipelined
+// seal path prepares block k+1 against the hash of the just-prepared (still
+// undecided) block k instead of the applied chain head, keeping several
+// proposals in flight. Block hashes cover the header only — never the
+// signature — so speculative linkage is exact, not a guess. The records
+// slice is NOT copied: the pipeline shares one immutable batch between the
+// agreement queue, the proposal and every replica's imported block.
+func (c *Chain) PrepareBlockAt(s *Signer, at time.Time, index uint64, prev Hash, records []Record) (*Block, error) {
 	if len(records) == 0 {
 		return nil, ErrEmptyBlock
-	}
-	var prev Hash
-	var index uint64
-	if head := c.Head(); head != nil {
-		prev = head.Hash()
-		index = head.Header.Index + 1
 	}
 	hdr := Header{
 		Index:      index,
@@ -265,19 +269,70 @@ func (c *Chain) PrepareBlock(s *Signer, at time.Time, records []Record) (*Block,
 	if err != nil {
 		return nil, err
 	}
-	return &Block{Header: hdr, Records: append([]Record(nil), records...), Sig: sig}, nil
+	return &Block{Header: hdr, Records: records, Sig: sig}, nil
 }
 
-// append validates and links an externally produced block.
-func (c *Chain) append(b *Block) error {
+// AppendUnsealed runs the synchronous hash/Merkle stage of Seal and links
+// the block onto the chain with an empty signature — the ECDSA sign stage
+// runs later (typically on a SealWorker off the window-close critical path)
+// and attaches via AttachSignature. Verify, Export and Import all reject
+// unsigned blocks, so a signature cannot be skipped, only deferred.
+func (c *Chain) AppendUnsealed(producer string, at time.Time, records []Record) (*Block, error) {
+	if producer == "" {
+		return nil, errors.New("blockchain: unsealed block requires a producer")
+	}
+	if len(records) == 0 {
+		return nil, ErrEmptyBlock
+	}
+	prev, index := c.nextLink()
+	hdr := Header{
+		Index:      index,
+		PrevHash:   prev,
+		MerkleRoot: merkleRootInPlace(c.leafHashesScratch(records)),
+		Timestamp:  at.UTC(),
+		Producer:   producer,
+	}
+	blk := &Block{Header: hdr, Records: append([]Record(nil), records...)}
+	c.blocks = append(c.blocks, blk)
+	c.unsigned++
+	return blk, nil
+}
+
+// AttachSignature completes the deferred sign stage for block index. The
+// signature is verified against the authority set before it sticks — a
+// forged or unadmitted signature cannot finish a block.
+func (c *Chain) AttachSignature(index uint64, sig Signature) error {
+	if index >= uint64(len(c.blocks)) {
+		return fmt.Errorf("blockchain: attach signature: block %d of %d", index, len(c.blocks))
+	}
+	b := c.blocks[index]
+	if b.Sig.R != nil || b.Sig.S != nil {
+		return fmt.Errorf("blockchain: block %d already signed", index)
+	}
+	if sig.R == nil || sig.S == nil {
+		return fmt.Errorf("%w: block %d: nil signature", ErrBadSignature, index)
+	}
+	if c.authority != nil {
+		if err := c.authority.Verify(b.Header.Producer, b.Hash(), sig); err != nil {
+			return err
+		}
+	}
+	b.Sig = sig
+	c.unsigned--
+	return nil
+}
+
+// UnsignedBlocks reports how many appended blocks still await their
+// deferred signature (0 once the seal pipeline has drained).
+func (c *Chain) UnsignedBlocks() int { return c.unsigned }
+
+// validateLink runs the structural (signature-free) acceptance checks for a
+// block expected at (wantPrev, wantIndex): emptiness, chain linkage, index
+// and Merkle root. Single-block append and ImportBatch share it, so a rule
+// added here applies to both import paths.
+func (c *Chain) validateLink(b *Block, wantPrev Hash, wantIndex uint64) error {
 	if len(b.Records) == 0 {
 		return ErrEmptyBlock
-	}
-	var wantPrev Hash
-	var wantIndex uint64
-	if head := c.Head(); head != nil {
-		wantPrev = head.Hash()
-		wantIndex = head.Header.Index + 1
 	}
 	if b.Header.PrevHash != wantPrev {
 		return ErrBadPrevHash
@@ -287,6 +342,24 @@ func (c *Chain) append(b *Block) error {
 	}
 	if b.Header.MerkleRoot != merkleRootInPlace(c.leafHashesScratch(b.Records)) {
 		return ErrBadMerkleRoot
+	}
+	return nil
+}
+
+// nextLink returns the (prevHash, index) position the next appended block
+// must occupy.
+func (c *Chain) nextLink() (Hash, uint64) {
+	if head := c.Head(); head != nil {
+		return head.Hash(), head.Header.Index + 1
+	}
+	return Hash{}, 0
+}
+
+// append validates and links an externally produced block.
+func (c *Chain) append(b *Block) error {
+	wantPrev, wantIndex := c.nextLink()
+	if err := c.validateLink(b, wantPrev, wantIndex); err != nil {
+		return err
 	}
 	if c.authority != nil {
 		if err := c.authority.Verify(b.Header.Producer, b.Hash(), b.Sig); err != nil {
@@ -300,6 +373,36 @@ func (c *Chain) append(b *Block) error {
 // Import appends an externally produced block (e.g. received from another
 // aggregator over the backhaul) after full validation.
 func (c *Chain) Import(b *Block) error { return c.append(b) }
+
+// ImportBatch appends a group of externally produced blocks atomically
+// (group commit): first a structural pass links the whole group (emptiness,
+// prev-hash, index, Merkle root), then every producer signature is verified
+// in one batched pass, and only then does the group land on the chain —
+// all-or-nothing, so a bad block in the middle cannot leave a half-imported
+// group behind. The pipelined seal path uses it to commit a drained window
+// of decided blocks in one call.
+func (c *Chain) ImportBatch(blocks []*Block) error {
+	if len(blocks) == 0 {
+		return nil
+	}
+	wantPrev, wantIndex := c.nextLink()
+	for i, b := range blocks {
+		if err := c.validateLink(b, wantPrev, wantIndex); err != nil {
+			return fmt.Errorf("blockchain: import batch block %d: %w", i, err)
+		}
+		wantPrev = b.Hash()
+		wantIndex++
+	}
+	if c.authority != nil {
+		for i, b := range blocks {
+			if err := c.authority.Verify(b.Header.Producer, b.Hash(), b.Sig); err != nil {
+				return fmt.Errorf("blockchain: import batch block %d: %w", i, err)
+			}
+		}
+	}
+	c.blocks = append(c.blocks, blocks...)
+	return nil
+}
 
 // Verify re-validates the entire chain: linkage, indices, Merkle roots and
 // signatures. It returns the height of the first bad block with

@@ -1,0 +1,281 @@
+package blockchain
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"decentmeter/internal/units"
+)
+
+func pipelineRecords(base uint64, n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = Record{
+			DeviceID: "dev", Seq: base + uint64(i), HomeAggregator: "agg1", ReportedVia: "agg1",
+			Timestamp: time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC),
+			Interval:  100 * time.Millisecond,
+			Current:   80 * units.Milliampere, Voltage: 5 * units.Volt, Energy: 11,
+		}
+	}
+	return out
+}
+
+func pipelineChain(t *testing.T) (*Chain, *Signer, *Authority) {
+	t.Helper()
+	signer, err := NewSigner("agg1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth := NewAuthority()
+	if err := auth.Admit("agg1", signer.Public()); err != nil {
+		t.Fatal(err)
+	}
+	return NewChain(auth), signer, auth
+}
+
+// TestAppendUnsealedThenAttach drives the split seal pipeline end to end:
+// the hash/Merkle stage appends unsigned blocks synchronously, the ECDSA
+// stage signs on a SealWorker, and the chain only verifies once every
+// deferred signature has attached.
+func TestAppendUnsealedThenAttach(t *testing.T) {
+	chain, signer, _ := pipelineChain(t)
+	worker, err := NewSealWorker(signer, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const blocks = 5
+	for i := 0; i < blocks; i++ {
+		blk, err := chain.AppendUnsealed("agg1", time.Now(), pipelineRecords(uint64(i*10), 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := worker.Submit(blk.Header.Index, blk.Hash()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := chain.UnsignedBlocks(); got != blocks {
+		t.Fatalf("%d unsigned blocks, want %d", got, blocks)
+	}
+	// An unsigned chain must not verify: the signature is deferred, never
+	// optional.
+	if bad, err := chain.Verify(); err == nil || bad == -1 {
+		t.Fatal("chain with unsigned blocks verified")
+	}
+	worker.Close()
+	for r := range worker.Results() {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if err := chain.AttachSignature(r.Seq, r.Sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := chain.UnsignedBlocks(); got != 0 {
+		t.Fatalf("%d unsigned blocks after drain, want 0", got)
+	}
+	if bad, err := chain.Verify(); err != nil || bad != -1 {
+		t.Fatalf("sealed chain failed verification: block %d, %v", bad, err)
+	}
+}
+
+// TestAttachSignatureRejectsForged pins the trust model across the split:
+// a signature from an unadmitted key cannot finish a block, and a finished
+// block cannot be re-signed.
+func TestAttachSignatureRejectsForged(t *testing.T) {
+	chain, signer, _ := pipelineChain(t)
+	blk, err := chain.AppendUnsealed("agg1", time.Now(), pipelineRecords(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forger, err := NewSigner("agg1") // same ID, different (unadmitted) key
+	if err != nil {
+		t.Fatal(err)
+	}
+	badSig, err := forger.Sign(blk.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.AttachSignature(0, badSig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("forged signature attached: err = %v", err)
+	}
+	if chain.UnsignedBlocks() != 1 {
+		t.Fatal("forged attach consumed the unsigned slot")
+	}
+	goodSig, err := signer.Sign(blk.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.AttachSignature(0, goodSig); err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.AttachSignature(0, goodSig); err == nil {
+		t.Fatal("double attach accepted")
+	}
+	if err := chain.AttachSignature(7, goodSig); err == nil {
+		t.Fatal("out-of-range attach accepted")
+	}
+}
+
+// TestImportBatchAllOrNothing: a valid group commits in one call; a group
+// with a tampered middle block is refused without importing anything.
+func TestImportBatchAllOrNothing(t *testing.T) {
+	src, signer, auth := pipelineChain(t)
+	var group []*Block
+	for i := 0; i < 4; i++ {
+		blk, err := src.Seal(signer, time.Now(), pipelineRecords(uint64(i*10), 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		group = append(group, blk)
+	}
+	dst := NewChain(auth)
+	if err := dst.ImportBatch(group); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Length() != 4 {
+		t.Fatalf("imported %d blocks, want 4", dst.Length())
+	}
+	if bad, err := dst.Verify(); err != nil || bad != -1 {
+		t.Fatalf("imported chain failed verification: block %d, %v", bad, err)
+	}
+
+	// Tamper a middle block's records: the whole group must be refused.
+	dst2 := NewChain(auth)
+	tampered := *group[2]
+	tampered.Records = append([]Record(nil), group[2].Records...)
+	tampered.Records[0].Energy += 99
+	badGroup := []*Block{group[0], group[1], &tampered, group[3]}
+	if err := dst2.ImportBatch(badGroup); err == nil {
+		t.Fatal("tampered group imported")
+	}
+	if dst2.Length() != 0 {
+		t.Fatalf("partial import: %d blocks landed from a refused group", dst2.Length())
+	}
+	// Empty batch is a no-op.
+	if err := dst2.ImportBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrepareBlockAtSpeculativeLinkage prepares a window of blocks chained
+// by header hash before any of them lands (the pipelined leader's view),
+// then group-imports them — the speculative linkage must be exact.
+func TestPrepareBlockAtSpeculativeLinkage(t *testing.T) {
+	chain, signer, auth := pipelineChain(t)
+	var prev Hash
+	var group []*Block
+	for i := 0; i < 3; i++ {
+		blk, err := chain.PrepareBlockAt(signer, time.Now(), uint64(i), prev, pipelineRecords(uint64(i*10), 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = blk.Hash()
+		group = append(group, blk)
+	}
+	if chain.Length() != 0 {
+		t.Fatal("PrepareBlockAt appended")
+	}
+	dst := NewChain(auth)
+	if err := dst.ImportBatch(group); err != nil {
+		t.Fatal(err)
+	}
+	if bad, err := dst.Verify(); err != nil || bad != -1 {
+		t.Fatalf("speculative group failed verification: block %d, %v", bad, err)
+	}
+}
+
+// TestSealWorkerCloseDrainsWithFullBuffers reproduces the close-time
+// deadlock: with unread results filling the channel AND jobs still queued,
+// a Close that waited for the workers inline could never return (the
+// worker blocks sending, the caller never reaches its drain loop). Close
+// must let the post-Close range drain everything.
+func TestSealWorkerCloseDrainsWithFullBuffers(t *testing.T) {
+	signer, err := NewSigner("agg1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// depth 1, 1 worker: results cap is 2. Stuff jobs until Submit refuses
+	// without reading a single result — the worst shutdown state.
+	worker, err := NewSealWorker(signer, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Hash
+	h[0] = 7
+	accepted := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := worker.Submit(uint64(accepted), h); err != nil {
+			if accepted >= 3 {
+				break // queue + in-flight + results all saturated
+			}
+			time.Sleep(time.Millisecond) // let the worker drain one job
+			continue
+		}
+		accepted++
+	}
+	if accepted < 3 {
+		t.Fatalf("only %d jobs accepted before the deadline", accepted)
+	}
+	done := make(chan int)
+	go func() {
+		worker.Close()
+		n := 0
+		for r := range worker.Results() {
+			if r.Err != nil {
+				t.Error(r.Err)
+			}
+			n++
+		}
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		if n != accepted {
+			t.Fatalf("drained %d of %d accepted jobs", n, accepted)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close + drain deadlocked with full result buffer and queued jobs")
+	}
+}
+
+// TestSealWorkerBackpressure pins the bounded-queue contract: a full queue
+// refuses with ErrSealBacklog rather than blocking or growing, and draining
+// results frees it.
+func TestSealWorkerBackpressure(t *testing.T) {
+	signer, err := NewSigner("agg1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, err := NewSealWorker(signer, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+	var h Hash
+	h[0] = 1
+	// Flood: with queue depth 1 and one (busy) worker, some submission
+	// must eventually refuse.
+	refused := false
+	for i := 0; i < 64 && !refused; i++ {
+		if err := worker.Submit(uint64(i), h); errors.Is(err, ErrSealBacklog) {
+			refused = true
+		}
+	}
+	if !refused {
+		t.Fatal("bounded queue never refused a flood")
+	}
+	// Drain everything accepted so far; the queue accepts again.
+	worker.Close()
+	n := 0
+	for r := range worker.Results() {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no accepted job was signed")
+	}
+}

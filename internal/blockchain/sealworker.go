@@ -1,0 +1,111 @@
+package blockchain
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrSealBacklog is returned by SealWorker.Submit when the bounded sign
+// queue is full — the caller drains Results (attaching finished signatures)
+// before retrying, which is exactly the back-pressure a seal pipeline
+// needs: sustained oversubmission degrades to synchronous signing instead
+// of unbounded memory growth.
+var ErrSealBacklog = errors.New("blockchain: seal worker backlog full")
+
+// SealJob identifies one deferred sign: the header hash of an appended
+// unsigned block plus the caller's sequence tag (typically the block
+// index).
+type SealJob struct {
+	Seq  uint64
+	Hash Hash
+}
+
+// SealResult is one finished sign. Results complete out of submission
+// order when Workers > 1; consumers reorder by Seq if they need to.
+type SealResult struct {
+	Seq  uint64
+	Hash Hash
+	Sig  Signature
+	Err  error
+}
+
+// SealWorker runs the ECDSA sign stage of the seal pipeline on a bounded
+// pool of goroutines, so the hash/Merkle/append stage (and with it the
+// window-close critical path) never waits on a signature. The worker signs
+// header hashes only; attaching the signature to the chain stays with the
+// chain's owning goroutine via Chain.AttachSignature, which re-verifies it
+// against the authority set.
+type SealWorker struct {
+	signer  *Signer
+	jobs    chan SealJob
+	results chan SealResult
+	wg      sync.WaitGroup
+	close   sync.Once
+}
+
+// NewSealWorker starts workers goroutines signing for s, with a bounded
+// queue of depth pending jobs (defaults: 1 worker, depth 64). The results
+// buffer gives the workers headroom between the consumer's drains; when it
+// fills, workers block on the send and the jobs queue backs up until
+// Submit refuses — bounded memory end to end (Close still drains
+// losslessly; see Close).
+func NewSealWorker(s *Signer, workers, depth int) (*SealWorker, error) {
+	if s == nil {
+		return nil, errors.New("blockchain: seal worker requires a signer")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 64
+	}
+	w := &SealWorker{
+		signer:  s,
+		jobs:    make(chan SealJob, depth),
+		results: make(chan SealResult, depth+workers),
+	}
+	for i := 0; i < workers; i++ {
+		w.wg.Add(1)
+		go w.run()
+	}
+	return w, nil
+}
+
+func (w *SealWorker) run() {
+	defer w.wg.Done()
+	for job := range w.jobs {
+		sig, err := w.signer.Sign(job.Hash)
+		w.results <- SealResult{Seq: job.Seq, Hash: job.Hash, Sig: sig, Err: err}
+	}
+}
+
+// Submit enqueues one sign job without blocking; ErrSealBacklog signals the
+// bounded queue is full and the caller should drain Results first.
+func (w *SealWorker) Submit(seq uint64, h Hash) error {
+	select {
+	case w.jobs <- SealJob{Seq: seq, Hash: h}:
+		return nil
+	default:
+		return ErrSealBacklog
+	}
+}
+
+// Results delivers finished signatures. The channel closes after Close once
+// every accepted job has been signed, so draining with range is lossless.
+func (w *SealWorker) Results() <-chan SealResult { return w.results }
+
+// Close stops accepting jobs and closes Results once every accepted job has
+// been signed. It does not block: the caller drains Results (with range)
+// concurrently with the workers finishing — waiting for the workers inline
+// would deadlock whenever unread results already fill the channel while
+// jobs are still queued, since the workers could never complete their sends
+// before the caller reaches its drain loop. Safe to call more than once.
+func (w *SealWorker) Close() {
+	w.close.Do(func() {
+		close(w.jobs)
+		go func() {
+			w.wg.Wait()
+			close(w.results)
+		}()
+	})
+}

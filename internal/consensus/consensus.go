@@ -17,6 +17,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"time"
 
@@ -38,17 +39,27 @@ const (
 // Digest identifies a proposal's content.
 type Digest [sha256.Size]byte
 
-func digestOf(records []blockchain.Record, meta []byte) Digest {
-	h := sha256.New()
+// digestInto computes the proposal digest using buf (capacity reused, length
+// ignored) as marshalling scratch: every record's canonical encoding is
+// appended via blockchain.Record.AppendMarshal and the concatenation is
+// hashed in one sha256.Sum256 on the stack. The byte stream is identical to
+// the historical per-record Marshal()+sha256.New() digest (pinned by
+// TestDigestGoldenVectors), so the scratch path is a pure allocation win,
+// not a format break. The possibly-grown buffer is returned for reuse.
+func digestInto(buf []byte, records []blockchain.Record, meta []byte) (Digest, []byte) {
+	buf = buf[:0]
 	for _, r := range records {
-		h.Write(r.Marshal())
+		buf = r.AppendMarshal(buf)
 	}
 	if len(meta) > 0 {
-		h.Write([]byte{0xff}) // domain-separate the metadata blob
-		h.Write(meta)
+		buf = append(buf, 0xff) // domain-separate the metadata blob
+		buf = append(buf, meta...)
 	}
-	var d Digest
-	copy(d[:], h.Sum(nil))
+	return sha256.Sum256(buf), buf
+}
+
+func digestOf(records []blockchain.Record, meta []byte) Digest {
+	d, _ := digestInto(nil, records, meta)
 	return d
 }
 
@@ -57,6 +68,12 @@ func digestOf(records []blockchain.Record, meta []byte) Digest {
 // metadata was re-stamped across a view change.
 func DigestRecords(records []blockchain.Record) Digest {
 	return digestOf(records, nil)
+}
+
+// DigestRecordsInto is DigestRecords with a caller-owned scratch buffer, for
+// hosts (core.ReplicaSet) that correlate batches on every decide.
+func DigestRecordsInto(buf []byte, records []blockchain.Record) (Digest, []byte) {
+	return digestInto(buf, records, nil)
 }
 
 // Message is a consensus protocol message.
@@ -79,13 +96,45 @@ type Message struct {
 }
 
 // Net is the broadcast fabric among replicas (the WAN of the device
-// cluster). Deliveries are per-destination scheduled events.
+// cluster). A broadcast is one scheduled event that fans the shared message
+// out to its recipients in ID order — the same per-destination delivery
+// order the per-recipient events used to produce, without allocating a
+// closure and an ids sort per recipient. Delivery objects are pooled, so
+// steady-state broadcasting does not grow the heap; the Records/Meta slices
+// ride through by reference (proposals are immutable once handed to the
+// protocol).
 type Net struct {
 	env     *sim.Env
 	latency time.Duration
 	nodes   map[string]*Replica
+	// order is every registered replica sorted by ID — the recipient walk
+	// order of broadcast (refreshed on registration).
+	order []*Replica
 	// Partitioned pairs drop messages (failure injection).
 	partitioned map[[2]string]bool
+	// free is the delivery pool (LIFO for cache warmth).
+	free []*delivery
+}
+
+// delivery is one pooled broadcast in flight: the shared message plus the
+// recipients snapshotted at send time (partition filter applied at send,
+// crash filter at delivery — exactly the old per-recipient semantics).
+type delivery struct {
+	net     *Net
+	msg     Message
+	targets []*Replica
+	run     func() // pre-bound deliver, so Schedule gets a reused closure
+}
+
+func (d *delivery) deliver() {
+	for _, t := range d.targets {
+		if !t.crashed {
+			t.receive(d.msg)
+		}
+	}
+	d.msg = Message{} // drop slice references while pooled
+	d.targets = d.targets[:0]
+	d.net.free = append(d.net.free, d)
 }
 
 // NewNet creates the fabric.
@@ -101,6 +150,14 @@ func NewNet(env *sim.Env, latency time.Duration) *Net {
 	}
 }
 
+// register adds a replica to the fabric and keeps the broadcast order
+// sorted.
+func (n *Net) register(r *Replica) {
+	n.nodes[r.ID] = r
+	n.order = append(n.order, r)
+	sort.Slice(n.order, func(i, j int) bool { return n.order[i].ID < n.order[j].ID })
+}
+
 // Partition cuts (or heals) the link between two replicas.
 func (n *Net) Partition(a, b string, cut bool) {
 	n.partitioned[[2]string{a, b}] = cut
@@ -109,42 +166,53 @@ func (n *Net) Partition(a, b string, cut bool) {
 
 // broadcast delivers msg to every replica except the sender.
 func (n *Net) broadcast(from string, msg Message) {
-	ids := make([]string, 0, len(n.nodes))
-	for id := range n.nodes {
-		ids = append(ids, id)
+	var d *delivery
+	if k := len(n.free); k > 0 {
+		d = n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+	} else {
+		d = &delivery{net: n}
+		d.run = d.deliver
 	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		if id == from {
+	for _, node := range n.order {
+		if node.ID == from {
 			continue
 		}
-		if n.partitioned[[2]string{from, id}] {
+		if len(n.partitioned) > 0 && n.partitioned[[2]string{from, node.ID}] {
 			continue
 		}
-		node := n.nodes[id]
-		n.env.Schedule(n.latency, func() {
-			if !node.crashed {
-				node.receive(msg)
-			}
-		})
+		d.targets = append(d.targets, node)
 	}
+	if len(d.targets) == 0 {
+		n.free = append(n.free, d)
+		return
+	}
+	d.msg = msg
+	n.env.Schedule(n.latency, d.run)
 }
 
-// slot tracks one (view, seq) proposal's votes.
+// slot tracks one (view, seq) proposal's votes. Prepare/commit votes are
+// bitmasks indexed by the cluster-wide replica index (clusters are capped at
+// 64 members), so a slot costs one small struct instead of five maps.
 type slot struct {
 	phase     Phase
 	digest    Digest
 	records   []blockchain.Record
 	meta      []byte
-	prepares  map[string]bool
-	commits   map[string]bool
+	prepares  uint64
+	commits   uint64
 	committed bool
+	// counted marks a slot currently in the replica's uncommitted
+	// in-flight count (arms the view timer; see armViewTimer).
+	counted bool
 	// early buffers votes that arrive before the pre-prepare (broadcast
 	// reordering); they replay once the proposal is known.
 	early []Message
 	// attests counts "decided" attestations per digest, for catch-up by
 	// replicas that missed the vote rounds. f+1 matching attestations
-	// prove at least one honest replica decided that content.
+	// prove at least one honest replica decided that content. The maps are
+	// lazily allocated — the happy path never attests.
 	attests       map[Digest]map[string]bool
 	attestRecords map[Digest][]blockchain.Record
 	attestMeta    map[Digest][]byte
@@ -156,19 +224,43 @@ type Replica struct {
 	net *Net
 	env *sim.Env
 
-	ids []string // all replica IDs, sorted (defines leader rotation)
-	f   int      // fault tolerance
+	ids     []string       // all replica IDs, sorted (defines leader rotation)
+	idIndex map[string]int // replica ID -> vote-bitmask index (shared per cluster)
+	f       int            // fault tolerance
 
 	view    uint64
 	nextSeq uint64
-	slots   map[uint64]*slot
-	decided []*blockchain.Record // flattened decided log (all replicas identical)
-	blocks  [][]blockchain.Record
+	// proposeSeq is the next slot this replica assigns when leading; it
+	// runs at most Window ahead of nextSeq (pipelined agreement) and snaps
+	// back to nextSeq on a view change, which abandons undecided slots.
+	proposeSeq uint64
+	// Window is the number of proposals the leader may keep in flight
+	// before Propose returns ErrWindowFull (pipelined agreement; <= 0 or 1
+	// is the classic one-outstanding-proposal protocol). Delivery at
+	// OnDecide stays strictly in sequence order regardless of depth.
+	Window int
+	slots  map[uint64]*slot
+	blocks [][]blockchain.Record
+	// decided is the flattened view of blocks, extended lazily and
+	// incrementally by Decided(): flattened counts the blocks already
+	// folded in. Commit never touches it, so the agreement hot path pays
+	// nothing for a log nobody is reading, and an audit that reads it
+	// every window pays only for the blocks decided since its last read —
+	// not an O(n) rebuild (or copy) per call.
+	decided   []*blockchain.Record
+	flattened int
 
-	// pending records waiting for this replica's turn to lead.
-	pending []blockchain.Record
+	// digestBuf is the proposal-digest marshalling scratch (see digestInto).
+	digestBuf []byte
+	// uncommitted counts in-flight pre-prepared slots; the view timer is
+	// armed while it is non-zero.
+	uncommitted int
 
 	viewTimer sim.EventRef
+	// viewTimerFn is the timer callback, bound once so arming does not
+	// allocate; viewTimerView is the view it was armed in.
+	viewTimerFn   func()
+	viewTimerView uint64
 	// ViewTimeout triggers leader rotation (default 500 ms).
 	ViewTimeout time.Duration
 	// lastLeaderSign is the last instant the current leader was heard.
@@ -183,6 +275,16 @@ type Replica struct {
 	OnDecideMeta func(seq uint64, records []blockchain.Record, meta []byte)
 }
 
+// voteBit returns the bitmask bit for a sender, or 0 for unknown senders
+// (their votes are ignored).
+func (r *Replica) voteBit(from string) uint64 {
+	i, ok := r.idIndex[from]
+	if !ok {
+		return 0
+	}
+	return uint64(1) << uint(i)
+}
+
 // Cluster is a set of replicas over one Net.
 type Cluster struct {
 	Net      *Net
@@ -192,13 +294,22 @@ type Cluster struct {
 }
 
 // NewCluster creates n = len(ids) replicas tolerating f faults. n must be
-// at least 3f+1.
+// at least 3f+1 and at most 64 (vote bookkeeping is a bitmask; a PBFT-style
+// all-to-all protocol is quadratic in n anyway, so larger clusters would be
+// a design change, not a parameter).
 func NewCluster(env *sim.Env, ids []string, f int, latency time.Duration) (*Cluster, error) {
 	if len(ids) < 3*f+1 {
 		return nil, fmt.Errorf("consensus: %d replicas cannot tolerate f=%d (need %d)", len(ids), f, 3*f+1)
 	}
+	if len(ids) > 64 {
+		return nil, fmt.Errorf("consensus: %d replicas exceeds the 64-member limit", len(ids))
+	}
 	sorted := append([]string(nil), ids...)
 	sort.Strings(sorted)
+	idIndex := make(map[string]int, len(sorted))
+	for i, id := range sorted {
+		idIndex[id] = i
+	}
 	net := NewNet(env, latency)
 	c := &Cluster{Net: net, Replicas: make(map[string]*Replica), ids: sorted, f: f}
 	for _, id := range sorted {
@@ -207,11 +318,18 @@ func NewCluster(env *sim.Env, ids []string, f int, latency time.Duration) (*Clus
 			net:         net,
 			env:         env,
 			ids:         sorted,
+			idIndex:     idIndex,
 			f:           f,
 			slots:       make(map[uint64]*slot),
 			ViewTimeout: 500 * time.Millisecond,
 		}
-		net.nodes[id] = r
+		r.viewTimerFn = func() {
+			if r.crashed || r.view != r.viewTimerView {
+				return
+			}
+			r.advanceView()
+		}
+		net.register(r)
 		c.Replicas[id] = r
 		r.lastLeaderSign = env.Now()
 		// Leader-liveness loop: leaders emit heartbeats, followers
@@ -220,6 +338,14 @@ func NewCluster(env *sim.Env, ids []string, f int, latency time.Duration) (*Clus
 		env.Ticker(r.ViewTimeout/2, func(sim.Time) { r.livenessTick() })
 	}
 	return c, nil
+}
+
+// SetWindow sets every replica's pipelined-agreement window (the number of
+// proposals a leader may keep in flight; see Replica.Window).
+func (c *Cluster) SetWindow(w int) {
+	for _, r := range c.Replicas {
+		r.Window = w
+	}
 }
 
 // Leader returns the leader ID for a view.
@@ -259,18 +385,35 @@ func (r *Replica) View() uint64 { return r.view }
 // applied to this replica's chain).
 func (r *Replica) Frontier() uint64 { return r.nextSeq }
 
-// Decided returns the flattened decided record log.
+// Decided returns the flattened decided record log. The flat view is
+// cached and extended incrementally — only blocks decided since the last
+// call are folded in — and returned as a capacity-capped view of the
+// append-only internal slice: callers may read and even append (a copy
+// triggers on append), but must not reorder or overwrite elements. Fleet
+// ledger audits call this every window over runs of millions of records —
+// the former per-call copy made those audits O(n²) in total.
 func (r *Replica) Decided() []*blockchain.Record {
-	return append([]*blockchain.Record(nil), r.decided...)
+	for _, blk := range r.blocks[r.flattened:] {
+		for i := range blk {
+			r.decided = append(r.decided, &blk[i])
+		}
+	}
+	r.flattened = len(r.blocks)
+	return r.decided[:len(r.decided):len(r.decided)]
 }
 
-// DecidedBlocks returns the per-slot decided batches.
+// DecidedBlocks returns the per-slot decided batches as a capacity-capped
+// view (same contract as Decided).
 func (r *Replica) DecidedBlocks() [][]blockchain.Record {
-	return append([][]blockchain.Record(nil), r.blocks...)
+	return r.blocks[:len(r.blocks):len(r.blocks)]
 }
 
 // ErrNotLeader is returned when Propose is called on a follower.
 var ErrNotLeader = errors.New("consensus: not the current leader")
+
+// ErrWindowFull is returned when the leader already has Window proposals in
+// flight; the caller retries after the next decision frees a slot.
+var ErrWindowFull = errors.New("consensus: proposal window full")
 
 // Propose starts agreement on a batch. Only the current leader proposes;
 // followers buffer via Submit.
@@ -280,6 +423,13 @@ func (r *Replica) Propose(records []blockchain.Record) error {
 
 // ProposeMeta starts agreement on a batch plus an opaque metadata blob the
 // digest also commits to (e.g. a pre-sealed block header + signature).
+//
+// The records slice is handed to the protocol as a shared immutable batch:
+// it is broadcast, retained by decided slots for catch-up replay, and
+// delivered to every replica's OnDecide without further copying, so the
+// caller must not mutate it afterwards. Up to Window proposals may be in
+// flight at once (ErrWindowFull beyond that); decisions still deliver in
+// strict sequence order.
 func (r *Replica) ProposeMeta(records []blockchain.Record, meta []byte) error {
 	if r.crashed {
 		return errors.New("consensus: replica crashed")
@@ -290,16 +440,29 @@ func (r *Replica) ProposeMeta(records []blockchain.Record, meta []byte) error {
 	if len(records) == 0 {
 		return errors.New("consensus: empty proposal")
 	}
-	seq := r.nextSeq
+	if r.proposeSeq < r.nextSeq {
+		r.proposeSeq = r.nextSeq
+	}
+	window := uint64(1)
+	if r.Window > 1 {
+		window = uint64(r.Window)
+	}
+	if r.proposeSeq-r.nextSeq >= window {
+		return ErrWindowFull
+	}
+	seq := r.proposeSeq
+	var d Digest
+	d, r.digestBuf = digestInto(r.digestBuf, records, meta)
 	msg := Message{
 		Kind:    "preprepare",
 		View:    r.view,
 		Seq:     seq,
 		From:    r.ID,
-		Digest:  digestOf(records, meta),
-		Records: append([]blockchain.Record(nil), records...),
+		Digest:  d,
+		Records: records,
 		Meta:    meta,
 	}
+	r.proposeSeq = seq + 1
 	r.receive(msg) // self-delivery
 	r.net.broadcast(r.ID, msg)
 	return nil
@@ -359,11 +522,7 @@ func (r *Replica) receive(msg Message) {
 		r.ids[int(msg.View)%len(r.ids)] == msg.From {
 		r.view = msg.View
 		r.lastLeaderSign = r.env.Now()
-		for seq, sl := range r.slots {
-			if !sl.committed {
-				delete(r.slots, seq)
-			}
-		}
+		r.dropUncommittedSlots()
 	}
 	if msg.From == r.leader() && msg.View == r.view {
 		r.lastLeaderSign = r.env.Now()
@@ -381,13 +540,7 @@ func (r *Replica) receive(msg Message) {
 	}
 	sl, ok := r.slots[msg.Seq]
 	if !ok {
-		sl = &slot{
-			prepares:      make(map[string]bool),
-			commits:       make(map[string]bool),
-			attests:       make(map[Digest]map[string]bool),
-			attestRecords: make(map[Digest][]blockchain.Record),
-			attestMeta:    make(map[Digest][]byte),
-		}
+		sl = &slot{}
 		r.slots[msg.Seq] = sl
 	}
 	if msg.Kind == "decided" {
@@ -422,13 +575,22 @@ func (r *Replica) receive(msg Message) {
 			// slot (same or different digest) is ignored.
 			return
 		}
-		if digestOf(msg.Records, msg.Meta) != msg.Digest {
-			return // corrupt proposal
+		if msg.From != r.ID {
+			// Verify the digest commits to the body (corrupt-proposal
+			// guard). Self-delivery skips it: the leader just computed
+			// this digest in ProposeMeta.
+			var d Digest
+			d, r.digestBuf = digestInto(r.digestBuf, msg.Records, msg.Meta)
+			if d != msg.Digest {
+				return
+			}
 		}
 		sl.phase = PhasePrePrepared
 		sl.digest = msg.Digest
 		sl.records = msg.Records
 		sl.meta = msg.Meta
+		sl.counted = true
+		r.uncommitted++
 		r.armViewTimer()
 		vote := Message{Kind: "prepare", View: r.view, Seq: msg.Seq, From: r.ID, Digest: msg.Digest}
 		r.handlePrepare(sl, vote)
@@ -463,8 +625,8 @@ func (r *Replica) handlePrepare(sl *slot, msg Message) {
 	if sl.phase == PhaseIdle || sl.digest != msg.Digest {
 		return
 	}
-	sl.prepares[msg.From] = true
-	if sl.phase == PhasePrePrepared && len(sl.prepares) >= r.quorum() {
+	sl.prepares |= r.voteBit(msg.From)
+	if sl.phase == PhasePrePrepared && bits.OnesCount64(sl.prepares) >= r.quorum() {
 		sl.phase = PhasePrepared
 		vote := Message{Kind: "commit", View: r.view, Seq: msg.Seq, From: r.ID, Digest: sl.digest}
 		r.handleCommit(sl, vote)
@@ -476,8 +638,8 @@ func (r *Replica) handleCommit(sl *slot, msg Message) {
 	if sl.phase == PhaseIdle || sl.digest != msg.Digest {
 		return
 	}
-	sl.commits[msg.From] = true
-	if sl.phase == PhasePrepared && !sl.committed && len(sl.commits) >= r.quorum() {
+	sl.commits |= r.voteBit(msg.From)
+	if sl.phase == PhasePrepared && !sl.committed && bits.OnesCount64(sl.commits) >= r.quorum() {
 		r.markCommitted(msg.Seq, sl)
 	}
 }
@@ -488,13 +650,22 @@ func (r *Replica) handleDecidedAttest(sl *slot, msg Message) {
 	if sl.committed {
 		return
 	}
+	if sl.attests == nil {
+		sl.attests = make(map[Digest]map[string]bool)
+		sl.attestRecords = make(map[Digest][]blockchain.Record)
+		sl.attestMeta = make(map[Digest][]byte)
+	}
 	set, ok := sl.attests[msg.Digest]
 	if !ok {
 		set = make(map[string]bool)
 		sl.attests[msg.Digest] = set
 	}
 	set[msg.From] = true
-	if len(msg.Records) > 0 && digestOf(msg.Records, msg.Meta) == msg.Digest {
+	var bodyDigest Digest
+	if len(msg.Records) > 0 {
+		bodyDigest, r.digestBuf = digestInto(r.digestBuf, msg.Records, msg.Meta)
+	}
+	if len(msg.Records) > 0 && bodyDigest == msg.Digest {
 		sl.attestRecords[msg.Digest] = msg.Records
 		sl.attestMeta[msg.Digest] = msg.Meta
 	}
@@ -514,7 +685,16 @@ func (r *Replica) handleDecidedAttest(sl *slot, msg Message) {
 func (r *Replica) markCommitted(seq uint64, sl *slot) {
 	sl.committed = true
 	sl.phase = PhaseCommitted
-	r.disarmViewTimer()
+	if sl.counted {
+		sl.counted = false
+		r.uncommitted--
+	}
+	if r.uncommitted == 0 {
+		r.disarmViewTimer()
+	} else {
+		// Pipelined slots remain in flight; progress restarts the clock.
+		r.armViewTimer()
+	}
 	// Announce for catch-up by replicas that missed the vote rounds.
 	r.net.broadcast(r.ID, Message{
 		Kind: "decided", View: r.view, Seq: seq, From: r.ID,
@@ -527,9 +707,6 @@ func (r *Replica) markCommitted(seq uint64, sl *slot) {
 			break
 		}
 		r.blocks = append(r.blocks, s.records)
-		for i := range s.records {
-			r.decided = append(r.decided, &s.records[i])
-		}
 		if r.OnDecide != nil {
 			r.OnDecide(r.nextSeq, s.records)
 		}
@@ -538,23 +715,34 @@ func (r *Replica) markCommitted(seq uint64, sl *slot) {
 		}
 		r.nextSeq++
 	}
+	if r.proposeSeq < r.nextSeq {
+		r.proposeSeq = r.nextSeq
+	}
 }
 
 // armViewTimer starts (or restarts) the leader-failure timeout.
 func (r *Replica) armViewTimer() {
-	r.disarmViewTimer()
-	view := r.view
-	r.viewTimer = r.env.Schedule(r.ViewTimeout, func() {
-		if r.crashed || r.view != view {
-			return
-		}
-		r.advanceView()
-	})
+	r.env.Cancel(r.viewTimer)
+	r.viewTimerView = r.view
+	r.viewTimer = r.env.Schedule(r.ViewTimeout, r.viewTimerFn)
 }
 
 func (r *Replica) disarmViewTimer() {
 	r.env.Cancel(r.viewTimer)
 	r.viewTimer = sim.EventRef{}
+}
+
+// dropUncommittedSlots abandons every in-flight slot (view change / view
+// adoption) and resets the pipelining state that referred to them.
+func (r *Replica) dropUncommittedSlots() {
+	for seq, sl := range r.slots {
+		if !sl.committed {
+			delete(r.slots, seq)
+		}
+	}
+	r.uncommitted = 0
+	r.proposeSeq = r.nextSeq
+	r.disarmViewTimer()
 }
 
 // advanceView rotates the leader. Undecided slots are abandoned; the
@@ -564,11 +752,7 @@ func (r *Replica) disarmViewTimer() {
 func (r *Replica) advanceView() {
 	r.view++
 	r.lastLeaderSign = r.env.Now()
-	for seq, sl := range r.slots {
-		if !sl.committed {
-			delete(r.slots, seq)
-		}
-	}
+	r.dropUncommittedSlots()
 }
 
 // ForceViewChange triggers the timeout path immediately on every live

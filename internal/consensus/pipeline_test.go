@@ -1,0 +1,220 @@
+package consensus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"decentmeter/internal/blockchain"
+)
+
+// legacyDigest is the pre-pipeline digest implementation: one streaming
+// sha256 fed each record's allocating Marshal(). The scratch-buffer
+// digestInto must produce identical bytes — the refactor is an allocation
+// win, not a format break.
+func legacyDigest(records []blockchain.Record, meta []byte) Digest {
+	h := sha256.New()
+	for _, r := range records {
+		h.Write(r.Marshal())
+	}
+	if len(meta) > 0 {
+		h.Write([]byte{0xff})
+		h.Write(meta)
+	}
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// TestDigestGoldenVectors pins the proposal digest bytes: the codec-based
+// scratch digest must match both the legacy Marshal()-based implementation
+// and the checked-in hex vectors. If either comparison fails, the change is
+// a wire/protocol break and must be versioned explicitly.
+func TestDigestGoldenVectors(t *testing.T) {
+	records := recs(42, 3)
+	cases := []struct {
+		name string
+		recs []blockchain.Record
+		meta []byte
+		want string // pinned hex of the digest bytes
+	}{
+		{
+			name: "records-only",
+			recs: records,
+			want: "da9108f1a1cf3833d1d08551e7f442cc1566cf46e6f56208fb4791a5e21c5574",
+		},
+		{
+			name: "records-with-meta",
+			recs: records,
+			meta: []byte("pre-sealed header + signature"),
+			want: "4813ed2c5d606f231526b65ba9649249ae210ce091e9f83ed701f054aa7c7593",
+		},
+		{
+			name: "single-record",
+			recs: records[:1],
+			want: "2e80cc882e40516a233075c94ce59d550cb969cc654eb61d1deb651e71b6d7ea",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := digestOf(tc.recs, tc.meta)
+			if legacy := legacyDigest(tc.recs, tc.meta); got != legacy {
+				t.Fatalf("scratch digest %x differs from legacy Marshal-based digest %x", got, legacy)
+			}
+			if hex.EncodeToString(got[:]) != tc.want {
+				t.Fatalf("digest = %x, want pinned vector %s", got, tc.want)
+			}
+			// The scratch buffer must not leak state between calls.
+			var buf []byte
+			again, _ := digestInto(buf, tc.recs, tc.meta)
+			if again != got {
+				t.Fatalf("digestInto with fresh scratch = %x, want %x", again, got)
+			}
+		})
+	}
+}
+
+// TestDigestScratchReuse drives digestInto through batches of different
+// shapes on one reused buffer: a stale longer encoding must never bleed
+// into a shorter batch's digest.
+func TestDigestScratchReuse(t *testing.T) {
+	var buf []byte
+	long := recs(0, 8)
+	short := recs(100, 1)
+	var d1, d2 Digest
+	d1, buf = digestInto(buf, long, []byte("m"))
+	d2, buf = digestInto(buf, short, nil)
+	if d2 != digestOf(short, nil) {
+		t.Fatal("reused scratch corrupted the short batch's digest")
+	}
+	d1b, _ := digestInto(buf, long, []byte("m"))
+	if d1b != d1 {
+		t.Fatal("digest not stable across scratch reuse")
+	}
+}
+
+// TestDecidedIsIncremental pins the O(1) Decided() contract: the flattened
+// log is maintained as slots decide, and reading it allocates nothing — a
+// fleet-ledger audit calling it every window must not pay O(n) per call.
+func TestDecidedIsIncremental(t *testing.T) {
+	env, c := newCluster(t, 4, 1)
+	for i := 0; i < 5; i++ {
+		if err := c.Submit(recs(uint64(i*10), 4)); err != nil {
+			t.Fatal(err)
+		}
+		env.RunUntil(env.Now() + 50*time.Millisecond)
+	}
+	r := c.Replicas[c.ids[0]]
+	if got := len(r.Decided()); got != 20 {
+		t.Fatalf("decided %d records, want 20", got)
+	}
+	// Call count x cost: any number of reads performs zero allocations.
+	allocs := testing.AllocsPerRun(100, func() {
+		if len(r.Decided()) != 20 {
+			t.Fatal("log changed size")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Decided() allocates %.0f per call, want 0", allocs)
+	}
+	// The view is capacity-capped: appending to it must not write into the
+	// replica's internal log.
+	view := r.Decided()
+	_ = append(view, nil)
+	if got := r.Decided(); len(got) != 20 || got[19] == nil {
+		t.Fatal("appending to the returned view corrupted the internal log")
+	}
+	blocks := r.DecidedBlocks()
+	if len(blocks) != 5 {
+		t.Fatalf("decided %d blocks, want 5", len(blocks))
+	}
+	_ = append(blocks, nil)
+	if got := r.DecidedBlocks(); len(got) != 5 || got[4] == nil {
+		t.Fatal("appending to DecidedBlocks view corrupted the internal log")
+	}
+}
+
+// TestPipelinedWindowDecidesInOrder exercises the pipelined agreement
+// window: with Window = 4 the leader keeps four proposals in flight at
+// once, the fifth is refused with ErrWindowFull, and every replica still
+// delivers the decisions in strict sequence order.
+func TestPipelinedWindowDecidesInOrder(t *testing.T) {
+	env, c := newCluster(t, 4, 1)
+	c.SetWindow(4)
+	leader := c.Replicas[c.Leader(0)]
+	var order []uint64
+	c.Replicas[c.ids[1]].OnDecide = func(seq uint64, records []blockchain.Record) {
+		order = append(order, seq)
+	}
+	for i := 0; i < 4; i++ {
+		if err := leader.Propose(recs(uint64(i*10), 2)); err != nil {
+			t.Fatalf("proposal %d within the window refused: %v", i, err)
+		}
+	}
+	if err := leader.Propose(recs(100, 1)); err != ErrWindowFull {
+		t.Fatalf("5th in-flight proposal: err = %v, want ErrWindowFull", err)
+	}
+	env.RunUntil(env.Now() + 100*time.Millisecond)
+	for _, id := range c.ids {
+		if got := c.Replicas[id].Frontier(); got != 4 {
+			t.Fatalf("%s frontier %d, want 4", id, got)
+		}
+	}
+	if len(order) != 4 {
+		t.Fatalf("delivered %d decisions, want 4", len(order))
+	}
+	for i, seq := range order {
+		if seq != uint64(i) {
+			t.Fatalf("decisions delivered out of order: %v", order)
+		}
+	}
+	// The drained window accepts new proposals.
+	if err := leader.Propose(recs(200, 1)); err != nil {
+		t.Fatalf("post-drain proposal refused: %v", err)
+	}
+	env.RunUntil(env.Now() + 100*time.Millisecond)
+	if got := leader.Frontier(); got != 5 {
+		t.Fatalf("frontier %d after refill, want 5", got)
+	}
+}
+
+// TestViewChangeResetsPipeline crashes the cluster's quorum path mid-window
+// (by cutting the leader off) and checks the new leader can fill a fresh
+// window from the delivery frontier — abandoned in-flight slots must not
+// wedge proposeSeq.
+func TestViewChangeResetsPipeline(t *testing.T) {
+	env, c := newCluster(t, 4, 1)
+	c.SetWindow(4)
+	// Decide one slot normally.
+	if err := c.Submit(recs(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(env.Now() + 100*time.Millisecond)
+	// Fill the leader's window, then kill it before anything decides.
+	leader := c.Replicas[c.Leader(c.anyView())]
+	for i := 0; i < 3; i++ {
+		if err := leader.Propose(recs(uint64(100+i*10), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leader.Crash()
+	env.RunUntil(env.Now() + 3*time.Second) // view change settles
+	newLeader := c.Replicas[c.Leader(c.anyView())]
+	if newLeader == leader {
+		t.Fatal("view never moved off the crashed leader")
+	}
+	for i := 0; i < 4; i++ {
+		if err := newLeader.Propose(recs(uint64(500+i*10), 1)); err != nil {
+			t.Fatalf("new leader proposal %d refused: %v", i, err)
+		}
+	}
+	env.RunUntil(env.Now() + 200*time.Millisecond)
+	live := c.Replicas[c.ids[1]]
+	if live == newLeader {
+		live = c.Replicas[c.ids[2]]
+	}
+	if got := len(live.DecidedBlocks()); got < 5 {
+		t.Fatalf("only %d blocks decided after pipeline reset, want >= 5", got)
+	}
+}

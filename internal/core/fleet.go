@@ -74,6 +74,9 @@ type FleetConfig struct {
 	// scenario (default 64 — a hot spot must shed below high water in a
 	// round or two).
 	RebalanceMaxMoves int
+	// PipelineDepth is the replicated tier's consensus-seal pipeline
+	// window (0 = the ReplicaSet default of 4).
+	PipelineDepth int
 }
 
 // FleetResult is the outcome of a fleet run.

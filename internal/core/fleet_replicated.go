@@ -147,7 +147,7 @@ func runReplicatedFleet(cfg FleetConfig) (FleetResult, error) {
 		members = append(members, ReplicaMember{ID: id, Agg: agg, Signer: signer})
 	}
 
-	rsCfg := ReplicaSetConfig{F: cfg.F}
+	rsCfg := ReplicaSetConfig{F: cfg.F, PipelineDepth: cfg.PipelineDepth}
 	rsCfg.Balance.HighWater = 0.75
 	rsCfg.Balance.LowWater = 0.6
 	// Headroom below the shed threshold: a plan must never fill a target

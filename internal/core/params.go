@@ -66,6 +66,10 @@ type Params struct {
 	// RebalanceInterval paces the replicated tier's load-balancing loop
 	// (0 = every verification window).
 	RebalanceInterval time.Duration
+	// PipelineDepth is the consensus-seal pipeline window: how many
+	// pre-sealed proposals the replicated tier's leader keeps in flight at
+	// once (default 4; 1 = classic one-outstanding-proposal sealing).
+	PipelineDepth int
 }
 
 // DefaultParams returns the testbed configuration.
@@ -87,5 +91,6 @@ func DefaultParams() Params {
 		APSpacing:         60,
 		DeviceRadius:      8,
 		AggregatorShards:  1,
+		PipelineDepth:     4,
 	}
 }

@@ -56,6 +56,12 @@ type ReplicaSetConfig struct {
 	// stays bounded end to end, exactly as with failing local seals
 	// (default aggregator.DefaultMaxPendingRecords).
 	MaxQueuedRecords int
+	// PipelineDepth is the consensus-seal pipeline's window: how many
+	// pre-sealed proposals the leader keeps in flight at once (default 4).
+	// 1 restores the classic one-outstanding-proposal behaviour. Decisions
+	// always apply in sequence order, so depth affects throughput and
+	// latency, never correctness.
+	PipelineDepth int
 	// Balance tunes the planner (zero value = loadbalance.DefaultConfig).
 	Balance loadbalance.Config
 }
@@ -72,6 +78,9 @@ func (c *ReplicaSetConfig) defaults() {
 	}
 	if c.MaxQueuedRecords <= 0 {
 		c.MaxQueuedRecords = aggregator.DefaultMaxPendingRecords
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 4
 	}
 	// Balance keeps its zero values: loadbalance.Plan applies field-wise
 	// defaults, so a partially-configured planner is not clobbered here.
@@ -109,6 +118,22 @@ type sealBatch struct {
 	from    string
 	records []blockchain.Record
 	key     consensus.Digest // records-only digest, stable across re-proposals
+	// proposedAt is when the batch last entered the consensus pipeline
+	// (staleness detection across view changes).
+	proposedAt time.Duration
+}
+
+// specState is the leader-side speculative chain position of the pipelined
+// seal path: block k+1 is prepared against the header hash of the
+// just-proposed (still undecided) block k, so up to PipelineDepth pre-sealed
+// proposals chain correctly while in flight. It is rebased from the
+// leader's applied chain whenever the leader or view changes.
+type specState struct {
+	valid  bool
+	leader string
+	view   uint64
+	prev   blockchain.Hash
+	index  uint64
 }
 
 // guestPlacement remembers where a crashed replica's device was failed
@@ -141,9 +166,16 @@ type ReplicaSet struct {
 
 	queue         []sealBatch
 	queuedRecords int
-	inFlight      bool
-	inFlightAt    time.Duration
-	decidedSeqs   uint64 // frontier: every consensus slot below it decided
+	// proposed marks queue[:proposed] as in flight (proposed, undecided);
+	// decisions pop the head and re-proposals rewind it to 0.
+	proposed    int
+	spec        specState
+	decidedSeqs uint64 // frontier: every consensus slot below it decided
+	// pump scheduling: submit defers proposing to a zero-delay event so
+	// closeWindow returns before any Merkle/ECDSA work happens.
+	pumpFn        func()
+	pumpScheduled bool
+	keyBuf        []byte // DigestRecordsInto scratch
 
 	guests     map[string]guestPlacement
 	migrations []loadbalance.Migration
@@ -209,6 +241,11 @@ func NewReplicaSet(env *sim.Env, auth *blockchain.Authority, wallClock func() ti
 	}
 	rs.ids = append(rs.ids, ids...)
 	sort.Strings(rs.ids)
+	cluster.SetWindow(cfg.PipelineDepth)
+	rs.pumpFn = func() {
+		rs.pumpScheduled = false
+		rs.tryPropose()
+	}
 	rs.stopPump = env.Ticker(cfg.ProposeRetry, func(sim.Time) { rs.pumpTick() })
 	if cfg.RebalanceInterval > 0 {
 		rs.stopRebalance = env.Ticker(cfg.RebalanceInterval, func(sim.Time) { rs.RebalanceNow() })
@@ -310,6 +347,10 @@ func (rs *ReplicaSet) ChainsIdentical() bool {
 // A full queue — consensus stalled past MaxQueuedRecords — refuses the
 // batch, which then stays in the submitting aggregator's own bounded
 // backlog until a later window retries.
+//
+// submit only enqueues: the Merkle/ECDSA pre-seal work runs in a zero-delay
+// pump event, so closeWindow's latency is independent of the signature cost
+// (the consensus-seal pipeline's whole point).
 func (rs *ReplicaSet) submit(from string, records []blockchain.Record) error {
 	// The cap bounds queue growth, not a single batch: an empty queue
 	// always admits one batch (whose own size the submitting aggregator's
@@ -321,67 +362,98 @@ func (rs *ReplicaSet) submit(from string, records []blockchain.Record) error {
 	batch := sealBatch{
 		from:    from,
 		records: append([]blockchain.Record(nil), records...),
-		key:     consensus.DigestRecords(records),
 	}
+	batch.key, rs.keyBuf = consensus.DigestRecordsInto(rs.keyBuf, batch.records)
 	rs.queue = append(rs.queue, batch)
 	rs.queuedRecords += len(batch.records)
 	rs.batchesSubmitted++
-	rs.tryPropose()
+	rs.schedulePump()
 	return nil
 }
 
-// tryPropose proposes the queue head through the current leader, pre-sealed
-// on the leader's chain. The leader must have applied every decided slot
-// first — the prepared block links to its chain head, and a stale head
-// would produce a block no replica could import.
-func (rs *ReplicaSet) tryPropose() {
-	if rs.inFlight || len(rs.queue) == 0 {
+// schedulePump arms (at most one) zero-delay propose event.
+func (rs *ReplicaSet) schedulePump() {
+	if rs.pumpScheduled {
 		return
 	}
-	leader, ok := rs.replicas[rs.LeaderID()]
+	rs.pumpScheduled = true
+	rs.env.Schedule(0, rs.pumpFn)
+}
+
+// tryPropose drains the agreement queue up to PipelineDepth proposals deep.
+// Each batch is pre-sealed against the speculative chain position (the hash
+// of the previously proposed block, decided or not — header hashes never
+// cover the signature, so the linkage is exact). The speculation is rebased
+// from the leader's applied chain whenever the leader or its view changed,
+// which requires the leader to have applied every decided slot first: a
+// stale head would produce a block no replica could import.
+func (rs *ReplicaSet) tryPropose() {
+	if rs.proposed >= len(rs.queue) {
+		return
+	}
+	leaderID := rs.LeaderID()
+	leader, ok := rs.replicas[leaderID]
 	if !ok || leader.crashed {
 		return // wait for the view change
 	}
-	if leader.Consensus.Frontier() != rs.decidedSeqs {
-		return // leader still applying; the pump retries
+	view := leader.Consensus.View()
+	if !rs.spec.valid || rs.spec.leader != leaderID || rs.spec.view != view {
+		if leader.Consensus.Frontier() != rs.decidedSeqs {
+			return // leader still applying; the pump retries
+		}
+		rs.proposed = 0 // in-flight batches re-propose under this leader
+		rs.spec = specState{valid: true, leader: leaderID, view: view}
+		if head := leader.Chain.Head(); head != nil {
+			rs.spec.prev = head.Hash()
+			rs.spec.index = head.Header.Index + 1
+		}
 	}
-	head := rs.queue[0]
-	blk, err := leader.Chain.PrepareBlock(leader.Signer, rs.wallClock(), head.records)
-	if err != nil {
-		return
+	for rs.proposed < len(rs.queue) {
+		batch := &rs.queue[rs.proposed]
+		blk, err := leader.Chain.PrepareBlockAt(leader.Signer, rs.wallClock(),
+			rs.spec.index, rs.spec.prev, batch.records)
+		if err != nil {
+			return
+		}
+		meta, err := blockchain.EncodeSealMeta(blk.Header, blk.Sig)
+		if err != nil {
+			return
+		}
+		if err := leader.Consensus.ProposeMeta(batch.records, meta); err != nil {
+			// Window full (or the view just moved): the pre-sealed block is
+			// discarded and the batch retries from the pump. Discarding is
+			// deliberate — a header prepared now could go stale before the
+			// window frees.
+			return
+		}
+		batch.proposedAt = rs.env.Now()
+		rs.spec.prev = blk.Hash()
+		rs.spec.index++
+		rs.proposed++
 	}
-	meta, err := blockchain.EncodeSealMeta(blk.Header, blk.Sig)
-	if err != nil {
-		return
-	}
-	if err := leader.Consensus.ProposeMeta(head.records, meta); err != nil {
-		return
-	}
-	rs.inFlight = true
-	rs.inFlightAt = rs.env.Now()
 }
 
 // pumpTick retries stalled proposals and declares view-change-abandoned
 // slots dead so their batches re-propose under the new leader.
 func (rs *ReplicaSet) pumpTick() {
-	if rs.inFlight && rs.env.Now()-rs.inFlightAt > rs.cfg.StaleAfter {
-		rs.inFlight = false
+	if rs.proposed > 0 && rs.env.Now()-rs.queue[0].proposedAt > rs.cfg.StaleAfter {
+		rs.proposed = 0
+		rs.spec.valid = false
 	}
 	rs.tryPropose()
 }
 
 // applyDecided runs on every replica's decide callback: import the agreed
 // block onto that replica's chain, and (once per slot) advance the pump.
+// The decided record batch is shared immutably between the queue, the
+// consensus log and every replica's imported block — four chains, one
+// backing array.
 func (rs *ReplicaSet) applyDecided(rep *Replica, seq uint64, records []blockchain.Record, meta []byte) {
 	hdr, sig, err := blockchain.DecodeSealMeta(meta)
 	if err != nil {
 		rep.importErrs++
 	} else {
-		blk := &blockchain.Block{
-			Header:  hdr,
-			Records: append([]blockchain.Record(nil), records...),
-			Sig:     sig,
-		}
+		blk := &blockchain.Block{Header: hdr, Records: records, Sig: sig}
 		if err := rep.Chain.Import(blk); err != nil {
 			rep.importErrs++
 		}
@@ -390,13 +462,17 @@ func (rs *ReplicaSet) applyDecided(rep *Replica, seq uint64, records []blockchai
 		rs.decidedSeqs = seq + 1
 		rs.batchesDecided++
 		rs.recordsDecided += uint64(len(records))
-		if len(rs.queue) > 0 && rs.queue[0].key == consensus.DigestRecords(records) {
+		var key consensus.Digest
+		key, rs.keyBuf = consensus.DigestRecordsInto(rs.keyBuf, records)
+		if len(rs.queue) > 0 && rs.queue[0].key == key {
 			rs.queuedRecords -= len(rs.queue[0].records)
 			rs.queue = rs.queue[1:]
+			if rs.proposed > 0 {
+				rs.proposed--
+			}
 		}
-		rs.inFlight = false
 	}
-	rs.tryPropose()
+	rs.schedulePump()
 }
 
 // --- crash / recovery -----------------------------------------------------------

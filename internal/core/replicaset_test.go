@@ -444,3 +444,84 @@ func TestReplicatedFleetScenario(t *testing.T) {
 		t.Fatalf("only %d records sealed over the run", res.RecordsSealed)
 	}
 }
+
+// TestPipelinedSealWindowDeep pins the consensus-seal pipeline's two core
+// promises: submit (the aggregators' closeWindow hook) returns without
+// doing any Merkle/ECDSA pre-seal work, and the agreement queue drains
+// several batches deep in flight — all deciding in submission order onto
+// byte-identical replica chains.
+func TestPipelinedSealWindowDeep(t *testing.T) {
+	sys, rs, nets := replicatedSystem(t)
+	sys.Run(8 * time.Second) // attach + settle a few real windows
+
+	chain0, _ := rs.ChainOf(nets[0])
+	base := chain0.Length()
+	pendingBefore := rs.PendingBatches()
+	proposedBefore := rs.proposed
+
+	const batches = 6
+	epoch := time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < batches; i++ {
+		recs := []blockchain.Record{{
+			DeviceID:       fmt.Sprintf("pipe-dev-%d", i),
+			Seq:            1,
+			HomeAggregator: nets[0],
+			ReportedVia:    nets[0],
+			Timestamp:      epoch,
+			Interval:       100 * time.Millisecond,
+			Current:        5 * units.Milliampere,
+			Voltage:        5 * units.Volt,
+		}}
+		if err := rs.submit(nets[0], recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The submit path must only enqueue: pre-sealing (Merkle + ECDSA)
+	// happens in the deferred pump event, off closeWindow's stack.
+	if rs.proposed != proposedBefore {
+		t.Fatalf("submit proposed synchronously (%d -> %d in-flight)", proposedBefore, rs.proposed)
+	}
+	if got := rs.PendingBatches(); got != pendingBefore+batches {
+		t.Fatalf("queue holds %d batches, want %d", got, pendingBefore+batches)
+	}
+
+	// A fraction of a window interval is plenty: the pipeline keeps
+	// several proposals in flight instead of one agreement round-trip per
+	// batch.
+	sys.Run(100 * time.Millisecond)
+	if got := rs.PendingBatches(); got != 0 {
+		t.Fatalf("%d batches still queued after the pipeline drained", got)
+	}
+	if !rs.ChainsIdentical() {
+		t.Fatal("replica chains diverged under pipelined sealing")
+	}
+	if rs.ImportErrors() != 0 {
+		t.Fatalf("%d block import errors", rs.ImportErrors())
+	}
+	if chain0.Length() < base+batches {
+		t.Fatalf("chain grew %d blocks, want >= %d", chain0.Length()-base, batches)
+	}
+	// Submission order is preserved on the ledger.
+	next := 0
+	for i := base; i < chain0.Length(); i++ {
+		b, err := chain0.Block(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range b.Records {
+			var k int
+			if _, err := fmt.Sscanf(r.DeviceID, "pipe-dev-%d", &k); err == nil {
+				if k != next {
+					t.Fatalf("batch %d sealed out of order (want %d)", k, next)
+				}
+				next++
+			}
+		}
+	}
+	if next != batches {
+		t.Fatalf("only %d of %d pipelined batches sealed", next, batches)
+	}
+	if bad, err := chain0.Verify(); err != nil || bad != -1 {
+		t.Fatalf("pipelined chain failed verification: block %d, %v", bad, err)
+	}
+}

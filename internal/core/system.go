@@ -185,6 +185,9 @@ func (s *System) EnableReplication(cfg ReplicaSetConfig) (*ReplicaSet, error) {
 	if cfg.RebalanceInterval == 0 {
 		cfg.RebalanceInterval = s.Params.RebalanceInterval
 	}
+	if cfg.PipelineDepth == 0 {
+		cfg.PipelineDepth = s.Params.PipelineDepth
+	}
 	members := make([]ReplicaMember, 0, len(s.networks))
 	for _, id := range s.NetworkIDs() {
 		net := s.networks[id]

@@ -71,12 +71,21 @@ type session struct {
 	conn   net.Conn
 	subs   map[string]QoS // filter -> granted QoS
 	nextID uint16
-	// inflight QoS>=1 messages to this client, by packet id.
-	outbound map[uint16]*PublishPacket
+	// inflight QoS>=1 messages to this client, by packet id. Values, not
+	// pointers: deliver may hand in a pooled per-publish packet that is
+	// recycled as soon as the fan-out returns, so the session stores its
+	// own copy.
+	outbound map[uint16]PublishPacket
 	// pubrelPending tracks QoS2 deliveries awaiting PUBCOMP.
 	pubrelPending map[uint16]bool
 	// incomingQoS2 dedupes QoS2 publishes from this client.
 	incomingQoS2 map[uint16]bool
+
+	// writeMu serializes packet writes (so concurrent deliveries cannot
+	// interleave on the connection) and guards wbuf, the reused encode
+	// buffer that keeps the steady-state fan-out allocation-free.
+	writeMu sync.Mutex
+	wbuf    []byte
 
 	will      *PublishPacket
 	keepAlive time.Duration
@@ -239,7 +248,7 @@ func (b *Broker) attachSession(c *ConnectPacket, conn net.Conn) (*session, bool)
 			broker:        b,
 			clientID:      c.ClientID,
 			subs:          make(map[string]QoS),
-			outbound:      make(map[uint16]*PublishPacket),
+			outbound:      make(map[uint16]PublishPacket),
 			pubrelPending: make(map[uint16]bool),
 			incomingQoS2:  make(map[uint16]bool),
 		}
@@ -458,14 +467,24 @@ func (b *Broker) route(p *PublishPacket, from *session) {
 	b.mu.Lock()
 	rb.collect(b.subs, p.Topic)
 	b.mu.Unlock()
-	for _, m := range rb.matches {
-		out := *p
+	// The per-publish delivery list is pooled alongside the matches: each
+	// subscriber's copy (with its effective QoS) lives in rb.pkts for the
+	// duration of the fan-out, so routing a publish allocates nothing.
+	// deliver must not retain the pointer — QoS>=1 tracking stores a value
+	// copy (see session.outbound).
+	if cap(rb.pkts) < len(rb.matches) {
+		rb.pkts = make([]PublishPacket, len(rb.matches))
+	}
+	rb.pkts = rb.pkts[:len(rb.matches)]
+	for i, m := range rb.matches {
+		out := &rb.pkts[i]
+		*out = *p
 		out.Retain = false // forwarded publications clear retain
 		out.Dup = false
 		if out.QoS > m.q {
 			out.QoS = m.q
 		}
-		m.s.deliver(&out)
+		m.s.deliver(out)
 	}
 	rb.reset()
 	routeBufPool.Put(rb)
@@ -487,6 +506,9 @@ type routeMatch struct {
 // the broker mutex, so a wide fan-out must not go quadratic.
 type routeBuf struct {
 	matches []routeMatch
+	// pkts is the pooled per-publish delivery list: one packet copy per
+	// matched subscriber, valid only for the duration of one route call.
+	pkts    []PublishPacket
 	seen    map[*session]int
 	visitFn func(*session, QoS)
 }
@@ -520,6 +542,10 @@ func (rb *routeBuf) reset() {
 		rb.matches[i].s = nil // drop session references while pooled
 	}
 	rb.matches = rb.matches[:0]
+	for i := range rb.pkts {
+		rb.pkts[i] = PublishPacket{} // drop payload references while pooled
+	}
+	rb.pkts = rb.pkts[:0]
 }
 
 // Publish injects a broker-origin message (retained-config updates, tests).
@@ -557,19 +583,27 @@ func (b *Broker) SessionCount() int {
 // because detached persistent sessions are routine on the fan-out path.
 var errNotConnected = errors.New("mqtt: session not connected")
 
-// write serializes and sends one packet, thread-safe.
+// write serializes and sends one packet, thread-safe. The connection check
+// runs first (a detached persistent session skips encoding entirely) and
+// encoding reuses the session's write buffer, so the steady-state fan-out
+// path allocates nothing.
 func (s *session) write(p Packet) error {
-	buf, err := Encode(p)
-	if err != nil {
-		return err
-	}
 	s.mu.Lock()
 	conn := s.conn
 	s.mu.Unlock()
 	if conn == nil {
 		return errNotConnected
 	}
-	if _, err := conn.Write(buf); err != nil {
+	s.writeMu.Lock()
+	buf, err := p.encode(s.wbuf[:0])
+	if err != nil {
+		s.writeMu.Unlock()
+		return err
+	}
+	s.wbuf = buf
+	_, err = conn.Write(buf)
+	s.writeMu.Unlock()
+	if err != nil {
 		return err
 	}
 	s.broker.mu.Lock()
@@ -579,7 +613,8 @@ func (s *session) write(p Packet) error {
 }
 
 // deliver sends an application message to this session's client, allocating
-// a packet id for QoS >= 1 and tracking it for redelivery.
+// a packet id for QoS >= 1 and tracking a value copy of it for redelivery
+// (p itself may live in the route pool and must not be retained).
 func (s *session) deliver(p *PublishPacket) {
 	if p.QoS > QoS0 {
 		s.mu.Lock()
@@ -588,7 +623,7 @@ func (s *session) deliver(p *PublishPacket) {
 			s.nextID = 1
 		}
 		p.PacketID = s.nextID
-		s.outbound[p.PacketID] = p
+		s.outbound[p.PacketID] = *p
 		s.mu.Unlock()
 	}
 	// Best effort: a dead connection keeps the message inflight for
@@ -612,11 +647,10 @@ func (s *session) ackOutbound(id uint16, rec bool) {
 // redeliver resends inflight messages after a session resume.
 func (s *session) redeliver() {
 	s.mu.Lock()
-	pending := make([]*PublishPacket, 0, len(s.outbound))
+	pending := make([]PublishPacket, 0, len(s.outbound))
 	for _, p := range s.outbound {
-		cp := *p
-		cp.Dup = true
-		pending = append(pending, &cp)
+		p.Dup = true
+		pending = append(pending, p)
 	}
 	rels := make([]uint16, 0, len(s.pubrelPending))
 	for id := range s.pubrelPending {
@@ -625,8 +659,8 @@ func (s *session) redeliver() {
 	s.mu.Unlock()
 	sort.Slice(pending, func(i, j int) bool { return pending[i].PacketID < pending[j].PacketID })
 	sort.Slice(rels, func(i, j int) bool { return rels[i] < rels[j] })
-	for _, p := range pending {
-		_ = s.write(p)
+	for i := range pending {
+		_ = s.write(&pending[i])
 	}
 	for _, id := range rels {
 		_ = s.write(NewPubrel(id))

@@ -347,15 +347,16 @@ func (p *PublishPacket) encode(dst []byte) ([]byte, error) {
 	if err := ValidateTopicName(p.Topic); err != nil {
 		return nil, err
 	}
-	var body []byte
-	body = appendString(body, p.Topic)
-	if p.QoS > 0 {
-		if p.PacketID == 0 {
-			return nil, fmt.Errorf("%w: QoS>0 publish without packet id", ErrProtocolViolation)
-		}
-		body = appendUint16(body, p.PacketID)
+	if p.QoS > 0 && p.PacketID == 0 {
+		return nil, fmt.Errorf("%w: QoS>0 publish without packet id", ErrProtocolViolation)
 	}
-	body = append(body, p.Payload...)
+	// The remaining length is arithmetic, so the variable header + payload
+	// encode straight into dst — no intermediate body buffer (this is the
+	// broker fan-out hot path; see session.write's reused buffer).
+	remaining := 2 + len(p.Topic) + len(p.Payload)
+	if p.QoS > 0 {
+		remaining += 2
+	}
 	flags := byte(p.QoS) << 1
 	if p.Retain {
 		flags |= 0x01
@@ -364,11 +365,15 @@ func (p *PublishPacket) encode(dst []byte) ([]byte, error) {
 		flags |= 0x08
 	}
 	dst = append(dst, byte(PUBLISH)<<4|flags)
-	dst, err := encodeRemainingLength(dst, len(body))
+	dst, err := encodeRemainingLength(dst, remaining)
 	if err != nil {
 		return nil, err
 	}
-	return append(dst, body...), nil
+	dst = appendString(dst, p.Topic)
+	if p.QoS > 0 {
+		dst = appendUint16(dst, p.PacketID)
+	}
+	return append(dst, p.Payload...), nil
 }
 
 func (p *PublishPacket) decode(flags byte, body []byte) error {

@@ -3,9 +3,15 @@ package mqtt
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"strings"
 	"testing"
+	"time"
 )
+
+// raceEnabled is set by race_test.go on -race builds, where the detector's
+// sync.Pool bookkeeping breaks strict zero-alloc assertions.
+var raceEnabled bool
 
 // trieMatches collects the session set the trie routes topic to.
 func trieMatches(t *subTrie, topic string) map[*session]QoS {
@@ -299,5 +305,58 @@ func BenchmarkBrokerFanoutWildcards(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		broker.route(p, nil)
+	}
+}
+
+// discardConn is a connected-but-bottomless net.Conn: writes succeed and
+// vanish. It lets the alloc guard exercise the full deliver -> encode ->
+// conn.Write path without a peer.
+type discardConn struct{ net.Conn }
+
+func (discardConn) Write(b []byte) (int, error) { return len(b), nil }
+func (discardConn) Close() error                { return nil }
+func (discardConn) SetDeadline(time.Time) error { return nil }
+func (discardConn) LocalAddr() net.Addr         { return nil }
+func (discardConn) RemoteAddr() net.Addr        { return nil }
+
+// TestBrokerFanoutAllocFree guards the pooled per-publish delivery list:
+// once the route pool and the sessions' write buffers are warm, fanning a
+// publish out to its subscriber — matching, packet copy, encode and write —
+// performs zero allocations.
+func TestBrokerFanoutAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates inside sync.Pool")
+	}
+	broker := NewBroker(BrokerOptions{})
+	const n = 1000
+	for i := 0; i < n; i++ {
+		s := &session{
+			broker:   broker,
+			clientID: fmt.Sprintf("dev%d", i),
+			subs:     map[string]QoS{},
+			conn:     discardConn{},
+		}
+		filter := fmt.Sprintf("meters/agg1/device%d/report", i)
+		s.subs[filter] = QoS0
+		broker.sessions[s.clientID] = s
+		broker.subs.add(filter, s, QoS0)
+	}
+	p := &PublishPacket{Topic: "meters/agg1/device42/report", Payload: []byte(`{"seq":42}`), QoS: QoS0}
+	broker.route(p, nil) // warm the route pool and the write buffer
+	if allocs := testing.AllocsPerRun(200, func() { broker.route(p, nil) }); allocs != 0 {
+		t.Fatalf("broker fan-out allocates %.1f per publish, want 0 steady-state", allocs)
+	}
+	// Same guard for the wildcard-filter shape the aggregator tap uses.
+	wild := &session{
+		broker:   broker,
+		clientID: "tap",
+		subs:     map[string]QoS{"meters/agg1/+/report": QoS0},
+		conn:     discardConn{},
+	}
+	broker.sessions[wild.clientID] = wild
+	broker.subs.add("meters/agg1/+/report", wild, QoS0)
+	broker.route(p, nil)
+	if allocs := testing.AllocsPerRun(200, func() { broker.route(p, nil) }); allocs != 0 {
+		t.Fatalf("wildcard fan-out allocates %.1f per publish, want 0 steady-state", allocs)
 	}
 }
