@@ -27,6 +27,7 @@ import (
 	"decentmeter/internal/sim"
 	"decentmeter/internal/store"
 	"decentmeter/internal/tdma"
+	"decentmeter/internal/telemetry"
 	"decentmeter/internal/units"
 )
 
@@ -308,6 +309,82 @@ func benchReportPath(b *testing.B, mode sealMode) {
 				b.Fatalf("pipelined chain failed verification: block %d, %v", bad, err)
 			}
 		}
+	}
+}
+
+// BenchmarkInstrumentedReportPath is BenchmarkReportPathNoChain with the
+// observability plane wired the way the deployed ingest tier runs it: per
+// report one sharded-counter add and the tracer's Active() gate (with the
+// stage observation it guards — never taken here because nothing opens a
+// journey, exactly the steady state of unsampled traffic); per window close
+// a counter add and a window-close stage observation. Compare its ns/op to
+// BenchmarkReportPathNoChain for the instrumentation overhead; the
+// zero-alloc claim is enforced by TestInstrumentedReportPathAllocFree.
+func BenchmarkInstrumentedReportPath(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(reg, 256)
+	mIngested := reg.ShardedCounter("bench.reports_ingested")
+	mClosed := reg.Counter("bench.windows_closed")
+	var pending []blockchain.Record
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traced := tracer.Active()
+		var ingestStart time.Time
+		if traced {
+			ingestStart = time.Now()
+		}
+		m := protocol.Measurement{
+			Seq: uint64(i + 1), Timestamp: time.Now(), Interval: 100 * time.Millisecond,
+			Current: 80 * units.Milliampere, Voltage: 5 * units.Volt, Energy: 11,
+		}
+		enc, err := protocol.Encode(protocol.Report{DeviceID: "d", Measurements: []protocol.Measurement{m}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec, err := protocol.Decode(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := dec.(protocol.Report)
+		pending = append(pending, blockchain.Record{
+			DeviceID: rep.DeviceID, Seq: m.Seq, HomeAggregator: "agg1", ReportedVia: "agg1",
+			Timestamp: m.Timestamp, Interval: m.Interval,
+			Current: m.Current, Voltage: m.Voltage, Energy: m.Energy,
+		})
+		mIngested.Add(i&15, 1)
+		if traced {
+			tracer.ObserveStage(telemetry.StageShardIngest, ingestStart, time.Since(ingestStart))
+		}
+		if len(pending) == 10 {
+			closeStart := time.Now()
+			mClosed.Inc()
+			tracer.ObserveStage(telemetry.StageWindowClose, closeStart, time.Since(closeStart))
+			pending = pending[:0]
+		}
+	}
+}
+
+// TestInstrumentedReportPathAllocFree pins the instrument chain the report
+// hot path pays per report — sharded-counter add, counter add, Active()
+// gate, and an unsampled stage observation — at zero heap allocations.
+func TestInstrumentedReportPathAllocFree(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(reg, 256)
+	mIngested := reg.ShardedCounter("bench.reports_ingested")
+	mClosed := reg.Counter("bench.windows_closed")
+	start := time.Now()
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tracer.Active() {
+			t.Fatal("no journey was opened, tracer must be inactive")
+		}
+		mIngested.Add(i&15, 1)
+		mClosed.Inc()
+		tracer.ObserveStage(telemetry.StageWindowClose, start, 42*time.Microsecond)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("instrument chain allocates %.1f times per report, want 0", allocs)
 	}
 }
 

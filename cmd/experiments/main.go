@@ -20,10 +20,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"decentmeter/internal/core"
+	"decentmeter/internal/telemetry"
 )
 
 func main() {
@@ -130,6 +132,8 @@ func runHandshake(p core.Params) error {
 }
 
 func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas, consensusF int) error {
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(reg, 64)
 	res, err := core.RunFleet(core.FleetConfig{
 		Devices:  devices,
 		Shards:   shards,
@@ -138,13 +142,46 @@ func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas,
 		Seed:     seed,
 		Replicas: replicas,
 		F:        consensusF,
+		Registry: reg,
+		Tracer:   tracer,
 	})
 	if err != nil {
 		return err
 	}
 	core.WriteFleet(os.Stdout, res)
+	writeFleetTelemetry(os.Stdout, reg, tracer)
 	fmt.Println()
 	return nil
+}
+
+// writeFleetTelemetry prints the run's per-window telemetry digest: window
+// verdicts and loss from the driver's series, and the sampled report-journey
+// stage latencies the tracer collected.
+func writeFleetTelemetry(w io.Writer, reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	fmt.Fprintln(w, "  telemetry digest (per window):")
+	okPts := reg.Series("fleet.window_ok", 4096).Points(0, 0)
+	lossPts := reg.Series("fleet.window_loss", 4096).Points(0, 0)
+	for i, p := range okPts {
+		verdict := "OK"
+		if p.V == 0 {
+			verdict = "FLAGGED"
+		}
+		lost := "-"
+		if i < len(lossPts) {
+			lost = fmt.Sprintf("%.0f lost", lossPts[i].V)
+		}
+		fmt.Fprintf(w, "    window @%8v: %-7s %s\n", p.T.Round(time.Millisecond), verdict, lost)
+	}
+	snap := tracer.TraceSnapshot()
+	fmt.Fprintf(w, "  report journeys sampled: %d (1 in %d)\n", snap.Sampled, snap.SampleEvery)
+	for _, stage := range []string{"shard_ingest", "window_close", "consensus_decide", "seal_attach"} {
+		s := snap.Stages[stage]
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "    %-17s n=%-6d p50=%6.0fus p95=%6.0fus p99=%6.0fus\n",
+			stage, s.Count, s.P50, s.P95, s.P99)
+	}
 }
 
 func runFraud(p core.Params) error {

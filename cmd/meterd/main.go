@@ -31,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,6 +47,7 @@ import (
 	"decentmeter/internal/mqtt"
 	"decentmeter/internal/protocol"
 	"decentmeter/internal/sim"
+	"decentmeter/internal/telemetry"
 )
 
 // maxSealBacklog caps records retained across failing seals; beyond it the
@@ -81,6 +84,24 @@ type server struct {
 	// "meters/<id>/" — precomputed so onPublish routes without parsing.
 	registerTopic     string
 	deviceTopicPrefix string
+
+	// Observability plane (all nil/zero without -telemetry): the registry
+	// feeds /metrics and /series, the tracer samples report journeys for
+	// /trace/spans, and health backs /healthz.
+	reg        *telemetry.Registry
+	tracer     *telemetry.Tracer
+	health     *telemetry.Health
+	mIngested  *telemetry.ShardedCounter
+	mNacked    *telemetry.Counter
+	mMembers   *telemetry.Gauge
+	mBacklog   *telemetry.Gauge
+	mBlocks    *telemetry.Counter
+	mDropped   *telemetry.Counter
+	blockEvery time.Duration
+	startedAt  time.Time
+	// lastSealTick is the unix-nano stamp of the latest mergeAndSeal entry
+	// — the window-grid liveness signal for /healthz.
+	lastSealTick atomic.Int64
 }
 
 type member struct {
@@ -133,7 +154,8 @@ type repSealer struct {
 // cheapest, above it the agreement round-trips overlap instead of queueing.
 const sealChunkRecords = 4096
 
-func newRepSealer(baseID string, n, window int, auth *blockchain.Authority, logger *log.Logger) (*repSealer, error) {
+func newRepSealer(baseID string, n, window int, auth *blockchain.Authority, logger *log.Logger,
+	reg *telemetry.Registry, tracer *telemetry.Tracer) (*repSealer, error) {
 	if window < 1 {
 		window = 1
 	}
@@ -165,6 +187,7 @@ func newRepSealer(baseID string, n, window int, auth *blockchain.Authority, logg
 		return nil, err
 	}
 	cluster.SetWindow(window)
+	cluster.SetRegistry(reg, "", tracer)
 	r.cluster = cluster
 	for _, id := range r.ids {
 		id := id
@@ -270,6 +293,136 @@ func (r *repSealer) seal(at time.Time, records []blockchain.Record) error {
 	return nil
 }
 
+// daemonConfig carries the parsed flag set; newServer builds a server from
+// it so tests can run the daemon in-process against real TCP listeners.
+type daemonConfig struct {
+	ID         string
+	ChainPath  string
+	Tmeasure   time.Duration
+	BlockEvery time.Duration
+	Slots      int
+	Shards     int
+	Replicas   int
+	Pipeline   int
+	// Telemetry enables the observability plane (registry, tracer, health)
+	// regardless of whether an HTTP listener is started.
+	Telemetry  bool
+	TraceEvery int
+	Logger     *log.Logger
+}
+
+func newServer(cfg daemonConfig) (*server, error) {
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(os.Stderr, "meterd ", log.LstdFlags|log.Lmsgprefix)
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.BlockEvery <= 0 {
+		cfg.BlockEvery = time.Second
+	}
+	signer, err := blockchain.NewSigner(cfg.ID)
+	if err != nil {
+		return nil, err
+	}
+	auth := blockchain.NewAuthority()
+	if err := auth.Admit(cfg.ID, signer.Public()); err != nil {
+		return nil, err
+	}
+	s := &server{
+		id:                cfg.ID,
+		chain:             blockchain.NewChain(auth),
+		signer:            signer,
+		tmeasure:          cfg.Tmeasure,
+		shards:            make([]*ingestShard, cfg.Shards),
+		slots:             cfg.Slots,
+		chainPath:         cfg.ChainPath,
+		logger:            cfg.Logger,
+		registerTopic:     protocol.RegisterTopic(cfg.ID),
+		deviceTopicPrefix: "meters/" + cfg.ID + "/",
+		blockEvery:        cfg.BlockEvery,
+		startedAt:         time.Now(),
+	}
+	if cfg.Telemetry {
+		s.reg = telemetry.NewRegistry()
+		s.tracer = telemetry.NewTracer(s.reg, cfg.TraceEvery)
+		s.mIngested = s.reg.ShardedCounter(cfg.ID + ".reports_ingested")
+		s.mNacked = s.reg.Counter(cfg.ID + ".reports_nacked")
+		s.mMembers = s.reg.Gauge(cfg.ID + ".members")
+		s.mBacklog = s.reg.Gauge(cfg.ID + ".seal_backlog")
+		s.mBlocks = s.reg.Counter(cfg.ID + ".blocks")
+		s.mDropped = s.reg.Counter(cfg.ID + ".records_dropped")
+		s.health = telemetry.NewHealth()
+		// Window-grid liveness: the seal ticker must have fired recently
+		// (3 block intervals of grace, never under 3 s for tight -block).
+		s.health.Register("window_grid", func() error {
+			grace := 3 * s.blockEvery
+			if grace < 3*time.Second {
+				grace = 3 * time.Second
+			}
+			last := s.lastSealTick.Load()
+			ref := s.startedAt
+			if last != 0 {
+				ref = time.Unix(0, last)
+			}
+			if age := time.Since(ref); age > grace {
+				return fmt.Errorf("no seal tick for %v (grid interval %v)", age.Round(time.Millisecond), s.blockEvery)
+			}
+			return nil
+		})
+		// Seal-backlog state: a backlog pinned at the drop-oldest cap means
+		// sealing cannot keep up and records are being discarded.
+		s.health.Register("seal_backlog", func() error {
+			s.sealMu.Lock()
+			n, dropped := len(s.backlog), s.dropped
+			s.sealMu.Unlock()
+			if n >= maxSealBacklog {
+				return fmt.Errorf("seal backlog full (%d records, %d dropped)", n, dropped)
+			}
+			return nil
+		})
+	}
+	if cfg.Replicas > 1 {
+		rep, err := newRepSealer(cfg.ID, cfg.Replicas, cfg.Pipeline, auth, cfg.Logger, s.reg, s.tracer)
+		if err != nil {
+			return nil, err
+		}
+		s.rep = rep
+		// The "server chain" becomes replica 0's copy, so persistence and
+		// logging keep working unchanged.
+		s.chain = rep.chains[rep.ids[0]]
+		cfg.Logger.Printf("replicated sealing: %d chain replicas, pipeline depth %d, consensus leader %s",
+			cfg.Replicas, rep.window, rep.cluster.Leader(0))
+	}
+	for i := range s.shards {
+		s.shards[i] = &ingestShard{members: make(map[string]*member)}
+	}
+	s.broker = mqtt.NewBroker(mqtt.BrokerOptions{
+		Logger:    cfg.Logger,
+		OnPublish: s.onPublish,
+		Registry:  s.reg,
+		Tracer:    s.tracer,
+	})
+	return s, nil
+}
+
+// serveTelemetry mounts the observability surface (/metrics, /series,
+// /series/query, /trace/spans, /healthz, /debug/pprof/) on addr and serves
+// it in the background, returning the bound listener.
+func (s *server) serveTelemetry(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry listen %s: %w", addr, err)
+	}
+	mux := telemetry.NewMux(s.reg, s.tracer, s.health)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil && !strings.Contains(err.Error(), "use of closed") {
+			s.logger.Printf("telemetry server: %v", err)
+		}
+	}()
+	return ln, nil
+}
+
 func main() {
 	id := flag.String("id", "agg1", "aggregator identity")
 	addr := flag.String("addr", ":1883", "MQTT listen address")
@@ -280,51 +433,34 @@ func main() {
 	shards := flag.Int("shards", 1, "report ingest shards (device-hash partitions)")
 	replicas := flag.Int("replicas", 1, "chain replicas sealing via in-process consensus\n(1 = plain local sealing; N > 1 writes -chain plus -chain.r1..r(N-1), all byte-identical)")
 	pipeline := flag.Int("pipeline", 4, "consensus-seal pipeline depth: proposals kept in flight\nwhen the replicated seal loop splits an oversized backlog")
+	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /series, /trace/spans, /healthz and /debug/pprof/\non this address (e.g. :9090); empty disables the observability plane")
+	traceEvery := flag.Int("trace-every", 0, "sample one report journey in every N publishes (0 = default 256)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "meterd ", log.LstdFlags|log.Lmsgprefix)
-	signer, err := blockchain.NewSigner(*id)
+	s, err := newServer(daemonConfig{
+		ID:         *id,
+		ChainPath:  *chainPath,
+		Tmeasure:   *tmeasure,
+		BlockEvery: *blockEvery,
+		Slots:      *slots,
+		Shards:     *shards,
+		Replicas:   *replicas,
+		Pipeline:   *pipeline,
+		Telemetry:  *telemetryAddr != "",
+		TraceEvery: *traceEvery,
+		Logger:     logger,
+	})
 	if err != nil {
 		logger.Fatal(err)
 	}
-	auth := blockchain.NewAuthority()
-	if err := auth.Admit(*id, signer.Public()); err != nil {
-		logger.Fatal(err)
-	}
-	if *shards < 1 {
-		*shards = 1
-	}
-	s := &server{
-		id:                *id,
-		chain:             blockchain.NewChain(auth),
-		signer:            signer,
-		tmeasure:          *tmeasure,
-		shards:            make([]*ingestShard, *shards),
-		slots:             *slots,
-		chainPath:         *chainPath,
-		logger:            logger,
-		registerTopic:     protocol.RegisterTopic(*id),
-		deviceTopicPrefix: "meters/" + *id + "/",
-	}
-	if *replicas > 1 {
-		rep, err := newRepSealer(*id, *replicas, *pipeline, auth, logger)
+	if *telemetryAddr != "" {
+		ln, err := s.serveTelemetry(*telemetryAddr)
 		if err != nil {
 			logger.Fatal(err)
 		}
-		s.rep = rep
-		// The "server chain" becomes replica 0's copy, so persistence and
-		// logging keep working unchanged.
-		s.chain = rep.chains[rep.ids[0]]
-		logger.Printf("replicated sealing: %d chain replicas, pipeline depth %d, consensus leader %s",
-			*replicas, rep.window, rep.cluster.Leader(0))
+		logger.Printf("telemetry on http://%s (metrics, series, trace spans, healthz, pprof)", ln.Addr())
 	}
-	for i := range s.shards {
-		s.shards[i] = &ingestShard{members: make(map[string]*member)}
-	}
-	s.broker = mqtt.NewBroker(mqtt.BrokerOptions{
-		Logger:    logger,
-		OnPublish: s.onPublish,
-	})
 
 	go s.sealLoop(*blockEvery)
 
@@ -366,7 +502,18 @@ func (s *server) onPublish(topic string, payload []byte) {
 		strings.HasPrefix(topic, s.deviceTopicPrefix) &&
 		strings.HasSuffix(topic, reportSuffix) &&
 		!strings.Contains(topic[len(s.deviceTopicPrefix):len(topic)-len(reportSuffix)], "/"):
+		// Uplink termination: the envelope decode is the daemon-side cost
+		// of the device's radio uplink. Timestamps are taken only while a
+		// sampled journey is open.
+		traced := s.tracer.Active()
+		var decodeStart time.Time
+		if traced {
+			decodeStart = time.Now()
+		}
 		msg, err := protocol.Decode(payload)
+		if traced {
+			s.tracer.ObserveStage(telemetry.StageDeviceUplink, decodeStart, time.Since(decodeStart))
+		}
 		if err != nil {
 			s.logger.Printf("bad report payload: %v", err)
 			return
@@ -421,6 +568,9 @@ func (s *server) handleRegister(reg protocol.Register) {
 	s.maxSlot++
 	s.members.Add(1)
 	s.admitMu.Unlock()
+	if s.mMembers != nil {
+		s.mMembers.Set(float64(s.members.Load()))
+	}
 
 	kind := protocol.MemberMaster
 	home := s.id
@@ -440,6 +590,9 @@ func (s *server) handleRegister(reg protocol.Register) {
 		m = sh.members[reg.DeviceID]
 		sh.mu.Unlock()
 		s.members.Add(-1)
+		if s.mMembers != nil {
+			s.mMembers.Set(float64(s.members.Load()))
+		}
 	} else {
 		sh.members[reg.DeviceID] = m
 		sh.mu.Unlock()
@@ -452,11 +605,20 @@ func (s *server) handleRegister(reg protocol.Register) {
 }
 
 func (s *server) handleReport(rep protocol.Report) {
-	sh := s.shardFor(rep.DeviceID)
+	si := aggregator.ShardOf(rep.DeviceID, len(s.shards))
+	sh := s.shards[si]
+	traced := s.tracer.Active()
+	var ingestStart time.Time
+	if traced {
+		ingestStart = time.Now()
+	}
 	sh.mu.Lock()
 	m, ok := sh.members[rep.DeviceID]
 	if !ok {
 		sh.mu.Unlock()
+		if s.mNacked != nil {
+			s.mNacked.Inc()
+		}
 		s.sendControlAsync(rep.DeviceID, protocol.ReportNack{
 			DeviceID: rep.DeviceID, Seq: aggregator.MaxSeq(rep.Measurements), Reason: "not a member",
 		})
@@ -468,6 +630,7 @@ func (s *server) handleReport(rep protocol.Report) {
 	// seq that would force needless retransmission.
 	prev := m.lastSeq
 	var maxSeq uint64
+	accepted := 0
 	for _, meas := range rep.Measurements {
 		if meas.Seq > maxSeq {
 			maxSeq = meas.Seq
@@ -475,6 +638,7 @@ func (s *server) handleReport(rep protocol.Report) {
 		if meas.Seq <= prev {
 			continue
 		}
+		accepted++
 		sh.pending = append(sh.pending, blockchain.Record{
 			DeviceID:       rep.DeviceID,
 			Seq:            meas.Seq,
@@ -492,6 +656,12 @@ func (s *server) handleReport(rep protocol.Report) {
 		m.lastSeq = maxSeq
 	}
 	sh.mu.Unlock()
+	if s.mIngested != nil && accepted > 0 {
+		s.mIngested.Add(si, uint64(accepted))
+	}
+	if traced {
+		s.tracer.ObserveStage(telemetry.StageShardIngest, ingestStart, time.Since(ingestStart))
+	}
 	if len(rep.Measurements) > 0 {
 		s.sendControlAsync(rep.DeviceID, protocol.ReportAck{
 			DeviceID: rep.DeviceID,
@@ -504,8 +674,14 @@ func (s *server) handleReport(rep protocol.Report) {
 // block; on failure the backlog is retained, bounded by maxSealBacklog with
 // drop-oldest.
 func (s *server) mergeAndSeal(at time.Time) {
+	s.lastSealTick.Store(time.Now().UnixNano())
 	s.sealMu.Lock()
 	defer s.sealMu.Unlock()
+	instrumented := s.reg != nil || s.tracer != nil
+	var closeStart time.Time
+	if instrumented {
+		closeStart = time.Now()
+	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		s.backlog = append(s.backlog, sh.pending...)
@@ -516,10 +692,26 @@ func (s *server) mergeAndSeal(at time.Time) {
 		copy(s.backlog, s.backlog[over:])
 		s.backlog = s.backlog[:maxSealBacklog]
 		s.dropped += uint64(over)
+		if s.mDropped != nil {
+			s.mDropped.AddInt(uint64(over))
+		}
 		s.logger.Printf("seal backlog full: dropped %d oldest records (%d total)", over, s.dropped)
+	}
+	if s.mBacklog != nil {
+		defer func() { s.mBacklog.Set(float64(len(s.backlog))) }()
+	}
+	// The merge is the daemon's window close: it always feeds the stage
+	// histogram, and a sampled journey records it before the terminal seal.
+	if instrumented {
+		s.tracer.ObserveStage(telemetry.StageWindowClose, closeStart, time.Since(closeStart))
 	}
 	if len(s.backlog) == 0 {
 		return
+	}
+	blocksBefore := s.chain.Length()
+	var sealStart time.Time
+	if instrumented {
+		sealStart = time.Now()
 	}
 	if s.rep != nil {
 		if err := s.rep.seal(at, s.backlog); err != nil {
@@ -529,6 +721,13 @@ func (s *server) mergeAndSeal(at time.Time) {
 	} else if _, err := s.chain.Seal(s.signer, at, s.backlog); err != nil {
 		s.logger.Printf("seal: %v (%d records retained)", err, len(s.backlog))
 		return
+	}
+	if instrumented {
+		// Terminal journey stage: completes and retires sampled journeys.
+		s.tracer.ObserveStage(telemetry.StageSealAttach, sealStart, time.Since(sealStart))
+	}
+	if s.mBlocks != nil {
+		s.mBlocks.AddInt(uint64(s.chain.Length() - blocksBefore))
 	}
 	s.backlog = s.backlog[:0]
 }

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"decentmeter/internal/mqtt"
+	"decentmeter/internal/protocol"
+	"decentmeter/internal/telemetry"
+	"decentmeter/internal/units"
+)
+
+// TestTelemetryEndToEnd runs the daemon in-process against real TCP
+// listeners: a 3-replica consensus-sealed meterd with the observability
+// plane on, a device publishing reports over MQTT, and every -telemetry
+// endpoint answered with live (non-zero) ingest, consensus and seal
+// instruments plus at least one complete sampled report journey.
+func TestTelemetryEndToEnd(t *testing.T) {
+	s, err := newServer(daemonConfig{
+		ID:         "e2e",
+		ChainPath:  filepath.Join(t.TempDir(), "e2e.chain"),
+		Tmeasure:   100 * time.Millisecond,
+		BlockEvery: time.Second,
+		Slots:      16,
+		Shards:     4,
+		Replicas:   3,
+		Pipeline:   2,
+		Telemetry:  true,
+		TraceEvery: 1, // sample every publish: the journey must complete
+		Logger:     log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	brokerLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.broker.Serve(brokerLn)
+	defer s.broker.Close()
+
+	telemetryLn, err := s.serveTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer telemetryLn.Close()
+	base := "http://" + telemetryLn.Addr().String()
+
+	const dev = "e2e-dev-1"
+	client, err := mqtt.Dial(brokerLn.Addr().String(), mqtt.ClientOptions{
+		ClientID: dev, CleanSession: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	publish := func(topic string, msg protocol.Message) {
+		t.Helper()
+		payload, err := protocol.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Publish(topic, payload, mqtt.QoS1, false); err != nil {
+			t.Fatalf("publish %s: %v", topic, err)
+		}
+	}
+
+	publish(protocol.RegisterTopic("e2e"), protocol.Register{DeviceID: dev})
+
+	const reports = 50
+	reportTopic := protocol.ReportTopic("e2e", dev)
+	epoch := time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC)
+	for seq := uint64(1); seq <= reports; seq++ {
+		publish(reportTopic, protocol.Report{DeviceID: dev, Measurements: []protocol.Measurement{{
+			Seq:       seq,
+			Timestamp: epoch.Add(time.Duration(seq) * 100 * time.Millisecond),
+			Interval:  100 * time.Millisecond,
+			Current:   units.MilliampsToCurrent(5),
+			Voltage:   5 * units.Volt,
+		}}})
+	}
+
+	// QoS1 pubacks land after the broker's inline OnPublish, so ingestion
+	// should already be visible; poll briefly to stay robust.
+	ingested := s.reg.ShardedCounter("e2e.reports_ingested")
+	for deadline := time.Now().Add(5 * time.Second); ingested.Value() < reports; {
+		if time.Now().After(deadline) {
+			t.Fatalf("ingested %v of %d reports", ingested.Value(), reports)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// One seal tick: merges the shards and drives the 3-replica consensus.
+	s.mergeAndSeal(time.Now())
+	if got := s.chain.Length(); got < 1 {
+		t.Fatalf("chain has %d blocks after seal", got)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// /metrics (JSON): live instruments from every tier must be non-zero.
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", code)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	for name, min := range map[string]float64{
+		"e2e.reports_ingested": reports, // ingest tier
+		"consensus.decides":    1,       // consensus tier
+		"consensus.votes":      1,
+		"e2e.blocks":           1, // seal tier
+		"mqtt.publishes":       reports,
+	} {
+		if got := snap.Counters[name]; got < min {
+			t.Errorf("counter %s = %v, want >= %v", name, got, min)
+		}
+	}
+	if got := snap.Gauges["e2e.members"]; got != 1 {
+		t.Errorf("gauge e2e.members = %v, want 1", got)
+	}
+	if h, ok := snap.Histograms["trace.stage.shard_ingest_us"]; !ok || h.Count < reports {
+		t.Errorf("trace.stage.shard_ingest_us count = %+v, want >= %d observations", h, reports)
+	}
+
+	// /metrics in Prometheus text exposition.
+	code, body = get("/metrics?format=prometheus")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=prometheus: HTTP %d", code)
+	}
+	if want := "e2e_reports_ingested"; !strings.Contains(string(body), want) {
+		t.Errorf("prometheus exposition missing %q", want)
+	}
+
+	// /series and /series/query input validation stay mounted under NewMux.
+	if code, _ = get("/series"); code != http.StatusOK {
+		t.Errorf("/series: HTTP %d", code)
+	}
+
+	// /trace/spans: at least one complete sampled journey through the
+	// terminal seal_attach stage, with populated stage histograms.
+	code, body = get("/trace/spans")
+	if code != http.StatusOK {
+		t.Fatalf("/trace/spans: HTTP %d", code)
+	}
+	var trace telemetry.TraceSnapshot
+	if err := json.Unmarshal(body, &trace); err != nil {
+		t.Fatalf("/trace/spans: %v", err)
+	}
+	complete := 0
+	for _, j := range trace.Journeys {
+		if j.Complete && len(j.Spans) > 0 {
+			complete++
+		}
+	}
+	if complete == 0 {
+		t.Errorf("no complete journey in %d sampled", len(trace.Journeys))
+	}
+	for _, stage := range []string{"broker_fanout", "device_uplink", "shard_ingest", "window_close", "consensus_decide", "seal_attach"} {
+		if trace.Stages[stage].Count == 0 {
+			t.Errorf("stage %s: no observations", stage)
+		}
+	}
+
+	// /healthz: the seal tick just ran and the backlog is drained.
+	code, body = get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz: HTTP %d (%s)", code, body)
+	}
+
+	// pprof is mounted.
+	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/: HTTP %d", code)
+	}
+}

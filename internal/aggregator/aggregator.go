@@ -127,6 +127,10 @@ type Config struct {
 	SumCheck anomaly.SumCheckConfig
 	// Registry receives live telemetry (optional).
 	Registry *telemetry.Registry
+	// Tracer, when set, records report-journey stage latencies (shard
+	// ingest, window close, local seal). Sampling gates keep the
+	// uninstrumented and unsampled paths alloc- and lock-free.
+	Tracer *telemetry.Tracer
 	// Shards is the number of ingest shards devices hash onto (default 1,
 	// the original single-state-machine layout). Reports for devices on
 	// different shards never contend on a lock.
@@ -194,7 +198,18 @@ type Aggregator struct {
 	reportsNacked   atomic.Uint64
 	blocksSealed    atomic.Uint64
 	recordsDropped  atomic.Uint64
+
+	// instruments, pre-resolved at New so the report path never touches
+	// the registry mutex; all nil when Config.Registry is nil.
+	mIngested *telemetry.ShardedCounter // "<ID>.reports_ingested", striped by shard
+	mNacked   *telemetry.Counter        // "<ID>.reports_nacked"
+	mPending  *telemetry.Gauge          // "<ID>.pending_records"
+	mWindowUs *telemetry.Histogram      // "<ID>.window_close_us"
+	tracer    *telemetry.Tracer
 }
+
+// windowCloseBoundsUs buckets the window-close merge latency, µs.
+var windowCloseBoundsUs = []float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000}
 
 type pendingReg struct {
 	master string
@@ -256,6 +271,13 @@ func New(cfg Config) (*Aggregator, error) {
 	}
 	for i := range a.shards {
 		a.shards[i] = newShard(perShard)
+	}
+	a.tracer = cfg.Tracer
+	if cfg.Registry != nil {
+		a.mIngested = cfg.Registry.ShardedCounter(cfg.ID + ".reports_ingested")
+		a.mNacked = cfg.Registry.Counter(cfg.ID + ".reports_nacked")
+		a.mPending = cfg.Registry.Gauge(cfg.ID + ".pending_records")
+		a.mWindowUs = cfg.Registry.Histogram(cfg.ID+".window_close_us", windowCloseBoundsUs)
 	}
 	if err := cfg.Mesh.Join(cfg.ID, a.handleBackhaul); err != nil {
 		return nil, err
@@ -622,7 +644,14 @@ func MaxSeq(ms []protocol.Measurement) uint64 {
 // onReport validates and stores a consumption report. It touches only the
 // device's shard, so reports for different shards proceed concurrently.
 func (a *Aggregator) onReport(m protocol.Report) {
-	sh := a.shardFor(m.DeviceID)
+	si := ShardOf(m.DeviceID, len(a.shards))
+	sh := a.shards[si]
+	// Stage tracing: only a sampled journey in flight pays for timestamps.
+	traced := a.tracer.Active()
+	var traceStart time.Time
+	if traced {
+		traceStart = time.Now()
+	}
 	sh.mu.Lock()
 	st, ok := sh.devices[m.DeviceID]
 	if !ok {
@@ -631,6 +660,9 @@ func (a *Aggregator) onReport(m protocol.Report) {
 		// negative acknowledgment (Nack) to indicate the absence of
 		// membership."
 		a.reportsNacked.Add(1)
+		if a.mNacked != nil {
+			a.mNacked.Inc()
+		}
 		_ = a.cfg.SendToDevice(m.DeviceID, protocol.ReportNack{
 			DeviceID: m.DeviceID,
 			Seq:      MaxSeq(m.Measurements),
@@ -673,6 +705,12 @@ func (a *Aggregator) onReport(m protocol.Report) {
 	home := st.Home
 	sh.mu.Unlock()
 	a.reportsAccepted.Add(uint64(accepted))
+	if a.mIngested != nil {
+		a.mIngested.Add(si, uint64(accepted))
+	}
+	if traced {
+		a.tracer.ObserveStage(telemetry.StageShardIngest, traceStart, time.Since(traceStart))
+	}
 	if len(m.Measurements) > 0 {
 		_ = a.cfg.SendToDevice(m.DeviceID, protocol.ReportAck{DeviceID: m.DeviceID, Seq: maxSeq})
 	}
@@ -894,6 +932,12 @@ func (a *Aggregator) closeWindow() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 
+	instrumented := a.mWindowUs != nil || a.tracer != nil
+	var closeStart time.Time
+	if instrumented {
+		closeStart = time.Now()
+	}
+
 	w := WindowReport{Start: a.windowStart, PerDevice: make(map[string]units.Current)}
 	a.windowStart = a.cfg.Env.Now()
 
@@ -981,6 +1025,16 @@ func (a *Aggregator) closeWindow() {
 		}
 	}
 
+	// The window-close stage ends at the merge+verify boundary so the seal
+	// below reads as its own journey stage.
+	if instrumented {
+		dur := time.Since(closeStart)
+		if a.mWindowUs != nil {
+			a.mWindowUs.Observe(float64(dur) / float64(time.Microsecond))
+		}
+		a.tracer.ObserveStage(telemetry.StageWindowClose, closeStart, dur)
+	}
+
 	// Seal the backlog ("Update Blockchain" in Fig. 3) — locally, or via
 	// the replicated tier's seal hook when one is installed. On failure the
 	// records stay buffered — bounded by MaxPendingRecords — and the next
@@ -990,8 +1044,17 @@ func (a *Aggregator) closeWindow() {
 		var err error
 		if a.sealFn != nil {
 			err = a.sealFn(a.sealScratch)
-		} else if _, err = a.cfg.Chain.Seal(a.cfg.Signer, a.cfg.WallClock(), a.sealScratch); err == nil {
-			a.blocksSealed.Add(1)
+		} else {
+			var sealStart time.Time
+			if instrumented {
+				sealStart = time.Now()
+			}
+			if _, err = a.cfg.Chain.Seal(a.cfg.Signer, a.cfg.WallClock(), a.sealScratch); err == nil {
+				a.blocksSealed.Add(1)
+				if instrumented {
+					a.tracer.ObserveStage(telemetry.StageSealAttach, sealStart, time.Since(sealStart))
+				}
+			}
 		}
 		if err == nil {
 			a.backlog.reset()
@@ -1000,6 +1063,9 @@ func (a *Aggregator) closeWindow() {
 			}
 		}
 		a.sealScratch = a.sealScratch[:0]
+	}
+	if a.mPending != nil {
+		a.mPending.Set(float64(a.backlog.len()))
 	}
 }
 

@@ -3,6 +3,9 @@ package blockchain
 import (
 	"errors"
 	"sync"
+	"time"
+
+	"decentmeter/internal/telemetry"
 )
 
 // ErrSealBacklog is returned by SealWorker.Submit when the bounded sign
@@ -41,6 +44,27 @@ type SealWorker struct {
 	results chan SealResult
 	wg      sync.WaitGroup
 	close   sync.Once
+
+	// instruments, all optional (see Instrument).
+	mQueue    *telemetry.Gauge
+	mSignUs   *telemetry.Histogram
+	mRefusals *telemetry.Counter
+}
+
+// ecdsaBoundsUs buckets ECDSA sign latency, µs.
+var ecdsaBoundsUs = []float64{25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000}
+
+// Instrument registers the worker's instruments on reg under prefix:
+// "<prefix>.seal_queue" (jobs waiting to sign), "<prefix>.ecdsa_us" (sign
+// latency) and "<prefix>.seal_refusals" (Submit backpressure hits). Call
+// before the first Submit.
+func (w *SealWorker) Instrument(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	w.mQueue = reg.Gauge(prefix + ".seal_queue")
+	w.mSignUs = reg.Histogram(prefix+".ecdsa_us", ecdsaBoundsUs)
+	w.mRefusals = reg.Counter(prefix + ".seal_refusals")
 }
 
 // NewSealWorker starts workers goroutines signing for s, with a bounded
@@ -74,7 +98,17 @@ func NewSealWorker(s *Signer, workers, depth int) (*SealWorker, error) {
 func (w *SealWorker) run() {
 	defer w.wg.Done()
 	for job := range w.jobs {
+		if w.mQueue != nil {
+			w.mQueue.Set(float64(len(w.jobs)))
+		}
+		var signStart time.Time
+		if w.mSignUs != nil {
+			signStart = time.Now()
+		}
 		sig, err := w.signer.Sign(job.Hash)
+		if w.mSignUs != nil {
+			w.mSignUs.Observe(float64(time.Since(signStart)) / float64(time.Microsecond))
+		}
 		w.results <- SealResult{Seq: job.Seq, Hash: job.Hash, Sig: sig, Err: err}
 	}
 }
@@ -84,8 +118,14 @@ func (w *SealWorker) run() {
 func (w *SealWorker) Submit(seq uint64, h Hash) error {
 	select {
 	case w.jobs <- SealJob{Seq: seq, Hash: h}:
+		if w.mQueue != nil {
+			w.mQueue.Set(float64(len(w.jobs)))
+		}
 		return nil
 	default:
+		if w.mRefusals != nil {
+			w.mRefusals.Inc()
+		}
 		return ErrSealBacklog
 	}
 }

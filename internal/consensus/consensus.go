@@ -23,7 +23,25 @@ import (
 
 	"decentmeter/internal/blockchain"
 	"decentmeter/internal/sim"
+	"decentmeter/internal/telemetry"
 )
+
+// instruments is the cluster-wide telemetry set, shared by every replica
+// (nil when no registry is wired; every touch is nil-guarded so the
+// agreement hot path pays one predictable branch).
+type instruments struct {
+	proposals   *telemetry.Counter   // batches entering agreement
+	votes       *telemetry.Counter   // prepare/commit votes processed
+	viewChanges *telemetry.Counter   // leader rotations
+	decides     *telemetry.Counter   // slots finalized
+	records     *telemetry.Counter   // records across decided slots
+	inflight    *telemetry.Gauge     // leader's uncommitted pipelined slots
+	decideUs    *telemetry.Histogram // propose -> local decide wall latency
+	tracer      *telemetry.Tracer
+}
+
+// decideBoundsUs buckets propose->decide wall latency, µs.
+var decideBoundsUs = []float64{25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
 
 // Phase labels a proposal's progress.
 type Phase int
@@ -209,6 +227,9 @@ type slot struct {
 	// early buffers votes that arrive before the pre-prepare (broadcast
 	// reordering); they replay once the proposal is known.
 	early []Message
+	// proposedAt stamps the pre-prepare arrival for decide-latency
+	// telemetry (zero when the cluster is uninstrumented).
+	proposedAt time.Time
 	// attests counts "decided" attestations per digest, for catch-up by
 	// replicas that missed the vote rounds. f+1 matching attestations
 	// prove at least one honest replica decided that content. The maps are
@@ -267,6 +288,9 @@ type Replica struct {
 	lastLeaderSign time.Duration
 
 	crashed bool
+
+	// ins is the cluster-shared instrument set (nil when uninstrumented).
+	ins *instruments
 
 	// OnDecide fires when a block decides locally.
 	OnDecide func(seq uint64, records []blockchain.Record)
@@ -345,6 +369,33 @@ func NewCluster(env *sim.Env, ids []string, f int, latency time.Duration) (*Clus
 func (c *Cluster) SetWindow(w int) {
 	for _, r := range c.Replicas {
 		r.Window = w
+	}
+}
+
+// SetRegistry wires cluster-wide instruments onto reg under prefix
+// (default "consensus"): proposals, votes, view_changes, decides,
+// decided_records, inflight and decide_us. tracer, when non-nil,
+// additionally records the consensus_decide journey stage. Call before
+// driving traffic.
+func (c *Cluster) SetRegistry(reg *telemetry.Registry, prefix string, tracer *telemetry.Tracer) {
+	if reg == nil && tracer == nil {
+		return
+	}
+	if prefix == "" {
+		prefix = "consensus"
+	}
+	ins := &instruments{tracer: tracer}
+	if reg != nil {
+		ins.proposals = reg.Counter(prefix + ".proposals")
+		ins.votes = reg.Counter(prefix + ".votes")
+		ins.viewChanges = reg.Counter(prefix + ".view_changes")
+		ins.decides = reg.Counter(prefix + ".decides")
+		ins.records = reg.Counter(prefix + ".decided_records")
+		ins.inflight = reg.Gauge(prefix + ".inflight")
+		ins.decideUs = reg.Histogram(prefix+".decide_us", decideBoundsUs)
+	}
+	for _, r := range c.Replicas {
+		r.ins = ins
 	}
 }
 
@@ -451,6 +502,9 @@ func (r *Replica) ProposeMeta(records []blockchain.Record, meta []byte) error {
 		return ErrWindowFull
 	}
 	seq := r.proposeSeq
+	if r.ins != nil && r.ins.proposals != nil {
+		r.ins.proposals.Inc()
+	}
 	var d Digest
 	d, r.digestBuf = digestInto(r.digestBuf, records, meta)
 	msg := Message{
@@ -591,6 +645,12 @@ func (r *Replica) receive(msg Message) {
 		sl.meta = msg.Meta
 		sl.counted = true
 		r.uncommitted++
+		if r.ins != nil {
+			sl.proposedAt = time.Now()
+			if r.ins.inflight != nil && msg.From == r.ID {
+				r.ins.inflight.Set(float64(r.uncommitted))
+			}
+		}
 		r.armViewTimer()
 		vote := Message{Kind: "prepare", View: r.view, Seq: msg.Seq, From: r.ID, Digest: msg.Digest}
 		r.handlePrepare(sl, vote)
@@ -626,6 +686,9 @@ func (r *Replica) handlePrepare(sl *slot, msg Message) {
 		return
 	}
 	sl.prepares |= r.voteBit(msg.From)
+	if r.ins != nil && r.ins.votes != nil {
+		r.ins.votes.Inc()
+	}
 	if sl.phase == PhasePrePrepared && bits.OnesCount64(sl.prepares) >= r.quorum() {
 		sl.phase = PhasePrepared
 		vote := Message{Kind: "commit", View: r.view, Seq: msg.Seq, From: r.ID, Digest: sl.digest}
@@ -639,6 +702,9 @@ func (r *Replica) handleCommit(sl *slot, msg Message) {
 		return
 	}
 	sl.commits |= r.voteBit(msg.From)
+	if r.ins != nil && r.ins.votes != nil {
+		r.ins.votes.Inc()
+	}
 	if sl.phase == PhasePrepared && !sl.committed && bits.OnesCount64(sl.commits) >= r.quorum() {
 		r.markCommitted(msg.Seq, sl)
 	}
@@ -688,6 +754,23 @@ func (r *Replica) markCommitted(seq uint64, sl *slot) {
 	if sl.counted {
 		sl.counted = false
 		r.uncommitted--
+	}
+	// Decide instruments observe from the leader's perspective only, so a
+	// cluster-wide counter reads one decide per slot, not one per replica;
+	// votes (above) are genuinely cluster-wide message counts.
+	if r.ins != nil && r.leader() == r.ID {
+		if r.ins.decides != nil {
+			r.ins.decides.Inc()
+			r.ins.records.AddInt(uint64(len(sl.records)))
+			r.ins.inflight.Set(float64(r.uncommitted))
+		}
+		if !sl.proposedAt.IsZero() {
+			dur := time.Since(sl.proposedAt)
+			if r.ins.decideUs != nil {
+				r.ins.decideUs.Observe(float64(dur) / float64(time.Microsecond))
+			}
+			r.ins.tracer.ObserveStage(telemetry.StageConsensusDecide, sl.proposedAt, dur)
+		}
 	}
 	if r.uncommitted == 0 {
 		r.disarmViewTimer()
@@ -752,6 +835,9 @@ func (r *Replica) dropUncommittedSlots() {
 func (r *Replica) advanceView() {
 	r.view++
 	r.lastLeaderSign = r.env.Now()
+	if r.ins != nil && r.ins.viewChanges != nil {
+		r.ins.viewChanges.Inc()
+	}
 	r.dropUncommittedSlots()
 }
 

@@ -24,6 +24,7 @@ import (
 	"decentmeter/internal/sensor"
 	"decentmeter/internal/sim"
 	"decentmeter/internal/tdma"
+	"decentmeter/internal/telemetry"
 	"decentmeter/internal/units"
 )
 
@@ -77,6 +78,14 @@ type FleetConfig struct {
 	// PipelineDepth is the replicated tier's consensus-seal pipeline
 	// window (0 = the ReplicaSet default of 4).
 	PipelineDepth int
+
+	// Registry receives live telemetry from every tier the run touches
+	// (aggregator ingest, consensus, orchestrator) plus the driver's own
+	// per-window "fleet.window_ok" / "fleet.window_loss" series; nil
+	// disables instrumentation.
+	Registry *telemetry.Registry
+	// Tracer samples report journeys through the run; nil disables it.
+	Tracer *telemetry.Tracer
 }
 
 // FleetResult is the outcome of a fleet run.
@@ -312,6 +321,8 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 		Slots:             slots,
 		Shards:            cfg.Shards,
 		MaxPendingRecords: cfg.MaxPendingRecords,
+		Registry:          cfg.Registry,
+		Tracer:            cfg.Tracer,
 	})
 	if err != nil {
 		return res, err
@@ -354,6 +365,7 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 	// then advance the clock across the window boundary (ground sampling,
 	// window close, seal) and churn some membership.
 	var delivered, uplost, acklost atomic.Uint64
+	var lastLost uint64
 	churnCursor := 0
 	for sec := 0; sec < cfg.Seconds; sec++ {
 		for tick := 0; tick < 10; tick++ {
@@ -401,6 +413,11 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 							uplost.Add(1)
 							continue // uplink lost: everything stays unacked
 						}
+						// No broker in this driver, so the producer is the
+						// journey's sampling point.
+						if cfg.Tracer.Sample() {
+							cfg.Tracer.Begin(d.id)
+						}
 						agg.HandleDeviceMessage(d.id, protocol.Report{DeviceID: d.id, Measurements: batch})
 						delivered.Add(1)
 						if rng.Bool(cfg.LossRate) {
@@ -430,6 +447,13 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 			d.unacked = d.unacked[:0]
 			res.ChurnEvents++
 		}
+		if cfg.Registry != nil {
+			// Per-window loss trace: uplinks plus acks lost during this
+			// simulated second (one verification window).
+			lost := uplost.Load() + acklost.Load()
+			cfg.Registry.Series("fleet.window_loss", 4096).Append(env.Now(), float64(lost-lastLost))
+			lastLost = lost
+		}
 		env.RunUntil(env.Now() + 10*time.Millisecond) // settle churn round-trips
 	}
 	agg.Stop()
@@ -445,10 +469,15 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 	res.RecordsDropped = agg.DroppedRecords()
 	for _, w := range agg.Windows() {
 		res.WindowsClosed++
+		ok := 0.0
 		if w.Verdict.OK {
 			res.WindowsOK++
+			ok = 1
 		} else {
 			res.WindowsFlagged++
+		}
+		if cfg.Registry != nil {
+			cfg.Registry.Series("fleet.window_ok", 4096).Append(w.Start, ok)
 		}
 	}
 	if res.IngestElapsed > 0 {

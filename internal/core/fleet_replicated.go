@@ -139,6 +139,8 @@ func runReplicatedFleet(cfg FleetConfig) (FleetResult, error) {
 			Slots:             slots,
 			Shards:            cfg.Shards,
 			MaxPendingRecords: cfg.MaxPendingRecords,
+			Registry:          cfg.Registry,
+			Tracer:            cfg.Tracer,
 		})
 		if err != nil {
 			return res, err
@@ -147,7 +149,10 @@ func runReplicatedFleet(cfg FleetConfig) (FleetResult, error) {
 		members = append(members, ReplicaMember{ID: id, Agg: agg, Signer: signer})
 	}
 
-	rsCfg := ReplicaSetConfig{F: cfg.F, PipelineDepth: cfg.PipelineDepth}
+	rsCfg := ReplicaSetConfig{
+		F: cfg.F, PipelineDepth: cfg.PipelineDepth,
+		Registry: cfg.Registry, Tracer: cfg.Tracer,
+	}
 	rsCfg.Balance.HighWater = 0.75
 	rsCfg.Balance.LowWater = 0.6
 	// Headroom below the shed threshold: a plan must never fill a target
@@ -286,6 +291,11 @@ func runReplicatedFleet(cfg FleetConfig) (FleetResult, error) {
 							uplost.Add(1)
 							continue // uplink lost: everything stays unacked
 						}
+						// No broker in this driver, so the producer is the
+						// journey's sampling point.
+						if cfg.Tracer.Sample() {
+							cfg.Tracer.Begin(d.id)
+						}
 						reps[d.agg].agg.HandleDeviceMessage(d.id, protocol.Report{DeviceID: d.id, Measurements: batch})
 						delivered.Add(1)
 						if rng.Bool(cfg.LossRate) {
@@ -332,12 +342,21 @@ func runReplicatedFleet(cfg FleetConfig) (FleetResult, error) {
 		res.RecordsDropped += reps[r].agg.DroppedRecords()
 		for _, w := range reps[r].agg.Windows() {
 			res.WindowsClosed++
+			ok := 0.0
 			if w.Verdict.OK {
 				res.WindowsOK++
+				ok = 1
 			} else {
 				res.WindowsFlagged++
 			}
+			if cfg.Registry != nil {
+				cfg.Registry.Series("fleet.window_ok", 4096).Append(w.Start, ok)
+			}
 		}
+	}
+	if cfg.Registry != nil {
+		cfg.Registry.Series("fleet.window_loss", 4096).Append(env.Now(),
+			float64(res.UplinksLost+res.AcksLost))
 	}
 	used, capacity := reps[hotspot].agg.SlotStats()
 	if capacity > 0 {

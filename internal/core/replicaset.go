@@ -29,6 +29,7 @@ import (
 	"decentmeter/internal/loadbalance"
 	"decentmeter/internal/protocol"
 	"decentmeter/internal/sim"
+	"decentmeter/internal/telemetry"
 )
 
 // ReplicaSetConfig tunes the replication/orchestration layer.
@@ -64,6 +65,14 @@ type ReplicaSetConfig struct {
 	PipelineDepth int
 	// Balance tunes the planner (zero value = loadbalance.DefaultConfig).
 	Balance loadbalance.Config
+	// Registry receives the orchestrator's instruments
+	// ("replicaset.failovers", ".guest_admissions", ".roams",
+	// ".batches_decided", ".records_decided", ".queued_records") and the
+	// cluster's consensus instruments; nil disables them.
+	Registry *telemetry.Registry
+	// Tracer records the consensus_decide and seal_attach journey stages;
+	// nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 func (c *ReplicaSetConfig) defaults() {
@@ -186,6 +195,15 @@ type ReplicaSet struct {
 	crashes          int
 	recoveries       int
 
+	// instruments, all nil when Config.Registry is nil.
+	mFailovers  *telemetry.Counter
+	mGuests     *telemetry.Counter
+	mRoams      *telemetry.Counter
+	mDecided    *telemetry.Counter
+	mDecidedRec *telemetry.Counter
+	mQueuedRec  *telemetry.Gauge
+	tracer      *telemetry.Tracer
+
 	stopPump      func()
 	stopRebalance func()
 }
@@ -242,6 +260,16 @@ func NewReplicaSet(env *sim.Env, auth *blockchain.Authority, wallClock func() ti
 	rs.ids = append(rs.ids, ids...)
 	sort.Strings(rs.ids)
 	cluster.SetWindow(cfg.PipelineDepth)
+	rs.tracer = cfg.Tracer
+	cluster.SetRegistry(cfg.Registry, "", cfg.Tracer)
+	if reg := cfg.Registry; reg != nil {
+		rs.mFailovers = reg.Counter("replicaset.failovers")
+		rs.mGuests = reg.Counter("replicaset.guest_admissions")
+		rs.mRoams = reg.Counter("replicaset.roams")
+		rs.mDecided = reg.Counter("replicaset.batches_decided")
+		rs.mDecidedRec = reg.Counter("replicaset.records_decided")
+		rs.mQueuedRec = reg.Gauge("replicaset.queued_records")
+	}
 	rs.pumpFn = func() {
 		rs.pumpScheduled = false
 		rs.tryPropose()
@@ -367,6 +395,9 @@ func (rs *ReplicaSet) submit(from string, records []blockchain.Record) error {
 	rs.queue = append(rs.queue, batch)
 	rs.queuedRecords += len(batch.records)
 	rs.batchesSubmitted++
+	if rs.mQueuedRec != nil {
+		rs.mQueuedRec.Set(float64(rs.queuedRecords))
+	}
 	rs.schedulePump()
 	return nil
 }
@@ -449,6 +480,14 @@ func (rs *ReplicaSet) pumpTick() {
 // consensus log and every replica's imported block — four chains, one
 // backing array.
 func (rs *ReplicaSet) applyDecided(rep *Replica, seq uint64, records []blockchain.Record, meta []byte) {
+	// first marks the first replica's callback for this slot — the point
+	// where cluster-wide counters and the terminal seal_attach journey
+	// stage are observed exactly once per decided sequence.
+	first := seq >= rs.decidedSeqs
+	var importStart time.Time
+	if first && rs.tracer != nil {
+		importStart = time.Now()
+	}
 	hdr, sig, err := blockchain.DecodeSealMeta(meta)
 	if err != nil {
 		rep.importErrs++
@@ -458,10 +497,17 @@ func (rs *ReplicaSet) applyDecided(rep *Replica, seq uint64, records []blockchai
 			rep.importErrs++
 		}
 	}
-	if seq >= rs.decidedSeqs {
+	if first {
 		rs.decidedSeqs = seq + 1
 		rs.batchesDecided++
 		rs.recordsDecided += uint64(len(records))
+		if rs.mDecided != nil {
+			rs.mDecided.Inc()
+			rs.mDecidedRec.AddInt(uint64(len(records)))
+		}
+		if rs.tracer != nil {
+			rs.tracer.ObserveStage(telemetry.StageSealAttach, importStart, time.Since(importStart))
+		}
 		var key consensus.Digest
 		key, rs.keyBuf = consensus.DigestRecordsInto(rs.keyBuf, records)
 		if len(rs.queue) > 0 && rs.queue[0].key == key {
@@ -470,6 +516,9 @@ func (rs *ReplicaSet) applyDecided(rep *Replica, seq uint64, records []blockchai
 			if rs.proposed > 0 {
 				rs.proposed--
 			}
+		}
+		if rs.mQueuedRec != nil {
+			rs.mQueuedRec.Set(float64(rs.queuedRecords))
 		}
 	}
 	rs.schedulePump()
@@ -688,6 +737,10 @@ func (rs *ReplicaSet) execMigration(m loadbalance.Migration, failover bool) bool
 			return false
 		}
 		rs.guests[m.DeviceID] = guestPlacement{from: m.From, to: m.To}
+		if rs.mFailovers != nil {
+			rs.mFailovers.Inc()
+			rs.mGuests.Inc()
+		}
 	} else {
 		// Target first, then release: a failed admission must leave the
 		// device where it is, not strand it membership-less. When the
@@ -697,10 +750,18 @@ func (rs *ReplicaSet) execMigration(m loadbalance.Migration, failover bool) bool
 			dst.Agg.SyncSeq(m.DeviceID, mem.LastSeq)
 		} else if err := dst.Agg.AdmitGuest(m.DeviceID, mem.Home, false, mem.LastSeq); err != nil {
 			return false
-		} else if mem.HomeDown {
-			dst.Agg.SetHomeDown(m.DeviceID, true)
+		} else {
+			if mem.HomeDown {
+				dst.Agg.SetHomeDown(m.DeviceID, true)
+			}
+			if rs.mGuests != nil {
+				rs.mGuests.Inc()
+			}
 		}
 		src.Agg.ReleaseTemporary(m.DeviceID)
+		if rs.mRoams != nil {
+			rs.mRoams.Inc()
+		}
 	}
 	if rs.Steer != nil {
 		rs.Steer(m.DeviceID, m.To)

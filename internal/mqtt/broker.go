@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"decentmeter/internal/telemetry"
 )
 
 // Broker is an MQTT 3.1.1 server. It supports QoS 0/1/2 routing, retained
@@ -32,6 +34,14 @@ type Broker struct {
 	// stats
 	packetsIn  uint64
 	packetsOut uint64
+
+	// instruments, resolved once in NewBroker when a Registry is given;
+	// all nil otherwise so the fan-out stays allocation- and branch-cheap.
+	mPublishes   *telemetry.Counter
+	mFanout      *telemetry.Counter
+	mSessions    *telemetry.Gauge
+	mRetransmits *telemetry.Counter
+	tracer       *telemetry.Tracer
 }
 
 // BrokerOptions configures a Broker.
@@ -47,6 +57,14 @@ type BrokerOptions struct {
 	// KeepAliveGrace multiplies the client keepalive for the server-side
 	// deadline; the spec mandates 1.5.
 	KeepAliveGrace float64
+	// Registry receives the broker's instruments ("mqtt.publishes",
+	// "mqtt.fanout_deliveries", "mqtt.connected_sessions",
+	// "mqtt.retransmits"); nil disables them.
+	Registry *telemetry.Registry
+	// Tracer samples report journeys at the fan-out; nil disables tracing.
+	// The broker opens the journey (Begin) before routing, so downstream
+	// stages tapped via OnPublish attach to it.
+	Tracer *telemetry.Tracer
 }
 
 // NewBroker returns a broker ready to Serve.
@@ -54,12 +72,20 @@ func NewBroker(opts BrokerOptions) *Broker {
 	if opts.KeepAliveGrace == 0 {
 		opts.KeepAliveGrace = 1.5
 	}
-	return &Broker{
+	b := &Broker{
 		opts:     opts,
 		sessions: make(map[string]*session),
 		subs:     newSubTrie(),
 		retained: make(map[string]*PublishPacket),
+		tracer:   opts.Tracer,
 	}
+	if reg := opts.Registry; reg != nil {
+		b.mPublishes = reg.Counter("mqtt.publishes")
+		b.mFanout = reg.Counter("mqtt.fanout_deliveries")
+		b.mSessions = reg.Gauge("mqtt.connected_sessions")
+		b.mRetransmits = reg.Counter("mqtt.retransmits")
+	}
+	return b
 }
 
 // session is one connected client's state.
@@ -213,6 +239,10 @@ func (b *Broker) handleConn(conn net.Conn) {
 	// Redeliver inflight QoS>=1 messages for resumed sessions.
 	s.redeliver()
 
+	if b.mSessions != nil {
+		b.mSessions.Add(1)
+		defer b.mSessions.Add(-1)
+	}
 	_ = b.readLoop(s, conn)
 	// A clean DISCONNECT clears the will inside readLoop; any other way
 	// out of the loop (EOF from a dead peer, timeout, protocol error,
@@ -448,6 +478,18 @@ func (b *Broker) handleSubscribe(s *session, p *SubscribePacket) error {
 // route fans an accepted message out to matching sessions. from is the
 // publishing session (may be nil for broker-origin messages).
 func (b *Broker) route(p *PublishPacket, from *session) {
+	if b.mPublishes != nil {
+		b.mPublishes.Inc()
+	}
+	// One atomic add decides sampling; only the 1-in-N sampled publishes
+	// open a journey and take timestamps, so the steady-state fan-out stays
+	// allocation-free.
+	sampled := b.tracer.Sample()
+	var fanoutStart time.Time
+	if sampled {
+		b.tracer.Begin(p.Topic)
+		fanoutStart = time.Now()
+	}
 	if p.Retain {
 		b.mu.Lock()
 		if len(p.Payload) == 0 {
@@ -486,8 +528,14 @@ func (b *Broker) route(p *PublishPacket, from *session) {
 		}
 		m.s.deliver(out)
 	}
+	if b.mFanout != nil {
+		b.mFanout.AddInt(uint64(len(rb.matches)))
+	}
 	rb.reset()
 	routeBufPool.Put(rb)
+	if sampled {
+		b.tracer.ObserveStage(telemetry.StageBrokerFanout, fanoutStart, time.Since(fanoutStart))
+	}
 	if b.opts.OnPublish != nil {
 		b.opts.OnPublish(p.Topic, p.Payload)
 	}
@@ -657,6 +705,9 @@ func (s *session) redeliver() {
 		rels = append(rels, id)
 	}
 	s.mu.Unlock()
+	if n := len(pending) + len(rels); n > 0 && s.broker.mRetransmits != nil {
+		s.broker.mRetransmits.AddInt(uint64(n))
+	}
 	sort.Slice(pending, func(i, j int) bool { return pending[i].PacketID < pending[j].PacketID })
 	sort.Slice(rels, func(i, j int) bool { return rels[i] < rels[j] })
 	for i := range pending {

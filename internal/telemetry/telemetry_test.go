@@ -118,7 +118,7 @@ func TestRegistryIdentity(t *testing.T) {
 	if r.Gauge("g") != r.Gauge("g") {
 		t.Fatal("gauge identity")
 	}
-	if r.Histogram("h", []float64{1}) != r.Histogram("h", nil) {
+	if r.Histogram("h", []float64{1}) != r.Histogram("h", []float64{1}) {
 		t.Fatal("histogram identity")
 	}
 	if r.Series("s", 10) != r.Series("s", 99) {
@@ -258,7 +258,206 @@ func TestConcurrentInstruments(t *testing.T) {
 	if got := r.Counter("c").Value(); got != 8000 {
 		t.Fatalf("concurrent counter = %v", got)
 	}
-	if c, _, _, _ := r.Histogram("h", nil).Summary(); c != 8000 {
+	if c, _, _, _ := r.Histogram("h", []float64{10, 100}).Summary(); c != 8000 {
 		t.Fatalf("concurrent histogram count = %v", c)
+	}
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	// Regression: re-registering a histogram with different bounds used to
+	// silently return the existing instrument, answering quantile queries
+	// from the wrong buckets.
+	r := NewRegistry()
+	r.Histogram("lat", []float64{1, 5, 10})
+	// Order-insensitive: the bounds are canonicalized before comparison.
+	r.Histogram("lat", []float64{10, 1, 5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bounds mismatch did not panic")
+		}
+	}()
+	r.Histogram("lat", []float64{1, 5})
+}
+
+func TestShardedCounter(t *testing.T) {
+	var c ShardedCounter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc(w)
+			}
+			c.Add(w, 5)
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*1005 {
+		t.Fatalf("sharded counter = %v", got)
+	}
+	// Hints far beyond the stripe count (and negative-looking after int
+	// conversion) must still land on a stripe.
+	c.Inc(1 << 30)
+	if got := c.Value(); got != 8*1005+1 {
+		t.Fatalf("wide-hint value = %v", got)
+	}
+}
+
+func TestCounterFractionalAndIntParts(t *testing.T) {
+	var c Counter
+	c.AddInt(10)
+	c.Add(0.25)
+	c.Add(2)
+	if got := c.Value(); got != 12.25 {
+		t.Fatalf("counter = %v", got)
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-2.5)
+	g.Add(1)
+	if got := g.Value(); got != 8.5 {
+		t.Fatalf("gauge = %v", got)
+	}
+}
+
+func TestSeriesLazyGrowth(t *testing.T) {
+	// Fleet-scale registries hold tens of thousands of mostly-idle device
+	// series; the ring must not preallocate its full capacity.
+	s := NewSeries("big", 100000)
+	if len(s.buf) != 0 {
+		t.Fatalf("fresh series allocated %d points", len(s.buf))
+	}
+	for i := 0; i < 40; i++ {
+		s.Append(time.Duration(i), float64(i))
+	}
+	if len(s.buf) >= 100000 {
+		t.Fatalf("series grew to full capacity after 40 points: %d", len(s.buf))
+	}
+	pts := s.Points(0, 0)
+	if len(pts) != 40 || pts[0].V != 0 || pts[39].V != 39 {
+		t.Fatalf("lazy-grown series contents: %d points", len(pts))
+	}
+}
+
+func TestSeriesRingEvictionAfterGrowth(t *testing.T) {
+	s := NewSeries("ring", 20)
+	for i := 0; i < 50; i++ {
+		s.Append(time.Duration(i), float64(i))
+	}
+	pts := s.Points(0, 0)
+	if len(pts) != 20 {
+		t.Fatalf("retained %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.V != float64(30+i) {
+			t.Fatalf("eviction order: pts[%d] = %v", i, p.V)
+		}
+	}
+}
+
+func TestWriteCSVEmptyCellsAndEviction(t *testing.T) {
+	// Series with disjoint timestamps render empty cells, and a series
+	// whose ring has evicted early points only contributes what it retains.
+	a := NewSeries("a", 2)
+	b := NewSeries("b", 10)
+	a.Append(1*time.Second, 1)
+	a.Append(2*time.Second, 2)
+	a.Append(3*time.Second, 3) // evicts t=1
+	b.Append(1*time.Second, 10)
+	b.Append(4*time.Second, 40)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{
+		"t_seconds,a,b",
+		"1.000,,10.0000", // a's t=1 evicted -> empty cell
+		"2.000,2.0000,",  // b has no point at t=2
+		"3.000,3.0000,",
+		"4.000,,40.0000",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("csv lines: %v", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentSeriesAppendVsPoints(t *testing.T) {
+	// Exercised under -race in CI: readers snapshotting the ring while
+	// writers append and the buffer grows.
+	s := NewSeries("hot", 64)
+	var writers sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				s.Append(time.Duration(w*2000+i), float64(i))
+			}
+		}(w)
+	}
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if pts := s.Points(0, 0); len(pts) > 64 {
+					t.Error("ring over capacity")
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	if pts := s.Points(0, 0); len(pts) != 64 {
+		t.Fatalf("retained %d after 8000 appends", len(pts))
+	}
+}
+
+func TestInstrumentsAllocFree(t *testing.T) {
+	// The observability plane's whole premise: nothing on the observe path
+	// allocates. Guarded here instrument by instrument; the composed
+	// report-path guard lives in the root bench suite.
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	sc := r.ShardedCounter("sc")
+	h := r.Histogram("h", []float64{1, 10, 100, 1000})
+	tr := NewTracer(r, 1024)
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.AddInt", func() { c.AddInt(3) }},
+		{"Counter.Add", func() { c.Add(1.5) }},
+		{"Gauge.Set", func() { g.Set(4) }},
+		{"Gauge.Add", func() { g.Add(-1) }},
+		{"ShardedCounter.Inc", func() { sc.Inc(3) }},
+		{"ShardedCounter.Add", func() { sc.Add(7, 2) }},
+		{"Histogram.Observe", func() { h.Observe(42) }},
+		{"Tracer.Sample unsampled", func() { tr.Sample() }},
+		{"Tracer.Active", func() { tr.Active() }},
+		{"Tracer.ObserveStage no journeys", func() { tr.ObserveStage(StageShardIngest, time.Time{}, time.Microsecond) }},
+	}
+	for _, chk := range checks {
+		if allocs := testing.AllocsPerRun(200, chk.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", chk.name, allocs)
+		}
 	}
 }

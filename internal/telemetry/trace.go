@@ -1,0 +1,278 @@
+// Report-journey stage tracing: a sampled ring-buffer span recorder for the
+// path a device report travels — uplink termination, broker fan-out, shard
+// ingest, window close, consensus decide, seal attach. The steady-state cost
+// on unsampled traffic is one atomic add per publish (Sample) and one atomic
+// load per stage (Active); only the 1-in-N sampled journeys take the tracer
+// mutex and allocate spans.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one segment of the report journey.
+type Stage int
+
+// The report journey, in pipeline order. All segments are wall-clock
+// durations measured inside the process that executes them: DeviceUplink is
+// the uplink *termination* cost (read + decode of the device's report batch
+// at the daemon — radio airtime lives in the DES model, not here).
+const (
+	StageDeviceUplink Stage = iota
+	StageBrokerFanout
+	StageShardIngest
+	StageWindowClose
+	StageConsensusDecide
+	StageSealAttach
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"device_uplink",
+	"broker_fanout",
+	"shard_ingest",
+	"window_close",
+	"consensus_decide",
+	"seal_attach",
+}
+
+// String returns the stage's wire name.
+func (s Stage) String() string {
+	if s < 0 || s >= numStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// Span is one recorded stage of a journey. Times are microseconds relative
+// to the tracer's epoch (process start of tracing).
+type Span struct {
+	Stage   string `json:"stage"`
+	StartUs int64  `json:"start_us"`
+	DurUs   int64  `json:"dur_us"`
+}
+
+// Journey is one sampled report's path through the pipeline. It completes
+// when the terminal stage (seal_attach) lands; batch-level stages (window
+// close onward) attach to every journey still open, which is exactly the
+// fate of the sampled report they carry.
+type Journey struct {
+	ID       uint64 `json:"id"`
+	Label    string `json:"label,omitempty"`
+	StartUs  int64  `json:"start_us"`
+	Spans    []Span `json:"spans"`
+	Complete bool   `json:"complete"`
+}
+
+const (
+	maxOpenJourneys = 64
+	doneJourneyRing = 256
+	defaultSampleN  = 256
+	stageHistPrefix = "trace.stage."
+	stageHistSuffix = "_us"
+	// maxJourneySpans bounds one journey's span list: per-report stages can
+	// fire thousands of times while a journey waits for its window close,
+	// and an unbounded list would grow the heap for the whole window. The
+	// terminal stage always lands so a capped journey still completes.
+	maxJourneySpans = 64
+)
+
+// stageBoundsUs buckets stage latencies from sub-50µs ingest work up to
+// second-scale consensus drives.
+var stageBoundsUs = []float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 500000, 1e6}
+
+// Tracer samples report journeys 1-in-N and records per-stage latency.
+// A nil *Tracer is valid everywhere and never samples.
+type Tracer struct {
+	every uint64
+	epoch time.Time
+	tick  atomic.Uint64
+	open  atomic.Int32
+	drops atomic.Uint64
+
+	hists [numStages]*Histogram
+
+	mu     sync.Mutex
+	nextID uint64
+	active []*Journey
+	done   []*Journey // ring, oldest at doneHead
+	doneAt int
+}
+
+// NewTracer creates a tracer sampling one journey in every (<= 0 picks the
+// default 1-in-256) and registers per-stage latency histograms
+// ("trace.stage.<stage>_us") on reg when non-nil.
+func NewTracer(reg *Registry, every int) *Tracer {
+	if every <= 0 {
+		every = defaultSampleN
+	}
+	t := &Tracer{
+		every: uint64(every),
+		epoch: time.Now(),
+	}
+	for s := Stage(0); s < numStages; s++ {
+		if reg != nil {
+			t.hists[s] = reg.Histogram(stageHistPrefix+stageNames[s]+stageHistSuffix, stageBoundsUs)
+		} else {
+			t.hists[s] = NewHistogram(stageBoundsUs)
+		}
+	}
+	return t
+}
+
+// SampleEvery reports the configured 1-in-N rate (0 on a nil tracer).
+func (t *Tracer) SampleEvery() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.every
+}
+
+// Sample ticks the sampling counter and reports whether this event should
+// open a journey. The unsampled path is one atomic add.
+func (t *Tracer) Sample() bool {
+	if t == nil {
+		return false
+	}
+	return t.tick.Add(1)%t.every == 0
+}
+
+// Active reports whether any journey is open — the gate hot paths check
+// before taking timestamps for per-report stages.
+func (t *Tracer) Active() bool {
+	return t != nil && t.open.Load() > 0
+}
+
+// Begin opens a journey for a sampled report. When the open set is full the
+// oldest journey is retired incomplete (a stalled pipeline must not wedge
+// tracing).
+func (t *Tracer) Begin(label string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.active) >= maxOpenJourneys {
+		t.retireLocked(0)
+	}
+	t.nextID++
+	t.active = append(t.active, &Journey{
+		ID:      t.nextID,
+		Label:   label,
+		StartUs: time.Since(t.epoch).Microseconds(),
+		Spans:   make([]Span, 0, int(numStages)),
+	})
+	t.open.Store(int32(len(t.active)))
+	t.mu.Unlock()
+}
+
+// ObserveStage records one stage execution: the stage histogram always gets
+// the observation, and when journeys are open the span attaches to each of
+// them. SealAttach is terminal — it completes and retires every open
+// journey.
+func (t *Tracer) ObserveStage(stage Stage, start time.Time, dur time.Duration) {
+	if t == nil || stage < 0 || stage >= numStages {
+		return
+	}
+	t.hists[stage].Observe(float64(dur) / float64(time.Microsecond))
+	if t.open.Load() == 0 {
+		return
+	}
+	span := Span{
+		Stage:   stageNames[stage],
+		StartUs: start.Sub(t.epoch).Microseconds(),
+		DurUs:   dur.Microseconds(),
+	}
+	t.mu.Lock()
+	for _, j := range t.active {
+		if len(j.Spans) < maxJourneySpans || stage == StageSealAttach {
+			j.Spans = append(j.Spans, span)
+		}
+	}
+	if stage == StageSealAttach {
+		for i := len(t.active) - 1; i >= 0; i-- {
+			t.active[i].Complete = true
+			t.retireLocked(i)
+		}
+	}
+	t.open.Store(int32(len(t.active)))
+	t.mu.Unlock()
+}
+
+// retireLocked moves active[i] into the done ring. Caller holds t.mu.
+func (t *Tracer) retireLocked(i int) {
+	j := t.active[i]
+	t.active = append(t.active[:i], t.active[i+1:]...)
+	if len(t.done) < doneJourneyRing {
+		t.done = append(t.done, j)
+		return
+	}
+	t.done[t.doneAt] = j
+	t.doneAt = (t.doneAt + 1) % len(t.done)
+	t.drops.Add(1)
+}
+
+// StageHistogram returns the latency histogram for one stage (nil on a nil
+// tracer).
+func (t *Tracer) StageHistogram(stage Stage) *Histogram {
+	if t == nil || stage < 0 || stage >= numStages {
+		return nil
+	}
+	return t.hists[stage]
+}
+
+// Journeys returns retired journeys oldest-first followed by the currently
+// open (incomplete) ones.
+func (t *Tracer) Journeys() []Journey {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Journey, 0, len(t.done)+len(t.active))
+	for i := 0; i < len(t.done); i++ {
+		j := t.done[(t.doneAt+i)%len(t.done)]
+		out = append(out, snapshotJourney(j))
+	}
+	for _, j := range t.active {
+		out = append(out, snapshotJourney(j))
+	}
+	return out
+}
+
+func snapshotJourney(j *Journey) Journey {
+	cp := *j
+	cp.Spans = append([]Span(nil), j.Spans...)
+	return cp
+}
+
+// TraceSnapshot is the /trace/spans payload.
+type TraceSnapshot struct {
+	SampleEvery uint64                      `json:"sample_every"`
+	Sampled     uint64                      `json:"sampled"`
+	Evicted     uint64                      `json:"evicted"`
+	Stages      map[string]HistogramSummary `json:"stages"`
+	Journeys    []Journey                   `json:"journeys"`
+}
+
+// TraceSnapshot captures the tracer state for serving.
+func (t *Tracer) TraceSnapshot() TraceSnapshot {
+	snap := TraceSnapshot{Stages: make(map[string]HistogramSummary, int(numStages))}
+	if t == nil {
+		return snap
+	}
+	snap.SampleEvery = t.every
+	snap.Sampled = t.tick.Load() / t.every
+	snap.Evicted = t.drops.Load()
+	for s := Stage(0); s < numStages; s++ {
+		h := t.hists[s]
+		count, mean, min, max := h.Summary()
+		snap.Stages[stageNames[s]] = HistogramSummary{
+			Count: count, Mean: mean, Min: min, Max: max,
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+		}
+	}
+	snap.Journeys = t.Journeys()
+	return snap
+}

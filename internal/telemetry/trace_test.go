@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerSamplingRate(t *testing.T) {
+	tr := NewTracer(nil, 8)
+	var sampled int
+	for i := 0; i < 64; i++ {
+		if tr.Sample() {
+			sampled++
+		}
+	}
+	if sampled != 8 {
+		t.Fatalf("sampled %d of 64 at 1-in-8", sampled)
+	}
+	var nilTracer *Tracer
+	if nilTracer.Sample() || nilTracer.Active() {
+		t.Fatal("nil tracer sampled")
+	}
+	nilTracer.Begin("x")
+	nilTracer.ObserveStage(StageShardIngest, time.Now(), time.Microsecond)
+	if js := nilTracer.Journeys(); js != nil {
+		t.Fatalf("nil tracer journeys: %v", js)
+	}
+}
+
+func TestTracerJourneyLifecycle(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, 4)
+	if tr.Active() {
+		t.Fatal("fresh tracer has open journeys")
+	}
+	tr.Begin("dev1")
+	if !tr.Active() {
+		t.Fatal("journey not open after Begin")
+	}
+	start := time.Now()
+	tr.ObserveStage(StageDeviceUplink, start, 10*time.Microsecond)
+	tr.ObserveStage(StageBrokerFanout, start, 20*time.Microsecond)
+	tr.ObserveStage(StageShardIngest, start, 5*time.Microsecond)
+	tr.ObserveStage(StageWindowClose, start, 100*time.Microsecond)
+	tr.ObserveStage(StageConsensusDecide, start, 300*time.Microsecond)
+	if !tr.Active() {
+		t.Fatal("journey closed before terminal stage")
+	}
+	tr.ObserveStage(StageSealAttach, start, 50*time.Microsecond)
+	if tr.Active() {
+		t.Fatal("terminal stage left journey open")
+	}
+	js := tr.Journeys()
+	if len(js) != 1 {
+		t.Fatalf("journeys = %d", len(js))
+	}
+	j := js[0]
+	if !j.Complete || j.Label != "dev1" || len(j.Spans) != 6 {
+		t.Fatalf("journey = %+v", j)
+	}
+	if j.Spans[0].Stage != "device_uplink" || j.Spans[5].Stage != "seal_attach" {
+		t.Fatalf("span order: %+v", j.Spans)
+	}
+	// Stage histograms landed in the registry under trace.stage.*.
+	h := r.Histogram("trace.stage.window_close_us", stageBoundsUs)
+	if c, _, _, _ := h.Summary(); c != 1 {
+		t.Fatalf("window_close histogram count = %d", c)
+	}
+}
+
+func TestTracerStageHistogramWithoutJourney(t *testing.T) {
+	// Rare batch-level stages observe unconditionally: the histograms see
+	// every window even when no journey is open.
+	tr := NewTracer(nil, 1024)
+	tr.ObserveStage(StageWindowClose, time.Now(), 80*time.Microsecond)
+	if c, _, _, _ := tr.StageHistogram(StageWindowClose).Summary(); c != 1 {
+		t.Fatal("unsampled stage observation lost")
+	}
+	if len(tr.Journeys()) != 0 {
+		t.Fatal("stage without journey created a journey")
+	}
+}
+
+func TestTracerEvictsWhenOpenSetFull(t *testing.T) {
+	tr := NewTracer(nil, 1)
+	for i := 0; i < maxOpenJourneys+5; i++ {
+		tr.Begin("d")
+	}
+	js := tr.Journeys()
+	var open, retired int
+	for _, j := range js {
+		if j.Complete {
+			t.Fatal("evicted journey marked complete")
+		}
+	}
+	snap := tr.TraceSnapshot()
+	if int(snap.SampleEvery) != 1 {
+		t.Fatalf("sample_every = %d", snap.SampleEvery)
+	}
+	open = int(tr.open.Load())
+	retired = len(js) - open
+	if open != maxOpenJourneys || retired != 5 {
+		t.Fatalf("open = %d retired = %d", open, retired)
+	}
+}
+
+func TestTracerDoneRingBounded(t *testing.T) {
+	tr := NewTracer(nil, 1)
+	for i := 0; i < doneJourneyRing+40; i++ {
+		tr.Begin("d")
+		tr.ObserveStage(StageSealAttach, time.Now(), time.Microsecond)
+	}
+	js := tr.Journeys()
+	if len(js) != doneJourneyRing {
+		t.Fatalf("done ring holds %d", len(js))
+	}
+	if snap := tr.TraceSnapshot(); snap.Evicted != 40 {
+		t.Fatalf("evicted = %d", snap.Evicted)
+	}
+	// Oldest-first: the first retained journey is the 41st begun.
+	if js[0].ID != 41 {
+		t.Fatalf("oldest retained id = %d", js[0].ID)
+	}
+}

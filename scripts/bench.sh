@@ -24,7 +24,7 @@ if [ "${1:-}" = "--check" ]; then
     shift
 fi
 
-benches='BenchmarkProtocolEncodeDecode|BenchmarkMQTTTopicMatch|BenchmarkSimKernel|BenchmarkChainAppend|BenchmarkReportPath|BenchmarkBrokerFanout|BenchmarkStoreAndForward|BenchmarkAggregatorIngestSharded|BenchmarkConsensusDecide'
+benches='BenchmarkProtocolEncodeDecode|BenchmarkMQTTTopicMatch|BenchmarkSimKernel|BenchmarkChainAppend|BenchmarkReportPath|BenchmarkBrokerFanout|BenchmarkStoreAndForward|BenchmarkAggregatorIngestSharded|BenchmarkConsensusDecide|BenchmarkInstrumentedReportPath'
 
 raw="$(mktemp)"
 tmpjson="$(mktemp)"
