@@ -4,10 +4,17 @@
 // buffers locally when the connection drops — the same firmware behaviour
 // as the DES device, exercised over a real network stack.
 //
+// Connection loss (including a broker restart) is survivable: the device
+// keeps measuring into its local backlog and redials with capped
+// exponential backoff, resuming its persistent session and flushing the
+// buffered tail. Startup tolerates an absent broker the same way, bounded
+// by -retries consecutive failures.
+//
 //	devicesim -broker localhost:1883 -agg agg1 -n 2 -duration 10s
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -15,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"decentmeter/internal/device"
 	"decentmeter/internal/energy"
 	"decentmeter/internal/mqtt"
 	"decentmeter/internal/protocol"
@@ -28,6 +36,9 @@ func main() {
 	n := flag.Int("n", 2, "number of simulated devices")
 	duration := flag.Duration("duration", 10*time.Second, "run time (0 = forever)")
 	tmeasure := flag.Duration("tmeasure", 100*time.Millisecond, "initial reporting interval")
+	retry := flag.Duration("retry", 250*time.Millisecond, "base reconnect backoff delay")
+	retryCap := flag.Duration("retry-cap", 4*time.Second, "reconnect backoff ceiling")
+	retries := flag.Int("retries", 20, "consecutive connection failures before a device gives up")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "devicesim ", log.LstdFlags|log.Lmsgprefix)
@@ -37,7 +48,12 @@ func main() {
 		go func(idx int) {
 			defer wg.Done()
 			id := fmt.Sprintf("device%d", idx+1)
-			if err := runDevice(logger, *broker, *agg, id, *tmeasure, *duration, uint64(idx)); err != nil {
+			cfg := deviceConfig{
+				broker: *broker, agg: *agg, id: id,
+				tmeasure: *tmeasure, duration: *duration, seed: uint64(idx),
+				retryBase: *retry, retryCap: *retryCap, maxRetries: *retries,
+			}
+			if err := runDevice(logger, cfg); err != nil {
 				logger.Printf("%s: %v", id, err)
 			}
 		}(i)
@@ -45,21 +61,31 @@ func main() {
 	wg.Wait()
 }
 
+// deviceConfig carries one simulated device's parameters.
+type deviceConfig struct {
+	broker, agg, id     string
+	tmeasure, duration  time.Duration
+	seed                uint64
+	retryBase, retryCap time.Duration
+	maxRetries          int
+}
+
 // realDevice is the MQTT-transport device: same measurement pipeline as the
 // DES device, wall-clock timed.
 type realDevice struct {
 	id     string
 	agg    string
-	client *mqtt.Client
 	meter  *sensor.Meter
 	logger *log.Logger
 
 	mu         sync.Mutex
+	client     *mqtt.Client // nil while disconnected
 	registered bool
 	seq        uint64
 	backlog    []protocol.Measurement
 	tmeasure   time.Duration
 	acked      uint64
+	reconnects uint64
 
 	// encBuf is the report encode scratch; only the measurement loop
 	// writes into it, and Publish does not retain the payload after the
@@ -68,14 +94,17 @@ type realDevice struct {
 	batch  []protocol.Measurement
 }
 
-func runDevice(logger *log.Logger, broker, agg, id string, tmeasure, duration time.Duration, seed uint64) error {
+// errStopped ends the connection manager when the run duration expires.
+var errStopped = errors.New("devicesim: stopped")
+
+func runDevice(logger *log.Logger, cfg deviceConfig) error {
 	// Physical layer: an INA219 over an ESP32-shaped load, sampled in
 	// real time.
 	start := time.Now()
-	profile := energy.Noisy{P: energy.DefaultESP32(), StdDev: 1500 * units.Microampere, Seed: seed}
+	profile := energy.Noisy{P: energy.DefaultESP32(), StdDev: 1500 * units.Microampere, Seed: cfg.seed}
 	load := &profileLoad{profile: profile, start: start}
 	bus := sensor.NewBus()
-	ina := sensor.NewINA219(load, sensor.INA219Config{Seed: seed})
+	ina := sensor.NewINA219(load, sensor.INA219Config{Seed: cfg.seed})
 	if err := bus.Attach(sensor.AddrINA219Default, ina); err != nil {
 		return err
 	}
@@ -84,48 +113,143 @@ func runDevice(logger *log.Logger, broker, agg, id string, tmeasure, duration ti
 		return err
 	}
 
-	d := &realDevice{id: id, agg: agg, meter: meter, logger: logger, tmeasure: tmeasure}
-	client, err := mqtt.Dial(broker, mqtt.ClientOptions{
-		ClientID:     id,
-		CleanSession: true,
-		KeepAlive:    10 * time.Second,
-		OnMessage:    d.onControl,
-	})
-	if err != nil {
-		return fmt.Errorf("dial broker: %w", err)
-	}
-	d.client = client
-	defer client.Close()
+	d := &realDevice{id: cfg.id, agg: cfg.agg, meter: meter, logger: logger, tmeasure: cfg.tmeasure}
+	stop := make(chan struct{})
+	defer close(stop)
 
-	if _, err := client.Subscribe(mqtt.Subscription{
-		Filter: protocol.ControlTopic(agg, id), QoS: mqtt.QoS1,
-	}); err != nil {
-		return fmt.Errorf("subscribe control: %w", err)
-	}
-	if err := d.register(); err != nil {
+	// The first connection uses the same bounded backoff loop as every
+	// reconnect: a broker that is still booting (or mid-restart) is retried
+	// instead of aborting the whole device.
+	bo := device.NewBackoff(cfg.retryBase, cfg.retryCap, cfg.seed|1)
+	client, err := d.connect(cfg, bo, stop)
+	if err != nil {
 		return err
 	}
+	d.setClient(client)
+
+	// Connection manager: on loss, keep the measurement loop running (data
+	// buffers locally) and redial in the background with backoff.
+	connErr := make(chan error, 1)
+	go func() {
+		c := client
+		for {
+			select {
+			case <-stop:
+				return
+			case <-c.Done():
+			}
+			d.setClient(nil)
+			d.mu.Lock()
+			d.reconnects++
+			n := d.reconnects
+			d.mu.Unlock()
+			logger.Printf("%s: connection lost (reconnect #%d)", d.id, n)
+			next, err := d.connect(cfg, bo, stop)
+			if err != nil {
+				if !errors.Is(err, errStopped) {
+					connErr <- err
+				}
+				return
+			}
+			d.setClient(next)
+			c = next
+		}
+	}()
 
 	deadline := time.Time{}
-	if duration > 0 {
-		deadline = time.Now().Add(duration)
+	if cfg.duration > 0 {
+		deadline = time.Now().Add(cfg.duration)
 	}
 	for {
 		d.mu.Lock()
 		interval := d.tmeasure
 		d.mu.Unlock()
-		time.Sleep(interval)
+		select {
+		case err := <-connErr:
+			return err
+		case <-time.After(interval):
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			d.mu.Lock()
-			sent, acked := d.seq, d.acked
+			sent, acked, reconnects := d.seq, d.acked, d.reconnects
+			client := d.client
 			d.mu.Unlock()
-			logger.Printf("%s: done (%d measured, %d acked)", id, sent, acked)
+			if client != nil {
+				client.Close()
+			}
+			logger.Printf("%s: done (%d measured, %d acked, %d reconnects)", cfg.id, sent, acked, reconnects)
 			return nil
 		}
 		if err := d.measureAndReport(interval); err != nil {
-			logger.Printf("%s: report: %v", id, err)
+			logger.Printf("%s: report: %v", cfg.id, err)
 		}
 	}
+}
+
+// connect dials the broker with capped exponential backoff, giving up only
+// after cfg.maxRetries consecutive failures. On success the session is
+// resumed (or re-established: subscribe + register) and the backoff resets.
+func (d *realDevice) connect(cfg deviceConfig, bo *device.Backoff, stop <-chan struct{}) (*mqtt.Client, error) {
+	var lastErr error
+	for fails := 0; fails < cfg.maxRetries; fails++ {
+		client, err := d.dialOnce(cfg)
+		if err == nil {
+			bo.Reset()
+			return client, nil
+		}
+		lastErr = err
+		delay := bo.Next()
+		d.logger.Printf("%s: connect: %v (attempt %d/%d, next in %v)",
+			d.id, err, fails+1, cfg.maxRetries, delay.Round(time.Millisecond))
+		select {
+		case <-stop:
+			return nil, errStopped
+		case <-time.After(delay):
+		}
+	}
+	return nil, fmt.Errorf("broker unreachable after %d attempts: %w", cfg.maxRetries, lastErr)
+}
+
+// dialOnce performs one connection attempt: handshake with a persistent
+// session, then re-subscribe and re-register only when the broker did not
+// resume the previous session.
+func (d *realDevice) dialOnce(cfg deviceConfig) (*mqtt.Client, error) {
+	client, err := mqtt.Dial(cfg.broker, mqtt.ClientOptions{
+		ClientID:     cfg.id,
+		CleanSession: false,
+		KeepAlive:    10 * time.Second,
+		OnMessage:    d.onControl,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !client.SessionPresent() {
+		if _, err := client.Subscribe(mqtt.Subscription{
+			Filter: protocol.ControlTopic(cfg.agg, cfg.id), QoS: mqtt.QoS1,
+		}); err != nil {
+			client.Close()
+			return nil, fmt.Errorf("subscribe control: %w", err)
+		}
+		d.mu.Lock()
+		d.registered = false
+		d.mu.Unlock()
+	}
+	d.mu.Lock()
+	registered := d.registered
+	d.mu.Unlock()
+	if !registered {
+		if err := d.register(client); err != nil {
+			client.Close()
+			return nil, err
+		}
+	}
+	return client, nil
+}
+
+func (d *realDevice) setClient(c *mqtt.Client) {
+	d.mu.Lock()
+	d.client = c
+	d.mu.Unlock()
 }
 
 // profileLoad adapts an energy profile to the sensor channel with
@@ -141,12 +265,12 @@ func (p *profileLoad) TrueCurrent() units.Current {
 
 func (p *profileLoad) TrueBusVoltage() units.Voltage { return 5 * units.Volt }
 
-func (d *realDevice) register() error {
+func (d *realDevice) register(client *mqtt.Client) error {
 	payload, err := protocol.Encode(protocol.Register{DeviceID: d.id})
 	if err != nil {
 		return err
 	}
-	return d.client.Publish(protocol.RegisterTopic(d.agg), payload, mqtt.QoS1, false)
+	return client.Publish(protocol.RegisterTopic(d.agg), payload, mqtt.QoS1, false)
 }
 
 func (d *realDevice) onControl(_ string, payload []byte) {
@@ -181,7 +305,13 @@ func (d *realDevice) onControl(_ string, payload []byte) {
 		d.backlog = kept
 	case protocol.ReportNack:
 		d.registered = false
-		go d.register()
+		if client := d.client; client != nil {
+			go func() {
+				if err := d.register(client); err != nil {
+					d.logger.Printf("%s: re-register: %v", d.id, err)
+				}
+			}()
+		}
 	}
 }
 
@@ -205,11 +335,12 @@ func (d *realDevice) measureAndReport(interval time.Duration) error {
 	if len(d.backlog) > 4096 {
 		d.backlog = d.backlog[len(d.backlog)-4096:]
 	}
+	client := d.client
 	registered := d.registered
 	d.batch = append(d.batch[:0], d.backlog...)
 	d.mu.Unlock()
 
-	if !registered {
+	if client == nil || !registered {
 		return nil // local storage only, like the DES device
 	}
 	batch := d.batch
@@ -221,5 +352,11 @@ func (d *realDevice) measureAndReport(interval time.Duration) error {
 		return err
 	}
 	d.encBuf = payload
-	return d.client.Publish(protocol.ReportTopic(d.agg, d.id), payload, mqtt.QoS1, false)
+	if err := client.Publish(protocol.ReportTopic(d.agg, d.id), payload, mqtt.QoS1, false); err != nil {
+		if errors.Is(err, mqtt.ErrClientClosed) {
+			return nil // mid-reconnect; the backlog flushes on the next tick
+		}
+		return err
+	}
+	return nil
 }

@@ -14,7 +14,11 @@
 // roaming and churn; with -replicas N (N > 1) it instead runs the
 // replicated-aggregator tier — N aggregators sealing one consensus-agreed
 // chain through a mid-window leader crash, recovery, a roaming hot-spot
-// wave and dynamic rebalancing; see internal/core.RunFleet.
+// wave and dynamic rebalancing; see internal/core.RunFleet. Adding -chaos
+// layers the default fault plan (a broker outage, an ack-loss burst, a
+// backhaul mesh partition and a second replica crash) over that run and
+// fails unless the ledger audit proves zero record loss and duplication
+// with byte-identical replica chains.
 package main
 
 import (
@@ -43,6 +47,7 @@ func main() {
 	loss := flag.Float64("loss", 0.02, "fleet scenario uplink/ack loss rate")
 	replicas := flag.Int("replicas", 1, "fleet aggregator replicas (>1 runs the consensus-sealed replicated tier\nwith a mid-window leader crash, recovery, hot-spot wave and rebalancing)")
 	consensusF := flag.Int("f", 0, "replicated tier fault tolerance (default (replicas-1)/3)")
+	chaos := flag.Bool("chaos", false, "inject the default fault plan into the replicated fleet run\n(broker outage, ack-loss burst, mesh partition, extra replica crash)\nand audit for zero record loss; requires -replicas > 1")
 	flag.Parse()
 
 	p := core.DefaultParams()
@@ -75,7 +80,10 @@ func main() {
 	}
 	if *all || *fleet {
 		ran = true
-		if err := runFleet(*devices, *shards, *fleetSeconds, *loss, *seed, *replicas, *consensusF); err != nil {
+		if *chaos && *replicas <= 1 {
+			fatal(fmt.Errorf("-chaos requires -replicas > 1 (the fault plan targets the replicated tier)"))
+		}
+		if err := runFleet(*devices, *shards, *fleetSeconds, *loss, *seed, *replicas, *consensusF, *chaos); err != nil {
 			fatal(err)
 		}
 	}
@@ -131,10 +139,10 @@ func runHandshake(p core.Params) error {
 	return nil
 }
 
-func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas, consensusF int) error {
+func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas, consensusF int, chaos bool) error {
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(reg, 64)
-	res, err := core.RunFleet(core.FleetConfig{
+	cfg := core.FleetConfig{
 		Devices:  devices,
 		Shards:   shards,
 		Seconds:  seconds,
@@ -144,12 +152,23 @@ func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas,
 		F:        consensusF,
 		Registry: reg,
 		Tracer:   tracer,
-	})
+	}
+	if chaos {
+		cfg.Chaos = core.DefaultFaultPlan()
+	}
+	res, err := core.RunFleet(cfg)
 	if err != nil {
 		return err
 	}
 	core.WriteFleet(os.Stdout, res)
 	writeFleetTelemetry(os.Stdout, reg, tracer)
+	if chaos {
+		if res.RecordsLost != 0 || res.RecordsDuplicated != 0 || !res.ChainsIdentical {
+			return fmt.Errorf("chaos audit FAILED: %d lost, %d duplicated, chains identical: %v",
+				res.RecordsLost, res.RecordsDuplicated, res.ChainsIdentical)
+		}
+		fmt.Println("  chaos audit: PASS (0 lost, 0 duplicated, chains byte-identical)")
+	}
 	fmt.Println()
 	return nil
 }

@@ -304,6 +304,9 @@ type daemonConfig struct {
 	Shards     int
 	Replicas   int
 	Pipeline   int
+	// SessionPath, when non-empty, journals durable MQTT sessions there so a
+	// restarted daemon resumes them (SessionPresent, DUP redelivery).
+	SessionPath string
 	// Telemetry enables the observability plane (registry, tracer, health)
 	// regardless of whether an HTTP listener is started.
 	Telemetry  bool
@@ -397,12 +400,24 @@ func newServer(cfg daemonConfig) (*server, error) {
 	for i := range s.shards {
 		s.shards[i] = &ingestShard{members: make(map[string]*member)}
 	}
-	s.broker = mqtt.NewBroker(mqtt.BrokerOptions{
-		Logger:    cfg.Logger,
-		OnPublish: s.onPublish,
-		Registry:  s.reg,
-		Tracer:    s.tracer,
+	broker, err := mqtt.NewBroker(mqtt.BrokerOptions{
+		Logger:      cfg.Logger,
+		OnPublish:   s.onPublish,
+		Registry:    s.reg,
+		Tracer:      s.tracer,
+		SessionPath: cfg.SessionPath,
 	})
+	if err != nil {
+		return nil, err
+	}
+	s.broker = broker
+	if s.health != nil && cfg.SessionPath != "" {
+		// Durable-session journal state: a failed append or checkpoint means
+		// a broker crash would lose inflight QoS state.
+		s.health.Register("broker_sessions", func() error {
+			return s.broker.SessionJournalErr()
+		})
+	}
 	return s, nil
 }
 
@@ -435,21 +450,23 @@ func main() {
 	pipeline := flag.Int("pipeline", 4, "consensus-seal pipeline depth: proposals kept in flight\nwhen the replicated seal loop splits an oversized backlog")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /series, /trace/spans, /healthz and /debug/pprof/\non this address (e.g. :9090); empty disables the observability plane")
 	traceEvery := flag.Int("trace-every", 0, "sample one report journey in every N publishes (0 = default 256)")
+	sessionPath := flag.String("session", "", "durable MQTT session journal file; a restarted daemon resumes\npersistent sessions from it (empty disables session durability)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "meterd ", log.LstdFlags|log.Lmsgprefix)
 	s, err := newServer(daemonConfig{
-		ID:         *id,
-		ChainPath:  *chainPath,
-		Tmeasure:   *tmeasure,
-		BlockEvery: *blockEvery,
-		Slots:      *slots,
-		Shards:     *shards,
-		Replicas:   *replicas,
-		Pipeline:   *pipeline,
-		Telemetry:  *telemetryAddr != "",
-		TraceEvery: *traceEvery,
-		Logger:     logger,
+		ID:          *id,
+		ChainPath:   *chainPath,
+		Tmeasure:    *tmeasure,
+		BlockEvery:  *blockEvery,
+		Slots:       *slots,
+		Shards:      *shards,
+		Replicas:    *replicas,
+		Pipeline:    *pipeline,
+		SessionPath: *sessionPath,
+		Telemetry:   *telemetryAddr != "",
+		TraceEvery:  *traceEvery,
+		Logger:      logger,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -28,6 +28,12 @@ var (
 	ErrUnknownNode   = errors.New("backhaul: unknown aggregator")
 	ErrNodeDown      = errors.New("backhaul: aggregator down")
 	ErrAlreadyJoined = errors.New("backhaul: aggregator already joined")
+	// ErrPartitioned is returned synchronously by Send when the mesh is
+	// partitioned between sender and destination. Unlike a down node (which
+	// models a crashed peer the network still routes toward), a partition is
+	// a routing failure the sender's stack observes immediately — senders
+	// use it to fall back to local handling instead of waiting on a timeout.
+	ErrPartitioned = errors.New("backhaul: destination unreachable (mesh partition)")
 )
 
 // Handler receives a delivered message.
@@ -52,8 +58,16 @@ type Mesh struct {
 	LossProb float64
 
 	// sendMu serializes Send's loss draw and event scheduling: the DES
-	// event queue is not safe for concurrent insertion.
+	// event queue is not safe for concurrent insertion. It also guards
+	// partitioned, which fault injection flips while report-path goroutines
+	// are sending.
 	sendMu sync.Mutex
+
+	// partitioned, when non-nil, names the island cut off from the rest of
+	// the mesh: members of the island still reach each other, everyone else
+	// still reaches everyone else, but traffic across the cut fails with
+	// ErrPartitioned.
+	partitioned map[string]bool
 
 	nodes     map[string]*node
 	homes     map[string]string // deviceID -> home aggregator
@@ -106,6 +120,38 @@ func (m *Mesh) SetDown(id string, down bool) error {
 	return nil
 }
 
+// PartitionOff cuts the named aggregators from the rest of the mesh: they
+// keep reaching each other, the remainder keeps reaching each other, and
+// traffic across the cut fails synchronously with ErrPartitioned. A second
+// call replaces the previous cut; Heal restores full connectivity.
+func (m *Mesh) PartitionOff(ids ...string) error {
+	island := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if _, ok := m.nodes[id]; !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+		}
+		island[id] = true
+	}
+	m.sendMu.Lock()
+	m.partitioned = island
+	m.sendMu.Unlock()
+	return nil
+}
+
+// Heal removes any active partition.
+func (m *Mesh) Heal() {
+	m.sendMu.Lock()
+	m.partitioned = nil
+	m.sendMu.Unlock()
+}
+
+// Partitioned reports whether a partition is active.
+func (m *Mesh) Partitioned() bool {
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	return len(m.partitioned) > 0
+}
+
 // Nodes returns the sorted member IDs.
 func (m *Mesh) Nodes() []string {
 	ids := make([]string, 0, len(m.nodes))
@@ -117,9 +163,9 @@ func (m *Mesh) Nodes() []string {
 }
 
 // Send schedules delivery of msg from -> to after the mesh latency.
-// Unknown destinations error immediately; messages to down nodes or lost
-// to injected faults are silently dropped (the sender sees a timeout, as
-// on a real network).
+// Unknown destinations error immediately, as does a partition between the
+// endpoints; messages to down nodes or lost to injected faults are silently
+// dropped (the sender sees a timeout, as on a real network).
 func (m *Mesh) Send(from, to string, msg protocol.Message) error {
 	n, ok := m.nodes[to]
 	if !ok {
@@ -127,6 +173,10 @@ func (m *Mesh) Send(from, to string, msg protocol.Message) error {
 	}
 	m.sendMu.Lock()
 	defer m.sendMu.Unlock()
+	if len(m.partitioned) > 0 && m.partitioned[from] != m.partitioned[to] {
+		m.dropped++
+		return fmt.Errorf("%w: %s -> %s", ErrPartitioned, from, to)
+	}
 	if m.LossProb > 0 && m.rng.Bool(m.LossProb) {
 		m.dropped++
 		return nil

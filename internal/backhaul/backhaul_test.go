@@ -218,3 +218,56 @@ func TestRoundTripVerifySequence(t *testing.T) {
 		t.Fatalf("verify RTT = %v, want 2ms", okAt)
 	}
 }
+
+func TestPartitionCutsTrafficSynchronously(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := NewMesh(env, time.Millisecond)
+	delivered := map[string]int{}
+	for _, id := range []string{"agg1", "agg2", "agg3"} {
+		id := id
+		if err := m.Join(id, func(string, protocol.Message) { delivered[id]++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.PartitionOff("agg3"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Partitioned() {
+		t.Fatal("Partitioned() false after PartitionOff")
+	}
+	// Across the cut: synchronous error, so senders can fall back locally.
+	if err := m.Send("agg1", "agg3", protocol.VerifyRequest{}); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("cross-partition send: %v, want ErrPartitioned", err)
+	}
+	if err := m.Send("agg3", "agg2", protocol.VerifyRequest{}); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("cross-partition send: %v, want ErrPartitioned", err)
+	}
+	// Within each side traffic still flows.
+	if err := m.Send("agg1", "agg2", protocol.VerifyRequest{}); err != nil {
+		t.Fatalf("same-side send: %v", err)
+	}
+	env.Run()
+	if delivered["agg2"] != 1 || delivered["agg3"] != 0 {
+		t.Fatalf("deliveries agg2=%d agg3=%d, want 1/0", delivered["agg2"], delivered["agg3"])
+	}
+	// Heal restores the cut side.
+	m.Heal()
+	if err := m.Send("agg1", "agg3", protocol.VerifyRequest{}); err != nil {
+		t.Fatalf("post-heal send: %v", err)
+	}
+	env.Run()
+	if delivered["agg3"] != 1 {
+		t.Fatalf("post-heal deliveries to agg3 = %d, want 1", delivered["agg3"])
+	}
+}
+
+func TestPartitionUnknownNodeRejected(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := NewMesh(env, time.Millisecond)
+	if err := m.PartitionOff("ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("PartitionOff(ghost): %v, want ErrUnknownNode", err)
+	}
+	if m.Partitioned() {
+		t.Fatal("failed PartitionOff left a partition active")
+	}
+}

@@ -1,0 +1,270 @@
+// Fault injection for the replicated fleet driver: a FaultPlan schedules
+// broker outages, ack-loss bursts, backhaul partitions and replica crashes
+// at tick granularity over a run, and the driver's existing ledger audit
+// then proves the zero-loss / zero-duplication invariant held through all
+// of them. The faults compose with (and must be scheduled around) the
+// driver's built-in choreography — the sec-1 leader crash, sec-3 recovery,
+// sec-5 roaming wave and sec-6+ rebalancing.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"decentmeter/internal/backhaul"
+)
+
+// FaultKind enumerates the injectable failures.
+type FaultKind int
+
+const (
+	// FaultBrokerOutage models the fleet's shared MQTT broker going down
+	// (a restart, in deployment terms): for the duration no report reaches
+	// any replica. Devices keep measuring into their unacked tails — the
+	// firmware's local buffer — and flush everything with the first report
+	// after the broker returns, which also counts one reconnect per device.
+	FaultBrokerOutage FaultKind = iota
+	// FaultAckLossBurst suppresses every downstream ack for the duration:
+	// reports deliver and seal, but devices keep retransmitting their
+	// tails until acks resume. Sequence dedup must absorb the duplicates.
+	FaultAckLossBurst
+	// FaultMeshPartition cuts the target replica off the backhaul mesh.
+	// Forwarding to and from it fails synchronously (ErrPartitioned), so
+	// serving replicas fall back to recording roamed data locally — the
+	// paper's store-and-forward-later path. Consensus runs its own
+	// transport and keeps sealing through the partition. Keep partitions
+	// clear of window boundaries: migrations and wave registrations
+	// verify homes over the mesh.
+	FaultMeshPartition
+	// FaultReplicaCrash crashes the target replica mid-window (its
+	// devices fail over as guests) and recovers it when the fault ends.
+	// Skipped, and logged, if some replica is already down — the driver
+	// never pushes the cluster below quorum on purpose.
+	FaultReplicaCrash
+)
+
+// String names the fault kind for logs and results.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultBrokerOutage:
+		return "broker-outage"
+	case FaultAckLossBurst:
+		return "ack-loss-burst"
+	case FaultMeshPartition:
+		return "mesh-partition"
+	case FaultReplicaCrash:
+		return "replica-crash"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Fault is one scheduled failure in a chaos run. Time is tick-granular:
+// the fault starts before the producers of tick (Sec, Tick) run and ends
+// before the tick Ticks later; a fault whose end falls past the run is
+// ended (healed, recovered) before the final settle.
+type Fault struct {
+	Kind FaultKind
+	// Sec is the simulated second (= verification window) the fault
+	// starts in; Tick is the tick within it (0-9).
+	Sec, Tick int
+	// Ticks is the duration (>= 1).
+	Ticks int
+	// Target is the replica index for FaultMeshPartition and
+	// FaultReplicaCrash; -1 targets the consensus leader at injection
+	// time. Ignored by the fleet-wide kinds.
+	Target int
+}
+
+// FaultPlan schedules faults over a replicated fleet run (FleetConfig.Chaos).
+type FaultPlan struct {
+	Faults []Fault
+}
+
+// DefaultFaultPlan is the acceptance gauntlet: a broker outage while the
+// cluster is still recovering from the built-in sec-1 leader crash, an
+// ack-loss burst, a mesh partition during the post-wave rebalancing, and a
+// second (chaos) replica crash — all in one run. Needs the replicated
+// scenario's default eight seconds and at least two replicas.
+func DefaultFaultPlan() *FaultPlan {
+	return &FaultPlan{Faults: []Fault{
+		{Kind: FaultBrokerOutage, Sec: 2, Tick: 2, Ticks: 4},
+		{Kind: FaultAckLossBurst, Sec: 4, Tick: 1, Ticks: 4},
+		{Kind: FaultMeshPartition, Sec: 6, Tick: 2, Ticks: 5, Target: -1},
+		{Kind: FaultReplicaCrash, Sec: 7, Tick: 1, Ticks: 4, Target: -1},
+	}}
+}
+
+// validate rejects plans that do not fit the run.
+func (p *FaultPlan) validate(seconds, replicas int) error {
+	for i, f := range p.Faults {
+		if f.Sec < 0 || f.Sec >= seconds {
+			return fmt.Errorf("chaos: fault %d (%s) starts in second %d of a %d-second run", i, f.Kind, f.Sec, seconds)
+		}
+		if f.Tick < 0 || f.Tick > 9 {
+			return fmt.Errorf("chaos: fault %d (%s) tick %d outside 0-9", i, f.Kind, f.Tick)
+		}
+		if f.Ticks < 1 {
+			return fmt.Errorf("chaos: fault %d (%s) needs Ticks >= 1", i, f.Kind)
+		}
+		switch f.Kind {
+		case FaultMeshPartition, FaultReplicaCrash:
+			if f.Target < -1 || f.Target >= replicas {
+				return fmt.Errorf("chaos: fault %d (%s) targets replica %d of %d", i, f.Kind, f.Target, replicas)
+			}
+		case FaultBrokerOutage, FaultAckLossBurst:
+		default:
+			return fmt.Errorf("chaos: fault %d has unknown kind %d", i, int(f.Kind))
+		}
+	}
+	return nil
+}
+
+// chaosDriver executes a FaultPlan inside runReplicatedFleet. Begin/end
+// actions run single-threaded on the driver between ticks; the producer
+// goroutines only read the two atomic flags.
+type chaosDriver struct {
+	plan    *FaultPlan
+	mesh    *backhaul.Mesh
+	rs      *ReplicaSet
+	reps    []fleetReplica
+	devices int
+
+	// uplinkDown and ackDown gate the producers' delivery and ack paths
+	// while a broker outage / ack burst is active.
+	uplinkDown atomic.Bool
+	ackDown    atomic.Bool
+
+	// crashed[i] is the replica chaos-fault i took down ("" if the fault
+	// was skipped or is not a crash); ended[i] marks faults already
+	// finished so the end-of-run sweep does not double-heal.
+	crashed []string
+	ended   []bool
+
+	injected   int
+	reconnects uint64
+	log        []string
+}
+
+func newChaosDriver(plan *FaultPlan, mesh *backhaul.Mesh, rs *ReplicaSet, reps []fleetReplica, devices int) *chaosDriver {
+	return &chaosDriver{
+		plan: plan, mesh: mesh, rs: rs, reps: reps, devices: devices,
+		crashed: make([]string, len(plan.Faults)),
+		ended:   make([]bool, len(plan.Faults)),
+	}
+}
+
+// step fires the begin/end actions scheduled for tick (sec, tick). Called
+// on the driver thread before the tick's producers launch.
+func (c *chaosDriver) step(sec, tick int) error {
+	abs := sec*10 + tick
+	for i := range c.plan.Faults {
+		f := &c.plan.Faults[i]
+		start := f.Sec*10 + f.Tick
+		if abs == start+f.Ticks && !c.ended[i] {
+			if err := c.finish(i, f); err != nil {
+				return err
+			}
+		}
+		if abs == start {
+			if err := c.begin(i, f, sec, tick); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// finishAll ends every still-active fault; the driver calls it after the
+// last tick so the run settles (and the ledger audits) fully healed. It
+// reports whether any fault was still open, so the caller can extend the
+// settle window for post-recovery catch-up.
+func (c *chaosDriver) finishAll() (bool, error) {
+	open := false
+	for i := range c.plan.Faults {
+		if c.ended[i] {
+			continue
+		}
+		open = true
+		if err := c.finish(i, &c.plan.Faults[i]); err != nil {
+			return open, err
+		}
+	}
+	return open, nil
+}
+
+func (c *chaosDriver) begin(i int, f *Fault, sec, tick int) error {
+	switch f.Kind {
+	case FaultBrokerOutage:
+		c.uplinkDown.Store(true)
+	case FaultAckLossBurst:
+		c.ackDown.Store(true)
+	case FaultMeshPartition:
+		if err := c.mesh.PartitionOff(c.target(f)); err != nil {
+			return err
+		}
+	case FaultReplicaCrash:
+		id := c.target(f)
+		if down := c.anyCrashed(); down != "" {
+			// Quorum guard: one replica is already out (the built-in
+			// choreography, or an overlapping fault) — stand down.
+			c.ended[i] = true
+			c.log = append(c.log, fmt.Sprintf("sec %d tick %d: skipped %s of %s (%s already down)", sec, tick, f.Kind, id, down))
+			return nil
+		}
+		if err := c.rs.Crash(id); err != nil {
+			return err
+		}
+		c.crashed[i] = id
+	}
+	c.injected++
+	c.log = append(c.log, fmt.Sprintf("sec %d tick %d: %s%s for %d tick(s)", sec, tick, f.Kind, c.targetSuffix(f), f.Ticks))
+	return nil
+}
+
+func (c *chaosDriver) finish(i int, f *Fault) error {
+	c.ended[i] = true
+	switch f.Kind {
+	case FaultBrokerOutage:
+		c.uplinkDown.Store(false)
+		// The broker is back: every device redials (with backoff and
+		// session resumption in the real transport) and flushes its tail
+		// on the next tick.
+		c.reconnects += uint64(c.devices)
+	case FaultAckLossBurst:
+		c.ackDown.Store(false)
+	case FaultMeshPartition:
+		c.mesh.Heal()
+	case FaultReplicaCrash:
+		if c.crashed[i] != "" {
+			return c.rs.Recover(c.crashed[i])
+		}
+	}
+	return nil
+}
+
+// target resolves a fault's replica: explicit index, or the consensus
+// leader at injection time for Target == -1.
+func (c *chaosDriver) target(f *Fault) string {
+	if f.Target >= 0 {
+		return c.reps[f.Target].id
+	}
+	return c.rs.LeaderID()
+}
+
+func (c *chaosDriver) targetSuffix(f *Fault) string {
+	switch f.Kind {
+	case FaultMeshPartition, FaultReplicaCrash:
+		return " of " + c.target(f)
+	}
+	return ""
+}
+
+// anyCrashed returns the ID of a currently-crashed replica, or "".
+func (c *chaosDriver) anyCrashed() string {
+	for _, r := range c.reps {
+		if rep, ok := c.rs.Replica(r.id); ok && rep.Crashed() {
+			return r.id
+		}
+	}
+	return ""
+}

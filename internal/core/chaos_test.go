@@ -1,0 +1,122 @@
+package core
+
+import "testing"
+
+// The default fault plan — broker outage, ack-loss burst, mesh partition
+// and a second replica crash layered over the built-in crash/wave/rebalance
+// choreography — must leave the ledger clean: every acknowledged record
+// sealed exactly once, replica chains byte-identical. Windows overlapping
+// an outage are allowed to flag (the sum check correctly sees the missing
+// energy); loss and duplication are not.
+func TestChaosFleetZeroLoss(t *testing.T) {
+	res, err := RunFleet(FleetConfig{
+		Devices: 600, Replicas: 4, Shards: 2, Producers: 4, Seed: 1,
+		Chaos: DefaultFaultPlan(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultsInjected != 4 {
+		t.Fatalf("injected %d faults, want all 4 of the default plan\nlog: %v", res.FaultsInjected, res.FaultLog)
+	}
+	if res.OutageDrops == 0 {
+		t.Fatal("broker outage dropped no reports — fault did not bite")
+	}
+	if res.AckBurstDrops == 0 {
+		t.Fatal("ack-loss burst suppressed no acks — fault did not bite")
+	}
+	if res.Reconnects != uint64(res.Devices) {
+		t.Fatalf("reconnects = %d, want one per device (%d) after the outage", res.Reconnects, res.Devices)
+	}
+	if res.Crashes != 2 || res.Recoveries != 2 {
+		t.Fatalf("crash/recovery = %d/%d, want 2/2 (built-in + chaos)\nlog: %v",
+			res.Crashes, res.Recoveries, res.FaultLog)
+	}
+	if res.RecordsLost != 0 || res.RecordsDuplicated != 0 {
+		t.Fatalf("ledger audit under chaos: %d lost, %d duplicated — want zero of both",
+			res.RecordsLost, res.RecordsDuplicated)
+	}
+	if !res.ChainsIdentical {
+		t.Fatal("replica chains diverged under chaos")
+	}
+	if res.ImportErrors != 0 {
+		t.Fatalf("%d block import errors", res.ImportErrors)
+	}
+	if res.RecordsSealed == 0 {
+		t.Fatal("nothing sealed")
+	}
+}
+
+// Full-scale acceptance run: a 20k-device fleet through the same gauntlet.
+// Slow (millions of records across four replica chains), so -short skips it.
+func TestChaosFleet20kZeroLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20k-device chaos run skipped in -short mode")
+	}
+	res, err := RunFleet(FleetConfig{
+		Devices: 20000, Replicas: 4, Shards: 4, Producers: 8, Seed: 1,
+		Chaos: DefaultFaultPlan(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultsInjected != 4 {
+		t.Fatalf("injected %d faults, want 4\nlog: %v", res.FaultsInjected, res.FaultLog)
+	}
+	if res.RecordsLost != 0 || res.RecordsDuplicated != 0 {
+		t.Fatalf("ledger audit under chaos: %d lost, %d duplicated — want zero of both",
+			res.RecordsLost, res.RecordsDuplicated)
+	}
+	if !res.ChainsIdentical {
+		t.Fatal("replica chains diverged under chaos")
+	}
+	if res.Reconnects != uint64(res.Devices) {
+		t.Fatalf("reconnects = %d, want %d", res.Reconnects, res.Devices)
+	}
+}
+
+// A plan that does not fit the run must be rejected before any traffic.
+func TestChaosPlanValidation(t *testing.T) {
+	for _, bad := range []FaultPlan{
+		{Faults: []Fault{{Kind: FaultBrokerOutage, Sec: 99, Ticks: 1}}},
+		{Faults: []Fault{{Kind: FaultBrokerOutage, Sec: 0, Tick: 12, Ticks: 1}}},
+		{Faults: []Fault{{Kind: FaultBrokerOutage, Sec: 0, Tick: 0, Ticks: 0}}},
+		{Faults: []Fault{{Kind: FaultReplicaCrash, Sec: 0, Tick: 0, Ticks: 1, Target: 9}}},
+		{Faults: []Fault{{Kind: FaultKind(42), Sec: 0, Tick: 0, Ticks: 1}}},
+	} {
+		plan := bad
+		if _, err := RunFleet(FleetConfig{
+			Devices: 40, Replicas: 4, Shards: 1, Producers: 1, Seed: 1, Chaos: &plan,
+		}); err == nil {
+			t.Fatalf("plan %+v accepted", plan.Faults)
+		}
+	}
+}
+
+// A chaos replica crash scheduled while another replica is already down is
+// skipped (quorum guard), logged, and the run still audits clean.
+func TestChaosCrashSkippedBelowQuorum(t *testing.T) {
+	plan := &FaultPlan{Faults: []Fault{
+		// The built-in choreography crashes the leader at sec 1 tick 5 and
+		// recovers it at sec 3; this overlapping chaos crash must stand down.
+		{Kind: FaultReplicaCrash, Sec: 2, Tick: 0, Ticks: 4, Target: -1},
+	}}
+	res, err := RunFleet(FleetConfig{
+		Devices: 200, Replicas: 4, Shards: 1, Producers: 2, Seed: 3, Chaos: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 1 || res.Recoveries != 1 {
+		t.Fatalf("crash/recovery = %d/%d, want only the built-in 1/1", res.Crashes, res.Recoveries)
+	}
+	if res.FaultsInjected != 0 {
+		t.Fatalf("injected %d faults, want 0 (skipped)", res.FaultsInjected)
+	}
+	if len(res.FaultLog) != 1 {
+		t.Fatalf("fault log %v, want the skip note", res.FaultLog)
+	}
+	if res.RecordsLost != 0 || res.RecordsDuplicated != 0 || !res.ChainsIdentical {
+		t.Fatalf("audit: lost=%d dup=%d identical=%v", res.RecordsLost, res.RecordsDuplicated, res.ChainsIdentical)
+	}
+}

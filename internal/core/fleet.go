@@ -78,6 +78,12 @@ type FleetConfig struct {
 	// PipelineDepth is the replicated tier's consensus-seal pipeline
 	// window (0 = the ReplicaSet default of 4).
 	PipelineDepth int
+	// Chaos schedules fault injection over the replicated run: broker
+	// outages, ack-loss bursts, mesh partitions and extra replica crashes
+	// at tick granularity (nil = only the built-in choreography). The
+	// ledger audit still runs afterwards, so a chaos run asserts the
+	// zero-loss invariant under the injected faults. Replicas > 1 only.
+	Chaos *FaultPlan
 
 	// Registry receives live telemetry from every tier the run touches
 	// (aggregator ingest, consensus, orchestrator) plus the driver's own
@@ -134,6 +140,17 @@ type FleetResult struct {
 	// HotspotLoadAfter is the hot-spot replica's final TDMA occupancy
 	// fraction (must end below the planner's high-water mark).
 	HotspotLoadAfter float64
+
+	// Chaos outcomes (Chaos != nil). OutageDrops counts reports held back
+	// while an injected broker outage was active (they retransmit with
+	// the tail); AckBurstDrops counts acks suppressed by ack-loss bursts;
+	// Reconnects counts device redials after outages end; FaultLog is the
+	// human-readable injection record.
+	FaultsInjected int
+	OutageDrops    uint64
+	AckBurstDrops  uint64
+	Reconnects     uint64
+	FaultLog       []string
 }
 
 func (c *FleetConfig) defaults() {
@@ -511,5 +528,12 @@ func WriteFleet(w io.Writer, r FleetResult) {
 			r.Crashes, r.Recoveries, r.DevicesRehomed, r.RecordsLost, r.RecordsDuplicated)
 		fmt.Fprintf(w, "  rebalancing:            %d wave roamers, %d migrations, hot spot at %.0f%% occupancy\n",
 			r.WaveRoamers, r.RebalanceMigrations, 100*r.HotspotLoadAfter)
+		if r.FaultsInjected > 0 {
+			fmt.Fprintf(w, "  chaos:                  %d fault(s) injected, %d outage drops, %d ack-burst drops, %d reconnects\n",
+				r.FaultsInjected, r.OutageDrops, r.AckBurstDrops, r.Reconnects)
+			for _, line := range r.FaultLog {
+				fmt.Fprintf(w, "    %s\n", line)
+			}
+		}
 	}
 }

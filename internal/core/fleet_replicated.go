@@ -223,7 +223,15 @@ func runReplicatedFleet(cfg FleetConfig) (FleetResult, error) {
 	hotspot := 0
 	var crashedID string
 	start := env.Now()
-	var delivered, uplost, acklost atomic.Uint64
+	var delivered, uplost, acklost, outageDrops, ackBurstDrops atomic.Uint64
+
+	var chaos *chaosDriver
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.validate(cfg.Seconds, n); err != nil {
+			return res, err
+		}
+		chaos = newChaosDriver(cfg.Chaos, mesh, rs, reps, cfg.Devices)
+	}
 
 	for sec := 0; sec < cfg.Seconds; sec++ {
 		// Window-boundary choreography. The previous second's ticks stop
@@ -256,6 +264,14 @@ func runReplicatedFleet(cfg FleetConfig) (FleetResult, error) {
 				}
 				res.DevicesRehomed = len(rs.Migrations())
 			}
+			// Injected faults fire after the built-in choreography, so the
+			// chaos crash guard sees the scripted crash and stands down
+			// instead of taking the cluster below quorum.
+			if chaos != nil {
+				if err := chaos.step(sec, tick); err != nil {
+					return res, err
+				}
+			}
 			tickTime := epoch.Add(env.Now())
 			ingestStart := time.Now()
 			var wg sync.WaitGroup
@@ -287,6 +303,12 @@ func runReplicatedFleet(cfg FleetConfig) (FleetResult, error) {
 							batch = append(batch, u)
 						}
 						d.unacked = append(d.unacked, m)
+						if chaos != nil && chaos.uplinkDown.Load() {
+							// Broker down: the measurement stays in the
+							// local buffer and retransmits with the tail.
+							outageDrops.Add(1)
+							continue
+						}
 						if rng.Bool(cfg.LossRate) {
 							uplost.Add(1)
 							continue // uplink lost: everything stays unacked
@@ -298,6 +320,12 @@ func runReplicatedFleet(cfg FleetConfig) (FleetResult, error) {
 						}
 						reps[d.agg].agg.HandleDeviceMessage(d.id, protocol.Report{DeviceID: d.id, Measurements: batch})
 						delivered.Add(1)
+						if chaos != nil && chaos.ackDown.Load() {
+							// Ack suppressed: the tail keeps retransmitting
+							// until acks resume; dedup absorbs every copy.
+							ackBurstDrops.Add(1)
+							continue
+						}
 						if rng.Bool(cfg.LossRate) {
 							acklost.Add(1)
 							continue // ack lost: the tail retransmits; dedup absorbs it
@@ -321,6 +349,18 @@ func runReplicatedFleet(cfg FleetConfig) (FleetResult, error) {
 			env.RunUntil(deadline)
 		}
 	}
+	if chaos != nil {
+		// Heal anything a fault plan left open (partitions, crashed
+		// replicas) and give late recoveries time to catch up before the
+		// final window closes and the ledger audits.
+		open, err := chaos.finishAll()
+		if err != nil {
+			return res, err
+		}
+		if open {
+			env.RunUntil(env.Now() + 100*time.Millisecond)
+		}
+	}
 	env.RunUntil(env.Now() + 101*time.Millisecond) // final close + settle the decides
 	rs.Stop()
 	for r := range reps {
@@ -330,6 +370,16 @@ func runReplicatedFleet(cfg FleetConfig) (FleetResult, error) {
 	res.ReportsDelivered = delivered.Load()
 	res.UplinksLost = uplost.Load()
 	res.AcksLost = acklost.Load()
+	if chaos != nil {
+		res.FaultsInjected = chaos.injected
+		res.OutageDrops = outageDrops.Load()
+		res.AckBurstDrops = ackBurstDrops.Load()
+		res.Reconnects = chaos.reconnects
+		res.FaultLog = chaos.log
+		if cfg.Registry != nil {
+			cfg.Registry.Counter("fleet.reconnects").AddInt(chaos.reconnects)
+		}
+	}
 	res.ViewChanges = rs.CurrentView()
 	res.Crashes = rs.Crashes()
 	res.Recoveries = rs.Recoveries()

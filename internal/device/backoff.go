@@ -1,0 +1,56 @@
+package device
+
+import "time"
+
+// Backoff produces capped exponential retry delays with deterministic
+// jitter: base, 2*base, 4*base ... up to cap, each scattered uniformly over
+// [delay/2, delay) so a fleet of devices dropped by one broker restart does
+// not reconnect in a thundering herd. The jitter source is a seeded
+// xorshift, not the wall clock, so DES scenarios stay reproducible.
+type Backoff struct {
+	base    time.Duration
+	cap     time.Duration
+	attempt int
+	rng     uint64
+}
+
+// NewBackoff builds a backoff policy. base <= 0 defaults to 500 ms; cap <= 0
+// defaults to 32x base.
+func NewBackoff(base, cap time.Duration, seed uint64) *Backoff {
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 32 * base
+	}
+	if cap < base {
+		cap = base
+	}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Backoff{base: base, cap: cap, rng: seed}
+}
+
+// Next returns the delay before the next retry and advances the schedule.
+func (b *Backoff) Next() time.Duration {
+	d := b.base << b.attempt
+	if d <= 0 || d > b.cap { // <<-overflow shows up as <= 0
+		d = b.cap
+	} else {
+		b.attempt++
+	}
+	// xorshift64* step; top bits feed the jitter fraction.
+	b.rng ^= b.rng << 13
+	b.rng ^= b.rng >> 7
+	b.rng ^= b.rng << 17
+	frac := float64(b.rng>>11) / float64(1<<53) // [0, 1)
+	half := d / 2
+	return half + time.Duration(float64(half)*frac)
+}
+
+// Attempt returns how many times Next has escalated the delay.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Reset returns the schedule to the base delay after a successful attempt.
+func (b *Backoff) Reset() { b.attempt = 0 }

@@ -1,0 +1,75 @@
+package device
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffEscalatesToCap(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, 800*time.Millisecond, 42)
+	prevCeil := time.Duration(0)
+	for i, wantCeil := range []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond, // pinned at cap
+		800 * time.Millisecond,
+	} {
+		d := b.Next()
+		if d < wantCeil/2 || d >= wantCeil {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", i, d, wantCeil/2, wantCeil)
+		}
+		if wantCeil == prevCeil && wantCeil != 800*time.Millisecond {
+			t.Fatalf("attempt %d: did not escalate past %v", i, prevCeil)
+		}
+		prevCeil = wantCeil
+	}
+}
+
+func TestBackoffResetReturnsToBase(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, time.Second, 7)
+	for i := 0; i < 5; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if d := b.Next(); d >= 100*time.Millisecond {
+		t.Fatalf("post-reset delay %v not back at base", d)
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	a := NewBackoff(100*time.Millisecond, time.Second, 99)
+	b := NewBackoff(100*time.Millisecond, time.Second, 99)
+	for i := 0; i < 8; i++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", i, da, db)
+		}
+	}
+	c := NewBackoff(100*time.Millisecond, time.Second, 100)
+	diverged := false
+	a.Reset()
+	for i := 0; i < 8; i++ {
+		if a.Next() != c.Next() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestBackoffDefaultsAndOverflow(t *testing.T) {
+	b := NewBackoff(0, 0, 0)
+	if b.base != 500*time.Millisecond || b.cap != 16*time.Second {
+		t.Fatalf("defaults base=%v cap=%v", b.base, b.cap)
+	}
+	// A huge base must clamp at cap instead of overflowing the shift.
+	h := NewBackoff(time.Hour, 2*time.Hour, 1)
+	for i := 0; i < 70; i++ {
+		if d := h.Next(); d <= 0 || d >= 2*time.Hour {
+			t.Fatalf("attempt %d: overflowed to %v", i, d)
+		}
+	}
+}

@@ -79,8 +79,12 @@ type Config struct {
 	Tmeasure time.Duration
 	// QueueCapacity bounds local storage (default 4096 measurements).
 	QueueCapacity int
-	// RetryInterval spaces registration retries (default 500 ms).
+	// RetryInterval is the base delay between attachment retries (default
+	// 500 ms). Consecutive failures back off exponentially from it.
 	RetryInterval time.Duration
+	// RetryCap bounds the exponential retry backoff (default 32x
+	// RetryInterval).
+	RetryCap time.Duration
 	// BatchLimit caps measurements per report (default 64).
 	BatchLimit int
 	// Seed feeds jitter (association delay).
@@ -103,6 +107,10 @@ type Device struct {
 
 	stopMeasure func()
 	retryEvent  sim.EventRef
+	// retry paces reattachment attempts: capped exponential with jitter, so
+	// a fleet orphaned by one outage does not rescan in lockstep. Reset on
+	// every successful registration.
+	retry *Backoff
 
 	// handshake instrumentation (Fig. 6 / Thandshake).
 	handshakeStart time.Duration
@@ -152,6 +160,7 @@ func New(cfg Config) (*Device, error) {
 		cfg:   cfg,
 		state: StateOffline,
 		queue: q,
+		retry: NewBackoff(cfg.RetryInterval, cfg.RetryCap, cfg.Seed|1),
 	}, nil
 }
 
@@ -286,8 +295,9 @@ func (d *Device) beginScan() {
 			return
 		}
 		if !found {
-			// Nothing in range: rest, rescan.
-			d.retryEvent = d.cfg.Env.Schedule(d.cfg.RetryInterval, d.beginScan)
+			// Nothing in range: rest, rescan — backing off so an orphaned
+			// fleet does not hammer the medium in lockstep.
+			d.retryEvent = d.cfg.Env.Schedule(d.retry.Next(), d.beginScan)
 			return
 		}
 		d.associate(best)
@@ -326,7 +336,7 @@ func (d *Device) register(rssi float64) {
 		// ref would leak the old event and let two scan loops run
 		// concurrently after repeated send failures.
 		d.cancelRetry()
-		d.retryEvent = d.cfg.Env.Schedule(d.cfg.RetryInterval, d.beginScan)
+		d.retryEvent = d.cfg.Env.Schedule(d.retry.Next(), d.beginScan)
 		return
 	}
 	// Retry the whole attachment if no answer arrives.
@@ -410,7 +420,7 @@ func (d *Device) HandleMessage(from string, msg protocol.Message) {
 	case protocol.RegisterNack:
 		if d.state == StateRegistering {
 			d.cancelRetry()
-			d.retryEvent = d.cfg.Env.Schedule(d.cfg.RetryInterval, d.beginScan)
+			d.retryEvent = d.cfg.Env.Schedule(d.retry.Next(), d.beginScan)
 		}
 	case protocol.ReportAck:
 		d.acksReceived++
@@ -440,6 +450,7 @@ func (d *Device) onRegisterAck(from string, ack protocol.RegisterAck) {
 		return
 	}
 	d.cancelRetry()
+	d.retry.Reset()
 	d.aggregator = from
 	d.kind = ack.Kind
 	d.slot = ack.Slot

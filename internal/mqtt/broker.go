@@ -35,12 +35,18 @@ type Broker struct {
 	packetsIn  uint64
 	packetsOut uint64
 
+	// store journals durable session state when SessionPath is set; nil
+	// otherwise (sessions die with the process, as before).
+	store *sessionStore
+
 	// instruments, resolved once in NewBroker when a Registry is given;
 	// all nil otherwise so the fan-out stays allocation- and branch-cheap.
 	mPublishes   *telemetry.Counter
 	mFanout      *telemetry.Counter
 	mSessions    *telemetry.Gauge
 	mRetransmits *telemetry.Counter
+	mResumes     *telemetry.Counter
+	mDupRedeliv  *telemetry.Counter
 	tracer       *telemetry.Tracer
 }
 
@@ -57,9 +63,20 @@ type BrokerOptions struct {
 	// KeepAliveGrace multiplies the client keepalive for the server-side
 	// deadline; the spec mandates 1.5.
 	KeepAliveGrace float64
+	// SessionPath, when non-empty, makes persistent sessions durable: their
+	// subscriptions, unacknowledged QoS 1/2 deliveries and inbound QoS 2
+	// dedupe ids are journalled to this file (batched, off the publish hot
+	// path) and restored by the next NewBroker against the same path —
+	// resumed with SessionPresent, redelivered with DUP. Empty keeps
+	// sessions in-memory only.
+	SessionPath string
+	// SessionCheckpointEvery bounds the session journal: after this many
+	// appended entries it is compacted to a state snapshot (default 4096).
+	SessionCheckpointEvery int
 	// Registry receives the broker's instruments ("mqtt.publishes",
 	// "mqtt.fanout_deliveries", "mqtt.connected_sessions",
-	// "mqtt.retransmits"); nil disables them.
+	// "mqtt.retransmits", "mqtt.session_resumes", "mqtt.dup_redeliveries",
+	// "mqtt.wal_checkpoints"); nil disables them.
 	Registry *telemetry.Registry
 	// Tracer samples report journeys at the fan-out; nil disables tracing.
 	// The broker opens the journey (Begin) before routing, so downstream
@@ -67,8 +84,10 @@ type BrokerOptions struct {
 	Tracer *telemetry.Tracer
 }
 
-// NewBroker returns a broker ready to Serve.
-func NewBroker(opts BrokerOptions) *Broker {
+// NewBroker returns a broker ready to Serve. With SessionPath set it
+// recovers the session journal first, so a corrupt journal fails loudly
+// here instead of silently dropping resumed sessions.
+func NewBroker(opts BrokerOptions) (*Broker, error) {
 	if opts.KeepAliveGrace == 0 {
 		opts.KeepAliveGrace = 1.5
 	}
@@ -84,14 +103,26 @@ func NewBroker(opts BrokerOptions) *Broker {
 		b.mFanout = reg.Counter("mqtt.fanout_deliveries")
 		b.mSessions = reg.Gauge("mqtt.connected_sessions")
 		b.mRetransmits = reg.Counter("mqtt.retransmits")
+		b.mResumes = reg.Counter("mqtt.session_resumes")
+		b.mDupRedeliv = reg.Counter("mqtt.dup_redeliveries")
 	}
-	return b
+	if opts.SessionPath != "" {
+		if err := b.openSessionStore(opts.SessionPath, opts.SessionCheckpointEvery); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
 }
 
 // session is one connected client's state.
 type session struct {
 	broker   *Broker
 	clientID string
+
+	// durable marks a persistent session backed by the broker's session
+	// journal (SessionPath set, CONNECT with CleanSession=false). Set once
+	// at attach/restore, before the session is reachable from the trie.
+	durable bool
 
 	mu     sync.Mutex
 	conn   net.Conn
@@ -165,7 +196,10 @@ func (b *Broker) Addr() net.Addr {
 	return b.ln.Addr()
 }
 
-// Close stops the listener and disconnects every session.
+// Close stops the listener and disconnects every session. With durable
+// sessions enabled it then flushes the session journal to a final compact
+// snapshot, so inflight QoS 1/2 state survives a graceful shutdown exactly
+// like a crash — and logs how much was still unacknowledged.
 func (b *Broker) Close() error {
 	b.mu.Lock()
 	if b.closed {
@@ -186,6 +220,24 @@ func (b *Broker) Close() error {
 		s.close()
 	}
 	b.wg.Wait()
+	if b.store != nil {
+		durable, unacked := 0, 0
+		for _, s := range sessions {
+			s.mu.Lock()
+			if s.durable {
+				durable++
+				unacked += len(s.outbound) + len(s.pubrelPending)
+			}
+			s.mu.Unlock()
+		}
+		err := b.store.close(b.sessionSnapshot())
+		if err != nil {
+			b.logf("mqtt: session journal close: %v", err)
+			return err
+		}
+		b.logf("mqtt: %d durable session(s) flushed, %d message(s) still unacknowledged (redelivered on resume)",
+			durable, unacked)
+	}
 	return nil
 }
 
@@ -236,8 +288,13 @@ func (b *Broker) handleConn(conn net.Conn) {
 		s.close()
 		return
 	}
-	// Redeliver inflight QoS>=1 messages for resumed sessions.
-	s.redeliver()
+	if sessionPresent && b.mResumes != nil {
+		b.mResumes.Inc()
+	}
+	// Redeliver inflight QoS>=1 messages for resumed sessions — onto this
+	// connection specifically, so a takeover racing the drain cannot leak
+	// duplicates onto the successor's connection.
+	s.redeliver(conn)
 
 	if b.mSessions != nil {
 		b.mSessions.Add(1)
@@ -277,6 +334,7 @@ func (b *Broker) attachSession(c *ConnectPacket, conn net.Conn) (*session, bool)
 		s = &session{
 			broker:        b,
 			clientID:      c.ClientID,
+			durable:       b.store != nil && !c.CleanSession,
 			subs:          make(map[string]QoS),
 			outbound:      make(map[uint16]PublishPacket),
 			pubrelPending: make(map[uint16]bool),
@@ -285,6 +343,16 @@ func (b *Broker) attachSession(c *ConnectPacket, conn net.Conn) (*session, bool)
 	}
 	b.sessions[c.ClientID] = s
 	b.mu.Unlock()
+
+	if s.durable && !present {
+		// A fresh durable session must exist in the journal even before
+		// its first subscription.
+		s.persist(sessionLogEntry{Op: opConnect})
+	}
+	if b.store != nil && c.CleanSession && existed {
+		// CleanSession wipes whatever durable state the ID had.
+		b.store.log(sessionLogEntry{Op: opClean, Client: c.ClientID})
+	}
 
 	if existed && old != s {
 		// Clean-session takeover replaces the session object; its
@@ -357,15 +425,23 @@ func (b *Broker) readLoop(s *session, conn net.Conn) error {
 			}
 		case *PubrelPacket:
 			s.mu.Lock()
+			seen := s.incomingQoS2[p.PacketID]
 			delete(s.incomingQoS2, p.PacketID)
 			s.mu.Unlock()
+			if seen {
+				s.persist(sessionLogEntry{Op: opQ2Done, ID: p.PacketID})
+			}
 			if err := s.write(NewPubcomp(p.PacketID)); err != nil {
 				return err
 			}
 		case *PubcompPacket:
 			s.mu.Lock()
+			pending := s.pubrelPending[p.PacketID]
 			delete(s.pubrelPending, p.PacketID)
 			s.mu.Unlock()
+			if pending {
+				s.persist(sessionLogEntry{Op: opRelDone, ID: p.PacketID})
+			}
 		case *SubscribePacket:
 			if err := b.handleSubscribe(s, p); err != nil {
 				return err
@@ -381,6 +457,9 @@ func (b *Broker) readLoop(s *session, conn net.Conn) error {
 				b.subs.remove(f, s)
 			}
 			b.mu.Unlock()
+			for _, f := range p.Filters {
+				s.persist(sessionLogEntry{Op: opUnsub, Filter: f})
+			}
 			if err := s.write(NewUnsuback(p.PacketID)); err != nil {
 				return err
 			}
@@ -419,6 +498,7 @@ func (b *Broker) handlePublish(s *session, p *PublishPacket) error {
 		s.incomingQoS2[p.PacketID] = true
 		s.mu.Unlock()
 		if !dup {
+			s.persist(sessionLogEntry{Op: opQ2, ID: p.PacketID})
 			b.route(p, s)
 		}
 		return s.write(NewPubrec(p.PacketID))
@@ -446,6 +526,7 @@ func (b *Broker) handleSubscribe(s *session, p *SubscribePacket) error {
 			b.subs.add(sub.Filter, s, granted)
 		}
 		b.mu.Unlock()
+		s.persist(sessionLogEntry{Op: opSub, Filter: sub.Filter, Q: byte(granted)})
 		codes[i] = byte(granted)
 	}
 	if err := s.write(&SubackPacket{PacketID: p.PacketID, ReturnCodes: codes}); err != nil {
@@ -625,6 +706,16 @@ func (b *Broker) SessionCount() int {
 	return len(b.sessions)
 }
 
+// SessionJournalErr reports the most recent durable-session journal failure
+// (nil when healthy or when session durability is disabled) — the healthz
+// surface for the broker_sessions check.
+func (b *Broker) SessionJournalErr() error {
+	if b.store == nil {
+		return nil
+	}
+	return b.store.err()
+}
+
 // --- session methods --------------------------------------------------------
 
 // errNotConnected is returned by write on a detached session; predeclared
@@ -642,6 +733,14 @@ func (s *session) write(p Packet) error {
 	if conn == nil {
 		return errNotConnected
 	}
+	return s.writeTo(conn, p)
+}
+
+// writeTo serializes and sends one packet onto a specific connection. A
+// redelivery drain holds the connection it started on: if a takeover swaps
+// s.conn mid-drain, its writes land on the doomed old socket (and fail
+// there) instead of duplicating onto the successor's connection.
+func (s *session) writeTo(conn net.Conn, p Packet) error {
 	s.writeMu.Lock()
 	buf, err := p.encode(s.wbuf[:0])
 	if err != nil {
@@ -662,7 +761,9 @@ func (s *session) write(p Packet) error {
 
 // deliver sends an application message to this session's client, allocating
 // a packet id for QoS >= 1 and tracking a value copy of it for redelivery
-// (p itself may live in the route pool and must not be retained).
+// (p itself may live in the route pool and must not be retained). The
+// payload bytes are wire-read buffers owned by no pool, so the tracked copy
+// and the journal entry may share them.
 func (s *session) deliver(p *PublishPacket) {
 	if p.QoS > QoS0 {
 		s.mu.Lock()
@@ -673,6 +774,10 @@ func (s *session) deliver(p *PublishPacket) {
 		p.PacketID = s.nextID
 		s.outbound[p.PacketID] = *p
 		s.mu.Unlock()
+		s.persist(sessionLogEntry{
+			Op: opOut, ID: p.PacketID,
+			Topic: p.Topic, Payload: p.Payload, Q: byte(p.QoS),
+		})
 	}
 	// Best effort: a dead connection keeps the message inflight for
 	// redelivery on session resume.
@@ -683,17 +788,27 @@ func (s *session) deliver(p *PublishPacket) {
 // to the pubrel-pending set.
 func (s *session) ackOutbound(id uint16, rec bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.outbound[id]; ok {
+	_, ok := s.outbound[id]
+	if ok {
 		delete(s.outbound, id)
 		if rec {
 			s.pubrelPending[id] = true
 		}
 	}
+	s.mu.Unlock()
+	if ok {
+		if rec {
+			s.persist(sessionLogEntry{Op: opRel, ID: id})
+		} else {
+			s.persist(sessionLogEntry{Op: opAck, ID: id})
+		}
+	}
 }
 
-// redeliver resends inflight messages after a session resume.
-func (s *session) redeliver() {
+// redeliver resends inflight messages after a session resume, writing them
+// onto conn (the connection whose CONNACK announced the resume) so a
+// concurrent takeover's fresher drain cannot be double-delivered onto.
+func (s *session) redeliver(conn net.Conn) {
 	s.mu.Lock()
 	pending := make([]PublishPacket, 0, len(s.outbound))
 	for _, p := range s.outbound {
@@ -705,16 +820,21 @@ func (s *session) redeliver() {
 		rels = append(rels, id)
 	}
 	s.mu.Unlock()
-	if n := len(pending) + len(rels); n > 0 && s.broker.mRetransmits != nil {
-		s.broker.mRetransmits.AddInt(uint64(n))
+	if n := len(pending) + len(rels); n > 0 {
+		if s.broker.mRetransmits != nil {
+			s.broker.mRetransmits.AddInt(uint64(n))
+		}
+		if s.broker.mDupRedeliv != nil {
+			s.broker.mDupRedeliv.AddInt(uint64(len(pending)))
+		}
 	}
 	sort.Slice(pending, func(i, j int) bool { return pending[i].PacketID < pending[j].PacketID })
 	sort.Slice(rels, func(i, j int) bool { return rels[i] < rels[j] })
 	for i := range pending {
-		_ = s.write(&pending[i])
+		_ = s.writeTo(conn, &pending[i])
 	}
 	for _, id := range rels {
-		_ = s.write(NewPubrel(id))
+		_ = s.writeTo(conn, NewPubrel(id))
 	}
 }
 

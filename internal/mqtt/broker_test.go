@@ -9,10 +9,21 @@ import (
 	"time"
 )
 
+// mustBroker builds a broker, failing the test on a bad configuration
+// (e.g. an unrecoverable session journal).
+func mustBroker(tb testing.TB, opts BrokerOptions) *Broker {
+	tb.Helper()
+	b, err := NewBroker(opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
 // startBroker runs a broker on an ephemeral port and returns its address.
 func startBroker(t *testing.T, opts BrokerOptions) (*Broker, string) {
 	t.Helper()
-	b := NewBroker(opts)
+	b := mustBroker(t, opts)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

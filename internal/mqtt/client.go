@@ -13,6 +13,10 @@ import (
 type Client struct {
 	opts ClientOptions
 
+	// sessionPresent records the CONNACK's session-present flag: the broker
+	// resumed a durable session for this client ID. Set once in NewClient.
+	sessionPresent bool
+
 	mu       sync.Mutex
 	conn     net.Conn
 	nextID   uint16
@@ -112,6 +116,7 @@ func NewClient(conn net.Conn, opts ClientOptions) (*Client, error) {
 	if ack.ReturnCode != ConnAccepted {
 		return nil, fmt.Errorf("mqtt: connection refused (code %d)", ack.ReturnCode)
 	}
+	c.sessionPresent = ack.SessionPresent
 	conn.SetReadDeadline(time.Time{})
 	go c.readLoop()
 	if opts.KeepAlive > 0 {
@@ -357,6 +362,12 @@ func (c *Client) shutdown(err error) {
 
 // Done is closed when the session ends.
 func (c *Client) Done() <-chan struct{} { return c.done }
+
+// SessionPresent reports whether the broker resumed a durable session for
+// this client ID (the CONNACK session-present flag). A reconnecting device
+// uses it to decide whether buffered-but-possibly-delivered reports need a
+// replay.
+func (c *Client) SessionPresent() bool { return c.sessionPresent }
 
 func (c *Client) readLoop() {
 	for {

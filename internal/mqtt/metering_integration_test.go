@@ -31,7 +31,10 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 
 func TestMeteringOverRealMQTT(t *testing.T) {
 	// Broker.
-	broker := mqtt.NewBroker(mqtt.BrokerOptions{})
+	broker, err := mqtt.NewBroker(mqtt.BrokerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

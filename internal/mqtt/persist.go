@@ -1,0 +1,351 @@
+// Durable session persistence: the broker's per-session subscription
+// tables, QoS 1/2 outbound inflight sets and inbound QoS 2 dedupe ids are
+// journalled through store.WAL so a broker restarted against the same
+// session file resumes every persistent session (CONNACK SessionPresent),
+// redelivers unacknowledged publishes with the DUP flag, and never
+// re-routes an already-seen QoS 2 packet id.
+//
+// Appends are batched off the publish hot path: mutations enqueue small
+// delta entries into an in-memory buffer and a single flusher goroutine
+// drains it to disk, so the zero-allocation fan-out never waits on I/O.
+// The journal is replay-idempotent (every op is a set/delete on keyed
+// state), which lets the periodic compaction snapshot race in-flight
+// deltas safely: a delta appended after the snapshot it is already part of
+// replays as a no-op.
+package mqtt
+
+import (
+	"fmt"
+	"sync"
+
+	"decentmeter/internal/store"
+	"decentmeter/internal/telemetry"
+)
+
+// Session journal operations. Each is a keyed set/delete, so replaying an
+// entry whose effect is already present is harmless.
+const (
+	opConnect = "connect" // durable session exists
+	opClean   = "clean"   // session state wiped (CleanSession connect)
+	opSub     = "sub"     // Filter granted at Q
+	opUnsub   = "unsub"   // Filter dropped
+	opOut     = "out"     // outbound QoS>=1 inflight: ID, Topic, Payload, Q
+	opAck     = "ack"     // PUBACK cleared outbound ID
+	opRel     = "rel"     // PUBREC moved outbound ID to pubrel-pending
+	opRelDone = "reldone" // PUBCOMP cleared pubrel-pending ID
+	opQ2      = "q2"      // inbound QoS2 ID seen (dedupe set)
+	opQ2Done  = "q2done"  // PUBREL completed inbound QoS2 ID
+)
+
+// sessionLogEntry is one journalled session mutation (or one row of a
+// compaction snapshot — the formats are identical).
+type sessionLogEntry struct {
+	Op      string `json:"op"`
+	Client  string `json:"c"`
+	Filter  string `json:"f,omitempty"`
+	Q       byte   `json:"q,omitempty"`
+	ID      uint16 `json:"id,omitempty"`
+	Topic   string `json:"t,omitempty"`
+	Payload []byte `json:"p,omitempty"`
+}
+
+// defaultCheckpointEvery bounds the journal: after this many appended
+// entries the flusher rewrites the log as a compact state snapshot.
+const defaultCheckpointEvery = 4096
+
+// sessionStore owns the session journal and its flusher goroutine.
+type sessionStore struct {
+	broker *Broker
+	every  int
+
+	mu      sync.Mutex
+	wal     *store.WAL[sessionLogEntry]
+	buf     []sessionLogEntry
+	lastErr error
+	closed  bool
+
+	// appended counts journal entries since the last compaction; only the
+	// flusher goroutine touches it.
+	appended int
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	mCheckpoints *telemetry.Counter
+}
+
+func newSessionStore(b *Broker, wal *store.WAL[sessionLogEntry], every int) *sessionStore {
+	if every <= 0 {
+		every = defaultCheckpointEvery
+	}
+	ss := &sessionStore{
+		broker: b,
+		every:  every,
+		wal:    wal,
+		kick:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if reg := b.opts.Registry; reg != nil {
+		ss.mCheckpoints = reg.Counter("mqtt.wal_checkpoints")
+	}
+	return ss
+}
+
+// log enqueues one delta for the flusher. Called from connection and
+// fan-out goroutines; must stay cheap — one short critical section and a
+// non-blocking wakeup.
+func (ss *sessionStore) log(e sessionLogEntry) {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return
+	}
+	ss.buf = append(ss.buf, e)
+	ss.mu.Unlock()
+	select {
+	case ss.kick <- struct{}{}:
+	default:
+	}
+}
+
+// err returns the most recent journal write failure (healthz surface).
+func (ss *sessionStore) err() error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.lastErr
+}
+
+// run drains the delta buffer to the journal and compacts it whenever the
+// append budget is spent. Runs until close().
+func (ss *sessionStore) run() {
+	defer close(ss.done)
+	for {
+		select {
+		case <-ss.stop:
+			ss.flush()
+			return
+		case <-ss.kick:
+			ss.flush()
+			if ss.appended >= ss.every {
+				ss.checkpoint()
+			}
+		}
+	}
+}
+
+// flush appends the buffered deltas in one batched write.
+func (ss *sessionStore) flush() {
+	ss.mu.Lock()
+	batch := ss.buf
+	ss.buf = nil
+	ss.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	err := ss.wal.AppendBatch(batch)
+	if err != nil {
+		ss.mu.Lock()
+		ss.lastErr = err
+		ss.mu.Unlock()
+		ss.broker.logf("mqtt: session journal append: %v", err)
+		return
+	}
+	ss.appended += len(batch)
+}
+
+// checkpoint rewrites the journal as a compact snapshot of current broker
+// session state. Deltas enqueued while the snapshot is taken replay
+// idempotently on top of it.
+func (ss *sessionStore) checkpoint() {
+	snap := ss.broker.sessionSnapshot()
+	if err := ss.wal.Checkpoint(snap); err != nil {
+		ss.mu.Lock()
+		ss.lastErr = err
+		ss.mu.Unlock()
+		ss.broker.logf("mqtt: session journal checkpoint: %v", err)
+		return
+	}
+	ss.appended = 0
+	if ss.mCheckpoints != nil {
+		ss.mCheckpoints.Inc()
+	}
+}
+
+// close stops the flusher, compacts the journal to a final snapshot and
+// closes the file. Returns the first close-path error.
+func (ss *sessionStore) close(snapshot []sessionLogEntry) error {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return nil
+	}
+	ss.closed = true
+	ss.mu.Unlock()
+	close(ss.stop)
+	<-ss.done
+	err := ss.wal.Checkpoint(snapshot)
+	if err == nil {
+		if ss.mCheckpoints != nil {
+			ss.mCheckpoints.Inc()
+		}
+	}
+	if cerr := ss.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// restoredSession is the replayed state of one durable session.
+type restoredSession struct {
+	subs     map[string]QoS
+	outbound map[uint16]PublishPacket
+	rel      map[uint16]bool
+	q2       map[uint16]bool
+	maxID    uint16
+}
+
+// replaySessionLog folds a recovered journal into per-client session state.
+func replaySessionLog(entries []sessionLogEntry) map[string]*restoredSession {
+	states := make(map[string]*restoredSession)
+	get := func(c string) *restoredSession {
+		st, ok := states[c]
+		if !ok {
+			st = &restoredSession{
+				subs:     make(map[string]QoS),
+				outbound: make(map[uint16]PublishPacket),
+				rel:      make(map[uint16]bool),
+				q2:       make(map[uint16]bool),
+			}
+			states[c] = st
+		}
+		return st
+	}
+	for _, e := range entries {
+		switch e.Op {
+		case opConnect:
+			get(e.Client)
+		case opClean:
+			delete(states, e.Client)
+		case opSub:
+			get(e.Client).subs[e.Filter] = QoS(e.Q)
+		case opOut:
+			st := get(e.Client)
+			st.outbound[e.ID] = PublishPacket{
+				Topic: e.Topic, Payload: e.Payload, QoS: QoS(e.Q), PacketID: e.ID,
+			}
+			if e.ID > st.maxID {
+				st.maxID = e.ID
+			}
+		case opRel:
+			st := get(e.Client)
+			delete(st.outbound, e.ID)
+			st.rel[e.ID] = true
+			if e.ID > st.maxID {
+				st.maxID = e.ID
+			}
+		case opQ2:
+			get(e.Client).q2[e.ID] = true
+		case opUnsub, opAck, opRelDone, opQ2Done:
+			// Pure deletions must not resurrect a cleaned session: a delta
+			// enqueued concurrently with a compaction snapshot can replay
+			// after an opClean that already erased its session.
+			st, ok := states[e.Client]
+			if !ok {
+				continue
+			}
+			switch e.Op {
+			case opUnsub:
+				delete(st.subs, e.Filter)
+			case opAck:
+				delete(st.outbound, e.ID)
+			case opRelDone:
+				delete(st.rel, e.ID)
+			case opQ2Done:
+				delete(st.q2, e.ID)
+			}
+		}
+	}
+	return states
+}
+
+// openSessionStore recovers the journal at path and rebuilds the broker's
+// durable sessions (detached — each resumes on its owner's next CONNECT).
+func (b *Broker) openSessionStore(path string, every int) error {
+	entries, err := store.RecoverWAL[sessionLogEntry](path)
+	if err != nil {
+		return fmt.Errorf("mqtt: recover session journal: %w", err)
+	}
+	wal, err := store.OpenWAL[sessionLogEntry](path)
+	if err != nil {
+		return fmt.Errorf("mqtt: open session journal: %w", err)
+	}
+	b.store = newSessionStore(b, wal, every)
+	for clientID, st := range replaySessionLog(entries) {
+		s := &session{
+			broker:        b,
+			clientID:      clientID,
+			durable:       true,
+			subs:          st.subs,
+			nextID:        st.maxID,
+			outbound:      st.outbound,
+			pubrelPending: st.rel,
+			incomingQoS2:  st.q2,
+		}
+		b.sessions[clientID] = s
+		for f, q := range st.subs {
+			b.subs.add(f, s, q)
+		}
+	}
+	go b.store.run()
+	return nil
+}
+
+// sessionSnapshot serializes every durable session's state as journal
+// entries — the compaction snapshot format.
+func (b *Broker) sessionSnapshot() []sessionLogEntry {
+	b.mu.Lock()
+	sessions := make([]*session, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		sessions = append(sessions, s)
+	}
+	b.mu.Unlock()
+	var out []sessionLogEntry
+	for _, s := range sessions {
+		s.mu.Lock()
+		if !s.durable {
+			s.mu.Unlock()
+			continue
+		}
+		out = append(out, sessionLogEntry{Op: opConnect, Client: s.clientID})
+		for f, q := range s.subs {
+			out = append(out, sessionLogEntry{Op: opSub, Client: s.clientID, Filter: f, Q: byte(q)})
+		}
+		for id, p := range s.outbound {
+			out = append(out, sessionLogEntry{
+				Op: opOut, Client: s.clientID, ID: id,
+				Topic: p.Topic, Payload: p.Payload, Q: byte(p.QoS),
+			})
+		}
+		for id := range s.pubrelPending {
+			out = append(out, sessionLogEntry{Op: opRel, Client: s.clientID, ID: id})
+		}
+		for id := range s.incomingQoS2 {
+			out = append(out, sessionLogEntry{Op: opQ2, Client: s.clientID, ID: id})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// persist journals one session mutation; a no-op for non-durable sessions.
+func (s *session) persist(e sessionLogEntry) {
+	if !s.durable {
+		return
+	}
+	if st := s.broker.store; st != nil {
+		e.Client = s.clientID
+		st.log(e)
+	}
+}

@@ -243,7 +243,7 @@ func TestTrieMatchZeroAlloc(t *testing.T) {
 // must not insert into the routing trie — nothing would ever remove the
 // entry, leaving a permanent route to a dead session.
 func TestSubscribeAfterTakeoverDoesNotLeakTrie(t *testing.T) {
-	b := NewBroker(BrokerOptions{})
+	b := mustBroker(t, BrokerOptions{})
 	old := &session{broker: b, clientID: "c", subs: map[string]QoS{}}
 	// The takeover already happened: a fresh session owns "c".
 	b.sessions["c"] = &session{broker: b, clientID: "c", subs: map[string]QoS{}}
@@ -262,7 +262,7 @@ func TestSubscribeAfterTakeoverDoesNotLeakTrie(t *testing.T) {
 // subscriptions; with the v1 linear scan this walked every subscription of
 // every session, with the trie it is O(topic levels + 1 match).
 func BenchmarkBrokerFanout(b *testing.B) {
-	broker := NewBroker(BrokerOptions{})
+	broker := mustBroker(b, BrokerOptions{})
 	const n = 10000
 	for i := 0; i < n; i++ {
 		s := &session{
@@ -287,7 +287,7 @@ func BenchmarkBrokerFanout(b *testing.B) {
 // session also holding a two-wildcard filter, the shape the aggregator's
 // report tap uses.
 func BenchmarkBrokerFanoutWildcards(b *testing.B) {
-	broker := NewBroker(BrokerOptions{})
+	broker := mustBroker(b, BrokerOptions{})
 	const n = 10000
 	for i := 0; i < n; i++ {
 		s := &session{
@@ -327,7 +327,7 @@ func TestBrokerFanoutAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates inside sync.Pool")
 	}
-	broker := NewBroker(BrokerOptions{})
+	broker := mustBroker(t, BrokerOptions{})
 	const n = 1000
 	for i := 0; i < n; i++ {
 		s := &session{

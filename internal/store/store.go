@@ -143,16 +143,29 @@ func (q *Queue[T]) Clear() {
 
 // WAL persists queue records as JSON lines so a rebooting device can
 // recover unsent measurements. Records append to the log on Push and the
-// whole log is truncated once everything has been delivered (Checkpoint) —
-// a deliberately simple scheme sized for microcontroller-class firmware.
+// whole log is atomically rewritten to a compact snapshot once delivered
+// state allows it (Checkpoint) — a deliberately simple scheme sized for
+// microcontroller-class firmware.
 type WAL[T any] struct {
 	path string
 	f    *os.File
 	w    *bufio.Writer
+
+	// failAfterTemp, when set by a test, makes Checkpoint stop after the
+	// temp snapshot is on disk but before the rename — the exact window a
+	// crash can land in. Recovery must then still read the old log.
+	failAfterTemp bool
 }
 
-// OpenWAL opens (creating if needed) the log at path.
+// errCheckpointInterrupted simulates a crash between the temp-file write
+// and the rename (test hook only).
+var errCheckpointInterrupted = errors.New("store: checkpoint interrupted before rename")
+
+// OpenWAL opens (creating if needed) the log at path. A stale snapshot
+// temp file from a checkpoint that crashed before its rename is discarded:
+// the main log is still the authoritative pre-checkpoint state.
 func OpenWAL[T any](path string) (*WAL[T], error) {
+	_ = os.Remove(path + ".tmp")
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open wal: %w", err)
@@ -172,17 +185,72 @@ func (w *WAL[T]) Append(v T) error {
 	return w.w.Flush()
 }
 
-// Checkpoint truncates the log after successful delivery of all records.
-func (w *WAL[T]) Checkpoint() error {
+// AppendBatch writes several records with a single flush; one syscall-sized
+// write amortizes the per-record cost when a caller drains a buffered batch.
+func (w *WAL[T]) AppendBatch(vs []T) error {
+	for _, v := range vs {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("store: wal marshal: %w", err)
+		}
+		if _, err := w.w.Write(append(b, '\n')); err != nil {
+			return fmt.Errorf("store: wal write: %w", err)
+		}
+	}
+	return w.w.Flush()
+}
+
+// Checkpoint atomically replaces the log with a compact snapshot (nil for
+// an empty log): the snapshot is written to a temp file, synced, and
+// renamed over the log, so a crash at any point leaves either the complete
+// old log or the complete new snapshot on disk — never a torn mixture.
+func (w *WAL[T]) Checkpoint(snapshot []T) error {
 	if err := w.w.Flush(); err != nil {
 		return err
 	}
-	if err := w.f.Truncate(0); err != nil {
-		return fmt.Errorf("store: wal truncate: %w", err)
+	tmp := w.path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: wal checkpoint: %w", err)
 	}
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("store: wal seek: %w", err)
+	tw := bufio.NewWriter(tf)
+	for _, v := range snapshot {
+		b, err := json.Marshal(v)
+		if err != nil {
+			tf.Close()
+			return fmt.Errorf("store: wal checkpoint marshal: %w", err)
+		}
+		if _, err := tw.Write(append(b, '\n')); err != nil {
+			tf.Close()
+			return fmt.Errorf("store: wal checkpoint write: %w", err)
+		}
 	}
+	if err := tw.Flush(); err != nil {
+		tf.Close()
+		return fmt.Errorf("store: wal checkpoint flush: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("store: wal checkpoint sync: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("store: wal checkpoint close: %w", err)
+	}
+	if w.failAfterTemp {
+		return errCheckpointInterrupted
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		return fmt.Errorf("store: wal checkpoint rename: %w", err)
+	}
+	// The open handle still points at the unlinked pre-checkpoint inode;
+	// swap it for the renamed snapshot so later appends extend the new log.
+	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: wal checkpoint reopen: %w", err)
+	}
+	w.f.Close()
+	w.f = f
+	w.w = bufio.NewWriter(f)
 	return nil
 }
 

@@ -261,7 +261,7 @@ func TestWALCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Append(rec{Seq: 1})
-	if err := w.Checkpoint(); err != nil {
+	if err := w.Checkpoint(nil); err != nil {
 		t.Fatal(err)
 	}
 	w.Append(rec{Seq: 2})
@@ -272,6 +272,122 @@ func TestWALCheckpoint(t *testing.T) {
 	}
 	if len(got) != 1 || got[0].Seq != 2 {
 		t.Fatalf("after checkpoint: %+v", got)
+	}
+}
+
+func TestWALCheckpointCompactsToSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meter.wal")
+	w, err := OpenWAL[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		w.Append(rec{Seq: i})
+	}
+	// Compact to the still-live suffix, then keep appending: recovery must
+	// see snapshot + later appends, in order.
+	if err := w.Checkpoint([]rec{{Seq: 99}, {Seq: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Append(rec{Seq: 101})
+	w.Close()
+	got, err := RecoverWAL[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Seq != 99 || got[1].Seq != 100 || got[2].Seq != 101 {
+		t.Fatalf("after compaction: %+v", got)
+	}
+}
+
+func TestWALCheckpointCrashBeforeRenameSalvagesOldLog(t *testing.T) {
+	// The checkpoint crash window: the temp snapshot is fully on disk but
+	// the rename never happened. The main log is untouched, so recovery
+	// must return the complete pre-checkpoint state — not error, and not
+	// the half-installed snapshot.
+	path := filepath.Join(t.TempDir(), "meter.wal")
+	w, err := OpenWAL[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		w.Append(rec{Seq: i})
+	}
+	w.failAfterTemp = true
+	if err := w.Checkpoint([]rec{{Seq: 5}}); err == nil {
+		t.Fatal("interrupted checkpoint reported success")
+	}
+	w.Close()
+	if _, err := os.Stat(path + ".tmp"); err != nil {
+		t.Fatalf("crash window left no temp file: %v", err)
+	}
+	got, err := RecoverWAL[rec](path)
+	if err != nil {
+		t.Fatalf("pre-checkpoint state not salvaged: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("recovered %d records, want the 5 pre-checkpoint ones", len(got))
+	}
+	// Reopening the log (the restarted process) discards the stale temp
+	// file and appends continue on the old state.
+	w2, err := OpenWAL[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("stale checkpoint temp file not discarded on reopen: %v", err)
+	}
+	w2.Append(rec{Seq: 6})
+	w2.Close()
+	got, err = RecoverWAL[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 || got[5].Seq != 6 {
+		t.Fatalf("appends after salvaged crash window: %+v", got)
+	}
+}
+
+func TestWALCheckpointCrashAfterRenameKeepsSnapshot(t *testing.T) {
+	// The other side of the window: the rename landed but the process died
+	// before acknowledging. Recovery sees exactly the snapshot.
+	path := filepath.Join(t.TempDir(), "meter.wal")
+	w, err := OpenWAL[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		w.Append(rec{Seq: i})
+	}
+	if err := w.Checkpoint([]rec{{Seq: 4}, {Seq: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash by recovering without Close.
+	got, err := RecoverWAL[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Seq != 4 || got[1].Seq != 5 {
+		t.Fatalf("post-rename recovery: %+v", got)
+	}
+}
+
+func TestWALAppendBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meter.wal")
+	w, err := OpenWAL[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch([]rec{{Seq: 1}, {Seq: 2}, {Seq: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	got, err := RecoverWAL[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2].Seq != 3 {
+		t.Fatalf("batch append: %+v", got)
 	}
 }
 
