@@ -5,16 +5,27 @@
 //	chainctl show    chain.jsonl            # block-by-block summary
 //	chainctl device  chain.jsonl device1    # one device's stored records
 //	chainctl tamper  chain.jsonl            # corrupt a record, show detection
+//	chainctl anchors anchor.chain [nb.chain ...]  # federation anchor audit
 //
 // verify and show skip signature checks (the authority's public keys live
 // with the aggregators); the hash chain and Merkle roots are still fully
 // validated.
+//
+// anchors reads a regional super-chain written by `experiments -federation
+// -fed-export` and lists every cluster commitment; each additional
+// neighborhood chain file (its cluster ID is the file name without the
+// extension, e.g. nb03.chain -> nb03) is verified for inclusion: the
+// anchored heights and block roots must match the chain's own headers and
+// the latest anchor must cover the chain's head. Any mismatch — a diverged
+// root, a truncated chain, an unanchored head — exits non-zero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"decentmeter/internal/blockchain"
 	"decentmeter/internal/units"
@@ -39,13 +50,15 @@ func main() {
 		run(device(path, args[2]))
 	case "tamper":
 		run(tamper(path))
+	case "anchors":
+		run(anchors(path, args[2:]))
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: chainctl verify|show|tamper <chain-file> | chainctl device <chain-file> <device-id>")
+	fmt.Fprintln(os.Stderr, "usage: chainctl verify|show|tamper <chain-file> | chainctl device <chain-file> <device-id> | chainctl anchors <anchor-chain> [cluster-chain ...]")
 	os.Exit(2)
 }
 
@@ -114,6 +127,53 @@ func device(path, id string) error {
 		total += r.Energy
 	}
 	fmt.Printf("total: %d records, %s\n", len(recs), total)
+	return nil
+}
+
+// anchors verifies a federation export: the super-chain's own integrity,
+// a listing of every anchor record, and — for each neighborhood chain file
+// given — root inclusion up to the chain's head.
+func anchors(anchorPath string, clusterPaths []string) error {
+	ac, err := blockchain.ReadFile(anchorPath, nil)
+	if err != nil {
+		return err
+	}
+	if _, err := ac.Verify(); err != nil {
+		return fmt.Errorf("anchor chain: %w", err)
+	}
+	recs, err := blockchain.Anchors(ac)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("anchor chain: %d blocks, %d commitments\n", ac.Length(), len(recs))
+	fmt.Printf("%-8s %-8s %-22s %s\n", "cluster", "height", "sealed", "root")
+	for _, a := range recs {
+		fmt.Printf("%-8s %-8d %-22s %s\n",
+			a.ClusterID, a.Height, a.SealedAt.Format("2006-01-02T15:04:05.000"), a.Root)
+	}
+	failed := 0
+	for _, p := range clusterPaths {
+		id := strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))
+		nc, err := blockchain.ReadFile(p, nil)
+		if err != nil {
+			return err
+		}
+		if bad, err := nc.Verify(); err != nil {
+			fmt.Printf("%s: TAMPERED at block %d: %v\n", id, bad, err)
+			failed++
+			continue
+		}
+		if err := blockchain.VerifyAnchorInclusion(ac, id, nc); err != nil {
+			fmt.Printf("%s: NOT ANCHORED: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Printf("%s: OK — %d blocks, %d records, head included in anchor chain\n",
+			id, nc.Length(), nc.TotalRecords())
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d neighborhood chains failed anchor verification", failed, len(clusterPaths))
+	}
 	return nil
 }
 

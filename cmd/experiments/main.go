@@ -5,6 +5,7 @@
 //	experiments -handshake        # Thandshake over 15 runs (§III-B.b)
 //	experiments -fraud            # tamper detection scenario
 //	experiments -fleet            # fleet-scale sharded ingest (-devices, -shards)
+//	experiments -federation       # federated two-tier topology (-fed-clusters ...)
 //	experiments -all              # everything
 //
 // Use -seed to vary the deterministic run and -chain to export the sealed
@@ -19,6 +20,17 @@
 // backhaul mesh partition and a second replica crash) over that run and
 // fails unless the ledger audit proves zero record loss and duplication
 // with byte-identical replica chains.
+//
+// The federation scenario scales past one cluster: -fed-clusters
+// neighborhood clusters (each its own replicated consensus tier sealing its
+// own chain) partition -devices devices, cross-cluster roaming waves carry
+// acknowledged-sequence watermarks over the inter-cluster mesh, cluster 0's
+// leader crashes and recovers mid-run, and every window boundary anchors
+// each neighborhood chain's head on a regional super-chain. The run fails
+// unless the federation-wide ledger audit proves zero loss and zero
+// duplication and every neighborhood chain is included in the verified
+// anchor chain; -fed-export writes the chains for offline verification with
+// chainctl.
 package main
 
 import (
@@ -48,6 +60,11 @@ func main() {
 	replicas := flag.Int("replicas", 1, "fleet aggregator replicas (>1 runs the consensus-sealed replicated tier\nwith a mid-window leader crash, recovery, hot-spot wave and rebalancing)")
 	consensusF := flag.Int("f", 0, "replicated tier fault tolerance (default (replicas-1)/3)")
 	chaos := flag.Bool("chaos", false, "inject the default fault plan into the replicated fleet run\n(broker outage, ack-loss burst, mesh partition, extra replica crash)\nand audit for zero record loss; requires -replicas > 1")
+	federation := flag.Bool("federation", false, "run the federated two-tier topology: neighborhood clusters with\ncross-cluster roaming waves, a leader crash and a root-anchored\nregional super-chain; fails unless the federation-wide audit and\nanchor inclusion verify")
+	fedClusters := flag.Int("fed-clusters", 10, "federation neighborhood cluster count")
+	fedReplicas := flag.Int("fed-replicas", 4, "federation replicas per cluster")
+	fedSeconds := flag.Int("fed-seconds", 4, "federation simulated seconds (minimum 4)")
+	fedExport := flag.String("fed-export", "", "directory receiving every neighborhood chain and the anchor chain\nfor offline verification with chainctl")
 	flag.Parse()
 
 	p := core.DefaultParams()
@@ -84,6 +101,12 @@ func main() {
 			fatal(fmt.Errorf("-chaos requires -replicas > 1 (the fault plan targets the replicated tier)"))
 		}
 		if err := runFleet(*devices, *shards, *fleetSeconds, *loss, *seed, *replicas, *consensusF, *chaos); err != nil {
+			fatal(err)
+		}
+	}
+	if *federation {
+		ran = true
+		if err := runFederation(*fedClusters, *fedReplicas, *devices, *shards, *fedSeconds, *loss, *seed, *fedExport); err != nil {
 			fatal(err)
 		}
 	}
@@ -168,6 +191,35 @@ func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas,
 				res.RecordsLost, res.RecordsDuplicated, res.ChainsIdentical)
 		}
 		fmt.Println("  chaos audit: PASS (0 lost, 0 duplicated, chains byte-identical)")
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFederation(clusters, replicas, devices, shards, seconds int, loss float64, seed uint64, exportDir string) error {
+	reg := telemetry.NewRegistry()
+	res, err := core.RunFederation(core.FederationConfig{
+		Clusters:  clusters,
+		Replicas:  replicas,
+		Devices:   devices,
+		Shards:    shards,
+		Seconds:   seconds,
+		LossRate:  loss,
+		Seed:      seed,
+		ExportDir: exportDir,
+		Registry:  reg,
+	})
+	if err != nil {
+		return err
+	}
+	core.WriteFederation(os.Stdout, res)
+	if res.RecordsLost != 0 || res.RecordsDuplicated != 0 || !res.ChainsIdentical || !res.AnchorsVerified {
+		return fmt.Errorf("federation audit FAILED: %d lost, %d duplicated, chains identical: %v, anchors verified: %v",
+			res.RecordsLost, res.RecordsDuplicated, res.ChainsIdentical, res.AnchorsVerified)
+	}
+	fmt.Println("  federation audit: PASS (0 lost, 0 duplicated, every chain anchored)")
+	if exportDir != "" {
+		fmt.Printf("  chains written to %s — verify with chainctl anchors\n", exportDir)
 	}
 	fmt.Println()
 	return nil

@@ -66,6 +66,28 @@ type ReplicaSetConfig = core.ReplicaSetConfig
 // machinery.
 type ReplicaSet = core.ReplicaSet
 
+// Cluster runs a set of aggregators as one consensus-replicated tier; it is
+// the reusable building block Federation instantiates per neighborhood.
+// ReplicaSet remains as its single-cluster alias.
+type Cluster = core.Cluster
+
+// ClusterConfig tunes one Cluster; setting ID scopes its instruments under
+// "fed.<ID>.*" when many clusters share a telemetry registry.
+type ClusterConfig = core.ClusterConfig
+
+// FederationConfig parameterizes the federated two-tier scenario: Clusters
+// neighborhood clusters (each a full replicated consensus tier sealing its
+// own chain) partitioning Devices devices, cross-cluster roaming waves
+// carrying acknowledged-sequence watermarks over the inter-cluster mesh, a
+// mid-run cluster-leader crash, and a regional super-chain anchoring every
+// neighborhood chain's block roots.
+type FederationConfig = core.FederationConfig
+
+// FederationResult is the federated scenario outcome, including the
+// federation-wide zero-loss/zero-duplication audit and the anchor-inclusion
+// verification verdict.
+type FederationResult = core.FederationResult
+
 // Fig5Result is the decentralized-vs-centralized metering outcome (paper
 // Fig. 5).
 type Fig5Result = core.Fig5Result
@@ -117,6 +139,15 @@ func RunFraud(p Params, honest, tampered time.Duration) (FraudResult, error) {
 // out-of-order buffered tails, roaming and membership churn, verifying
 // every window against the feeder-head measurement.
 func RunFleet(cfg FleetConfig) (FleetResult, error) { return core.RunFleet(cfg) }
+
+// RunFederation drives the federated two-tier topology end to end — N
+// neighborhood clusters, cross-cluster roaming waves, a leader crash and
+// recovery, per-boundary anchoring onto the regional super-chain — and
+// audits zero record loss and duplication across the union of every
+// neighborhood chain.
+func RunFederation(cfg FederationConfig) (FederationResult, error) {
+	return core.RunFederation(cfg)
+}
 
 // DefaultESP32Load returns a load shaped like the paper's Sparkfun ESP32
 // Thing devices (~45 mA idle, ~120 mA transmit bursts every 100 ms).

@@ -1,0 +1,183 @@
+package blockchain
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// sealedChain builds a neighborhood chain with n blocks of one record each.
+func sealedChain(t *testing.T, id string, n int) *Chain {
+	t.Helper()
+	auth := NewAuthority()
+	signer, err := NewSigner(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := auth.Admit(id, signer.Public()); err != nil {
+		t.Fatal(err)
+	}
+	c := NewChain(auth)
+	at := time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		rec := Record{DeviceID: "dev-1", Seq: uint64(i + 1), HomeAggregator: id, Timestamp: at}
+		if _, err := c.Seal(signer, at.Add(time.Duration(i)*time.Second), []Record{rec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// anchorChainFor seals the given anchors onto a fresh regional chain, one
+// block per anchor.
+func anchorChainFor(t *testing.T, anchors ...AnchorRecord) *Chain {
+	t.Helper()
+	auth := NewAuthority()
+	signer, err := NewSigner("region-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := auth.Admit("region-0", signer.Public()); err != nil {
+		t.Fatal(err)
+	}
+	c := NewChain(auth)
+	for i, a := range anchors {
+		if _, err := c.Seal(signer, a.SealedAt.Add(time.Duration(i)*time.Millisecond), []Record{a.Record()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func anchorAt(c *Chain, clusterID string, at time.Time) AnchorRecord {
+	return AnchorRecord{
+		ClusterID: clusterID,
+		Height:    uint64(c.Length()),
+		Root:      c.Head().Hash(),
+		SealedAt:  at,
+	}
+}
+
+func TestAnchorRecordRoundTrip(t *testing.T) {
+	at := time.Date(2020, 4, 29, 12, 0, 0, 0, time.UTC)
+	a := AnchorRecord{ClusterID: "nb03", Height: 17, SealedAt: at}
+	for i := range a.Root {
+		a.Root[i] = byte(i)
+	}
+	rec := a.Record()
+	if !IsAnchorRecord(rec) {
+		t.Fatalf("anchor record not recognized: %+v", rec)
+	}
+	if IsAnchorRecord(Record{DeviceID: "dev-1", HomeAggregator: "agg-0"}) {
+		t.Fatal("consumption record misidentified as anchor")
+	}
+	got, err := AnchorFromRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, a)
+	}
+
+	// The record encoding must stay injective: anchors survive the
+	// canonical marshal that Merkle leaves and the chain file use.
+	buf := rec.AppendMarshal(nil)
+	back, err := UnmarshalRecord(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := AnchorFromRecord(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != a {
+		t.Fatalf("marshal round trip mismatch: %+v", got2)
+	}
+}
+
+func TestAnchorFromRecordRejectsMalformed(t *testing.T) {
+	at := time.Now().UTC()
+	good := AnchorRecord{ClusterID: "nb00", Height: 1, SealedAt: at}.Record()
+	cases := map[string]Record{
+		"not an anchor": {DeviceID: "nb00", Seq: 1, HomeAggregator: "agg-0"},
+		"zero height":   {DeviceID: "nb00", Seq: 0, HomeAggregator: AnchorHome, ReportedVia: good.ReportedVia},
+		"empty cluster": {DeviceID: "", Seq: 1, HomeAggregator: AnchorHome, ReportedVia: good.ReportedVia},
+		"bad hex":       {DeviceID: "nb00", Seq: 1, HomeAggregator: AnchorHome, ReportedVia: "zz" + good.ReportedVia[2:]},
+		"short root":    {DeviceID: "nb00", Seq: 1, HomeAggregator: AnchorHome, ReportedVia: good.ReportedVia[:10]},
+	}
+	for name, rec := range cases {
+		if _, err := AnchorFromRecord(rec); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+}
+
+func TestVerifyAnchorInclusion(t *testing.T) {
+	at := time.Date(2020, 4, 29, 12, 0, 0, 0, time.UTC)
+	nb := sealedChain(t, "nb00-agg-0", 3)
+
+	// Anchors at heights 2 and 3 (head covered): verifies.
+	midRoot := func() Hash {
+		b, err := nb.Block(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Hash()
+	}()
+	mid := AnchorRecord{ClusterID: "nb00", Height: 2, Root: midRoot, SealedAt: at}
+	head := anchorAt(nb, "nb00", at.Add(time.Second))
+	anchor := anchorChainFor(t, mid, head)
+	if _, err := anchor.Verify(); err != nil {
+		t.Fatalf("anchor chain does not verify: %v", err)
+	}
+	if err := VerifyAnchorInclusion(anchor, "nb00", nb); err != nil {
+		t.Fatalf("inclusion: %v", err)
+	}
+
+	// Unknown cluster: loud error.
+	if err := VerifyAnchorInclusion(anchor, "nb99", nb); err == nil {
+		t.Fatal("unknown cluster verified")
+	}
+
+	// Head not anchored: a block sealed after the last commitment fails.
+	longer := sealedChain(t, "nb00-agg-0", 3)
+	onlyMid := anchorChainFor(t, AnchorRecord{ClusterID: "nb00", Height: 2,
+		Root: func() Hash { b, _ := longer.Block(1); return b.Hash() }(), SealedAt: at})
+	if err := VerifyAnchorInclusion(onlyMid, "nb00", longer); err == nil ||
+		!strings.Contains(err.Error(), "head not anchored") {
+		t.Fatalf("want head-not-anchored error, got %v", err)
+	}
+
+	// Root mismatch: a diverged neighborhood chain is caught (different
+	// producer -> different header hashes at every height).
+	other := sealedChain(t, "nb00-agg-1", 3)
+	if err := VerifyAnchorInclusion(anchor, "nb00", other); err == nil ||
+		!strings.Contains(err.Error(), "root mismatch") {
+		t.Fatalf("want root-mismatch error, got %v", err)
+	}
+
+	// Anchored height beyond the chain: truncation is caught.
+	short := sealedChain(t, "nb00-agg-0", 1)
+	if err := VerifyAnchorInclusion(anchor, "nb00", short); err == nil {
+		t.Fatal("truncated chain verified")
+	}
+}
+
+func TestAnchorsRejectForeignRecords(t *testing.T) {
+	auth := NewAuthority()
+	signer, err := NewSigner("region-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := auth.Admit("region-0", signer.Public()); err != nil {
+		t.Fatal(err)
+	}
+	c := NewChain(auth)
+	rec := Record{DeviceID: "dev-1", Seq: 1, HomeAggregator: "agg-0", Timestamp: time.Now().UTC()}
+	if _, err := c.Seal(signer, time.Now().UTC(), []Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Anchors(c); err == nil {
+		t.Fatal("super-chain with a consumption record decoded without error")
+	}
+}

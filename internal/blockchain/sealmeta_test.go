@@ -1,0 +1,113 @@
+package blockchain
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testSealMeta(t testing.TB) (Header, Signature) {
+	t.Helper()
+	h := Header{
+		Index:     7,
+		Timestamp: time.Date(2020, 4, 29, 10, 0, 0, 123456789, time.UTC),
+		Producer:  "agg-3",
+	}
+	for i := range h.PrevHash {
+		h.PrevHash[i] = byte(i)
+		h.MerkleRoot[i] = byte(255 - i)
+	}
+	return h, Signature{R: big.NewInt(0xdeadbeef), S: big.NewInt(0x1337)}
+}
+
+func TestSealMetaRoundTrip(t *testing.T) {
+	h, sig := testSealMeta(t)
+	b, err := EncodeSealMeta(h, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, sig2, err := DecodeSealMeta(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h {
+		t.Fatalf("header round trip:\n got %+v\nwant %+v", h2, h)
+	}
+	if sig2.R.Cmp(sig.R) != 0 || sig2.S.Cmp(sig.S) != 0 {
+		t.Fatalf("signature round trip: got (%v, %v)", sig2.R, sig2.S)
+	}
+}
+
+func TestEncodeSealMetaRequiresSignature(t *testing.T) {
+	h, sig := testSealMeta(t)
+	if _, err := EncodeSealMeta(h, Signature{R: sig.R}); err == nil {
+		t.Fatal("nil S encoded")
+	}
+	if _, err := EncodeSealMeta(h, Signature{S: sig.S}); err == nil {
+		t.Fatal("nil R encoded")
+	}
+}
+
+// TestDecodeSealMetaRejectsCorruptInputs drives every malformed-blob path:
+// the consensus layer agrees on these bytes verbatim, so a corrupt blob
+// must fail loudly at decode, never produce a half-valid header that a
+// replica would try to import.
+func TestDecodeSealMetaRejectsCorruptInputs(t *testing.T) {
+	h, sig := testSealMeta(t)
+	valid, err := EncodeSealMeta(h, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"empty":              "",
+		"not json":           "not json at all",
+		"truncated":          string(valid[:len(valid)/2]),
+		"wrong types":        `{"index":"seven"}`,
+		"bad prev hash hex":  `{"prev_hash":"zz","merkle_root":"","sig_r":"1","sig_s":"1"}`,
+		"short prev hash":    `{"prev_hash":"abcd","merkle_root":"","sig_r":"1","sig_s":"1"}`,
+		"bad merkle hex":     strings.Replace(string(valid), `"merkle_root":"`, `"merkle_root":"zz`, 1),
+		"empty sig r":        strings.Replace(string(valid), `"sig_r":"deadbeef"`, `"sig_r":""`, 1),
+		"non-hex sig s":      strings.Replace(string(valid), `"sig_s":"1337"`, `"sig_s":"quux"`, 1),
+		"missing signatures": `{"index":1,"prev_hash":"","merkle_root":"","timestamp_ns":0,"producer":"p"}`,
+	}
+	for name, in := range cases {
+		if _, _, err := DecodeSealMeta([]byte(in)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// FuzzDecodeSealMeta asserts decode never panics on arbitrary bytes, and
+// that anything it accepts re-encodes to an equivalent blob (no lossy
+// accepts: a decoded header/signature must survive the agree-and-import
+// round trip byte-equivalently).
+func FuzzDecodeSealMeta(f *testing.F) {
+	h, sig := testSealMeta(f)
+	valid, err := EncodeSealMeta(h, sig)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"sig_r":"-ff","sig_s":"0"}`))
+	f.Add([]byte(`{"prev_hash":"zz","sig_r":"1","sig_s":"1"}`))
+	f.Add([]byte("not json"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, sig, err := DecodeSealMeta(b)
+		if err != nil {
+			return
+		}
+		blob, err := EncodeSealMeta(h, sig)
+		if err != nil {
+			t.Fatalf("decoded meta does not re-encode: %v", err)
+		}
+		h2, sig2, err := DecodeSealMeta(blob)
+		if err != nil {
+			t.Fatalf("re-encoded meta does not decode: %v", err)
+		}
+		if h2 != h || sig2.R.Cmp(sig.R) != 0 || sig2.S.Cmp(sig.S) != 0 {
+			t.Fatalf("lossy round trip:\n got %+v %v %v\nwant %+v %v %v", h2, sig2.R, sig2.S, h, sig.R, sig.S)
+		}
+	})
+}

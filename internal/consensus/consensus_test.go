@@ -2,6 +2,7 @@ package consensus
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -49,6 +50,25 @@ func TestClusterSizeValidation(t *testing.T) {
 	}
 	if _, err := NewCluster(env, []string{"a", "b", "c", "d"}, 1, time.Millisecond); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestClusterRejectsOversizedMembership pins the 64-member cap: vote
+// bookkeeping is a uint64 bitmask, so a 65th replica must be refused loudly
+// at construction — a silent wrap would alias two members onto one vote bit
+// and corrupt every quorum count.
+func TestClusterRejectsOversizedMembership(t *testing.T) {
+	env := sim.NewEnv(1)
+	ids := make([]string, 65)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("rep%02d", i)
+	}
+	_, err := NewCluster(env, ids, 1, time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "64-member limit") {
+		t.Fatalf("65 replicas: want the 64-member limit error, got %v", err)
+	}
+	if _, err := NewCluster(env, ids[:64], 1, time.Millisecond); err != nil {
+		t.Fatalf("exactly 64 replicas must construct: %v", err)
 	}
 }
 

@@ -1,0 +1,892 @@
+// Federated two-tier topology: N neighborhood clusters — each a full
+// replicated tier (clusterRig: mesh, authority, replica aggregators,
+// consensus-sealed chain) — joined by an inter-cluster backhaul mesh and a
+// regional super-chain that anchors every neighborhood chain's block roots.
+// This is the ROADMAP's "hierarchical / federated clusters" path from 20k
+// devices on one box to hundreds of thousands: device traffic, windowing
+// and sealing stay cluster-local (the per-report hot path is untouched);
+// only chain-head commitments and roaming handoffs cross the federation
+// boundary.
+//
+// Cross-cluster roaming reuses the PR 4 guest/watermark machinery end to
+// end: a device handed from cluster A to cluster B carries its
+// acknowledged-sequence watermark in a protocol.HandoffWatermark over the
+// inter-cluster mesh; B admits it as a home-down guest (recorded locally,
+// never forwarded across the boundary) seeded at that watermark, and the
+// homeward leg syncs B's watermark back onto the master membership before
+// B releases the visit. The federation-wide ledger audit therefore proves
+// zero loss and zero duplication across every neighborhood chain at once.
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decentmeter/internal/backhaul"
+	"decentmeter/internal/blockchain"
+	"decentmeter/internal/protocol"
+	"decentmeter/internal/sim"
+	"decentmeter/internal/telemetry"
+	"decentmeter/internal/units"
+)
+
+// FederationConfig parameterizes a federated run.
+type FederationConfig struct {
+	// Clusters is the neighborhood count (default 10).
+	Clusters int
+	// Replicas per cluster (default 4; must allow F >= 1 for the
+	// leader-crash choreography).
+	Replicas int
+	// F is each cluster's consensus fault tolerance (default
+	// (Replicas-1)/3).
+	F int
+	// Devices is the federation-wide population, partitioned evenly
+	// across clusters (default 200000).
+	Devices int
+	// Shards is every aggregator's ingest shard count (default 8).
+	Shards int
+	// Producers is the number of concurrent report feeders (default 8).
+	Producers int
+	// Seconds is the simulated duration (default and minimum 4: wave out
+	// at 1, leader crash at 1.5, recovery at 3, wave home at Seconds-1).
+	Seconds int
+	// LossRate is the per-report uplink/ack loss probability (default
+	// 0.01 each way).
+	LossRate float64
+	// WaveFraction of each cluster's devices roams to the next cluster in
+	// the cross-cluster wave (default 0.05).
+	WaveFraction float64
+	// PerDeviceMilliamps is each device's constant draw (default 5).
+	PerDeviceMilliamps float64
+	// Seed drives the run deterministically (default 1).
+	Seed uint64
+	// MaxPendingRecords caps each aggregator's seal backlog (0 = default).
+	MaxPendingRecords int
+	// PipelineDepth is each cluster's consensus-seal pipeline window
+	// (0 = the Cluster default of 4).
+	PipelineDepth int
+	// ExportDir, when set, receives every neighborhood chain
+	// ("<cluster>.chain") and the regional super-chain ("anchor.chain")
+	// for offline verification with chainctl.
+	ExportDir string
+	// Registry receives every tier's instruments — per-cluster
+	// orchestration and consensus under "fed.<cluster>.*", plus the
+	// federation's own "fed.handoffs" / "fed.handbacks" /
+	// "fed.anchor_blocks"; nil disables instrumentation.
+	Registry *telemetry.Registry
+	// Tracer samples report journeys; nil disables it.
+	Tracer *telemetry.Tracer
+}
+
+func (c *FederationConfig) defaults() {
+	if c.Clusters <= 0 {
+		c.Clusters = 10
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 4
+	}
+	if c.F <= 0 {
+		c.F = (c.Replicas - 1) / 3
+	}
+	if c.Devices <= 0 {
+		c.Devices = 200000
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Producers <= 0 {
+		c.Producers = 8
+	}
+	if c.Seconds <= 0 {
+		c.Seconds = 4
+	}
+	if c.LossRate < 0 {
+		c.LossRate = 0
+	} else if c.LossRate == 0 {
+		c.LossRate = 0.01
+	}
+	if c.WaveFraction <= 0 {
+		c.WaveFraction = 0.05
+	}
+	if c.PerDeviceMilliamps <= 0 {
+		c.PerDeviceMilliamps = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// FederationClusterSummary is one neighborhood's slice of the result.
+type FederationClusterSummary struct {
+	ID              string
+	Devices         int
+	Blocks          int
+	Records         int
+	ViewChanges     uint64
+	WindowsFlagged  int
+	ChainsIdentical bool
+}
+
+// FederationResult is the outcome of a federated run.
+type FederationResult struct {
+	Clusters, ReplicasPerCluster, Devices, Seconds int
+
+	ReportsDelivered     uint64
+	MeasurementsAccepted uint64
+	UplinksLost          uint64
+	AcksLost             uint64
+
+	// Handoffs counts completed outbound cross-cluster admissions;
+	// Handbacks counts completed homeward legs; Refusals counts
+	// admissions the receiving cluster declined (the device stays put).
+	Handoffs, Handbacks, HandoffRefusals int
+
+	Crashes, Recoveries, DevicesRehomed int
+	ViewChanges                         uint64
+
+	WindowsClosed, WindowsOK, WindowsFlagged int
+	BlocksSealed                             uint64
+	RecordsSealed                            int
+
+	// AnchorBlocks / AnchorRecords are the super-chain's size; every
+	// neighborhood head must be covered by the final anchor.
+	AnchorBlocks, AnchorRecords int
+	// AnchorsVerified is true when every neighborhood chain's roots are
+	// included in the anchor chain and the anchor chain itself verifies.
+	AnchorsVerified bool
+
+	// RecordsLost / RecordsDuplicated audit per-device seq contiguity and
+	// uniqueness across every neighborhood chain at once.
+	RecordsLost       int
+	RecordsDuplicated int
+	ChainsIdentical   bool
+	ImportErrors      int
+
+	IngestElapsed time.Duration
+	IngestPerSec  float64
+
+	PerCluster []FederationClusterSummary
+}
+
+// federation owns the two-tier wiring: cluster rigs, the inter-cluster
+// mesh carrying handoff watermarks, and the regional anchor chain.
+type federation struct {
+	env       *sim.Env
+	cfg       FederationConfig
+	epoch     time.Time
+	perDevice units.Current
+
+	mesh *backhaul.Mesh // tier-2: cluster <-> cluster
+	rigs []*clusterRig
+
+	anchorSigner *blockchain.Signer
+	anchorChain  *blockchain.Chain
+	lastAnchor   []uint64 // per-cluster anchored height
+
+	// steer is the driver hook: the device now reports to rigs[cluster]
+	// .reps[rep]. Fired when a handoff (either leg) completes.
+	steer func(devID string, cluster, rep int)
+
+	guestRR   []int // per-cluster round-robin replica pick for admissions
+	handoffs  int
+	handbacks int
+	refused   int
+
+	mHandoffs  *telemetry.Counter
+	mHandbacks *telemetry.Counter
+	mAnchors   *telemetry.Counter
+}
+
+// clusterName names neighborhood i.
+func clusterName(i int) string { return fmt.Sprintf("nb%02d", i) }
+
+// newFederation wires cfg.Clusters rigs (each sized for devicesPer
+// devices) plus the inter-cluster mesh and the anchor chain onto env.
+func newFederation(env *sim.Env, cfg FederationConfig, devicesPer int,
+	onAck func(devID string, seq uint64)) (*federation, error) {
+	f := &federation{
+		env:        env,
+		cfg:        cfg,
+		epoch:      time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC),
+		perDevice:  units.MilliampsToCurrent(cfg.PerDeviceMilliamps),
+		mesh:       backhaul.NewMesh(env, time.Millisecond),
+		rigs:       make([]*clusterRig, cfg.Clusters),
+		guestRR:    make([]int, cfg.Clusters),
+		lastAnchor: make([]uint64, cfg.Clusters),
+	}
+	for i := range f.rigs {
+		id := clusterName(i)
+		rig, err := buildClusterRig(env, clusterRigConfig{
+			ID:        id,
+			AggPrefix: id + "-agg",
+			Replicas:  cfg.Replicas, F: cfg.F,
+			Devices: devicesPer, Shards: cfg.Shards,
+			MaxPendingRecords: cfg.MaxPendingRecords,
+			PipelineDepth:     cfg.PipelineDepth,
+			RebalanceMaxMoves: 64,
+			PerDevice:         f.perDevice,
+			Seed:              cfg.Seed + uint64(i+1)*0x517cc1b727220a95,
+			Epoch:             f.epoch,
+			Registry:          cfg.Registry, Tracer: cfg.Tracer,
+		}, onAck)
+		if err != nil {
+			return nil, err
+		}
+		f.rigs[i] = rig
+		ci := i
+		if err := f.mesh.Join(id, func(from string, msg protocol.Message) {
+			f.handleFed(ci, from, msg)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// The regional super-chain has its own authority: neighborhood
+	// signers cannot seal anchors, the regional signer cannot seal
+	// neighborhood blocks.
+	anchorAuth := blockchain.NewAuthority()
+	signer, err := blockchain.NewSigner("region-0")
+	if err != nil {
+		return nil, err
+	}
+	if err := anchorAuth.Admit("region-0", signer.Public()); err != nil {
+		return nil, err
+	}
+	f.anchorSigner = signer
+	f.anchorChain = blockchain.NewChain(anchorAuth)
+
+	if reg := cfg.Registry; reg != nil {
+		f.mHandoffs = reg.Counter("fed.handoffs")
+		f.mHandbacks = reg.Counter("fed.handbacks")
+		f.mAnchors = reg.Counter("fed.anchor_blocks")
+		reg.Gauge("fed.clusters").Set(float64(cfg.Clusters))
+	}
+	return f, nil
+}
+
+// handoff starts the outbound leg: the serving cluster reads the device's
+// acknowledged-sequence watermark off its membership and sends it to the
+// target cluster over the inter-cluster mesh.
+func (f *federation) handoff(devID string, fromCluster, fromRep, toCluster int, homeAggID string) {
+	from := f.rigs[fromCluster]
+	mem, ok := from.reps[fromRep].agg.Member(devID)
+	if !ok {
+		return
+	}
+	_ = f.mesh.Send(from.id, f.rigs[toCluster].id, protocol.HandoffWatermark{
+		DeviceID:       devID,
+		HomeAggregator: homeAggID,
+		FromCluster:    from.id,
+		ToCluster:      f.rigs[toCluster].id,
+		LastSeq:        mem.LastSeq,
+	})
+}
+
+// handback starts the homeward leg: the visited cluster hands the device
+// (and its watermark) back to its home cluster.
+func (f *federation) handback(devID string, visitCluster, visitRep, homeCluster int, homeAggID string) {
+	visit := f.rigs[visitCluster]
+	mem, ok := visit.reps[visitRep].agg.Member(devID)
+	if !ok {
+		return
+	}
+	_ = f.mesh.Send(visit.id, f.rigs[homeCluster].id, protocol.HandoffWatermark{
+		DeviceID:       devID,
+		HomeAggregator: homeAggID,
+		FromCluster:    visit.id,
+		ToCluster:      f.rigs[homeCluster].id,
+		LastSeq:        mem.LastSeq,
+		Return:         true,
+	})
+}
+
+// servingRep finds the live replica holding a membership for devID.
+func (rig *clusterRig) servingRep(devID string) (int, bool) {
+	for r := range rig.reps {
+		if rep, ok := rig.rs.Replica(rig.reps[r].id); ok && rep.Crashed() {
+			continue
+		}
+		if _, ok := rig.reps[r].agg.Member(devID); ok {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// handleFed processes inter-cluster traffic arriving at cluster ci.
+func (f *federation) handleFed(ci int, from string, msg protocol.Message) {
+	rig := f.rigs[ci]
+	switch m := msg.(type) {
+	case protocol.HandoffWatermark:
+		if m.Return {
+			// Homeward leg: sync the visited cluster's watermark onto the
+			// master membership (nothing it acknowledged may be stored
+			// again), steer the device home, tell the host to release.
+			r, ok := rig.servingRep(m.DeviceID)
+			accepted := ok
+			if ok {
+				rig.reps[r].agg.SyncSeq(m.DeviceID, m.LastSeq)
+				if f.steer != nil {
+					f.steer(m.DeviceID, ci, r)
+				}
+			}
+			_ = f.mesh.Send(rig.id, m.FromCluster, protocol.HandoffAck{
+				DeviceID: m.DeviceID, FromCluster: m.FromCluster,
+				ToCluster: rig.id, Accepted: accepted, Return: true,
+			})
+			return
+		}
+		// Outbound leg: admit as a guest seeded at the carried watermark.
+		// The home aggregator lives in another cluster, off this mesh, so
+		// the guest is marked home-down: its data is recorded where it is
+		// acknowledged, exactly the PR 4 crash-roaming rule.
+		r, accepted := f.admitGuest(ci, m)
+		if accepted && f.steer != nil {
+			f.steer(m.DeviceID, ci, r)
+		}
+		_ = f.mesh.Send(rig.id, m.FromCluster, protocol.HandoffAck{
+			DeviceID: m.DeviceID, FromCluster: m.FromCluster,
+			ToCluster: rig.id, Accepted: accepted,
+		})
+	case protocol.HandoffAck:
+		if !m.Accepted {
+			f.refused++
+			return
+		}
+		if m.Return {
+			// The home cluster holds the device again: release the
+			// temporary membership that served the visit.
+			if r, ok := rig.servingRep(m.DeviceID); ok {
+				rig.reps[r].agg.ReleaseTemporary(m.DeviceID)
+			}
+			f.handbacks++
+			if f.mHandbacks != nil {
+				f.mHandbacks.Inc()
+			}
+			return
+		}
+		f.handoffs++
+		if f.mHandoffs != nil {
+			f.mHandoffs.Inc()
+		}
+	}
+}
+
+// admitGuest places an inbound roamer on a live replica (round-robin).
+func (f *federation) admitGuest(ci int, m protocol.HandoffWatermark) (int, bool) {
+	rig := f.rigs[ci]
+	n := len(rig.reps)
+	for try := 0; try < n; try++ {
+		r := f.guestRR[ci] % n
+		f.guestRR[ci]++
+		if rep, ok := rig.rs.Replica(rig.reps[r].id); ok && rep.Crashed() {
+			continue
+		}
+		agg := rig.reps[r].agg
+		if err := agg.AdmitGuest(m.DeviceID, m.HomeAggregator, false, m.LastSeq); err != nil {
+			continue
+		}
+		agg.SetHomeDown(m.DeviceID, true)
+		return r, true
+	}
+	return 0, false
+}
+
+// anchorNow commits every grown neighborhood chain's head (height + root)
+// into one anchor block on the regional super-chain.
+func (f *federation) anchorNow() error {
+	var recs []blockchain.Record
+	at := f.epoch.Add(f.env.Now())
+	for i, rig := range f.rigs {
+		c := rig.chain()
+		h := uint64(c.Length())
+		if h == 0 || h == f.lastAnchor[i] {
+			continue
+		}
+		recs = append(recs, blockchain.AnchorRecord{
+			ClusterID: rig.id, Height: h, Root: c.Head().Hash(), SealedAt: at,
+		}.Record())
+		f.lastAnchor[i] = h
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	if _, err := f.anchorChain.Seal(f.anchorSigner, at, recs); err != nil {
+		return fmt.Errorf("core: anchor seal: %w", err)
+	}
+	if f.mAnchors != nil {
+		f.mAnchors.Inc()
+	}
+	return nil
+}
+
+// verifyAnchors checks the super-chain and every neighborhood chain's
+// inclusion in it.
+func (f *federation) verifyAnchors() error {
+	if _, err := f.anchorChain.Verify(); err != nil {
+		return fmt.Errorf("core: anchor chain: %w", err)
+	}
+	for _, rig := range f.rigs {
+		if err := blockchain.VerifyAnchorInclusion(f.anchorChain, rig.id, rig.chain()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportChains writes every neighborhood chain and the super-chain to dir.
+func (f *federation) exportChains(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, rig := range f.rigs {
+		if err := rig.chain().WriteFile(filepath.Join(dir, rig.id+".chain")); err != nil {
+			return err
+		}
+	}
+	return f.anchorChain.WriteFile(filepath.Join(dir, "anchor.chain"))
+}
+
+// fedDevice is one synthetic reporter in the federated scenario.
+type fedDevice struct {
+	id                   string
+	homeCluster, homeRep int
+	cluster, rep         int  // currently serving (cluster, replica)
+	guest                bool // intra-cluster failover guest (draw stayed put)
+	away                 bool // visiting another cluster
+	seq, lastAck         uint64
+	unacked              []protocol.Measurement
+}
+
+// RunFederation drives the federated two-tier topology end to end:
+// cfg.Clusters neighborhood clusters partition cfg.Devices devices, a
+// cross-cluster roaming wave hands WaveFraction of every cluster's fleet
+// to its neighbor (watermarks over the inter-cluster mesh), cluster 0's
+// consensus leader crashes mid-window and recovers, the wave returns home,
+// and every window boundary anchors each neighborhood chain's head on the
+// regional super-chain. The run ends with the federation-wide ledger audit
+// and anchor-inclusion verification.
+func RunFederation(cfg FederationConfig) (FederationResult, error) {
+	cfg.defaults()
+	res := FederationResult{
+		Clusters: cfg.Clusters, ReplicasPerCluster: cfg.Replicas,
+		Seconds: cfg.Seconds,
+	}
+	if cfg.Clusters < 2 {
+		return res, fmt.Errorf("core: federation needs at least 2 clusters, got %d", cfg.Clusters)
+	}
+	if cfg.Seconds < 4 {
+		return res, fmt.Errorf("core: federation needs at least 4 seconds (wave out, crash, recover, wave home), got %d", cfg.Seconds)
+	}
+	if cfg.Replicas < 4 || cfg.F < 1 {
+		return res, fmt.Errorf("core: federation needs >= 4 replicas per cluster (F >= 1) for the leader-crash choreography")
+	}
+	perCluster := cfg.Devices / cfg.Clusters
+	if perCluster < 4*cfg.Replicas {
+		return res, fmt.Errorf("core: %d devices cannot spread over %d clusters of %d replicas",
+			cfg.Devices, cfg.Clusters, cfg.Replicas)
+	}
+	total := perCluster * cfg.Clusters
+	res.Devices = total
+
+	env := sim.NewEnv(cfg.Seed)
+	devices := make([]*fedDevice, total)
+	byID := make(map[string]*fedDevice, total)
+
+	f, err := newFederation(env, cfg, perCluster, func(devID string, seq uint64) {
+		if d, ok := byID[devID]; ok && seq > d.lastAck {
+			d.lastAck = seq
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	perDevice := f.perDevice
+
+	// Cross-cluster steer: the federation completed a handoff leg — move
+	// the device's draw to the new serving feeder and retarget its
+	// reporting. Runs on the DES goroutine between reporting ticks.
+	f.steer = func(devID string, cluster, rep int) {
+		d, ok := byID[devID]
+		if !ok {
+			return
+		}
+		f.rigs[d.cluster].reps[d.rep].load.I -= perDevice
+		f.rigs[cluster].reps[rep].load.I += perDevice
+		d.cluster, d.rep = cluster, rep
+		d.guest = false
+		d.away = cluster != d.homeCluster
+	}
+
+	// Intra-cluster steers (failover, reclaim, rebalance) reuse the
+	// replicated-fleet rules, scoped to the rig that fired them. A steer
+	// for a device currently visiting another cluster is a stale-master
+	// rescue (its frozen home membership moved); the device itself —
+	// draw, reporting — stays where it roams.
+	for ci := range f.rigs {
+		ci := ci
+		rig := f.rigs[ci]
+		rig.rs.Steer = func(devID, aggID string) {
+			d, okD := byID[devID]
+			to, okT := rig.idx[aggID]
+			if !okD || !okT || d.cluster != ci {
+				return
+			}
+			src, _ := rig.rs.Replica(rig.reps[d.rep].id)
+			switch {
+			case src != nil && src.Crashed():
+				// Crash failover: the device keeps its outlet on the dead
+				// network's feeder; only its reporting moves.
+				d.guest = true
+			case d.guest:
+				// Recovery reclaim: back home, still on its own feeder.
+				d.guest = false
+			default:
+				// Live migration: the device moves draw and all.
+				rig.reps[d.rep].load.I -= perDevice
+				rig.reps[to].load.I += perDevice
+			}
+			d.rep = to
+		}
+	}
+
+	// Register the population: geographic partition into contiguous
+	// cluster blocks, round-robin across replicas within a cluster.
+	for i := range devices {
+		ci := i / perCluster
+		d := &fedDevice{
+			id:          fmt.Sprintf("fed-dev-%06d", i),
+			homeCluster: ci, homeRep: i % cfg.Replicas,
+			cluster: ci, rep: i % cfg.Replicas,
+		}
+		devices[i] = d
+		byID[d.id] = d
+		rig := f.rigs[ci]
+		rig.reps[d.rep].agg.HandleDeviceMessage(d.id, protocol.Register{DeviceID: d.id})
+		rig.reps[d.rep].load.I += perDevice
+	}
+	for ci, rig := range f.rigs {
+		admitted := 0
+		for r := range rig.reps {
+			admitted += len(rig.reps[r].agg.Members())
+		}
+		if admitted != perCluster {
+			return res, fmt.Errorf("core: cluster %d admitted %d of %d devices", ci, admitted, perCluster)
+		}
+	}
+
+	assign := make([][]int, cfg.Producers)
+	for i := range devices {
+		assign[i%cfg.Producers] = append(assign[i%cfg.Producers], i)
+	}
+	rngs := make([]*sim.RNG, cfg.Producers)
+	for p := range rngs {
+		rngs[p] = sim.NewRNG(cfg.Seed ^ uint64(p+1)*0x9e3779b97f4a7c15)
+	}
+
+	const (
+		waveOutSec = 1
+		crashSec   = 1
+		crashTick  = 5
+		// The sec-2 window must close and seal while the leader is dead —
+		// that is what forces the view change — so recovery waits for sec 3.
+		recoverSec = 3
+	)
+	waveBackSec := cfg.Seconds - 1
+	var crashedID string
+	start := env.Now()
+	var delivered, uplost, acklost atomic.Uint64
+
+	for sec := 0; sec < cfg.Seconds; sec++ {
+		// Window-boundary choreography (the previous second's ticks stop
+		// 1 ms short of the boundary, as in the replicated fleet driver).
+		if sec == recoverSec && crashedID != "" {
+			if err := f.rigs[0].rs.Recover(crashedID); err != nil {
+				return res, err
+			}
+		}
+		if sec == waveOutSec {
+			runFedWaveOut(cfg, f, devices, perCluster)
+			env.RunUntil(env.Now() + 10*time.Millisecond) // settle both mesh legs
+		}
+		if sec == waveBackSec {
+			runFedWaveBack(f, devices)
+			env.RunUntil(env.Now() + 10*time.Millisecond)
+		}
+		if sec > 0 {
+			if err := f.anchorNow(); err != nil {
+				return res, err
+			}
+		}
+		env.RunUntil(start + time.Duration(sec)*time.Second)
+		for tick := 0; tick < 10; tick++ {
+			if sec == crashSec && tick == crashTick {
+				crashedID = f.rigs[0].rs.LeaderID()
+				if err := f.rigs[0].rs.Crash(crashedID); err != nil {
+					return res, err
+				}
+				res.DevicesRehomed = len(f.rigs[0].rs.Migrations())
+			}
+			tickTime := f.epoch.Add(env.Now())
+			ingestStart := time.Now()
+			var wg sync.WaitGroup
+			for p := 0; p < cfg.Producers; p++ {
+				if len(assign[p]) == 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					rng := rngs[p]
+					for _, di := range assign[p] {
+						d := devices[di]
+						d.seq++
+						m := protocol.Measurement{
+							Seq:       d.seq,
+							Timestamp: tickTime,
+							Interval:  100 * time.Millisecond,
+							Current:   perDevice,
+							Voltage:   5 * units.Volt,
+						}
+						// The unacked tail retransmits marked buffered: it
+						// describes past intervals and must stay out of
+						// the live window sums wherever it lands — even in
+						// another cluster after a handoff.
+						batch := make([]protocol.Measurement, 0, 1+len(d.unacked))
+						batch = append(batch, m)
+						for _, u := range d.unacked {
+							u.Buffered = true
+							batch = append(batch, u)
+						}
+						d.unacked = append(d.unacked, m)
+						if rng.Bool(cfg.LossRate) {
+							uplost.Add(1)
+							continue // uplink lost: everything stays unacked
+						}
+						if cfg.Tracer.Sample() {
+							cfg.Tracer.Begin(d.id)
+						}
+						f.rigs[d.cluster].reps[d.rep].agg.HandleDeviceMessage(d.id,
+							protocol.Report{DeviceID: d.id, Measurements: batch})
+						delivered.Add(1)
+						if rng.Bool(cfg.LossRate) {
+							acklost.Add(1)
+							continue // ack lost: the tail retransmits; dedup absorbs it
+						}
+						keep := d.unacked[:0]
+						for _, u := range d.unacked {
+							if u.Seq > d.lastAck {
+								keep = append(keep, u)
+							}
+						}
+						d.unacked = keep
+					}
+				}(p)
+			}
+			wg.Wait()
+			res.IngestElapsed += time.Since(ingestStart)
+			deadline := start + time.Duration(sec)*time.Second + time.Duration(tick+1)*100*time.Millisecond
+			if tick == 9 {
+				deadline -= time.Millisecond // room for boundary choreography
+			}
+			env.RunUntil(deadline)
+		}
+	}
+	env.RunUntil(env.Now() + 101*time.Millisecond) // final closes + settle decides
+	if err := f.anchorNow(); err != nil {          // cover every head
+		return res, err
+	}
+	for _, rig := range f.rigs {
+		rig.stop()
+	}
+
+	res.ReportsDelivered = delivered.Load()
+	res.UplinksLost = uplost.Load()
+	res.AcksLost = acklost.Load()
+	res.Handoffs = f.handoffs
+	res.Handbacks = f.handbacks
+	res.HandoffRefusals = f.refused
+	res.ChainsIdentical = true
+	chains := make([]*blockchain.Chain, 0, len(f.rigs))
+	for _, rig := range f.rigs {
+		sum := FederationClusterSummary{ID: rig.id, ChainsIdentical: rig.rs.ChainsIdentical()}
+		for r := range rig.reps {
+			accepted, _, _ := rig.reps[r].agg.Stats()
+			res.MeasurementsAccepted += accepted
+			sum.Devices += len(rig.reps[r].agg.Members())
+			for _, w := range rig.reps[r].agg.Windows() {
+				res.WindowsClosed++
+				if w.Verdict.OK {
+					res.WindowsOK++
+				} else {
+					res.WindowsFlagged++
+					sum.WindowsFlagged++
+				}
+			}
+		}
+		sum.ViewChanges = rig.rs.CurrentView()
+		res.ViewChanges += sum.ViewChanges
+		res.Crashes += rig.rs.Crashes()
+		res.Recoveries += rig.rs.Recoveries()
+		res.ImportErrors += rig.rs.ImportErrors()
+		if !sum.ChainsIdentical {
+			res.ChainsIdentical = false
+		}
+		c := rig.chain()
+		sum.Blocks = c.Length()
+		sum.Records = c.TotalRecords()
+		res.BlocksSealed += uint64(sum.Blocks)
+		res.RecordsSealed += sum.Records
+		chains = append(chains, c)
+		res.PerCluster = append(res.PerCluster, sum)
+	}
+	res.AnchorBlocks = f.anchorChain.Length()
+	res.AnchorRecords = f.anchorChain.TotalRecords()
+
+	acked := make(map[string]uint64, len(devices))
+	for _, d := range devices {
+		acked[d.id] = d.lastAck
+	}
+	res.RecordsLost, res.RecordsDuplicated = auditFederation(chains, acked)
+	if err := f.verifyAnchors(); err == nil {
+		res.AnchorsVerified = true
+	} else {
+		return res, fmt.Errorf("core: federation anchor verification failed: %w", err)
+	}
+	if res.IngestElapsed > 0 {
+		res.IngestPerSec = float64(res.ReportsDelivered) / res.IngestElapsed.Seconds()
+	}
+	if cfg.ExportDir != "" {
+		if err := f.exportChains(cfg.ExportDir); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// runFedWaveOut hands WaveFraction of every cluster's at-home masters to
+// the next cluster around the ring.
+func runFedWaveOut(cfg FederationConfig, f *federation, devices []*fedDevice, perCluster int) {
+	want := int(cfg.WaveFraction * float64(perCluster))
+	if want < 1 {
+		want = 1
+	}
+	waved := make([]int, cfg.Clusters)
+	for _, d := range devices {
+		if waved[d.homeCluster] >= want {
+			continue
+		}
+		if d.away || d.guest || d.cluster != d.homeCluster || d.rep != d.homeRep {
+			continue
+		}
+		to := (d.homeCluster + 1) % cfg.Clusters
+		f.handoff(d.id, d.cluster, d.rep, to, f.rigs[d.homeCluster].reps[d.homeRep].id)
+		waved[d.homeCluster]++
+	}
+}
+
+// runFedWaveBack returns every visiting device to its home cluster.
+func runFedWaveBack(f *federation, devices []*fedDevice) {
+	for _, d := range devices {
+		if !d.away {
+			continue
+		}
+		f.handback(d.id, d.cluster, d.rep, d.homeCluster, f.rigs[d.homeCluster].reps[d.homeRep].id)
+	}
+}
+
+// auditFederation merges every neighborhood chain and audits per-device
+// sequence contiguity (gaps = lost) and uniqueness (repeats = duplicated)
+// federation-wide, up to each device's acknowledged watermark or its
+// highest sealed seq, whichever is larger. A device handed A -> B -> A
+// must therefore land exactly once per seq across the union of chains.
+func auditFederation(chains []*blockchain.Chain, acked map[string]uint64) (lost, dup int) {
+	seen := make(map[string][]uint64, len(acked))
+	for _, c := range chains {
+		for i := 0; i < c.Length(); i++ {
+			b, err := c.Block(i)
+			if err != nil {
+				continue
+			}
+			for _, r := range b.Records {
+				seen[r.DeviceID] = append(seen[r.DeviceID], r.Seq)
+			}
+		}
+	}
+	for dev, floor := range acked {
+		if len(seen[dev]) == 0 && floor > 0 {
+			lost += int(floor)
+		}
+	}
+	for dev, seqs := range seen {
+		sortUint64s(seqs)
+		max := acked[dev]
+		if n := seqs[len(seqs)-1]; n > max {
+			max = n
+		}
+		next := uint64(1)
+		for i, s := range seqs {
+			if i > 0 && s == seqs[i-1] {
+				dup++
+				continue
+			}
+			if s > next {
+				lost += int(s - next)
+			}
+			next = s + 1
+		}
+		if max >= next {
+			lost += int(max - next + 1)
+		}
+	}
+	return lost, dup
+}
+
+// sortUint64s sorts in place (sort.Slice without the interface allocs in
+// the 200k-device audit's hot loop).
+func sortUint64s(a []uint64) {
+	if len(a) < 2 {
+		return
+	}
+	// insertion sort: per-device slices are tens of elements, mostly
+	// already ordered (chains seal in seq order).
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// WriteFederation prints a federated run's result.
+func WriteFederation(w io.Writer, r FederationResult) {
+	fmt.Fprintf(w, "Federated fleet: %d clusters x %d replicas, %d devices, %d simulated seconds\n",
+		r.Clusters, r.ReplicasPerCluster, r.Devices, r.Seconds)
+	fmt.Fprintf(w, "  reports delivered:        %d (%.0f/s ingest; %d uplinks, %d acks lost)\n",
+		r.ReportsDelivered, r.IngestPerSec, r.UplinksLost, r.AcksLost)
+	fmt.Fprintf(w, "  measurements accepted:    %d\n", r.MeasurementsAccepted)
+	fmt.Fprintf(w, "  cross-cluster roaming:    %d handoffs out, %d handed back (%d refused)\n",
+		r.Handoffs, r.Handbacks, r.HandoffRefusals)
+	fmt.Fprintf(w, "  leader crash:             %d crash, %d recovery, %d devices rehomed, %d view changes\n",
+		r.Crashes, r.Recoveries, r.DevicesRehomed, r.ViewChanges)
+	fmt.Fprintf(w, "  windows:                  %d closed, %d OK, %d flagged\n",
+		r.WindowsClosed, r.WindowsOK, r.WindowsFlagged)
+	fmt.Fprintf(w, "  neighborhood chains:      %d blocks, %d records sealed (identical per cluster: %v, import errors: %d)\n",
+		r.BlocksSealed, r.RecordsSealed, r.ChainsIdentical, r.ImportErrors)
+	fmt.Fprintf(w, "  anchor super-chain:       %d blocks, %d anchors (inclusion verified: %v)\n",
+		r.AnchorBlocks, r.AnchorRecords, r.AnchorsVerified)
+	fmt.Fprintf(w, "  federation-wide audit:    %d lost, %d duplicated\n",
+		r.RecordsLost, r.RecordsDuplicated)
+	for _, c := range r.PerCluster {
+		fmt.Fprintf(w, "    %s: %5d devices, %3d blocks, %7d records, %d view changes, %d flagged\n",
+			c.ID, c.Devices, c.Blocks, c.Records, c.ViewChanges, c.WindowsFlagged)
+	}
+}

@@ -29,12 +29,10 @@ import (
 	"time"
 
 	"decentmeter/internal/aggregator"
-	"decentmeter/internal/backhaul"
 	"decentmeter/internal/blockchain"
 	"decentmeter/internal/protocol"
 	"decentmeter/internal/sensor"
 	"decentmeter/internal/sim"
-	"decentmeter/internal/tdma"
 	"decentmeter/internal/units"
 )
 
@@ -67,104 +65,32 @@ func runReplicatedFleet(cfg FleetConfig) (FleetResult, error) {
 	}
 
 	env := sim.NewEnv(cfg.Seed)
-	mesh := backhaul.NewMesh(env, time.Millisecond)
-	auth := blockchain.NewAuthority()
 	epoch := time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC)
 	perDevice := units.MilliampsToCurrent(cfg.PerDeviceMilliamps)
-
-	// Per-replica TDMA budget: 2x the even share, so survivors can absorb
-	// a crashed replica's fleet and the hot spot has room to overflow the
-	// high-water mark without running out of slots.
-	capPer := cfg.Devices / n * 2
-	pitch := (100 * time.Millisecond) / time.Duration(capPer+1)
-	if pitch < 5*time.Nanosecond {
-		pitch = 5 * time.Nanosecond
-	}
-	slots := tdma.Config{Superframe: 100 * time.Millisecond, SlotLen: pitch * 4 / 5, Guard: pitch / 5}
-	if slots.Guard <= 0 {
-		slots.Guard = time.Nanosecond
-		slots.SlotLen = pitch - time.Nanosecond
-	}
-
-	// Head-meter calibration: fleet-wide draw as the expected maximum
-	// keeps the INA219 calibration register in range on every replica.
-	maxExpected := units.Current(int64(perDevice) * int64(cfg.Devices))
-	shuntOhms := 0.04096 / (maxExpected.Amps() / 32768 * 60000)
 
 	devices := make([]*repFleetDevice, cfg.Devices)
 	byID := make(map[string]*repFleetDevice, cfg.Devices)
 
-	reps := make([]fleetReplica, n)
-	idx := make(map[string]int, n)
-	members := make([]ReplicaMember, 0, n)
-	for r := 0; r < n; r++ {
-		id := fmt.Sprintf("fleet-agg-%d", r)
-		idx[id] = r
-		load := &sensor.StaticLoad{V: 5 * units.Volt}
-		bus := sensor.NewBus()
-		ina := sensor.NewINA219(load, sensor.INA219Config{Seed: cfg.Seed ^ uint64(r+1), ShuntOhms: shuntOhms})
-		if err := bus.Attach(sensor.AddrINA219Default, ina); err != nil {
-			return res, err
+	rig, err := buildClusterRig(env, clusterRigConfig{
+		AggPrefix: "fleet-agg",
+		Replicas:  n, F: cfg.F,
+		Devices: cfg.Devices, Shards: cfg.Shards,
+		MaxPendingRecords: cfg.MaxPendingRecords,
+		PipelineDepth:     cfg.PipelineDepth,
+		RebalanceMaxMoves: cfg.RebalanceMaxMoves,
+		PerDevice:         perDevice,
+		Seed:              cfg.Seed,
+		Epoch:             epoch,
+		Registry:          cfg.Registry, Tracer: cfg.Tracer,
+	}, func(devID string, seq uint64) {
+		if d, ok := byID[devID]; ok && seq > d.lastAck {
+			d.lastAck = seq
 		}
-		meter, err := sensor.NewMeter(bus, sensor.AddrINA219Default, maxExpected, shuntOhms)
-		if err != nil {
-			return res, err
-		}
-		signer, err := blockchain.NewSigner(id)
-		if err != nil {
-			return res, err
-		}
-		if err := auth.Admit(id, signer.Public()); err != nil {
-			return res, err
-		}
-		agg, err := aggregator.New(aggregator.Config{
-			ID:        id,
-			Env:       env,
-			HeadMeter: meter,
-			WallClock: func() time.Time { return epoch.Add(env.Now()) },
-			Mesh:      mesh,
-			Chain:     blockchain.NewChain(auth), // bypassed once the seal hook installs
-			Signer:    signer,
-			SendToDevice: func(devID string, msg protocol.Message) error {
-				// Report acks run inline on the producer goroutine that
-				// delivered the report, so writing the device's ack
-				// watermark here is owned-by-one-producer safe.
-				if ack, ok := msg.(protocol.ReportAck); ok {
-					if d, ok := byID[devID]; ok && ack.Seq > d.lastAck {
-						d.lastAck = ack.Seq
-					}
-				}
-				return nil
-			},
-			Slots:             slots,
-			Shards:            cfg.Shards,
-			MaxPendingRecords: cfg.MaxPendingRecords,
-			Registry:          cfg.Registry,
-			Tracer:            cfg.Tracer,
-		})
-		if err != nil {
-			return res, err
-		}
-		reps[r] = fleetReplica{id: id, agg: agg, load: load}
-		members = append(members, ReplicaMember{ID: id, Agg: agg, Signer: signer})
-	}
-
-	rsCfg := ReplicaSetConfig{
-		F: cfg.F, PipelineDepth: cfg.PipelineDepth,
-		Registry: cfg.Registry, Tracer: cfg.Tracer,
-	}
-	rsCfg.Balance.HighWater = 0.75
-	rsCfg.Balance.LowWater = 0.6
-	// Headroom below the shed threshold: a plan must never fill a target
-	// past the point where the next round sheds it straight back.
-	rsCfg.Balance.TargetHeadroom = 0.7
-	rsCfg.Balance.MaxMovesPerRound = cfg.RebalanceMaxMoves
-	rs, err := NewReplicaSet(env, auth, func() time.Time { return epoch.Add(env.Now()) }, rsCfg, members)
+	})
 	if err != nil {
 		return res, err
 	}
-	rs.OnCrash = func(id string) { _ = mesh.SetDown(id, true) }
-	rs.OnRecover = func(id string) { _ = mesh.SetDown(id, false) }
+	mesh, reps, idx, rs := rig.mesh, rig.reps, rig.idx, rig.rs
 	rs.Steer = func(devID, aggID string) {
 		d, okD := byID[devID]
 		to, okT := idx[aggID]
@@ -362,10 +288,7 @@ func runReplicatedFleet(cfg FleetConfig) (FleetResult, error) {
 		}
 	}
 	env.RunUntil(env.Now() + 101*time.Millisecond) // final close + settle the decides
-	rs.Stop()
-	for r := range reps {
-		reps[r].agg.Stop()
-	}
+	rig.stop()
 
 	res.ReportsDelivered = delivered.Load()
 	res.UplinksLost = uplost.Load()

@@ -1,0 +1,178 @@
+// Fleet-scale cluster wiring, shared by the single-cluster replicated
+// driver (fleet_replicated.go) and the federation driver (federation.go).
+// A clusterRig is everything "one neighborhood" owns: a backhaul mesh, a
+// signing authority, N replica aggregators with calibrated feeder-head
+// meters, and the Cluster orchestrator sealing one consensus-agreed chain.
+// The drivers differ only in choreography (what crashes, who roams where),
+// so the wiring lives here and each driver installs its own Steer hook.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"decentmeter/internal/aggregator"
+	"decentmeter/internal/backhaul"
+	"decentmeter/internal/blockchain"
+	"decentmeter/internal/protocol"
+	"decentmeter/internal/sensor"
+	"decentmeter/internal/sim"
+	"decentmeter/internal/tdma"
+	"decentmeter/internal/telemetry"
+	"decentmeter/internal/units"
+)
+
+// clusterRigConfig sizes one cluster's replicas, TDMA budget and head
+// meters for the device population it will own.
+type clusterRigConfig struct {
+	// ID is the federation cluster name (scopes instruments under
+	// "fed.<ID>.*"); empty keeps the single-cluster instrument names.
+	ID string
+	// AggPrefix names the replica aggregators "<AggPrefix>-0" .. "-(N-1)".
+	AggPrefix string
+	Replicas  int
+	F         int
+	// Devices is the population the TDMA budget and the INA219 head-meter
+	// calibration are sized for.
+	Devices           int
+	Shards            int
+	MaxPendingRecords int
+	PipelineDepth     int
+	RebalanceMaxMoves int
+	PerDevice         units.Current
+	Seed              uint64
+	Epoch             time.Time
+	Registry          *telemetry.Registry
+	Tracer            *telemetry.Tracer
+}
+
+// clusterRig is one wired cluster: mesh, authority, replicas, orchestrator.
+type clusterRig struct {
+	id   string
+	mesh *backhaul.Mesh
+	auth *blockchain.Authority
+	reps []fleetReplica
+	idx  map[string]int // aggregator ID -> replica index
+	rs   *Cluster
+}
+
+// chain returns the cluster's consensus-sealed ledger (replica 0's copy;
+// ChainsIdentical asserts the copies agree).
+func (rig *clusterRig) chain() *blockchain.Chain {
+	c, _ := rig.rs.ChainOf(rig.reps[0].id)
+	return c
+}
+
+// buildClusterRig wires one cluster onto env. onAck observes every
+// ReportAck an aggregator sends back to a device; the drivers use it to
+// advance each synthetic reporter's ack watermark (it runs inline on the
+// producer goroutine that delivered the report, so a per-device write is
+// owned-by-one-producer safe).
+func buildClusterRig(env *sim.Env, cfg clusterRigConfig, onAck func(devID string, seq uint64)) (*clusterRig, error) {
+	n := cfg.Replicas
+	mesh := backhaul.NewMesh(env, time.Millisecond)
+	auth := blockchain.NewAuthority()
+
+	// Per-replica TDMA budget: 2x the even share, so survivors can absorb
+	// a crashed replica's fleet and a hot spot has room to overflow the
+	// high-water mark without running out of slots.
+	capPer := cfg.Devices / n * 2
+	pitch := (100 * time.Millisecond) / time.Duration(capPer+1)
+	if pitch < 5*time.Nanosecond {
+		pitch = 5 * time.Nanosecond
+	}
+	slots := tdma.Config{Superframe: 100 * time.Millisecond, SlotLen: pitch * 4 / 5, Guard: pitch / 5}
+	if slots.Guard <= 0 {
+		slots.Guard = time.Nanosecond
+		slots.SlotLen = pitch - time.Nanosecond
+	}
+
+	// Head-meter calibration: cluster-wide draw as the expected maximum
+	// keeps the INA219 calibration register in range on every replica.
+	maxExpected := units.Current(int64(cfg.PerDevice) * int64(cfg.Devices))
+	shuntOhms := 0.04096 / (maxExpected.Amps() / 32768 * 60000)
+
+	rig := &clusterRig{
+		id:   cfg.ID,
+		mesh: mesh,
+		auth: auth,
+		reps: make([]fleetReplica, n),
+		idx:  make(map[string]int, n),
+	}
+	members := make([]ReplicaMember, 0, n)
+	for r := 0; r < n; r++ {
+		id := fmt.Sprintf("%s-%d", cfg.AggPrefix, r)
+		rig.idx[id] = r
+		load := &sensor.StaticLoad{V: 5 * units.Volt}
+		bus := sensor.NewBus()
+		ina := sensor.NewINA219(load, sensor.INA219Config{Seed: cfg.Seed ^ uint64(r+1), ShuntOhms: shuntOhms})
+		if err := bus.Attach(sensor.AddrINA219Default, ina); err != nil {
+			return nil, err
+		}
+		meter, err := sensor.NewMeter(bus, sensor.AddrINA219Default, maxExpected, shuntOhms)
+		if err != nil {
+			return nil, err
+		}
+		signer, err := blockchain.NewSigner(id)
+		if err != nil {
+			return nil, err
+		}
+		if err := auth.Admit(id, signer.Public()); err != nil {
+			return nil, err
+		}
+		agg, err := aggregator.New(aggregator.Config{
+			ID:        id,
+			Env:       env,
+			HeadMeter: meter,
+			WallClock: func() time.Time { return cfg.Epoch.Add(env.Now()) },
+			Mesh:      mesh,
+			Chain:     blockchain.NewChain(auth), // bypassed once the seal hook installs
+			Signer:    signer,
+			SendToDevice: func(devID string, msg protocol.Message) error {
+				if ack, ok := msg.(protocol.ReportAck); ok {
+					onAck(devID, ack.Seq)
+				}
+				return nil
+			},
+			Slots:             slots,
+			Shards:            cfg.Shards,
+			MaxPendingRecords: cfg.MaxPendingRecords,
+			Registry:          cfg.Registry,
+			Tracer:            cfg.Tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rig.reps[r] = fleetReplica{id: id, agg: agg, load: load}
+		members = append(members, ReplicaMember{ID: id, Agg: agg, Signer: signer})
+	}
+
+	ccfg := ClusterConfig{
+		ID: cfg.ID, F: cfg.F, PipelineDepth: cfg.PipelineDepth,
+		Registry: cfg.Registry, Tracer: cfg.Tracer,
+	}
+	ccfg.Balance.HighWater = 0.75
+	ccfg.Balance.LowWater = 0.6
+	// Headroom below the shed threshold: a plan must never fill a target
+	// past the point where the next round sheds it straight back.
+	ccfg.Balance.TargetHeadroom = 0.7
+	ccfg.Balance.MaxMovesPerRound = cfg.RebalanceMaxMoves
+	rs, err := NewCluster(env, auth, func() time.Time { return cfg.Epoch.Add(env.Now()) }, ccfg, members)
+	if err != nil {
+		return nil, err
+	}
+	rs.OnCrash = func(id string) { _ = mesh.SetDown(id, true) }
+	rs.OnRecover = func(id string) { _ = mesh.SetDown(id, false) }
+	rig.rs = rs
+
+	// Stop halts the rig's loops at the end of a run.
+	return rig, nil
+}
+
+// stop halts the orchestrator and every replica's aggregator loops.
+func (rig *clusterRig) stop() {
+	rig.rs.Stop()
+	for r := range rig.reps {
+		rig.reps[r].agg.Stop()
+	}
+}

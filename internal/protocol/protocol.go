@@ -36,6 +36,8 @@ const (
 	TRemoveAck
 	TSyncRequest
 	TSyncResponse
+	THandoffWatermark
+	THandoffAck
 )
 
 // msgTypeNames is indexed by MsgType; allocation-free String lookups.
@@ -46,6 +48,7 @@ var msgTypeNames = [...]string{
 	TForwardReport: "ForwardReport", TTransferMembership: "TransferMembership",
 	TRemoveDevice: "RemoveDevice", TRemoveAck: "RemoveAck",
 	TSyncRequest: "SyncRequest", TSyncResponse: "SyncResponse",
+	THandoffWatermark: "HandoffWatermark", THandoffAck: "HandoffAck",
 }
 
 // String implements fmt.Stringer.
@@ -251,6 +254,49 @@ type SyncResponse struct {
 
 // MsgType implements Message.
 func (SyncResponse) MsgType() MsgType { return TSyncResponse }
+
+// HandoffWatermark hands a roaming device between federated clusters over
+// the inter-cluster backhaul. It carries the device's duplicate-suppression
+// frontier: LastSeq is the highest measurement sequence the sending cluster
+// acknowledged (and therefore owns on its ledger), so the receiving cluster
+// admits the device as a guest seeded at that watermark and the
+// federation-wide audit still proves zero loss and zero duplication.
+type HandoffWatermark struct {
+	DeviceID string
+	// HomeAggregator is the device's master aggregator in its home
+	// cluster (recorded on the guest membership; the host never forwards
+	// across the federation boundary).
+	HomeAggregator string
+	// FromCluster and ToCluster name the handing-off and receiving
+	// clusters on the inter-cluster mesh.
+	FromCluster string
+	ToCluster   string
+	// LastSeq is the sender's acknowledged-sequence watermark for the
+	// device.
+	LastSeq uint64
+	// Return marks the homeward leg: the visited cluster handing the
+	// device back to its home cluster, which syncs the watermark onto the
+	// master membership instead of admitting a guest.
+	Return bool
+}
+
+// MsgType implements Message.
+func (HandoffWatermark) MsgType() MsgType { return THandoffWatermark }
+
+// HandoffAck confirms a HandoffWatermark: on the outbound leg the receiving
+// cluster admitted the guest; on the return leg the home cluster synced the
+// watermark, telling the visited cluster to release the temporary
+// membership it held during the visit.
+type HandoffAck struct {
+	DeviceID    string
+	FromCluster string
+	ToCluster   string
+	Accepted    bool
+	Return      bool
+}
+
+// MsgType implements Message.
+func (HandoffAck) MsgType() MsgType { return THandoffAck }
 
 // ErrUnknownType is returned for unrecognized envelope tags.
 var ErrUnknownType = errors.New("protocol: unknown message type")

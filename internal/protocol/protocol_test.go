@@ -89,6 +89,9 @@ func TestAllTypesRoundTrip(t *testing.T) {
 		RemoveAck{DeviceID: "d"},
 		SyncRequest{DeviceID: "d", T1: t0},
 		SyncResponse{DeviceID: "d", T1: t0, T2: t0.Add(time.Millisecond), T3: t0.Add(time.Millisecond)},
+		HandoffWatermark{DeviceID: "d", HomeAggregator: "nb00-agg-1",
+			FromCluster: "nb00", ToCluster: "nb01", LastSeq: 42, Return: true},
+		HandoffAck{DeviceID: "d", FromCluster: "nb00", ToCluster: "nb01", Accepted: true, Return: true},
 	}
 	seen := map[MsgType]bool{}
 	for _, m := range msgs {
@@ -98,8 +101,8 @@ func TestAllTypesRoundTrip(t *testing.T) {
 		}
 		seen[m.MsgType()] = true
 	}
-	if len(seen) != 14 {
-		t.Fatalf("covered %d of 14 message types", len(seen))
+	if len(seen) != 16 {
+		t.Fatalf("covered %d of 16 message types", len(seen))
 	}
 }
 

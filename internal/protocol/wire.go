@@ -101,6 +101,19 @@ func AppendEncode(dst []byte, msg Message) ([]byte, error) {
 		dst = appendTime(dst, m.T1)
 		dst = appendTime(dst, m.T2)
 		dst = appendTime(dst, m.T3)
+	case HandoffWatermark:
+		dst = appendString(dst, m.DeviceID)
+		dst = appendString(dst, m.HomeAggregator)
+		dst = appendString(dst, m.FromCluster)
+		dst = appendString(dst, m.ToCluster)
+		dst = appendUint(dst, m.LastSeq)
+		dst = appendBool(dst, m.Return)
+	case HandoffAck:
+		dst = appendString(dst, m.DeviceID)
+		dst = appendString(dst, m.FromCluster)
+		dst = appendString(dst, m.ToCluster)
+		dst = appendBool(dst, m.Accepted)
+		dst = appendBool(dst, m.Return)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownType, msg)
 	}
@@ -155,6 +168,17 @@ func Decode(b []byte) (Message, error) {
 		msg = SyncRequest{DeviceID: r.str(), T1: r.time()}
 	case TSyncResponse:
 		msg = SyncResponse{DeviceID: r.str(), T1: r.time(), T2: r.time(), T3: r.time()}
+	case THandoffWatermark:
+		msg = HandoffWatermark{
+			DeviceID: r.str(), HomeAggregator: r.str(),
+			FromCluster: r.str(), ToCluster: r.str(),
+			LastSeq: r.uint(), Return: r.bool(),
+		}
+	case THandoffAck:
+		msg = HandoffAck{
+			DeviceID: r.str(), FromCluster: r.str(), ToCluster: r.str(),
+			Accepted: r.bool(), Return: r.bool(),
+		}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[0])
 	}
