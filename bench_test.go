@@ -19,6 +19,7 @@ import (
 	"decentmeter/internal/blockchain"
 	"decentmeter/internal/consensus"
 	"decentmeter/internal/core"
+	"decentmeter/internal/device"
 	"decentmeter/internal/energy"
 	"decentmeter/internal/mqtt"
 	"decentmeter/internal/protocol"
@@ -384,6 +385,117 @@ func TestInstrumentedReportPathAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("instrument chain allocates %.1f times per report, want 0", allocs)
+	}
+}
+
+// BenchmarkReportPathPhysics is BenchmarkInstrumentedReportPath with the
+// device-physics plane charged per report, exactly as the physics fleet
+// pays it on the hot path: one lazy pack advance (Physics.AdvanceTo, O(1)
+// for the 100ms event gap), the sample+tx energy consumes, and the
+// aggregator's timestamp skew gate. Compare its ns/op against
+// BenchmarkInstrumentedReportPath — scripts/bench.sh --check gates the
+// physics increment at <= 5% of the instrumented path. The zero-alloc
+// claim for the increment is pinned by TestPhysicsReportPathAllocFree.
+func BenchmarkReportPathPhysics(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(reg, 256)
+	mIngested := reg.ShardedCounter("bench.reports_ingested")
+	mClosed := reg.Counter("bench.windows_closed")
+
+	// A healthy pack: harvest exceeds base load by enough to refill the
+	// per-report sample+tx consumes, so the bench never sheds and every
+	// iteration pays the same normal-mode arithmetic.
+	pack := energy.NewPack(2e-4, 0.9, 5*units.Volt,
+		energy.Constant{I: 20 * units.Milliampere},
+		energy.Constant{I: 60 * units.Milliampere})
+	phys := device.NewPhysics(pack)
+	phys.SampleCost = 1 // uWh
+	phys.TxCost = 1     // uWh
+
+	const interval = 100 * time.Millisecond
+	const maxSkew = 50 * time.Millisecond
+	base := time.Now()
+	var simNow time.Duration
+	var pending []blockchain.Record
+	var quarantined int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traced := tracer.Active()
+		var ingestStart time.Time
+		if traced {
+			ingestStart = time.Now()
+		}
+		simNow += interval
+		if mode := phys.AdvanceTo(simNow); mode != device.PhysicsNormal {
+			b.Fatalf("pack left normal mode at %v (SoC %.3f)", simNow, phys.SoC())
+		}
+		phys.ConsumeSample()
+		m := protocol.Measurement{
+			Seq: uint64(i + 1), Timestamp: base.Add(simNow), Interval: interval,
+			Current: 80 * units.Milliampere, Voltage: 5 * units.Volt, Energy: 11,
+		}
+		enc, err := protocol.Encode(protocol.Report{DeviceID: "d", Measurements: []protocol.Measurement{m}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		phys.ConsumeTx()
+		dec, err := protocol.Decode(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := dec.(protocol.Report)
+		// The aggregator's drift quarantine gate: measurement stamp vs
+		// the ingest-side clock, symmetric bound.
+		if skew := m.Timestamp.Sub(base.Add(simNow)); skew > maxSkew || skew < -maxSkew {
+			quarantined++
+		}
+		pending = append(pending, blockchain.Record{
+			DeviceID: rep.DeviceID, Seq: m.Seq, HomeAggregator: "agg1", ReportedVia: "agg1",
+			Timestamp: m.Timestamp, Interval: m.Interval,
+			Current: m.Current, Voltage: m.Voltage, Energy: m.Energy,
+		})
+		mIngested.Add(i&15, 1)
+		if traced {
+			tracer.ObserveStage(telemetry.StageShardIngest, ingestStart, time.Since(ingestStart))
+		}
+		if len(pending) == 10 {
+			closeStart := time.Now()
+			mClosed.Inc()
+			tracer.ObserveStage(telemetry.StageWindowClose, closeStart, time.Since(closeStart))
+			pending = pending[:0]
+		}
+	}
+	b.StopTimer()
+	if quarantined != 0 {
+		b.Fatalf("%d reports quarantined on an undrifted clock", quarantined)
+	}
+}
+
+// TestPhysicsReportPathAllocFree pins the physics increment the report hot
+// path pays per report — the lazy pack advance, the two energy consumes
+// and the skew-gate comparison — at zero heap allocations, so turning
+// physics on cannot add GC pressure to ingest.
+func TestPhysicsReportPathAllocFree(t *testing.T) {
+	pack := energy.NewPack(2e-4, 0.9, 5*units.Volt,
+		energy.Constant{I: 20 * units.Milliampere},
+		energy.Constant{I: 60 * units.Milliampere})
+	phys := device.NewPhysics(pack)
+	phys.SampleCost = 1 // uWh
+	phys.TxCost = 1     // uWh
+	base := time.Now()
+	var simNow time.Duration
+	allocs := testing.AllocsPerRun(1000, func() {
+		simNow += 100 * time.Millisecond
+		phys.AdvanceTo(simNow)
+		phys.ConsumeSample()
+		phys.ConsumeTx()
+		ts := base.Add(simNow)
+		if skew := ts.Sub(base.Add(simNow)); skew > 50*time.Millisecond || skew < -50*time.Millisecond {
+			t.Fatal("undrifted clock flagged")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("physics increment allocates %.1f times per report, want 0", allocs)
 	}
 }
 

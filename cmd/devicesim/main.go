@@ -39,6 +39,7 @@ func main() {
 	retry := flag.Duration("retry", 250*time.Millisecond, "base reconnect backoff delay")
 	retryCap := flag.Duration("retry-cap", 4*time.Second, "reconnect backoff ceiling")
 	retries := flag.Int("retries", 20, "consecutive connection failures before a device gives up")
+	driftPPM := flag.Float64("drift-ppm", 0, "DS3231 clock drift in parts per million (0 = stamp from the host clock)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "devicesim ", log.LstdFlags|log.Lmsgprefix)
@@ -52,6 +53,7 @@ func main() {
 				broker: *broker, agg: *agg, id: id,
 				tmeasure: *tmeasure, duration: *duration, seed: uint64(idx),
 				retryBase: *retry, retryCap: *retryCap, maxRetries: *retries,
+				driftPPM: *driftPPM,
 			}
 			if err := runDevice(logger, cfg); err != nil {
 				logger.Printf("%s: %v", id, err)
@@ -68,6 +70,7 @@ type deviceConfig struct {
 	seed                uint64
 	retryBase, retryCap time.Duration
 	maxRetries          int
+	driftPPM            float64
 }
 
 // realDevice is the MQTT-transport device: same measurement pipeline as the
@@ -76,6 +79,7 @@ type realDevice struct {
 	id     string
 	agg    string
 	meter  *sensor.Meter
+	rtc    *sensor.DS3231 // report timestamp source; drifts when -drift-ppm is set
 	logger *log.Logger
 
 	mu         sync.Mutex
@@ -113,7 +117,19 @@ func runDevice(logger *log.Logger, cfg deviceConfig) error {
 		return err
 	}
 
-	d := &realDevice{id: cfg.id, agg: cfg.agg, meter: meter, logger: logger, tmeasure: cfg.tmeasure}
+	// Report timestamps come from a modelled DS3231, not the host clock:
+	// with -drift-ppm the stamps wander exactly the way a cheap RTC does,
+	// which is what the aggregator's skew quarantine is tuned against.
+	rtc := sensor.NewDS3231(sensor.DS3231Config{
+		Seed: cfg.seed,
+		Now:  func() time.Duration { return time.Since(start) },
+	})
+	rtc.SetTime(time.Now().UTC())
+	if cfg.driftPPM != 0 {
+		rtc.DriftPPM = cfg.driftPPM
+	}
+
+	d := &realDevice{id: cfg.id, agg: cfg.agg, meter: meter, rtc: rtc, logger: logger, tmeasure: cfg.tmeasure}
 	stop := make(chan struct{})
 	defer close(stop)
 
@@ -324,7 +340,7 @@ func (d *realDevice) measureAndReport(interval time.Duration) error {
 	d.seq++
 	meas := protocol.Measurement{
 		Seq:       d.seq,
-		Timestamp: time.Now().UTC(),
+		Timestamp: d.rtc.Now(),
 		Interval:  interval,
 		Current:   r.Current,
 		Voltage:   r.Bus,

@@ -60,6 +60,9 @@ func main() {
 	replicas := flag.Int("replicas", 1, "fleet aggregator replicas (>1 runs the consensus-sealed replicated tier\nwith a mid-window leader crash, recovery, hot-spot wave and rebalancing)")
 	consensusF := flag.Int("f", 0, "replicated tier fault tolerance (default (replicas-1)/3)")
 	chaos := flag.Bool("chaos", false, "inject the default fault plan into the replicated fleet run\n(broker outage, ack-loss burst, mesh partition, extra replica crash)\nand audit for zero record loss; requires -replicas > 1")
+	physics := flag.Bool("physics", false, "run the fleet on the device-physics tier: per-device battery packs,\nquantized INA219 sampling, DS3231 clock drift, low-SoC shedding and\nbrown-outs, timesync re-convergence — three checked scenario cohorts\n(diurnal solar, low-battery shedding, drift-under-churn) plus the\nzero-loss ledger audit; single-aggregator runs only")
+	solar := flag.Float64("solar", 0, "physics tier: solar harvest sine mean/amplitude in mA (default 45)")
+	driftPPM := flag.Float64("drift-ppm", 0, "physics tier: drift-cohort RTC frequency error in ppm (default 300000)")
 	federation := flag.Bool("federation", false, "run the federated two-tier topology: neighborhood clusters with\ncross-cluster roaming waves, a leader crash and a root-anchored\nregional super-chain; fails unless the federation-wide audit and\nanchor inclusion verify")
 	fedClusters := flag.Int("fed-clusters", 10, "federation neighborhood cluster count")
 	fedReplicas := flag.Int("fed-replicas", 4, "federation replicas per cluster")
@@ -100,7 +103,11 @@ func main() {
 		if *chaos && *replicas <= 1 {
 			fatal(fmt.Errorf("-chaos requires -replicas > 1 (the fault plan targets the replicated tier)"))
 		}
-		if err := runFleet(*devices, *shards, *fleetSeconds, *loss, *seed, *replicas, *consensusF, *chaos); err != nil {
+		if *physics && *replicas > 1 {
+			fatal(fmt.Errorf("-physics runs the single-aggregator tier; drop -replicas"))
+		}
+		phys := core.PhysicsConfig{Enabled: *physics, SolarMilliamps: *solar, DriftPPM: *driftPPM}
+		if err := runFleet(*devices, *shards, *fleetSeconds, *loss, *seed, *replicas, *consensusF, *chaos, phys); err != nil {
 			fatal(err)
 		}
 	}
@@ -162,7 +169,7 @@ func runHandshake(p core.Params) error {
 	return nil
 }
 
-func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas, consensusF int, chaos bool) error {
+func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas, consensusF int, chaos bool, physics core.PhysicsConfig) error {
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(reg, 64)
 	cfg := core.FleetConfig{
@@ -173,6 +180,7 @@ func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas,
 		Seed:     seed,
 		Replicas: replicas,
 		F:        consensusF,
+		Physics:  physics,
 		Registry: reg,
 		Tracer:   tracer,
 	}
@@ -181,16 +189,24 @@ func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas,
 	}
 	res, err := core.RunFleet(cfg)
 	if err != nil {
+		// The physics tier's scenario checks and ledger audit fail the run
+		// through this path; print what completed before the verdict.
+		if res.PhysicsOn {
+			core.WriteFleet(os.Stdout, res)
+		}
 		return err
 	}
 	core.WriteFleet(os.Stdout, res)
-	writeFleetTelemetry(os.Stdout, reg, tracer)
+	writeFleetTelemetry(os.Stdout, reg, tracer, res.PhysicsOn)
 	if chaos {
 		if res.RecordsLost != 0 || res.RecordsDuplicated != 0 || !res.ChainsIdentical {
 			return fmt.Errorf("chaos audit FAILED: %d lost, %d duplicated, chains identical: %v",
 				res.RecordsLost, res.RecordsDuplicated, res.ChainsIdentical)
 		}
 		fmt.Println("  chaos audit: PASS (0 lost, 0 duplicated, chains byte-identical)")
+	}
+	if res.PhysicsOn {
+		fmt.Println("  physics audit: PASS (three scenarios checked, 0 acked records lost, 0 duplicated)")
 	}
 	fmt.Println()
 	return nil
@@ -228,10 +244,14 @@ func runFederation(clusters, replicas, devices, shards, seconds int, loss float6
 // writeFleetTelemetry prints the run's per-window telemetry digest: window
 // verdicts and loss from the driver's series, and the sampled report-journey
 // stage latencies the tracer collected.
-func writeFleetTelemetry(w io.Writer, reg *telemetry.Registry, tracer *telemetry.Tracer) {
+func writeFleetTelemetry(w io.Writer, reg *telemetry.Registry, tracer *telemetry.Tracer, physics bool) {
 	fmt.Fprintln(w, "  telemetry digest (per window):")
 	okPts := reg.Series("fleet.window_ok", 4096).Points(0, 0)
 	lossPts := reg.Series("fleet.window_loss", 4096).Points(0, 0)
+	socP10 := reg.Series("fleet.soc_p10", 4096).Points(0, 0)
+	socP50 := reg.Series("fleet.soc_p50", 4096).Points(0, 0)
+	browned := reg.Series("fleet.browned_out", 4096).Points(0, 0)
+	skew := reg.Series("fleet.clock_skew_us", 4096).Points(0, 0)
 	for i, p := range okPts {
 		verdict := "OK"
 		if p.V == 0 {
@@ -241,7 +261,18 @@ func writeFleetTelemetry(w io.Writer, reg *telemetry.Registry, tracer *telemetry
 		if i < len(lossPts) {
 			lost = fmt.Sprintf("%.0f lost", lossPts[i].V)
 		}
-		fmt.Fprintf(w, "    window @%8v: %-7s %s\n", p.T.Round(time.Millisecond), verdict, lost)
+		phys := ""
+		if physics && i < len(socP10) && i < len(socP50) && i < len(browned) && i < len(skew) {
+			phys = fmt.Sprintf("  soc p10/p50 %.2f/%.2f, %.0f browned out, worst skew %.0fus",
+				socP10[i].V, socP50[i].V, browned[i].V, skew[i].V)
+		}
+		fmt.Fprintf(w, "    window @%8v: %-7s %s%s\n", p.T.Round(time.Millisecond), verdict, lost, phys)
+	}
+	if physics {
+		fmt.Fprintf(w, "  physics counters: %.0f brownouts, %.0f recoveries, %.0f sheds, %.0f resyncs, %.0f quarantined\n",
+			reg.Counter("physics.brownouts").Value(), reg.Counter("physics.recoveries").Value(),
+			reg.Counter("physics.sheds").Value(), reg.Counter("physics.resyncs").Value(),
+			reg.Counter("physics.quarantined").Value())
 	}
 	snap := tracer.TraceSnapshot()
 	fmt.Fprintf(w, "  report journeys sampled: %d (1 in %d)\n", snap.Sampled, snap.SampleEvery)

@@ -88,6 +88,11 @@ type WindowReport struct {
 	// Culprit, when the verdict failed and one device dominates the
 	// deficit, names the suspected tamperer.
 	Culprit string
+	// Quarantined counts live measurements rejected by the
+	// timestamp-skew gate during this window (see MaxTimestampSkew). Any
+	// quarantine fails the verdict: the fleet is reporting but some of
+	// its data was too drifted to trust.
+	Quarantined uint64
 }
 
 // DefaultMaxPendingRecords bounds the records buffered toward the next
@@ -141,6 +146,17 @@ type Config struct {
 	// counted in the "<ID>.records_dropped" telemetry counter and
 	// DroppedRecords. Default DefaultMaxPendingRecords.
 	MaxPendingRecords int
+	// MaxTimestampSkew, when positive, quarantines live measurements
+	// whose timestamp deviates from WallClock by more than this bound: a
+	// device whose RTC has drifted past the bound surfaces as sum-check
+	// anomalies (its data held out of the window and the sealed block),
+	// never as chain corruption. The ack frontier stops at the first
+	// quarantined measurement, so once the device's clock is
+	// re-disciplined the data retransmits as Buffered (legitimately old)
+	// and is sealed then — quarantine defers acked data, it never loses
+	// it. Buffered measurements are exempt: store-and-forward stamps are
+	// old by construction. Zero disables the gate entirely.
+	MaxTimestampSkew time.Duration
 }
 
 // Aggregator is one network's trusted unit.
@@ -198,11 +214,13 @@ type Aggregator struct {
 	reportsNacked   atomic.Uint64
 	blocksSealed    atomic.Uint64
 	recordsDropped  atomic.Uint64
+	measQuarantined atomic.Uint64
 
 	// instruments, pre-resolved at New so the report path never touches
 	// the registry mutex; all nil when Config.Registry is nil.
 	mIngested *telemetry.ShardedCounter // "<ID>.reports_ingested", striped by shard
 	mNacked   *telemetry.Counter        // "<ID>.reports_nacked"
+	mQuar     *telemetry.Counter        // "<ID>.drift_quarantined"
 	mPending  *telemetry.Gauge          // "<ID>.pending_records"
 	mWindowUs *telemetry.Histogram      // "<ID>.window_close_us"
 	tracer    *telemetry.Tracer
@@ -276,6 +294,7 @@ func New(cfg Config) (*Aggregator, error) {
 	if cfg.Registry != nil {
 		a.mIngested = cfg.Registry.ShardedCounter(cfg.ID + ".reports_ingested")
 		a.mNacked = cfg.Registry.Counter(cfg.ID + ".reports_nacked")
+		a.mQuar = cfg.Registry.Counter(cfg.ID + ".drift_quarantined")
 		a.mPending = cfg.Registry.Gauge(cfg.ID + ".pending_records")
 		a.mWindowUs = cfg.Registry.Histogram(cfg.ID+".window_close_us", windowCloseBoundsUs)
 	}
@@ -345,6 +364,10 @@ func (a *Aggregator) Stats() (uint64, uint64, uint64) {
 // DroppedRecords returns how many pending records the bounded seal backlog
 // has discarded (only non-zero when sealing falls behind or fails).
 func (a *Aggregator) DroppedRecords() uint64 { return a.recordsDropped.Load() }
+
+// QuarantinedMeasurements returns how many live measurements the
+// timestamp-skew gate has quarantined in total (see MaxTimestampSkew).
+func (a *Aggregator) QuarantinedMeasurements() uint64 { return a.measQuarantined.Load() }
 
 // PendingRecords returns the records currently buffered toward the next
 // seal, across the shard batches and the merged backlog.
@@ -456,6 +479,16 @@ func (a *Aggregator) SlotStats() (used, capacity int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.sched.Used(), a.sched.Capacity()
+}
+
+// SetDutyCycle deepens (skip > 1) or restores (skip <= 1) a registered
+// device's TDMA duty cycle: the device transmits only every skip-th
+// superframe. Scenario drivers mirror a low-SoC device's shed state here so
+// the schedule reflects the radio time the device actually uses.
+func (a *Aggregator) SetDutyCycle(deviceID string, skip int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sched.SetDutyCycle(deviceID, skip)
 }
 
 // --- device-facing handling -------------------------------------------------------
@@ -683,24 +716,53 @@ func (a *Aggregator) onReport(m protocol.Report) {
 	// its roaming devices (see sharedLedger); on per-aggregator chains
 	// the visited aggregator records too, as the paper's Fig. 3 does.
 	record := !(forward && a.sharedLedger.Load())
+	skewBound := a.cfg.MaxTimestampSkew
+	var wallNow time.Time
+	if skewBound > 0 {
+		wallNow = a.cfg.WallClock()
+	}
 	var fresh []protocol.Measurement
 	accepted := 0
+	quarantined := 0
 	var maxSeq uint64
+	// ackSeq is the contiguous-acceptance frontier: the ack may only cover
+	// seqs that were actually ingested (or already were), so a quarantined
+	// measurement halts it — the device keeps the data and retransmits it
+	// once its clock is disciplined.
+	ackSeq := prev
+	halted := false
 	for _, meas := range m.Measurements {
 		if meas.Seq > maxSeq {
 			maxSeq = meas.Seq
 		}
-		if meas.Seq <= prev {
+		if meas.Seq <= prev || halted {
 			continue
+		}
+		if skewBound > 0 && !meas.Buffered {
+			if skew := meas.Timestamp.Sub(wallNow); skew > skewBound || skew < -skewBound {
+				// Too drifted to trust live: hold it (and everything
+				// after it, to keep the frontier contiguous) out of the
+				// window and the ledger.
+				if st.winCount == 0 && st.winQuarantined == 0 {
+					sh.active = append(sh.active, st)
+				}
+				st.winQuarantined++
+				quarantined++
+				halted = true
+				continue
+			}
 		}
 		sh.ingestLocked(a, st, meas, a.cfg.ID, record)
 		accepted++
+		if meas.Seq > ackSeq {
+			ackSeq = meas.Seq
+		}
 		if forward {
 			fresh = append(fresh, meas)
 		}
 	}
-	if maxSeq > st.LastSeq {
-		st.LastSeq = maxSeq
+	if ackSeq > st.LastSeq {
+		st.LastSeq = ackSeq
 	}
 	home := st.Home
 	sh.mu.Unlock()
@@ -708,11 +770,17 @@ func (a *Aggregator) onReport(m protocol.Report) {
 	if a.mIngested != nil {
 		a.mIngested.Add(si, uint64(accepted))
 	}
+	if quarantined > 0 {
+		a.measQuarantined.Add(uint64(quarantined))
+		if a.mQuar != nil {
+			a.mQuar.Add(float64(quarantined))
+		}
+	}
 	if traced {
 		a.tracer.ObserveStage(telemetry.StageShardIngest, traceStart, time.Since(traceStart))
 	}
 	if len(m.Measurements) > 0 {
-		_ = a.cfg.SendToDevice(m.DeviceID, protocol.ReportAck{DeviceID: m.DeviceID, Seq: maxSeq})
+		_ = a.cfg.SendToDevice(m.DeviceID, protocol.ReportAck{DeviceID: m.DeviceID, Seq: ackSeq})
 	}
 	// Temporary members' data goes home over the backhaul.
 	if len(fresh) > 0 {
@@ -878,16 +946,18 @@ func (a *Aggregator) removeMembership(deviceID string) {
 	// Preserve the device's partial window: its draw up to now is still in
 	// the feeder's groundSamples, so discarding its samples would fire a
 	// false sum-check anomaly at the next closeWindow.
-	if st.winCount > 0 {
+	if st.winCount > 0 || st.winQuarantined > 0 {
 		acc := sh.departed[deviceID]
 		acc.sum += st.winSum
 		acc.count += st.winCount
+		acc.quar += st.winQuarantined
 		if st.baseline != nil {
 			acc.base = st.baseline.Mean()
 		}
 		sh.departed[deviceID] = acc
 		st.winCount = 0 // active-list entry is skipped at the next merge
 		st.winSum = 0
+		st.winQuarantined = 0
 	}
 	delete(sh.devices, deviceID)
 	sh.mu.Unlock()
@@ -954,24 +1024,27 @@ func (a *Aggregator) closeWindow() {
 	for _, sh := range a.shards {
 		sh.mu.Lock()
 		for _, st := range sh.active {
-			if st.winCount == 0 {
+			if st.winCount == 0 && st.winQuarantined == 0 {
 				continue // departed (or already reset) mid-window
 			}
 			acc := a.winScratch[st.DeviceID]
 			acc.sum += st.winSum
 			acc.count += st.winCount
+			acc.quar += st.winQuarantined
 			if st.baseline != nil {
 				acc.base = st.baseline.Mean()
 			}
 			a.winScratch[st.DeviceID] = acc
 			st.winSum = 0
 			st.winCount = 0
+			st.winQuarantined = 0
 		}
 		sh.active = sh.active[:0]
 		for dev, acc := range sh.departed {
 			prev := a.winScratch[dev]
 			prev.sum += acc.sum
 			prev.count += acc.count
+			prev.quar += acc.quar
 			if prev.base == 0 {
 				prev.base = acc.base
 			}
@@ -983,7 +1056,16 @@ func (a *Aggregator) closeWindow() {
 		droppedDelta += sh.pending.takeDropped()
 		sh.mu.Unlock()
 	}
+	var quarCulprit string
+	var quarTop uint64
 	for dev, acc := range a.winScratch {
+		if acc.quar > 0 {
+			w.Quarantined += acc.quar
+			if acc.quar > quarTop {
+				quarTop = acc.quar
+				quarCulprit = dev
+			}
+		}
 		if acc.count == 0 {
 			continue
 		}
@@ -1008,11 +1090,23 @@ func (a *Aggregator) closeWindow() {
 		}
 	}
 
-	if len(w.PerDevice) > 0 || w.Ground > 0 {
+	if len(w.PerDevice) > 0 || w.Ground > 0 || w.Quarantined > 0 {
 		w.Verdict = anomaly.SumCheck(a.cfg.SumCheck, w.Ground, w.Reported)
 		if !w.Verdict.OK {
 			if id, _, err := anomaly.IdentifyCulprit(expected, w.PerDevice); err == nil {
 				w.Culprit = id
+			}
+		}
+		if w.Quarantined > 0 {
+			// Drifted data was held out of this window: the verdict
+			// cannot be OK, and the heaviest quarantined device is the
+			// prime suspect when the gap itself names nobody.
+			if w.Verdict.OK {
+				w.Verdict.OK = false
+				w.Verdict.Reason = "timestamp drift quarantine"
+			}
+			if w.Culprit == "" {
+				w.Culprit = quarCulprit
 			}
 		}
 		a.windows = append(a.windows, w)

@@ -1,0 +1,168 @@
+package aggregator
+
+import (
+	"testing"
+	"time"
+
+	"decentmeter/internal/blockchain"
+	"decentmeter/internal/protocol"
+	"decentmeter/internal/sim"
+	"decentmeter/internal/units"
+)
+
+// measAt is meas with an explicit timestamp, for drifted-clock devices.
+func measAt(seq uint64, ma float64, ts time.Time) protocol.Measurement {
+	m := meas(seq, ma)
+	m.Timestamp = ts
+	return m
+}
+
+// A device whose RTC has drifted past the bound must surface as sum-check
+// anomalies with its reports quarantined from the sealed window — never as
+// chain corruption. The honest neighbour keeps flowing untouched.
+func TestDriftQuarantineSurfacesAnomalies(t *testing.T) {
+	var chain *blockchain.Chain
+	r := newRigWith(t, func(cfg *Config) {
+		cfg.MaxTimestampSkew = 50 * time.Millisecond
+		chain = cfg.Chain
+	})
+	epoch := time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC)
+	r.agg.HandleDeviceMessage("good", protocol.Register{DeviceID: "good"})
+	r.agg.HandleDeviceMessage("drifty", protocol.Register{DeviceID: "drifty"})
+	r.load.I = 400 * units.Milliampere // feeder truth: two honest 200 mA draws
+
+	var goodSeq, driftySeq uint64
+	stop := r.env.Ticker(100*time.Millisecond, func(sim.Time) {
+		now := epoch.Add(r.env.Now())
+		goodSeq++
+		r.agg.HandleDeviceMessage("good", protocol.Report{
+			DeviceID:     "good",
+			Measurements: []protocol.Measurement{measAt(goodSeq, 200, now)},
+		})
+		driftySeq++
+		// A 5000 ppm-fast RTC after ~100 s: stamps land 500 ms ahead of
+		// the aggregator's clock, ten times the 50 ms bound.
+		r.agg.HandleDeviceMessage("drifty", protocol.Report{
+			DeviceID:     "drifty",
+			Measurements: []protocol.Measurement{measAt(driftySeq, 200, now.Add(500*time.Millisecond))},
+		})
+	})
+	r.env.RunUntil(3 * time.Second)
+	stop()
+
+	if got := r.agg.QuarantinedMeasurements(); got == 0 {
+		t.Fatal("no measurements quarantined despite 500ms skew against a 50ms bound")
+	}
+	flagged, attributed := 0, 0
+	var quarTotal uint64
+	for _, w := range r.agg.Windows() {
+		quarTotal += w.Quarantined
+		if !w.Verdict.OK {
+			flagged++
+			if w.Culprit == "drifty" {
+				attributed++
+			}
+		}
+		if w.Quarantined > 0 && w.Verdict.OK {
+			t.Fatalf("window with %d quarantined measurements passed verification", w.Quarantined)
+		}
+	}
+	if flagged == 0 || quarTotal == 0 {
+		t.Fatalf("drift never surfaced: %d flagged windows, %d quarantined", flagged, quarTotal)
+	}
+	if attributed == 0 {
+		t.Fatal("drifting device never named as culprit")
+	}
+
+	// The drifted device was never acked past its frontier...
+	mem, ok := r.agg.Member("drifty")
+	if !ok {
+		t.Fatal("drifty lost membership")
+	}
+	if mem.LastSeq != 0 {
+		t.Fatalf("drifty acked to %d, want 0 (all its live data was quarantined)", mem.LastSeq)
+	}
+	// ...the honest device flowed normally...
+	if gm, _ := r.agg.Member("good"); gm.LastSeq != goodSeq {
+		t.Fatalf("good acked to %d, want %d", gm.LastSeq, goodSeq)
+	}
+	// ...and the chain is intact with zero drifted records sealed.
+	if _, err := chain.Verify(); err != nil {
+		t.Fatalf("chain corrupted by drifted reports: %v", err)
+	}
+	for i := 0; i < chain.Length(); i++ {
+		b, err := chain.Block(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range b.Records {
+			if rec.DeviceID == "drifty" {
+				t.Fatalf("quarantined device's record sealed: seq %d", rec.Seq)
+			}
+		}
+	}
+}
+
+// Quarantine defers data, it does not lose it: after the device's clock is
+// disciplined it retransmits the held-back measurements as Buffered
+// (legitimately old stamps), and they are acked and sealed.
+func TestDriftQuarantineRecoversAfterResync(t *testing.T) {
+	var chain *blockchain.Chain
+	r := newRigWith(t, func(cfg *Config) {
+		cfg.MaxTimestampSkew = 50 * time.Millisecond
+		chain = cfg.Chain
+	})
+	epoch := time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC)
+	r.agg.HandleDeviceMessage("dev1", protocol.Register{DeviceID: "dev1"})
+
+	// Three live reports with a hopeless clock: all quarantined.
+	for seq := uint64(1); seq <= 3; seq++ {
+		now := epoch.Add(r.env.Now())
+		r.agg.HandleDeviceMessage("dev1", protocol.Report{
+			DeviceID:     "dev1",
+			Measurements: []protocol.Measurement{measAt(seq, 150, now.Add(2*time.Second))},
+		})
+		r.env.RunUntil(r.env.Now() + 100*time.Millisecond)
+	}
+	mem, _ := r.agg.Member("dev1")
+	if mem.LastSeq != 0 {
+		t.Fatalf("acked to %d while drifted, want 0", mem.LastSeq)
+	}
+
+	// Post-resync: the device retransmits its unacked tail as buffered
+	// store-and-forward data plus a fresh live measurement on a now-good
+	// clock.
+	now := epoch.Add(r.env.Now())
+	batch := []protocol.Measurement{
+		measBuf(1, 150), measBuf(2, 150), measBuf(3, 150),
+		measAt(4, 150, now),
+	}
+	r.agg.HandleDeviceMessage("dev1", protocol.Report{DeviceID: "dev1", Measurements: batch})
+	ack, ok := lastDown[protocol.ReportAck](r)
+	if !ok || ack.Seq != 4 {
+		t.Fatalf("post-resync ack = %+v, want Seq 4", ack)
+	}
+	// Run past a window close so the backlog seals; every deferred seq
+	// must now be on the chain exactly once.
+	r.env.RunUntil(r.env.Now() + 2*time.Second)
+	seen := map[uint64]int{}
+	for i := 0; i < chain.Length(); i++ {
+		b, err := chain.Block(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range b.Records {
+			if rec.DeviceID == "dev1" {
+				seen[rec.Seq]++
+			}
+		}
+	}
+	for seq := uint64(1); seq <= 4; seq++ {
+		if seen[seq] != 1 {
+			t.Fatalf("seq %d sealed %d times, want exactly once (seen: %v)", seq, seen[seq], seen)
+		}
+	}
+	if _, err := chain.Verify(); err != nil {
+		t.Fatalf("chain verify: %v", err)
+	}
+}

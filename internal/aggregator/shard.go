@@ -22,6 +22,11 @@ type deviceState struct {
 	// window's per-device mean and resets them.
 	winSum   int64
 	winCount int
+	// winQuarantined counts this window's live measurements rejected by
+	// the timestamp-skew gate (a drifted RTC); closeWindow folds it into
+	// the window report and resets it. A device with only quarantined
+	// samples still joins the active list so the merge sees it.
+	winQuarantined uint64
 
 	baseline *anomaly.Deviation
 
@@ -40,6 +45,10 @@ type departedAccum struct {
 	// base is the device's baseline mean at departure, kept so culprit
 	// attribution still has an expectation for the departed device.
 	base units.Current
+	// quar carries the device's quarantined-measurement count (also used
+	// by the winScratch merge, where the same accumulator folds live
+	// shard partials).
+	quar uint64
 }
 
 // ingestShard owns the report-path state of the devices that hash to it.

@@ -74,6 +74,12 @@ type FederationConfig struct {
 	// ("<cluster>.chain") and the regional super-chain ("anchor.chain")
 	// for offline verification with chainctl.
 	ExportDir string
+	// Physics carries the device-physics plane configuration. The
+	// federation's clusters currently run ideal producers; the field rides
+	// here so a federation run and its per-cluster fleet runs share one
+	// physics parameterization (see FleetConfig.Physics for the tier that
+	// consumes it).
+	Physics PhysicsConfig
 	// Registry receives every tier's instruments — per-cluster
 	// orchestration and consensus under "fed.<cluster>.*", plus the
 	// federation's own "fed.handoffs" / "fed.handbacks" /

@@ -85,6 +85,13 @@ type FleetConfig struct {
 	// zero-loss invariant under the injected faults. Replicas > 1 only.
 	Chaos *FaultPlan
 
+	// Physics enables the device-physics tier (single-aggregator runs
+	// only): every device carries a battery pack advanced lazily on event
+	// boundaries, samples through its own quantized INA219, stamps
+	// measurements from a drifting DS3231, sheds and browns out on low
+	// SoC, and re-converges through periodic timesync. See PhysicsConfig.
+	Physics PhysicsConfig
+
 	// Registry receives live telemetry from every tier the run touches
 	// (aggregator ingest, consensus, orchestrator) plus the driver's own
 	// per-window "fleet.window_ok" / "fleet.window_loss" series; nil
@@ -141,6 +148,26 @@ type FleetResult struct {
 	// fraction (must end below the planner's high-water mark).
 	HotspotLoadAfter float64
 
+	// Physics-tier outcomes (Physics.Enabled). Brownouts/Recoveries/
+	// ShedTransitions/Resyncs total the fleet's physics state machine;
+	// Quarantined counts live measurements the aggregator's skew gate held
+	// back; ShedSkippedTicks and BrownedOutTicks account the freshness
+	// cost of shedding; BufferedDelivered counts store-and-forward
+	// measurements (retransmitted tails and churn flushes); SolarSwing is
+	// the solar cohort's median-SoC excursion over the run; MaxAbsSkew the
+	// worst RTC skew observed at a window boundary.
+	PhysicsOn          bool
+	Brownouts          uint64
+	BrownoutRecoveries uint64
+	ShedTransitions    uint64
+	Resyncs            uint64
+	Quarantined        uint64
+	ShedSkippedTicks   uint64
+	BrownedOutTicks    uint64
+	BufferedDelivered  uint64
+	SolarSwing         float64
+	MaxAbsSkew         time.Duration
+
 	// Chaos outcomes (Chaos != nil). OutageDrops counts reports held back
 	// while an injected broker outage was active (they retransmit with
 	// the tail); AckBurstDrops counts acks suppressed by ack-loss bursts;
@@ -154,6 +181,26 @@ type FleetResult struct {
 }
 
 func (c *FleetConfig) defaults() {
+	if c.Physics.Enabled && c.Replicas <= 1 {
+		// The physics tier trades fleet scale for per-device state (pack,
+		// RTC, sensor chain each) and needs enough simulated time for the
+		// shed/brown-out/recover and drift/resync cycles to complete.
+		if c.Devices <= 0 {
+			c.Devices = 300
+		}
+		if c.Seconds < 12 {
+			c.Seconds = 12
+		}
+		if c.ChurnPerWindow <= 0 {
+			c.ChurnPerWindow = c.Devices / 100
+			if c.ChurnPerWindow < 1 {
+				c.ChurnPerWindow = 1
+			}
+		}
+		// Roaming temporaries forward their data home instead of sealing
+		// it here, which would read as loss to the ledger audit.
+		c.RoamFraction = -1
+	}
 	if c.Replicas > 1 {
 		// The replicated scenario measures failover correctness, not raw
 		// ingest contention: a smaller default fleet keeps the ledger
@@ -253,6 +300,9 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 	cfg.defaults()
 	if cfg.Replicas > 1 {
 		return runReplicatedFleet(cfg)
+	}
+	if cfg.Physics.Enabled {
+		return runPhysicsFleet(cfg)
 	}
 	res := FleetResult{Devices: cfg.Devices, Shards: cfg.Shards, Producers: cfg.Producers}
 
@@ -521,6 +571,17 @@ func WriteFleet(w io.Writer, r FleetResult) {
 		r.WindowsClosed, r.WindowsOK, r.WindowsFlagged)
 	fmt.Fprintf(w, "  chain:                  %d blocks, %d records, %d dropped\n",
 		r.BlocksSealed, r.RecordsSealed, r.RecordsDropped)
+	if r.PhysicsOn {
+		fmt.Fprintf(w, "  physics lifecycle:      %d shed / %d brownout / %d recovery transitions\n",
+			r.ShedTransitions, r.Brownouts, r.BrownoutRecoveries)
+		fmt.Fprintf(w, "  freshness cost:         %d samples coarsened away, %d browned-out ticks, %d buffered deliveries\n",
+			r.ShedSkippedTicks, r.BrownedOutTicks, r.BufferedDelivered)
+		fmt.Fprintf(w, "  clocks:                 %d quarantined, %d resyncs, worst skew %v\n",
+			r.Quarantined, r.Resyncs, r.MaxAbsSkew.Round(time.Microsecond))
+		fmt.Fprintf(w, "  solar swing:            %.2f median SoC excursion over the diurnal cycle\n", r.SolarSwing)
+		fmt.Fprintf(w, "  ledger audit:           %d acked records lost, %d duplicated\n",
+			r.RecordsLost, r.RecordsDuplicated)
+	}
 	if r.Replicas > 1 {
 		fmt.Fprintf(w, "  consensus:              %d batches decided, %d view change(s), chains identical: %v\n",
 			r.BatchesDecided, r.ViewChanges, r.ChainsIdentical)

@@ -70,6 +70,10 @@ type Params struct {
 	// pre-sealed proposals the replicated tier's leader keeps in flight at
 	// once (default 4; 1 = classic one-outstanding-proposal sealing).
 	PipelineDepth int
+	// Physics configures the device-physics plane (battery packs, INA219
+	// quantization, DS3231 drift, shedding and timesync re-convergence);
+	// the zero value leaves every scenario on the ideal-device path.
+	Physics PhysicsConfig
 }
 
 // DefaultParams returns the testbed configuration.

@@ -89,6 +89,13 @@ type Config struct {
 	BatchLimit int
 	// Seed feeds jitter (association delay).
 	Seed uint64
+	// Physics, when non-nil, is the device's energy/clock plane. It is
+	// advanced lazily on the device's own event boundaries (samples,
+	// transmissions, retries) — never ticked by the kernel. A browned-out
+	// device stops sampling and transmitting until harvest recovers the
+	// pack; a shed device stretches Tmeasure by the physics ShedFactor;
+	// measurements are stamped with the drifted RTC when one is fitted.
+	Physics *Physics
 }
 
 // Device is one metering node.
@@ -104,6 +111,10 @@ type Device struct {
 
 	seq   uint64
 	queue *store.Queue[protocol.Measurement]
+
+	// baseTmeasure is the mandated interval before physics shedding
+	// stretches it; cfg.Tmeasure always holds the effective interval.
+	baseTmeasure time.Duration
 
 	stopMeasure func()
 	retryEvent  sim.EventRef
@@ -156,12 +167,25 @@ func New(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Device{
-		cfg:   cfg,
-		state: StateOffline,
-		queue: q,
-		retry: NewBackoff(cfg.RetryInterval, cfg.RetryCap, cfg.Seed|1),
-	}, nil
+	d := &Device{
+		cfg:          cfg,
+		state:        StateOffline,
+		queue:        q,
+		baseTmeasure: cfg.Tmeasure,
+		retry:        NewBackoff(cfg.RetryInterval, cfg.RetryCap, cfg.Seed|1),
+	}
+	if cfg.Physics != nil {
+		// Mode transitions re-arm the sampling ticker at the effective
+		// interval; any hook the scenario installed still fires after.
+		user := cfg.Physics.OnModeChange
+		cfg.Physics.OnModeChange = func(from, to PhysicsMode) {
+			d.rearmForMode()
+			if user != nil {
+				user(from, to)
+			}
+		}
+	}
+	return d, nil
 }
 
 // ID returns the device identity.
@@ -280,9 +304,38 @@ func (d *Device) cancelRetry() {
 	d.retryEvent = sim.EventRef{}
 }
 
+// effectiveTmeasure returns the sampling interval after physics shedding.
+func (d *Device) effectiveTmeasure() time.Duration {
+	if d.cfg.Physics != nil {
+		return d.cfg.Physics.effectiveTmeasure(d.baseTmeasure)
+	}
+	return d.baseTmeasure
+}
+
+// rearmForMode re-arms the sampling ticker when a physics mode change
+// moved the effective interval (shed <-> normal).
+func (d *Device) rearmForMode() {
+	if d.stopMeasure == nil {
+		return
+	}
+	want := d.effectiveTmeasure()
+	if want == d.cfg.Tmeasure {
+		return
+	}
+	d.cfg.Tmeasure = want
+	d.stopMeasure()
+	d.stopMeasure = nil
+	d.startMeasuring()
+}
+
 // beginScan starts the channel survey; completion is scheduled after the
 // scan duration the radio model reports.
 func (d *Device) beginScan() {
+	if ph := d.cfg.Physics; ph != nil {
+		// A reattachment attempt costs radio energy like any other event.
+		ph.AdvanceTo(d.cfg.Env.Now())
+		ph.ConsumeRetry()
+	}
 	d.setState(StateScanning)
 	if d.masterAddr != "" && d.handshakeStart == 0 {
 		// A roaming device starts its Thandshake stopwatch when it
@@ -364,6 +417,14 @@ func (d *Device) measureOnce() {
 	if !d.plugged {
 		return
 	}
+	if ph := d.cfg.Physics; ph != nil {
+		if ph.AdvanceTo(d.cfg.Env.Now()) == PhysicsBrownedOut {
+			// Rails down: the ticker keeps firing only so the advance
+			// notices harvest recovery; no sample, no radio.
+			return
+		}
+		ph.ConsumeSample()
+	}
 	r, err := d.cfg.Meter.Read()
 	if err != nil || r.Overflow {
 		return
@@ -371,7 +432,7 @@ func (d *Device) measureOnce() {
 	d.seq++
 	m := protocol.Measurement{
 		Seq:       d.seq,
-		Timestamp: d.cfg.WallClock(),
+		Timestamp: d.wallNow(),
 		Interval:  d.cfg.Tmeasure,
 		Current:   r.Current,
 		Voltage:   r.Bus,
@@ -402,6 +463,19 @@ func (d *Device) transmit() {
 	if len(snap) > d.cfg.BatchLimit {
 		snap = snap[:d.cfg.BatchLimit]
 	}
+	// Snapshot copies, so flag the wire batch without touching the queue:
+	// everything below the newest seq is a retransmit of stored data and
+	// must ride as Buffered — it describes past intervals, and the
+	// aggregator's timestamp-skew gate exempts buffered data (its stamps
+	// are legitimately old).
+	for i := range snap {
+		if snap[i].Seq < d.seq {
+			snap[i].Buffered = true
+		}
+	}
+	if ph := d.cfg.Physics; ph != nil {
+		ph.ConsumeTx()
+	}
 	rep := protocol.Report{DeviceID: d.cfg.ID, MasterAddr: d.masterAddr, Measurements: snap}
 	if err := d.cfg.Send(d.aggregator, rep); err != nil {
 		// Link gone: data stays queued; reattach.
@@ -409,6 +483,15 @@ func (d *Device) transmit() {
 		return
 	}
 	d.reportsSent++
+}
+
+// wallNow returns the timestamp source for measurements: the physics
+// plane's drifted RTC when fitted, else the configured wall clock.
+func (d *Device) wallNow() time.Time {
+	if ph := d.cfg.Physics; ph != nil && ph.RTC != nil {
+		return ph.RTC.Now()
+	}
+	return d.cfg.WallClock()
 }
 
 // HandleMessage processes an aggregator-to-device message. The scenario's
@@ -454,10 +537,12 @@ func (d *Device) onRegisterAck(from string, ack protocol.RegisterAck) {
 	d.aggregator = from
 	d.kind = ack.Kind
 	d.slot = ack.Slot
-	if ack.Tmeasure > 0 && ack.Tmeasure != d.cfg.Tmeasure {
+	if ack.Tmeasure > 0 && ack.Tmeasure != d.baseTmeasure {
 		// The aggregator mandates the reporting interval; re-arm the
-		// sampling loop.
-		d.cfg.Tmeasure = ack.Tmeasure
+		// sampling loop (physics shedding stretches the mandate, not
+		// the other way round).
+		d.baseTmeasure = ack.Tmeasure
+		d.cfg.Tmeasure = d.effectiveTmeasure()
 		if d.stopMeasure != nil {
 			d.stopMeasure()
 			d.stopMeasure = nil

@@ -1,0 +1,201 @@
+package device
+
+import (
+	"time"
+
+	"decentmeter/internal/energy"
+	"decentmeter/internal/sensor"
+	"decentmeter/internal/units"
+)
+
+// PhysicsMode is the energy state of a device's physics plane.
+type PhysicsMode int
+
+// Physics modes. A device sheds before it browns out and recovers with
+// hysteresis, so the thresholds must satisfy Brownout < Shed < Recover.
+const (
+	// PhysicsNormal: full sampling cadence and duty cycle.
+	PhysicsNormal PhysicsMode = iota
+	// PhysicsShed: low SoC; the device stretches Tmeasure by ShedFactor
+	// and deepens its TDMA duty cycle to spend less on radio.
+	PhysicsShed
+	// PhysicsBrownedOut: SoC below the rail threshold; no sampling, no
+	// radio. Only the harvester (if any) still charges the pack.
+	PhysicsBrownedOut
+)
+
+// String implements fmt.Stringer.
+func (m PhysicsMode) String() string {
+	switch m {
+	case PhysicsNormal:
+		return "normal"
+	case PhysicsShed:
+		return "shed"
+	case PhysicsBrownedOut:
+		return "browned-out"
+	default:
+		return "unknown"
+	}
+}
+
+// Physics is the per-device energy/clock state plane: a battery pack, the
+// energy cost of discrete events, a drifted RTC and the link budget. It is
+// advanced lazily — only on event boundaries, by whoever owns the device's
+// events — so the sim kernel never ticks it and the report hot path stays
+// allocation-free.
+type Physics struct {
+	// Pack is the battery integrated lazily over event gaps.
+	Pack *energy.Pack
+	// RTC, when non-nil, is the drifted local clock used to stamp
+	// measurements. TrueWall must then map sim time to reference wall
+	// time so skew can be measured and the RTC re-disciplined.
+	RTC      *sensor.DS3231
+	TrueWall func(simNow time.Duration) time.Time
+
+	// Per-event energy costs, consumed on top of the Pack's base load.
+	SampleCost units.Energy // one sensor read
+	TxCost     units.Energy // one uplink transmission burst
+	RetryCost  units.Energy // one reattachment/retry attempt
+
+	// Mode thresholds on SoC: Brownout < Shed < Recover. Zero values
+	// disable the respective transition.
+	ShedSoC     float64
+	BrownoutSoC float64
+	RecoverSoC  float64
+	// ShedFactor multiplies Tmeasure while shed (default 4).
+	ShedFactor int
+	// LinkRSSIDBm is the device's link budget at its grid position; the
+	// scenario derives an extra packet error rate from it. Zero means
+	// "not modelled".
+	LinkRSSIDBm float64
+
+	// OnModeChange, if set, observes transitions (the device re-arms its
+	// sampling ticker; fleet drivers mirror shed state into TDMA).
+	OnModeChange func(from, to PhysicsMode)
+
+	mode       PhysicsMode
+	brownouts  uint64
+	recoveries uint64
+	sheds      uint64
+	resyncs    uint64
+}
+
+// NewPhysics wraps a pack with the default thresholds: shed at 20% SoC,
+// brown out at 5%, recover at 15%, shed factor 4.
+func NewPhysics(pack *energy.Pack) *Physics {
+	return &Physics{
+		Pack:        pack,
+		ShedSoC:     0.20,
+		BrownoutSoC: 0.05,
+		RecoverSoC:  0.15,
+		ShedFactor:  4,
+	}
+}
+
+// Mode returns the current physics mode (as of the last advance).
+func (p *Physics) Mode() PhysicsMode { return p.mode }
+
+// SoC returns the pack state of charge as of the last advance.
+func (p *Physics) SoC() float64 { return p.Pack.SoC() }
+
+// Stats returns (brownouts, recoveries, shed transitions, resyncs).
+func (p *Physics) Stats() (uint64, uint64, uint64, uint64) {
+	return p.brownouts, p.recoveries, p.sheds, p.resyncs
+}
+
+// AdvanceTo integrates the pack to simNow and applies mode transitions.
+// It is idempotent for a given simNow and O(1) regardless of the gap, so
+// every event handler advances unconditionally before acting.
+func (p *Physics) AdvanceTo(simNow time.Duration) PhysicsMode {
+	soc := p.Pack.AdvanceTo(simNow)
+	switch p.mode {
+	case PhysicsBrownedOut:
+		if p.RecoverSoC > 0 && soc >= p.RecoverSoC {
+			p.recoveries++
+			p.Pack.SetLoadScale(1)
+			p.transition(PhysicsNormal)
+			// Re-check: a recovery lands in Shed when Recover < Shed.
+			if p.ShedSoC > 0 && soc <= p.ShedSoC {
+				p.sheds++
+				p.transition(PhysicsShed)
+			}
+		}
+	case PhysicsShed:
+		if p.BrownoutSoC > 0 && soc <= p.BrownoutSoC {
+			p.brownouts++
+			p.Pack.SetLoadScale(0)
+			p.transition(PhysicsBrownedOut)
+		} else if p.ShedSoC > 0 && soc > p.ShedSoC {
+			p.transition(PhysicsNormal)
+		}
+	default: // PhysicsNormal
+		if p.BrownoutSoC > 0 && soc <= p.BrownoutSoC {
+			p.brownouts++
+			p.Pack.SetLoadScale(0)
+			p.transition(PhysicsBrownedOut)
+		} else if p.ShedSoC > 0 && soc <= p.ShedSoC {
+			p.sheds++
+			p.transition(PhysicsShed)
+		}
+	}
+	return p.mode
+}
+
+func (p *Physics) transition(to PhysicsMode) {
+	if to == p.mode {
+		return
+	}
+	from := p.mode
+	p.mode = to
+	if p.OnModeChange != nil {
+		p.OnModeChange(from, to)
+	}
+}
+
+// ConsumeSample charges one sensor read to the pack.
+func (p *Physics) ConsumeSample() { p.Pack.Consume(p.SampleCost) }
+
+// ConsumeTx charges one transmission burst to the pack.
+func (p *Physics) ConsumeTx() { p.Pack.Consume(p.TxCost) }
+
+// ConsumeRetry charges one reattachment attempt to the pack.
+func (p *Physics) ConsumeRetry() { p.Pack.Consume(p.RetryCost) }
+
+// Now returns the device's belief of wall time: the drifted RTC when one
+// is fitted, else the reference clock.
+func (p *Physics) Now(simNow time.Duration) time.Time {
+	if p.RTC != nil {
+		return p.RTC.Now()
+	}
+	if p.TrueWall != nil {
+		return p.TrueWall(simNow)
+	}
+	return time.Time{}
+}
+
+// Skew returns RTC-now minus reference wall time — positive when the
+// device's clock runs fast. Zero without an RTC or reference.
+func (p *Physics) Skew(simNow time.Duration) time.Duration {
+	if p.RTC == nil || p.TrueWall == nil {
+		return 0
+	}
+	return p.RTC.OffsetAgainst(p.TrueWall(simNow))
+}
+
+// Resync steps the RTC onto the given wall time, as the timesync
+// discipline loop does after an offset estimate converges.
+func (p *Physics) Resync(to time.Time) {
+	if p.RTC == nil {
+		return
+	}
+	p.RTC.SetTime(to)
+	p.resyncs++
+}
+
+// effectiveTmeasure returns the sampling interval for the current mode.
+func (p *Physics) effectiveTmeasure(base time.Duration) time.Duration {
+	if p.mode == PhysicsShed && p.ShedFactor > 1 {
+		return base * time.Duration(p.ShedFactor)
+	}
+	return base
+}

@@ -1,0 +1,182 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"decentmeter/internal/energy"
+	"decentmeter/internal/protocol"
+	"decentmeter/internal/radio"
+	"decentmeter/internal/sensor"
+	"decentmeter/internal/sim"
+	"decentmeter/internal/units"
+)
+
+// newPhysicsRig mirrors newRig with a physics plane attached. The physics
+// hook chain is wired inside New, so ph.OnModeChange must be set before
+// this call if a test wants to observe transitions.
+func newPhysicsRig(t *testing.T, ph *Physics) *rig {
+	t.Helper()
+	env := sim.NewEnv(1)
+	load := &sensor.StaticLoad{I: 80 * units.Milliampere, V: 5 * units.Volt}
+	bus := sensor.NewBus()
+	ina := sensor.NewINA219(load, sensor.INA219Config{Seed: 1})
+	if err := bus.Attach(sensor.AddrINA219Default, ina); err != nil {
+		t.Fatal(err)
+	}
+	meter, err := sensor.NewMeter(bus, sensor.AddrINA219Default, 2*units.Ampere, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{
+		env:     env,
+		load:    load,
+		scanAP:  radio.ScanResult{APID: "agg1", Channel: 1, RSSIDBm: -50},
+		scanDur: 100 * time.Millisecond,
+		scanOK:  true,
+	}
+	epoch := time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC)
+	dev, err := New(Config{
+		ID:        "dev1",
+		Env:       env,
+		Meter:     meter,
+		WallClock: func() time.Time { return epoch.Add(env.Now()) },
+		Send: func(aggID string, msg protocol.Message) error {
+			if r.sendErr != nil {
+				return r.sendErr
+			}
+			r.sent = append(r.sent, msg)
+			r.sendTo = append(r.sendTo, aggID)
+			return nil
+		},
+		Scan: func() (radio.ScanResult, time.Duration, bool) {
+			r.scans++
+			r.scanTimes = append(r.scanTimes, env.Now())
+			return r.scanAP, r.scanDur, r.scanOK
+		},
+		Seed:    7,
+		Physics: ph,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.dev = dev
+	return r
+}
+
+// A device on a small pack with a weak harvester must walk the whole mode
+// cycle — normal, shed, browned out, recovered — with sampling dead while
+// browned out and alive again after recovery.
+func TestPhysicsLifecycle(t *testing.T) {
+	// 100mA load against 40mA harvest at 5V: drains a 0.35mWh pack from
+	// full in ~4s; during brown-out the harvest alone refills 5%->15% in
+	// ~0.6s, so a 20s run sees several full cycles.
+	pack := energy.NewPack(0.00035, 1.0,
+		5*units.Volt,
+		energy.Constant{I: 100 * units.Milliampere},
+		energy.Constant{I: 40 * units.Milliampere})
+	ph := NewPhysics(pack)
+	var dev *Device
+	var atBrownout, atRecovery []uint64
+	ph.OnModeChange = func(from, to PhysicsMode) {
+		if to == PhysicsBrownedOut {
+			atBrownout = append(atBrownout, dev.reportsSent)
+		}
+		if from == PhysicsBrownedOut {
+			atRecovery = append(atRecovery, dev.reportsSent)
+		}
+	}
+	r := newPhysicsRig(t, ph)
+	dev = r.dev
+	connect(t, r)
+	r.env.RunUntil(20 * time.Second)
+
+	brownouts, recoveries, sheds, _ := ph.Stats()
+	if brownouts == 0 || recoveries == 0 || sheds == 0 {
+		t.Fatalf("expected full mode cycle, got brownouts=%d recoveries=%d sheds=%d",
+			brownouts, recoveries, sheds)
+	}
+	if ph.SoC() < 0 || ph.SoC() > 1 {
+		t.Fatalf("SoC out of range: %v", ph.SoC())
+	}
+	// Reporting must stall across every brown-out span.
+	if len(atBrownout) == 0 || len(atRecovery) == 0 {
+		t.Fatalf("mode hook never fired: %d brownouts, %d recoveries", len(atBrownout), len(atRecovery))
+	}
+	for i := range atRecovery {
+		if atRecovery[i] != atBrownout[i] {
+			t.Fatalf("device reported while browned out: %d -> %d reports", atBrownout[i], atRecovery[i])
+		}
+	}
+	// And resume after the last recovery.
+	if dev.reportsSent == atRecovery[len(atRecovery)-1] && ph.Mode() != PhysicsBrownedOut {
+		t.Fatalf("reporting never resumed after recovery (%d reports)", dev.reportsSent)
+	}
+}
+
+// A shed device stretches Tmeasure by ShedFactor: report cadence drops
+// from 10/s to ~2.5/s once SoC crosses the shed threshold.
+func TestPhysicsShedStretchesTmeasure(t *testing.T) {
+	pack := energy.NewPack(0.0001, 1.0, 5*units.Volt,
+		energy.Constant{I: 100 * units.Milliampere}, nil)
+	ph := NewPhysics(pack)
+	ph.BrownoutSoC = 0 // never brown out: hold in Shed once entered
+	ph.RecoverSoC = 0
+	r := newPhysicsRig(t, ph)
+	connect(t, r)
+	// 0.1mWh at 0.5W drains fully in ~0.72s; shed hits around 0.58s.
+	r.env.RunUntil(r.env.Now() + 2*time.Second)
+	if ph.Mode() != PhysicsShed {
+		t.Fatalf("mode = %v, want shed (SoC %v)", ph.Mode(), ph.SoC())
+	}
+	if got := r.dev.cfg.Tmeasure; got != 400*time.Millisecond {
+		t.Fatalf("effective Tmeasure = %v, want 400ms (base 100ms x factor 4)", got)
+	}
+	before := r.dev.reportsSent
+	r.env.RunUntil(r.env.Now() + 2*time.Second)
+	delta := r.dev.reportsSent - before
+	if delta < 3 || delta > 7 {
+		t.Fatalf("%d reports in 2s while shed, want ~5 (400ms cadence)", delta)
+	}
+}
+
+// Measurements are stamped by the drifted RTC, and a resync snaps the
+// device's skew back to zero.
+func TestPhysicsRTCStampAndResync(t *testing.T) {
+	pack := energy.NewPack(1, 1.0, 5*units.Volt, nil, nil) // effectively infinite
+	ph := NewPhysics(pack)
+	epoch := time.Date(2020, 4, 29, 0, 0, 0, 0, time.UTC)
+	var env *sim.Env
+	trueWall := func(simNow time.Duration) time.Time { return epoch.Add(simNow) }
+	r := newPhysicsRig(t, ph)
+	env = r.env
+	rtc := sensor.NewDS3231(sensor.DS3231Config{
+		Seed: 9, Epoch: epoch, Now: func() time.Duration { return env.Now() },
+	})
+	rtc.SetTime(epoch)    // clear OSF, anchor at epoch
+	rtc.DriftPPM = 200000 // 20%: a second of sim time skews 200ms
+	ph.RTC = rtc
+	ph.TrueWall = trueWall
+	connect(t, r)
+	r.env.RunUntil(r.env.Now() + time.Second)
+
+	rep, ok := lastOf[protocol.Report](r)
+	if !ok || len(rep.Measurements) == 0 {
+		t.Fatal("no report sent")
+	}
+	last := rep.Measurements[len(rep.Measurements)-1]
+	skew := last.Timestamp.Sub(epoch.Add(r.env.Now()))
+	if skew < 100*time.Millisecond {
+		t.Fatalf("timestamp skew = %v, want >=100ms from a 20%% fast RTC", skew)
+	}
+	if got := ph.Skew(r.env.Now()); got < 100*time.Millisecond {
+		t.Fatalf("Skew() = %v, want >=100ms", got)
+	}
+	ph.Resync(trueWall(r.env.Now()))
+	if got := ph.Skew(r.env.Now()); got.Abs() > time.Millisecond {
+		t.Fatalf("post-resync skew = %v, want ~0", got)
+	}
+	if _, _, _, resyncs := ph.Stats(); resyncs != 1 {
+		t.Fatalf("resyncs = %d, want 1", resyncs)
+	}
+}

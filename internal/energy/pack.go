@@ -1,0 +1,171 @@
+package energy
+
+import (
+	"time"
+
+	"decentmeter/internal/units"
+)
+
+// Pack is a battery state of charge advanced lazily on event boundaries.
+// Unlike Battery (a charger-side load model with a closed-form SoC curve),
+// Pack integrates an arbitrary load profile against an optional harvesting
+// profile, so a simulated device can drain, shed, brown out and recover
+// without the kernel ever stepping it on a tick. Between events nothing
+// runs; AdvanceTo integrates the elapsed gap with left rectangles, the same
+// quadrature EnergyOver uses, so a Pack advanced at arbitrary event spacings
+// agrees with the fine-step reference to within the rectangle error.
+//
+// Pack is not safe for concurrent use; each simulated device owns one and
+// advances it from the sim goroutine that owns the device.
+type Pack struct {
+	// CapacityWh is the usable pack capacity in watt-hours.
+	CapacityWh float64
+	// Voltage is the nominal bus voltage converting current to power.
+	Voltage units.Voltage
+	// Load is the discharge draw. Currents must be non-negative.
+	Load Profile
+	// Harvest, when non-nil, is a charging current (solar, kinetic)
+	// subtracted from the load draw. May exceed the load, charging the
+	// pack.
+	Harvest Profile
+	// MaxStep bounds the left-rectangle width. Long event gaps are
+	// subdivided (capped at maxSubsteps) so slow profile structure —
+	// a diurnal harvest swing, a duty cycle — is still sampled. Zero
+	// defaults to 100ms.
+	MaxStep time.Duration
+
+	soc       float64       // state of charge, [0,1]
+	last      time.Duration // sim time of the last advance
+	loadScale float64       // 1 normal, 0 browned out (harvest continues)
+	whPerAS   float64       // SoC per ampere-second: V / 3600 / CapacityWh
+}
+
+// maxSubsteps caps the integration work for one AdvanceTo so a device that
+// slept for hours costs the same O(1) as one that slept a tick.
+const maxSubsteps = 64
+
+// NewPack returns a Pack at initialSoC whose clock starts at time zero.
+func NewPack(capacityWh, initialSoC float64, v units.Voltage, load, harvest Profile) *Pack {
+	p := &Pack{
+		CapacityWh: capacityWh,
+		Voltage:    v,
+		Load:       load,
+		Harvest:    harvest,
+		MaxStep:    100 * time.Millisecond,
+		soc:        clamp01(initialSoC),
+		loadScale:  1,
+	}
+	if capacityWh > 0 {
+		p.whPerAS = v.Volts() / 3600 / capacityWh
+	}
+	return p
+}
+
+// SoC returns the state of charge as of the last advance, in [0,1].
+func (p *Pack) SoC() float64 { return p.soc }
+
+// LastAdvance returns the sim time the pack was last advanced to.
+func (p *Pack) LastAdvance() time.Duration { return p.last }
+
+// SetLoadScale scales the load draw from the next advance on: 1 is the
+// normal draw, 0 a browned-out device whose rails are down but whose
+// harvester still charges the pack. The pack must already be advanced to
+// the transition time, or the scale would be misapplied to the gap before
+// it.
+func (p *Pack) SetLoadScale(s float64) {
+	if s < 0 {
+		s = 0
+	}
+	p.loadScale = s
+}
+
+// LoadScale returns the current load scale.
+func (p *Pack) LoadScale() float64 { return p.loadScale }
+
+// TrueLoad returns the instantaneous draw the pack's load presents at t
+// with the current load scale applied — the ground truth a current sensor
+// on the device's rail would observe.
+func (p *Pack) TrueLoad(t time.Duration) units.Current {
+	if p.loadScale == 0 || p.Load == nil {
+		return 0
+	}
+	i := p.Load.Current(t)
+	if p.loadScale == 1 {
+		return i
+	}
+	return units.Current(float64(i) * p.loadScale)
+}
+
+// AdvanceTo integrates the pack from the last advance to t and returns the
+// new SoC. Calls with t at or before the last advance are no-ops, so event
+// handlers can advance unconditionally. The common case — one event gap at
+// or under MaxStep — is a single rectangle with no allocation.
+func (p *Pack) AdvanceTo(t time.Duration) float64 {
+	dt := t - p.last
+	if dt <= 0 {
+		return p.soc
+	}
+	maxStep := p.MaxStep
+	if maxStep <= 0 {
+		maxStep = 100 * time.Millisecond
+	}
+	if dt <= maxStep {
+		p.step(p.last, dt)
+		p.last = t
+		return p.soc
+	}
+	n := int(dt / maxStep)
+	if dt%maxStep != 0 {
+		n++
+	}
+	if n > maxSubsteps {
+		n = maxSubsteps
+	}
+	step := dt / time.Duration(n)
+	at := p.last
+	for i := 0; i < n-1; i++ {
+		p.step(at, step)
+		at += step
+	}
+	p.step(at, t-at) // last rectangle absorbs the division remainder
+	p.last = t
+	return p.soc
+}
+
+// step applies one left rectangle of width d anchored at time at.
+func (p *Pack) step(at, d time.Duration) {
+	if p.whPerAS == 0 {
+		return
+	}
+	var net float64 // amps, positive = discharging
+	if p.loadScale != 0 && p.Load != nil {
+		net = p.Load.Current(at).Amps() * p.loadScale
+	}
+	if p.Harvest != nil {
+		net -= p.Harvest.Current(at).Amps()
+	}
+	if net == 0 {
+		return
+	}
+	p.soc = clamp01(p.soc - net*d.Seconds()*p.whPerAS)
+}
+
+// Consume subtracts a discrete event cost (a TX burst, a sensor read)
+// directly from the state of charge. The pack should be advanced to the
+// event time first so the cost lands after the gap integration.
+func (p *Pack) Consume(e units.Energy) {
+	if p.CapacityWh <= 0 || e <= 0 {
+		return
+	}
+	p.soc = clamp01(p.soc - e.WattHours()/p.CapacityWh)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

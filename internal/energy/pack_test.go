@@ -1,0 +1,165 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"decentmeter/internal/units"
+)
+
+// The % operator keeps the dividend's sign, so before the fix every
+// negative t landed in the On branch regardless of duty. The cycle must be
+// periodic over the whole axis: Current(t) == Current(t + Period).
+func TestDutyCycleNegativeTime(t *testing.T) {
+	p := DutyCycle{On: 700 * units.Milliampere, Off: 30 * units.Milliampere, Period: time.Second, Duty: 0.25}
+	for _, at := range []time.Duration{
+		-10 * time.Millisecond,
+		-300 * time.Millisecond,
+		-900 * time.Millisecond,
+		-time.Second,
+		-2500 * time.Millisecond,
+	} {
+		want := p.Current(at + 10*p.Period)
+		if got := p.Current(at); got != want {
+			t.Fatalf("DutyCycle not periodic: Current(%v) = %v, Current(%v) = %v", at, got, at+10*p.Period, want)
+		}
+	}
+	// -900ms is 100ms into the cycle → On; -300ms is 700ms in → Off.
+	if got := p.Current(-900 * time.Millisecond); got != p.On {
+		t.Fatalf("Current(-900ms) = %v, want On %v", got, p.On)
+	}
+	if got := p.Current(-300 * time.Millisecond); got != p.Off {
+		t.Fatalf("Current(-300ms) = %v, want Off %v", got, p.Off)
+	}
+}
+
+// Under pure discharge (no harvest) SoC must be monotone non-increasing no
+// matter how the event boundaries fall — the satellite regression for the
+// lazy advance.
+func TestPackMonotoneDischargeArbitrarySpacings(t *testing.T) {
+	load := DutyCycle{On: 120 * units.Milliampere, Off: 20 * units.Milliampere, Period: 250 * time.Millisecond, Duty: 0.3}
+	p := NewPack(0.001, 1.0, 5*units.Volt, load, nil)
+	rngState := uint64(0x9a7)
+	now := time.Duration(0)
+	prev := p.SoC()
+	for i := 0; i < 4000; i++ {
+		rngState = splitmix(rngState)
+		// Gaps from 0 to ~130ms: some below MaxStep (single rectangle),
+		// some above (substepped), some zero (no-op).
+		now += time.Duration(rngState % uint64(130*time.Millisecond))
+		soc := p.AdvanceTo(now)
+		if soc > prev {
+			t.Fatalf("SoC increased under pure discharge: %v -> %v at %v", prev, soc, now)
+		}
+		prev = soc
+	}
+	if prev != 0 {
+		t.Fatalf("1mWh pack should be empty after %v of >=20mA draw, SoC = %v", now, prev)
+	}
+}
+
+// Lazy advance at coarse event boundaries must agree with a fine-step
+// reference: the substep bound keeps slow profile structure sampled.
+func TestPackLazyMatchesFineStep(t *testing.T) {
+	mk := func() (*Pack, *Pack) {
+		load := Sine{Mean: 60 * units.Milliampere, Amplitude: 40 * units.Milliampere, Period: 2 * time.Second}
+		harvest := Sine{Mean: 30 * units.Milliampere, Amplitude: 30 * units.Milliampere, Period: 3 * time.Second}
+		return NewPack(0.002, 0.8, 5*units.Volt, load, harvest),
+			NewPack(0.002, 0.8, 5*units.Volt, load, harvest)
+	}
+	lazy, fine := mk()
+	end := 10 * time.Second
+	// Lazy: irregular coarse boundaries.
+	rngState := uint64(42)
+	for now := time.Duration(0); now < end; {
+		rngState = splitmix(rngState)
+		now += 20*time.Millisecond + time.Duration(rngState%uint64(400*time.Millisecond))
+		if now > end {
+			now = end
+		}
+		lazy.AdvanceTo(now)
+	}
+	// Reference: 1ms steps.
+	for now := time.Duration(0); now < end; now += time.Millisecond {
+		fine.AdvanceTo(now + time.Millisecond)
+	}
+	if diff := math.Abs(lazy.SoC() - fine.SoC()); diff > 0.02 {
+		t.Fatalf("lazy SoC %v vs fine-step %v, diff %v > 0.02", lazy.SoC(), fine.SoC(), diff)
+	}
+}
+
+// A browned-out pack (load scale 0) still charges from its harvester and
+// clamps at full.
+func TestPackHarvestRecovery(t *testing.T) {
+	p := NewPack(0.0001, 0.0, 5*units.Volt,
+		Constant{I: 50 * units.Milliampere},
+		Constant{I: 80 * units.Milliampere})
+	p.SetLoadScale(0)
+	p.AdvanceTo(2 * time.Second)
+	if p.SoC() <= 0 {
+		t.Fatalf("harvest should charge a browned-out pack, SoC = %v", p.SoC())
+	}
+	if got := p.TrueLoad(time.Second); got != 0 {
+		t.Fatalf("TrueLoad with scale 0 = %v, want 0", got)
+	}
+	p.AdvanceTo(time.Hour)
+	if p.SoC() != 1 {
+		t.Fatalf("SoC should clamp at 1, got %v", p.SoC())
+	}
+	p.SetLoadScale(1)
+	if got, want := p.TrueLoad(time.Second), 50*units.Milliampere; got != want {
+		t.Fatalf("TrueLoad restored = %v, want %v", got, want)
+	}
+}
+
+// Discrete event costs (TX bursts) subtract exactly and clamp at empty.
+func TestPackConsume(t *testing.T) {
+	p := NewPack(0.001, 0.5, 5*units.Volt, nil, nil)
+	p.Consume(units.Energy(0.0001 * 1e6)) // 0.1 mWh of a 1 mWh pack
+	if diff := math.Abs(p.SoC() - 0.4); diff > 1e-9 {
+		t.Fatalf("SoC after 0.1mWh consume = %v, want 0.4", p.SoC())
+	}
+	p.Consume(units.WattHoursToEnergy(1)) // far more than remains
+	if p.SoC() != 0 {
+		t.Fatalf("SoC should clamp at 0, got %v", p.SoC())
+	}
+	p.Consume(-units.MilliwattHour) // negative cost is ignored, not a charge
+	if p.SoC() != 0 {
+		t.Fatalf("negative Consume must be a no-op, SoC = %v", p.SoC())
+	}
+}
+
+// Advancing to the past or the same instant is a no-op so event handlers
+// can advance unconditionally.
+func TestPackAdvanceNotBackwards(t *testing.T) {
+	p := NewPack(0.001, 0.9, 5*units.Volt, Constant{I: 100 * units.Milliampere}, nil)
+	p.AdvanceTo(time.Second)
+	soc := p.SoC()
+	p.AdvanceTo(500 * time.Millisecond)
+	p.AdvanceTo(time.Second)
+	if p.SoC() != soc {
+		t.Fatalf("backwards advance changed SoC: %v -> %v", soc, p.SoC())
+	}
+	if p.LastAdvance() != time.Second {
+		t.Fatalf("LastAdvance = %v, want 1s", p.LastAdvance())
+	}
+}
+
+// Pack integration agrees with EnergyOver, the stack's own quadrature.
+func TestPackMatchesEnergyOver(t *testing.T) {
+	// 720mA@5V over 50ms is exactly 50uWh and 72mA exactly 5uWh, so
+	// EnergyOver's integer microwatt-hour rectangles carry no rounding
+	// and the two integrators must agree to float precision.
+	load := DutyCycle{On: 720 * units.Milliampere, Off: 72 * units.Milliampere, Period: 400 * time.Millisecond, Duty: 0.5}
+	p := NewPack(0.005, 1.0, 5*units.Volt, load, nil)
+	end := 5 * time.Second
+	for now := time.Duration(0); now <= end; now += 50 * time.Millisecond {
+		p.AdvanceTo(now)
+	}
+	spent := EnergyOver(load, 5*units.Volt, 0, end, 50*time.Millisecond)
+	wantSoC := 1.0 - spent.WattHours()/0.005
+	if diff := math.Abs(p.SoC() - wantSoC); diff > 1e-6 {
+		t.Fatalf("Pack SoC %v vs EnergyOver-derived %v, diff %v", p.SoC(), wantSoC, diff)
+	}
+}

@@ -99,6 +99,12 @@ func (d DutyCycle) Current(t time.Duration) units.Current {
 		duty = 1
 	}
 	phase := t % d.Period
+	if phase < 0 {
+		// Go's % keeps the dividend's sign; a negative phase would land
+		// in the On branch for every t < 0. Normalize so the cycle is
+		// periodic over the whole time axis.
+		phase += d.Period
+	}
 	if float64(phase) < duty*float64(d.Period) {
 		return d.On
 	}

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"decentmeter/internal/energy"
 	"decentmeter/internal/units"
 )
 
@@ -444,5 +445,94 @@ func TestBusTransactionCount(t *testing.T) {
 	}
 	if bus.Transactions()-before != 3 {
 		t.Fatalf("one Read = %d transactions, want 3", bus.Transactions()-before)
+	}
+}
+
+// profileLoad drives a LoadChannel from an energy.Profile at a settable
+// virtual time — the shape of the device sampling path, where the meter
+// observes a time-varying true draw.
+type profileLoad struct {
+	p energy.Profile
+	v units.Voltage
+	t time.Duration
+}
+
+func (l *profileLoad) TrueCurrent() units.Current    { return l.p.Current(l.t) }
+func (l *profileLoad) TrueBusVoltage() units.Voltage { return l.v }
+
+// The device sampling path integrates quantized INA219 readings into
+// energy exactly as energy.EnergyOver integrates the true profile; over a
+// realistic window the LSB quantization, offset and noise must stay within
+// the part's error budget, not silently diverge.
+func TestQuantizedSamplingTracksProfileEnergy(t *testing.T) {
+	profile := energy.DutyCycle{
+		On: 120 * units.Milliampere, Off: 45 * units.Milliampere,
+		Period: 400 * time.Millisecond, Duty: 0.3,
+	}
+	load := &profileLoad{p: profile, v: 5 * units.Volt}
+	_, m := newTestINA(load, 7)
+	const tm = 100 * time.Millisecond
+	end := 10 * time.Second
+	var est units.Energy
+	imperfect := 0
+	for at := time.Duration(0); at < end; at += tm {
+		load.t = at
+		r, err := m.Read()
+		if err != nil || r.Overflow {
+			t.Fatalf("read at %v: %v overflow=%v", at, err, r.Overflow)
+		}
+		if r.Current != profile.Current(at) {
+			imperfect++
+		}
+		est += units.EnergyFromIVOver(r.Current, r.Bus, tm)
+	}
+	truth := energy.EnergyOver(profile, 5*units.Volt, 0, end, tm)
+	rel := math.Abs(float64(est-truth)) / float64(truth)
+	if rel > 0.03 {
+		t.Fatalf("quantized energy %v vs true %v: %.2f%% off, budget 3%%", est, truth, rel*100)
+	}
+	if imperfect == 0 {
+		t.Fatal("every reading exactly equals the ideal float: sampling is not going through the sensor model")
+	}
+}
+
+// A fine ramp of true currents must collapse onto the register staircase:
+// the INA219 cannot resolve below its shunt LSB, so distinct readings are
+// far fewer than distinct inputs.
+func TestINA219QuantizationStaircase(t *testing.T) {
+	load := &StaticLoad{V: 5 * units.Volt}
+	_, m := newTestINA(load, 3)
+	distinct := map[units.Current]bool{}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		load.I = 80*units.Milliampere + units.Current(i)*10*units.Microampere
+		r, err := m.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct[r.Current] = true
+	}
+	if len(distinct) >= n/2 {
+		t.Fatalf("%d distinct readings from %d inputs: no visible quantization", len(distinct), n)
+	}
+}
+
+// Timestamps produced by sampling on a drifted DS3231 accrue skew at the
+// realized ppm: the consecutive-sample delta is (1 + ppm*1e-6) * Tmeasure.
+func TestDS3231DriftSkewsSamplingTimestamps(t *testing.T) {
+	var now time.Duration
+	rtc := NewDS3231(DS3231Config{Seed: 5, Now: func() time.Duration { return now }})
+	rtc.SetTime(rtc.Now()) // anchor
+	rtc.DriftPPM = 50000   // 5% fast, exaggerated to dominate rounding
+	const tm = 100 * time.Millisecond
+	start := rtc.Now()
+	for i := 0; i < 100; i++ {
+		now += tm
+	}
+	elapsed := rtc.Now().Sub(start)
+	wantSkew := time.Duration(float64(100*tm) * 50000e-6)
+	skew := elapsed - 100*tm
+	if diff := (skew - wantSkew).Abs(); diff > time.Millisecond {
+		t.Fatalf("accumulated skew %v, want ~%v", skew, wantSkew)
 	}
 }

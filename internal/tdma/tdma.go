@@ -76,6 +76,10 @@ type Schedule struct {
 	freed  freedHeap      // released slot indices, all < nextSlot
 	// nextSlot is the lowest slot index never yet assigned.
 	nextSlot int
+	// dutyCycle maps a device to its superframe skip factor (>1 = the
+	// device transmits only every Nth superframe). Absent or 1 = every
+	// frame. Allocated lazily: a fleet with no shed devices pays nothing.
+	dutyCycle map[string]int
 }
 
 // NewSchedule builds an empty schedule.
@@ -150,8 +154,35 @@ func (s *Schedule) Release(deviceID string) error {
 	}
 	s.owners[idx] = ""
 	delete(s.bySlot, deviceID)
+	delete(s.dutyCycle, deviceID)
 	heap.Push(&s.freed, idx)
 	return nil
+}
+
+// SetDutyCycle sets the superframe skip factor for a device: with skip N
+// the device transmits only every Nth superframe, the deeper duty cycling
+// a low-SoC device sheds to. Skip <= 1 restores every-frame transmission.
+func (s *Schedule) SetDutyCycle(deviceID string, skip int) error {
+	if _, ok := s.bySlot[deviceID]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotAssigned, deviceID)
+	}
+	if skip <= 1 {
+		delete(s.dutyCycle, deviceID)
+		return nil
+	}
+	if s.dutyCycle == nil {
+		s.dutyCycle = make(map[string]int)
+	}
+	s.dutyCycle[deviceID] = skip
+	return nil
+}
+
+// DutyCycleOf returns the skip factor for a device (1 = every superframe).
+func (s *Schedule) DutyCycleOf(deviceID string) int {
+	if skip, ok := s.dutyCycle[deviceID]; ok {
+		return skip
+	}
+	return 1
 }
 
 // SlotOf returns the slot index owned by deviceID.
@@ -185,7 +216,10 @@ func (s *Schedule) SlotWindow(idx int) (offset, length time.Duration, err error)
 }
 
 // NextTransmitAt returns the first instant >= now that falls at the start
-// of deviceID's slot. Devices use this to align their report transmissions.
+// of deviceID's slot in a superframe the device's duty cycle permits.
+// Devices use this to align their report transmissions. With skip N the
+// permitted frames are staggered by slot index so shed devices spread over
+// the N-frame cycle instead of bunching.
 func (s *Schedule) NextTransmitAt(deviceID string, now time.Duration) (time.Duration, error) {
 	idx, err := s.SlotOf(deviceID)
 	if err != nil {
@@ -195,12 +229,15 @@ func (s *Schedule) NextTransmitAt(deviceID string, now time.Duration) (time.Dura
 	if err != nil {
 		return 0, err
 	}
-	frame := now / s.cfg.Superframe * s.cfg.Superframe
-	at := frame + offset
-	if at < now {
-		at += s.cfg.Superframe
+	frame := int64(now / s.cfg.Superframe)
+	if time.Duration(frame)*s.cfg.Superframe+offset < now {
+		frame++
 	}
-	return at, nil
+	if skip := int64(s.DutyCycleOf(deviceID)); skip > 1 {
+		phase := int64(idx) % skip
+		frame += (phase - frame%skip + skip) % skip
+	}
+	return time.Duration(frame)*s.cfg.Superframe + offset, nil
 }
 
 // Overlaps reports whether any two assigned slots overlap in time; it is an

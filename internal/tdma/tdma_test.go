@@ -246,3 +246,87 @@ func TestTransmitCadenceMatchesTmeasure(t *testing.T) {
 		now = at + time.Microsecond
 	}
 }
+
+func TestDutyCycleSkipsSuperframes(t *testing.T) {
+	// A shed device with skip 4 transmits every 4th superframe; its slot
+	// offset within the frame is unchanged.
+	s, _ := NewSchedule(DefaultConfig())
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := s.Assign(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetDutyCycle("b", 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DutyCycleOf("b"); got != 4 {
+		t.Fatalf("DutyCycleOf(b) = %d, want 4", got)
+	}
+	if got := s.DutyCycleOf("a"); got != 1 {
+		t.Fatalf("DutyCycleOf(a) = %d, want 1", got)
+	}
+	sf := s.Config().Superframe
+	var prev time.Duration = -1
+	now := time.Duration(1)
+	for i := 0; i < 10; i++ {
+		at, err := s.NextTransmitAt("b", now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if at < now {
+			t.Fatalf("transmit instant %v before now %v", at, now)
+		}
+		if prev >= 0 && at-prev != 4*sf {
+			t.Fatalf("shed cadence %v, want %v", at-prev, 4*sf)
+		}
+		prev = at
+		now = at + time.Microsecond
+	}
+	// The unshed neighbour still transmits every frame.
+	a1, _ := s.NextTransmitAt("a", time.Duration(1))
+	a2, _ := s.NextTransmitAt("a", a1+time.Microsecond)
+	if a2-a1 != sf {
+		t.Fatalf("normal cadence %v, want %v", a2-a1, sf)
+	}
+}
+
+func TestDutyCycleStaggeredBySlot(t *testing.T) {
+	// Two shed devices in adjacent slots transmit on different frames of
+	// the skip cycle, spreading load instead of bunching.
+	s, _ := NewSchedule(DefaultConfig())
+	s.Assign("a")
+	s.Assign("b")
+	s.SetDutyCycle("a", 2)
+	s.SetDutyCycle("b", 2)
+	sf := s.Config().Superframe
+	at1, _ := s.NextTransmitAt("a", 0)
+	at2, _ := s.NextTransmitAt("b", 0)
+	f1 := int64(at1 / sf)
+	f2 := int64(at2 / sf)
+	if f1%2 == f2%2 {
+		t.Fatalf("slots 0 and 1 with skip 2 landed on the same frame parity: %d, %d", f1, f2)
+	}
+}
+
+func TestDutyCycleClearedOnRelease(t *testing.T) {
+	s, _ := NewSchedule(DefaultConfig())
+	s.Assign("a")
+	s.SetDutyCycle("a", 8)
+	if err := s.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Reassignment starts at full cadence.
+	s.Assign("a")
+	if got := s.DutyCycleOf("a"); got != 1 {
+		t.Fatalf("duty cycle survived release: %d", got)
+	}
+	if err := s.SetDutyCycle("ghost", 2); err == nil {
+		t.Fatal("SetDutyCycle accepted an unassigned device")
+	}
+	// skip <= 1 clears.
+	s.SetDutyCycle("a", 4)
+	s.SetDutyCycle("a", 1)
+	if got := s.DutyCycleOf("a"); got != 1 {
+		t.Fatalf("skip 1 did not clear: %d", got)
+	}
+}

@@ -150,3 +150,34 @@ END {
     }
     printf "\nOK: no tracked benchmark regressed more than 25%% ns/op\n"
 }' "$baseline" "$tmpjson"
+
+# Same-run rule: the device-physics plane must stay within 5% of the
+# instrumented report path. Both benches come from THIS run (not the
+# baseline), so machine speed cancels out and the gate measures only the
+# physics increment — lazy pack advance, event consumes, skew gate.
+echo
+echo "physics overhead vs instrumented report path (threshold: +5%, same run)"
+awk '
+function num(line, key,    s) {
+    if (match(line, "\"" key "\": [0-9.eE+-]+")) {
+        s = substr(line, RSTART, RLENGTH)
+        sub(/.*: /, "", s)
+        return s + 0
+    }
+    return -1
+}
+/"name": "BenchmarkInstrumentedReportPath"/ { instr = num($0, "ns_per_op") }
+/"name": "BenchmarkReportPathPhysics"/     { phys = num($0, "ns_per_op") }
+END {
+    if (instr <= 0 || phys <= 0) {
+        printf "FAIL: missing bench (instrumented=%s, physics=%s)\n", instr, phys
+        exit 1
+    }
+    delta = (phys / instr - 1) * 100
+    printf "  instrumented %.1f ns/op, physics %.1f ns/op (%+.1f%%)\n", instr, phys, delta
+    if (delta > 5) {
+        printf "\nFAIL: physics report path is more than 5%% over the instrumented path\n"
+        exit 1
+    }
+    printf "\nOK: physics overhead within 5%% of the instrumented path\n"
+}' "$tmpjson"
