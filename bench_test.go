@@ -731,11 +731,26 @@ func benchAggregatorIngest(b *testing.B, devices, shards, producers int) {
 // paper-relevant quantity: how much verified metering data the
 // consensus-sealed chain can absorb.
 func BenchmarkConsensusDecide(b *testing.B) {
+	benchConsensusDecide(b, true)
+}
+
+// BenchmarkConsensusDecideNoAuth is the ablation: the same agreement drive
+// with message authentication off. The checked-in gate in scripts/bench.sh
+// compares the two from one run, pinning what the per-broadcast HMAC
+// actually costs the decide path.
+func BenchmarkConsensusDecideNoAuth(b *testing.B) {
+	benchConsensusDecide(b, false)
+}
+
+func benchConsensusDecide(b *testing.B, auth bool) {
 	env := sim.NewEnv(1)
 	ids := []string{"r0", "r1", "r2", "r3"}
 	cluster, err := consensus.NewCluster(env, ids, 1, time.Millisecond)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if !auth {
+		cluster.DisableAuth()
 	}
 	const batch = 100
 	const window = 4 // core.ReplicaSetConfig's default PipelineDepth

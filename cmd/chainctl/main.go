@@ -6,10 +6,21 @@
 //	chainctl device  chain.jsonl device1    # one device's stored records
 //	chainctl tamper  chain.jsonl            # corrupt a record, show detection
 //	chainctl anchors anchor.chain [nb.chain ...]  # federation anchor audit
+//	chainctl repair  damaged.chain healthy.chain [anchor.chain]
 //
 // verify and show skip signature checks (the authority's public keys live
 // with the aggregators); the hash chain and Merkle roots are still fully
 // validated.
+//
+// repair rebuilds a damaged chain file — truncated mid-block, bit-flipped
+// header/record bytes, a duplicated tail — from a healthy peer's export of
+// the same chain. The damaged file's surviving valid prefix is located,
+// byte-compared against the donor (a divergent history is refused: that is
+// disagreement, not damage), and the donor's verified content replaces the
+// file atomically. With an anchor chain as the third argument the repaired
+// chain is additionally checked for inclusion in the federation's
+// super-chain (the cluster ID is the damaged file's name without the
+// extension, e.g. nb03.chain -> nb03).
 //
 // anchors reads a regional super-chain written by `experiments -federation
 // -fed-export` and lists every cluster commitment; each additional
@@ -52,13 +63,22 @@ func main() {
 		run(tamper(path))
 	case "anchors":
 		run(anchors(path, args[2:]))
+	case "repair":
+		if len(args) < 3 {
+			usage()
+		}
+		anchorPath := ""
+		if len(args) > 3 {
+			anchorPath = args[3]
+		}
+		run(repair(path, args[2], anchorPath))
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: chainctl verify|show|tamper <chain-file> | chainctl device <chain-file> <device-id> | chainctl anchors <anchor-chain> [cluster-chain ...]")
+	fmt.Fprintln(os.Stderr, "usage: chainctl verify|show|tamper <chain-file> | chainctl device <chain-file> <device-id> | chainctl anchors <anchor-chain> [cluster-chain ...] | chainctl repair <damaged> <healthy> [anchor-chain]")
 	os.Exit(2)
 }
 
@@ -174,6 +194,50 @@ func anchors(anchorPath string, clusterPaths []string) error {
 	if failed > 0 {
 		return fmt.Errorf("%d of %d neighborhood chains failed anchor verification", failed, len(clusterPaths))
 	}
+	return nil
+}
+
+// repair rebuilds damagedPath from healthyPath (see blockchain.RepairFile)
+// and, when anchorPath is given, re-checks the repaired chain's inclusion
+// in the federation super-chain.
+func repair(damagedPath, healthyPath, anchorPath string) error {
+	prefix, damage, err := blockchain.ReadFilePrefix(damagedPath, nil)
+	if err != nil {
+		return err
+	}
+	if damage != nil {
+		fmt.Printf("damage: %s\n", damage)
+	}
+	fmt.Printf("valid prefix: %d blocks\n", prefix.Length())
+	rep, err := blockchain.RepairFile(damagedPath, healthyPath, nil)
+	if err != nil {
+		return err
+	}
+	if rep.RepairedBlocks == 0 && rep.Damage == nil {
+		fmt.Printf("OK: file already clean (%d blocks), nothing repaired\n", rep.FinalBlocks)
+	} else {
+		fmt.Printf("repaired: %d blocks kept, %d restored from donor, %d total (verified)\n",
+			rep.MatchedBlocks, rep.RepairedBlocks, rep.FinalBlocks)
+	}
+	if anchorPath == "" {
+		return nil
+	}
+	ac, err := blockchain.ReadFile(anchorPath, nil)
+	if err != nil {
+		return err
+	}
+	if _, err := ac.Verify(); err != nil {
+		return fmt.Errorf("anchor chain: %w", err)
+	}
+	id := strings.TrimSuffix(filepath.Base(damagedPath), filepath.Ext(damagedPath))
+	repaired, err := blockchain.ReadFile(damagedPath, nil)
+	if err != nil {
+		return err
+	}
+	if err := blockchain.VerifyAnchorInclusion(ac, id, repaired); err != nil {
+		return fmt.Errorf("repaired chain not anchored: %w", err)
+	}
+	fmt.Printf("anchor inclusion: OK (%s head covered by %s)\n", id, filepath.Base(anchorPath))
 	return nil
 }
 

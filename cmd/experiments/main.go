@@ -19,7 +19,11 @@
 // layers the default fault plan (a broker outage, an ack-loss burst, a
 // backhaul mesh partition and a second replica crash) over that run and
 // fails unless the ledger audit proves zero record loss and duplication
-// with byte-identical replica chains.
+// with byte-identical replica chains. Adding -byzantine layers the
+// adversary plan instead (or as well): a follower forging votes and
+// decided attestations, replaying and flooding, then the leader itself
+// equivocating until the honest majority deposes it — the same audit must
+// still come back clean.
 //
 // The federation scenario scales past one cluster: -fed-clusters
 // neighborhood clusters (each its own replicated consensus tier sealing its
@@ -60,6 +64,7 @@ func main() {
 	replicas := flag.Int("replicas", 1, "fleet aggregator replicas (>1 runs the consensus-sealed replicated tier\nwith a mid-window leader crash, recovery, hot-spot wave and rebalancing)")
 	consensusF := flag.Int("f", 0, "replicated tier fault tolerance (default (replicas-1)/3)")
 	chaos := flag.Bool("chaos", false, "inject the default fault plan into the replicated fleet run\n(broker outage, ack-loss burst, mesh partition, extra replica crash)\nand audit for zero record loss; requires -replicas > 1")
+	byzantine := flag.Bool("byzantine", false, "inject the Byzantine fault plan into the replicated fleet run\n(a follower forging votes/attestations and flooding, then the leader\nequivocating until deposed) and audit for zero record loss; composes\nwith -chaos; requires -replicas >= 4. With -federation, corrupts\ncluster 1's leader mid-run instead")
 	physics := flag.Bool("physics", false, "run the fleet on the device-physics tier: per-device battery packs,\nquantized INA219 sampling, DS3231 clock drift, low-SoC shedding and\nbrown-outs, timesync re-convergence — three checked scenario cohorts\n(diurnal solar, low-battery shedding, drift-under-churn) plus the\nzero-loss ledger audit; single-aggregator runs only")
 	solar := flag.Float64("solar", 0, "physics tier: solar harvest sine mean/amplitude in mA (default 45)")
 	driftPPM := flag.Float64("drift-ppm", 0, "physics tier: drift-cohort RTC frequency error in ppm (default 300000)")
@@ -103,17 +108,20 @@ func main() {
 		if *chaos && *replicas <= 1 {
 			fatal(fmt.Errorf("-chaos requires -replicas > 1 (the fault plan targets the replicated tier)"))
 		}
+		if *byzantine && *replicas < 4 {
+			fatal(fmt.Errorf("-byzantine requires -replicas >= 4 (3f+1 with f >= 1 to tolerate an adversary)"))
+		}
 		if *physics && *replicas > 1 {
 			fatal(fmt.Errorf("-physics runs the single-aggregator tier; drop -replicas"))
 		}
 		phys := core.PhysicsConfig{Enabled: *physics, SolarMilliamps: *solar, DriftPPM: *driftPPM}
-		if err := runFleet(*devices, *shards, *fleetSeconds, *loss, *seed, *replicas, *consensusF, *chaos, phys); err != nil {
+		if err := runFleet(*devices, *shards, *fleetSeconds, *loss, *seed, *replicas, *consensusF, *chaos, *byzantine, phys); err != nil {
 			fatal(err)
 		}
 	}
 	if *federation {
 		ran = true
-		if err := runFederation(*fedClusters, *fedReplicas, *devices, *shards, *fedSeconds, *loss, *seed, *fedExport); err != nil {
+		if err := runFederation(*fedClusters, *fedReplicas, *devices, *shards, *fedSeconds, *loss, *seed, *fedExport, *byzantine); err != nil {
 			fatal(err)
 		}
 	}
@@ -169,7 +177,7 @@ func runHandshake(p core.Params) error {
 	return nil
 }
 
-func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas, consensusF int, chaos bool, physics core.PhysicsConfig) error {
+func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas, consensusF int, chaos, byzantine bool, physics core.PhysicsConfig) error {
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(reg, 64)
 	cfg := core.FleetConfig{
@@ -187,6 +195,16 @@ func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas,
 	if chaos {
 		cfg.Chaos = core.DefaultFaultPlan()
 	}
+	if byzantine {
+		// Layered over -chaos when both are set: the plans are scheduled to
+		// compose, and the quorum guards keep the faulty set within f.
+		plan := core.ByzantineFaultPlan()
+		if cfg.Chaos != nil {
+			cfg.Chaos.Faults = append(cfg.Chaos.Faults, plan.Faults...)
+		} else {
+			cfg.Chaos = plan
+		}
+	}
 	res, err := core.RunFleet(cfg)
 	if err != nil {
 		// The physics tier's scenario checks and ledger audit fail the run
@@ -198,12 +216,18 @@ func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas,
 	}
 	core.WriteFleet(os.Stdout, res)
 	writeFleetTelemetry(os.Stdout, reg, tracer, res.PhysicsOn)
-	if chaos {
+	if chaos || byzantine {
 		if res.RecordsLost != 0 || res.RecordsDuplicated != 0 || !res.ChainsIdentical {
 			return fmt.Errorf("chaos audit FAILED: %d lost, %d duplicated, chains identical: %v",
 				res.RecordsLost, res.RecordsDuplicated, res.ChainsIdentical)
 		}
 		fmt.Println("  chaos audit: PASS (0 lost, 0 duplicated, chains byte-identical)")
+	}
+	if byzantine {
+		if res.Corruptions == 0 || res.Corruptions != res.Restores {
+			return fmt.Errorf("byzantine audit FAILED: %d corruption(s), %d restore(s)", res.Corruptions, res.Restores)
+		}
+		fmt.Printf("  byzantine audit: PASS (%d adversary stint(s) tolerated, honest chains byte-identical)\n", res.Corruptions)
 	}
 	if res.PhysicsOn {
 		fmt.Println("  physics audit: PASS (three scenarios checked, 0 acked records lost, 0 duplicated)")
@@ -212,7 +236,7 @@ func runFleet(devices, shards, seconds int, loss float64, seed uint64, replicas,
 	return nil
 }
 
-func runFederation(clusters, replicas, devices, shards, seconds int, loss float64, seed uint64, exportDir string) error {
+func runFederation(clusters, replicas, devices, shards, seconds int, loss float64, seed uint64, exportDir string, byzantine bool) error {
 	reg := telemetry.NewRegistry()
 	res, err := core.RunFederation(core.FederationConfig{
 		Clusters:  clusters,
@@ -223,6 +247,7 @@ func runFederation(clusters, replicas, devices, shards, seconds int, loss float6
 		LossRate:  loss,
 		Seed:      seed,
 		ExportDir: exportDir,
+		Byzantine: byzantine,
 		Registry:  reg,
 	})
 	if err != nil {
@@ -234,6 +259,12 @@ func runFederation(clusters, replicas, devices, shards, seconds int, loss float6
 			res.RecordsLost, res.RecordsDuplicated, res.ChainsIdentical, res.AnchorsVerified)
 	}
 	fmt.Println("  federation audit: PASS (0 lost, 0 duplicated, every chain anchored)")
+	if byzantine {
+		if res.Corruptions != 1 || res.Restores != 1 {
+			return fmt.Errorf("byzantine audit FAILED: %d corruption(s), %d restore(s), want 1/1", res.Corruptions, res.Restores)
+		}
+		fmt.Println("  byzantine audit: PASS (cluster 1's leader deposed, restored and caught up)")
+	}
 	if exportDir != "" {
 		fmt.Printf("  chains written to %s — verify with chainctl anchors\n", exportDir)
 	}

@@ -77,6 +77,50 @@ func (c *Chain) WriteFile(path string) error {
 	return f.Sync()
 }
 
+// decodeFileBlock decodes one JSON line into a block. It validates only
+// the encoding; linkage, Merkle root and signature checks happen when the
+// block is imported onto a chain.
+func decodeFileBlock(line []byte) (*Block, error) {
+	var fb fileBlock
+	if err := json.Unmarshal(line, &fb); err != nil {
+		return nil, err
+	}
+	blk := &Block{
+		Header: Header{
+			Index:     fb.Index,
+			Timestamp: time.Unix(0, fb.Timestamp).UTC(),
+			Producer:  fb.Producer,
+		},
+	}
+	var err error
+	if blk.Header.PrevHash, err = decodeHash(fb.PrevHash); err != nil {
+		return nil, fmt.Errorf("prev hash: %w", err)
+	}
+	if blk.Header.MerkleRoot, err = decodeHash(fb.MerkleRoot); err != nil {
+		return nil, fmt.Errorf("merkle root: %w", err)
+	}
+	if fb.SigR != "" {
+		r, ok := new(big.Int).SetString(fb.SigR, 16)
+		s, ok2 := new(big.Int).SetString(fb.SigS, 16)
+		if !ok || !ok2 {
+			return nil, errors.New("bad signature encoding")
+		}
+		blk.Sig = Signature{R: r, S: s}
+	}
+	for ri, enc := range fb.Records {
+		raw, err := base64.StdEncoding.DecodeString(enc)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", ri, err)
+		}
+		rec, err := UnmarshalRecord(raw)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", ri, err)
+		}
+		blk.Records = append(blk.Records, rec)
+	}
+	return blk, nil
+}
+
 // ReadFile loads a chain from the JSON-lines format, validating every block
 // against authority (nil skips signature checks).
 func ReadFile(path string, authority *Authority) (*Chain, error) {
@@ -94,41 +138,9 @@ func ReadFile(path string, authority *Authority) (*Chain, error) {
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
-		var fb fileBlock
-		if err := json.Unmarshal(sc.Bytes(), &fb); err != nil {
+		blk, err := decodeFileBlock(sc.Bytes())
+		if err != nil {
 			return nil, fmt.Errorf("blockchain: line %d: %w", lineNo, err)
-		}
-		blk := &Block{
-			Header: Header{
-				Index:     fb.Index,
-				Timestamp: time.Unix(0, fb.Timestamp).UTC(),
-				Producer:  fb.Producer,
-			},
-		}
-		if blk.Header.PrevHash, err = decodeHash(fb.PrevHash); err != nil {
-			return nil, fmt.Errorf("blockchain: line %d prev hash: %w", lineNo, err)
-		}
-		if blk.Header.MerkleRoot, err = decodeHash(fb.MerkleRoot); err != nil {
-			return nil, fmt.Errorf("blockchain: line %d merkle root: %w", lineNo, err)
-		}
-		if fb.SigR != "" {
-			r, ok := new(big.Int).SetString(fb.SigR, 16)
-			s, ok2 := new(big.Int).SetString(fb.SigS, 16)
-			if !ok || !ok2 {
-				return nil, fmt.Errorf("blockchain: line %d: bad signature encoding", lineNo)
-			}
-			blk.Sig = Signature{R: r, S: s}
-		}
-		for ri, enc := range fb.Records {
-			raw, err := base64.StdEncoding.DecodeString(enc)
-			if err != nil {
-				return nil, fmt.Errorf("blockchain: line %d record %d: %w", lineNo, ri, err)
-			}
-			rec, err := UnmarshalRecord(raw)
-			if err != nil {
-				return nil, fmt.Errorf("blockchain: line %d record %d: %w", lineNo, ri, err)
-			}
-			blk.Records = append(blk.Records, rec)
 		}
 		if err := c.Import(blk); err != nil {
 			return nil, fmt.Errorf("blockchain: line %d: %w", lineNo, err)
@@ -138,6 +150,62 @@ func ReadFile(path string, authority *Authority) (*Chain, error) {
 		return nil, fmt.Errorf("blockchain: read file: %w", err)
 	}
 	return c, nil
+}
+
+// Damage pinpoints where a chain file stopped being loadable: the 1-based
+// file line that failed, the height (= blocks loaded) of the surviving
+// valid prefix, and the reason the line was rejected.
+type Damage struct {
+	Line   int
+	Height uint64
+	Reason string
+}
+
+func (d *Damage) String() string {
+	return fmt.Sprintf("line %d (after block height %d): %s", d.Line, d.Height, d.Reason)
+}
+
+// ReadFilePrefix loads as much of a chain file as still validates: every
+// leading block that decodes, links and (with a non-nil authority)
+// verifies is imported, and the first failure is reported as Damage
+// instead of an error — the caller gets the valid prefix plus a precise
+// account of where the file went bad (truncation mid-block, a bit flip in
+// a header or record, a duplicated tail). A clean file returns a nil
+// Damage. The error return is reserved for I/O failures opening the file.
+//
+// With a nil authority, signature bytes are not checked (as in ReadFile),
+// so a bit flip confined to the stored signature is invisible here;
+// RepairFile's byte-compare against a healthy peer still catches it.
+func ReadFilePrefix(path string, authority *Authority) (*Chain, *Damage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("blockchain: read file: %w", err)
+	}
+	defer f.Close()
+	c := NewChain(authority)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		blk, err := decodeFileBlock(sc.Bytes())
+		if err != nil {
+			return c, &Damage{Line: lineNo, Height: uint64(c.Length()), Reason: err.Error()}, nil
+		}
+		if err := c.Import(blk); err != nil {
+			return c, &Damage{Line: lineNo, Height: uint64(c.Length()), Reason: err.Error()}, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// A line the scanner could not produce (e.g. past the size cap) is
+		// damage at the position where reading stopped, not an I/O error:
+		// the prefix up to it is still good.
+		return c, &Damage{Line: lineNo + 1, Height: uint64(c.Length()), Reason: err.Error()}, nil
+	}
+	return c, nil, nil
 }
 
 // ErrNoChainFile marks a missing chain file distinctly so callers can

@@ -1,0 +1,444 @@
+package blockchain
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildChainFile seals n blocks and writes them to dir/name, returning the
+// path and the (chain, authority) that produced it.
+func buildChainFile(t *testing.T, dir, name string, n int) (string, *Chain) {
+	t.Helper()
+	c, signer := newSignedChain(t)
+	for i := 0; i < n; i++ {
+		recs := []Record{mkRecord("d1", uint64(i*2+1)), mkRecord("d2", uint64(i*2+2))}
+		if _, err := c.Seal(signer, t0.Add(time.Duration(i)*time.Second), recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, name)
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, c
+}
+
+// flipAfter locates marker on line (0-based) lineNo and deterministically
+// changes the byte right after it — inside a base64 or hex value, a
+// single-character flip that keeps the encoding valid but the content
+// wrong.
+func flipAfter(t *testing.T, data []byte, lineNo int, marker string) []byte {
+	t.Helper()
+	lines := bytes.Split(data, []byte("\n"))
+	i := bytes.Index(lines[lineNo], []byte(marker))
+	if i < 0 {
+		t.Fatalf("marker %q not on line %d", marker, lineNo)
+	}
+	p := i + len(marker)
+	c := lines[lineNo][p]
+	repl := byte('2')
+	if c == '2' {
+		repl = '3'
+	}
+	lines[lineNo] = append([]byte(nil), lines[lineNo]...)
+	lines[lineNo][p] = repl
+	return bytes.Join(lines, []byte("\n"))
+}
+
+// The corruption table: every way a chain file goes bad on disk must load
+// back as a verified valid prefix plus a precise damage report — never a
+// panic, never silently-loaded garbage.
+func TestReadFilePrefixCorruptionTable(t *testing.T) {
+	const blocks = 6
+	dir := t.TempDir()
+	path, orig := buildChainFile(t, dir, "chain.jsonl", blocks)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(pristine, []byte("\n")), []byte("\n"))
+	if len(lines) != blocks {
+		t.Fatalf("expected %d lines, got %d", blocks, len(lines))
+	}
+
+	for _, tc := range []struct {
+		name       string
+		corrupt    func() []byte
+		wantPrefix int  // blocks that must survive
+		wantDamage bool // a Damage report is required
+		damageLine int  // 1-based, 0 = don't check
+	}{
+		{
+			name: "truncation mid-block",
+			corrupt: func() []byte {
+				return pristine[:len(pristine)-len(lines[blocks-1])/2-1]
+			},
+			wantPrefix: blocks - 1, wantDamage: true, damageLine: blocks,
+		},
+		{
+			name: "truncation at line boundary",
+			// A cleanly shorter file is indistinguishable from a replica
+			// that sealed less: valid prefix, no damage. Catch-up is the
+			// consensus sync's job.
+			corrupt: func() []byte {
+				return pristine[:len(pristine)-len(lines[blocks-1])-1]
+			},
+			wantPrefix: blocks - 1, wantDamage: false,
+		},
+		{
+			name: "bit flip in header merkle root",
+			corrupt: func() []byte {
+				return flipAfter(t, pristine, 2, `"merkle_root":"`)
+			},
+			wantPrefix: 2, wantDamage: true, damageLine: 3,
+		},
+		{
+			name: "bit flip in prev hash",
+			corrupt: func() []byte {
+				return flipAfter(t, pristine, 3, `"prev_hash":"`)
+			},
+			wantPrefix: 3, wantDamage: true, damageLine: 4,
+		},
+		{
+			name: "bit flip in signature",
+			corrupt: func() []byte {
+				return flipAfter(t, pristine, 1, `"sig_r":"`)
+			},
+			wantPrefix: 1, wantDamage: true, damageLine: 2,
+		},
+		{
+			name: "bit flip in a record",
+			corrupt: func() []byte {
+				return flipAfter(t, pristine, 4, `"records":["`)
+			},
+			wantPrefix: 4, wantDamage: true, damageLine: 5,
+		},
+		{
+			name: "duplicated tail",
+			corrupt: func() []byte {
+				return append(append([]byte(nil), pristine...), append(lines[blocks-1], '\n')...)
+			},
+			wantPrefix: blocks, wantDamage: true, damageLine: blocks + 1,
+		},
+		{
+			name: "garbage line mid-file",
+			corrupt: func() []byte {
+				out := append([]byte(nil), bytes.Join(lines[:3], []byte("\n"))...)
+				out = append(out, []byte("\nnot json at all\n")...)
+				return append(out, bytes.Join(lines[3:], []byte("\n"))...)
+			},
+			wantPrefix: 3, wantDamage: true, damageLine: 4,
+		},
+		{
+			name:       "empty file",
+			corrupt:    func() []byte { return nil },
+			wantPrefix: 0, wantDamage: false,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(t.TempDir(), "damaged.jsonl")
+			if err := os.WriteFile(p, tc.corrupt(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			prefix, damage, err := ReadFilePrefix(p, orig.authority)
+			if err != nil {
+				t.Fatalf("ReadFilePrefix: %v", err)
+			}
+			if prefix.Length() != tc.wantPrefix {
+				t.Fatalf("prefix = %d blocks, want %d (damage: %v)", prefix.Length(), tc.wantPrefix, damage)
+			}
+			if (damage != nil) != tc.wantDamage {
+				t.Fatalf("damage = %v, want reported: %v", damage, tc.wantDamage)
+			}
+			if damage != nil {
+				if tc.damageLine != 0 && damage.Line != tc.damageLine {
+					t.Fatalf("damage at line %d, want %d (%s)", damage.Line, tc.damageLine, damage)
+				}
+				if damage.Height != uint64(tc.wantPrefix) {
+					t.Fatalf("damage height %d, want %d", damage.Height, tc.wantPrefix)
+				}
+			}
+			if at, err := prefix.Verify(); err != nil {
+				t.Fatalf("surviving prefix fails verification at %d: %v", at, err)
+			}
+			// The strict loader must reject anything the prefix loader
+			// reported damage on.
+			if _, err := ReadFile(p, orig.authority); tc.wantDamage && err == nil {
+				t.Fatal("ReadFile accepted a damaged file")
+			}
+			// And each surviving block must be the original, bit for bit.
+			for i := 0; i < prefix.Length(); i++ {
+				pb, _ := prefix.Block(i)
+				ob, _ := orig.Block(i)
+				if pb.Hash() != ob.Hash() || !sigEqual(pb.Sig, ob.Sig) {
+					t.Fatalf("prefix block %d differs from the original", i)
+				}
+			}
+		})
+	}
+}
+
+// A signature bit flip is invisible to a nil-authority prefix load (the
+// bytes are not checked), which is exactly why RepairFile byte-compares
+// against the donor even when the file loads clean.
+func TestReadFilePrefixSigFlipInvisibleWithoutAuthority(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := buildChainFile(t, dir, "chain.jsonl", 4)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, flipAfter(t, data, 2, `"sig_r":"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prefix, damage, err := ReadFilePrefix(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damage != nil || prefix.Length() != 4 {
+		t.Fatalf("nil-authority load: prefix=%d damage=%v — expected the flip to pass unnoticed here", prefix.Length(), damage)
+	}
+}
+
+func TestRepairFileRestoresDamagedTail(t *testing.T) {
+	dir := t.TempDir()
+	damaged, orig := buildChainFile(t, dir, "damaged.jsonl", 6)
+	healthy := filepath.Join(dir, "healthy.jsonl")
+	if err := orig.WriteFile(healthy); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(damaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a record byte in block 3: blocks 4 and 5 are intact on disk but
+	// unreachable (their prev-hash linkage passes through the damage), so
+	// the repair replaces everything from block 3 on.
+	if err := os.WriteFile(damaged, flipAfter(t, data, 3, `"records":["`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RepairFile(damaged, healthy, orig.authority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PrefixBlocks != 3 || rep.MatchedBlocks != 3 || rep.RepairedBlocks != 3 || rep.FinalBlocks != 6 {
+		t.Fatalf("report = %+v, want prefix 3, matched 3, repaired 3, final 6", rep)
+	}
+	if rep.Damage == nil || rep.Damage.Line != 4 {
+		t.Fatalf("damage = %v, want line 4", rep.Damage)
+	}
+	got, err := ReadFile(damaged, orig.authority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Length() != 6 {
+		t.Fatalf("repaired chain has %d blocks, want 6", got.Length())
+	}
+	if at, err := got.Verify(); err != nil {
+		t.Fatalf("repaired chain fails verification at %d: %v", at, err)
+	}
+	for i := 0; i < 6; i++ {
+		gb, _ := got.Block(i)
+		ob, _ := orig.Block(i)
+		if gb.Hash() != ob.Hash() || !sigEqual(gb.Sig, ob.Sig) {
+			t.Fatalf("repaired block %d differs from the original", i)
+		}
+	}
+}
+
+func TestRepairFileCatchesSigFlipWithoutAuthority(t *testing.T) {
+	dir := t.TempDir()
+	damaged, orig := buildChainFile(t, dir, "damaged.jsonl", 5)
+	healthy := filepath.Join(dir, "healthy.jsonl")
+	if err := orig.WriteFile(healthy); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(damaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(damaged, flipAfter(t, data, 2, `"sig_r":"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// nil authority: the load alone cannot see the flip; the donor
+	// byte-compare must.
+	rep, err := RepairFile(damaged, healthy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Damage == nil || !strings.Contains(rep.Damage.Reason, "signature") {
+		t.Fatalf("damage = %v, want the signature mismatch", rep.Damage)
+	}
+	if rep.MatchedBlocks != 2 || rep.FinalBlocks != 5 {
+		t.Fatalf("report = %+v, want matched 2, final 5", rep)
+	}
+	// With the real authority, the repaired file must verify end to end.
+	got, err := ReadFile(damaged, orig.authority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at, err := got.Verify(); err != nil {
+		t.Fatalf("repaired chain fails verification at %d: %v", at, err)
+	}
+}
+
+func TestRepairFileLeavesCleanFileAlone(t *testing.T) {
+	dir := t.TempDir()
+	path, orig := buildChainFile(t, dir, "clean.jsonl", 4)
+	healthy := filepath.Join(dir, "healthy.jsonl")
+	if err := orig.WriteFile(healthy); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RepairFile(path, healthy, orig.authority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Damage != nil || rep.RepairedBlocks != 0 || rep.FinalBlocks != 4 {
+		t.Fatalf("report = %+v, want untouched clean file", rep)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("repair rewrote a clean file")
+	}
+}
+
+func TestRepairFileRefusesBadDonor(t *testing.T) {
+	dir := t.TempDir()
+	damaged, orig := buildChainFile(t, dir, "damaged.jsonl", 5)
+	data, err := os.ReadFile(damaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(damaged, flipAfter(t, data, 4, `"records":["`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("donor shorter than prefix", func(t *testing.T) {
+		short, shortChain := newTruncatedDonor(t, dir, orig, 2)
+		_ = shortChain
+		if _, err := RepairFile(damaged, short, orig.authority); err == nil {
+			t.Fatal("repair accepted a donor behind the damaged prefix")
+		}
+	})
+	t.Run("donor itself damaged", func(t *testing.T) {
+		bad := filepath.Join(dir, "bad-donor.jsonl")
+		if err := os.WriteFile(bad, flipAfter(t, data, 1, `"merkle_root":"`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RepairFile(damaged, bad, orig.authority); err == nil {
+			t.Fatal("repair accepted a damaged donor")
+		}
+	})
+	t.Run("donor from a different history", func(t *testing.T) {
+		other, otherChain := newSignedChain(t)
+		for i := 0; i < 5; i++ {
+			if _, err := other.Seal(otherChain, t0.Add(time.Duration(i)*time.Hour), []Record{mkRecord("dX", uint64(i+1))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		divergent := filepath.Join(dir, "divergent.jsonl")
+		if err := other.WriteFile(divergent); err != nil {
+			t.Fatal(err)
+		}
+		// nil authority on both sides: producers differ, so only the
+		// byte-compare can refuse this.
+		if _, err := RepairFile(damaged, divergent, nil); err == nil {
+			t.Fatal("repair accepted a donor with a divergent history")
+		}
+	})
+}
+
+// newTruncatedDonor writes only the first n blocks of src's chain.
+func newTruncatedDonor(t *testing.T, dir string, src *Chain, n int) (string, *Chain) {
+	t.Helper()
+	short := NewChain(nil)
+	for i := 0; i < n; i++ {
+		b, err := src.Block(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := short.Import(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, "short-donor.jsonl")
+	if err := short.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, short
+}
+
+// FuzzReadFilePrefix: whatever bytes land in a chain file, the prefix
+// loader must not panic, must return a structurally verified prefix, and
+// must never load a block the strict loader would reject in the prefix it
+// reports as valid.
+func FuzzReadFilePrefix(f *testing.F) {
+	dir := f.TempDir()
+	seedPath := filepath.Join(dir, "seed.jsonl")
+	fc, fsigner := newSignedChainF(f)
+	for i := 0; i < 4; i++ {
+		if _, err := fc.Seal(fsigner, t0.Add(time.Duration(i)*time.Second), []Record{mkRecord("d1", uint64(i+1))}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := fc.WriteFile(seedPath); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(""))
+	f.Add([]byte("not json\n"))
+	f.Add(seed[:len(seed)/2])
+	f.Add(append(append([]byte(nil), seed...), seed...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.jsonl")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		prefix, damage, err := ReadFilePrefix(p, nil)
+		if err != nil {
+			t.Fatalf("I/O error on an existing file: %v", err)
+		}
+		if at, verr := prefix.Verify(); verr != nil {
+			t.Fatalf("prefix fails structural verification at %d: %v", at, verr)
+		}
+		if damage == nil {
+			// No damage claimed: the strict loader must agree end to end.
+			full, ferr := ReadFile(p, nil)
+			if ferr != nil {
+				t.Fatalf("clean prefix but strict load failed: %v", ferr)
+			}
+			if full.Length() != prefix.Length() {
+				t.Fatalf("clean prefix %d blocks but strict load %d", prefix.Length(), full.Length())
+			}
+		}
+	})
+}
+
+// newSignedChainF is newSignedChain for fuzz targets (testing.F, not *T).
+func newSignedChainF(f *testing.F) (*Chain, *Signer) {
+	f.Helper()
+	signer, err := NewSigner("agg1")
+	if err != nil {
+		f.Fatal(err)
+	}
+	auth := NewAuthority()
+	if err := auth.Admit(signer.ID(), signer.Public()); err != nil {
+		f.Fatal(err)
+	}
+	return NewChain(auth), signer
+}

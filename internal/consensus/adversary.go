@@ -1,0 +1,452 @@
+// Byzantine adversary harness. A corrupted replica keeps its identity and
+// its own key — nothing more — and runs attack behaviors instead of the
+// protocol: forging votes and attestations in honest names, equivocating as
+// leader, replaying captured traffic and flooding garbage. The harness
+// exists to prove the hardened tier's fault bound with live adversaries,
+// not just unit assertions: every attack here is expected to die at a
+// specific defense (the transport auth check, the equivocation guard, the
+// seq horizon, the early-vote cap) while the honest quorum keeps deciding.
+package consensus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"decentmeter/internal/blockchain"
+)
+
+// Behavior is a bitmask of adversarial behaviors.
+type Behavior uint16
+
+// Adversary behaviors. A corrupted replica always withholds its honest
+// votes and proposals (the state machine is frozen); the flags choose which
+// active attacks it mounts on top of that silence.
+const (
+	// BehaviorEquivocate: as leader, propose two different digests for the
+	// same (view, seq) — split between peers by unicast, then exposed by a
+	// conflicting broadcast so honest replicas hold provable evidence.
+	BehaviorEquivocate Behavior = 1 << iota
+	// BehaviorForgeVotes: inject prepare/commit votes in honest replicas'
+	// names, endorsing both the real digest (fake quorum) and a garbage
+	// one (split quorum).
+	BehaviorForgeVotes
+	// BehaviorForgeDecided: fabricate f+1 "decided" attestations in honest
+	// names claiming a tampered body finalized.
+	BehaviorForgeDecided
+	// BehaviorReplay: re-inject captured peer messages verbatim (their
+	// tags are genuine — idempotent handling must absorb them).
+	BehaviorReplay
+	// BehaviorGarbageFlood: spray validly-signed votes for far-future
+	// slots and garbage digests (memory-exhaustion probe).
+	BehaviorGarbageFlood
+	// BehaviorWithhold: pure omission — stay silent. Meaningful alone (a
+	// crashed-but-not-detectably-so replica) or with BehaviorEquivocate
+	// (the equivocating leader also never votes, so neither digest can
+	// reach quorum with its help).
+	BehaviorWithhold
+)
+
+// DefaultAdversaryBehaviors is the full active-attack suite (chaos faults
+// with no explicit behavior set use it).
+const DefaultAdversaryBehaviors = BehaviorEquivocate | BehaviorForgeVotes |
+	BehaviorForgeDecided | BehaviorReplay | BehaviorGarbageFlood
+
+// String renders the bitmask for fault logs ("equivocate|forge-votes|...").
+func (b Behavior) String() string {
+	if b == 0 {
+		return "none"
+	}
+	names := []struct {
+		bit  Behavior
+		name string
+	}{
+		{BehaviorEquivocate, "equivocate"},
+		{BehaviorForgeVotes, "forge-votes"},
+		{BehaviorForgeDecided, "forge-decided"},
+		{BehaviorReplay, "replay"},
+		{BehaviorGarbageFlood, "garbage-flood"},
+		{BehaviorWithhold, "withhold"},
+	}
+	var parts []string
+	for _, n := range names {
+		if b&n.bit != 0 {
+			parts = append(parts, n.name)
+		}
+	}
+	if len(parts) == 0 {
+		return fmt.Sprintf("behavior(%#x)", uint16(b))
+	}
+	return strings.Join(parts, "|")
+}
+
+// replayLogSize bounds the adversary's capture ring.
+const replayLogSize = 64
+
+// Adversary drives a corrupted replica. It sends its own messages through
+// the normal (signed) paths — a Byzantine member legitimately holds its own
+// key — and everything spoofed through the raw inject paths, where the
+// transport's verification decides their fate.
+type Adversary struct {
+	r         *Replica
+	behaviors Behavior
+
+	step   uint64 // per-observation counter scheduling the attacks
+	maxSeq uint64 // highest slot seq observed, for attack placement
+	rng    uint64 // xorshift64 state for garbage digests (constant seed)
+
+	logged []Message // captured peer messages for replay (ring)
+	logPos int
+
+	// Attack tallies, for tests and fault logs.
+	Equivocations int
+	Forgeries     int
+	Replays       int
+	Floods        int
+}
+
+// Corrupt turns a live replica Byzantine with the given behavior suite
+// (0 selects DefaultAdversaryBehaviors). The replica's honest state machine
+// freezes until Restore; it cannot be corrupted twice or while crashed.
+func (c *Cluster) Corrupt(id string, behaviors Behavior) (*Adversary, error) {
+	r, ok := c.Replicas[id]
+	if !ok {
+		return nil, fmt.Errorf("consensus: no replica %s", id)
+	}
+	if r.crashed {
+		return nil, fmt.Errorf("consensus: cannot corrupt crashed replica %s", id)
+	}
+	if r.adv != nil {
+		return nil, fmt.Errorf("consensus: replica %s already corrupted", id)
+	}
+	if behaviors == 0 {
+		behaviors = DefaultAdversaryBehaviors
+	}
+	adv := &Adversary{
+		r:         r,
+		behaviors: behaviors,
+		maxSeq:    r.nextSeq,
+		rng:       0x9e3779b97f4a7c15 ^ uint64(r.idIndex[id]+1),
+	}
+	r.adv = adv
+	// A pending view timer must not fire while Byzantine: the frozen
+	// replica advancing its own view could outrun the honest quorum's and
+	// confuse view observers (Cluster.CurrentView is a max over live
+	// replicas).
+	r.disarmViewTimer()
+	return adv, nil
+}
+
+// Restore clears a replica's adversary and rejoins it to the protocol as
+// if waking from a crash: in-flight state poisoned during the stint is
+// dropped and the cluster is asked to replay everything decided past the
+// replica's frontier. Its possibly-stale view heals by heartbeat adoption.
+func (c *Cluster) Restore(id string) error {
+	r, ok := c.Replicas[id]
+	if !ok {
+		return fmt.Errorf("consensus: no replica %s", id)
+	}
+	if r.adv == nil {
+		return nil
+	}
+	r.adv = nil
+	r.lastLeaderSign = r.env.Now()
+	r.dropUncommittedSlots()
+	r.lastSyncReq = r.env.Now()
+	r.net.broadcast(r.ID, Message{Kind: "syncreq", View: r.view, Seq: r.nextSeq, From: r.ID})
+	return nil
+}
+
+// Behaviors returns the active attack suite.
+func (a *Adversary) Behaviors() Behavior { return a.behaviors }
+
+// observe replaces receive for the corrupted replica: every message the
+// adversary hears is attack fodder, never protocol input.
+func (a *Adversary) observe(msg Message) {
+	a.step++
+	if msg.Seq > a.maxSeq {
+		a.maxSeq = msg.Seq
+	}
+	if msg.From != a.r.ID {
+		a.logMessage(msg)
+	}
+	if a.behaviors&BehaviorReplay != 0 && a.step%5 == 0 {
+		a.replayOne()
+	}
+	if msg.Kind == "preprepare" && msg.From != a.r.ID {
+		if a.behaviors&BehaviorForgeVotes != 0 {
+			a.forgeVotes(msg)
+		}
+		if a.behaviors&BehaviorForgeDecided != 0 {
+			a.forgeDecided(msg)
+		}
+	}
+	if a.behaviors&BehaviorGarbageFlood != 0 && a.step%3 == 0 {
+		a.flood()
+	}
+}
+
+// tick replaces the liveness loop. A Byzantine replica never heartbeats:
+// as a silent leader it forces the follower silence timeout and a view
+// change — the recovery path the chaos fleet asserts — and the beat drives
+// its periodic attacks instead.
+func (a *Adversary) tick() {
+	a.step++
+	if a.behaviors&BehaviorForgeVotes != 0 {
+		a.forgeSpoofedVote()
+	}
+	if a.behaviors&BehaviorGarbageFlood != 0 {
+		a.flood()
+	}
+	if a.behaviors&BehaviorReplay != 0 {
+		a.replayOne()
+	}
+}
+
+// forgeSpoofedVote is the forgery stint's background drumbeat: once per
+// liveness tick, inject a vote in a rotating honest peer's name with no
+// valid tag. Unlike forgeVotes it does not wait for a proposal to be in
+// flight, so a forgery stint scheduled in a quiet stretch of the run still
+// exercises (and is counted by) the transport's rejection path.
+func (a *Adversary) forgeSpoofedVote() {
+	peers := make([]string, 0, len(a.r.ids)-1)
+	for _, id := range a.r.ids {
+		if id != a.r.ID {
+			peers = append(peers, id)
+		}
+	}
+	if len(peers) == 0 {
+		return
+	}
+	a.r.net.injectBroadcast(a.r.ID, Message{
+		Kind: "prepare", View: a.r.view, Seq: a.maxSeq + 1,
+		From: peers[int(a.step)%len(peers)], Digest: a.garbageDigest(),
+	})
+	a.Forgeries++
+}
+
+// proposeMeta replaces ProposeMeta. An equivocating leader turns the batch
+// into a split proposal; every other suite withholds it (the host's
+// staleness rewind re-submits the batch once the view rotates to an honest
+// leader, so no records are lost — only delayed).
+func (a *Adversary) proposeMeta(records []blockchain.Record, meta []byte) error {
+	if a.behaviors&BehaviorEquivocate != 0 && len(records) > 0 && a.r.leader() == a.r.ID {
+		a.equivocate(records, meta)
+	}
+	return nil
+}
+
+// equivocate proposes two digests for one slot: digest A is the honest
+// body, digest B carries tampered metadata. Half the peers receive A by
+// unicast, the rest B; the follow-up broadcast of B hands the A-group the
+// conflicting twin, so those replicas hold two validly-signed pre-prepares
+// from the same leader for one (view, seq) — provable equivocation, which
+// trips consensus.equivocations_detected and an immediate view change.
+// The adversary withholds its own votes throughout, so neither digest can
+// reach the 2f+1 quorum even before detection (safety never depended on
+// the detection being fast).
+func (a *Adversary) equivocate(records []blockchain.Record, meta []byte) {
+	a.Equivocations++
+	r := a.r
+	seq := r.nextSeq
+	if seq < a.maxSeq+1 {
+		seq = a.maxSeq + 1
+	}
+	metaB := append(append([]byte(nil), meta...), 0x5a)
+	var dA, dB Digest
+	dA, r.digestBuf = digestInto(r.digestBuf, records, meta)
+	dB, r.digestBuf = digestInto(r.digestBuf, records, metaB)
+	msgA := Message{Kind: "preprepare", View: r.view, Seq: seq, From: r.ID, Digest: dA, Records: records, Meta: meta}
+	msgB := Message{Kind: "preprepare", View: r.view, Seq: seq, From: r.ID, Digest: dB, Records: records, Meta: metaB}
+	split := 0
+	for _, id := range r.ids {
+		if id == r.ID {
+			continue
+		}
+		if split < (len(r.ids))/2 {
+			r.net.unicast(r.ID, id, msgA)
+		} else {
+			r.net.unicast(r.ID, id, msgB)
+		}
+		split++
+	}
+	r.net.broadcast(r.ID, msgB)
+}
+
+// forgeVotes stuffs the ballot for an observed proposal: prepare and commit
+// votes in every honest peer's name, half endorsing the real digest (fake
+// quorum), half a garbage digest (split quorum). The tags are lifted from
+// the observed pre-prepare — bytes that are genuinely the leader's — so
+// every forgery must die at the transport verify, counted in
+// consensus.auth_failures.
+func (a *Adversary) forgeVotes(pp Message) {
+	garbage := a.garbageDigest()
+	for i, id := range a.r.ids {
+		if id == a.r.ID {
+			continue
+		}
+		d := pp.Digest
+		if i%2 == 1 {
+			d = garbage
+		}
+		for _, kind := range [...]string{"prepare", "commit"} {
+			a.r.net.injectBroadcast(a.r.ID, Message{
+				Kind: kind, View: pp.View, Seq: pp.Seq, From: id, Digest: d, Auth: pp.Auth,
+			})
+			a.Forgeries++
+		}
+	}
+}
+
+// forgeDecided fabricates f+1 "decided" attestations in honest names,
+// claiming a tampered body finalized for the observed slot. The body is
+// self-consistent (the digest really commits the tampered records+meta),
+// so the auth tag is the only thing standing between this forgery and a
+// committed bogus block on every honest chain.
+func (a *Adversary) forgeDecided(pp Message) {
+	if len(pp.Records) == 0 {
+		return
+	}
+	meta := append(append([]byte(nil), pp.Meta...), 0xa5)
+	var d Digest
+	d, a.r.digestBuf = digestInto(a.r.digestBuf, pp.Records, meta)
+	forged := 0
+	for _, id := range a.r.ids {
+		if id == a.r.ID {
+			continue
+		}
+		a.r.net.injectBroadcast(a.r.ID, Message{
+			Kind: "decided", View: pp.View, Seq: pp.Seq, From: id,
+			Digest: d, Records: pp.Records, Meta: meta, Auth: pp.Auth,
+		})
+		a.Forgeries++
+		forged++
+		if forged > a.r.f {
+			return // f+1 distinct names would have been enough
+		}
+	}
+}
+
+// replayOne re-injects one captured peer message verbatim. Its tag is
+// genuine, so it passes verification — replay defense is idempotent
+// handling (duplicate votes OR into the bitmask, duplicate pre-prepares
+// are ignored, stale views are filtered), not the MAC.
+func (a *Adversary) replayOne() {
+	if len(a.logged) == 0 {
+		return
+	}
+	a.r.net.injectBroadcast(a.r.ID, a.logged[int(a.step)%len(a.logged)])
+	a.Replays++
+}
+
+// flood sprays validly-signed garbage at both sides of the seq horizon:
+// far-future votes (must be refused without allocating slot state) and
+// near-future votes with garbage digests (bounded by the early-vote cap,
+// reclaimed on view change). A valid tag buys a Byzantine member no
+// storage beyond those bounds.
+func (a *Adversary) flood() {
+	a.Floods++
+	r := a.r
+	for i := uint64(0); i < 4; i++ {
+		r.net.broadcast(r.ID, Message{
+			Kind: "prepare", View: r.view, Seq: a.maxSeq + (1 << 20) + i,
+			From: r.ID, Digest: a.garbageDigest(),
+		})
+	}
+	for i := uint64(0); i < 2; i++ {
+		r.net.broadcast(r.ID, Message{
+			Kind: "commit", View: r.view, Seq: a.maxSeq + 2 + i,
+			From: r.ID, Digest: a.garbageDigest(),
+		})
+	}
+	// View-independent kind, so it probes the horizon even after the
+	// honest view drifts past the adversary's frozen one.
+	r.net.broadcast(r.ID, Message{
+		Kind: "decided", View: r.view, Seq: a.maxSeq + (1 << 21),
+		From: r.ID, Digest: a.garbageDigest(),
+	})
+}
+
+func (a *Adversary) logMessage(msg Message) {
+	if len(a.logged) < replayLogSize {
+		a.logged = append(a.logged, msg)
+		return
+	}
+	a.logged[a.logPos] = msg
+	a.logPos = (a.logPos + 1) % replayLogSize
+}
+
+// garbageDigest yields a deterministic pseudo-random digest (xorshift64 —
+// the simulation owns all randomness through seeds, so no global RNG).
+func (a *Adversary) garbageDigest() Digest {
+	var d Digest
+	for i := 0; i < len(d); i += 8 {
+		a.rng ^= a.rng << 13
+		a.rng ^= a.rng >> 7
+		a.rng ^= a.rng << 17
+		binary.LittleEndian.PutUint64(d[i:], a.rng)
+	}
+	return d
+}
+
+// SafetyChecker observes honest replicas' decisions and flags agreement
+// violations: two watched replicas deciding different record batches for
+// the same sequence number is exactly the safety property Byzantine faults
+// attack, so adversary tests run every honest replica through one.
+type SafetyChecker struct {
+	entries    map[uint64]safetyEntry
+	violations []string
+	decisions  int
+}
+
+type safetyEntry struct {
+	digest Digest
+	by     string
+}
+
+// NewSafetyChecker creates an empty checker; wire replicas via Watch.
+func NewSafetyChecker() *SafetyChecker {
+	return &SafetyChecker{entries: make(map[uint64]safetyEntry)}
+}
+
+// Watch chains onto r's OnDecide (preserving any existing callback) and
+// records every decision.
+func (sc *SafetyChecker) Watch(r *Replica) {
+	prev := r.OnDecide
+	id := r.ID
+	r.OnDecide = func(seq uint64, records []blockchain.Record) {
+		d := DigestRecords(records)
+		sc.decisions++
+		if e, ok := sc.entries[seq]; ok {
+			if e.digest != d {
+				sc.violations = append(sc.violations, fmt.Sprintf(
+					"seq %d: %s decided %x…, %s decided %x…", seq, e.by, e.digest[:4], id, d[:4]))
+			}
+		} else {
+			sc.entries[seq] = safetyEntry{digest: d, by: id}
+		}
+		if prev != nil {
+			prev(seq, records)
+		}
+	}
+}
+
+// WatchAllExcept watches every replica in the cluster except the listed
+// (adversarial) ones.
+func (sc *SafetyChecker) WatchAllExcept(c *Cluster, except ...string) {
+	skip := make(map[string]bool, len(except))
+	for _, id := range except {
+		skip[id] = true
+	}
+	for _, id := range c.ids {
+		if !skip[id] {
+			sc.Watch(c.Replicas[id])
+		}
+	}
+}
+
+// Violations returns every recorded agreement violation (empty = safe).
+func (sc *SafetyChecker) Violations() []string { return sc.violations }
+
+// Decisions returns the total decisions observed across watched replicas.
+func (sc *SafetyChecker) Decisions() int { return sc.decisions }

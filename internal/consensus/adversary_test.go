@@ -1,0 +1,391 @@
+package consensus
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"decentmeter/internal/sim"
+	"decentmeter/internal/telemetry"
+)
+
+// authCluster builds the standard 4/1 cluster with deterministic keys and
+// a registry, returning the counters the Byzantine defenses increment.
+func authCluster(t *testing.T) (*sim.Env, *Cluster, *telemetry.Registry) {
+	t.Helper()
+	env, c := newCluster(t, 4, 1)
+	c.SetAuthSecret([]byte("test-cluster-secret"))
+	reg := telemetry.NewRegistry()
+	c.SetRegistry(reg, "", nil)
+	return env, c, reg
+}
+
+func counterValue(reg *telemetry.Registry, name string) float64 {
+	return reg.Counter(name).Value()
+}
+
+// TestKeychainTagBinding pins what the tag commits to: any change to kind,
+// view, seq, digest or the claimed sender must invalidate it, and a tag
+// minted under one replica's key must not verify as another's.
+func TestKeychainTagBinding(t *testing.T) {
+	kc := NewKeychain([]byte("secret"), []string{"a", "b", "c", "d"})
+	base := Message{Kind: "prepare", View: 3, Seq: 7, From: "b", Digest: Digest{1, 2, 3}}
+	msg := base
+	if !kc.signAs("b", &msg) {
+		t.Fatal("signAs failed for a member")
+	}
+	if !kc.verify(&msg) {
+		t.Fatal("freshly signed message did not verify")
+	}
+	mutations := map[string]func(*Message){
+		"kind":   func(m *Message) { m.Kind = "commit" },
+		"view":   func(m *Message) { m.View++ },
+		"seq":    func(m *Message) { m.Seq++ },
+		"digest": func(m *Message) { m.Digest[0] ^= 1 },
+		"from":   func(m *Message) { m.From = "c" },
+	}
+	for name, mutate := range mutations {
+		mutated := msg
+		mutate(&mutated)
+		if kc.verify(&mutated) {
+			t.Errorf("tag still verifies after mutating %s", name)
+		}
+	}
+	var other Message = base
+	if !kc.signAs("c", &other) {
+		t.Fatal("signAs failed")
+	}
+	// other now carries c's tag but claims From=b: cross-key forgery.
+	if kc.verify(&other) {
+		t.Error("tag minted under c's key verified for From=b")
+	}
+	if kc.signAs("mallory", &msg) {
+		t.Error("signAs succeeded for a non-member")
+	}
+	if kc.verify(&Message{Kind: "prepare", From: "mallory"}) {
+		t.Error("message from a non-member verified")
+	}
+}
+
+// TestForgedQuorumBlockedByAuth stages the attack the tag exists for: two
+// followers are partitioned away, so the live pair cannot reach the 2f+1
+// quorum, and an attacker injects prepare/commit votes in the partitioned
+// replicas' names to complete it. With auth off the forgery decides a slot
+// on a 2-replica "quorum"; with auth on every spoofed vote dies at the
+// transport and the slot must stay undecided.
+func TestForgedQuorumBlockedByAuth(t *testing.T) {
+	run := func(t *testing.T, auth bool) (decided bool, failures float64) {
+		env, c, reg := authCluster(t)
+		if !auth {
+			c.DisableAuth()
+		}
+		// Cut dev02/dev03 off from everyone: only dev00 (leader) and
+		// dev01 exchange votes — one short of quorum.
+		for _, cut := range []string{"dev02", "dev03"} {
+			for _, other := range c.IDs() {
+				if other != cut {
+					c.Net.Partition(cut, other, true)
+				}
+			}
+		}
+		leader := c.Replicas["dev00"]
+		batch := recs(0, 3)
+		if err := leader.Propose(batch); err != nil {
+			t.Fatal(err)
+		}
+		env.RunUntil(env.Now() + 50*time.Millisecond)
+		if leader.Frontier() != 0 {
+			t.Fatal("partitioned cluster decided without a quorum")
+		}
+		// Forge the missing votes in the partitioned replicas' names,
+		// injected from dev01's network position.
+		d := digestOf(batch, nil)
+		for _, spoofed := range []string{"dev02", "dev03"} {
+			for _, kind := range []string{"prepare", "commit"} {
+				c.Net.injectBroadcast("dev01", Message{
+					Kind: kind, View: leader.View(), Seq: 0, From: spoofed, Digest: d,
+				})
+			}
+		}
+		env.RunUntil(env.Now() + 50*time.Millisecond)
+		return leader.Frontier() > 0, counterValue(reg, "consensus.auth_failures")
+	}
+	t.Run("auth-off-attack-works", func(t *testing.T) {
+		decided, _ := run(t, false)
+		if !decided {
+			t.Fatal("sanity: with auth disabled the forged votes should complete the quorum")
+		}
+	})
+	t.Run("auth-on-attack-blocked", func(t *testing.T) {
+		decided, failures := run(t, true)
+		if decided {
+			t.Fatal("forged votes completed a quorum despite authentication")
+		}
+		if failures < 4 {
+			t.Fatalf("auth_failures = %v, want >= 4 (one per forged vote)", failures)
+		}
+	})
+}
+
+// TestForgedDecidedAttestationsRejected injects f+1 self-consistent
+// "decided" attestations in honest names for a slot that never went through
+// agreement. Without the tag this commits arbitrary content on every
+// replica; with it, nothing may decide.
+func TestForgedDecidedAttestationsRejected(t *testing.T) {
+	env, c, reg := authCluster(t)
+	batch := recs(100, 3)
+	meta := []byte("bogus-seal")
+	d := digestOf(batch, meta)
+	for _, spoofed := range []string{"dev01", "dev02"} { // f+1 = 2 distinct names
+		c.Net.injectBroadcast("dev03", Message{
+			Kind: "decided", View: 0, Seq: 0, From: spoofed,
+			Digest: d, Records: batch, Meta: meta,
+		})
+	}
+	env.RunUntil(env.Now() + 50*time.Millisecond)
+	for _, id := range c.IDs() {
+		if got := c.Replicas[id].Frontier(); got != 0 {
+			t.Fatalf("%s delivered a forged decision (frontier %d)", id, got)
+		}
+	}
+	if v := counterValue(reg, "consensus.auth_failures"); v < 2 {
+		t.Fatalf("auth_failures = %v, want >= 2", v)
+	}
+}
+
+// TestEquivocatingLeaderDetectedAndDeposed corrupts the view-0 leader with
+// the equivocation suite and lets it split a proposal. Honest replicas that
+// see both digests must count an equivocation, rotate the view to an honest
+// leader, and decide nothing from the split proposal; the next honest
+// proposal then decides cleanly on all three.
+func TestEquivocatingLeaderDetectedAndDeposed(t *testing.T) {
+	env, c, reg := authCluster(t)
+	sc := NewSafetyChecker()
+	sc.WatchAllExcept(c, "dev00")
+	adv, err := c.Corrupt("dev00", BehaviorEquivocate|BehaviorWithhold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Corrupt("dev00", BehaviorEquivocate); err == nil {
+		t.Fatal("double corruption accepted")
+	}
+	batch := recs(0, 3)
+	if err := c.Replicas["dev00"].ProposeMeta(batch, []byte("seal")); err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(env.Now() + 100*time.Millisecond)
+	if adv.Equivocations == 0 {
+		t.Fatal("adversary never equivocated")
+	}
+	if v := counterValue(reg, "consensus.equivocations_detected"); v < 1 {
+		t.Fatalf("equivocations_detected = %v, want >= 1", v)
+	}
+	if view := c.CurrentView(); view == 0 {
+		t.Fatal("equivocating leader was not deposed")
+	}
+	for _, id := range []string{"dev01", "dev02", "dev03"} {
+		if got := c.Replicas[id].Frontier(); got != 0 {
+			t.Fatalf("%s decided from a split proposal (frontier %d)", id, got)
+		}
+	}
+	// An honest leader now owns the view; let its heartbeat settle the
+	// stragglers onto it (view adoption), then agreement proceeds.
+	env.RunUntil(env.Now() + 300*time.Millisecond)
+	leader := c.Replicas[c.Leader(c.CurrentView())]
+	if leader.ID == "dev00" {
+		t.Fatalf("rotation landed back on the adversary (view %d)", c.CurrentView())
+	}
+	if err := leader.Propose(recs(10, 3)); err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(env.Now() + 100*time.Millisecond)
+	for _, id := range []string{"dev01", "dev02", "dev03"} {
+		if got := c.Replicas[id].Frontier(); got != 1 {
+			t.Fatalf("%s frontier %d after honest re-proposal, want 1", id, got)
+		}
+	}
+	if v := sc.Violations(); len(v) != 0 {
+		t.Fatalf("safety violations: %s", strings.Join(v, "; "))
+	}
+}
+
+// TestFullSuiteAdversaryCannotBreakSafety runs the complete active-attack
+// suite from a corrupted follower under steady honest traffic: agreement
+// must hold on every slot, the defenses must actually fire (auth failures,
+// flood drops), honest replica memory must stay bounded, and after Restore
+// the ex-adversary must catch back up to the honest frontier.
+func TestFullSuiteAdversaryCannotBreakSafety(t *testing.T) {
+	env, c, reg := authCluster(t)
+	sc := NewSafetyChecker()
+	sc.WatchAllExcept(c, "dev03")
+	if _, err := c.Corrupt("dev03", 0); err != nil { // 0 = default full suite
+		t.Fatal(err)
+	}
+	const rounds = 20
+	proposed := 0
+	for i := 0; i < rounds; i++ {
+		leader := c.Replicas[c.Leader(c.CurrentView())]
+		if leader.ID != "dev03" { // a Byzantine leader proposes nothing
+			err := leader.Propose(recs(uint64(i*10), 3))
+			switch err {
+			case nil:
+				proposed++
+			case ErrWindowFull:
+				// A stalled slot (view settling) holds the window; the
+				// round is skipped, exactly like the host's retry loop.
+			default:
+				t.Fatal(err)
+			}
+		}
+		env.RunUntil(env.Now() + 20*time.Millisecond)
+	}
+	env.RunUntil(env.Now() + 100*time.Millisecond)
+	if len(sc.Violations()) != 0 {
+		t.Fatalf("safety violations under full attack suite: %s", strings.Join(sc.Violations(), "; "))
+	}
+	honest := []string{"dev00", "dev01", "dev02"}
+	frontier := c.Replicas["dev00"].Frontier()
+	if frontier == 0 {
+		t.Fatal("no progress under f=1 adversary (liveness lost)")
+	}
+	for _, id := range honest {
+		if got := c.Replicas[id].Frontier(); got != frontier {
+			t.Fatalf("%s frontier %d, dev00 frontier %d — honest replicas diverged", id, got, frontier)
+		}
+	}
+	if v := counterValue(reg, "consensus.auth_failures"); v == 0 {
+		t.Fatal("forgeries never hit the auth check")
+	}
+	if v := counterValue(reg, "consensus.flood_drops"); v == 0 {
+		t.Fatal("garbage flood never hit the seq horizon")
+	}
+	// Memory bound: slots may hold decided entries plus a bounded in-flight
+	// margin, never the flood's far-future seqs.
+	for _, id := range honest {
+		r := c.Replicas[id]
+		if got, limit := len(r.slots), int(frontier)+int(r.seqHorizon()-r.nextSeq); got > limit {
+			t.Fatalf("%s holds %d slots (> %d): flood grew replica memory", id, got, limit)
+		}
+	}
+	// Restore: the ex-adversary rejoins and catches up via syncreq replay.
+	if err := c.Restore("dev03"); err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(env.Now() + 500*time.Millisecond)
+	if got := c.Replicas["dev03"].Frontier(); got < frontier {
+		t.Fatalf("restored replica frontier %d, want >= %d", got, frontier)
+	}
+	if proposed == 0 {
+		t.Fatal("sanity: no honest proposals were made")
+	}
+}
+
+// TestFloodBeyondHorizonAllocatesNoSlots pins the satellite fix: before it,
+// receive allocated a slot for any seq, so one message for an absurd future
+// sequence number cost tracked state forever. Votes beyond the horizon must
+// be dropped without allocation and counted.
+func TestFloodBeyondHorizonAllocatesNoSlots(t *testing.T) {
+	env, c, reg := authCluster(t)
+	r := c.Replicas["dev01"]
+	for i := uint64(0); i < 100; i++ {
+		r.receive(Message{Kind: "prepare", View: 0, Seq: 1<<30 + i, From: "dev02", Digest: Digest{1}})
+		r.receive(Message{Kind: "commit", View: 0, Seq: 1<<40 + i, From: "dev02", Digest: Digest{2}})
+	}
+	if got := len(r.slots); got != 0 {
+		t.Fatalf("far-future votes allocated %d slots, want 0", got)
+	}
+	if v := counterValue(reg, "consensus.flood_drops"); v != 200 {
+		t.Fatalf("flood_drops = %v, want 200", v)
+	}
+	// A far-future decided allocates nothing either, but must still ask
+	// for catch-up replay (it is evidence the replica is behind).
+	r.receive(Message{Kind: "decided", View: 0, Seq: 1 << 30, From: "dev02", Digest: Digest{3}})
+	if got := len(r.slots); got != 0 {
+		t.Fatalf("far-future decided allocated %d slots, want 0", got)
+	}
+	env.RunUntil(env.Now() + 10*time.Millisecond)
+}
+
+// TestEarlyVoteBufferBounded pins the other half of the satellite: votes
+// arriving before their pre-prepare are buffered, and that buffer must not
+// grow past one prepare+commit per cluster member.
+func TestEarlyVoteBufferBounded(t *testing.T) {
+	_, c, reg := authCluster(t)
+	r := c.Replicas["dev01"]
+	for i := 0; i < 100; i++ {
+		r.receive(Message{Kind: "prepare", View: 0, Seq: 1, From: "dev02", Digest: Digest{byte(i)}})
+	}
+	sl := r.slots[1]
+	if sl == nil {
+		t.Fatal("near-future vote should open a slot (it is within the horizon)")
+	}
+	if limit := 2 * 4; len(sl.early) > limit {
+		t.Fatalf("early buffer grew to %d entries, want <= %d", len(sl.early), limit)
+	}
+	if v := counterValue(reg, "consensus.flood_drops"); v == 0 {
+		t.Fatal("early-buffer overflow was not counted")
+	}
+}
+
+// TestSyncReplayCapped decides more slots than one syncreq may replay and
+// recovers a crashed replica: catch-up must arrive in MaxSyncReplay-sized
+// chunks (truncations counted), and the replica must still converge to the
+// cluster frontier once further decisions re-trigger replay.
+func TestSyncReplayCapped(t *testing.T) {
+	env, c, reg := authCluster(t)
+	for _, r := range c.Replicas {
+		r.MaxSyncReplay = 4
+	}
+	c.Replicas["dev03"].Crash()
+	const decided = 10
+	for i := 0; i < decided; i++ {
+		leader := c.Replicas[c.Leader(c.CurrentView())]
+		if err := leader.Propose(recs(uint64(i*10), 2)); err != nil {
+			t.Fatal(err)
+		}
+		env.RunUntil(env.Now() + 20*time.Millisecond)
+	}
+	if got := c.Replicas["dev00"].Frontier(); got != decided {
+		t.Fatalf("live cluster frontier %d, want %d", got, decided)
+	}
+	c.Replicas["dev03"].Recover()
+	env.RunUntil(env.Now() + 50*time.Millisecond)
+	if got := c.Replicas["dev03"].Frontier(); got != 4 {
+		t.Fatalf("first replay chunk put the frontier at %d, want the cap (4)", got)
+	}
+	if v := counterValue(reg, "consensus.syncreq_truncated"); v == 0 {
+		t.Fatal("truncated replay was not counted")
+	}
+	// New decisions carry beyond-frontier evidence, which re-requests the
+	// next chunk until the replica converges.
+	for i := 0; i < 4; i++ {
+		leader := c.Replicas[c.Leader(c.CurrentView())]
+		if err := leader.Propose(recs(uint64(1000+i*10), 2)); err != nil {
+			t.Fatal(err)
+		}
+		env.RunUntil(env.Now() + 50*time.Millisecond)
+	}
+	env.RunUntil(env.Now() + 200*time.Millisecond)
+	want := c.Replicas["dev00"].Frontier()
+	if got := c.Replicas["dev03"].Frontier(); got != want {
+		t.Fatalf("recovered replica frontier %d, want %d (chunked catch-up stalled)", got, want)
+	}
+}
+
+// TestBehaviorString pins the fault-log rendering of behavior suites.
+func TestBehaviorString(t *testing.T) {
+	cases := map[Behavior]string{
+		0:                                   "none",
+		BehaviorEquivocate:                  "equivocate",
+		BehaviorWithhold:                    "withhold",
+		BehaviorForgeVotes | BehaviorReplay: "forge-votes|replay",
+		DefaultAdversaryBehaviors:           "equivocate|forge-votes|forge-decided|replay|garbage-flood",
+		BehaviorEquivocate | BehaviorReplay: "equivocate|replay",
+		BehaviorGarbageFlood | BehaviorForgeDecided: "forge-decided|garbage-flood",
+	}
+	for b, want := range cases {
+		if got := b.String(); got != want {
+			t.Errorf("Behavior(%#x).String() = %q, want %q", uint16(b), got, want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Message authentication for the consensus tier. Every replica holds an
+// HMAC-SHA256 key derived from a cluster-provisioning secret, and every
+// protocol message carries a truncated tag over (kind, view, seq, digest,
+// from) — the fields that place a vote or a proposal. Body integrity needs
+// no separate coverage: Records/Meta are committed by Digest, which every
+// replica re-verifies before acting on a body.
+//
+// Cost model: the Net signs each broadcast exactly once on behalf of the
+// true sender, and the pooled delivery fans the already-tagged message to
+// every recipient. A message the transport signed itself needs no
+// re-verification — re-deriving the identical HMAC in the same address
+// space proves nothing — so the trusted send paths mark their deliveries
+// verified and only injected traffic (the adversary harness, spoofed or
+// replayed messages) pays the verify. That keeps the steady-state decide
+// path at one HMAC per broadcast (~13 per decided slot at n=4) while every
+// forged message still hits the real rejection path, which is what the
+// BenchmarkConsensusDecide auth gate in scripts/bench.sh pins.
+package consensus
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+)
+
+// AuthTagSize is the truncated HMAC-SHA256 tag length carried on every
+// message. 128 bits: forging a vote still requires 2^128 work, and the
+// shorter tag keeps Message compact.
+const AuthTagSize = 16
+
+// AuthTag is a truncated HMAC-SHA256 message tag.
+type AuthTag [AuthTagSize]byte
+
+// kindCode gives each protocol kind a stable one-byte domain separator in
+// the tag input, so a prepare tag can never be replayed as a commit.
+func kindCode(kind string) byte {
+	switch kind {
+	case "preprepare":
+		return 1
+	case "prepare":
+		return 2
+	case "commit":
+		return 3
+	case "decided":
+		return 4
+	case "heartbeat":
+		return 5
+	case "syncreq":
+		return 6
+	}
+	return 0
+}
+
+// authInputLen is kind(1) + sender index(1) + view(8) + seq(8) + digest(32)
+// = 50 bytes — under one SHA-256 block, so each tag costs exactly two
+// compressions with the precomputed key pads.
+const authInputLen = 1 + 1 + 8 + 8 + sha256.Size
+
+// Keychain maps every cluster member to its HMAC-SHA256 key. Per-replica
+// keys derive from one provisioning secret (key_i = HMAC(secret, id)), so
+// deterministic runs re-key the whole cluster from a single seed value.
+// The MAC instances are cached and reused across calls (Go's hmac caches
+// the ipad/opad states after the first Reset); like the rest of the
+// consensus fabric, a Keychain is confined to the single-threaded
+// simulation control plane.
+type Keychain struct {
+	macs map[string]hash.Hash
+	idx  map[string]byte
+	buf  [authInputLen]byte
+	sum  [sha256.Size]byte
+}
+
+// NewKeychain provisions keys for ids (the sorted cluster membership; the
+// index of each id is bound into its tags) from the cluster secret.
+func NewKeychain(secret []byte, ids []string) *Keychain {
+	kc := &Keychain{
+		macs: make(map[string]hash.Hash, len(ids)),
+		idx:  make(map[string]byte, len(ids)),
+	}
+	kdf := hmac.New(sha256.New, secret)
+	for i, id := range ids {
+		kdf.Reset()
+		kdf.Write([]byte(id))
+		kc.macs[id] = hmac.New(sha256.New, kdf.Sum(nil))
+		kc.idx[id] = byte(i)
+	}
+	return kc
+}
+
+// fill assembles the tag input for msg as sent by (idx-th replica) From.
+func (kc *Keychain) fill(msg *Message, idx byte) {
+	b := kc.buf[:]
+	b[0] = kindCode(msg.Kind)
+	b[1] = idx
+	binary.LittleEndian.PutUint64(b[2:], msg.View)
+	binary.LittleEndian.PutUint64(b[10:], msg.Seq)
+	copy(b[18:], msg.Digest[:])
+}
+
+// signAs tags msg with id's key. It reports false when id is not a cluster
+// member (the message then carries no valid tag and will be rejected).
+func (kc *Keychain) signAs(id string, msg *Message) bool {
+	mac, ok := kc.macs[id]
+	if !ok {
+		return false
+	}
+	kc.fill(msg, kc.idx[id])
+	mac.Reset()
+	mac.Write(kc.buf[:])
+	copy(msg.Auth[:], mac.Sum(kc.sum[:0]))
+	return true
+}
+
+// verify checks msg's tag against msg.From's key: a spoofed From, a
+// tampered field or a tag minted under another replica's key all fail.
+func (kc *Keychain) verify(msg *Message) bool {
+	mac, ok := kc.macs[msg.From]
+	if !ok {
+		return false
+	}
+	kc.fill(msg, kc.idx[msg.From])
+	mac.Reset()
+	mac.Write(kc.buf[:])
+	return hmac.Equal(mac.Sum(kc.sum[:0])[:AuthTagSize], msg.Auth[:])
+}

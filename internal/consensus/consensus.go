@@ -14,6 +14,7 @@
 package consensus
 
 import (
+	"crypto/rand"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -30,18 +31,39 @@ import (
 // (nil when no registry is wired; every touch is nil-guarded so the
 // agreement hot path pays one predictable branch).
 type instruments struct {
-	proposals   *telemetry.Counter   // batches entering agreement
-	votes       *telemetry.Counter   // prepare/commit votes processed
-	viewChanges *telemetry.Counter   // leader rotations
-	decides     *telemetry.Counter   // slots finalized
-	records     *telemetry.Counter   // records across decided slots
-	inflight    *telemetry.Gauge     // leader's uncommitted pipelined slots
-	decideUs    *telemetry.Histogram // propose -> local decide wall latency
-	tracer      *telemetry.Tracer
+	proposals     *telemetry.Counter   // batches entering agreement
+	votes         *telemetry.Counter   // prepare/commit votes processed
+	viewChanges   *telemetry.Counter   // leader rotations
+	decides       *telemetry.Counter   // slots finalized
+	records       *telemetry.Counter   // records across decided slots
+	authFailures  *telemetry.Counter   // messages dropped for a bad auth tag
+	equivocations *telemetry.Counter   // provable double-proposals detected
+	floodDrops    *telemetry.Counter   // vote messages beyond the seq horizon
+	syncTruncated *telemetry.Counter   // syncreq replays cut at the cap
+	inflight      *telemetry.Gauge     // leader's uncommitted pipelined slots
+	decideUs      *telemetry.Histogram // propose -> local decide wall latency
+	tracer        *telemetry.Tracer
 }
 
 // decideBoundsUs buckets propose->decide wall latency, µs.
 var decideBoundsUs = []float64{25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
+
+// DefaultMaxSyncReplay is the per-syncreq replay cap (Replica.MaxSyncReplay):
+// one catch-up request unicasts at most this many decided record batches back
+// to the requester, so a tight syncreq loop cannot amplify into unbounded
+// full-batch traffic. Truncations count in consensus.syncreq_truncated.
+const DefaultMaxSyncReplay = 64
+
+// slotHorizonSlack is how far beyond the pipelined window a message's seq
+// may run before the replica refuses to allocate vote state for it. Honest
+// traffic never exceeds frontier+Window (plus broadcast reordering well
+// under the slack); anything further is a flood and is dropped, counted in
+// consensus.flood_drops.
+const slotHorizonSlack = 64
+
+// minSyncReqGap rate-limits receive-triggered syncreqs (see
+// Replica.lastSyncReq). Explicit recovery (Recover) bypasses the gap.
+const minSyncReqGap = 10 * time.Millisecond
 
 // Phase labels a proposal's progress.
 type Phase int
@@ -111,6 +133,11 @@ type Message struct {
 	// block header and signature here so every replica appends a
 	// byte-identical block.
 	Meta []byte
+	// Auth is the sender's truncated HMAC-SHA256 tag over (kind, view,
+	// seq, digest, from); see auth.go. The Net signs on behalf of the true
+	// sender and verifies injected traffic before delivery, so a replica
+	// never counts a vote or attestation whose From was spoofed.
+	Auth AuthTag
 }
 
 // Net is the broadcast fabric among replicas (the WAN of the device
@@ -132,6 +159,13 @@ type Net struct {
 	partitioned map[[2]string]bool
 	// free is the delivery pool (LIFO for cache warmth).
 	free []*delivery
+	// keys authenticates every message (nil = auth disabled, benchmark
+	// ablation only). Honest sends are signed here, once per message, on
+	// behalf of the true sender; injected traffic is verified at delivery.
+	keys *Keychain
+	// ins mirrors the cluster instrument set for transport-level drops
+	// (auth failures happen before any replica sees the message).
+	ins *instruments
 }
 
 // delivery is one pooled broadcast in flight: the shared message plus the
@@ -141,17 +175,35 @@ type delivery struct {
 	net     *Net
 	msg     Message
 	targets []*Replica
-	run     func() // pre-bound deliver, so Schedule gets a reused closure
+	// verified marks transport-signed sends: the Net tagged the message
+	// itself with the true sender's key, so re-deriving the same HMAC at
+	// delivery would prove nothing. Injected traffic arrives unverified
+	// and pays one real verify for the whole fan-out (same bytes, same
+	// verdict for every recipient).
+	verified bool
+	run      func() // pre-bound deliver, so Schedule gets a reused closure
 }
 
 func (d *delivery) deliver() {
-	for _, t := range d.targets {
-		if !t.crashed {
-			t.receive(d.msg)
+	ok := d.verified
+	if !ok && d.net.keys != nil {
+		ok = d.net.keys.verify(&d.msg)
+		if !ok && d.net.ins != nil && d.net.ins.authFailures != nil {
+			d.net.ins.authFailures.Inc()
+		}
+	} else if !ok {
+		ok = true // auth disabled: every message passes
+	}
+	if ok {
+		for _, t := range d.targets {
+			if !t.crashed {
+				t.receive(d.msg)
+			}
 		}
 	}
 	d.msg = Message{} // drop slice references while pooled
 	d.targets = d.targets[:0]
+	d.verified = false
 	d.net.free = append(d.net.free, d)
 }
 
@@ -182,17 +234,26 @@ func (n *Net) Partition(a, b string, cut bool) {
 	n.partitioned[[2]string{b, a}] = cut
 }
 
-// broadcast delivers msg to every replica except the sender.
-func (n *Net) broadcast(from string, msg Message) {
-	var d *delivery
+// getDelivery pops a pooled delivery (or allocates the pool's first).
+func (n *Net) getDelivery() *delivery {
 	if k := len(n.free); k > 0 {
-		d = n.free[k-1]
+		d := n.free[k-1]
 		n.free[k-1] = nil
 		n.free = n.free[:k-1]
-	} else {
-		d = &delivery{net: n}
-		d.run = d.deliver
+		return d
 	}
+	d := &delivery{net: n}
+	d.run = d.deliver
+	return d
+}
+
+// broadcast delivers msg to every replica except the sender. The honest
+// send path: when the caller is the message's claimed sender, the Net signs
+// with that sender's key and the delivery skips re-verification (the tag is
+// correct by construction). A caller broadcasting someone else's message
+// (adversary injection via injectBroadcast) never signs here.
+func (n *Net) broadcast(from string, msg Message) {
+	d := n.getDelivery()
 	for _, node := range n.order {
 		if node.ID == from {
 			continue
@@ -206,8 +267,65 @@ func (n *Net) broadcast(from string, msg Message) {
 		n.free = append(n.free, d)
 		return
 	}
+	if from == msg.From {
+		if n.keys != nil {
+			n.keys.signAs(from, &msg)
+		}
+		d.verified = true
+	}
 	d.msg = msg
 	n.env.Schedule(n.latency, d.run)
+}
+
+// unicast delivers msg to a single replica (signed like broadcast when the
+// caller is the claimed sender). Honest code uses it for syncreq replay —
+// a catch-up stream addressed to one requester must not amplify into
+// cluster-wide record-batch broadcasts — and the adversary harness uses it
+// to show different digests to different peers.
+func (n *Net) unicast(from, to string, msg Message) {
+	node, ok := n.nodes[to]
+	if !ok || to == from {
+		return
+	}
+	if len(n.partitioned) > 0 && n.partitioned[[2]string{from, to}] {
+		return
+	}
+	d := n.getDelivery()
+	d.targets = append(d.targets, node)
+	if from == msg.From {
+		if n.keys != nil {
+			n.keys.signAs(from, &msg)
+		}
+		d.verified = true
+	}
+	d.msg = msg
+	n.env.Schedule(n.latency, d.run)
+}
+
+// injectBroadcast sends msg exactly as supplied — no signing, no trust —
+// from the network position of `from` (which may differ from msg.From: a
+// spoofed sender is the point). Delivery runs the real verification path;
+// the adversary harness and auth tests are the only callers.
+func (n *Net) injectBroadcast(from string, msg Message) {
+	n.broadcast(injectedSender(from, msg), msg)
+}
+
+// injectUnicast is injectBroadcast to a single target.
+func (n *Net) injectUnicast(from, to string, msg Message) {
+	n.unicast(injectedSender(from, msg), to, msg)
+}
+
+// injectedSender keeps an injected send unsigned even when the claimed
+// From happens to equal the injecting node (e.g. replaying one's own old
+// message): the send path signs and trusts only when caller == msg.From,
+// so that case is routed under a sentinel position matching no registered
+// replica. The sentinel also bypasses the sender partition filter — an
+// attacker replaying from a new network position is exactly the threat.
+func injectedSender(from string, msg Message) string {
+	if from == msg.From {
+		return "\x00injected:" + from
+	}
+	return from
 }
 
 // slot tracks one (view, seq) proposal's votes. Prepare/commit votes are
@@ -286,8 +404,21 @@ type Replica struct {
 	ViewTimeout time.Duration
 	// lastLeaderSign is the last instant the current leader was heard.
 	lastLeaderSign time.Duration
+	// lastSyncReq rate-limits receive-triggered catch-up requests: a burst
+	// of decided attestations beyond the frontier must not turn into a
+	// syncreq per attestation (each one triggers full-batch replays).
+	lastSyncReq time.Duration
+	// MaxSyncReplay caps how many decided slots one syncreq replays
+	// (default DefaultMaxSyncReplay). A requester far behind issues another
+	// syncreq when the capped replay lands it on a still-missing decision.
+	MaxSyncReplay int
 
 	crashed bool
+
+	// adv, when non-nil, hijacks this replica's protocol behavior (receive,
+	// liveness ticks and proposals) — see adversary.go. The replica keeps
+	// its key, so it can sign as itself but nobody else.
+	adv *Adversary
 
 	// ins is the cluster-shared instrument set (nil when uninstrumented).
 	ins *instruments
@@ -335,17 +466,27 @@ func NewCluster(env *sim.Env, ids []string, f int, latency time.Duration) (*Clus
 		idIndex[id] = i
 	}
 	net := NewNet(env, latency)
+	// Provision per-replica HMAC keys from a random cluster secret — auth
+	// is on by default. Deterministic runs re-key via SetAuthSecret;
+	// benchmark ablation turns it off via DisableAuth.
+	secret := make([]byte, 32)
+	if _, err := rand.Read(secret); err != nil {
+		return nil, fmt.Errorf("consensus: provisioning auth secret: %w", err)
+	}
+	net.keys = NewKeychain(secret, sorted)
 	c := &Cluster{Net: net, Replicas: make(map[string]*Replica), ids: sorted, f: f}
 	for _, id := range sorted {
 		r := &Replica{
-			ID:          id,
-			net:         net,
-			env:         env,
-			ids:         sorted,
-			idIndex:     idIndex,
-			f:           f,
-			slots:       make(map[uint64]*slot),
-			ViewTimeout: 500 * time.Millisecond,
+			ID:            id,
+			net:           net,
+			env:           env,
+			ids:           sorted,
+			idIndex:       idIndex,
+			f:             f,
+			slots:         make(map[uint64]*slot),
+			ViewTimeout:   500 * time.Millisecond,
+			MaxSyncReplay: DefaultMaxSyncReplay,
+			lastSyncReq:   -time.Hour, // the first catch-up request always passes
 		}
 		r.viewTimerFn = func() {
 			if r.crashed || r.view != r.viewTimerView {
@@ -374,7 +515,8 @@ func (c *Cluster) SetWindow(w int) {
 
 // SetRegistry wires cluster-wide instruments onto reg under prefix
 // (default "consensus"): proposals, votes, view_changes, decides,
-// decided_records, inflight and decide_us. tracer, when non-nil,
+// decided_records, auth_failures, equivocations_detected, flood_drops,
+// syncreq_truncated, inflight and decide_us. tracer, when non-nil,
 // additionally records the consensus_decide journey stage. Call before
 // driving traffic.
 func (c *Cluster) SetRegistry(reg *telemetry.Registry, prefix string, tracer *telemetry.Tracer) {
@@ -391,13 +533,31 @@ func (c *Cluster) SetRegistry(reg *telemetry.Registry, prefix string, tracer *te
 		ins.viewChanges = reg.Counter(prefix + ".view_changes")
 		ins.decides = reg.Counter(prefix + ".decides")
 		ins.records = reg.Counter(prefix + ".decided_records")
+		ins.authFailures = reg.Counter(prefix + ".auth_failures")
+		ins.equivocations = reg.Counter(prefix + ".equivocations_detected")
+		ins.floodDrops = reg.Counter(prefix + ".flood_drops")
+		ins.syncTruncated = reg.Counter(prefix + ".syncreq_truncated")
 		ins.inflight = reg.Gauge(prefix + ".inflight")
 		ins.decideUs = reg.Histogram(prefix+".decide_us", decideBoundsUs)
 	}
 	for _, r := range c.Replicas {
 		r.ins = ins
 	}
+	c.Net.ins = ins
 }
+
+// SetAuthSecret re-derives every replica's HMAC key from a caller-chosen
+// cluster secret (deterministic provisioning for reproducible runs).
+func (c *Cluster) SetAuthSecret(secret []byte) {
+	c.Net.keys = NewKeychain(secret, c.ids)
+}
+
+// DisableAuth turns message authentication off. Benchmark ablation only —
+// an unauthenticated cluster trusts every From field on the wire.
+func (c *Cluster) DisableAuth() { c.Net.keys = nil }
+
+// AuthEnabled reports whether messages are authenticated.
+func (c *Cluster) AuthEnabled() bool { return c.Net.keys != nil }
 
 // Leader returns the leader ID for a view.
 func (c *Cluster) Leader(view uint64) string {
@@ -425,6 +585,7 @@ func (r *Replica) Recover() {
 	}
 	r.crashed = false
 	r.lastLeaderSign = r.env.Now()
+	r.lastSyncReq = r.env.Now() // explicit recovery bypasses the receive-path gap
 	r.net.broadcast(r.ID, Message{Kind: "syncreq", View: r.view, Seq: r.nextSeq, From: r.ID})
 }
 
@@ -482,6 +643,15 @@ func (r *Replica) Propose(records []blockchain.Record) error {
 // flight at once (ErrWindowFull beyond that); decisions still deliver in
 // strict sequence order.
 func (r *Replica) ProposeMeta(records []blockchain.Record, meta []byte) error {
+	if r.adv != nil {
+		return r.adv.proposeMeta(records, meta)
+	}
+	return r.proposeMetaHonest(records, meta)
+}
+
+// proposeMetaHonest is the real proposal path (see ProposeMeta); the
+// adversary hijack above replaces it wholesale for corrupted replicas.
+func (r *Replica) proposeMetaHonest(records []blockchain.Record, meta []byte) error {
 	if r.crashed {
 		return errors.New("consensus: replica crashed")
 	}
@@ -554,6 +724,10 @@ func (r *Replica) livenessTick() {
 	if r.crashed {
 		return
 	}
+	if r.adv != nil {
+		r.adv.tick()
+		return
+	}
 	if r.leader() == r.ID {
 		r.net.broadcast(r.ID, Message{Kind: "heartbeat", View: r.view, From: r.ID})
 		return
@@ -566,6 +740,12 @@ func (r *Replica) livenessTick() {
 // receive processes one protocol message.
 func (r *Replica) receive(msg Message) {
 	if r.crashed {
+		return
+	}
+	if r.adv != nil {
+		// Corrupted replica: the adversary decides what (if anything)
+		// happens with this message; the honest state machine is frozen.
+		r.adv.observe(msg)
 		return
 	}
 	// View adoption: a heartbeat or pre-prepare from the legitimate leader
@@ -592,6 +772,24 @@ func (r *Replica) receive(msg Message) {
 		// describe finalized slots.
 		return
 	}
+	if msg.Kind == "syncreq" {
+		// Answer before any slot bookkeeping: a request describes the
+		// *requester's* frontier and must never allocate state here.
+		r.replaySync(msg)
+		return
+	}
+	// Seq horizon: refuse to allocate vote state for slots far beyond the
+	// pipelined window — honest traffic never runs that far ahead, so this
+	// is a flood (or a catch-up signal, which only needs a syncreq).
+	if msg.Seq >= r.seqHorizon() {
+		if msg.Kind == "decided" && msg.Seq > r.nextSeq {
+			r.requestSync()
+		}
+		if r.ins != nil && r.ins.floodDrops != nil {
+			r.ins.floodDrops.Inc()
+		}
+		return
+	}
 	sl, ok := r.slots[msg.Seq]
 	if !ok {
 		sl = &slot{}
@@ -603,19 +801,7 @@ func (r *Replica) receive(msg Message) {
 		// earlier slots (partition, crash recovery): ask the cluster
 		// to replay them.
 		if msg.Seq > r.nextSeq {
-			r.net.broadcast(r.ID, Message{Kind: "syncreq", View: r.view, Seq: r.nextSeq, From: r.ID})
-		}
-		return
-	}
-	if msg.Kind == "syncreq" {
-		// Replay decided slots from the requested frontier.
-		for s := msg.Seq; s < r.nextSeq; s++ {
-			if past, ok := r.slots[s]; ok && past.committed {
-				r.net.broadcast(r.ID, Message{
-					Kind: "decided", View: r.view, Seq: s, From: r.ID,
-					Digest: past.digest, Records: past.records, Meta: past.meta,
-				})
-			}
+			r.requestSync()
 		}
 		return
 	}
@@ -625,8 +811,19 @@ func (r *Replica) receive(msg Message) {
 			return // only the leader may pre-prepare
 		}
 		if sl.phase != PhaseIdle {
-			// Equivocation guard: a second pre-prepare for the same
-			// slot (same or different digest) is ignored.
+			if msg.Digest != sl.digest && !sl.committed {
+				// Provable equivocation: the same leader proposed two
+				// different digests for one (view, seq). The auth tag
+				// rules out spoofing, so the leader itself is Byzantine —
+				// rotate it out immediately instead of waiting for the
+				// silence timeout.
+				if r.ins != nil && r.ins.equivocations != nil {
+					r.ins.equivocations.Inc()
+				}
+				r.advanceView()
+				return
+			}
+			// Duplicate of the known proposal: ignored.
 			return
 		}
 		if msg.From != r.ID {
@@ -668,16 +865,86 @@ func (r *Replica) receive(msg Message) {
 		}
 	case "prepare":
 		if sl.phase == PhaseIdle {
-			sl.early = append(sl.early, msg)
+			r.bufferEarly(sl, msg)
 			return
 		}
 		r.handlePrepare(sl, msg)
 	case "commit":
 		if sl.phase == PhaseIdle {
-			sl.early = append(sl.early, msg)
+			r.bufferEarly(sl, msg)
 			return
 		}
 		r.handleCommit(sl, msg)
+	}
+}
+
+// bufferEarly holds a vote that raced ahead of its pre-prepare (broadcast
+// reordering). The buffer is bounded: honest reordering yields at most one
+// prepare and one commit per replica, so anything beyond 2n entries for a
+// slot is flood traffic and is dropped.
+func (r *Replica) bufferEarly(sl *slot, msg Message) {
+	if len(sl.early) >= 2*len(r.ids) {
+		if r.ins != nil && r.ins.floodDrops != nil {
+			r.ins.floodDrops.Inc()
+		}
+		return
+	}
+	sl.early = append(sl.early, msg)
+}
+
+// seqHorizon is the first sequence number this replica refuses to track
+// vote state for: the pipelined window ahead of the delivery frontier plus
+// reordering slack. Without it, one message for an absurd future seq costs
+// a slots entry forever (see TestFloodBeyondHorizonAllocatesNoSlots).
+func (r *Replica) seqHorizon() uint64 {
+	window := uint64(1)
+	if r.Window > 1 {
+		window = uint64(r.Window)
+	}
+	return r.nextSeq + window + slotHorizonSlack
+}
+
+// requestSync broadcasts a catch-up request for this replica's delivery
+// frontier, rate-limited to one per minSyncReqGap: a burst of decided
+// attestations beyond the frontier must not fan out into a syncreq (and a
+// cluster-wide batch replay) per attestation.
+func (r *Replica) requestSync() {
+	now := r.env.Now()
+	if now-r.lastSyncReq < minSyncReqGap {
+		return
+	}
+	r.lastSyncReq = now
+	r.net.broadcast(r.ID, Message{Kind: "syncreq", View: r.view, Seq: r.nextSeq, From: r.ID})
+}
+
+// replaySync answers a syncreq: decided slots from the requested frontier
+// are unicast back to the requester — not broadcast, so a catch-up stream
+// cannot amplify record batches across the whole cluster — and at most
+// MaxSyncReplay of them per request. A requester still behind after a
+// truncated replay re-requests when the next beyond-frontier decision
+// arrives, so catch-up proceeds in bounded chunks.
+func (r *Replica) replaySync(msg Message) {
+	limit := r.MaxSyncReplay
+	if limit <= 0 {
+		limit = DefaultMaxSyncReplay
+	}
+	replayed := 0
+	for s := msg.Seq; s < r.nextSeq; s++ {
+		past, ok := r.slots[s]
+		if !ok || !past.committed {
+			continue
+		}
+		if replayed >= limit {
+			if r.ins != nil && r.ins.syncTruncated != nil {
+				r.ins.syncTruncated.Inc()
+			}
+			return
+		}
+		r.net.unicast(r.ID, msg.From, Message{
+			Kind: "decided", View: r.view, Seq: s, From: r.ID,
+			Digest: past.digest, Records: past.records, Meta: past.meta,
+		})
+		replayed++
 	}
 }
 

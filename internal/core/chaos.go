@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"decentmeter/internal/backhaul"
+	"decentmeter/internal/consensus"
 )
 
 // FaultKind enumerates the injectable failures.
@@ -41,7 +42,23 @@ const (
 	// Skipped, and logged, if some replica is already down — the driver
 	// never pushes the cluster below quorum on purpose.
 	FaultReplicaCrash
+	// FaultByzantine corrupts the target replica's consensus participant
+	// mid-run: it stops following the protocol and instead runs the
+	// Fault.Behaviors adversary suite (equivocation, vote forgery, replay,
+	// flooding — see consensus.Behavior). Target -1 corrupts the leader —
+	// the strongest attack, forcing the honest followers through a view
+	// change — and TargetFollower picks a live honest follower. The fault
+	// ends with a consensus-state Restore and catch-up sync. Skipped, and
+	// logged, when a replica is already crashed or corrupted: the driver
+	// keeps the combined faulty set within the f the cluster tolerates.
+	FaultByzantine
 )
+
+// TargetFollower, as a Fault.Target for FaultByzantine, resolves at
+// injection time to the first live, honest, non-leader replica — "some
+// follower", without hardwiring an index that the built-in crash
+// choreography might have taken down.
+const TargetFollower = -2
 
 // String names the fault kind for logs and results.
 func (k FaultKind) String() string {
@@ -54,6 +71,8 @@ func (k FaultKind) String() string {
 		return "mesh-partition"
 	case FaultReplicaCrash:
 		return "replica-crash"
+	case FaultByzantine:
+		return "byzantine"
 	}
 	return fmt.Sprintf("fault(%d)", int(k))
 }
@@ -69,10 +88,15 @@ type Fault struct {
 	Sec, Tick int
 	// Ticks is the duration (>= 1).
 	Ticks int
-	// Target is the replica index for FaultMeshPartition and
-	// FaultReplicaCrash; -1 targets the consensus leader at injection
-	// time. Ignored by the fleet-wide kinds.
+	// Target is the replica index for FaultMeshPartition,
+	// FaultReplicaCrash and FaultByzantine; -1 targets the consensus
+	// leader at injection time, and TargetFollower (FaultByzantine only)
+	// a live honest follower. Ignored by the fleet-wide kinds.
 	Target int
+	// Behaviors selects the adversary suite for FaultByzantine
+	// (zero means consensus.DefaultAdversaryBehaviors). Ignored by the
+	// other kinds.
+	Behaviors consensus.Behavior
 }
 
 // FaultPlan schedules faults over a replicated fleet run (FleetConfig.Chaos).
@@ -94,6 +118,35 @@ func DefaultFaultPlan() *FaultPlan {
 	}}
 }
 
+// ByzantineFaultPlan is the adversary gauntlet: a follower turns Byzantine
+// mid-run and sprays forged votes, forged decided attestations, replayed
+// traffic and far-future floods at the honest majority; later the leader
+// itself goes Byzantine — equivocating and withholding heartbeats — which
+// forces the followers through a view change to depose it. Each stint
+// straddles a window boundary (the fleet proposes once per simulated
+// second, so an adversary active only mid-window would see no proposals to
+// attack), and both end at least a second before the run does so the
+// restored replicas catch up (Restore triggers a sync) before the final
+// settle and ledger audit. Needs the replicated scenario's default eight
+// seconds and four replicas (3f+1 with f=1: one adversary at a time), and
+// composes with DefaultFaultPlan — the quorum guards keep the combined
+// faulty set at f.
+func ByzantineFaultPlan() *FaultPlan {
+	return &FaultPlan{Faults: []Fault{
+		// Follower stint across the sec-5 boundary: forged votes and
+		// decided attestations against the boundary proposal, plus replay
+		// and flood pressure the whole time.
+		{Kind: FaultByzantine, Sec: 4, Tick: 1, Ticks: 12, Target: TargetFollower,
+			Behaviors: consensus.BehaviorForgeVotes | consensus.BehaviorForgeDecided |
+				consensus.BehaviorReplay | consensus.BehaviorGarbageFlood},
+		// Leader corrupted just before the sec-6 boundary: the boundary
+		// batch lands on it while it still owns the view, the split
+		// proposal is detected, and the followers depose it.
+		{Kind: FaultByzantine, Sec: 5, Tick: 9, Ticks: 8, Target: -1,
+			Behaviors: consensus.BehaviorEquivocate | consensus.BehaviorWithhold},
+	}}
+}
+
 // validate rejects plans that do not fit the run.
 func (p *FaultPlan) validate(seconds, replicas int) error {
 	for i, f := range p.Faults {
@@ -110,6 +163,13 @@ func (p *FaultPlan) validate(seconds, replicas int) error {
 		case FaultMeshPartition, FaultReplicaCrash:
 			if f.Target < -1 || f.Target >= replicas {
 				return fmt.Errorf("chaos: fault %d (%s) targets replica %d of %d", i, f.Kind, f.Target, replicas)
+			}
+		case FaultByzantine:
+			if f.Target < TargetFollower || f.Target >= replicas {
+				return fmt.Errorf("chaos: fault %d (%s) targets replica %d of %d", i, f.Kind, f.Target, replicas)
+			}
+			if replicas < 4 {
+				return fmt.Errorf("chaos: fault %d (%s) needs at least 4 replicas (3f+1, f >= 1) to tolerate an adversary", i, f.Kind)
 			}
 		case FaultBrokerOutage, FaultAckLossBurst:
 		default:
@@ -134,11 +194,13 @@ type chaosDriver struct {
 	uplinkDown atomic.Bool
 	ackDown    atomic.Bool
 
-	// crashed[i] is the replica chaos-fault i took down ("" if the fault
-	// was skipped or is not a crash); ended[i] marks faults already
-	// finished so the end-of-run sweep does not double-heal.
-	crashed []string
-	ended   []bool
+	// crashed[i] is the replica chaos-fault i took down and corrupted[i]
+	// the one it turned Byzantine ("" if the fault was skipped or of
+	// another kind); ended[i] marks faults already finished so the
+	// end-of-run sweep does not double-heal.
+	crashed   []string
+	corrupted []string
+	ended     []bool
 
 	injected   int
 	reconnects uint64
@@ -148,8 +210,9 @@ type chaosDriver struct {
 func newChaosDriver(plan *FaultPlan, mesh *backhaul.Mesh, rs *ReplicaSet, reps []fleetReplica, devices int) *chaosDriver {
 	return &chaosDriver{
 		plan: plan, mesh: mesh, rs: rs, reps: reps, devices: devices,
-		crashed: make([]string, len(plan.Faults)),
-		ended:   make([]bool, len(plan.Faults)),
+		crashed:   make([]string, len(plan.Faults)),
+		corrupted: make([]string, len(plan.Faults)),
+		ended:     make([]bool, len(plan.Faults)),
 	}
 }
 
@@ -211,10 +274,46 @@ func (c *chaosDriver) begin(i int, f *Fault, sec, tick int) error {
 			c.log = append(c.log, fmt.Sprintf("sec %d tick %d: skipped %s of %s (%s already down)", sec, tick, f.Kind, id, down))
 			return nil
 		}
+		if bad := c.anyByzantine(); bad != "" {
+			// Fault-budget guard: a Byzantine replica already spends the
+			// one fault f=1 tolerates; crashing another honest replica
+			// would leave only 2f live honest votes.
+			c.ended[i] = true
+			c.log = append(c.log, fmt.Sprintf("sec %d tick %d: skipped %s of %s (%s is byzantine)", sec, tick, f.Kind, id, bad))
+			return nil
+		}
 		if err := c.rs.Crash(id); err != nil {
 			return err
 		}
 		c.crashed[i] = id
+	case FaultByzantine:
+		if down := c.anyCrashed(); down != "" {
+			c.ended[i] = true
+			c.log = append(c.log, fmt.Sprintf("sec %d tick %d: skipped %s (%s already down)", sec, tick, f.Kind, down))
+			return nil
+		}
+		if bad := c.anyByzantine(); bad != "" {
+			c.ended[i] = true
+			c.log = append(c.log, fmt.Sprintf("sec %d tick %d: skipped %s (%s already byzantine)", sec, tick, f.Kind, bad))
+			return nil
+		}
+		id := c.byzantineTarget(f)
+		if id == "" {
+			c.ended[i] = true
+			c.log = append(c.log, fmt.Sprintf("sec %d tick %d: skipped %s (no eligible target)", sec, tick, f.Kind))
+			return nil
+		}
+		behaviors := f.Behaviors
+		if behaviors == 0 {
+			behaviors = consensus.DefaultAdversaryBehaviors
+		}
+		if err := c.rs.Corrupt(id, behaviors); err != nil {
+			return err
+		}
+		c.corrupted[i] = id
+		c.injected++
+		c.log = append(c.log, fmt.Sprintf("sec %d tick %d: %s of %s (%s) for %d tick(s)", sec, tick, f.Kind, id, behaviors, f.Ticks))
+		return nil
 	}
 	c.injected++
 	c.log = append(c.log, fmt.Sprintf("sec %d tick %d: %s%s for %d tick(s)", sec, tick, f.Kind, c.targetSuffix(f), f.Ticks))
@@ -237,6 +336,10 @@ func (c *chaosDriver) finish(i int, f *Fault) error {
 	case FaultReplicaCrash:
 		if c.crashed[i] != "" {
 			return c.rs.Recover(c.crashed[i])
+		}
+	case FaultByzantine:
+		if c.corrupted[i] != "" {
+			return c.rs.Restore(c.corrupted[i])
 		}
 	}
 	return nil
@@ -265,6 +368,40 @@ func (c *chaosDriver) anyCrashed() string {
 		if rep, ok := c.rs.Replica(r.id); ok && rep.Crashed() {
 			return r.id
 		}
+	}
+	return ""
+}
+
+// anyByzantine returns the ID of a currently-corrupted replica, or "".
+func (c *chaosDriver) anyByzantine() string {
+	for _, r := range c.reps {
+		if rep, ok := c.rs.Replica(r.id); ok && rep.Byzantine() {
+			return r.id
+		}
+	}
+	return ""
+}
+
+// byzantineTarget resolves a FaultByzantine target at injection time:
+// explicit index, the consensus leader for -1, or the first live honest
+// follower for TargetFollower. Returns "" when nothing qualifies.
+func (c *chaosDriver) byzantineTarget(f *Fault) string {
+	if f.Target >= 0 {
+		return c.reps[f.Target].id
+	}
+	leader := c.rs.LeaderID()
+	if f.Target == -1 {
+		return leader
+	}
+	for _, r := range c.reps {
+		if r.id == leader {
+			continue
+		}
+		rep, ok := c.rs.Replica(r.id)
+		if !ok || rep.Crashed() || rep.Byzantine() {
+			continue
+		}
+		return r.id
 	}
 	return ""
 }

@@ -52,6 +52,11 @@ type ClusterConfig struct {
 	// ConsensusLatency is the replica-to-replica delivery delay (default
 	// the backhaul's 1 ms).
 	ConsensusLatency time.Duration
+	// AuthSecret, when non-empty, provisions the consensus tier's
+	// per-replica HMAC keys deterministically (key_i = HMAC(secret, id));
+	// empty keeps the random secret drawn at cluster construction.
+	// Message authentication is on either way.
+	AuthSecret []byte
 	// ProposeRetry paces the proposal pump: how often a queued batch is
 	// retried when the leader was busy, behind, or replaced (default
 	// 100 ms).
@@ -129,11 +134,17 @@ type Replica struct {
 	Consensus *consensus.Replica
 
 	crashed    bool
+	byzantine  bool
 	importErrs int
 }
 
 // Crashed reports whether the replica is currently down.
 func (r *Replica) Crashed() bool { return r.crashed }
+
+// Byzantine reports whether the replica is currently adversarial (its
+// consensus participation hijacked by a consensus.Adversary; its chain is
+// frozen until Restore catches it back up).
+func (r *Replica) Byzantine() bool { return r.byzantine }
 
 // sealBatch is one submitted window batch awaiting agreement.
 type sealBatch struct {
@@ -207,6 +218,8 @@ type Cluster struct {
 	recordsDecided   uint64
 	crashes          int
 	recoveries       int
+	corruptions      int
+	restores         int
 
 	// instruments, all nil when Config.Registry is nil.
 	mFailovers  *telemetry.Counter
@@ -244,6 +257,9 @@ func NewCluster(env *sim.Env, auth *blockchain.Authority, wallClock func() time.
 	cluster, err := consensus.NewCluster(env, ids, cfg.F, cfg.ConsensusLatency)
 	if err != nil {
 		return nil, err
+	}
+	if len(cfg.AuthSecret) > 0 {
+		cluster.SetAuthSecret(cfg.AuthSecret)
 	}
 	rs := &Cluster{
 		env:       env,
@@ -365,6 +381,13 @@ func (rs *Cluster) ImportErrors() int {
 func (rs *Cluster) ChainsIdentical() bool {
 	var ref *blockchain.Chain
 	for _, id := range rs.ids {
+		if rs.replicas[id].byzantine {
+			// A currently-adversarial replica's chain is frozen by
+			// definition; the audit covers the honest set. Restore
+			// clears the flag once the replica has rejoined the
+			// protocol (catch-up makes it comparable again).
+			continue
+		}
 		c := rs.replicas[id].Chain
 		if ref == nil {
 			ref = c
@@ -637,6 +660,56 @@ func (rs *Cluster) Recover(id string) error {
 // Crashes and Recoveries report failure-injection counts.
 func (rs *Cluster) Crashes() int    { return rs.crashes }
 func (rs *Cluster) Recoveries() int { return rs.recoveries }
+
+// Corrupt turns a live replica Byzantine: its consensus participation is
+// hijacked by a consensus.Adversary running the given behavior suite (0 =
+// the default full suite), its chain freezes, and the fleet audit skips it
+// until Restore. Ingest and device acknowledgements are untouched — a
+// compromised consensus stack does not stop the node's radio — so every
+// record acked through this replica must still seal via the honest quorum's
+// replication (that is exactly what the chaos ledger audit proves).
+func (rs *Cluster) Corrupt(id string, behaviors consensus.Behavior) error {
+	rep, ok := rs.replicas[id]
+	if !ok {
+		return fmt.Errorf("core: unknown replica %q", id)
+	}
+	if rep.crashed {
+		return fmt.Errorf("core: replica %q is crashed, cannot corrupt", id)
+	}
+	if rep.byzantine {
+		return nil
+	}
+	if _, err := rs.cluster.Corrupt(id, behaviors); err != nil {
+		return err
+	}
+	rep.byzantine = true
+	rs.corruptions++
+	return nil
+}
+
+// Restore rejoins a Byzantine replica to the protocol: the adversary is
+// detached and the replica catches up on everything decided during its
+// stint (syncreq replay -> decided attestations -> chain imports), after
+// which ChainsIdentical covers it again.
+func (rs *Cluster) Restore(id string) error {
+	rep, ok := rs.replicas[id]
+	if !ok {
+		return fmt.Errorf("core: unknown replica %q", id)
+	}
+	if !rep.byzantine {
+		return nil
+	}
+	if err := rs.cluster.Restore(id); err != nil {
+		return err
+	}
+	rep.byzantine = false
+	rs.restores++
+	return nil
+}
+
+// Corruptions and Restores report Byzantine-injection counts.
+func (rs *Cluster) Corruptions() int { return rs.corruptions }
+func (rs *Cluster) Restores() int    { return rs.restores }
 
 // failover plans and executes the rescue of a crashed replica's devices.
 // The planner sees the dead replica at zero capacity — infinite load, every

@@ -29,6 +29,7 @@ import (
 
 	"decentmeter/internal/backhaul"
 	"decentmeter/internal/blockchain"
+	"decentmeter/internal/consensus"
 	"decentmeter/internal/protocol"
 	"decentmeter/internal/sim"
 	"decentmeter/internal/telemetry"
@@ -70,6 +71,13 @@ type FederationConfig struct {
 	// PipelineDepth is each cluster's consensus-seal pipeline window
 	// (0 = the Cluster default of 4).
 	PipelineDepth int
+	// Byzantine adds an adversary stint to the choreography: cluster 1's
+	// consensus leader is corrupted just before the sec-2 window boundary
+	// (it equivocates on the boundary batch and withholds heartbeats until
+	// its followers depose it) and restored at sec 3 — while cluster 0
+	// independently runs the leader-crash choreography. The federation-wide
+	// audit and anchor verification must still come back clean.
+	Byzantine bool
 	// ExportDir, when set, receives every neighborhood chain
 	// ("<cluster>.chain") and the regional super-chain ("anchor.chain")
 	// for offline verification with chainctl.
@@ -153,6 +161,7 @@ type FederationResult struct {
 	Handoffs, Handbacks, HandoffRefusals int
 
 	Crashes, Recoveries, DevicesRehomed int
+	Corruptions, Restores               int
 	ViewChanges                         uint64
 
 	WindowsClosed, WindowsOK, WindowsFlagged int
@@ -602,9 +611,17 @@ func RunFederation(cfg FederationConfig) (FederationResult, error) {
 		// The sec-2 window must close and seal while the leader is dead —
 		// that is what forces the view change — so recovery waits for sec 3.
 		recoverSec = 3
+		// The Byzantine stint corrupts cluster 1's leader at sec 1 tick 9 —
+		// just before the sec-2 boundary, so the boundary batch lands on a
+		// leader that equivocates on it — and restores it at sec 3, leaving
+		// a second-plus of honest sealing for catch-up before the audit.
+		// Cluster 0 owns the crash choreography; the stint runs in cluster 1
+		// so the two fault families exercise independent clusters.
+		byzSec, byzTick = 1, 9
+		byzRestoreSec   = 3
 	)
 	waveBackSec := cfg.Seconds - 1
-	var crashedID string
+	var crashedID, corruptedID string
 	start := env.Now()
 	var delivered, uplost, acklost atomic.Uint64
 
@@ -613,6 +630,11 @@ func RunFederation(cfg FederationConfig) (FederationResult, error) {
 		// 1 ms short of the boundary, as in the replicated fleet driver).
 		if sec == recoverSec && crashedID != "" {
 			if err := f.rigs[0].rs.Recover(crashedID); err != nil {
+				return res, err
+			}
+		}
+		if sec == byzRestoreSec && corruptedID != "" {
+			if err := f.rigs[1].rs.Restore(corruptedID); err != nil {
 				return res, err
 			}
 		}
@@ -637,6 +659,13 @@ func RunFederation(cfg FederationConfig) (FederationResult, error) {
 					return res, err
 				}
 				res.DevicesRehomed = len(f.rigs[0].rs.Migrations())
+			}
+			if cfg.Byzantine && sec == byzSec && tick == byzTick {
+				corruptedID = f.rigs[1].rs.LeaderID()
+				if err := f.rigs[1].rs.Corrupt(corruptedID,
+					consensus.BehaviorEquivocate|consensus.BehaviorWithhold); err != nil {
+					return res, err
+				}
 			}
 			tickTime := f.epoch.Add(env.Now())
 			ingestStart := time.Now()
@@ -739,6 +768,8 @@ func RunFederation(cfg FederationConfig) (FederationResult, error) {
 		res.ViewChanges += sum.ViewChanges
 		res.Crashes += rig.rs.Crashes()
 		res.Recoveries += rig.rs.Recoveries()
+		res.Corruptions += rig.rs.Corruptions()
+		res.Restores += rig.rs.Restores()
 		res.ImportErrors += rig.rs.ImportErrors()
 		if !sum.ChainsIdentical {
 			res.ChainsIdentical = false
@@ -883,6 +914,10 @@ func WriteFederation(w io.Writer, r FederationResult) {
 		r.Handoffs, r.Handbacks, r.HandoffRefusals)
 	fmt.Fprintf(w, "  leader crash:             %d crash, %d recovery, %d devices rehomed, %d view changes\n",
 		r.Crashes, r.Recoveries, r.DevicesRehomed, r.ViewChanges)
+	if r.Corruptions > 0 {
+		fmt.Fprintf(w, "  byzantine leader:         %d corruption(s), %d restore(s), audit clean: %v\n",
+			r.Corruptions, r.Restores, r.RecordsLost == 0 && r.RecordsDuplicated == 0)
+	}
 	fmt.Fprintf(w, "  windows:                  %d closed, %d OK, %d flagged\n",
 		r.WindowsClosed, r.WindowsOK, r.WindowsFlagged)
 	fmt.Fprintf(w, "  neighborhood chains:      %d blocks, %d records sealed (identical per cluster: %v, import errors: %d)\n",

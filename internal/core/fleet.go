@@ -133,6 +133,8 @@ type FleetResult struct {
 	ViewChanges         uint64
 	Crashes             int
 	Recoveries          int
+	Corruptions         int
+	Restores            int
 	DevicesRehomed      int
 	WaveRoamers         int
 	RebalanceMigrations int
@@ -587,6 +589,10 @@ func WriteFleet(w io.Writer, r FleetResult) {
 			r.BatchesDecided, r.ViewChanges, r.ChainsIdentical)
 		fmt.Fprintf(w, "  failover:               %d crash / %d recovery, %d devices rehomed, %d lost, %d duplicated\n",
 			r.Crashes, r.Recoveries, r.DevicesRehomed, r.RecordsLost, r.RecordsDuplicated)
+		if r.Corruptions > 0 {
+			fmt.Fprintf(w, "  byzantine:              %d corruption(s) / %d restore(s), adversary tolerated: %v\n",
+				r.Corruptions, r.Restores, r.RecordsLost == 0 && r.RecordsDuplicated == 0 && r.ChainsIdentical)
+		}
 		fmt.Fprintf(w, "  rebalancing:            %d wave roamers, %d migrations, hot spot at %.0f%% occupancy\n",
 			r.WaveRoamers, r.RebalanceMigrations, 100*r.HotspotLoadAfter)
 		if r.FaultsInjected > 0 {

@@ -306,6 +306,8 @@ func runReplicatedFleet(cfg FleetConfig) (FleetResult, error) {
 	res.ViewChanges = rs.CurrentView()
 	res.Crashes = rs.Crashes()
 	res.Recoveries = rs.Recoveries()
+	res.Corruptions = rs.Corruptions()
+	res.Restores = rs.Restores()
 	_, res.BatchesDecided, _ = rs.Stats()
 	res.ChainsIdentical = rs.ChainsIdentical()
 	res.ImportErrors = rs.ImportErrors()

@@ -150,6 +150,10 @@ func buildClusterRig(env *sim.Env, cfg clusterRigConfig, onAck func(devID string
 	ccfg := ClusterConfig{
 		ID: cfg.ID, F: cfg.F, PipelineDepth: cfg.PipelineDepth,
 		Registry: cfg.Registry, Tracer: cfg.Tracer,
+		// Derive the consensus auth secret from the run seed and cluster ID
+		// so deterministic runs re-key identically; real deployments would
+		// provision it out of band.
+		AuthSecret: []byte(fmt.Sprintf("decentmeter-auth-%s-%016x", cfg.ID, cfg.Seed)),
 	}
 	ccfg.Balance.HighWater = 0.75
 	ccfg.Balance.LowWater = 0.6

@@ -24,7 +24,7 @@ if [ "${1:-}" = "--check" ]; then
     shift
 fi
 
-benches='BenchmarkProtocolEncodeDecode|BenchmarkMQTTTopicMatch|BenchmarkSimKernel|BenchmarkChainAppend|BenchmarkReportPath|BenchmarkBrokerFanout|BenchmarkStoreAndForward|BenchmarkConsensusDecide|BenchmarkInstrumentedReportPath'
+benches='BenchmarkProtocolEncodeDecode|BenchmarkMQTTTopicMatch|BenchmarkSimKernel|BenchmarkChainAppend|BenchmarkReportPath|BenchmarkBrokerFanout|BenchmarkStoreAndForward|BenchmarkConsensusDecide|BenchmarkConsensusDecideNoAuth|BenchmarkInstrumentedReportPath'
 
 raw="$(mktemp)"
 tmpjson="$(mktemp)"
@@ -180,4 +180,35 @@ END {
         exit 1
     }
     printf "\nOK: physics overhead within 5%% of the instrumented path\n"
+}' "$tmpjson"
+
+# Same-run rule: HMAC message authentication must stay within 10% of the
+# unauthenticated decide path. Both benches come from THIS run, so machine
+# speed cancels out and the gate measures only the auth increment — one
+# sign per send plus one verify per unverified delivery (measured ~6%).
+echo
+echo "consensus auth overhead vs unauthenticated decide (threshold: +10%, same run)"
+awk '
+function num(line, key,    s) {
+    if (match(line, "\"" key "\": [0-9.eE+-]+")) {
+        s = substr(line, RSTART, RLENGTH)
+        sub(/.*: /, "", s)
+        return s + 0
+    }
+    return -1
+}
+/"name": "BenchmarkConsensusDecide"/       { auth = num($0, "ns_per_op") }
+/"name": "BenchmarkConsensusDecideNoAuth"/ { plain = num($0, "ns_per_op") }
+END {
+    if (auth <= 0 || plain <= 0) {
+        printf "FAIL: missing bench (auth=%s, noauth=%s)\n", auth, plain
+        exit 1
+    }
+    delta = (auth / plain - 1) * 100
+    printf "  noauth %.1f ns/op, auth %.1f ns/op (%+.1f%%)\n", plain, auth, delta
+    if (delta > 10) {
+        printf "\nFAIL: authenticated decide is more than 10%% over the unauthenticated path\n"
+        exit 1
+    }
+    printf "\nOK: auth overhead within 10%% of the unauthenticated decide path\n"
 }' "$tmpjson"
